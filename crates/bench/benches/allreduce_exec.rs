@@ -1,0 +1,50 @@
+//! Criterion: the executable collectives — double binary tree vs ring,
+//! and the full node-structured HFReduce path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ff_reduce::{allreduce_dbtree, allreduce_ring, hfreduce_exec};
+
+const LEN: usize = 1 << 14;
+
+fn inputs(ranks: usize) -> Vec<Vec<f32>> {
+    (0..ranks)
+        .map(|r| (0..LEN).map(|i| ((r * 31 + i) % 17) as f32).collect())
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_exec");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes((8 * LEN * 4) as u64));
+    g.bench_function("dbtree_8ranks", |b| {
+        b.iter_batched(
+            || inputs(8),
+            |bufs| allreduce_dbtree(bufs, 4),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("ring_8ranks", |b| {
+        b.iter_batched(|| inputs(8), allreduce_ring, BatchSize::SmallInput)
+    });
+    g.bench_function("hfreduce_4nodes_8gpus", |b| {
+        b.iter_batched(
+            || {
+                (0..4)
+                    .map(|v| {
+                        (0..8)
+                            .map(|gpu| {
+                                (0..LEN).map(|i| ((v * 8 + gpu + i) % 17) as f32).collect()
+                            })
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<Vec<f32>>>>()
+            },
+            |bufs| hfreduce_exec(bufs, 4),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(allreduce, benches);
+criterion_main!(allreduce);

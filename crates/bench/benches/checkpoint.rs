@@ -1,0 +1,51 @@
+//! Criterion: checkpoint save/load through the full 3FS stack (§VII-A).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ff_3fs::chain::{Chain, ChainTable};
+use ff_3fs::client::Fs3Client;
+use ff_3fs::kvstore::KvStore;
+use ff_3fs::meta::MetaService;
+use ff_3fs::target::{Disk, StorageTarget};
+use ff_platform::CheckpointManager;
+use std::sync::Arc;
+
+const STATE_BYTES: usize = 64 << 20;
+
+fn manager() -> Arc<CheckpointManager> {
+    let disks: Vec<_> = (0..4).map(|_| Disk::new(8 << 30)).collect();
+    let chains: Vec<_> = (0..8)
+        .map(|c| {
+            let reps = (0..2)
+                .map(|r| StorageTarget::new(format!("c{c}r{r}"), disks[(c + r) % 4].clone()))
+                .collect();
+            Chain::new(c, reps)
+        })
+        .collect();
+    let table = Arc::new(ChainTable::new(chains));
+    let meta = MetaService::new(KvStore::new(8, 2), table.len());
+    let client = Fs3Client::new(meta, table, 16);
+    CheckpointManager::new(client, "ckpt", 4 << 20).unwrap()
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(STATE_BYTES as u64));
+    let tensors: Vec<(String, Vec<u8>)> = (0..16)
+        .map(|i| (format!("t{i}"), vec![i as u8; STATE_BYTES / 16]))
+        .collect();
+    let mgr = manager();
+    let mut step = 0u64;
+    g.bench_function("save_64MiB", |b| {
+        b.iter(|| {
+            step += 1;
+            mgr.save(step, &tensors).unwrap()
+        })
+    });
+    mgr.save(u64::MAX - 1, &tensors).unwrap();
+    g.bench_function("load_64MiB", |b| b.iter(|| mgr.load(u64::MAX - 1).unwrap()));
+    g.finish();
+}
+
+criterion_group!(checkpoint, benches);
+criterion_main!(checkpoint);

@@ -1,0 +1,57 @@
+//! Criterion: the max-min fluid engine and DAG executor under load.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_desim::{DagSim, FluidSim, Route, Work};
+
+fn fan_in_drain(flows: usize) {
+    let mut sim = FluidSim::new();
+    let sink = sim.add_resource("sink", 25e9);
+    let links: Vec<_> = (0..flows)
+        .map(|i| sim.add_resource(format!("l{i}"), 27e9))
+        .collect();
+    for l in links {
+        sim.start_flow(1e6, &Route::unit([l, sink]));
+    }
+    while sim.advance_to_next_completion().is_some() {}
+}
+
+fn pipeline_dag(chunks: usize, stages: usize) {
+    let mut fluid = FluidSim::new();
+    let res: Vec<_> = (0..stages)
+        .map(|i| fluid.add_resource(format!("s{i}"), 1e9))
+        .collect();
+    let mut dag = DagSim::new(fluid);
+    let mut prev: Vec<Option<ff_desim::DagNodeId>> = vec![None; stages];
+    for _ in 0..chunks {
+        let mut upstream = None;
+        for (s, &r) in res.iter().enumerate() {
+            let mut deps = Vec::new();
+            if let Some(p) = prev[s] {
+                deps.push(p);
+            }
+            if let Some(u) = upstream {
+                deps.push(u);
+            }
+            let id = dag.add(
+                Work::Transfer {
+                    work: 1e6,
+                    route: Route::unit([r]),
+                },
+                &deps,
+            );
+            prev[s] = Some(id);
+            upstream = Some(id);
+        }
+    }
+    black_box(dag.run());
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("fluid_fanin_64", |b| b.iter(|| fan_in_drain(64)));
+    c.bench_function("fluid_fanin_512", |b| b.iter(|| fan_in_drain(512)));
+    c.bench_function("dag_pipeline_64x8", |b| b.iter(|| pipeline_dag(64, 8)));
+    c.bench_function("dag_pipeline_256x4", |b| b.iter(|| pipeline_dag(256, 4)));
+}
+
+criterion_group!(fluid, benches);
+criterion_main!(fluid);

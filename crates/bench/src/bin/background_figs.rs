@@ -1,0 +1,64 @@
+//! Figures 1–3: the background charts, regenerated from embedded
+//! literature datasets.
+//!
+//! * Figure 1 — exponential growth of training compute.
+//! * Figure 2 — hardware FLOPS vs memory/interconnect bandwidth scaling
+//!   (the "AI and Memory Wall" rates the paper cites: FLOPS 3.0× / 2 yrs,
+//!   DRAM 1.6×, interconnect 1.4×, AI demand 10× / yr).
+//! * Figure 3 — model parameters vs accelerator memory.
+
+use ff_bench::{bar, print_table};
+
+fn main() {
+    // Figure 1: landmark training runs (year, approximate training FLOPs).
+    let runs: &[(&str, u32, f64)] = &[
+        ("AlexNet", 2012, 4.7e17),
+        ("ResNet-50", 2015, 1.2e18),
+        ("Transformer", 2017, 7.4e18),
+        ("BERT-L", 2018, 2.8e19),
+        ("GPT-2", 2019, 1.5e21),
+        ("GPT-3", 2020, 3.1e23),
+        ("PaLM", 2022, 2.5e24),
+    ];
+    println!("Figure 1 — training compute of landmark models (log scale):");
+    for &(name, year, flops) in runs {
+        let log = flops.log10();
+        println!(
+            "{}",
+            bar(&format!("{name} ({year})"), log - 17.0, 8.0, 40)
+        );
+    }
+    println!("(bar length ∝ log10(FLOPs) − 17; growth is ~10× per year, far above Moore's law)");
+
+    // Figure 2: scaling rates per 2 years.
+    let rows = vec![
+        vec!["AI compute demand".to_string(), "100×".into()],
+        vec!["Hardware peak FLOPS".into(), "3.0×".into()],
+        vec!["DRAM bandwidth".into(), "1.6×".into()],
+        vec!["Interconnect bandwidth".into(), "1.4×".into()],
+    ];
+    print_table(
+        "Figure 2 — scaling per 2 years (Gholami et al., 'AI and Memory Wall')",
+        &["quantity", "growth / 2 years"],
+        &rows,
+    );
+
+    // Figure 3: model size vs accelerator memory.
+    let models: &[(&str, f64)] = &[
+        ("ResNet-50", 0.026),
+        ("Mask-RCNN", 0.044),
+        ("BERT-L", 0.34),
+        ("MAE-H", 0.66),
+        ("GPT-2", 1.5),
+        ("GPT-3", 175.0),
+        ("PaLM", 540.0),
+    ];
+    println!("\nFigure 3 — parameters (billions) vs a 40 GB A100 (≈20 B bf16 params):");
+    for &(name, b) in models {
+        println!("{}", bar(name, (b.max(1e-3)).log10() + 2.0, 5.0, 40));
+    }
+    println!(
+        "Models below ~1 B parameters fit easily — the reason PCIe A100s sufficed for the 2021 DL\n\
+         workload mix, while LLMs later forced the NVLink retrofit (§III)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 11: IB link flash cuts over a year — the paper's daily data
+//! (Table VIII) and a generated year, both showing the same "random
+//! throughout the operational period" pattern.
+
+use ff_bench::{bar, compare};
+use ff_failures::data::TABLE_VIII_FLASH_CUTS;
+use ff_failures::generator::{FailureGenerator, YEAR_S};
+use ff_failures::report::daily_flash_cuts;
+
+fn monthly_sums_paper() -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = Vec::new();
+    for &(date, count) in TABLE_VIII_FLASH_CUTS {
+        let month = date[..7].to_string();
+        match out.last_mut() {
+            Some((m, c)) if *m == month => *c += count,
+            _ => out.push((month, count)),
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("Figure 11 — IB link flash cuts (paper data, monthly totals):");
+    let paper = monthly_sums_paper();
+    let max = paper.iter().map(|&(_, c)| c).max().unwrap_or(1) as f64;
+    for (m, c) in &paper {
+        println!("{}", bar(m, *c as f64, max, 40));
+    }
+    let paper_total: u64 = paper.iter().map(|&(_, c)| c).sum();
+
+    let mut gen = FailureGenerator::paper_calibrated(11, 1250);
+    let events = gen.generate(YEAR_S);
+    let days = daily_flash_cuts(&events, 365);
+    println!("\nGenerated year (monthly totals at calibrated rates):");
+    let gen_monthly: Vec<u64> = (0..12)
+        .map(|m| days[m * 30..((m + 1) * 30).min(365)].iter().sum())
+        .collect();
+    let gmax = *gen_monthly.iter().max().unwrap_or(&1) as f64;
+    for (m, c) in gen_monthly.iter().enumerate() {
+        println!("{}", bar(&format!("month {:02}", m + 1), *c as f64, gmax, 40));
+    }
+
+    println!();
+    let gen_total: u64 = days.iter().sum();
+    compare("Flash cuts per year", &paper_total.to_string(), &gen_total.to_string());
+    let active = days.iter().filter(|&&c| c > 0).count();
+    compare(
+        "Days with at least one event",
+        "spread over the whole year",
+        &format!("{active}/365"),
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 7a: allreduce bandwidth of HFReduce vs NCCL at 186 MiB, scaling
+//! from 16 to 1,440 GPUs.
+//!
+//! HFReduce numbers come from the discrete-event cluster simulation
+//! (steady-state extrapolated, see `ff_reduce::model::hfreduce_steady`);
+//! NCCL from the calibrated ring model (validated against a full DAG
+//! simulation at small scale). Run with `--release`; the 1,440-GPU point
+//! simulates ~180 nodes of hardware.
+
+use ff_bench::{bar, print_table};
+use ff_reduce::model::{hfreduce_steady, HfReduceOptions};
+use ff_reduce::ring::ring_analytic_bw;
+use ff_reduce::ClusterConfig;
+
+fn main() {
+    let bytes = 186.0 * 1024.0 * 1024.0;
+    let gpu_counts = [16usize, 32, 64, 128, 256, 512, 720, 1024, 1440];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &gpus in &gpu_counts {
+        let nodes = gpus / 8;
+        let hf = hfreduce_steady(
+            &ClusterConfig::fire_flyer(nodes),
+            bytes,
+            &HfReduceOptions::default(),
+        );
+        let nccl = ring_analytic_bw(gpus, bytes);
+        rows.push(vec![
+            gpus.to_string(),
+            format!("{:.2}", hf.algbw_bps / 1e9),
+            format!("{:.2}", nccl / 1e9),
+            format!("{:.1}×", hf.algbw_bps / nccl),
+        ]);
+        series.push((gpus, hf.algbw_bps / 1e9, nccl / 1e9));
+    }
+    print_table(
+        "Figure 7a — allreduce bandwidth at 186 MiB (GB/s)",
+        &["GPUs", "HFReduce", "NCCL", "speedup"],
+        &rows,
+    );
+
+    println!("\nHFReduce (paper band: 6.3–8.1 GB/s, roughly flat):");
+    for &(g, hf, _) in &series {
+        println!("{}", bar(&format!("{g} GPUs"), hf, 12.0, 40));
+    }
+    println!("\nNCCL (paper band: 1.6–4.8 GB/s, declining):");
+    for &(g, _, nccl) in &series {
+        println!("{}", bar(&format!("{g} GPUs"), nccl, 12.0, 40));
+    }
+}

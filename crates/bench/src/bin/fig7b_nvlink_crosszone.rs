@@ -1,0 +1,57 @@
+//! Figure 7b: HFReduce with NVLink, running *across* the two fat-tree
+//! zones — the configuration the paper uses to show the variant exceeds
+//! 10 GB/s while the scheduler keeps cross-zone traffic on the limited
+//! inter-zone links.
+
+use ff_bench::{bar, print_table};
+use ff_reduce::model::{hfreduce_steady, HfReduceOptions, HfReduceVariant};
+use ff_reduce::ClusterConfig;
+
+fn main() {
+    let bytes = 186.0 * 1024.0 * 1024.0;
+    // Tasks under 128 GPUs are zone-local by platform defaults (the
+    // paper's note under Figure 7); larger ones span both zones.
+    let gpu_counts = [16usize, 32, 64, 128, 256, 512];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &gpus in &gpu_counts {
+        let nodes = gpus / 8;
+        let cross = gpus >= 128;
+        let cfg = ClusterConfig {
+            two_zone: cross,
+            ..ClusterConfig::fire_flyer_nvlink(nodes)
+        };
+        let nvl = hfreduce_steady(
+            &cfg,
+            bytes,
+            &HfReduceOptions {
+                variant: HfReduceVariant::NvLink,
+                ..Default::default()
+            },
+        );
+        let std = hfreduce_steady(
+            &ClusterConfig {
+                two_zone: cross,
+                ..ClusterConfig::fire_flyer(nodes)
+            },
+            bytes,
+            &HfReduceOptions::default(),
+        );
+        rows.push(vec![
+            gpus.to_string(),
+            if cross { "yes" } else { "no" }.to_string(),
+            format!("{:.2}", nvl.algbw_bps / 1e9),
+            format!("{:.2}", std.algbw_bps / 1e9),
+        ]);
+        series.push((gpus, nvl.algbw_bps / 1e9));
+    }
+    print_table(
+        "Figure 7b — HFReduce with NVLink, cross-zone (GB/s)",
+        &["GPUs", "cross-zone", "HFReduce+NVLink", "HFReduce"],
+        &rows,
+    );
+    println!("\nHFReduce+NVLink (paper: exceeds 10 GB/s):");
+    for &(g, bw) in &series {
+        println!("{}", bar(&format!("{g} GPUs"), bw, 20.0, 40));
+    }
+}

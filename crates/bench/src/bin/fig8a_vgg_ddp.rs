@@ -1,0 +1,46 @@
+//! Figure 8a: weak-scaling VGG16 training — HaiScale DDP (HFReduce) vs
+//! PyTorch DDP (NCCL), 32 → 512 GPUs.
+
+use ff_bench::print_table;
+use ff_haiscale::ddp::{ddp_step, DdpBackend};
+use ff_haiscale::models::TrainModel;
+use ff_haiscale::weak_scaling_efficiency;
+
+fn main() {
+    let model = TrainModel::vgg16();
+    let batch = 32usize;
+    let gpu_counts = [32usize, 64, 128, 256, 512];
+    let mut rows = Vec::new();
+    let mut first = (0.0, 0.0);
+    let mut last = (0.0, 0.0);
+    for (i, &gpus) in gpu_counts.iter().enumerate() {
+        let hai = ddp_step(&model, gpus, batch, DdpBackend::HaiScale).total_s();
+        let torch = ddp_step(&model, gpus, batch, DdpBackend::TorchNccl).total_s();
+        if i == 0 {
+            first = (hai, torch);
+        }
+        last = (hai, torch);
+        rows.push(vec![
+            gpus.to_string(),
+            format!("{:.1}", hai * 1e3),
+            format!("{:.1}", torch * 1e3),
+            format!("{:.2}×", torch / hai),
+        ]);
+    }
+    print_table(
+        "Figure 8a — VGG16 DDP step time, weak scaling (ms)",
+        &["GPUs", "HaiScale (HFReduce)", "Torch DDP (NCCL)", "speedup"],
+        &rows,
+    );
+    println!();
+    ff_bench::compare(
+        "HaiScale vs Torch step time",
+        "≈2× faster ('half the time')",
+        &format!("{:.2}× faster at 512 GPUs", last.1 / last.0),
+    );
+    ff_bench::compare(
+        "HaiScale weak-scaling efficiency 32→512",
+        "≈88%",
+        &format!("{:.0}%", weak_scaling_efficiency(first.0, last.0) * 100.0),
+    );
+}

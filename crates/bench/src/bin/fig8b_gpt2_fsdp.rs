@@ -1,0 +1,46 @@
+//! Figure 8b: weak-scaling GPT2-medium training — HaiScale FSDP vs
+//! PyTorch FSDP, 16 → 128 GPUs.
+
+use ff_bench::print_table;
+use ff_haiscale::fsdp::{fsdp_step, FsdpImpl};
+use ff_haiscale::models::TrainModel;
+use ff_haiscale::weak_scaling_efficiency;
+
+fn main() {
+    let model = TrainModel::gpt2_medium();
+    let tokens = 16 * 1024usize; // 16 sequences of 1024
+    let gpu_counts = [16usize, 32, 64, 128];
+    let mut rows = Vec::new();
+    let mut first_h = 0.0;
+    let mut last = (0.0, 0.0);
+    for (i, &gpus) in gpu_counts.iter().enumerate() {
+        let hai = fsdp_step(&model, gpus, tokens, FsdpImpl::HaiScale).total_s();
+        let torch = fsdp_step(&model, gpus, tokens, FsdpImpl::Torch).total_s();
+        if i == 0 {
+            first_h = hai;
+        }
+        last = (hai, torch);
+        rows.push(vec![
+            gpus.to_string(),
+            format!("{:.0}", hai * 1e3),
+            format!("{:.0}", torch * 1e3),
+            format!("{:.2}×", torch / hai),
+        ]);
+    }
+    print_table(
+        "Figure 8b — GPT2-medium FSDP step time, weak scaling (ms)",
+        &["GPUs", "HaiScale FSDP", "Torch FSDP", "speedup"],
+        &rows,
+    );
+    println!();
+    ff_bench::compare(
+        "HaiScale FSDP weak-scaling efficiency 16→128",
+        "95%",
+        &format!("{:.0}%", weak_scaling_efficiency(first_h, last.0) * 100.0),
+    );
+    ff_bench::compare(
+        "vs Torch FSDP",
+        "'reduces training time by nearly half'",
+        &format!("{:.2}× faster at 128 GPUs", last.1 / last.0),
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 9a: strong-scaling LLaMa-13B training (seq 2048, global batch
+//! 4096, pipeline parallel 4), 64 → 512 GPUs.
+
+use ff_bench::{compare, print_table};
+use ff_haiscale::models::TrainModel;
+use ff_haiscale::pipeline::{pipeline_step, PipelineConfig};
+use ff_haiscale::strong_scaling_efficiency;
+
+fn main() {
+    let model = TrainModel::llama_13b();
+    let cfg = PipelineConfig::llama_13b_paper();
+    let gpu_counts = [64usize, 128, 256, 512];
+    let mut rows = Vec::new();
+    let mut t64 = 0.0;
+    let mut t512 = 0.0;
+    for &gpus in &gpu_counts {
+        let s = pipeline_step(&model, &cfg, gpus);
+        let t = s.total_s();
+        if gpus == 64 {
+            t64 = t;
+        }
+        if gpus == 512 {
+            t512 = t;
+        }
+        rows.push(vec![
+            gpus.to_string(),
+            format!("{:.3}", t),
+            format!("{:.3}", s.compute_s),
+            format!("{:.3}", s.bubble_s),
+            format!("{:.3}", s.exposed_comm_s + s.jitter_s),
+        ]);
+    }
+    print_table(
+        "Figure 9a — LLaMa-13B step time, strong scaling (s)",
+        &["GPUs", "step", "compute", "bubble", "comm+sync"],
+        &rows,
+    );
+    println!();
+    compare("Step time at 64 GPUs", "64.118 s", &format!("{t64:.3} s"));
+    compare("Step time at 512 GPUs", "9.717 s", &format!("{t512:.3} s"));
+    compare(
+        "Parallel efficiency 64→512",
+        "91% (paper's own metric)",
+        &format!(
+            "{:.0}%",
+            strong_scaling_efficiency(64, t64, 512, t512) * 100.0
+        ),
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 9b: strong-scaling DeepSeekMoE-16B training (seq 4096, global
+//! batch 4608, pipeline parallel 10, expert parallel), 40 → 640 GPUs.
+
+use ff_bench::{compare, print_table};
+use ff_haiscale::moe::{moe_step, MoeConfig};
+use ff_haiscale::models::TrainModel;
+use ff_haiscale::strong_scaling_efficiency;
+
+fn main() {
+    let model = TrainModel::deepseek_moe_16b();
+    let cfg = MoeConfig::deepseek_moe_16b_paper();
+    let gpu_counts = [40usize, 80, 160, 320, 640];
+    let mut rows = Vec::new();
+    let mut t40 = 0.0;
+    for &gpus in &gpu_counts {
+        let s = moe_step(&model, &cfg, gpus);
+        let t = s.total_s();
+        if gpus == 40 {
+            t40 = t;
+        }
+        rows.push(vec![
+            gpus.to_string(),
+            format!("{:.3}", t),
+            format!("{:.3}", s.compute_s),
+            format!("{:.3}", s.bubble_s),
+            format!("{:.3}", s.exposed_comm_s),
+            format!(
+                "{:.1}%",
+                strong_scaling_efficiency(40, t40, gpus, t) * 100.0
+            ),
+        ]);
+    }
+    print_table(
+        "Figure 9b — DeepSeekMoE-16B step time, strong scaling (s)",
+        &["GPUs", "step", "compute", "bubble", "all2all", "efficiency"],
+        &rows,
+    );
+    println!();
+    let t320 = moe_step(&model, &cfg, 320).total_s();
+    let t640 = moe_step(&model, &cfg, 640).total_s();
+    compare("Step time at 40 GPUs", "79.615 s", &format!("{t40:.3} s"));
+    compare("Step time at 320 GPUs", "10.71 s", &format!("{t320:.3} s"));
+    compare("Step time at 640 GPUs", "6.535 s", &format!("{t640:.3} s"));
+    compare(
+        "Efficiency at 320 GPUs",
+        "92.92%",
+        &format!("{:.1}%", strong_scaling_efficiency(40, t40, 320, t320) * 100.0),
+    );
+    compare(
+        "Efficiency at 640 GPUs",
+        "76.14%",
+        &format!("{:.1}%", strong_scaling_efficiency(40, t40, 640, t640) * 100.0),
+    );
+}

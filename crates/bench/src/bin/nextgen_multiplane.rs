@@ -1,0 +1,52 @@
+//! §IX / Figure 12: the next-generation PCIe architecture — 1 NIC per
+//! GPU on a 4-plane two-layer RoCE fat-tree, sized for MoE all-to-all.
+
+use ff_bench::{compare, print_table};
+use ff_topo::dragonfly::{fat_tree_bisection_fraction, DragonflySpec};
+use ff_topo::fattree::FatTreeSpec;
+use ff_topo::multiplane::{current_gen_all2all_time, MultiPlaneSpec};
+
+fn main() {
+    let next = MultiPlaneSpec::paper_next_gen();
+    let rows = vec![
+        vec!["planes".to_string(), next.planes.to_string()],
+        vec!["switch radix".into(), next.radix.to_string()],
+        vec!["link speed".into(), "400 Gbps RoCE".into()],
+        vec!["NICs per node".into(), format!("{} (1 per GPU)", next.nics_per_node)],
+        vec!["endpoints per plane".into(), next.endpoints_per_plane().to_string()],
+        vec!["max GPUs".into(), next.max_gpus().to_string()],
+        vec!["total switches".into(), next.total_switches().to_string()],
+        vec![
+            "node injection bandwidth".into(),
+            format!("{:.0} GB/s", next.node_injection_bw() / 1e9),
+        ],
+    ];
+    print_table("§IX — next-generation multi-plane network", &["", "value"], &rows);
+
+    println!();
+    compare("Max GPUs on 4-plane two-layer", "32,768", &next.max_gpus().to_string());
+
+    // MoE all-to-all: 1 GiB of dispatch traffic per GPU per step.
+    let cur = current_gen_all2all_time(8, 1.0e9, 7.0 / 8.0);
+    let nxt = next.all2all_time(8, 1.0e9, 7.0 / 8.0);
+    println!();
+    compare(
+        "All-to-all (8 GPUs × 1 GB, 7/8 cross-node)",
+        "\"all-to-all performance is crucial\"",
+        &format!("{:.0} ms now → {:.0} ms next-gen ({:.0}×)", cur * 1e3, nxt * 1e3, cur / nxt),
+    );
+
+    // The §III-B road not taken, quantified.
+    let df = DragonflySpec::balanced(39, 25e9);
+    let ft = FatTreeSpec::paper_zone();
+    println!();
+    compare(
+        "Dragonfly bisection (why it was rejected)",
+        "\"lack of sufficient bisection bandwidth\"",
+        &format!(
+            "{:.0}% of injection vs fat-tree {:.0}%",
+            df.bisection_fraction() * 100.0,
+            fat_tree_bisection_fraction(&ft) * 100.0
+        ),
+    );
+}

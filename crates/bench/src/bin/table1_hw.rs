@@ -1,0 +1,57 @@
+//! Table I: node hardware details, our PCIe architecture vs DGX-A100.
+
+use ff_bench::print_table;
+use ff_hw::{NodeSpec, StorageNodeSpec};
+
+fn main() {
+    let ours = NodeSpec::pcie_a100();
+    let dgx = NodeSpec::dgx_a100();
+    let rows = vec![
+        vec![
+            "CPU cores".to_string(),
+            ours.cpu_cores.to_string(),
+            dgx.cpu_cores.to_string(),
+        ],
+        vec![
+            "Memory (GiB)".into(),
+            (ours.memory_bytes >> 30).to_string(),
+            (dgx.memory_bytes >> 30).to_string(),
+        ],
+        vec![
+            "GPUs".into(),
+            format!("8 × PCIe-A100-40GB"),
+            format!("8 × SXM-A100-40GB"),
+        ],
+        vec![
+            "IB NICs (200 Gbps)".into(),
+            ours.nics.to_string(),
+            dgx.nics.to_string(),
+        ],
+        vec![
+            "NVLink".into(),
+            "600 GB/s per GPU pair (bridge)".into(),
+            "600 GB/s all-to-all (NVSwitch)".into(),
+        ],
+        vec![
+            "Node power (W)".into(),
+            format!("{:.0}", ours.power_watts),
+            format!("{:.0}", dgx.power_watts),
+        ],
+    ];
+    print_table("Table I — server hardware", &["", "Our PCIe Arch", "DGX-A100"], &rows);
+
+    let st = StorageNodeSpec::paper();
+    let rows = vec![
+        vec!["IB NICs".to_string(), st.nics.to_string()],
+        vec!["Data SSDs".into(), st.ssds.to_string()],
+        vec![
+            "SSD capacity (TB)".into(),
+            format!("{:.2}", st.ssd_capacity as f64 / 1e12),
+        ],
+        vec![
+            "Node egress (GB/s)".into(),
+            format!("{:.0}", st.outbound_bw() / 1e9),
+        ],
+    ];
+    print_table("Table IV — storage node", &["", "value"], &rows);
+}

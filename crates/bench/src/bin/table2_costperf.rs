@@ -1,0 +1,63 @@
+//! Table II: A100 PCIe vs DGX-A100 — GEMM throughput, relative
+//! performance, cost-performance, power.
+
+use ff_bench::{compare, print_table};
+use ff_hw::gemm::{gemm_throughput, GemmPrecision};
+use ff_hw::{GpuForm, NodeSpec};
+
+fn main() {
+    let ours = NodeSpec::pcie_a100();
+    let dgx = NodeSpec::dgx_a100();
+    let tput =
+        |f: GpuForm, p: GemmPrecision| format!("{:.0}", gemm_throughput(f, p) / 1e12);
+    let rows = vec![
+        vec![
+            "TF32 GEMM (TFLOPS/GPU)".to_string(),
+            tput(GpuForm::PcieA100, GemmPrecision::Tf32),
+            tput(GpuForm::SxmA100, GemmPrecision::Tf32),
+        ],
+        vec![
+            "FP16 GEMM (TFLOPS/GPU)".into(),
+            tput(GpuForm::PcieA100, GemmPrecision::Fp16),
+            tput(GpuForm::SxmA100, GemmPrecision::Fp16),
+        ],
+        vec![
+            "Relative performance".into(),
+            format!("{:.0}%", ours.relative_performance() * 100.0),
+            "100%".into(),
+        ],
+        vec![
+            "Node relative price".into(),
+            format!("{:.0}%", ours.relative_price),
+            format!("{:.0}%", dgx.relative_price),
+        ],
+        vec![
+            "Cost-performance ratio".into(),
+            format!("{:.2}", ours.cost_performance_ratio()),
+            format!("{:.2}", dgx.cost_performance_ratio()),
+        ],
+        vec![
+            "Power (W)".into(),
+            format!("{:.0}", ours.power_watts),
+            format!("{:.0}", dgx.power_watts),
+        ],
+    ];
+    print_table("Table II — A100 PCIe vs DGX-A100", &["", "Our Arch", "DGX Arch"], &rows);
+
+    println!();
+    compare(
+        "Relative performance",
+        "83%",
+        &format!("{:.1}%", ours.relative_performance() * 100.0),
+    );
+    compare(
+        "Cost-performance ratio",
+        "1.38",
+        &format!("{:.2}", ours.cost_performance_ratio()),
+    );
+    compare(
+        "Power saving",
+        "40%",
+        &format!("{:.0}%", (1.0 - ours.power_watts / dgx.power_watts) * 100.0),
+    );
+}

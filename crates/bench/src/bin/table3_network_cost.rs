@@ -1,0 +1,44 @@
+//! Table III: relative network/server cost of the three architectures,
+//! with switch counts computed from the topology builders.
+
+use ff_bench::{compare, print_table};
+use ff_topo::cost::table3;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table3()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.to_string(),
+                a.switches.to_string(),
+                format!("{:.0}", a.network_price),
+                format!("{:.0}", a.server_price),
+                format!("{:.0}", a.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III — relative cost comparison",
+        &["architecture", "switches", "network", "servers", "total"],
+        &rows,
+    );
+
+    println!();
+    let t = table3();
+    compare("Our Arch switches", "122", &t[0].switches.to_string());
+    compare("Three-layer PCIe switches", "200", &t[1].switches.to_string());
+    compare("DGX Arch switches", "1320", &t[2].switches.to_string());
+    compare(
+        "Network saving vs three-layer",
+        "40%",
+        &format!(
+            "{:.0}%",
+            (1.0 - t[0].network_price / t[1].network_price) * 100.0
+        ),
+    );
+    compare(
+        "Total cost vs DGX",
+        "≈50%",
+        &format!("{:.0}%", t[0].total() / t[2].total() * 100.0),
+    );
+}

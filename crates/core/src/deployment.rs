@@ -1,0 +1,120 @@
+//! The Fire-Flyer 2 deployment description (§III).
+
+use ff_hw::power::ClusterPower;
+use ff_hw::{NodeSpec, StorageNodeSpec};
+use ff_reduce::{ClusterConfig, ClusterModel};
+use ff_topo::cost::{our_arch, ArchCost};
+use ff_topo::fattree::{TwoZoneNetwork, TwoZoneSpec};
+
+/// A Fire-Flyer-2-class deployment: node builds, counts, network shape.
+#[derive(Debug, Clone)]
+pub struct FireFlyer2 {
+    /// Compute node build.
+    pub node: NodeSpec,
+    /// Storage node build.
+    pub storage: StorageNodeSpec,
+    /// Compute nodes.
+    pub compute_nodes: usize,
+    /// Storage nodes.
+    pub storage_nodes: usize,
+}
+
+impl FireFlyer2 {
+    /// The paper's deployment: 1,250 PCIe A100 nodes (10,000 GPUs), 180
+    /// storage nodes, two 800-port fat-tree zones.
+    pub fn paper() -> Self {
+        FireFlyer2 {
+            node: NodeSpec::pcie_a100_nvlink(),
+            storage: StorageNodeSpec::paper(),
+            compute_nodes: 1250,
+            storage_nodes: 180,
+        }
+    }
+
+    /// A scaled-down deployment with the same shape.
+    pub fn scaled(compute_nodes: usize, storage_nodes: usize) -> Self {
+        FireFlyer2 {
+            compute_nodes,
+            storage_nodes,
+            ..Self::paper()
+        }
+    }
+
+    /// Total GPUs.
+    pub fn total_gpus(&self) -> usize {
+        self.compute_nodes * self.node.gpus
+    }
+
+    /// Aggregate storage egress bandwidth, bytes/second (§VI-B2's 9 TB/s).
+    pub fn storage_egress_bw(&self) -> f64 {
+        self.storage_nodes as f64 * self.storage.outbound_bw()
+    }
+
+    /// The Table III cost row for this architecture.
+    pub fn network_cost(&self) -> ArchCost {
+        our_arch()
+    }
+
+    /// The cluster power envelope (§VIII-C2).
+    pub fn power(&self) -> ClusterPower {
+        ClusterPower {
+            compute_nodes: self.compute_nodes,
+            storage_nodes: self.storage_nodes,
+            switches: self.network_cost().switches,
+            node_watts: self.node.power_watts,
+        }
+    }
+
+    /// Build the hardware+network simulation model for `nodes` of this
+    /// deployment's compute nodes (the substrate of Figures 7–9).
+    pub fn cluster_model(&self, nodes: usize) -> ClusterModel {
+        assert!(nodes <= self.compute_nodes);
+        ClusterModel::build(&ClusterConfig {
+            nodes,
+            node_spec: self.node.clone(),
+            ..ClusterConfig::fire_flyer(nodes)
+        })
+    }
+
+    /// Build the two-zone network graph at this deployment's scale.
+    pub fn network(&self) -> TwoZoneNetwork {
+        if self.compute_nodes >= 1200 {
+            TwoZoneNetwork::build(&TwoZoneSpec::paper())
+        } else {
+            TwoZoneNetwork::build(&TwoZoneSpec::scaled(
+                self.compute_nodes.div_ceil(2),
+                self.storage_nodes,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_deployment_shape() {
+        let ff2 = FireFlyer2::paper();
+        assert_eq!(ff2.total_gpus(), 10_000);
+        assert_eq!(ff2.storage_nodes, 180);
+        assert!((ff2.storage_egress_bw() - 9e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn cost_and_power_match_tables() {
+        let ff2 = FireFlyer2::paper();
+        assert_eq!(ff2.network_cost().switches, 122);
+        let p = ff2.power().total_watts();
+        assert!(p > 3e6 && p < 4e6, "{p}");
+    }
+
+    #[test]
+    fn scaled_deployment_builds_models() {
+        let ff2 = FireFlyer2::scaled(8, 3);
+        let model = ff2.cluster_model(4);
+        assert_eq!(model.gpus(), 32);
+        let net = ff2.network();
+        assert_eq!(net.storage.len(), 3);
+    }
+}

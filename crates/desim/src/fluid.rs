@@ -1,0 +1,654 @@
+//! Max-min fair fluid-flow engine.
+//!
+//! Hardware conduits (a PCIe link, a host bridge, a memory bus, a NIC, a
+//! switch port) are *resources* with a fixed capacity in *units/second*
+//! (normally bytes/second; compute resources use FLOP/s). Work in flight is
+//! a *flow*: an amount of work that must traverse a [`Route`] — an ordered
+//! set of resources, each with a *weight* saying how many units of that
+//! resource's capacity one unit of flow progress consumes.
+//!
+//! Weights express the amplification factors the paper reasons about: an
+//! NCCL-style ring consumes `(2n-1)/n` units of PCIe bandwidth per unit of
+//! gradient data (§IV-B1), HFReduce's host-memory traffic is 24× the GPU
+//! data size (§IV-D3), a `MemcpyAsync` host-to-device fan-out reads host
+//! memory 8 times where GDRCopy reads twice (§IV-A).
+//!
+//! Whenever the set of active flows changes, rates are re-derived by
+//! *progressive filling*: all flows grow at the same rate until some
+//! resource saturates; flows crossing that resource freeze, and filling
+//! continues — the classic max-min fair ("water-filling") allocation.
+
+use std::collections::BTreeMap;
+
+use crate::stats::ResourceStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a resource registered with a [`FluidSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+/// Identifies an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub(crate) u64);
+
+/// An ordered set of `(resource, weight)` pairs a flow traverses.
+///
+/// A weight of `w` means one unit of flow progress consumes `w` units of
+/// that resource's capacity. Duplicate resources are allowed and their
+/// weights accumulate (a loop-back path through the same switch).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Route(pub Vec<(ResourceId, f64)>);
+
+impl Route {
+    /// A route using each resource with weight 1.
+    pub fn unit(resources: impl IntoIterator<Item = ResourceId>) -> Self {
+        Route(resources.into_iter().map(|r| (r, 1.0)).collect())
+    }
+
+    /// A route with explicit weights.
+    pub fn weighted(pairs: impl IntoIterator<Item = (ResourceId, f64)>) -> Self {
+        Route(pairs.into_iter().collect())
+    }
+
+    /// Append another hop.
+    pub fn push(&mut self, r: ResourceId, weight: f64) {
+        self.0.push((r, weight));
+    }
+
+    /// Concatenate two routes.
+    pub fn join(mut self, other: Route) -> Route {
+        self.0.extend(other.0);
+        self
+    }
+
+    /// True if the route has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Collapse duplicate resources, summing weights.
+    fn normalized(&self) -> Vec<(ResourceId, f64)> {
+        let mut map: BTreeMap<ResourceId, f64> = BTreeMap::new();
+        for &(r, w) in &self.0 {
+            assert!(
+                w > 0.0 && w.is_finite(),
+                "Route weight must be positive and finite, got {w}"
+            );
+            *map.entry(r).or_insert(0.0) += w;
+        }
+        map.into_iter().collect()
+    }
+}
+
+struct Resource {
+    name: String,
+    capacity: f64,
+    stats: ResourceStats,
+    /// Rate ceiling imposed by congestion control (bytes/s); `f64::INFINITY`
+    /// when uncapped. Applies to the resource's aggregate load.
+    cap_override: f64,
+}
+
+struct Flow {
+    route: Vec<(ResourceId, f64)>,
+    remaining: f64,
+    rate: f64,
+    started: SimTime,
+}
+
+/// The fluid-flow simulator. See the [module docs](self) for the model.
+///
+/// ```
+/// use ff_desim::{FluidSim, Route};
+/// let mut sim = FluidSim::new();
+/// let link = sim.add_resource("25G link", 25e9);
+/// let a = sim.start_flow(1e9, &Route::unit([link]));
+/// let b = sim.start_flow(1e9, &Route::unit([link]));
+/// // Max-min fairness: the two flows split the link.
+/// assert_eq!(sim.flow_rate(a), 12.5e9);
+/// assert_eq!(sim.flow_rate(b), 12.5e9);
+/// let (t, done) = sim.advance_to_next_completion().unwrap();
+/// assert_eq!(done.len(), 2);
+/// assert!((t.as_secs_f64() - 0.08).abs() < 1e-6);
+/// ```
+pub struct FluidSim {
+    now: SimTime,
+    resources: Vec<Resource>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_flow_id: u64,
+    rates_dirty: bool,
+}
+
+impl Default for FluidSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FluidSim {
+    /// An empty simulator with the clock at zero.
+    pub fn new() -> Self {
+        FluidSim {
+            now: SimTime::ZERO,
+            resources: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            rates_dirty: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The `i`-th resource (ids are dense, `0..resource_count()`).
+    pub fn resource_at(&self, i: usize) -> ResourceId {
+        assert!(i < self.resources.len());
+        ResourceId(i as u32)
+    }
+
+    /// Register a resource with `capacity` units/second (must be positive
+    /// and finite). `name` appears in statistics reports.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "resource capacity must be positive and finite, got {capacity}"
+        );
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+            stats: ResourceStats::default(),
+            cap_override: f64::INFINITY,
+        });
+        id
+    }
+
+    /// The configured capacity of `r`.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.0 as usize].capacity
+    }
+
+    /// The name given to `r` at registration.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.0 as usize].name
+    }
+
+    /// Impose (or lift, with `f64::INFINITY`) a congestion-control ceiling
+    /// on the aggregate load of `r`. Used by DCQCN-style rate limiting.
+    pub fn set_rate_cap(&mut self, r: ResourceId, cap: f64) {
+        assert!(cap > 0.0, "rate cap must be positive, got {cap}");
+        self.settle();
+        self.resources[r.0 as usize].cap_override = cap;
+        self.rates_dirty = true;
+    }
+
+    /// Begin a flow of `work` units over `route` at the current time.
+    /// `work` must be positive; `route` must be non-empty (model pure delays
+    /// with the event queue instead).
+    pub fn start_flow(&mut self, work: f64, route: &Route) -> FlowId {
+        assert!(
+            work > 0.0 && work.is_finite(),
+            "flow work must be positive and finite, got {work}"
+        );
+        let normalized = route.normalized();
+        assert!(!normalized.is_empty(), "flow route must be non-empty");
+        for &(r, _) in &normalized {
+            assert!(
+                (r.0 as usize) < self.resources.len(),
+                "route references unknown resource {r:?}"
+            );
+        }
+        self.settle();
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                route: normalized,
+                remaining: work,
+                rate: 0.0,
+                started: self.now,
+            },
+        );
+        self.rates_dirty = true;
+        id
+    }
+
+    /// Abort an active flow, returning the work it had left. Panics if the
+    /// flow is unknown (already completed or cancelled).
+    pub fn cancel_flow(&mut self, id: FlowId) -> f64 {
+        self.settle();
+        let flow = self.flows.remove(&id).expect("cancel_flow: unknown flow");
+        self.rates_dirty = true;
+        flow.remaining
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The current max-min fair rate of `id` in units/second.
+    pub fn flow_rate(&mut self, id: FlowId) -> f64 {
+        self.recompute_rates_if_dirty();
+        self.flows.get(&id).expect("flow_rate: unknown flow").rate
+    }
+
+    /// The instant the next flow(s) will complete, or `None` if idle.
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .map(|f| self.now + SimDuration::for_work(f.remaining, f.rate))
+            .min()
+    }
+
+    /// Advance the clock to the next completion, removing and returning all
+    /// flows that finish at that instant. Returns `None` when no flows are
+    /// active.
+    pub fn advance_to_next_completion(&mut self) -> Option<(SimTime, Vec<FlowId>)> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        self.recompute_rates_if_dirty();
+        // Identify the earliest finishers *before* progressing state, so a
+        // flow that merely catches up at `at` isn't mistaken for complete.
+        let mut at = SimTime::MAX;
+        let mut done: Vec<FlowId> = Vec::new();
+        for (&id, f) in &self.flows {
+            let fin = self.now + SimDuration::for_work(f.remaining, f.rate);
+            if fin < at {
+                at = fin;
+                done.clear();
+                done.push(id);
+            } else if fin == at {
+                done.push(id);
+            }
+        }
+        self.progress_flows_to(at);
+        self.now = at;
+        for id in &done {
+            self.flows.remove(id).expect("completion bookkeeping");
+        }
+        self.rates_dirty = true;
+        Some((at, done))
+    }
+
+    /// Advance the clock to `t`, which must not pass the next completion
+    /// (use [`advance_to_next_completion`](Self::advance_to_next_completion)
+    /// to cross completions). Used to interleave externally scheduled events
+    /// with in-flight transfers.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to: {t} is in the past");
+        if let Some(next) = self.next_completion_time() {
+            assert!(
+                t <= next,
+                "advance_to: {t} would skip a completion at {next}"
+            );
+        }
+        self.progress_flows_to(t);
+        self.now = t;
+    }
+
+    /// Run the simulation until no flows remain, invoking `on_complete` for
+    /// each completed flow (in deterministic FlowId order within an
+    /// instant). The callback may start new flows.
+    pub fn drain(&mut self, mut on_complete: impl FnMut(&mut Self, SimTime, FlowId)) {
+        while let Some((at, done)) = self.advance_to_next_completion() {
+            for id in done {
+                on_complete(self, at, id);
+            }
+        }
+    }
+
+    /// Utilization statistics for `r` since the start of the run.
+    pub fn stats(&self, r: ResourceId) -> &ResourceStats {
+        &self.resources[r.0 as usize].stats
+    }
+
+    /// Instantaneous aggregate load on `r` (units/second): Σ rate×weight of
+    /// the active flows crossing it. At most `capacity`.
+    pub fn resource_load(&mut self, r: ResourceId) -> f64 {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .map(|f| {
+                f.route
+                    .iter()
+                    .filter(|&&(rr, _)| rr == r)
+                    .map(|&(_, w)| f.rate * w)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Number of active flows crossing `r`.
+    pub fn flows_through(&self, r: ResourceId) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.route.iter().any(|&(rr, _)| rr == r))
+            .count()
+    }
+
+    /// Decrement `remaining` on all flows for the interval `[now, t]` and
+    /// accumulate resource statistics.
+    fn progress_flows_to(&mut self, t: SimTime) {
+        self.recompute_rates_if_dirty();
+        let dt = t.since(self.now).as_secs_f64();
+        if dt == 0.0 {
+            return;
+        }
+        let mut loads = vec![0.0f64; self.resources.len()];
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            for &(r, w) in &f.route {
+                loads[r.0 as usize] += f.rate * w;
+            }
+        }
+        for (res, load) in self.resources.iter_mut().zip(&loads) {
+            res.stats.record(dt, *load, res.capacity);
+        }
+    }
+
+    /// If rates are stale, recompute the max-min fair allocation.
+    fn recompute_rates_if_dirty(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        self.water_fill();
+    }
+
+    /// Catch statistics up to `now` before a structural change.
+    fn settle(&mut self) {
+        // Progress is already accounted at every time advance; structural
+        // changes happen at the current instant, so nothing to do besides
+        // ensuring rates were valid for the elapsed interval (they were,
+        // because advances recompute first).
+    }
+
+    /// Progressive filling. O(iterations × Σ route lengths); each iteration
+    /// freezes at least one resource, so iterations ≤ #resources.
+    fn water_fill(&mut self) {
+        let n_res = self.resources.len();
+        let mut residual: Vec<f64> = self
+            .resources
+            .iter()
+            .map(|r| r.capacity.min(r.cap_override))
+            .collect();
+        // Per-resource sum of weights of unfrozen flows.
+        let mut weight_sum = vec![0.0f64; n_res];
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut unfrozen: Vec<FlowId> = ids.clone();
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for id in &ids {
+            for &(r, w) in &self.flows[id].route {
+                weight_sum[r.0 as usize] += w;
+            }
+        }
+        while !unfrozen.is_empty() {
+            // The common growth increment is limited by the tightest
+            // resource: residual / weight_sum.
+            let mut delta = f64::INFINITY;
+            for id in &unfrozen {
+                for &(r, _) in &self.flows[id].route {
+                    let ws = weight_sum[r.0 as usize];
+                    if ws > 0.0 {
+                        delta = delta.min(residual[r.0 as usize] / ws);
+                    }
+                }
+            }
+            assert!(
+                delta.is_finite() && delta >= 0.0,
+                "water_fill: degenerate allocation (delta={delta})"
+            );
+            // Grow every unfrozen flow by delta and charge resources.
+            for id in &unfrozen {
+                let f = self.flows.get_mut(id).expect("unfrozen flow exists");
+                f.rate += delta;
+                for &(r, w) in &f.route {
+                    residual[r.0 as usize] -= delta * w;
+                }
+            }
+            // Freeze flows crossing any saturated resource. The threshold is
+            // relative to capacity: after subtracting delta×weight the
+            // bottleneck's residual is zero up to float error, which scales
+            // with the capacity magnitude.
+            let saturated: Vec<bool> = residual
+                .iter()
+                .enumerate()
+                .map(|(i, &res)| {
+                    let cap = self.resources[i].capacity.min(self.resources[i].cap_override);
+                    res <= cap * 1e-6
+                })
+                .collect();
+            let (frozen_now, still): (Vec<FlowId>, Vec<FlowId>) =
+                unfrozen.into_iter().partition(|id| {
+                    self.flows[id]
+                        .route
+                        .iter()
+                        .any(|&(r, _)| saturated[r.0 as usize])
+                });
+            assert!(
+                !frozen_now.is_empty(),
+                "water_fill: no progress (numerical issue)"
+            );
+            for id in &frozen_now {
+                for &(r, w) in &self.flows[id].route {
+                    weight_sum[r.0 as usize] -= w;
+                }
+            }
+            unfrozen = still;
+        }
+    }
+
+    /// Time a flow has been active.
+    pub fn flow_age(&self, id: FlowId) -> Option<SimDuration> {
+        self.flows.get(&id).map(|f| self.now.since(f.started))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-6 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let f = sim.start_flow(50.0, &Route::unit([link]));
+        approx(sim.flow_rate(f), 100.0);
+        let (t, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done, vec![f]);
+        approx(t.as_secs_f64(), 0.5);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let a = sim.start_flow(100.0, &Route::unit([link]));
+        let b = sim.start_flow(100.0, &Route::unit([link]));
+        approx(sim.flow_rate(a), 50.0);
+        approx(sim.flow_rate(b), 50.0);
+        let (t, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done.len(), 2);
+        approx(t.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn remaining_flow_speeds_up_after_completion() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let _a = sim.start_flow(50.0, &Route::unit([link]));
+        let b = sim.start_flow(100.0, &Route::unit([link]));
+        // Both run at 50; a finishes at t=1 with b having 50 left.
+        let (t1, done1) = sim.advance_to_next_completion().unwrap();
+        approx(t1.as_secs_f64(), 1.0);
+        assert_eq!(done1.len(), 1);
+        approx(sim.flow_rate(b), 100.0);
+        let (t2, done2) = sim.advance_to_next_completion().unwrap();
+        approx(t2.as_secs_f64(), 1.5);
+        assert_eq!(done2, vec![b]);
+    }
+
+    #[test]
+    fn max_min_respects_multiple_bottlenecks() {
+        // Classic 3-flow example: A uses link1, B uses link2, C uses both.
+        // link1 cap 10, link2 cap 4. Max-min: C and B share link2 at 2 each;
+        // A then gets the rest of link1 = 8.
+        let mut sim = FluidSim::new();
+        let l1 = sim.add_resource("l1", 10.0);
+        let l2 = sim.add_resource("l2", 4.0);
+        let a = sim.start_flow(100.0, &Route::unit([l1]));
+        let b = sim.start_flow(100.0, &Route::unit([l2]));
+        let c = sim.start_flow(100.0, &Route::unit([l1, l2]));
+        approx(sim.flow_rate(b), 2.0);
+        approx(sim.flow_rate(c), 2.0);
+        approx(sim.flow_rate(a), 8.0);
+    }
+
+    #[test]
+    fn weights_amplify_consumption() {
+        // One unit of this flow consumes 2 units of link capacity, so a
+        // 100-cap link moves it at 50.
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let f = sim.start_flow(100.0, &Route::weighted([(link, 2.0)]));
+        approx(sim.flow_rate(f), 50.0);
+    }
+
+    #[test]
+    fn duplicate_resource_in_route_accumulates_weight() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let f = sim.start_flow(100.0, &Route::unit([link, link]));
+        approx(sim.flow_rate(f), 50.0);
+    }
+
+    #[test]
+    fn rate_cap_limits_aggregate() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.set_rate_cap(link, 10.0);
+        let a = sim.start_flow(100.0, &Route::unit([link]));
+        let b = sim.start_flow(100.0, &Route::unit([link]));
+        approx(sim.flow_rate(a), 5.0);
+        approx(sim.flow_rate(b), 5.0);
+        sim.set_rate_cap(link, f64::INFINITY.min(1e18));
+        approx(sim.flow_rate(a), 50.0);
+    }
+
+    #[test]
+    fn cancel_returns_remaining_work() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let f = sim.start_flow(100.0, &Route::unit([link]));
+        sim.advance_to(SimTime::from_secs(0) + SimDuration::from_millis(500));
+        let left = sim.cancel_flow(f);
+        approx(left, 50.0);
+        assert_eq!(sim.active_flows(), 0);
+    }
+
+    #[test]
+    fn drain_visits_all_completions() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        for i in 1..=5 {
+            sim.start_flow(10.0 * i as f64, &Route::unit([link]));
+        }
+        let mut seen = Vec::new();
+        sim.drain(|_, _, id| seen.push(id));
+        assert_eq!(seen.len(), 5);
+        assert_eq!(sim.active_flows(), 0);
+    }
+
+    #[test]
+    fn drain_callback_can_chain_flows() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.start_flow(100.0, &Route::unit([link]));
+        let mut chained = false;
+        let mut completions = 0;
+        sim.drain(|sim, _, _| {
+            completions += 1;
+            if !chained {
+                chained = true;
+                sim.start_flow(200.0, &Route::unit([link]));
+            }
+        });
+        assert_eq!(completions, 2);
+        approx(sim.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn utilization_stats_accumulate() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.start_flow(100.0, &Route::unit([link]));
+        sim.advance_to_next_completion();
+        let s = sim.stats(link);
+        approx(s.units_served(), 100.0);
+        approx(s.utilization(), 1.0);
+    }
+
+    #[test]
+    fn idle_resource_has_zero_utilization() {
+        let mut sim = FluidSim::new();
+        let busy = sim.add_resource("busy", 100.0);
+        let idle = sim.add_resource("idle", 100.0);
+        sim.start_flow(100.0, &Route::unit([busy]));
+        sim.advance_to_next_completion();
+        approx(sim.stats(idle).utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "route must be non-empty")]
+    fn empty_route_rejected() {
+        let mut sim = FluidSim::new();
+        sim.start_flow(1.0, &Route::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut sim = FluidSim::new();
+        sim.add_resource("bad", 0.0);
+    }
+
+    #[test]
+    fn many_flows_high_fan_in_is_stable() {
+        let mut sim = FluidSim::new();
+        let nic = sim.add_resource("nic", 25e9);
+        let links: Vec<_> = (0..64)
+            .map(|i| sim.add_resource(format!("l{i}"), 25e9))
+            .collect();
+        for l in &links {
+            sim.start_flow(1e9, &Route::unit([*l, nic]));
+        }
+        // All 64 flows funnel into one NIC: each gets 25e9/64.
+        let ids: Vec<FlowId> = (0..64).map(FlowId).collect();
+        for id in ids {
+            approx(sim.flow_rate(id), 25e9 / 64.0);
+        }
+        let (t, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done.len(), 64);
+        approx(t.as_secs_f64(), 64.0 * 1e9 / 25e9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Utilization accounting and summary statistics.
+
+/// Running utilization statistics for one resource.
+///
+/// Accumulated by the fluid engine every time simulated time advances:
+/// `busy_integral` is ∫ load(t) dt (units), `weighted_time` is ∫ cap dt, and
+/// `units_served` equals the busy integral (load × time = units moved).
+#[derive(Debug, Clone, Default)]
+pub struct ResourceStats {
+    busy_integral: f64,
+    cap_integral: f64,
+    elapsed: f64,
+    peak_load_frac: f64,
+}
+
+impl ResourceStats {
+    pub(crate) fn record(&mut self, dt: f64, load: f64, capacity: f64) {
+        self.busy_integral += load * dt;
+        self.cap_integral += capacity * dt;
+        self.elapsed += dt;
+        if capacity > 0.0 {
+            self.peak_load_frac = self.peak_load_frac.max(load / capacity);
+        }
+    }
+
+    /// Total units moved through the resource.
+    pub fn units_served(&self) -> f64 {
+        self.busy_integral
+    }
+
+    /// Time-averaged fraction of capacity in use (0..=1).
+    pub fn utilization(&self) -> f64 {
+        if self.cap_integral == 0.0 {
+            0.0
+        } else {
+            self.busy_integral / self.cap_integral
+        }
+    }
+
+    /// Peak instantaneous load as a fraction of capacity.
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_load_frac
+    }
+
+    /// Simulated seconds observed.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed
+    }
+}
+
+/// Streaming summary of a sample set: count / mean / min / max / stddev.
+///
+/// Used throughout the benchmark harness to report experiment series
+/// without storing every sample.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample (Welford's online update).
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Population standard deviation (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_combined() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..37] {
+            a.add(x);
+        }
+        for &x in &data[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn resource_stats_partial_load() {
+        let mut st = ResourceStats::default();
+        st.record(1.0, 50.0, 100.0);
+        st.record(1.0, 0.0, 100.0);
+        assert!((st.utilization() - 0.25).abs() < 1e-12);
+        assert!((st.units_served() - 50.0).abs() < 1e-12);
+        assert!((st.peak_utilization() - 0.5).abs() < 1e-12);
+        assert!((st.elapsed_secs() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the DAG executor.
+
+use ff_desim::{DagNodeId, DagSim, FluidSim, Route, SimDuration, SimTime, Work};
+use proptest::prelude::*;
+
+/// A random layered DAG: `layers × width` transfer nodes over a few
+/// shared resources, each node depending on a random subset of the
+/// previous layer.
+#[derive(Debug, Clone)]
+struct LayeredDag {
+    capacities: Vec<f64>,
+    /// work[layer][node] = (units, resource index, deps bitmask into the
+    /// previous layer).
+    work: Vec<Vec<(f64, usize, u32)>>,
+}
+
+fn layered_dag() -> impl Strategy<Value = LayeredDag> {
+    let caps = prop::collection::vec(10.0f64..1000.0, 1..4);
+    caps.prop_flat_map(|capacities| {
+        let n_res = capacities.len();
+        let node = (1.0f64..100.0, 0..n_res, any::<u32>());
+        let layer = prop::collection::vec(node, 1..5);
+        let layers = prop::collection::vec(layer, 1..5);
+        layers.prop_map(move |work| LayeredDag {
+            capacities: capacities.clone(),
+            work,
+        })
+    })
+}
+
+fn build(d: &LayeredDag) -> (DagSim, Vec<Vec<DagNodeId>>) {
+    let mut fluid = FluidSim::new();
+    let res: Vec<_> = d
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| fluid.add_resource(format!("r{i}"), c))
+        .collect();
+    let mut dag = DagSim::new(fluid);
+    let mut ids: Vec<Vec<DagNodeId>> = Vec::new();
+    for (li, layer) in d.work.iter().enumerate() {
+        let mut row = Vec::new();
+        for &(units, ri, mask) in layer {
+            let deps: Vec<DagNodeId> = if li == 0 {
+                Vec::new()
+            } else {
+                ids[li - 1]
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| mask & (1 << (j % 32)) != 0)
+                    .map(|(_, &id)| id)
+                    .collect()
+            };
+            row.push(dag.add(
+                Work::Transfer {
+                    work: units,
+                    route: Route::unit([res[ri]]),
+                },
+                &deps,
+            ));
+        }
+        ids.push(row);
+    }
+    (dag, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every node runs; finish times respect dependencies; the makespan is
+    /// the max finish.
+    #[test]
+    fn dependencies_respected(d in layered_dag()) {
+        let (mut dag, ids) = build(&d);
+        let makespan = dag.run();
+        let mut max_finish = SimTime::ZERO;
+        for (li, row) in ids.iter().enumerate() {
+            for (&id, &(_, _, mask)) in row.iter().zip(&d.work[li]) {
+                let start = dag.start_time(id).expect("ran");
+                let finish = dag.finish_time(id).expect("finished");
+                prop_assert!(start <= finish);
+                max_finish = max_finish.max(finish);
+                if li > 0 {
+                    for (j, &dep) in ids[li - 1].iter().enumerate() {
+                        if mask & (1 << (j % 32)) != 0 {
+                            prop_assert!(
+                                dag.finish_time(dep).expect("dep finished") <= start,
+                                "node started before its dependency finished"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(makespan, max_finish);
+    }
+
+    /// Lower bound: the makespan is at least each resource's total work
+    /// divided by its capacity (no overcommitment in time).
+    #[test]
+    fn makespan_respects_capacity_bound(d in layered_dag()) {
+        let (mut dag, _) = build(&d);
+        let makespan = dag.run().as_secs_f64();
+        for (ri, &cap) in d.capacities.iter().enumerate() {
+            let total: f64 = d
+                .work
+                .iter()
+                .flatten()
+                .filter(|&&(_, r, _)| r == ri)
+                .map(|&(u, _, _)| u)
+                .sum();
+            prop_assert!(
+                makespan >= total / cap - 1e-6,
+                "resource {ri}: {makespan} < {}",
+                total / cap
+            );
+        }
+    }
+
+    /// Determinism: the same DAG yields the same timeline.
+    #[test]
+    fn deterministic(d in layered_dag()) {
+        let run = |d: &LayeredDag| {
+            let (mut dag, ids) = build(d);
+            dag.run();
+            ids.iter()
+                .flatten()
+                .map(|&id| dag.finish_time(id).expect("finished"))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&d), run(&d));
+    }
+
+    /// Mixing delays with transfers keeps the clock monotone and the gate
+    /// semantics exact.
+    #[test]
+    fn delays_and_gates(ms in prop::collection::vec(1u64..1000, 1..8)) {
+        let mut dag = DagSim::new(FluidSim::new());
+        let delays: Vec<DagNodeId> = ms
+            .iter()
+            .map(|&m| dag.add(Work::Delay(SimDuration::from_millis(m)), &[]))
+            .collect();
+        let gate = dag.add(Work::Gate, &delays);
+        let makespan = dag.run();
+        let max = *ms.iter().max().expect("non-empty");
+        prop_assert_eq!(makespan, SimTime(max * 1_000_000));
+        prop_assert_eq!(dag.finish_time(gate).expect("gate ran"), makespan);
+    }
+}

@@ -1,0 +1,208 @@
+//! bfloat16 — the upper half of an `f32`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// bfloat16: 1 sign bit, 8 exponent bits (bias 127, same as `f32`), 7
+/// mantissa bits. The dynamic range of `f32` with ~2 decimal digits of
+/// precision; the dominant gradient dtype in LLM training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+    /// Largest finite value (≈3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7f7f);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7f80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Bf16 = Bf16(0xff80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7fc0);
+    /// Machine epsilon (2^-7).
+    pub const EPSILON: Bf16 = Bf16(0x3c00);
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Round an `f32` to the nearest `Bf16` (ties to even). Because the
+    /// formats share an exponent layout this is a 16-bit truncation with
+    /// round-to-nearest-even on the discarded half, and it handles
+    /// subnormals and overflow-to-infinity natively.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let b = x.to_bits();
+        if x.is_nan() {
+            // Keep sign and a non-zero mantissa.
+            return Bf16(((b >> 16) as u16) | 0x0040);
+        }
+        let round = (b >> 15) & 1;
+        let sticky = b & 0x7fff;
+        let mut h = (b >> 16) as u16;
+        if round == 1 && (sticky != 0 || h & 1 == 1) {
+            h = h.wrapping_add(1); // may carry into exponent / infinity: correct
+        }
+        Bf16(h)
+    }
+
+    /// Exact widening conversion.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7fff > 0x7f80
+    }
+
+    /// True if this value is ±infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7fff == 0x7f80
+    }
+
+    /// True if finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 & 0x7f80 != 0x7f80
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! via_f32 {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for Bf16 {
+            type Output = Bf16;
+            #[inline]
+            fn $fn(self, rhs: Bf16) -> Bf16 {
+                Bf16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+via_f32!(Add, add, +);
+via_f32!(Sub, sub, -);
+via_f32!(Mul, mul, *);
+via_f32!(Div, div, /);
+
+impl AddAssign for Bf16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bf16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    #[inline]
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(Bf16::from_f32(1.0).to_bits(), 0x3f80);
+        assert_eq!(Bf16::from_f32(-1.0).to_bits(), 0xbf80);
+        assert_eq!(Bf16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(Bf16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and 1.0+2^-7;
+        // kept mantissa of 1.0 is even, so it rounds down to 1.0.
+        let x = f32::from_bits(0x3f80_8000);
+        assert_eq!(Bf16::from_f32(x).to_bits(), 0x3f80);
+        // 1.0 + 3×2^-8 is halfway between odd and even; rounds up to even.
+        let y = f32::from_bits(0x3f81_8000);
+        assert_eq!(Bf16::from_f32(y).to_bits(), 0x3f82);
+        // Anything past halfway rounds up.
+        let z = f32::from_bits(0x3f80_8001);
+        assert_eq!(Bf16::from_f32(z).to_bits(), 0x3f81);
+    }
+
+    #[test]
+    fn overflow_carries_into_infinity() {
+        // Largest f32 rounds to bf16 infinity (mantissa all ones + round up).
+        assert_eq!(Bf16::from_f32(f32::MAX), Bf16::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::INFINITY), Bf16::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY), Bf16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn f32_subnormals_narrow_to_bf16_subnormals() {
+        // 2^-133 is a bf16 subnormal (bf16 min normal is 2^-126).
+        let x = (2.0f32).powi(-133);
+        let b = Bf16::from_f32(x);
+        assert_eq!(b.to_f32(), x);
+    }
+
+    #[test]
+    fn exhaustive_widen_narrow_roundtrip() {
+        for bits in 0..=u16::MAX {
+            let h = Bf16::from_bits(bits);
+            if h.is_nan() {
+                assert!(Bf16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(Bf16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn precision_is_seven_bits() {
+        // 256 + 1 is not representable (9 significand bits needed).
+        let s = Bf16::from_f32(256.0) + Bf16::from_f32(1.0);
+        assert_eq!(s.to_f32(), 256.0);
+        // 128 + 1 is representable (8 bits = 1+7 mantissa).
+        let t = Bf16::from_f32(128.0) + Bf16::from_f32(1.0);
+        assert_eq!(t.to_f32(), 129.0);
+    }
+}

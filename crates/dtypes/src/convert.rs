@@ -1,0 +1,151 @@
+//! Shared narrowing/widening machinery for small binary floats whose whole
+//! finite range sits inside the `f32` normal range (true for binary16 and
+//! FP8-E4M3; bfloat16 uses a dedicated bit-slicing path in `bf16.rs`).
+
+/// Round `v >> s` to nearest, ties to even. `v` must fit in 32 bits with
+/// headroom for +1; `s` in `1..=31`.
+#[inline]
+pub(crate) fn rne_shift(v: u32, s: u32) -> u32 {
+    debug_assert!((1..=31).contains(&s));
+    let kept = v >> s;
+    let round = (v >> (s - 1)) & 1;
+    let sticky = (v & ((1u32 << (s - 1)) - 1)) != 0;
+    if round == 1 && (sticky || kept & 1 == 1) {
+        kept + 1
+    } else {
+        kept
+    }
+}
+
+/// Narrow an `f32` to a float with `exp` exponent bits and `mant` mantissa
+/// bits, round-to-nearest-even. `has_inf` selects IEEE overflow (to ±inf)
+/// versus E4M3-style saturation to max-finite. The result occupies the low
+/// `1 + exp + mant` bits.
+pub(crate) fn f32_to_small(x: f32, exp: u32, mant: u32, has_inf: bool) -> u16 {
+    let bits = x.to_bits();
+    let sign = (((bits >> 31) as u16) & 1) << (exp + mant);
+    let abs = bits & 0x7fff_ffff;
+    let bias = (1i32 << (exp - 1)) - 1;
+    let max_ef = (1u16 << exp) - 1;
+    let max_finite = if has_inf {
+        // Largest finite: exponent max_ef-1, mantissa all ones.
+        ((max_ef - 1) << mant) | ((1u16 << mant) - 1)
+    } else {
+        // E4M3: exponent all ones, mantissa all-ones-but-one (0b110).
+        (max_ef << mant) | ((1u16 << mant) - 2)
+    };
+    let nan = if has_inf {
+        (max_ef << mant) | (1u16 << (mant - 1))
+    } else {
+        (max_ef << mant) | ((1u16 << mant) - 1)
+    };
+
+    if abs > 0x7f80_0000 {
+        return sign | nan;
+    }
+    if abs == 0x7f80_0000 {
+        return if has_inf {
+            sign | (max_ef << mant)
+        } else {
+            sign | max_finite
+        };
+    }
+    if abs >> 23 == 0 {
+        // Zero or f32 subnormal (< 2^-126): far below the narrow formats'
+        // smallest subnormal, rounds to (signed) zero.
+        return sign;
+    }
+
+    let e = ((abs >> 23) as i32) - 127; // unbiased exponent
+    let sig = (abs & 0x007f_ffff) | 0x0080_0000; // 24-bit significand
+
+    let ef = e + bias; // narrow exponent field if normal
+    if ef >= 1 {
+        // Normal path: reduce 23 fraction bits to `mant`.
+        let mut m = rne_shift(sig, 23 - mant);
+        let mut ef = ef;
+        if m == (1 << (mant + 1)) {
+            // Mantissa rounding carried out: 1.111.. -> 10.000..
+            ef += 1;
+            m >>= 1;
+        }
+        let top_ef = if has_inf {
+            max_ef as i32 - 1
+        } else {
+            max_ef as i32
+        };
+        if ef > top_ef {
+            return if has_inf {
+                sign | (max_ef << mant) // infinity
+            } else {
+                sign | max_finite
+            };
+        }
+        let out = ((ef as u16) << mant) | ((m as u16) & ((1u16 << mant) - 1));
+        if !has_inf && out == nan {
+            // Rounded onto the E4M3 NaN pattern (|x| rounded to "480"):
+            // saturate to max finite instead.
+            return sign | max_finite;
+        }
+        sign | out
+    } else {
+        // Subnormal path: unit is 2^(1 - bias - mant).
+        // m = round(sig × 2^(e-23) / 2^(1-bias-mant)).
+        let shift = (23 - mant as i32) + (1 - bias - e);
+        debug_assert!(shift > 0);
+        if shift >= 25 {
+            return sign; // below half the smallest subnormal
+        }
+        let m = rne_shift(sig, shift as u32) as u16;
+        // m == 1<<mant encodes naturally as the smallest normal.
+        sign | m
+    }
+}
+
+/// Widen a small float (low `1 + exp + mant` bits of `bits`) to `f32`.
+pub(crate) fn small_to_f32(bits: u16, exp: u32, mant: u32, has_inf: bool) -> f32 {
+    let sign = ((bits >> (exp + mant)) & 1) as u32;
+    let ef = ((bits >> mant) & ((1u16 << exp) - 1)) as u32;
+    let m = (bits & ((1u16 << mant) - 1)) as u32;
+    let bias = (1i32 << (exp - 1)) - 1;
+    let max_ef = (1u32 << exp) - 1;
+
+    let out_abs = if ef == max_ef && has_inf {
+        if m == 0 {
+            0x7f80_0000
+        } else {
+            0x7fc0_0000 | (m << (23 - mant))
+        }
+    } else if !has_inf && ef == max_ef && m == (1 << mant) - 1 {
+        0x7fc0_0000
+    } else if ef == 0 {
+        if m == 0 {
+            0
+        } else {
+            // Subnormal: m × 2^(1 - bias - mant). Normalize into f32.
+            let lead = 31 - m.leading_zeros(); // position of top set bit
+            let e32 = (1 - bias - mant as i32) + lead as i32 + 127;
+            debug_assert!(e32 > 0, "narrow subnormals are f32 normals");
+            let frac = (m << (23 - lead)) & 0x007f_ffff;
+            ((e32 as u32) << 23) | frac
+        }
+    } else {
+        let e32 = (ef as i32 - bias + 127) as u32;
+        (e32 << 23) | (m << (23 - mant))
+    };
+    f32::from_bits((sign << 31) | out_abs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rne_ties_to_even() {
+        assert_eq!(rne_shift(0b101, 1), 0b10); // tie (2.5), kept even -> down
+        assert_eq!(rne_shift(0b100, 1), 0b10); // exact
+        assert_eq!(rne_shift(0b11, 1), 0b10); // tie, kept odd -> up
+        assert_eq!(rne_shift(0b01, 1), 0b0); // tie, kept even -> down
+        assert_eq!(rne_shift(0b1011, 2), 0b11); // sticky forces up
+    }
+}

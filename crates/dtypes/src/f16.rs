@@ -1,0 +1,223 @@
+//! IEEE-754 binary16.
+
+use crate::convert::{f32_to_small, small_to_f32};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// IEEE-754 half precision: 1 sign bit, 5 exponent bits (bias 15), 10
+/// mantissa bits. Range ±65504, smallest subnormal ≈ 5.96e-8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest finite value (−65504).
+    pub const MIN: F16 = F16(0xfbff);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7e00);
+    /// Machine epsilon (2^-10).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Round an `f32` to the nearest representable `F16` (ties to even).
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        F16(f32_to_small(x, 5, 10, true))
+    }
+
+    /// Exact widening conversion.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        small_to_f32(self.0, 5, 10, true)
+    }
+
+    /// True if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7fff > 0x7c00
+    }
+
+    /// True if this value is ±infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7fff == 0x7c00
+    }
+
+    /// True if finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 & 0x7c00 != 0x7c00
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+impl From<F16> for f32 {
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! via_f32 {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline]
+            fn $fn(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+via_f32!(Add, add, +);
+via_f32!(Sub, sub, -);
+via_f32!(Mul, mul, *);
+via_f32!(Div, div, /);
+
+impl AddAssign for F16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants_roundtrip() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3c00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xc000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7bff);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        // 1/3 in binary16 is 0x3555.
+        assert_eq!(F16::from_f32(1.0 / 3.0).to_bits(), 0x3555);
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6), F16::NEG_INFINITY);
+        // 65520 is the rounding boundary: rounds to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        // 65519 rounds down to MAX.
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal = 2^-24.
+        let tiny = F16::from_f32(5.960_464_5e-8);
+        assert_eq!(tiny.to_bits(), 0x0001);
+        assert!((tiny.to_f32() - 5.960_464_5e-8).abs() < 1e-12);
+        // Half of it ties to even -> zero.
+        assert_eq!(F16::from_f32(2.980_232_2e-8).to_bits(), 0x0000);
+        // Largest subnormal.
+        let max_sub = F16::from_bits(0x03ff);
+        assert!((max_sub.to_f32() - 6.097_555e-5).abs() < 1e-10);
+        assert_eq!(F16::from_f32(max_sub.to_f32()).to_bits(), 0x03ff);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert!((F16::NAN + F16::ONE).is_nan());
+    }
+
+    #[test]
+    fn infinity_widens() {
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::INFINITY.is_finite());
+    }
+
+    #[test]
+    fn arithmetic_rounds() {
+        // 2048 + 1 is not representable in binary16 (11 bits): stays 2048.
+        let a = F16::from_f32(2048.0);
+        let b = F16::from_f32(1.0);
+        assert_eq!((a + b).to_f32(), 2048.0);
+        // 2048 + 2 is representable.
+        assert_eq!((a + F16::from_f32(2.0)).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn neg_flips_sign_bit_only() {
+        assert_eq!((-F16::ONE).to_f32(), -1.0);
+        assert_eq!((-F16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-3.0f32, -0.5, 0.0, 0.25, 7.0];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    F16::from_f32(a).partial_cmp(&F16::from_f32(b)),
+                    a.partial_cmp(&b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_widen_narrow_roundtrip() {
+        // Every finite F16 bit pattern must survive a round trip through f32.
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! FP8 E4M3 (OCP 8-bit floating point).
+
+use crate::convert::{f32_to_small, small_to_f32};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// FP8 E4M3: 1 sign bit, 4 exponent bits (bias 7), 3 mantissa bits.
+///
+/// Follows the OCP FP8 spec used by H100-class hardware: there are **no
+/// infinities** — the `S.1111.111` pattern is NaN and `S.1111.110` is the
+/// largest finite value, ±448. Values that overflow during narrowing
+/// **saturate to ±448** (the "saturating" conversion mode ML frameworks
+/// use); NaN inputs stay NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct F8E4M3(u8);
+
+impl F8E4M3 {
+    /// Positive zero.
+    pub const ZERO: F8E4M3 = F8E4M3(0);
+    /// One.
+    pub const ONE: F8E4M3 = F8E4M3(0x38);
+    /// Largest finite value (448).
+    pub const MAX: F8E4M3 = F8E4M3(0x7e);
+    /// Smallest finite value (−448).
+    pub const MIN: F8E4M3 = F8E4M3(0xfe);
+    /// The NaN pattern.
+    pub const NAN: F8E4M3 = F8E4M3(0x7f);
+
+    /// Construct from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> Self {
+        F8E4M3(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self.0
+    }
+
+    /// Round an `f32` to the nearest `F8E4M3` (ties to even), saturating
+    /// out-of-range magnitudes to ±448.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        F8E4M3(f32_to_small(x, 4, 3, false) as u8)
+    }
+
+    /// Exact widening conversion.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        small_to_f32(self.0 as u16, 4, 3, false)
+    }
+
+    /// True if this value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7f == 0x7f
+    }
+
+    /// True if finite. E4M3 has no infinities, so this is `!is_nan()`.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_nan()
+    }
+}
+
+impl From<f32> for F8E4M3 {
+    fn from(x: f32) -> Self {
+        F8E4M3::from_f32(x)
+    }
+}
+impl From<F8E4M3> for f32 {
+    fn from(x: F8E4M3) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for F8E4M3 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! via_f32 {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for F8E4M3 {
+            type Output = F8E4M3;
+            #[inline]
+            fn $fn(self, rhs: F8E4M3) -> F8E4M3 {
+                F8E4M3::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+via_f32!(Add, add, +);
+via_f32!(Sub, sub, -);
+via_f32!(Mul, mul, *);
+via_f32!(Div, div, /);
+
+impl AddAssign for F8E4M3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F8E4M3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for F8E4M3 {
+    type Output = F8E4M3;
+    #[inline]
+    fn neg(self) -> F8E4M3 {
+        F8E4M3(self.0 ^ 0x80)
+    }
+}
+
+impl fmt::Display for F8E4M3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(F8E4M3::from_f32(0.0).to_bits(), 0x00);
+        assert_eq!(F8E4M3::from_f32(1.0).to_bits(), 0x38);
+        assert_eq!(F8E4M3::from_f32(-1.0).to_bits(), 0xb8);
+        assert_eq!(F8E4M3::from_f32(448.0).to_bits(), 0x7e);
+        assert_eq!(F8E4M3::from_f32(2.0).to_bits(), 0x40);
+        assert_eq!(F8E4M3::from_f32(1.5).to_bits(), 0x3c);
+        // Smallest subnormal: 2^-9.
+        assert_eq!(F8E4M3::from_f32(0.001953125).to_bits(), 0x01);
+    }
+
+    #[test]
+    fn saturates_instead_of_inf() {
+        assert_eq!(F8E4M3::from_f32(1e9), F8E4M3::MAX);
+        assert_eq!(F8E4M3::from_f32(f32::INFINITY), F8E4M3::MAX);
+        assert_eq!(F8E4M3::from_f32(-1e9), F8E4M3::MIN);
+        // 464 is halfway between 448 and the NaN slot "480": must saturate,
+        // never produce NaN.
+        assert_eq!(F8E4M3::from_f32(464.0), F8E4M3::MAX);
+        assert_eq!(F8E4M3::from_f32(479.0), F8E4M3::MAX);
+    }
+
+    #[test]
+    fn nan_roundtrip() {
+        assert!(F8E4M3::from_f32(f32::NAN).is_nan());
+        assert!(F8E4M3::NAN.to_f32().is_nan());
+        assert!(!F8E4M3::MAX.is_nan());
+    }
+
+    #[test]
+    fn exhaustive_roundtrip() {
+        for bits in 0..=u8::MAX {
+            let h = F8E4M3::from_bits(bits);
+            if h.is_nan() {
+                assert!(F8E4M3::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    F8E4M3::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#04x} (value {})",
+                    h.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_values_match_spec_formula() {
+        // Cross-check widening against a direct formula evaluation.
+        for bits in 0..=u8::MAX {
+            let h = F8E4M3::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let sign = if bits & 0x80 != 0 { -1.0 } else { 1.0 };
+            let e = ((bits >> 3) & 0xf) as i32;
+            let m = (bits & 0x7) as f64;
+            let expected = if e == 0 {
+                sign * (m / 8.0) * (2.0f64).powi(-6)
+            } else {
+                sign * (1.0 + m / 8.0) * (2.0f64).powi(e - 7)
+            };
+            assert_eq!(h.to_f32() as f64, expected, "bits {bits:#04x}");
+        }
+    }
+
+    #[test]
+    fn low_precision_addition_saturates_small_increments() {
+        // 16 + 1 needs 5 significand bits; E4M3 has 4 -> 16+1 rounds to 16.
+        let a = F8E4M3::from_f32(16.0);
+        let one = F8E4M3::ONE;
+        assert_eq!((a + one).to_f32(), 16.0);
+        // 8 + 1 = 9 is representable (1.001 × 2^3).
+        assert_eq!((F8E4M3::from_f32(8.0) + one).to_f32(), 9.0);
+    }
+}

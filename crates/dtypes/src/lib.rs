@@ -1,0 +1,33 @@
+//! # ff-dtypes — software half-precision numeric types
+//!
+//! HFReduce's intra-node reduction runs on the CPU with SIMD instructions
+//! and "supports FP32 / FP16 / BF16 / FP8 datatypes" (paper §IV-D1). Rust
+//! has no stable `f16`/`bf16`/`f8`, so this crate implements them in
+//! software: bit-exact storage types with IEEE-754 round-to-nearest-even
+//! conversion to and from `f32`, plus the [`Element`] trait the reduction
+//! kernels in `ff-reduce` are generic over.
+//!
+//! * [`F16`] — IEEE binary16: 1 sign, 5 exponent (bias 15), 10 mantissa.
+//! * [`Bf16`] — bfloat16: 1 sign, 8 exponent (bias 127), 7 mantissa; the
+//!   upper half of an `f32`.
+//! * [`F8E4M3`] — FP8 E4M3: 1 sign, 4 exponent (bias 7), 3 mantissa; no
+//!   infinities, `S.1111.111` is NaN, max finite ±448. Overflow saturates
+//!   to max finite (the convention of ML hardware), NaN propagates.
+//!
+//! Arithmetic is performed by widening to `f32`, operating, and rounding
+//! back — exactly what a CPU reduction loop does with hardware conversion
+//! instructions (`vcvtph2ps` / `vcvtps2ph`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bf16;
+mod convert;
+mod element;
+mod f16;
+mod f8;
+
+pub use bf16::Bf16;
+pub use element::{DType, Element};
+pub use f16::F16;
+pub use f8::F8E4M3;

@@ -1,0 +1,99 @@
+//! MTBF and availability arithmetic over the paper's failure data — the
+//! quantitative backdrop of §VII ("stragglers and hardware failures are
+//! common occurrences rather than outliers").
+
+use crate::data::{table_vi_total, TABLE_VIII_FLASH_CUTS};
+use crate::xid::Xid;
+
+/// Hours in the observation year.
+const YEAR_H: f64 = 365.0 * 24.0;
+
+/// Mean time between *node-action* GPU failures cluster-wide, hours:
+/// only the Xids that take a node out (ECC, uncorrectable, GSP) count;
+/// software Xids and NVLink retries don't.
+pub fn cluster_mtbf_node_action_h() -> f64 {
+    let actionable: u64 = crate::data::TABLE_VI_XID_COUNTS
+        .iter()
+        .filter(|&&(code, _)| Xid(code).needs_node_action())
+        .map(|&(_, c)| c)
+        .sum();
+    YEAR_H / actionable as f64
+}
+
+/// Mean time between *any* GPU Xid event cluster-wide, hours.
+pub fn cluster_mtbf_any_xid_h() -> f64 {
+    YEAR_H / table_vi_total() as f64
+}
+
+/// Mean time between IB link flash cuts cluster-wide, hours.
+pub fn cluster_mtbf_flash_cut_h() -> f64 {
+    let total: u64 = TABLE_VIII_FLASH_CUTS.iter().map(|&(_, c)| c).sum();
+    YEAR_H / total as f64
+}
+
+/// Per-node MTBF for node-action failures, hours, at `nodes` nodes.
+pub fn per_node_mtbf_h(nodes: usize) -> f64 {
+    cluster_mtbf_node_action_h() * nodes as f64
+}
+
+/// Expected training-job interruptions over `days` for a job spanning
+/// `job_nodes` of a `cluster_nodes` cluster (failures land uniformly).
+pub fn expected_interruptions(days: f64, job_nodes: usize, cluster_nodes: usize) -> f64 {
+    let cluster_rate_per_h = 1.0 / cluster_mtbf_node_action_h();
+    cluster_rate_per_h * 24.0 * days * job_nodes as f64 / cluster_nodes as f64
+}
+
+/// Fraction of job progress lost to failures with checkpoint cadence
+/// `ckpt_s`: each interruption loses on average half an interval.
+pub fn expected_loss_fraction(days: f64, job_nodes: usize, cluster_nodes: usize, ckpt_s: f64) -> f64 {
+    let interruptions = expected_interruptions(days, job_nodes, cluster_nodes);
+    let lost_s = interruptions * ckpt_s / 2.0;
+    lost_s / (days * 86_400.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actionable_failures_are_the_minority() {
+        // Most Xids are software or tolerated NVLink retries; node-action
+        // events (ECC + uncorrectable + GSP) are ~335 of 12,970.
+        let any = cluster_mtbf_any_xid_h();
+        let action = cluster_mtbf_node_action_h();
+        assert!(any < 1.0, "an Xid somewhere every {any:.2} h");
+        assert!(action > 20.0 && action < 30.0, "node-action every {action:.1} h");
+    }
+
+    #[test]
+    fn flash_cuts_are_roughly_every_other_day() {
+        let h = cluster_mtbf_flash_cut_h();
+        assert!(h > 24.0 && h < 60.0, "{h:.1} h between flash cuts");
+    }
+
+    #[test]
+    fn per_node_mtbf_is_years() {
+        // 1,250 nodes sharing ~335 yearly node-action failures → each node
+        // fails roughly every 3–4 years.
+        let h = per_node_mtbf_h(1250);
+        assert!(h / YEAR_H > 3.0, "{:.1} years", h / YEAR_H);
+    }
+
+    #[test]
+    fn month_long_512gpu_job_sees_interruptions() {
+        // A 64-node (512-GPU) month-long run on the 1,250-node cluster
+        // expects a handful of interruptions — why §VII-A exists.
+        let n = expected_interruptions(30.0, 64, 1250);
+        assert!(n > 0.5 && n < 5.0, "{n:.2} interruptions");
+    }
+
+    #[test]
+    fn five_minute_checkpoints_make_loss_negligible() {
+        // §VII-A: "this overhead from disaster recovery is minimal".
+        let loss = expected_loss_fraction(30.0, 64, 1250, 300.0);
+        assert!(loss < 1e-4, "loss fraction {loss}");
+        // Hourly checkpoints would already cost 12× more.
+        let hourly = expected_loss_fraction(30.0, 64, 1250, 3600.0);
+        assert!((hourly / loss - 12.0).abs() < 1e-9);
+    }
+}

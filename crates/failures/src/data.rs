@@ -1,0 +1,217 @@
+//! The paper's raw failure data, embedded verbatim from the appendix.
+
+/// Table VI: GPU Xid errors over one year as `(code, count)`.
+/// Total 12,970 events; Xid 74 alone is 42.57%.
+pub const TABLE_VI_XID_COUNTS: &[(u32, u64)] = &[
+    (74, 5521),
+    (13, 45),
+    (31, 2487),
+    (43, 4342),
+    (45, 240),
+    (63, 245),
+    (64, 2),
+    (94, 13),
+    (95, 17),
+    (44, 1),
+    (48, 2),
+    (61, 13),
+    (62, 3),
+    (69, 1),
+    (79, 37),
+    (119, 1),
+];
+
+/// Sum of Table VI counts.
+pub fn table_vi_total() -> u64 {
+    TABLE_VI_XID_COUNTS.iter().map(|&(_, c)| c).sum()
+}
+
+/// The columns of Table VII (Figure 10), in order.
+pub const TABLE_VII_COLUMNS: &[&str] = &[
+    "Main Memory",
+    "Network",
+    "xid_63",
+    "xid_64",
+    "xid_79",
+    "xid_94",
+    "xid_95",
+];
+
+/// Table VII: monthly memory/network failures, October 2023 – March 2024.
+/// Rows are months; columns follow [`TABLE_VII_COLUMNS`].
+pub const TABLE_VII_MONTHLY: &[(&str, [u64; 7])] = &[
+    ("2023-10", [4, 29, 21, 0, 0, 0, 0]),
+    ("2023-11", [14, 8, 22, 0, 0, 4, 0]),
+    ("2023-12", [8, 17, 21, 0, 4, 2, 2]),
+    ("2024-01", [11, 9, 16, 1, 3, 1, 1]),
+    ("2024-02", [8, 12, 18, 0, 2, 0, 3]),
+    ("2024-03", [9, 14, 22, 0, 6, 0, 0]),
+];
+
+/// Table VIII: IB network link failures ("flash cuts") per day over one
+/// year, as `(date, count)`.
+pub const TABLE_VIII_FLASH_CUTS: &[(&str, u64)] = &[
+    ("2023-04-19", 1),
+    ("2023-04-21", 1),
+    ("2023-04-26", 1),
+    ("2023-04-27", 4),
+    ("2023-04-30", 1),
+    ("2023-05-01", 1),
+    ("2023-05-04", 2),
+    ("2023-05-06", 2),
+    ("2023-05-09", 2),
+    ("2023-05-17", 2),
+    ("2023-05-26", 1),
+    ("2023-05-27", 8),
+    ("2023-05-28", 10),
+    ("2023-05-30", 2),
+    ("2023-06-05", 1),
+    ("2023-06-06", 1),
+    ("2023-06-08", 1),
+    ("2023-06-14", 2),
+    ("2023-06-16", 0),
+    ("2023-06-17", 2),
+    ("2023-06-20", 3),
+    ("2023-06-26", 1),
+    ("2023-06-27", 2),
+    ("2023-07-04", 2),
+    ("2023-07-06", 2),
+    ("2023-07-07", 10),
+    ("2023-07-08", 1),
+    ("2023-07-10", 2),
+    ("2023-07-12", 10),
+    ("2023-07-13", 1),
+    ("2023-07-18", 2),
+    ("2023-07-20", 1),
+    ("2023-07-23", 2),
+    ("2023-07-24", 2),
+    ("2023-07-26", 1),
+    ("2023-07-29", 3),
+    ("2023-08-06", 3),
+    ("2023-08-08", 1),
+    ("2023-08-09", 1),
+    ("2023-08-16", 1),
+    ("2023-08-17", 2),
+    ("2023-08-18", 1),
+    ("2023-08-20", 1),
+    ("2023-08-23", 2),
+    ("2023-08-25", 3),
+    ("2023-08-26", 4),
+    ("2023-08-28", 4),
+    ("2023-08-31", 7),
+    ("2023-09-01", 3),
+    ("2023-09-04", 1),
+    ("2023-09-05", 3),
+    ("2023-09-07", 3),
+    ("2023-09-12", 1),
+    ("2023-09-17", 1),
+    ("2023-09-21", 7),
+    ("2023-09-27", 1),
+    ("2023-10-08", 2),
+    ("2023-10-10", 1),
+    ("2023-10-11", 1),
+    ("2023-10-16", 1),
+    ("2023-10-22", 1),
+    ("2023-10-25", 1),
+    ("2023-10-26", 3),
+    ("2023-10-27", 2),
+    ("2023-10-28", 1),
+    ("2023-11-02", 1),
+    ("2023-11-06", 1),
+    ("2023-11-09", 1),
+    ("2023-11-14", 1),
+    ("2023-11-20", 1),
+    ("2023-11-30", 3),
+    ("2023-12-07", 5),
+    ("2023-12-09", 1),
+    ("2023-12-10", 1),
+    ("2023-12-14", 1),
+    ("2023-12-22", 3),
+    ("2023-12-24", 5),
+    ("2023-12-31", 1),
+    ("2024-01-01", 1),
+    ("2024-01-06", 1),
+    ("2024-01-07", 1),
+    ("2024-01-10", 2),
+    ("2024-01-15", 1),
+    ("2024-01-25", 1),
+    ("2024-01-31", 2),
+    ("2024-02-03", 5),
+    ("2024-02-05", 1),
+    ("2024-02-17", 1),
+    ("2024-02-22", 1),
+    ("2024-02-23", 3),
+    ("2024-02-26", 1),
+    ("2024-03-01", 3),
+    ("2024-03-05", 1),
+    ("2024-03-11", 1),
+    ("2024-03-16", 2),
+    ("2024-03-18", 1),
+    ("2024-03-24", 1),
+    ("2024-03-25", 1),
+    ("2024-03-29", 2),
+    ("2024-03-30", 1),
+    ("2024-03-31", 1),
+];
+
+/// The §VIII-D comparison: the external cluster's NVLink share of total
+/// failures (54 of 103) versus Fire-Flyer's Xid-74 share.
+pub const OTHER_ARCH_NVLINK_SHARE: f64 = 54.0 / 103.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_totals_and_shares() {
+        assert_eq!(table_vi_total(), 12_970);
+        let xid74 = TABLE_VI_XID_COUNTS
+            .iter()
+            .find(|&&(c, _)| c == 74)
+            .unwrap()
+            .1;
+        let share = xid74 as f64 / table_vi_total() as f64;
+        assert!((share - 0.4257).abs() < 0.0005, "Xid74 share {share}");
+        let xid43 = TABLE_VI_XID_COUNTS
+            .iter()
+            .find(|&&(c, _)| c == 43)
+            .unwrap()
+            .1;
+        assert!((xid43 as f64 / table_vi_total() as f64 - 0.3348).abs() < 0.0005);
+    }
+
+    #[test]
+    fn table_vii_row_and_column_sums() {
+        // Paper totals: 54, 89, 120, 1, 15, 7, 6 (total 292).
+        let mut cols = [0u64; 7];
+        let mut total = 0;
+        for (_, row) in TABLE_VII_MONTHLY {
+            for (i, v) in row.iter().enumerate() {
+                cols[i] += v;
+            }
+            total += row.iter().sum::<u64>();
+        }
+        assert_eq!(cols, [54, 89, 120, 1, 15, 7, 6]);
+        assert_eq!(total, 292);
+    }
+
+    #[test]
+    fn flash_cut_total_and_randomness() {
+        let total: u64 = TABLE_VIII_FLASH_CUTS.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 213);
+        // "these issues can occur randomly throughout the cluster's
+        // operational period": events appear in every month Apr'23–Mar'24.
+        let months: std::collections::BTreeSet<&str> = TABLE_VIII_FLASH_CUTS
+            .iter()
+            .map(|&(d, _)| &d[..7])
+            .collect();
+        assert_eq!(months.len(), 12);
+    }
+
+    #[test]
+    fn our_nvlink_share_below_other_arch() {
+        // §VIII-D: 42.57% here vs 52.42% reported elsewhere.
+        let xid74 = 5521.0 / table_vi_total() as f64;
+        assert!(xid74 < OTHER_ARCH_NVLINK_SHARE);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ff-failures — hardware failure characterization (§VII-C)
+//!
+//! The taxonomy, statistics and synthetic reproduction of the paper's
+//! year of production failure data:
+//!
+//! * [`xid`] — the GPU Xid error taxonomy of Table V with the paper's
+//!   cause analysis and handling guidance.
+//! * [`data`] — the raw appendix tables embedded verbatim: Table VI (Xid
+//!   counts over a year), Table VII (monthly memory/network failures,
+//!   Figure 10), Table VIII (daily IB link flash cuts, Figure 11).
+//! * [`generator`] — a seeded stochastic failure generator whose
+//!   per-category Poisson rates are calibrated to those tables; it
+//!   produces event streams statistically matching the production
+//!   cluster's, for driving the platform's failure handling.
+//! * [`report`] — the characterization pipeline: aggregate an event
+//!   stream back into the paper's tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod data;
+pub mod generator;
+pub mod report;
+pub mod xid;
+
+pub use generator::{FailureEvent, FailureGenerator, FailureKind};
+pub use xid::{Xid, XidCategory};

@@ -1,0 +1,165 @@
+//! The characterization pipeline: turn an event stream back into the
+//! paper's tables and figures.
+
+use crate::generator::{FailureEvent, FailureKind};
+use crate::xid::{Xid, XidCategory};
+use std::collections::BTreeMap;
+
+/// One row of a Table-VI-style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XidRow {
+    /// The error code.
+    pub xid: Xid,
+    /// Its category.
+    pub category: XidCategory,
+    /// Events observed.
+    pub count: u64,
+    /// Share of all Xid events.
+    pub percentage: f64,
+}
+
+/// Aggregate Xid events into the Table VI layout (sorted by category then
+/// code).
+pub fn xid_table(events: &[FailureEvent]) -> Vec<XidRow> {
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        if let FailureKind::GpuXid(x) = e.kind {
+            *counts.entry(x.0).or_insert(0) += 1;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    let mut rows: Vec<XidRow> = counts
+        .into_iter()
+        .filter_map(|(code, count)| {
+            Xid(code).category().map(|category| XidRow {
+                xid: Xid(code),
+                category,
+                count,
+                percentage: if total == 0 {
+                    0.0
+                } else {
+                    100.0 * count as f64 / total as f64
+                },
+            })
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.category, r.xid));
+    rows
+}
+
+/// A monthly trend bucket for the Figure 10 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthlyTrend {
+    /// Month index since the trace start.
+    pub month: usize,
+    /// Host-memory ECC events.
+    pub main_memory: u64,
+    /// Network flash cuts.
+    pub network: u64,
+    /// GPU-memory-related Xids (63/64/79/94/95 — the paper's "xids").
+    pub gpu_memory_xids: u64,
+}
+
+const MONTH_S: f64 = 30.44 * 86400.0;
+
+/// Bucket events into months (Figure 10's series).
+pub fn monthly_trends(events: &[FailureEvent], months: usize) -> Vec<MonthlyTrend> {
+    let mut out: Vec<MonthlyTrend> = (0..months)
+        .map(|month| MonthlyTrend {
+            month,
+            main_memory: 0,
+            network: 0,
+            gpu_memory_xids: 0,
+        })
+        .collect();
+    for e in events {
+        let m = (e.at_s / MONTH_S) as usize;
+        if m >= months {
+            continue;
+        }
+        match e.kind {
+            FailureKind::MainMemoryEcc => out[m].main_memory += 1,
+            FailureKind::NetworkFlashCut => out[m].network += 1,
+            FailureKind::GpuXid(x) if matches!(x.0, 63 | 64 | 79 | 94 | 95) => {
+                out[m].gpu_memory_xids += 1
+            }
+            FailureKind::GpuXid(_) => {}
+        }
+    }
+    out
+}
+
+/// Daily flash-cut counts (Figure 11's series): `(day index, count)`,
+/// including zero days.
+pub fn daily_flash_cuts(events: &[FailureEvent], days: usize) -> Vec<u64> {
+    let mut out = vec![0u64; days];
+    for e in events {
+        if let FailureKind::NetworkFlashCut = e.kind {
+            let d = (e.at_s / 86400.0) as usize;
+            if d < days {
+                out[d] += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{FailureGenerator, YEAR_S};
+
+    fn trace() -> Vec<FailureEvent> {
+        FailureGenerator::paper_calibrated(99, 1250).generate(YEAR_S)
+    }
+
+    #[test]
+    fn xid_table_reproduces_shares() {
+        let rows = xid_table(&trace());
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        assert!(total > 10_000);
+        let x74 = rows.iter().find(|r| r.xid == Xid(74)).unwrap();
+        assert!((x74.percentage - 42.57).abs() < 2.0, "{}", x74.percentage);
+        let x43 = rows.iter().find(|r| r.xid == Xid(43)).unwrap();
+        assert!((x43.percentage - 33.48).abs() < 2.0, "{}", x43.percentage);
+        // Percentages sum to 100.
+        let sum: f64 = rows.iter().map(|r| r.percentage).sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monthly_trends_have_the_papers_ordering() {
+        // Figure 10: GPU-memory Xids dominate main-memory ECC counts.
+        let months = monthly_trends(&trace(), 6);
+        assert_eq!(months.len(), 6);
+        let gpu: u64 = months.iter().map(|m| m.gpu_memory_xids).sum();
+        let cpu: u64 = months.iter().map(|m| m.main_memory).sum();
+        assert!(
+            gpu > cpu,
+            "GPU ECC ({gpu}) should considerably surpass CPU ({cpu})"
+        );
+    }
+
+    #[test]
+    fn flash_cuts_spread_over_the_year() {
+        // Figure 11's point: failures occur randomly all year.
+        let days = daily_flash_cuts(&trace(), 365);
+        let active = days.iter().filter(|&&c| c > 0).count();
+        let total: u64 = days.iter().sum();
+        assert!((150..280).contains(&(total as usize)), "total {total}");
+        assert!(active > 100, "only {active} active days");
+        // Every quarter sees events.
+        for q in 0..4 {
+            let qsum: u64 = days[q * 91..(q + 1) * 91].iter().sum();
+            assert!(qsum > 0, "quarter {q} silent");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert!(xid_table(&[]).is_empty());
+        let m = monthly_trends(&[], 3);
+        assert!(m.iter().all(|x| x.main_memory == 0 && x.network == 0));
+        assert_eq!(daily_flash_cuts(&[], 10), vec![0; 10]);
+    }
+}

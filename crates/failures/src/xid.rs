@@ -1,0 +1,127 @@
+//! The GPU Xid error taxonomy (Table V).
+
+use std::fmt;
+
+/// The categories the paper groups Xid errors into (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum XidCategory {
+    /// Application-triggered: anomalies in GPU memory affecting code/data
+    /// segments; consider hardware only after ruling out software bugs.
+    SoftwareCauses,
+    /// NVLink bridge errors (Xid 74) — "several orders of magnitude"
+    /// more frequent than other hardware faults on PCIe A100 bridges.
+    NvLinkError,
+    /// GPU memory ECC events; A100 row remapping usually recovers with a
+    /// GPU reset.
+    MemoryEcc,
+    /// Uncorrectable GPU failures needing a GPU reset or node reboot.
+    Uncorrectable,
+    /// GPU GSP module failure (Xid 119): field diagnostics, usually RMA.
+    GspError,
+}
+
+impl XidCategory {
+    /// The paper's recommended operator response.
+    pub fn handling(self) -> &'static str {
+        match self {
+            XidCategory::SoftwareCauses => {
+                "inspect user code first; suspect hardware if software is ruled out"
+            }
+            XidCategory::NvLinkError => {
+                "stress-test to exclude repeat offenders; otherwise tolerate and retry"
+            }
+            XidCategory::MemoryEcc => "reset the GPU; row remapping retains performance",
+            XidCategory::Uncorrectable => "GPU reset or node reboot required",
+            XidCategory::GspError => "run fieldiag; most units need RMA",
+        }
+    }
+}
+
+/// A specific Xid error code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xid(pub u32);
+
+impl Xid {
+    /// Classify a code into the paper's categories; `None` for codes the
+    /// paper does not track.
+    pub fn category(self) -> Option<XidCategory> {
+        match self.0 {
+            13 | 31 | 43 | 45 => Some(XidCategory::SoftwareCauses),
+            74 => Some(XidCategory::NvLinkError),
+            63 | 64 | 94 | 95 => Some(XidCategory::MemoryEcc),
+            44 | 48 | 61 | 62 | 69 | 79 => Some(XidCategory::Uncorrectable),
+            119 => Some(XidCategory::GspError),
+            _ => None,
+        }
+    }
+
+    /// Short description of what the code means.
+    pub fn description(self) -> &'static str {
+        match self.0 {
+            13 => "graphics engine exception",
+            31 => "GPU memory page fault",
+            43 => "illegal memory access",
+            45 => "preemptive cleanup / robust channel",
+            74 => "NVLink error",
+            63 | 64 => "ECC page retirement / row remapping",
+            94 | 95 => "contained/uncontained ECC error",
+            44 => "graphics engine fault",
+            48 => "double-bit ECC error",
+            61 | 62 => "internal microcontroller halt",
+            69 => "graphics engine class error",
+            79 => "GPU fallen off the bus",
+            119 => "GSP module failure",
+            _ => "unknown",
+        }
+    }
+
+    /// Whether recovery requires removing the node from scheduling (vs a
+    /// user-visible retry).
+    pub fn needs_node_action(self) -> bool {
+        matches!(
+            self.category(),
+            Some(XidCategory::MemoryEcc)
+                | Some(XidCategory::Uncorrectable)
+                | Some(XidCategory::GspError)
+        )
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Xid {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table_v() {
+        assert_eq!(Xid(74).category(), Some(XidCategory::NvLinkError));
+        assert_eq!(Xid(43).category(), Some(XidCategory::SoftwareCauses));
+        assert_eq!(Xid(63).category(), Some(XidCategory::MemoryEcc));
+        assert_eq!(Xid(79).category(), Some(XidCategory::Uncorrectable));
+        assert_eq!(Xid(119).category(), Some(XidCategory::GspError));
+        assert_eq!(Xid(999).category(), None);
+    }
+
+    #[test]
+    fn node_action_policy() {
+        assert!(!Xid(43).needs_node_action(), "software: user retry");
+        assert!(!Xid(74).needs_node_action(), "NVLink: tolerate/retry");
+        assert!(Xid(63).needs_node_action(), "ECC: reset GPU");
+        assert!(Xid(79).needs_node_action());
+        assert!(Xid(119).needs_node_action());
+    }
+
+    #[test]
+    fn descriptions_and_handling_present() {
+        for code in [13u32, 31, 43, 45, 74, 63, 64, 94, 95, 44, 48, 61, 62, 69, 79, 119] {
+            assert_ne!(Xid(code).description(), "unknown", "code {code}");
+            let cat = Xid(code).category().unwrap();
+            assert!(!cat.handling().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ff-3fs — the 3FS distributed file system (§VI-B)
+//!
+//! A working, concurrent implementation of the paper's storage stack,
+//! with RDMA and NVMe replaced by in-process transports and RAM-backed
+//! devices (see DESIGN.md's substitution table). The four roles of §VI-B3
+//! are all here:
+//!
+//! * **Cluster manager** ([`manager`]) — service registry, heartbeats,
+//!   primary election among manager replicas, chain-table distribution.
+//! * **Meta service** ([`meta`]) — file-system metadata (inode table +
+//!   directory-entry table) as key-value pairs in a replicated KV store
+//!   ([`kvstore`]); several meta services can serve concurrently because
+//!   all state lives in the KV store.
+//! * **Storage service** ([`target`], [`chain`]) — file content split into
+//!   chunks, replicated over chains with **CRAQ** (Chain Replication with
+//!   Apportioned Queries): writes propagate head→tail, reads hit *any*
+//!   replica and consult the tail's committed version only when dirty —
+//!   the write-all-read-any behaviour that "unleashes the throughput and
+//!   IOPS of all SSDs".
+//! * **Client** ([`client`]) — striped file I/O over the chain table, the
+//!   batch read/write API the checkpoint manager uses (§VII-A), and the
+//!   request-to-send admission control of §VI-B3.
+//!
+//! [`kv3fs`] adds the 3FS-KV layer (key-value, message queue, object
+//! store); [`throughput`] reproduces the §VI-B2 aggregate-read-throughput
+//! experiment on the network simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod client;
+pub mod kv3fs;
+pub mod kvstore;
+pub mod manager;
+pub mod meta;
+pub mod target;
+pub mod throughput;
+
+pub use chain::{Chain, ChainTable};
+pub use client::Fs3Client;
+pub use kvstore::KvStore;
+pub use manager::ClusterManager;
+pub use meta::{FileAttr, InodeId, MetaService};
+pub use target::{ChunkId, StorageTarget};

@@ -1,0 +1,261 @@
+//! The cluster manager (§VI-B3): "meta and storage services send
+//! heartbeats to cluster manager. All services and clients poll cluster
+//! configuration and service status from the manager. Multiple cluster
+//! managers are present, with one elected as the primary."
+//!
+//! Time is injected (millisecond ticks) so elections and heartbeat
+//! timeouts are deterministic in tests and composable with the simulator.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered service's role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServiceRole {
+    /// Metadata service.
+    Meta,
+    /// Storage service.
+    Storage,
+    /// A cluster-manager replica.
+    Manager,
+}
+
+/// Liveness as judged by heartbeat recency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStatus {
+    /// Heartbeating within the timeout.
+    Alive,
+    /// Missed heartbeats; excluded from service.
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct ServiceRecord {
+    role: ServiceRole,
+    last_heartbeat_ms: u64,
+}
+
+/// Cluster configuration version + contents distributed to pollers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Monotonic configuration version.
+    pub version: u64,
+    /// Alive services by id.
+    pub alive: Vec<(String, ServiceRole)>,
+}
+
+struct ManagerState {
+    now_ms: u64,
+    services: HashMap<String, ServiceRecord>,
+    config_version: u64,
+    /// Election: (term, manager id) of the current primary lease.
+    primary: Option<(u64, String)>,
+    lease_expiry_ms: u64,
+}
+
+/// The cluster manager ensemble (all replicas share state here; the
+/// election decides which replica id is primary and may answer writes).
+pub struct ClusterManager {
+    heartbeat_timeout_ms: u64,
+    lease_ms: u64,
+    state: Mutex<ManagerState>,
+}
+
+impl ClusterManager {
+    /// A manager with the given heartbeat timeout and primary-lease term.
+    pub fn new(heartbeat_timeout_ms: u64, lease_ms: u64) -> Arc<Self> {
+        Arc::new(ClusterManager {
+            heartbeat_timeout_ms,
+            lease_ms,
+            state: Mutex::new(ManagerState {
+                now_ms: 0,
+                services: HashMap::new(),
+                config_version: 1,
+                primary: None,
+                lease_expiry_ms: 0,
+            }),
+        })
+    }
+
+    /// Advance the manager's clock.
+    pub fn tick(&self, now_ms: u64) {
+        let mut st = self.state.lock();
+        assert!(now_ms >= st.now_ms, "time went backwards");
+        st.now_ms = now_ms;
+        // The primary lease expires implicitly: `primary()` and
+        // `campaign()` compare against `lease_expiry_ms`, and the term
+        // counter survives expiry so a new primary gets a higher term.
+        // Death detection bumps the config version once per transition.
+        let timeout = self.heartbeat_timeout_ms;
+        let newly_dead = st
+            .services
+            .values()
+            .any(|s| now_ms.saturating_sub(s.last_heartbeat_ms) == timeout);
+        if newly_dead {
+            st.config_version += 1;
+        }
+    }
+
+    /// Register a service (first heartbeat).
+    pub fn register(&self, id: impl Into<String>, role: ServiceRole) {
+        let mut st = self.state.lock();
+        let now = st.now_ms;
+        st.services.insert(
+            id.into(),
+            ServiceRecord {
+                role,
+                last_heartbeat_ms: now,
+            },
+        );
+        st.config_version += 1;
+    }
+
+    /// Record a heartbeat from `id`. Unknown services are ignored (they
+    /// must register first).
+    pub fn heartbeat(&self, id: &str) {
+        let mut st = self.state.lock();
+        let now = st.now_ms;
+        if let Some(rec) = st.services.get_mut(id) {
+            rec.last_heartbeat_ms = now;
+        }
+    }
+
+    /// The status of a service.
+    pub fn status(&self, id: &str) -> Option<ServiceStatus> {
+        let st = self.state.lock();
+        st.services.get(id).map(|rec| {
+            if st.now_ms.saturating_sub(rec.last_heartbeat_ms) >= self.heartbeat_timeout_ms {
+                ServiceStatus::Dead
+            } else {
+                ServiceStatus::Alive
+            }
+        })
+    }
+
+    /// The configuration pollers fetch: version + alive services.
+    pub fn poll_config(&self) -> ClusterConfig {
+        let st = self.state.lock();
+        let mut alive: Vec<(String, ServiceRole)> = st
+            .services
+            .iter()
+            .filter(|(_, rec)| {
+                st.now_ms.saturating_sub(rec.last_heartbeat_ms) < self.heartbeat_timeout_ms
+            })
+            .map(|(id, rec)| (id.clone(), rec.role))
+            .collect();
+        alive.sort();
+        ClusterConfig {
+            version: st.config_version,
+            alive,
+        }
+    }
+
+    /// A manager replica campaigns for the primary lease. Grants it when
+    /// there is no live primary; renewal by the incumbent extends the
+    /// lease. Returns the granted term, or `None` if another primary holds
+    /// a live lease.
+    pub fn campaign(&self, manager_id: &str) -> Option<u64> {
+        let mut st = self.state.lock();
+        let now = st.now_ms;
+        match &st.primary {
+            Some((term, holder)) if holder == manager_id => {
+                // Renewal.
+                let term = *term;
+                st.lease_expiry_ms = now + self.lease_ms;
+                Some(term)
+            }
+            Some(_) if now < st.lease_expiry_ms => None,
+            _ => {
+                let term = st.primary.as_ref().map(|(t, _)| t + 1).unwrap_or(1);
+                st.primary = Some((term, manager_id.to_string()));
+                st.lease_expiry_ms = now + self.lease_ms;
+                Some(term)
+            }
+        }
+    }
+
+    /// The current primary manager id, if a lease is live.
+    pub fn primary(&self) -> Option<String> {
+        let st = self.state.lock();
+        match &st.primary {
+            Some((_, id)) if st.now_ms < st.lease_expiry_ms => Some(id.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeats_keep_services_alive() {
+        let m = ClusterManager::new(100, 500);
+        m.register("stor0", ServiceRole::Storage);
+        m.tick(50);
+        assert_eq!(m.status("stor0"), Some(ServiceStatus::Alive));
+        m.tick(99);
+        m.heartbeat("stor0");
+        m.tick(150);
+        assert_eq!(m.status("stor0"), Some(ServiceStatus::Alive));
+        m.tick(250);
+        assert_eq!(m.status("stor0"), Some(ServiceStatus::Dead));
+    }
+
+    #[test]
+    fn dead_services_leave_the_polled_config() {
+        let m = ClusterManager::new(100, 500);
+        m.register("meta0", ServiceRole::Meta);
+        m.register("stor0", ServiceRole::Storage);
+        let v1 = m.poll_config();
+        assert_eq!(v1.alive.len(), 2);
+        m.tick(60);
+        m.heartbeat("meta0");
+        m.tick(120);
+        let v2 = m.poll_config();
+        assert_eq!(v2.alive.len(), 1);
+        assert_eq!(v2.alive[0].0, "meta0");
+        assert!(v2.version >= v1.version);
+    }
+
+    #[test]
+    fn single_primary_at_a_time() {
+        let m = ClusterManager::new(100, 500);
+        assert_eq!(m.campaign("mgr0"), Some(1));
+        assert_eq!(m.campaign("mgr1"), None, "lease held");
+        assert_eq!(m.primary(), Some("mgr0".into()));
+        // Renewal by the incumbent keeps the same term.
+        m.tick(300);
+        assert_eq!(m.campaign("mgr0"), Some(1));
+    }
+
+    #[test]
+    fn failover_after_lease_expiry() {
+        let m = ClusterManager::new(100, 500);
+        assert_eq!(m.campaign("mgr0"), Some(1));
+        m.tick(499);
+        assert_eq!(m.campaign("mgr1"), None);
+        m.tick(500);
+        assert_eq!(m.primary(), None, "lease expired");
+        assert_eq!(m.campaign("mgr1"), Some(2), "new term");
+        assert_eq!(m.primary(), Some("mgr1".into()));
+    }
+
+    #[test]
+    fn unknown_heartbeat_ignored() {
+        let m = ClusterManager::new(100, 500);
+        m.heartbeat("ghost");
+        assert_eq!(m.status("ghost"), None);
+    }
+
+    #[test]
+    fn reregistration_resurrects_a_dead_service() {
+        let m = ClusterManager::new(100, 500);
+        m.register("stor0", ServiceRole::Storage);
+        m.tick(200);
+        assert_eq!(m.status("stor0"), Some(ServiceStatus::Dead));
+        m.register("stor0", ServiceRole::Storage);
+        assert_eq!(m.status("stor0"), Some(ServiceStatus::Alive));
+    }
+}

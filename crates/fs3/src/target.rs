@@ -1,0 +1,292 @@
+//! Storage targets: the replica state of CRAQ, one worker thread each.
+//!
+//! A *storage target* owns a set of chunk replicas on one SSD (each SSD
+//! serves several targets from different chains, §VI-B3). Replica state
+//! follows CRAQ: every object keeps its committed ("clean") version plus
+//! any in-flight ("dirty") versions; dirty versions are retained until the
+//! tail commits so an apportioned read can still serve the committed one.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a chunk: `(inode, chunk index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId {
+    /// Owning file inode.
+    pub ino: u64,
+    /// Chunk index within the file.
+    pub idx: u64,
+}
+
+/// One object's replica state on one target.
+#[derive(Debug, Default)]
+struct Replica {
+    /// Retained versions (committed + dirty). Never empty once written.
+    versions: BTreeMap<u64, Bytes>,
+    /// Highest committed version (0 = none committed yet).
+    clean: u64,
+}
+
+impl Replica {
+    fn is_dirty(&self) -> bool {
+        self.versions.keys().next_back().copied().unwrap_or(0) > self.clean
+    }
+}
+
+/// A RAM-backed "SSD": capacity accounting shared by the targets it hosts.
+#[derive(Debug)]
+pub struct Disk {
+    capacity: u64,
+    used: Mutex<u64>,
+}
+
+impl Disk {
+    /// A disk of `capacity` bytes.
+    pub fn new(capacity: u64) -> Arc<Disk> {
+        Arc::new(Disk {
+            capacity,
+            used: Mutex::new(0),
+        })
+    }
+
+    /// Reserve `bytes`; false when the disk is full.
+    pub fn reserve(&self, bytes: u64) -> bool {
+        let mut used = self.used.lock();
+        if *used + bytes > self.capacity {
+            return false;
+        }
+        *used += bytes;
+        true
+    }
+
+    /// Release `bytes` previously reserved.
+    pub fn release(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        *self.used.lock()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// A storage target: chunk replicas on a disk.
+#[derive(Debug)]
+pub struct StorageTarget {
+    name: String,
+    disk: Arc<Disk>,
+    objects: Mutex<HashMap<ChunkId, Replica>>,
+}
+
+/// What a read observed at this replica.
+pub enum LocalRead {
+    /// The object is clean: this is the committed data.
+    Clean(Bytes),
+    /// The object is dirty: data for every retained version; the caller
+    /// must ask the tail which version is committed.
+    Dirty(BTreeMap<u64, Bytes>),
+    /// Object unknown here.
+    Missing,
+}
+
+impl StorageTarget {
+    /// A target named `name` on `disk`.
+    pub fn new(name: impl Into<String>, disk: Arc<Disk>) -> Arc<Self> {
+        Arc::new(StorageTarget {
+            name: name.into(),
+            disk,
+            objects: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The target's name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Store a dirty version (the forward pass of chain replication).
+    /// Returns false when the disk is full.
+    #[must_use]
+    pub fn store_dirty(&self, id: ChunkId, version: u64, data: Bytes) -> bool {
+        if !self.disk.reserve(data.len() as u64) {
+            return false;
+        }
+        let mut objs = self.objects.lock();
+        let r = objs.entry(id).or_default();
+        debug_assert!(version > r.clean, "version {version} not newer than committed");
+        r.versions.insert(version, data);
+        true
+    }
+
+    /// Commit `version` (the ack pass): it becomes the clean version and
+    /// all older versions are dropped.
+    pub fn commit(&self, id: ChunkId, version: u64) {
+        let mut objs = self.objects.lock();
+        let Some(r) = objs.get_mut(&id) else {
+            return; // replica removed (target drained)
+        };
+        if version <= r.clean {
+            return;
+        }
+        r.clean = version;
+        let drop_keys: Vec<u64> = r.versions.range(..version).map(|(&k, _)| k).collect();
+        for k in drop_keys {
+            if let Some(data) = r.versions.remove(&k) {
+                self.disk.release(data.len() as u64);
+            }
+        }
+    }
+
+    /// Abort an uncommitted version (rollback after a mid-chain failure).
+    pub fn abort(&self, id: ChunkId, version: u64) {
+        let mut objs = self.objects.lock();
+        let Some(r) = objs.get_mut(&id) else {
+            return;
+        };
+        if version <= r.clean {
+            return; // already committed; cannot abort
+        }
+        if let Some(data) = r.versions.remove(&version) {
+            self.disk.release(data.len() as u64);
+        }
+        if r.versions.is_empty() && r.clean == 0 {
+            objs.remove(&id);
+        }
+    }
+
+    /// Apportioned read: committed data if clean, the retained versions if
+    /// dirty (caller resolves via the tail).
+    pub fn read_local(&self, id: ChunkId) -> LocalRead {
+        let objs = self.objects.lock();
+        match objs.get(&id) {
+            None => LocalRead::Missing,
+            Some(r) if !r.is_dirty() => match r.versions.get(&r.clean) {
+                Some(d) => LocalRead::Clean(d.clone()),
+                None => LocalRead::Missing, // nothing committed yet
+            },
+            Some(r) => LocalRead::Dirty(r.versions.clone()),
+        }
+    }
+
+    /// The committed version number of an object (tail query). 0 if none.
+    pub fn committed_version(&self, id: ChunkId) -> u64 {
+        self.objects.lock().get(&id).map(|r| r.clean).unwrap_or(0)
+    }
+
+    /// The highest version stored here (committed or dirty). 0 if none.
+    pub fn newest_version(&self, id: ChunkId) -> u64 {
+        self.objects
+            .lock()
+            .get(&id)
+            .and_then(|r| r.versions.keys().next_back().copied())
+            .unwrap_or(0)
+    }
+
+    /// Number of objects held.
+    pub fn object_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Snapshot of every committed object: `(id, version, data)` — the
+    /// source side of replica resynchronization.
+    pub fn committed_objects(&self) -> Vec<(ChunkId, u64, Bytes)> {
+        let objs = self.objects.lock();
+        objs.iter()
+            .filter_map(|(&id, r)| {
+                r.versions.get(&r.clean).map(|d| (id, r.clean, d.clone()))
+            })
+            .collect()
+    }
+
+    /// Remove an object entirely (unlink), releasing its disk space.
+    pub fn delete(&self, id: ChunkId) {
+        let mut objs = self.objects.lock();
+        if let Some(r) = objs.remove(&id) {
+            for (_, data) in r.versions {
+                self.disk.release(data.len() as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(i: u64) -> ChunkId {
+        ChunkId { ino: 1, idx: i }
+    }
+
+    #[test]
+    fn dirty_then_commit_lifecycle() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk.clone());
+        assert!(t.store_dirty(chunk(0), 1, Bytes::from_static(b"v1")));
+        // Nothing committed: read is Dirty (version 1 retained).
+        match t.read_local(chunk(0)) {
+            LocalRead::Dirty(v) => assert_eq!(v[&1], Bytes::from_static(b"v1")),
+            _ => panic!("expected dirty"),
+        }
+        t.commit(chunk(0), 1);
+        match t.read_local(chunk(0)) {
+            LocalRead::Clean(d) => assert_eq!(d, Bytes::from_static(b"v1")),
+            _ => panic!("expected clean"),
+        }
+        assert_eq!(t.committed_version(chunk(0)), 1);
+    }
+
+    #[test]
+    fn old_versions_dropped_on_commit() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk.clone());
+        assert!(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 100])));
+        t.commit(chunk(0), 1);
+        assert_eq!(disk.used(), 100);
+        assert!(t.store_dirty(chunk(0), 2, Bytes::from(vec![0u8; 50])));
+        assert_eq!(disk.used(), 150); // both retained while dirty
+        t.commit(chunk(0), 2);
+        assert_eq!(disk.used(), 50); // v1 released
+    }
+
+    #[test]
+    fn dirty_read_retains_committed_version() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk);
+        assert!(t.store_dirty(chunk(0), 1, Bytes::from_static(b"old")));
+        t.commit(chunk(0), 1);
+        assert!(t.store_dirty(chunk(0), 2, Bytes::from_static(b"new")));
+        match t.read_local(chunk(0)) {
+            LocalRead::Dirty(v) => {
+                assert_eq!(v[&1], Bytes::from_static(b"old"));
+                assert_eq!(v[&2], Bytes::from_static(b"new"));
+            }
+            _ => panic!("expected dirty"),
+        }
+        assert_eq!(t.committed_version(chunk(0)), 1);
+        assert_eq!(t.newest_version(chunk(0)), 2);
+    }
+
+    #[test]
+    fn disk_capacity_enforced() {
+        let disk = Disk::new(100);
+        let t = StorageTarget::new("t0", disk);
+        assert!(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 60])));
+        assert!(!t.store_dirty(chunk(1), 1, Bytes::from(vec![0u8; 60])));
+    }
+
+    #[test]
+    fn missing_object() {
+        let t = StorageTarget::new("t0", Disk::new(10));
+        assert!(matches!(t.read_local(chunk(9)), LocalRead::Missing));
+        assert_eq!(t.committed_version(chunk(9)), 0);
+    }
+}

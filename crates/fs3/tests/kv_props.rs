@@ -1,0 +1,123 @@
+//! Property-based tests for the replicated KV store and the CRAQ chain.
+
+use bytes::Bytes;
+use ff_3fs::chain::{Chain, ChainError};
+use ff_3fs::kvstore::KvStore;
+use ff_3fs::target::{ChunkId, Disk, StorageTarget};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Cas(u8, Option<Vec<u8>>, Vec<u8>),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let val = prop::collection::vec(any::<u8>(), 0..8);
+    let op = prop_oneof![
+        (any::<u8>(), val.clone()).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), prop::option::of(val.clone()), val).prop_map(|(k, e, v)| Op::Cas(k, e, v)),
+    ];
+    prop::collection::vec(op, 0..60)
+}
+
+proptest! {
+    /// Sequential equivalence: the replicated sharded store behaves like a
+    /// plain map under any single-threaded op sequence.
+    #[test]
+    fn kv_matches_model(ops in ops()) {
+        let kv = KvStore::new(4, 3);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(&[k], Bytes::from(v.clone()));
+                    model.insert(vec![k], v);
+                }
+                Op::Delete(k) => {
+                    let existed = kv.delete(&[k]);
+                    prop_assert_eq!(existed, model.remove(&vec![k]).is_some());
+                }
+                Op::Cas(k, expect, v) => {
+                    let ok = kv.cas(&[k], expect.as_deref(), Bytes::from(v.clone()));
+                    let model_matches = model.get(&vec![k]).map(|x| x.as_slice()) == expect.as_deref();
+                    prop_assert_eq!(ok, model_matches);
+                    if ok {
+                        model.insert(vec![k], v);
+                    }
+                }
+            }
+        }
+        // Final state identical, via point reads and a full scan.
+        for (k, v) in &model {
+            let got = kv.get(k);
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        prop_assert_eq!(kv.len(), model.len());
+        let scan = kv.scan_prefix(b"");
+        prop_assert_eq!(scan.len(), model.len());
+        for ((sk, sv), (mk, mv)) in scan.iter().zip(model.iter()) {
+            prop_assert_eq!(sk, mk);
+            prop_assert_eq!(sv.as_ref(), mv.as_slice());
+        }
+    }
+
+    /// Chain writes/reads match a model map under arbitrary interleavings
+    /// of objects and replica choices; versions are monotone per object.
+    #[test]
+    fn chain_matches_model(writes in prop::collection::vec((0u64..8, prop::collection::vec(any::<u8>(), 1..16)), 1..50),
+                           replicas in 1usize..4) {
+        let targets: Vec<_> = (0..replicas)
+            .map(|i| StorageTarget::new(format!("t{i}"), Disk::new(1 << 20)))
+            .collect();
+        let chain = Chain::new(0, targets);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut versions: BTreeMap<u64, u64> = BTreeMap::new();
+        for (idx, data) in writes {
+            let id = ChunkId { ino: 1, idx };
+            let v = chain.write(id, Bytes::from(data.clone())).unwrap();
+            let prev = versions.insert(idx, v).unwrap_or(0);
+            prop_assert_eq!(v, prev + 1, "versions monotone");
+            model.insert(idx, data);
+        }
+        for (idx, data) in &model {
+            let id = ChunkId { ino: 1, idx: *idx };
+            for r in 0..replicas {
+                let got = chain.read_at(id, r).unwrap();
+                prop_assert_eq!(got.as_ref(), data.as_slice());
+            }
+        }
+        // Unwritten objects are NotFound.
+        for idx in 8..12 {
+            prop_assert_eq!(chain.read(ChunkId { ino: 1, idx }), Err(ChainError::NotFound));
+        }
+    }
+
+    /// Concurrent independent-key writers never corrupt each other; the
+    /// end state is exactly the union of their writes.
+    #[test]
+    fn kv_concurrent_union(seed in 0u8..100, threads in 2usize..6, per in 1usize..30) {
+        let kv = KvStore::new(8, 2);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let kv = &kv;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = [t as u8, i as u8];
+                        kv.put(&key, Bytes::from(vec![seed, t as u8, i as u8]));
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(kv.len(), threads * per);
+        for t in 0..threads {
+            for i in 0..per {
+                let got = kv.get(&[t as u8, i as u8]).expect("present");
+                prop_assert_eq!(got.as_ref(), &[seed, t as u8, i as u8][..]);
+            }
+        }
+    }
+}

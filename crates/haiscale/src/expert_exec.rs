@@ -1,0 +1,224 @@
+//! Executable expert parallelism: the all2all dispatch/combine of MoE
+//! training (§II-B1: "the gate model selects tokens for allocation during
+//! input, with corresponding tokens sent to experts model via all2all
+//! communication"), run for real over threads and channels.
+//!
+//! Each rank hosts one expert and a shard of the tokens. A step is:
+//! gate (here: any deterministic assignment) → **all2all dispatch** (each
+//! token's vector travels to its expert's rank) → expert computation →
+//! **all2all combine** (results return to the token's home rank, in
+//! order). The tests verify the end-to-end permutation is the identity
+//! composed with the expert transforms — the property a correct all2all
+//! pair must have.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A routed token: its home rank and index there, plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routed<T> {
+    /// Rank that owns the token.
+    pub home: usize,
+    /// Index within the home rank's batch.
+    pub index: usize,
+    /// The token vector.
+    pub data: T,
+}
+
+/// Generic all2all: `sends[src][dst]` is delivered so the result at
+/// `out[dst][src]` equals it — every rank exchanges with every rank
+/// concurrently (one thread per rank).
+pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
+    let n = sends.len();
+    for row in &sends {
+        assert_eq!(row.len(), n, "all2all needs an n×n send matrix");
+    }
+    type Channels<T> = (Vec<Sender<(usize, Vec<T>)>>, Vec<Receiver<(usize, Vec<T>)>>);
+    let (txs, rxs): Channels<T> = (0..n).map(|_| unbounded()).unzip();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = sends
+            .into_iter()
+            .zip(rxs)
+            .enumerate()
+            .map(|(me, (row, rx))| {
+                let txs = txs.clone();
+                s.spawn(move || {
+                    for (dst, payload) in row.into_iter().enumerate() {
+                        txs[dst].send((me, payload)).expect("peer alive");
+                    }
+                    drop(txs); // close our senders so receivers can drain
+                    let mut inbox: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
+                    for _ in 0..n {
+                        let (src, payload) = rx.recv().expect("n messages");
+                        assert!(inbox[src].replace(payload).is_none(), "duplicate from {src}");
+                    }
+                    inbox.into_iter().map(|p| p.expect("all received")).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// One MoE layer step over `ep` expert-parallel ranks:
+/// `tokens[rank]` are the rank's token vectors, `gate` maps a token to its
+/// expert rank, `expert(rank, x)` is the expert computation. Returns the
+/// combined outputs in each token's original position.
+pub fn moe_layer_step<T, G, F>(
+    tokens: Vec<Vec<T>>,
+    gate: G,
+    expert: F,
+) -> Vec<Vec<T>>
+where
+    T: Send + Clone,
+    G: Fn(usize, usize, &T) -> usize, // (home rank, index, token) -> expert rank
+    F: Fn(usize, &T) -> T + Sync,
+{
+    let n = tokens.len();
+    // Dispatch: bucket each token to its expert's rank.
+    let mut sends: Vec<Vec<Vec<Routed<T>>>> = (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect();
+    for (home, batch) in tokens.iter().enumerate() {
+        for (index, tok) in batch.iter().enumerate() {
+            let dst = gate(home, index, tok);
+            assert!(dst < n, "gate routed to unknown expert rank {dst}");
+            sends[home][dst].push(Routed {
+                home,
+                index,
+                data: tok.clone(),
+            });
+        }
+    }
+    let received = all2all(sends);
+    // Expert computation on each rank (parallel via the same scope).
+    let processed: Vec<Vec<Vec<Routed<T>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = received
+            .into_iter()
+            .enumerate()
+            .map(|(rank, from_all)| {
+                let expert = &expert;
+                s.spawn(move || {
+                    from_all
+                        .into_iter()
+                        .map(|batch| {
+                            batch
+                                .into_iter()
+                                .map(|r| Routed {
+                                    data: expert(rank, &r.data),
+                                    ..r
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("expert panicked")).collect()
+    });
+    // Combine: send results back to the home ranks...
+    let returned = all2all(processed);
+    // ...and scatter them into original positions.
+    let mut out: Vec<Vec<Option<T>>> = tokens
+        .iter()
+        .map(|b| b.iter().map(|_| None).collect())
+        .collect();
+    for per_rank in returned {
+        for batch in per_rank {
+            for r in batch {
+                assert!(
+                    out[r.home][r.index].replace(r.data).is_none(),
+                    "token delivered twice"
+                );
+            }
+        }
+    }
+    out.into_iter()
+        .map(|b| b.into_iter().map(|t| t.expect("every token returned")).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (src, dst) indices are the point
+    fn all2all_is_the_transpose() {
+        let n = 4;
+        let sends: Vec<Vec<Vec<(usize, usize)>>> = (0..n)
+            .map(|src| (0..n).map(|dst| vec![(src, dst)]).collect())
+            .collect();
+        let out = all2all(sends);
+        for dst in 0..n {
+            for src in 0..n {
+                assert_eq!(out[dst][src], vec![(src, dst)]);
+            }
+        }
+    }
+
+    #[test]
+    fn all2all_handles_empty_and_uneven_payloads() {
+        let sends = vec![
+            vec![vec![1, 2, 3], vec![]],
+            vec![vec![9], vec![7, 7]],
+        ];
+        let out = all2all(sends);
+        assert_eq!(out[0][0], vec![1, 2, 3]);
+        assert_eq!(out[0][1], vec![9]);
+        assert_eq!(out[1][0], Vec::<i32>::new());
+        assert_eq!(out[1][1], vec![7, 7]);
+    }
+
+    #[test]
+    fn moe_step_routes_and_returns_in_order() {
+        // 3 ranks × 5 tokens; token value v goes to expert v % 3, which
+        // multiplies by 10 and adds its rank.
+        let tokens: Vec<Vec<i64>> = (0..3)
+            .map(|r| (0..5).map(|i| (r * 5 + i) as i64).collect())
+            .collect();
+        let out = moe_layer_step(
+            tokens.clone(),
+            |_, _, &tok| (tok % 3) as usize,
+            |rank, &x| x * 10 + rank as i64,
+        );
+        for (r, batch) in out.iter().enumerate() {
+            for (i, &v) in batch.iter().enumerate() {
+                let orig = tokens[r][i];
+                let expert = orig % 3;
+                assert_eq!(v, orig * 10 + expert, "token ({r},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_routing_all_tokens_to_one_expert() {
+        // The worst-case gate (every token to expert 0) still round-trips
+        // — the load-imbalance case MoE systems must survive.
+        let tokens: Vec<Vec<i64>> = (0..4).map(|r| vec![r as i64; 8]).collect();
+        let out = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| -x);
+        for (r, batch) in out.iter().enumerate() {
+            assert_eq!(batch, &vec![-(r as i64); 8]);
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_local_compute() {
+        let out = moe_layer_step(vec![vec![1.0f64, 2.0]], |_, _, _| 0, |_, &x| x + 0.5);
+        assert_eq!(out, vec![vec![1.5, 2.5]]);
+    }
+
+    #[test]
+    fn top_k_style_duplicated_tokens() {
+        // Top-2 routing modeled as two layer passes whose results the
+        // caller combines (weighted sum) — verify two passes with
+        // different gates agree with direct evaluation.
+        let tokens: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let pass1 = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| x * 2.0);
+        let pass2 = moe_layer_step(tokens.clone(), |_, _, _| 1, |_, &x| x + 100.0);
+        for r in 0..2 {
+            for i in 0..2 {
+                let combined = 0.5 * pass1[r][i] + 0.5 * pass2[r][i];
+                let want = 0.5 * (tokens[r][i] * 2.0) + 0.5 * (tokens[r][i] + 100.0);
+                assert_eq!(combined, want);
+            }
+        }
+    }
+}

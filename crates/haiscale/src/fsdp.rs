@@ -1,0 +1,150 @@
+//! Fully-sharded data parallelism (ZeRO-3) step-time model: HaiScale FSDP
+//! versus PyTorch FSDP — Figure 8b.
+//!
+//! Per step, ZeRO-3 moves ≈3× the parameter bytes per GPU: an allgather of
+//! parameters before forward, another before backward, and a
+//! reduce-scatter of gradients after it (§II-B1). On a node with one NIC
+//! for 8 GPUs the decisive difference is *how much of that traffic
+//! crosses the NIC*:
+//!
+//! * **HaiScale FSDP** stages shards in host memory, so each remote shard
+//!   enters the node **once** and fans out to the 8 GPUs over PCIe; it
+//!   also overlaps allgather/reduce-scatter with compute and splits the
+//!   optimizer step into backward (§V-B3).
+//! * **PyTorch FSDP** runs NCCL allgathers per GPU: every GPU pulls the
+//!   full parameters through the shared NIC independently — 8× the wire
+//!   bytes — with a smaller overlap window.
+
+use crate::models::TrainModel;
+use crate::StepBreakdown;
+use ff_hw::spec::{GPUS_PER_NODE, NIC_200G_BPS};
+use ff_hw::GpuForm;
+
+/// Which ZeRO-3 implementation runs the step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsdpImpl {
+    /// HaiScale FSDP.
+    HaiScale,
+    /// PyTorch FSDP.
+    Torch,
+}
+
+impl FsdpImpl {
+    /// Copies of the parameter stream that cross each node's NIC.
+    fn nic_amplification(self) -> f64 {
+        match self {
+            FsdpImpl::HaiScale => 1.0,
+            FsdpImpl::Torch => GPUS_PER_NODE as f64,
+        }
+    }
+
+    /// Fraction of compute usable to hide the collective traffic.
+    fn overlap_fraction(self) -> f64 {
+        match self {
+            FsdpImpl::HaiScale => 0.90,
+            FsdpImpl::Torch => 0.45,
+        }
+    }
+
+    /// Compute inflation: memory fragmentation + cache effects PyTorch's
+    /// flat-parameter rebuilds incur (§V-B3's "optimizing memory
+    /// management to reduce fragmentation").
+    fn compute_inflation(self) -> f64 {
+        match self {
+            FsdpImpl::HaiScale => 1.0,
+            FsdpImpl::Torch => 1.08,
+        }
+    }
+}
+
+/// One FSDP training step, weak scaling with `tokens_per_gpu` fixed.
+pub fn fsdp_step(
+    model: &TrainModel,
+    gpus: usize,
+    tokens_per_gpu: usize,
+    imp: FsdpImpl,
+) -> StepBreakdown {
+    assert!(gpus >= 1);
+    let sustained = model.sustained_flops(GpuForm::PcieA100.fp16_flops());
+    let compute =
+        model.step_flops_per_token() * tokens_per_gpu as f64 / sustained * imp.compute_inflation();
+    let nodes = gpus.div_ceil(GPUS_PER_NODE).max(1);
+    let comm = if nodes > 1 {
+        // Three parameter-sized collectives; only the remote share crosses
+        // the NIC, amplified per implementation.
+        let wire = 3.0 * model.grad_bytes() * (nodes as f64 - 1.0) / nodes as f64;
+        wire * imp.nic_amplification() / NIC_200G_BPS
+    } else {
+        // Intra-node sharding: PCIe-speed collectives, effectively hidden.
+        0.0
+    };
+    let exposed = (comm - compute * imp.overlap_fraction()).max(0.0);
+    StepBreakdown {
+        compute_s: compute,
+        exposed_comm_s: exposed,
+        bubble_s: 0.0,
+        jitter_s: 1.5e-3 * (gpus as f64).log2().max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_scaling_efficiency;
+
+    /// GPT2-medium at seq 1024, 16 sequences per GPU.
+    const TOKENS: usize = 16 * 1024;
+
+    #[test]
+    fn haiscale_fsdp_nearly_halves_gpt2_step() {
+        // Figure 8b: "compared to PyTorch's FSDP, HaiScale's FSDP reduces
+        // training time by nearly half".
+        let m = TrainModel::gpt2_medium();
+        for gpus in [16usize, 32, 64, 128] {
+            let hai = fsdp_step(&m, gpus, TOKENS, FsdpImpl::HaiScale).total_s();
+            let torch = fsdp_step(&m, gpus, TOKENS, FsdpImpl::Torch).total_s();
+            let ratio = torch / hai;
+            // At 16 GPUs only half the shards are remote, so the gap is
+            // smaller; it widens toward 2× and beyond with scale.
+            assert!(
+                (1.4..3.5).contains(&ratio),
+                "{gpus} GPUs: torch {torch:.3} / hai {hai:.3} = {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn haiscale_fsdp_scales_at_95pct() {
+        // "we achieve 95% parallel scalability when scaling from 16 to
+        // 128 GPUs".
+        let m = TrainModel::gpt2_medium();
+        let t16 = fsdp_step(&m, 16, TOKENS, FsdpImpl::HaiScale).total_s();
+        let t128 = fsdp_step(&m, 128, TOKENS, FsdpImpl::HaiScale).total_s();
+        let eff = weak_scaling_efficiency(t16, t128);
+        assert!((0.90..=1.0).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn torch_fsdp_is_wire_bound() {
+        let m = TrainModel::gpt2_medium();
+        let s = fsdp_step(&m, 128, TOKENS, FsdpImpl::Torch);
+        assert!(s.exposed_comm_s > 0.0, "expected exposed communication");
+    }
+
+    #[test]
+    fn single_node_fsdp_has_no_nic_traffic() {
+        let m = TrainModel::gpt2_medium();
+        let s = fsdp_step(&m, 8, TOKENS, FsdpImpl::Torch);
+        assert_eq!(s.exposed_comm_s, 0.0);
+    }
+
+    #[test]
+    fn nic_amplification_is_the_dominant_difference() {
+        // With amplification equalized, the two implementations would be
+        // within ~25% — the 8× wire volume is the real story.
+        let m = TrainModel::gpt2_medium();
+        let hai = fsdp_step(&m, 64, TOKENS, FsdpImpl::HaiScale);
+        let torch = fsdp_step(&m, 64, TOKENS, FsdpImpl::Torch);
+        assert!(torch.exposed_comm_s > hai.exposed_comm_s * 4.0);
+    }
+}

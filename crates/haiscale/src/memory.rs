@@ -1,0 +1,186 @@
+//! GPU memory accounting per parallelism strategy — the reason ZeRO/FSDP
+//! and pipeline parallelism exist (§II-B1, Figure 3).
+//!
+//! Mixed-precision training keeps, per parameter: fp16/bf16 weights (2 B)
+//! and gradients (2 B) plus fp32 master weights and two Adam moments
+//! (12 B) — 16 bytes/parameter before activations. The strategies differ
+//! in who holds which share:
+//!
+//! * **DDP** — everything replicated (the Figure 3 story: fine below ~1B
+//!   parameters, hopeless for LLMs).
+//! * **ZeRO-1/2/3 (FSDP = stage 3)** — optimizer state / +gradients /
+//!   +parameters sharded over the DP group; each GPU retains `1/n`.
+//! * **PP / TP** — parameters divided across stages / tensor shards.
+//! * **Activation recomputation** (§II-B1) trades ~⅓ more compute for an
+//!   ~8× smaller activation footprint.
+
+use crate::models::TrainModel;
+
+/// Bytes per parameter of fp32 master weights + Adam moments.
+pub const OPTIMIZER_BYTES_PER_PARAM: f64 = 12.0;
+/// A100-40GB usable HBM (after CUDA context etc.).
+pub const A100_USABLE_BYTES: f64 = 38.0 * 1024.0 * 1024.0 * 1024.0;
+/// Activation bytes per token per hidden unit per layer, no recompute
+/// (attention + MLP intermediates, fp16).
+pub const ACT_FACTOR_FULL: f64 = 16.0;
+/// Same with full activation recomputation: only layer boundaries kept.
+pub const ACT_FACTOR_RECOMPUTE: f64 = 2.0;
+
+/// How the model's state is partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardingStrategy {
+    /// Plain data parallelism: full replica per GPU.
+    Ddp,
+    /// ZeRO stage 1: optimizer state sharded over `dp`.
+    Zero1,
+    /// ZeRO stage 2: optimizer + gradients sharded.
+    Zero2,
+    /// ZeRO stage 3 / FSDP: optimizer + gradients + parameters sharded.
+    Zero3,
+}
+
+/// Per-GPU memory estimate, bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryEstimate {
+    /// Parameter storage (fp16/bf16 working copy).
+    pub params: f64,
+    /// Gradient storage.
+    pub grads: f64,
+    /// Optimizer state (fp32 master + moments).
+    pub optimizer: f64,
+    /// Activations for one microbatch set in flight.
+    pub activations: f64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.params + self.grads + self.optimizer + self.activations
+    }
+
+    /// Does this fit on an A100-40GB?
+    pub fn fits_a100(&self) -> bool {
+        self.total() <= A100_USABLE_BYTES
+    }
+}
+
+/// Estimate per-GPU memory for `model` under the given partitioning.
+///
+/// * `dp` — data-parallel group size (the ZeRO sharding denominator).
+/// * `pp` / `tp` — pipeline stages and tensor shards (divide parameters).
+/// * `tokens_in_flight` — microbatch tokens resident per GPU.
+/// * `recompute` — activation recomputation on/off.
+pub fn memory_per_gpu(
+    model: &TrainModel,
+    strategy: ShardingStrategy,
+    dp: usize,
+    pp: usize,
+    tp: usize,
+    tokens_in_flight: usize,
+    recompute: bool,
+) -> MemoryEstimate {
+    assert!(dp >= 1 && pp >= 1 && tp >= 1);
+    let dtype = model.dtype_bytes as f64;
+    let local_params = model.params as f64 / (pp * tp) as f64;
+    let n = dp as f64;
+    let (p_div, g_div, o_div) = match strategy {
+        ShardingStrategy::Ddp => (1.0, 1.0, 1.0),
+        ShardingStrategy::Zero1 => (1.0, 1.0, n),
+        ShardingStrategy::Zero2 => (1.0, n, n),
+        ShardingStrategy::Zero3 => (n, n, n),
+    };
+    let act_factor = if recompute {
+        ACT_FACTOR_RECOMPUTE
+    } else {
+        ACT_FACTOR_FULL
+    };
+    let layers_local = (model.layers as f64 / pp as f64).max(1.0);
+    MemoryEstimate {
+        params: local_params * dtype / p_div,
+        grads: local_params * dtype / g_div,
+        optimizer: local_params * OPTIMIZER_BYTES_PER_PARAM / o_div,
+        activations: tokens_in_flight as f64 * model.hidden as f64 / tp as f64
+            * layers_local
+            * act_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn small_models_fit_with_plain_ddp() {
+        // Figure 3's point: ResNet/BERT-class models need no sharding.
+        let m = TrainModel::vgg16();
+        let est = memory_per_gpu(&m, ShardingStrategy::Ddp, 8, 1, 1, 0, false);
+        assert!(est.fits_a100(), "{:.1} GiB", est.total() / GIB);
+        let g = TrainModel::gpt2_medium();
+        let est = memory_per_gpu(&g, ShardingStrategy::Ddp, 8, 1, 1, 8 * 1024, false);
+        assert!(est.fits_a100(), "{:.1} GiB", est.total() / GIB);
+    }
+
+    #[test]
+    fn llama13b_cannot_train_with_plain_ddp() {
+        // 13B × 16 B/param ≈ 208 GB of state per GPU.
+        let m = TrainModel::llama_13b();
+        let est = memory_per_gpu(&m, ShardingStrategy::Ddp, 128, 1, 1, 2048, false);
+        assert!(!est.fits_a100(), "{:.1} GiB should not fit", est.total() / GIB);
+        assert!(est.total() > 200.0 * GIB);
+    }
+
+    #[test]
+    fn paper_llama_config_fits_with_pp_and_zero1() {
+        // Figure 9a's layout: pp=4, dp=128, ZeRO-1, recompute off, one
+        // 2048-token microbatch in flight per stage.
+        let m = TrainModel::llama_13b();
+        let est = memory_per_gpu(&m, ShardingStrategy::Zero1, 128, 4, 1, 2048, false);
+        assert!(est.fits_a100(), "{:.1} GiB", est.total() / GIB);
+    }
+
+    #[test]
+    fn zero_stages_monotonically_reduce_memory() {
+        let m = TrainModel::llama_13b();
+        let stages = [
+            ShardingStrategy::Ddp,
+            ShardingStrategy::Zero1,
+            ShardingStrategy::Zero2,
+            ShardingStrategy::Zero3,
+        ];
+        let mut prev = f64::INFINITY;
+        for s in stages {
+            let t = memory_per_gpu(&m, s, 64, 1, 1, 1024, false).total();
+            assert!(t < prev, "{s:?}: {t}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fsdp_each_gpu_keeps_one_nth() {
+        // §II-B1: "each GPU retaining only 1/n of the total".
+        let m = TrainModel::gpt2_medium();
+        let one = memory_per_gpu(&m, ShardingStrategy::Zero3, 1, 1, 1, 0, false);
+        let sharded = memory_per_gpu(&m, ShardingStrategy::Zero3, 16, 1, 1, 0, false);
+        assert!((one.total() / sharded.total() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recomputation_slashes_activation_memory() {
+        let m = TrainModel::llama_13b();
+        let full = memory_per_gpu(&m, ShardingStrategy::Zero1, 32, 4, 1, 8192, false);
+        let rec = memory_per_gpu(&m, ShardingStrategy::Zero1, 32, 4, 1, 8192, true);
+        assert!((full.activations / rec.activations - 8.0).abs() < 1e-9);
+        assert_eq!(full.params, rec.params);
+    }
+
+    #[test]
+    fn tensor_parallel_divides_params_and_activations() {
+        let m = TrainModel::llama_13b();
+        let tp1 = memory_per_gpu(&m, ShardingStrategy::Ddp, 1, 1, 1, 4096, false);
+        let tp2 = memory_per_gpu(&m, ShardingStrategy::Ddp, 1, 1, 2, 4096, false);
+        assert!((tp1.params / tp2.params - 2.0).abs() < 1e-9);
+        assert!((tp1.activations / tp2.activations - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Mixture-of-Experts training with expert parallelism — Figure 9b.
+//!
+//! Adds to the pipeline model the all2all dispatch/combine traffic of MoE
+//! layers (§II-B1, §V-B): each token's hidden vector travels to its top-k
+//! experts and back, twice per layer pass (forward and backward), with the
+//! cross-node share going through the per-node NIC. A higher DP sync
+//! constant reflects the extra synchronization of expert routing.
+
+use crate::models::TrainModel;
+use crate::pipeline::{PipelineConfig, Schedule};
+use crate::StepBreakdown;
+use ff_hw::spec::{GPUS_PER_NODE, NIC_200G_BPS};
+use ff_hw::GpuForm;
+
+/// Expert-parallel configuration on top of a pipeline config.
+#[derive(Debug, Clone)]
+pub struct MoeConfig {
+    /// The underlying pipeline setup.
+    pub pipeline: PipelineConfig,
+    /// Experts each token is routed to (top-k).
+    pub top_k: usize,
+    /// GPUs per expert-parallel group (all2all scope).
+    pub ep_group: usize,
+    /// Fraction of MoE layers among all layers.
+    pub moe_layer_frac: f64,
+    /// Fraction of all2all traffic hidden behind expert compute.
+    pub a2a_overlap: f64,
+}
+
+impl MoeConfig {
+    /// Figure 9b's configuration: DeepSeekMoE-16B, seq 4096, batch 4608,
+    /// pp 10, top-6 routing.
+    pub fn deepseek_moe_16b_paper() -> Self {
+        MoeConfig {
+            pipeline: PipelineConfig {
+                pp: 10,
+                seq_len: 4096,
+                global_batch_seqs: 4608,
+                micro_batch_seqs: 1,
+                schedule: Schedule::OneFOneB,
+                stagger_dp_ranks: true,
+            },
+            top_k: 6,
+            ep_group: 16,
+            moe_layer_frac: 27.0 / 28.0,
+            a2a_overlap: 0.80,
+        }
+    }
+}
+
+/// Per-DP-rank synchronization overhead for MoE steps (routing adds
+/// barriers beyond the dense pipeline's 7 ms).
+pub const MOE_DP_SYNC_PER_RANK_S: f64 = 14e-3;
+
+/// One MoE training step at `gpus` total GPUs.
+pub fn moe_step(model: &TrainModel, cfg: &MoeConfig, gpus: usize) -> StepBreakdown {
+    let p = &cfg.pipeline;
+    assert!(gpus.is_multiple_of(p.pp), "GPUs must divide into pipelines");
+    let dp = gpus / p.pp;
+    assert!(p.global_batch_seqs.is_multiple_of(dp), "batch must divide DP ways");
+    let per_rank_seqs = p.global_batch_seqs / dp;
+    let m = (per_rank_seqs / p.micro_batch_seqs).max(1);
+    let tokens = (p.global_batch_seqs * p.seq_len) as f64;
+    let sustained = model.sustained_flops(GpuForm::PcieA100.fp16_flops());
+    let compute = tokens * model.step_flops_per_token() / (gpus as f64 * sustained);
+    let bubble = compute * (p.pp - 1) as f64 / m as f64;
+
+    // all2all: per token, per MoE layer *held by this stage*, top-k hidden
+    // vectors out (dispatch) and back (combine), forward and backward.
+    let tokens_per_gpu = tokens / gpus as f64;
+    let layers_per_stage = model.layers as f64 * cfg.moe_layer_frac / p.pp as f64;
+    let bytes_per_token_layer =
+        cfg.top_k as f64 * model.boundary_bytes_per_token() * 4.0; // disp+comb × fwd+bwd
+    let a2a_volume = tokens_per_gpu * layers_per_stage * bytes_per_token_layer;
+    // Cross-node share of the EP group, squeezed through the shared NIC.
+    let ep_nodes = (cfg.ep_group as f64 / GPUS_PER_NODE as f64).max(1.0);
+    let cross = (ep_nodes - 1.0) / ep_nodes;
+    let nic_per_gpu = NIC_200G_BPS / GPUS_PER_NODE as f64;
+    let a2a_time = a2a_volume * cross / nic_per_gpu;
+    let exposed = a2a_time * (1.0 - cfg.a2a_overlap);
+
+    StepBreakdown {
+        compute_s: compute,
+        exposed_comm_s: exposed,
+        bubble_s: bubble,
+        jitter_s: MOE_DP_SYNC_PER_RANK_S * dp as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strong_scaling_efficiency;
+
+    fn paper_step(gpus: usize) -> StepBreakdown {
+        moe_step(
+            &TrainModel::deepseek_moe_16b(),
+            &MoeConfig::deepseek_moe_16b_paper(),
+            gpus,
+        )
+    }
+
+    #[test]
+    fn figure9b_step_times_within_12pct() {
+        // Paper: 40 GPUs → 79.615 s, 320 → 10.71 s, 640 → 6.535 s.
+        let t40 = paper_step(40).total_s();
+        let t320 = paper_step(320).total_s();
+        let t640 = paper_step(640).total_s();
+        assert!((t40 - 79.615).abs() / 79.615 < 0.12, "t40 = {t40}");
+        assert!((t320 - 10.71).abs() / 10.71 < 0.12, "t320 = {t320}");
+        assert!((t640 - 6.535).abs() / 6.535 < 0.12, "t640 = {t640}");
+    }
+
+    #[test]
+    fn figure9b_efficiency_cliff() {
+        // 92.92% at 320 GPUs, 76.14% at 640: efficiency falls noticeably
+        // in the last doubling as the bubble and DP sync grow.
+        let t40 = paper_step(40).total_s();
+        let t320 = paper_step(320).total_s();
+        let t640 = paper_step(640).total_s();
+        let e320 = strong_scaling_efficiency(40, t40, 320, t320);
+        let e640 = strong_scaling_efficiency(40, t40, 640, t640);
+        assert!((0.85..=1.0).contains(&e320), "e320 = {e320}");
+        assert!((0.70..=0.85).contains(&e640), "e640 = {e640}");
+        assert!(e320 - e640 > 0.08, "expected a cliff: {e320} → {e640}");
+    }
+
+    #[test]
+    fn all2all_traffic_scales_with_topk() {
+        let m = TrainModel::deepseek_moe_16b();
+        let mut cfg = MoeConfig::deepseek_moe_16b_paper();
+        let base = moe_step(&m, &cfg, 320).exposed_comm_s;
+        cfg.top_k = 12;
+        let doubled = moe_step(&m, &cfg, 320).exposed_comm_s;
+        assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_node_ep_group_avoids_nic() {
+        let m = TrainModel::deepseek_moe_16b();
+        let mut cfg = MoeConfig::deepseek_moe_16b_paper();
+        cfg.ep_group = 8; // one node
+        let s = moe_step(&m, &cfg, 320);
+        assert_eq!(s.exposed_comm_s, 0.0);
+    }
+
+    #[test]
+    fn moe_efficiency_monotonically_declines() {
+        let t40 = paper_step(40).total_s();
+        let mut prev_eff = 1.0;
+        for gpus in [80usize, 160, 320, 640] {
+            let t = paper_step(gpus).total_s();
+            let eff = strong_scaling_efficiency(40, t40, gpus, t);
+            assert!(eff <= prev_eff + 0.02, "{gpus}: {eff} > {prev_eff}");
+            prev_eff = eff;
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Pipeline-parallel step-time model (1F1B / GPipe) — Figure 9a.
+//!
+//! On this architecture pipeline parallelism has a twist: one NIC serves 8
+//! GPUs, so the paper assigns the 8 GPUs of a node to *different DP ranks*
+//! ("staggers the timing of PP for each DP rank", §V-B2) to avoid
+//! synchronized activation bursts on the shared NIC.
+//!
+//! Step time decomposes into
+//! `compute + bubble + exposed PP comm + DP sync`:
+//!
+//! * `compute` — global tokens × FLOPs/token over the aggregate sustained
+//!   throughput (strong scaling: shrinks 1/n).
+//! * `bubble` — `(pp−1)/m` of the per-rank compute for 1F1B/GPipe, zero
+//!   for Zero-Bubble scheduling; `m` is microbatches per DP rank, so the
+//!   bubble grows when scaling out shrinks per-rank batches — the paper's
+//!   efficiency decline from 91% (512 GPUs) toward 76% (Figure 9b regime).
+//! * `DP sync` — per-step synchronization cost growing with DP width
+//!   (gradient-allreduce launch, flush barrier, stragglers), calibrated at
+//!   ~7 ms per DP rank against the paper's absolute step times.
+
+use crate::models::TrainModel;
+use crate::StepBreakdown;
+use ff_hw::spec::{GPUS_PER_NODE, NIC_200G_BPS};
+use ff_hw::GpuForm;
+
+/// Pipeline schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// GPipe: all-forward then all-backward; bubble `(pp−1)/m`.
+    GPipe,
+    /// PipeDream 1F1B: same bubble, far lower activation memory.
+    OneFOneB,
+    /// Zero-bubble pipeline parallelism (ZBPP): bubble eliminated.
+    ZeroBubble,
+}
+
+/// A pipeline-parallel training configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Sequence length (tokens).
+    pub seq_len: usize,
+    /// Global batch, in sequences.
+    pub global_batch_seqs: usize,
+    /// Micro-batch size, in sequences.
+    pub micro_batch_seqs: usize,
+    /// Schedule.
+    pub schedule: Schedule,
+    /// Stagger DP ranks across each node's 8 GPUs (the paper's trick).
+    pub stagger_dp_ranks: bool,
+}
+
+impl PipelineConfig {
+    /// Figure 9a's configuration: LLaMa-13B, seq 2048, batch 4096, pp 4.
+    pub fn llama_13b_paper() -> Self {
+        PipelineConfig {
+            pp: 4,
+            seq_len: 2048,
+            global_batch_seqs: 4096,
+            micro_batch_seqs: 1,
+            schedule: Schedule::OneFOneB,
+            stagger_dp_ranks: true,
+        }
+    }
+}
+
+/// Per-DP-rank synchronization overhead, seconds (calibration constant).
+pub const DP_SYNC_PER_RANK_S: f64 = 7e-3;
+
+/// Microbatches of activations resident per stage under each schedule —
+/// the memory distinction that makes 1F1B preferable to GPipe (§II-B1):
+/// GPipe holds all `m` microbatches through the forward sweep; 1F1B
+/// drains each as soon as its backward runs, capping residency at the
+/// stage's pipeline depth; ZBPP matches 1F1B.
+pub fn resident_microbatches(schedule: Schedule, m: usize, pp: usize) -> usize {
+    match schedule {
+        Schedule::GPipe => m,
+        Schedule::OneFOneB | Schedule::ZeroBubble => pp.min(m),
+    }
+}
+
+/// One pipeline-parallel training step at `gpus` total GPUs.
+pub fn pipeline_step(model: &TrainModel, cfg: &PipelineConfig, gpus: usize) -> StepBreakdown {
+    assert!(gpus.is_multiple_of(cfg.pp), "GPUs must divide into pipelines");
+    let dp = gpus / cfg.pp;
+    assert!(
+        cfg.global_batch_seqs.is_multiple_of(dp),
+        "global batch must divide DP ways"
+    );
+    let per_rank_seqs = cfg.global_batch_seqs / dp;
+    let m = (per_rank_seqs / cfg.micro_batch_seqs).max(1); // microbatches
+    let tokens = (cfg.global_batch_seqs * cfg.seq_len) as f64;
+    let sustained = model.sustained_flops(GpuForm::PcieA100.fp16_flops());
+    let compute = tokens * model.step_flops_per_token() / (gpus as f64 * sustained);
+
+    let bubble_frac = match cfg.schedule {
+        Schedule::GPipe | Schedule::OneFOneB => (cfg.pp - 1) as f64 / m as f64,
+        Schedule::ZeroBubble => 0.0,
+    };
+    let bubble = compute * bubble_frac;
+
+    // Activation traffic between stages: micro-batch boundary tensors both
+    // directions, through the shared NIC. Staggering lets the 8 DP ranks
+    // of a node interleave; without it they collide 8-wide.
+    let pp_comm = if cfg.pp > 1 {
+        let per_micro = cfg.micro_batch_seqs as f64
+            * cfg.seq_len as f64
+            * model.boundary_bytes_per_token();
+        let transfers = 2.0 * m as f64; // fwd + bwd per microbatch
+        let contention = if cfg.stagger_dp_ranks {
+            1.0
+        } else {
+            GPUS_PER_NODE as f64
+        };
+        let wire = per_micro * transfers * contention / NIC_200G_BPS;
+        // Mostly hidden behind the other microbatches' compute.
+        (wire - compute * 0.5).max(wire * 0.1)
+    } else {
+        0.0
+    };
+
+    StepBreakdown {
+        compute_s: compute,
+        exposed_comm_s: pp_comm,
+        bubble_s: bubble,
+        jitter_s: DP_SYNC_PER_RANK_S * dp as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strong_scaling_efficiency;
+
+    #[test]
+    fn figure9a_step_times_within_10pct() {
+        // Paper: 64 GPUs → 64.118 s, 512 GPUs → 9.717 s.
+        let m = TrainModel::llama_13b();
+        let cfg = PipelineConfig::llama_13b_paper();
+        let t64 = pipeline_step(&m, &cfg, 64).total_s();
+        let t512 = pipeline_step(&m, &cfg, 512).total_s();
+        assert!((t64 - 64.118).abs() / 64.118 < 0.10, "t64 = {t64}");
+        assert!((t512 - 9.717).abs() / 9.717 < 0.10, "t512 = {t512}");
+    }
+
+    #[test]
+    fn figure9a_efficiency_band() {
+        // "achieving a parallel efficiency of 91%" (the paper quotes the
+        // efficiency against its own baseline; the measured step times
+        // give 64.118×64 / (9.717×512) ≈ 0.82 — we accept the band).
+        let m = TrainModel::llama_13b();
+        let cfg = PipelineConfig::llama_13b_paper();
+        let t64 = pipeline_step(&m, &cfg, 64).total_s();
+        let t512 = pipeline_step(&m, &cfg, 512).total_s();
+        let eff = strong_scaling_efficiency(64, t64, 512, t512);
+        assert!((0.75..=0.95).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn step_time_decreases_monotonically() {
+        let m = TrainModel::llama_13b();
+        let cfg = PipelineConfig::llama_13b_paper();
+        let mut prev = f64::INFINITY;
+        for gpus in [64usize, 128, 256, 512] {
+            let t = pipeline_step(&m, &cfg, gpus).total_s();
+            assert!(t < prev, "{gpus} GPUs: {t} ≥ {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn bubble_grows_as_dp_widens() {
+        let m = TrainModel::llama_13b();
+        let cfg = PipelineConfig::llama_13b_paper();
+        let b64 = pipeline_step(&m, &cfg, 64);
+        let b512 = pipeline_step(&m, &cfg, 512);
+        // Absolute bubble is ~constant; relative share grows.
+        let rel64 = b64.bubble_s / b64.total_s();
+        let rel512 = b512.bubble_s / b512.total_s();
+        assert!(rel512 > rel64 * 3.0, "{rel64} vs {rel512}");
+    }
+
+    #[test]
+    fn zero_bubble_removes_the_bubble() {
+        let m = TrainModel::llama_13b();
+        let mut cfg = PipelineConfig::llama_13b_paper();
+        cfg.schedule = Schedule::ZeroBubble;
+        let s = pipeline_step(&m, &cfg, 512);
+        assert_eq!(s.bubble_s, 0.0);
+        let base = pipeline_step(&m, &PipelineConfig::llama_13b_paper(), 512);
+        assert!(s.total_s() < base.total_s());
+    }
+
+    #[test]
+    fn stagger_trick_reduces_exposed_pp_comm() {
+        // §V-B2: without DP-rank staggering the 8 GPUs of a node contend
+        // for the single NIC during pipeline sends.
+        let m = TrainModel::llama_13b();
+        let mut cfg = PipelineConfig::llama_13b_paper();
+        let with = pipeline_step(&m, &cfg, 512).exposed_comm_s;
+        cfg.stagger_dp_ranks = false;
+        let without = pipeline_step(&m, &cfg, 512).exposed_comm_s;
+        assert!(
+            without > with * 2.0,
+            "unstaggered {without} vs staggered {with}"
+        );
+    }
+
+    #[test]
+    fn one_f_one_b_caps_activation_residency() {
+        // The paper's 1F1B choice: at m=256 microbatches and pp=4, GPipe
+        // would hold 64× the activations.
+        assert_eq!(resident_microbatches(Schedule::GPipe, 256, 4), 256);
+        assert_eq!(resident_microbatches(Schedule::OneFOneB, 256, 4), 4);
+        assert_eq!(resident_microbatches(Schedule::ZeroBubble, 256, 4), 4);
+        // Tiny batches: residency never exceeds m.
+        assert_eq!(resident_microbatches(Schedule::OneFOneB, 2, 4), 2);
+        // Combined with the memory model: LLaMa-13B under GPipe at the
+        // paper's batch would blow past 40 GB on activations alone.
+        use crate::memory::{memory_per_gpu, ShardingStrategy};
+        let m = TrainModel::llama_13b();
+        let tokens_1f1b = resident_microbatches(Schedule::OneFOneB, 256, 4) * 2048;
+        let tokens_gpipe = resident_microbatches(Schedule::GPipe, 256, 4) * 2048;
+        let fits = memory_per_gpu(&m, ShardingStrategy::Zero1, 128, 4, 1, tokens_1f1b, false);
+        let blows = memory_per_gpu(&m, ShardingStrategy::Zero1, 128, 4, 1, tokens_gpipe, false);
+        assert!(fits.fits_a100());
+        assert!(!blows.fits_a100());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn invalid_gpu_count_rejected() {
+        let m = TrainModel::llama_13b();
+        pipeline_step(&m, &PipelineConfig::llama_13b_paper(), 66);
+    }
+}

@@ -1,0 +1,90 @@
+//! Tensor parallelism over the NVLink bridge (§V-B1).
+//!
+//! Before the NVLink retrofit, TP between PCIe GPUs would run its per-layer
+//! allreduce over PCIe P2P (≈27 GB/s shared with everything else); the
+//! bridge gives each pair 600 GB/s, making TP=2 practical. This module
+//! quantifies that: per-layer communication time under each interconnect.
+
+use crate::models::TrainModel;
+use ff_hw::spec::{NVLINK_DIR_BPS, PCIE4_X16_BPS};
+
+/// Interconnect available between the tensor-parallel pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpLink {
+    /// PCIe peer-to-peer (pre-retrofit).
+    Pcie,
+    /// NVLink bridge (600 GB/s per pair).
+    NvLinkBridge,
+}
+
+impl TpLink {
+    /// Usable bandwidth per direction.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            TpLink::Pcie => PCIE4_X16_BPS,
+            TpLink::NvLinkBridge => NVLINK_DIR_BPS,
+        }
+    }
+}
+
+/// Communication time of one Megatron-style transformer layer under TP=2:
+/// two allreduces of the activation tensor per layer per direction
+/// (forward + backward ⇒ 4 allreduces), each moving `2(n−1)/n ≈ 1` times
+/// the activations across the pair link.
+pub fn tp_layer_comm_time(model: &TrainModel, tokens: usize, link: TpLink) -> f64 {
+    let act_bytes = tokens as f64 * model.boundary_bytes_per_token();
+    let allreduces = 4.0;
+    allreduces * act_bytes / link.bandwidth()
+}
+
+/// The TP=2 speedup bound for one layer: compute halves; communication is
+/// the overhead. Returns estimated layer time (seconds) given the layer's
+/// single-GPU compute time.
+pub fn tp2_layer_time(layer_compute_s: f64, comm_s: f64) -> f64 {
+    layer_compute_s / 2.0 + comm_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_is_an_order_of_magnitude_faster() {
+        let m = TrainModel::llama_13b();
+        let pcie = tp_layer_comm_time(&m, 4096, TpLink::Pcie);
+        let nvl = tp_layer_comm_time(&m, 4096, TpLink::NvLinkBridge);
+        assert!((pcie / nvl - 300.0 / 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tp2_pays_off_only_with_nvlink() {
+        // A LLaMa-13B layer at 4096 tokens: compute ≈ 2 × 6 × params/layers
+        // FLOPs... concretely ~25 ms on one GPU at 71% MFU.
+        let m = TrainModel::llama_13b();
+        let tokens = 4096usize;
+        let layer_flops = m.step_flops_per_token() * tokens as f64 / m.layers as f64;
+        let layer_compute = layer_flops / m.sustained_flops(220e12);
+        let pcie = tp2_layer_time(layer_compute, tp_layer_comm_time(&m, tokens, TpLink::Pcie));
+        let nvl = tp2_layer_time(
+            layer_compute,
+            tp_layer_comm_time(&m, tokens, TpLink::NvLinkBridge),
+        );
+        assert!(nvl < layer_compute, "NVLink TP=2 must beat one GPU");
+        // Standalone PCIe P2P adds ~20% per layer — and in practice that
+        // path is shared with D2H/H2D and NIC traffic, which NVLink avoids
+        // entirely.
+        assert!(pcie > nvl * 1.15, "PCIe TP=2 should be clearly worse");
+        assert!(
+            tp_layer_comm_time(&m, tokens, TpLink::Pcie)
+                > 10.0 * tp_layer_comm_time(&m, tokens, TpLink::NvLinkBridge)
+        );
+    }
+
+    #[test]
+    fn comm_scales_linearly_with_tokens() {
+        let m = TrainModel::llama_13b();
+        let a = tp_layer_comm_time(&m, 1000, TpLink::NvLinkBridge);
+        let b = tp_layer_comm_time(&m, 2000, TpLink::NvLinkBridge);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

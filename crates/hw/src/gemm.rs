@@ -1,0 +1,66 @@
+//! GEMM throughput/time model (Table II).
+
+use crate::spec::GpuForm;
+
+/// Matrix-multiply precision mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmPrecision {
+    /// TensorFloat-32 on tensor cores.
+    Tf32,
+    /// FP16 on tensor cores.
+    Fp16,
+}
+
+/// FLOPs of an `m×k · k×n` GEMM (multiply-add counted as 2).
+pub fn gemm_flops(m: u64, n: u64, k: u64) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Sustained throughput of `form` at `precision`, FLOP/s (measured values
+/// from Table II — not peak datasheet numbers).
+pub fn gemm_throughput(form: GpuForm, precision: GemmPrecision) -> f64 {
+    match precision {
+        GemmPrecision::Tf32 => form.tf32_flops(),
+        GemmPrecision::Fp16 => form.fp16_flops(),
+    }
+}
+
+/// Wall time of an `m×k · k×n` GEMM on one GPU, seconds.
+pub fn gemm_time(m: u64, n: u64, k: u64, form: GpuForm, precision: GemmPrecision) -> f64 {
+    gemm_flops(m, n, k) / gemm_throughput(form, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 48.0);
+        assert_eq!(gemm_flops(8192, 8192, 8192), 2.0 * 8192f64.powi(3));
+    }
+
+    #[test]
+    fn pcie_is_83pct_of_sxm() {
+        for p in [GemmPrecision::Tf32, GemmPrecision::Fp16] {
+            let ratio =
+                gemm_throughput(GpuForm::PcieA100, p) / gemm_throughput(GpuForm::SxmA100, p);
+            assert!((0.81..=0.84).contains(&ratio), "{p:?}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn gemm_time_scales_inversely_with_throughput() {
+        let t_pcie = gemm_time(8192, 8192, 8192, GpuForm::PcieA100, GemmPrecision::Fp16);
+        let t_sxm = gemm_time(8192, 8192, 8192, GpuForm::SxmA100, GemmPrecision::Fp16);
+        assert!(t_pcie > t_sxm);
+        assert!((t_pcie / t_sxm - 263.0 / 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp16_is_roughly_double_tf32() {
+        let r = gemm_throughput(GpuForm::PcieA100, GemmPrecision::Fp16)
+            / gemm_throughput(GpuForm::PcieA100, GemmPrecision::Tf32);
+        assert!((1.9..=2.2).contains(&r));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ff-hw — in-node hardware model
+//!
+//! Models the Fire-Flyer 2 compute node of §III-A / Figure 4: eight PCIe
+//! A100 GPUs and one 200 Gbps IB NIC hanging directly off two EPYC CPUs,
+//! with the quirks the paper's performance analysis hinges on:
+//!
+//! * GPU5 and GPU6 share a PCIe root-complex port (Figure 4), whose uplink
+//!   into the CPU fabric tops out around 37.5 GB/s (§IV-D3) — the reason
+//!   HFReduce measures ~8 GB/s where the memory-bandwidth bound predicts
+//!   ~12 GB/s.
+//! * 16 channels of DDR4-3200 give ≈320 GB/s of practical host memory
+//!   bandwidth, and HFReduce touches host memory 24× the gradient size
+//!   (§IV-D3) — the memory-op weights are encoded in the route builders.
+//! * EPYC Rome cannot chain PCIe writes, capping GPU↔NIC peer-to-peer at
+//!   ≈9 GiB/s (§IV-D2) — the constraint that makes NCCL slow on this node.
+//! * The optional NVLink bridge adds a 600 GB/s (300 GB/s per direction)
+//!   path between paired GPUs (§V-B1).
+//!
+//! [`spec`] carries the Table I/II/IV constants; [`node`] registers a
+//! node's conduits as `ff-desim` resources and builds weighted routes for
+//! every transfer the reduction/training simulators need; [`gemm`] is the
+//! GEMM throughput/time model; [`power`] the energy/cost side of Table II.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod node;
+pub mod power;
+pub mod spec;
+
+pub use gemm::{gemm_flops, gemm_time, GemmPrecision};
+pub use node::{NodeHw, TransferMethod};
+pub use spec::{GpuForm, NodeSpec, StorageNodeSpec};

@@ -1,0 +1,426 @@
+//! The node's conduits as fluid-sim resources, and weighted routes for
+//! every transfer the collective/training simulators perform.
+//!
+//! Weights encode the memory-operation accounting of §IV-D3: HFReduce's 24×
+//! host-memory amplification decomposes as D2H 8 writes, intra-node reduce
+//! 8 reads + 1 write, IB send 2 reads, IB receive 2 writes + 1 reduce-add
+//! read, and H2D 2 reads (GDRCopy) or 8 reads (MemcpyAsync).
+
+use crate::spec::{
+    GpuForm, NodeSpec, HOST_BRIDGE_BIDIR_BPS, HOST_BRIDGE_BPS, NVLINK_DIR_BPS, NIC_200G_BPS,
+    PCIE4_X16_BPS, ROME_P2P_BPS,
+};
+use ff_desim::{FluidSim, ResourceId, Route};
+
+/// How bytes move between host memory and GPU memory (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMethod {
+    /// `cudaMemcpyAsync` through the copy engine: each destination GPU's
+    /// data is read from host memory separately (8 reads for 8 GPUs).
+    MemcpyAsync,
+    /// GDRCopy: the CPU reads host memory once per NUMA half and writes
+    /// GPU BARs directly from cache — 2 host-memory reads for 8 GPUs.
+    GdrCopy,
+}
+
+/// A compute node's registered resources. Create with [`NodeHw::install`].
+#[derive(Debug, Clone)]
+pub struct NodeHw {
+    /// The node build this instance models.
+    pub spec: NodeSpec,
+    /// Host memory bus (shared by reads and writes).
+    pub membus: ResourceId,
+    gpu_pcie_up: Vec<ResourceId>,
+    gpu_pcie_down: Vec<ResourceId>,
+    root_up: Vec<ResourceId>,
+    root_down: Vec<ResourceId>,
+    root_bidir: Vec<ResourceId>,
+    gpu_root: Vec<usize>,
+    nic_root: Vec<usize>,
+    nic_up: Vec<ResourceId>,
+    nic_down: Vec<ResourceId>,
+    nic_p2p_up: Vec<ResourceId>,
+    nic_p2p_down: Vec<ResourceId>,
+    nvlink_fwd: Vec<ResourceId>,
+    nvlink_rev: Vec<ResourceId>,
+    gpu_flops: Vec<ResourceId>,
+}
+
+impl NodeHw {
+    /// Register all of a node's conduits in `fluid`. `name` prefixes
+    /// resource names for diagnostics.
+    pub fn install(fluid: &mut FluidSim, name: &str, spec: &NodeSpec) -> NodeHw {
+        let g = spec.gpus;
+        // Root-complex plan (Figure 4): every GPU its own port except GPU5
+        // and GPU6, which share one; every NIC gets its own port.
+        let mut gpu_root = Vec::with_capacity(g);
+        let mut next_root = 0usize;
+        for i in 0..g {
+            if i == 6 && g == 8 {
+                gpu_root.push(gpu_root[5]); // share GPU5's port
+            } else {
+                gpu_root.push(next_root);
+                next_root += 1;
+            }
+        }
+        let nic_root: Vec<usize> = (0..spec.nics)
+            .map(|_| {
+                let r = next_root;
+                next_root += 1;
+                r
+            })
+            .collect();
+        let root_up: Vec<ResourceId> = (0..next_root)
+            .map(|i| fluid.add_resource(format!("{name}/root{i}/up"), HOST_BRIDGE_BPS))
+            .collect();
+        let root_down: Vec<ResourceId> = (0..next_root)
+            .map(|i| fluid.add_resource(format!("{name}/root{i}/down"), HOST_BRIDGE_BPS))
+            .collect();
+        // EPYC Rome/Milan root ports degrade under simultaneous
+        // bidirectional transfers (§IV-D3): both directions together are
+        // capped below 2× the unidirectional limit.
+        let root_bidir: Vec<ResourceId> = (0..next_root)
+            .map(|i| fluid.add_resource(format!("{name}/root{i}/bidir"), HOST_BRIDGE_BIDIR_BPS))
+            .collect();
+        let gpu_pcie_up = (0..g)
+            .map(|i| fluid.add_resource(format!("{name}/gpu{i}/pcie-up"), PCIE4_X16_BPS))
+            .collect();
+        let gpu_pcie_down = (0..g)
+            .map(|i| fluid.add_resource(format!("{name}/gpu{i}/pcie-down"), PCIE4_X16_BPS))
+            .collect();
+        let membus = fluid.add_resource(format!("{name}/membus"), spec.mem_bw);
+        let nic_up = (0..spec.nics)
+            .map(|i| fluid.add_resource(format!("{name}/nic{i}/up"), NIC_200G_BPS))
+            .collect();
+        let nic_down = (0..spec.nics)
+            .map(|i| fluid.add_resource(format!("{name}/nic{i}/down"), NIC_200G_BPS))
+            .collect();
+        let nic_p2p_up = (0..spec.nics)
+            .map(|i| fluid.add_resource(format!("{name}/nic{i}/p2p-up"), ROME_P2P_BPS))
+            .collect();
+        let nic_p2p_down = (0..spec.nics)
+            .map(|i| fluid.add_resource(format!("{name}/nic{i}/p2p-down"), ROME_P2P_BPS))
+            .collect();
+        let pairs = if spec.nvlink_bridge || spec.nvlink_full_mesh {
+            g / 2
+        } else {
+            0
+        };
+        let nvlink_fwd = (0..pairs)
+            .map(|i| fluid.add_resource(format!("{name}/nvl{i}/fwd"), NVLINK_DIR_BPS))
+            .collect();
+        let nvlink_rev = (0..pairs)
+            .map(|i| fluid.add_resource(format!("{name}/nvl{i}/rev"), NVLINK_DIR_BPS))
+            .collect();
+        let flops = match spec.gpu {
+            GpuForm::PcieA100 | GpuForm::SxmA100 => spec.gpu.fp16_flops(),
+        };
+        let gpu_flops = (0..g)
+            .map(|i| fluid.add_resource(format!("{name}/gpu{i}/flops"), flops))
+            .collect();
+        NodeHw {
+            spec: spec.clone(),
+            membus,
+            gpu_pcie_up,
+            gpu_pcie_down,
+            root_up,
+            root_down,
+            root_bidir,
+            gpu_root,
+            nic_root,
+            nic_up,
+            nic_down,
+            nic_p2p_up,
+            nic_p2p_down,
+            nvlink_fwd,
+            nvlink_rev,
+            gpu_flops,
+        }
+    }
+
+    /// GPUs on this node.
+    pub fn gpus(&self) -> usize {
+        self.spec.gpus
+    }
+
+    /// NICs on this node.
+    pub fn nics(&self) -> usize {
+        self.spec.nics
+    }
+
+    /// NUMA socket of a GPU: the first half of the GPUs hang off socket 0.
+    pub fn numa_of_gpu(&self, gpu: usize) -> usize {
+        usize::from(gpu >= self.spec.gpus / 2)
+    }
+
+    /// NVLink pair partner of `gpu`, if the node has bridges.
+    pub fn nvlink_peer(&self, gpu: usize) -> Option<usize> {
+        if self.nvlink_fwd.is_empty() {
+            None
+        } else {
+            Some(gpu ^ 1)
+        }
+    }
+
+    /// Device-to-host: GPU copy engine pushes into host memory (1 write).
+    pub fn d2h(&self, gpu: usize) -> Route {
+        Route::weighted([
+            (self.gpu_pcie_up[gpu], 1.0),
+            (self.root_up[self.gpu_root[gpu]], 1.0),
+            (self.root_bidir[self.gpu_root[gpu]], 1.0),
+            (self.membus, 1.0),
+        ])
+    }
+
+    /// Host-to-device for one GPU as part of a fan-out to all `n` GPUs.
+    /// MemcpyAsync reads host memory once per GPU; GDRCopy reads once per
+    /// four GPUs (cache reuse within a NUMA node, §IV-A), i.e. weight 2/8
+    /// per GPU on an 8-GPU node.
+    pub fn h2d(&self, gpu: usize, method: TransferMethod) -> Route {
+        let mem_w = match method {
+            TransferMethod::MemcpyAsync => 1.0,
+            TransferMethod::GdrCopy => 2.0 / self.spec.gpus as f64,
+        };
+        Route::weighted([
+            (self.membus, mem_w),
+            (self.root_down[self.gpu_root[gpu]], 1.0),
+            (self.root_bidir[self.gpu_root[gpu]], 1.0),
+            (self.gpu_pcie_down[gpu], 1.0),
+        ])
+    }
+
+    /// CPU reduce-add of `n_src` same-size buffers into one: `n_src` reads
+    /// plus one write of host memory per output byte.
+    pub fn cpu_reduce(&self, n_src: usize) -> Route {
+        Route::weighted([(self.membus, n_src as f64 + 1.0)])
+    }
+
+    /// IB send from host memory: the HCA reads payload (+ doorbell/SGE
+    /// traffic), 2 host-memory reads per byte (§IV-D3).
+    pub fn ib_send(&self, nic: usize) -> Route {
+        Route::weighted([
+            (self.membus, 2.0),
+            (self.root_up[self.nic_root[nic]], 1.0),
+            (self.root_bidir[self.nic_root[nic]], 1.0),
+            (self.nic_up[nic], 1.0),
+        ])
+    }
+
+    /// IB receive into host memory with an inline reduce-add: 2 writes + 1
+    /// read (§IV-D3).
+    pub fn ib_recv_reduce(&self, nic: usize) -> Route {
+        Route::weighted([
+            (self.nic_down[nic], 1.0),
+            (self.root_down[self.nic_root[nic]], 1.0),
+            (self.root_bidir[self.nic_root[nic]], 1.0),
+            (self.membus, 3.0),
+        ])
+    }
+
+    /// IB receive without reduction (2 writes).
+    pub fn ib_recv(&self, nic: usize) -> Route {
+        Route::weighted([
+            (self.nic_down[nic], 1.0),
+            (self.root_down[self.nic_root[nic]], 1.0),
+            (self.root_bidir[self.nic_root[nic]], 1.0),
+            (self.membus, 2.0),
+        ])
+    }
+
+    /// GPU→GPU peer-to-peer over PCIe (the NCCL intra-node path): up
+    /// through the source root port, down through the destination's. Does
+    /// not touch host memory.
+    pub fn gpu_p2p(&self, src: usize, dst: usize) -> Route {
+        assert_ne!(src, dst);
+        Route::weighted([
+            (self.gpu_pcie_up[src], 1.0),
+            (self.root_up[self.gpu_root[src]], 1.0),
+            (self.root_bidir[self.gpu_root[src]], 1.0),
+            (self.root_down[self.gpu_root[dst]], 1.0),
+            (self.root_bidir[self.gpu_root[dst]], 1.0),
+            (self.gpu_pcie_down[dst], 1.0),
+        ])
+    }
+
+    /// GPU→NIC peer-to-peer (GPUDirect RDMA send). On EPYC Rome this path
+    /// is capped at ≈9 GiB/s — no chained writes (§IV-D2).
+    pub fn gpu_nic_send(&self, gpu: usize, nic: usize) -> Route {
+        Route::weighted([
+            (self.gpu_pcie_up[gpu], 1.0),
+            (self.root_up[self.gpu_root[gpu]], 1.0),
+            (self.root_bidir[self.gpu_root[gpu]], 1.0),
+            (self.nic_p2p_up[nic], 1.0),
+            (self.nic_up[nic], 1.0),
+        ])
+    }
+
+    /// NIC→GPU peer-to-peer (GPUDirect RDMA receive), same ceiling.
+    pub fn nic_gpu_recv(&self, nic: usize, gpu: usize) -> Route {
+        Route::weighted([
+            (self.nic_down[nic], 1.0),
+            (self.nic_p2p_down[nic], 1.0),
+            (self.root_down[self.gpu_root[gpu]], 1.0),
+            (self.root_bidir[self.gpu_root[gpu]], 1.0),
+            (self.gpu_pcie_down[gpu], 1.0),
+        ])
+    }
+
+    /// NVLink transfer between paired GPUs. Panics without a bridge or for
+    /// non-paired GPUs.
+    pub fn nvlink(&self, src: usize, dst: usize) -> Route {
+        assert!(
+            self.nvlink_peer(src) == Some(dst),
+            "GPUs {src}->{dst} are not NVLink-paired"
+        );
+        let pair = src / 2;
+        let dir = if src < dst {
+            self.nvlink_fwd[pair]
+        } else {
+            self.nvlink_rev[pair]
+        };
+        Route::weighted([(dir, 1.0)])
+    }
+
+    /// GPU compute: a transfer of `flops` work units over the GPU's FLOPS
+    /// resource.
+    pub fn gemm(&self, gpu: usize) -> Route {
+        Route::weighted([(self.gpu_flops[gpu], 1.0)])
+    }
+
+    /// The NIC wire resources (up = egress, down = ingress) — shared with
+    /// network-level routes built by `ff-net`.
+    pub fn nic_ports(&self, nic: usize) -> (ResourceId, ResourceId) {
+        (self.nic_up[nic], self.nic_down[nic])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_desim::FluidSim;
+
+    fn node(spec: NodeSpec) -> (FluidSim, NodeHw) {
+        let mut fluid = FluidSim::new();
+        let hw = NodeHw::install(&mut fluid, "n0", &spec);
+        (fluid, hw)
+    }
+
+    #[test]
+    fn single_d2h_runs_at_pcie_speed() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let f = fluid.start_flow(1e9, &hw.d2h(0));
+        assert!((fluid.flow_rate(f) - PCIE4_X16_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpu5_and_6_share_a_root_port() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let f5 = fluid.start_flow(1e9, &hw.d2h(5));
+        let f6 = fluid.start_flow(1e9, &hw.d2h(6));
+        // Two concurrent D2H through one 37.5 GB/s port: 18.75 each.
+        assert!((fluid.flow_rate(f5) - HOST_BRIDGE_BPS / 2.0).abs() < 1.0);
+        assert!((fluid.flow_rate(f6) - HOST_BRIDGE_BPS / 2.0).abs() < 1.0);
+        // GPUs 0 and 1 don't interfere.
+        let f0 = fluid.start_flow(1e9, &hw.d2h(0));
+        assert!((fluid.flow_rate(f0) - PCIE4_X16_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn eight_way_d2h_is_pcie_bound_not_membus_bound() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let flows: Vec<_> = (0..8).map(|g| fluid.start_flow(1e9, &hw.d2h(g))).collect();
+        // 6 GPUs at 27, GPUs 5/6 at 18.75 => total 199.5 < 320 membus.
+        let total: f64 = flows.iter().map(|&f| fluid.flow_rate(f)).sum();
+        assert!(total < 320e9);
+        assert!((fluid.flow_rate(flows[0]) - PCIE4_X16_BPS).abs() < 1.0);
+        assert!((fluid.flow_rate(flows[5]) - HOST_BRIDGE_BPS / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gdrcopy_h2d_uses_quarter_membus_per_gpu() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let flows: Vec<_> = (0..8)
+            .map(|g| fluid.start_flow(1e9, &hw.h2d(g, TransferMethod::GdrCopy)))
+            .collect();
+        // Aggregate membus load = 8 flows × rate × 0.25 ≤ capacity; PCIe is
+        // the binding constraint, so each flow runs at PCIe speed (except
+        // the 5/6 pair on the shared bridge).
+        let r0 = fluid.flow_rate(flows[0]);
+        assert!((r0 - PCIE4_X16_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn memcpy_h2d_fanout_is_membus_bound() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let flows: Vec<_> = (0..8)
+            .map(|g| fluid.start_flow(1e9, &hw.h2d(g, TransferMethod::MemcpyAsync)))
+            .collect();
+        // Plus a big concurrent reduce hammering the memory bus.
+        let reduce = fluid.start_flow(1e9, &hw.cpu_reduce(8));
+        let total_h2d: f64 = flows.iter().map(|&f| fluid.flow_rate(f)).sum();
+        // With weight-1 membus per GPU and a 9× reduce stream, the bus must
+        // now be saturated: Σ h2d + 9×reduce ≈ 320e9.
+        let reduce_rate = fluid.flow_rate(reduce);
+        let load = total_h2d + 9.0 * reduce_rate;
+        assert!((load - 320e9).abs() / 320e9 < 1e-3, "membus load {load}");
+    }
+
+    #[test]
+    fn rome_p2p_ceiling_caps_gpu_nic() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        let f = fluid.start_flow(1e9, &hw.gpu_nic_send(0, 0));
+        // 9 GiB/s < NIC 25 GB/s: the Rome ceiling binds.
+        assert!((fluid.flow_rate(f) - ROME_P2P_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn nvlink_routes_only_between_pairs() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100_nvlink());
+        assert_eq!(hw.nvlink_peer(0), Some(1));
+        assert_eq!(hw.nvlink_peer(3), Some(2));
+        let f = fluid.start_flow(1e9, &hw.nvlink(0, 1));
+        assert!((fluid.flow_rate(f) - NVLINK_DIR_BPS).abs() < 1.0);
+        // Opposite directions do not contend.
+        let g = fluid.start_flow(1e9, &hw.nvlink(1, 0));
+        assert!((fluid.flow_rate(g) - NVLINK_DIR_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not NVLink-paired")]
+    fn nvlink_rejects_unpaired() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100_nvlink());
+        fluid.start_flow(1.0, &hw.nvlink(0, 2));
+    }
+
+    #[test]
+    fn no_nvlink_without_bridge() {
+        let (_, hw) = node(NodeSpec::pcie_a100());
+        assert_eq!(hw.nvlink_peer(0), None);
+    }
+
+    #[test]
+    fn numa_split() {
+        let (_, hw) = node(NodeSpec::pcie_a100());
+        assert_eq!(hw.numa_of_gpu(0), 0);
+        assert_eq!(hw.numa_of_gpu(3), 0);
+        assert_eq!(hw.numa_of_gpu(4), 1);
+        assert_eq!(hw.numa_of_gpu(7), 1);
+    }
+
+    #[test]
+    fn gemm_time_matches_throughput() {
+        let (mut fluid, hw) = node(NodeSpec::pcie_a100());
+        // 220 TFLOP of FP16 work on a 220 TFLOPS GPU = 1 second.
+        let f = fluid.start_flow(220e12, &hw.gemm(0));
+        let _ = f;
+        let (t, _) = fluid.advance_to_next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dgx_node_has_nine_nics() {
+        let (_, hw) = node(NodeSpec::dgx_a100());
+        assert_eq!(hw.nics(), 9);
+        assert_eq!(hw.nvlink_peer(2), Some(3));
+    }
+}

@@ -1,0 +1,97 @@
+//! Cluster power and operating-cost model (§VIII-C).
+
+use crate::spec::NodeSpec;
+
+/// Average power draw of one InfiniBand switch, watts.
+pub const SWITCH_POWER_W: f64 = 500.0;
+/// Average power draw of one storage node, watts.
+pub const STORAGE_NODE_POWER_W: f64 = 1200.0;
+
+/// Cluster-level power envelope.
+#[derive(Debug, Clone)]
+pub struct ClusterPower {
+    /// Compute node count.
+    pub compute_nodes: usize,
+    /// Storage node count.
+    pub storage_nodes: usize,
+    /// Switch count.
+    pub switches: usize,
+    /// Per-compute-node draw, watts.
+    pub node_watts: f64,
+}
+
+impl ClusterPower {
+    /// Fire-Flyer 2: ~1,250 compute nodes, 180 storage nodes, 122 switches.
+    pub fn fire_flyer2() -> Self {
+        ClusterPower {
+            compute_nodes: 1250,
+            storage_nodes: 180,
+            switches: 122,
+            node_watts: NodeSpec::pcie_a100().power_watts,
+        }
+    }
+
+    /// The DGX-A100 equivalent at the same GPU count.
+    pub fn dgx_equivalent() -> Self {
+        ClusterPower {
+            compute_nodes: 1250,
+            storage_nodes: 180,
+            switches: 1320,
+            node_watts: NodeSpec::dgx_a100().power_watts,
+        }
+    }
+
+    /// Total draw, watts.
+    pub fn total_watts(&self) -> f64 {
+        self.compute_nodes as f64 * self.node_watts
+            + self.storage_nodes as f64 * STORAGE_NODE_POWER_W
+            + self.switches as f64 * SWITCH_POWER_W
+    }
+
+    /// Energy per year at `pue` (power usage effectiveness), kWh.
+    pub fn annual_kwh(&self, pue: f64) -> f64 {
+        self.total_watts() * pue * 24.0 * 365.0 / 1000.0
+    }
+
+    /// Operating cost per year given electricity price and rack rental.
+    pub fn annual_operating_cost(&self, price_per_kwh: f64, pue: f64, rack_rental: f64) -> f64 {
+        self.annual_kwh(pue) * price_per_kwh + rack_rental
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_flyer_is_just_over_3mw_under_4mw() {
+        // §VIII-C2: "does not exceed 4 MW, approximately just over 3 MW".
+        let p = ClusterPower::fire_flyer2().total_watts();
+        assert!(p > 3.0e6, "{p}");
+        assert!(p < 4.0e6, "{p}");
+    }
+
+    #[test]
+    fn saves_about_40pct_vs_dgx() {
+        let ours = ClusterPower::fire_flyer2().total_watts();
+        let dgx = ClusterPower::dgx_equivalent().total_watts();
+        let saving = 1.0 - ours / dgx;
+        assert!(saving > 0.38, "saving {saving}");
+    }
+
+    #[test]
+    fn annual_energy_scales_with_pue() {
+        let c = ClusterPower::fire_flyer2();
+        let base = c.annual_kwh(1.0);
+        assert!((c.annual_kwh(1.3) / base - 1.3).abs() < 1e-12);
+        // ~3.4 MW × 8760 h ≈ 30 GWh.
+        assert!(base > 25e6 && base < 35e6, "{base}");
+    }
+
+    #[test]
+    fn operating_cost_combines_energy_and_rent() {
+        let c = ClusterPower::fire_flyer2();
+        let cost = c.annual_operating_cost(0.1, 1.2, 1_000_000.0);
+        assert!((cost - (c.annual_kwh(1.2) * 0.1 + 1_000_000.0)).abs() < 1e-6);
+    }
+}

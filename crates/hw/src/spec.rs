@@ -1,0 +1,267 @@
+//! Hardware constants from Tables I, II and IV.
+
+/// Bytes/second of one 200 Gbps InfiniBand port (per direction).
+pub const NIC_200G_BPS: f64 = 25e9;
+/// Effective PCIe 4.0 x16 bandwidth per direction ("over 27 GB/s", §IV-D3).
+pub const PCIE4_X16_BPS: f64 = 27e9;
+/// EPYC Rome/Milan root-complex-port → CPU fabric bandwidth (§IV-D3).
+pub const HOST_BRIDGE_BPS: f64 = 37.5e9;
+/// Combined both-direction ceiling of a root port under simultaneous
+/// bidirectional transfers — "this bandwidth decreases even further"
+/// (§IV-D3). Calibrated so the HFReduce model lands in the paper's
+/// measured 6.3–8.1 GB/s band instead of the 13.3 GB/s memory bound.
+pub const HOST_BRIDGE_BIDIR_BPS: f64 = 40e9;
+/// Practical memory bandwidth of 16 channels of DDR4-3200 (§IV-D3).
+pub const MEM_BW_16CH_BPS: f64 = 320e9;
+/// Practical memory bandwidth of 8 channels of DDR4-3200 (storage nodes).
+pub const MEM_BW_8CH_BPS: f64 = 160e9;
+/// NVLink bridge bandwidth per direction (600 GB/s bidirectional pair).
+pub const NVLINK_DIR_BPS: f64 = 300e9;
+/// EPYC Rome GPU↔NIC peer-to-peer ceiling — no chained writes (§IV-D2).
+pub const ROME_P2P_BPS: f64 = 9.0 * 1024.0 * 1024.0 * 1024.0;
+/// Number of GPUs per compute node.
+pub const GPUS_PER_NODE: usize = 8;
+
+/// A100 form factor, the axis of the Table II comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuForm {
+    /// PCIe A100-40GB (Fire-Flyer 2).
+    PcieA100,
+    /// SXM A100-40GB (DGX-A100).
+    SxmA100,
+}
+
+impl GpuForm {
+    /// Measured TF32 GEMM throughput, FLOP/s (Table II).
+    pub fn tf32_flops(self) -> f64 {
+        match self {
+            GpuForm::PcieA100 => 107e12,
+            GpuForm::SxmA100 => 131e12,
+        }
+    }
+
+    /// Measured FP16 GEMM throughput, FLOP/s (Table II).
+    pub fn fp16_flops(self) -> f64 {
+        match self {
+            GpuForm::PcieA100 => 220e12,
+            GpuForm::SxmA100 => 263e12,
+        }
+    }
+
+    /// GPU memory per card, bytes.
+    pub fn memory_bytes(self) -> u64 {
+        40 * (1 << 30)
+    }
+}
+
+/// A compute node's build (Table I).
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Human label.
+    pub name: &'static str,
+    /// GPU form factor.
+    pub gpu: GpuForm,
+    /// GPUs per node.
+    pub gpus: usize,
+    /// 200 Gbps NICs per node.
+    pub nics: usize,
+    /// CPU cores (total across sockets).
+    pub cpu_cores: usize,
+    /// Host memory, bytes.
+    pub memory_bytes: u64,
+    /// Practical host memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Whether paired GPUs have an NVLink bridge.
+    pub nvlink_bridge: bool,
+    /// Whether all 8 GPUs share full-mesh NVLink (DGX NVSwitch).
+    pub nvlink_full_mesh: bool,
+    /// Node power under ResNet training, watts (Table II).
+    pub power_watts: f64,
+    /// Relative node price (DGX = 100, Table II).
+    pub relative_price: f64,
+}
+
+impl NodeSpec {
+    /// The Fire-Flyer 2 PCIe A100 node, pre-NVLink-bridge (2021 build).
+    pub fn pcie_a100() -> Self {
+        NodeSpec {
+            name: "Fire-Flyer 2 PCIe A100",
+            gpu: GpuForm::PcieA100,
+            gpus: GPUS_PER_NODE,
+            nics: 1,
+            cpu_cores: 64,
+            memory_bytes: 512 * (1 << 30),
+            mem_bw: MEM_BW_16CH_BPS,
+            nvlink_bridge: false,
+            nvlink_full_mesh: false,
+            power_watts: 2500.0,
+            relative_price: 60.0,
+        }
+    }
+
+    /// The same node after the NVLink bridge retrofit (LLM era, §V-B1).
+    pub fn pcie_a100_nvlink() -> Self {
+        NodeSpec {
+            nvlink_bridge: true,
+            name: "Fire-Flyer 2 PCIe A100 + NVLink bridge",
+            ..Self::pcie_a100()
+        }
+    }
+
+    /// The NVIDIA DGX-A100 reference (Table I).
+    pub fn dgx_a100() -> Self {
+        NodeSpec {
+            name: "DGX-A100",
+            gpu: GpuForm::SxmA100,
+            gpus: GPUS_PER_NODE,
+            nics: 9,
+            cpu_cores: 128,
+            memory_bytes: 2048 * (1 << 30),
+            mem_bw: MEM_BW_16CH_BPS,
+            nvlink_bridge: false,
+            nvlink_full_mesh: true,
+            power_watts: 4200.0,
+            relative_price: 100.0,
+        }
+    }
+
+    /// The next-generation node sketched in §IX: 1 NIC per GPU for MoE
+    /// all-to-all, on a multi-plane fat-tree.
+    pub fn next_gen_pcie() -> Self {
+        NodeSpec {
+            name: "Next-gen PCIe (1:1 GPU:NIC)",
+            nics: GPUS_PER_NODE,
+            nvlink_bridge: true,
+            ..Self::pcie_a100()
+        }
+    }
+
+    /// Relative GEMM performance versus DGX (Table II's 83%): the mean of
+    /// the TF32 and FP16 ratios.
+    pub fn relative_performance(&self) -> f64 {
+        let dgx = GpuForm::SxmA100;
+        let tf32 = self.gpu.tf32_flops() / dgx.tf32_flops();
+        let fp16 = self.gpu.fp16_flops() / dgx.fp16_flops();
+        (tf32 + fp16) / 2.0
+    }
+
+    /// Cost-performance ratio versus DGX (Table II's 1.38): relative
+    /// performance per relative price, normalized so DGX = 1.
+    pub fn cost_performance_ratio(&self) -> f64 {
+        (self.relative_performance() / (self.relative_price / 100.0)).min(1e9)
+    }
+
+    /// Aggregate NIC bandwidth per node, bytes/second/direction.
+    pub fn nic_bw_total(&self) -> f64 {
+        self.nics as f64 * NIC_200G_BPS
+    }
+}
+
+/// A 3FS storage node (Table IV).
+#[derive(Debug, Clone)]
+pub struct StorageNodeSpec {
+    /// 200 Gbps NICs (dual-homed across the two zones).
+    pub nics: usize,
+    /// NVMe data SSDs.
+    pub ssds: usize,
+    /// Capacity per SSD, bytes.
+    pub ssd_capacity: u64,
+    /// Sustained read bandwidth per SSD, bytes/second (PCIe 4.0 x4 NVMe).
+    pub ssd_read_bw: f64,
+    /// Sustained write bandwidth per SSD, bytes/second.
+    pub ssd_write_bw: f64,
+    /// Host memory bandwidth.
+    pub mem_bw: f64,
+}
+
+impl StorageNodeSpec {
+    /// The paper's storage node: 16× 15.36 TB PCIe 4.0 NVMe, 2× CX6 NICs.
+    pub fn paper() -> Self {
+        StorageNodeSpec {
+            nics: 2,
+            ssds: 16,
+            ssd_capacity: 15_360_000_000_000,
+            ssd_read_bw: 7e9,
+            ssd_write_bw: 4e9,
+            mem_bw: MEM_BW_8CH_BPS,
+        }
+    }
+
+    /// Outbound network bandwidth of the node, bytes/second.
+    pub fn outbound_bw(&self) -> f64 {
+        self.nics as f64 * NIC_200G_BPS
+    }
+
+    /// Aggregate SSD read bandwidth — whether the NICs or the SSDs bound
+    /// node throughput.
+    pub fn ssd_read_total(&self) -> f64 {
+        self.ssds as f64 * self.ssd_read_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_relative_performance_is_83pct() {
+        let node = NodeSpec::pcie_a100();
+        let rel = node.relative_performance();
+        assert!((rel - 0.83).abs() < 0.01, "relative perf {rel}");
+    }
+
+    #[test]
+    fn table2_cost_performance_ratio_is_1_38() {
+        let node = NodeSpec::pcie_a100();
+        let r = node.cost_performance_ratio();
+        assert!((r - 1.38).abs() < 0.01, "cost-perf {r}");
+        assert!((NodeSpec::dgx_a100().cost_performance_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_power_saves_40pct() {
+        let ours = NodeSpec::pcie_a100().power_watts;
+        let dgx = NodeSpec::dgx_a100().power_watts;
+        assert!(ours <= dgx * 0.60, "{ours} vs {dgx}");
+    }
+
+    #[test]
+    fn table1_node_shapes() {
+        let ours = NodeSpec::pcie_a100();
+        assert_eq!(ours.gpus, 8);
+        assert_eq!(ours.nics, 1);
+        assert_eq!(ours.memory_bytes, 512 << 30);
+        let dgx = NodeSpec::dgx_a100();
+        assert_eq!(dgx.nics, 9);
+        assert_eq!(dgx.memory_bytes, 2048 << 30);
+        assert!(dgx.nvlink_full_mesh && !dgx.nvlink_bridge);
+    }
+
+    #[test]
+    fn next_gen_has_one_nic_per_gpu() {
+        let n = NodeSpec::next_gen_pcie();
+        assert_eq!(n.nics, n.gpus);
+        assert_eq!(n.nic_bw_total(), 8.0 * NIC_200G_BPS);
+    }
+
+    #[test]
+    fn storage_node_is_nic_bound() {
+        // 16 SSDs × 7 GB/s = 112 GB/s ≫ 2 NICs × 25 GB/s: the network is
+        // the bottleneck, which is why 180 nodes × 50 GB/s ≈ 9 TB/s
+        // theoretical aggregate in §VI-B2.
+        let s = StorageNodeSpec::paper();
+        assert!(s.ssd_read_total() > s.outbound_bw());
+        assert!((s.outbound_bw() - 50e9).abs() < 1e-6);
+        let aggregate = 180.0 * s.outbound_bw();
+        assert!((aggregate - 9e12).abs() < 1e9);
+    }
+
+    #[test]
+    fn storage_capacity_matches_20pib_mirrored() {
+        // 180 nodes × 16 SSDs × 15.36 TB with mirroring > 20 PiB usable.
+        let s = StorageNodeSpec::paper();
+        let raw = 180u128 * s.ssds as u128 * s.ssd_capacity as u128;
+        let usable_pib = raw as f64 / 2.0 / (1u64 << 50) as f64;
+        assert!(usable_pib > 19.0, "usable {usable_pib} PiB");
+    }
+}

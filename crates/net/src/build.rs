@@ -1,0 +1,196 @@
+//! Registering a topology's links as fluid resources and converting routed
+//! paths into fluid routes.
+
+use crate::lanes::{ServiceLevel, VlConfig};
+use ff_desim::{FluidSim, ResourceId, Route};
+use ff_topo::{LinkId, NodeId, Topology};
+
+/// The fluid resources backing a topology's links.
+///
+/// Each link gets one resource per direction per Virtual Lane, with
+/// capacity `link.capacity × share(lane)`. Direction 0 is `a→b` in the
+/// topology's link record.
+pub struct NetResources {
+    vl: VlConfig,
+    /// `per_link[link][direction][lane]`.
+    per_link: Vec<[Vec<ResourceId>; 2]>,
+}
+
+impl NetResources {
+    /// Register every link of `topo` in `fluid` under `vl` lane splitting.
+    pub fn install(fluid: &mut FluidSim, topo: &Topology, vl: VlConfig) -> Self {
+        vl.validate();
+        let mut per_link = Vec::with_capacity(topo.link_count());
+        for li in 0..topo.link_count() as u32 {
+            let link = topo.link(LinkId(li));
+            let mut dirs: [Vec<ResourceId>; 2] = [Vec::new(), Vec::new()];
+            for (d, dir_name) in ["fwd", "rev"].iter().enumerate() {
+                for (lane, share) in vl.shares.iter().enumerate() {
+                    dirs[d].push(fluid.add_resource(
+                        format!("link{li}/{dir_name}/vl{lane}"),
+                        link.capacity * share,
+                    ));
+                }
+            }
+            per_link.push(dirs);
+        }
+        NetResources { vl, per_link }
+    }
+
+    /// The lane configuration in use.
+    pub fn vl(&self) -> &VlConfig {
+        &self.vl
+    }
+
+    /// The directed resource for `link` traversed *from* `from`, on the
+    /// lane of `sl`.
+    pub fn link_resource(
+        &self,
+        topo: &Topology,
+        link: LinkId,
+        from: NodeId,
+        sl: ServiceLevel,
+    ) -> ResourceId {
+        let l = topo.link(link);
+        let dir = if l.a == from {
+            0
+        } else {
+            assert_eq!(l.b, from, "{from:?} is not an endpoint of {link:?}");
+            1
+        };
+        self.per_link[link.0 as usize][dir][self.vl.lane_of(sl)]
+    }
+
+    /// Convert a routed path (as produced by `ff_topo::Router`) into a
+    /// fluid route on the lane of `sl`, walking from `src`.
+    pub fn path_route(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        path: &[LinkId],
+        sl: ServiceLevel,
+    ) -> Route {
+        let mut at = src;
+        let mut route = Route::default();
+        for &l in path {
+            route.push(self.link_resource(topo, l, at, sl), 1.0);
+            let link = topo.link(l);
+            at = if link.a == at { link.b } else { link.a };
+        }
+        route
+    }
+
+    /// Current load on the directed lane of `sl` over `link` from `from` —
+    /// the load oracle adaptive routing consults.
+    pub fn load_of(
+        &self,
+        fluid: &mut FluidSim,
+        topo: &Topology,
+        link: LinkId,
+        from: NodeId,
+        sl: ServiceLevel,
+    ) -> f64 {
+        let r = self.link_resource(topo, link, from, sl);
+        fluid.resource_load(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_topo::graph::NodeKind;
+
+    fn line_topo() -> (Topology, NodeId, NodeId, LinkId, LinkId) {
+        let mut t = Topology::new();
+        let h0 = t.add_node(NodeKind::ComputeHost, "h0", None);
+        let s = t.add_node(NodeKind::Leaf, "s", None);
+        let h1 = t.add_node(NodeKind::ComputeHost, "h1", None);
+        let l0 = t.add_link(h0, s, 100.0);
+        let l1 = t.add_link(s, h1, 100.0);
+        (t, h0, h1, l0, l1)
+    }
+
+    #[test]
+    fn shared_lane_route_uses_full_capacity() {
+        let (topo, h0, h1, _, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::shared());
+        let path = topo.shortest_paths(h0, h1, 1).remove(0);
+        let route = net.path_route(&topo, h0, &path, ServiceLevel::Storage);
+        let f = fluid.start_flow(100.0, &route);
+        assert!((fluid.flow_rate(f) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_lanes_limit_each_class_but_prevent_interference() {
+        let (topo, h0, h1, _, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::isolated());
+        let path = topo.shortest_paths(h0, h1, 1).remove(0);
+        let storage = net.path_route(&topo, h0, &path, ServiceLevel::Storage);
+        let hfreduce = net.path_route(&topo, h0, &path, ServiceLevel::HfReduce);
+        let fs = fluid.start_flow(1000.0, &storage);
+        let fr = fluid.start_flow(1000.0, &hfreduce);
+        // Storage gets its 35% slice; HFReduce its own 35%; no interference.
+        assert!((fluid.flow_rate(fs) - 35.0).abs() < 1e-6);
+        assert!((fluid.flow_rate(fr) - 35.0).abs() < 1e-6);
+        // A storm of storage flows does not change HFReduce's rate.
+        for _ in 0..10 {
+            fluid.start_flow(1000.0, &storage);
+        }
+        assert!((fluid.flow_rate(fr) - 35.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_lane_suffers_interference() {
+        let (topo, h0, h1, _, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::shared());
+        let path = topo.shortest_paths(h0, h1, 1).remove(0);
+        let storage = net.path_route(&topo, h0, &path, ServiceLevel::Storage);
+        let hfreduce = net.path_route(&topo, h0, &path, ServiceLevel::HfReduce);
+        let fr = fluid.start_flow(1000.0, &hfreduce);
+        for _ in 0..9 {
+            fluid.start_flow(1000.0, &storage);
+        }
+        // 10 flows share one lane: HFReduce crushed to 10 units.
+        assert!((fluid.flow_rate(fr) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let (topo, h0, h1, _, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::shared());
+        let fwd = topo.shortest_paths(h0, h1, 1).remove(0);
+        let rev = topo.shortest_paths(h1, h0, 1).remove(0);
+        let a = fluid.start_flow(
+            1000.0,
+            &net.path_route(&topo, h0, &fwd, ServiceLevel::Other),
+        );
+        let b = fluid.start_flow(
+            1000.0,
+            &net.path_route(&topo, h1, &rev, ServiceLevel::Other),
+        );
+        assert!((fluid.flow_rate(a) - 100.0).abs() < 1e-6);
+        assert!((fluid.flow_rate(b) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_oracle_reports_directed_lane_load() {
+        let (topo, h0, h1, l0, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::shared());
+        let path = topo.shortest_paths(h0, h1, 1).remove(0);
+        fluid.start_flow(
+            1000.0,
+            &net.path_route(&topo, h0, &path, ServiceLevel::Nccl),
+        );
+        let leaf = topo.access_switch(h0);
+        let fwd = net.load_of(&mut fluid, &topo, l0, h0, ServiceLevel::Nccl);
+        let rev = net.load_of(&mut fluid, &topo, l0, leaf, ServiceLevel::Nccl);
+        let _ = h1;
+        assert!((fwd - 100.0).abs() < 1e-6);
+        assert_eq!(rev, 0.0);
+    }
+}

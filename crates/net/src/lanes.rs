@@ -1,0 +1,137 @@
+//! Service Levels and Virtual Lane configuration (§VI-A1).
+
+/// The four traffic classes the paper separates with IB Service Levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// HFReduce allreduce traffic (CPU-driven RDMA).
+    HfReduce,
+    /// NCCL traffic (GPU-driven RDMA).
+    Nccl,
+    /// 3FS storage traffic.
+    Storage,
+    /// Everything else (management, logging, ...).
+    Other,
+}
+
+impl ServiceLevel {
+    /// All levels, in lane order.
+    pub const ALL: [ServiceLevel; 4] = [
+        ServiceLevel::HfReduce,
+        ServiceLevel::Nccl,
+        ServiceLevel::Storage,
+        ServiceLevel::Other,
+    ];
+
+    /// Index of this level in [`ServiceLevel::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ServiceLevel::HfReduce => 0,
+            ServiceLevel::Nccl => 1,
+            ServiceLevel::Storage => 2,
+            ServiceLevel::Other => 3,
+        }
+    }
+}
+
+/// How Service Levels map onto Virtual Lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VlConfig {
+    /// Capacity share of each lane (sums to 1). One entry per lane.
+    pub shares: Vec<f64>,
+    /// Lane assigned to each Service Level (index into `shares`).
+    pub sl_to_vl: [usize; 4],
+}
+
+impl VlConfig {
+    /// No isolation: a single lane carrying everything. Classes interfere —
+    /// head-of-line blocking between storage incast and allreduce traffic.
+    pub fn shared() -> Self {
+        VlConfig {
+            shares: vec![1.0],
+            sl_to_vl: [0, 0, 0, 0],
+        }
+    }
+
+    /// The paper's production setup: each class in its own lane so "flows
+    /// in distinct lanes do not interfere with each other". Shares reflect
+    /// the configured proportions between compute and storage traffic.
+    pub fn isolated() -> Self {
+        VlConfig {
+            shares: vec![0.35, 0.20, 0.35, 0.10],
+            sl_to_vl: [0, 1, 2, 3],
+        }
+    }
+
+    /// Custom lane shares with a 1:1 SL→VL map (must supply 4 lanes).
+    pub fn custom(shares: [f64; 4]) -> Self {
+        VlConfig {
+            shares: shares.to_vec(),
+            sl_to_vl: [0, 1, 2, 3],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Lane index for a Service Level.
+    pub fn lane_of(&self, sl: ServiceLevel) -> usize {
+        self.sl_to_vl[sl.index()]
+    }
+
+    /// Validate: shares positive and summing to 1, mappings in range.
+    pub fn validate(&self) {
+        assert!(!self.shares.is_empty());
+        let sum: f64 = self.shares.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "VL shares must sum to 1, got {sum}"
+        );
+        for &s in &self.shares {
+            assert!(s > 0.0, "VL share must be positive");
+        }
+        for &vl in &self.sl_to_vl {
+            assert!(vl < self.shares.len(), "SL maps to unknown lane {vl}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_config_maps_everything_to_lane0() {
+        let c = VlConfig::shared();
+        c.validate();
+        assert_eq!(c.lanes(), 1);
+        for sl in ServiceLevel::ALL {
+            assert_eq!(c.lane_of(sl), 0);
+        }
+    }
+
+    #[test]
+    fn isolated_config_separates_classes() {
+        let c = VlConfig::isolated();
+        c.validate();
+        assert_eq!(c.lanes(), 4);
+        let mut lanes: Vec<usize> = ServiceLevel::ALL.iter().map(|&s| c.lane_of(s)).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 4, "each class must have its own lane");
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn bad_shares_rejected() {
+        VlConfig::custom([0.5, 0.5, 0.5, 0.5]).validate();
+    }
+
+    #[test]
+    fn indexes_are_stable() {
+        for (i, sl) in ServiceLevel::ALL.iter().enumerate() {
+            assert_eq!(sl.index(), i);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ff-net — flow-level network simulation
+//!
+//! Binds a `ff-topo` topology to the `ff-desim` fluid engine and layers on
+//! the congestion-management machinery of §VI-A and §VIII-A:
+//!
+//! * [`lanes`] — InfiniBand Service Levels mapped to Virtual Lanes. With
+//!   isolation on, each traffic class (HFReduce / NCCL / 3FS storage /
+//!   other) gets a dedicated slice of every link, so classes cannot
+//!   head-of-line block each other; with isolation off they share one lane
+//!   and interfere — the ablation of §VI-A1.
+//! * [`build`] — registers per-direction (and per-lane) link resources and
+//!   converts routed paths into weighted fluid routes.
+//! * [`rts`] — the request-to-send incast control of 3FS (§VI-B3): a
+//!   receiver admits at most `k` concurrent senders and queues the rest,
+//!   trading end-to-end latency for sustainable goodput.
+//! * [`cc`] — a DCQCN-style ECN rate controller (§VIII-A), implemented as
+//!   per-flow pacers so the ablation can show why the paper disabled it.
+//! * [`experiments`] — canned incast / congestion-spread scenarios used by
+//!   the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod cc;
+pub mod experiments;
+pub mod lanes;
+pub mod rts;
+
+pub use build::NetResources;
+pub use lanes::{ServiceLevel, VlConfig};
+pub use rts::RtsController;

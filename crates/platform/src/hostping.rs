@@ -1,0 +1,139 @@
+//! A hostping-style intra-host bottleneck diagnostic (§VII-B cites
+//! hostping [NSDI'23] as integrated into the platform).
+//!
+//! Sweeps every intra-node path — D2H/H2D per GPU, GPU↔NIC peer-to-peer,
+//! NVLink pairs — measuring each path's standalone bandwidth on the node's
+//! resource model and flagging paths below their expected floor. Degraded
+//! links (a PCIe lane trained down, a weak NVLink bridge) show up exactly
+//! the way hostping finds them in production: one path far under spec
+//! while its siblings are healthy.
+
+use ff_desim::{FluidSim, Route};
+use ff_hw::spec::{NVLINK_DIR_BPS, PCIE4_X16_BPS, ROME_P2P_BPS};
+use ff_hw::{NodeHw, TransferMethod};
+
+/// One probed path's result.
+#[derive(Debug, Clone)]
+pub struct PathProbe {
+    /// Path label, e.g. `d2h/gpu3`.
+    pub path: String,
+    /// Measured standalone bandwidth, bytes/second.
+    pub measured_bps: f64,
+    /// The expected floor for a healthy path.
+    pub expected_bps: f64,
+}
+
+impl PathProbe {
+    /// Healthy when within 10% of the expected floor.
+    pub fn healthy(&self) -> bool {
+        self.measured_bps >= self.expected_bps * 0.90
+    }
+}
+
+fn probe(fluid: &mut FluidSim, route: &Route) -> f64 {
+    let f = fluid.start_flow(1e9, route);
+    let rate = fluid.flow_rate(f);
+    fluid.cancel_flow(f);
+    rate
+}
+
+/// Probe every intra-node path of `hw` on `fluid` (the sim the node was
+/// installed into — degradations applied there are what get detected).
+pub fn hostping(fluid: &mut FluidSim, hw: &NodeHw) -> Vec<PathProbe> {
+    let mut out = Vec::new();
+    for g in 0..hw.gpus() {
+        out.push(PathProbe {
+            path: format!("d2h/gpu{g}"),
+            measured_bps: probe(fluid, &hw.d2h(g)),
+            expected_bps: PCIE4_X16_BPS,
+        });
+        out.push(PathProbe {
+            path: format!("h2d/gpu{g}"),
+            measured_bps: probe(fluid, &hw.h2d(g, TransferMethod::GdrCopy)),
+            expected_bps: PCIE4_X16_BPS,
+        });
+        if let Some(peer) = hw.nvlink_peer(g) {
+            if peer > g {
+                out.push(PathProbe {
+                    path: format!("nvlink/gpu{g}-gpu{peer}"),
+                    measured_bps: probe(fluid, &hw.nvlink(g, peer)),
+                    expected_bps: NVLINK_DIR_BPS,
+                });
+            }
+        }
+    }
+    for nic in 0..hw.nics() {
+        out.push(PathProbe {
+            path: format!("gpu0-nic{nic}/p2p"),
+            measured_bps: probe(fluid, &hw.gpu_nic_send(0, nic)),
+            expected_bps: ROME_P2P_BPS,
+        });
+    }
+    out
+}
+
+/// The unhealthy paths only.
+pub fn bottlenecks(probes: &[PathProbe]) -> Vec<&PathProbe> {
+    probes.iter().filter(|p| !p.healthy()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_hw::NodeSpec;
+
+    fn install() -> (FluidSim, NodeHw) {
+        let mut fluid = FluidSim::new();
+        let hw = NodeHw::install(&mut fluid, "probe", &NodeSpec::pcie_a100_nvlink());
+        (fluid, hw)
+    }
+
+    #[test]
+    fn healthy_node_has_no_bottlenecks() {
+        let (mut fluid, hw) = install();
+        let probes = hostping(&mut fluid, &hw);
+        // 8 d2h + 8 h2d + 4 nvlink + 1 p2p.
+        assert_eq!(probes.len(), 21);
+        assert!(bottlenecks(&probes).is_empty(), "{probes:?}");
+    }
+
+    #[test]
+    fn degraded_pcie_lane_found_by_name() {
+        // A lane trained down to x4: cap the GPU3 upstream link.
+        let (mut fluid, hw) = install();
+        // The d2h route's first resource is the PCIe up link; cap via a
+        // rate cap on the whole route's bottleneck by probing with a
+        // parallel hog flow instead: hold a permanent flow on gpu3's link.
+        let _hog = fluid.start_flow(1e18, &hw.d2h(3));
+        let probes = hostping(&mut fluid, &hw);
+        let bad = bottlenecks(&probes);
+        assert!(bad.iter().any(|p| p.path == "d2h/gpu3"), "{bad:?}");
+        // Sibling GPUs stay healthy.
+        assert!(probes
+            .iter()
+            .find(|p| p.path == "d2h/gpu2")
+            .unwrap()
+            .healthy());
+    }
+
+    #[test]
+    fn shared_root_port_pair_shows_up_together() {
+        // Saturate GPU5's D2H: GPU6 shares the root port (Figure 4), so
+        // hostping sees both degrade — the signature distinguishing a
+        // root-port problem from a single bad lane.
+        let (mut fluid, hw) = install();
+        let _hog = fluid.start_flow(1e18, &hw.d2h(5));
+        let probes = hostping(&mut fluid, &hw);
+        let bad: Vec<String> = bottlenecks(&probes).iter().map(|p| p.path.clone()).collect();
+        assert!(bad.contains(&"d2h/gpu5".to_string()));
+        assert!(bad.contains(&"d2h/gpu6".to_string()), "{bad:?}");
+        assert!(!bad.contains(&"d2h/gpu4".to_string()));
+    }
+
+    #[test]
+    fn probing_leaves_no_residual_flows() {
+        let (mut fluid, hw) = install();
+        hostping(&mut fluid, &hw);
+        assert_eq!(fluid.active_flows(), 0);
+    }
+}

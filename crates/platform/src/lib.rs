@@ -1,0 +1,29 @@
+//! # ff-platform — the HAI Platform (§VI-C, §VII)
+//!
+//! The cluster-side software that makes the hardware usable and keeps it
+//! at "99% utilization":
+//!
+//! * [`scheduler`] — time-sharing task scheduling over tagged nodes
+//!   (resource type, network zone), with the interrupt/checkpoint/resume
+//!   protocol of §VI-C, priority preemption, the ≤1 cross-zone-task rule
+//!   of §III-B, and node-failure handling.
+//! * [`checkpoint`] — the checkpoint manager of §VII-A: tensors chunked
+//!   and batch-written to 3FS with a per-tensor index, periodic (5-minute)
+//!   cadence, asynchronous saves, checksum-verified loads.
+//! * [`validator`] — the weekly hardware validator of §VII-B: frequency /
+//!   link checks, CPU stress, memory-bandwidth, GPU-memory byte patterns,
+//!   full-occupancy GEMM logic checks, intra-node allreduce, storage
+//!   stress; failing nodes leave the scheduling pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod hostping;
+pub mod scheduler;
+pub mod validator;
+
+pub use checkpoint::{CheckpointManager, CheckpointMeta};
+pub use hostping::{bottlenecks, hostping, PathProbe};
+pub use scheduler::{Platform, TaskId, TaskState};
+pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

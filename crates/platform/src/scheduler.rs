@@ -1,0 +1,452 @@
+//! Time-sharing scheduling (§VI-C).
+//!
+//! "Users submit tasks ... and the platform interrupts and loads tasks
+//! according to current resource requirements, cluster busyness, etc."
+//! Tasks follow the breakpoint-continue protocol: accept the interruption
+//! signal, save a checkpoint, notify the cluster, and later recover from
+//! the checkpoint. Nodes are not pooled but "classified and marked based
+//! on computing nodes as basic units, according to resource types, network
+//! areas" — here, zones. The scheduler enforces the §III-B rule that at
+//! most one running task spans both fat-tree zones.
+
+use std::collections::HashMap;
+
+/// Identifies a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Task lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting for nodes.
+    Queued,
+    /// Running on assigned nodes.
+    Running,
+    /// Interrupted (preempted); will resume from its checkpoint.
+    Interrupted,
+    /// Finished all its work.
+    Succeeded,
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    name: String,
+    nodes_required: usize,
+    priority: i32,
+    work_s: u64,
+    /// Seconds of completed work.
+    progress_s: u64,
+    /// Progress captured by the last checkpoint.
+    checkpoint_s: u64,
+    /// Wall seconds of work since the last periodic checkpoint.
+    since_ckpt_s: u64,
+    state: TaskState,
+    assigned: Vec<usize>,
+    cross_zone: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    zone: u8,
+    healthy: bool,
+    running: Option<TaskId>,
+}
+
+/// The scheduling platform.
+///
+/// ```
+/// use ff_platform::{Platform, TaskState};
+/// let mut p = Platform::new([4, 4], 300);
+/// let job = p.submit("train", 4, 0, 3600);
+/// assert_eq!(p.state(job), TaskState::Running);
+/// p.tick(3600);
+/// assert_eq!(p.state(job), TaskState::Succeeded);
+/// ```
+pub struct Platform {
+    nodes: Vec<Node>,
+    tasks: HashMap<TaskId, Task>,
+    next_id: u64,
+    now_s: u64,
+    ckpt_interval_s: u64,
+    busy_node_s: u64,
+    healthy_node_s: u64,
+    /// Work lost to failures (rolled back to checkpoints), node-seconds.
+    pub lost_work_s: u64,
+}
+
+impl Platform {
+    /// A platform over two zones with `per_zone` nodes each, checkpointing
+    /// every `ckpt_interval_s` seconds of task runtime (§VII-A: typically
+    /// 300).
+    pub fn new(per_zone: [usize; 2], ckpt_interval_s: u64) -> Platform {
+        let mut nodes = Vec::new();
+        for (z, &n) in per_zone.iter().enumerate() {
+            nodes.extend((0..n).map(|_| Node {
+                zone: z as u8,
+                healthy: true,
+                running: None,
+            }));
+        }
+        Platform {
+            nodes,
+            tasks: HashMap::new(),
+            next_id: 1,
+            now_s: 0,
+            ckpt_interval_s: ckpt_interval_s.max(1),
+            busy_node_s: 0,
+            healthy_node_s: 0,
+            lost_work_s: 0,
+        }
+    }
+
+    /// Submit a task needing `nodes_required` nodes for `work_s` seconds
+    /// of work at `priority` (higher preempts lower).
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        nodes_required: usize,
+        priority: i32,
+        work_s: u64,
+    ) -> TaskId {
+        assert!(nodes_required >= 1 && work_s >= 1);
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.tasks.insert(
+            id,
+            Task {
+                name: name.into(),
+                nodes_required,
+                priority,
+                work_s,
+                progress_s: 0,
+                checkpoint_s: 0,
+                since_ckpt_s: 0,
+                state: TaskState::Queued,
+                assigned: Vec::new(),
+                cross_zone: false,
+            },
+        );
+        self.schedule();
+        id
+    }
+
+    /// Advance wall time by `dt_s`, progressing running tasks, taking
+    /// periodic checkpoints, completing finished tasks, and rescheduling.
+    pub fn tick(&mut self, dt_s: u64) {
+        self.now_s += dt_s;
+        let healthy = self.nodes.iter().filter(|n| n.healthy).count() as u64;
+        self.healthy_node_s += healthy * dt_s;
+        let mut finished = Vec::new();
+        for (&id, t) in self.tasks.iter_mut() {
+            if t.state != TaskState::Running {
+                continue;
+            }
+            // Charge only the work actually performed this tick: a task
+            // finishing mid-tick must not inflate utilization.
+            let advanced = dt_s.min(t.work_s - t.progress_s);
+            self.busy_node_s += t.assigned.len() as u64 * advanced;
+            t.progress_s = (t.progress_s + dt_s).min(t.work_s);
+            t.since_ckpt_s += dt_s;
+            while t.since_ckpt_s >= self.ckpt_interval_s {
+                t.since_ckpt_s -= self.ckpt_interval_s;
+                t.checkpoint_s = t.progress_s - t.since_ckpt_s;
+            }
+            if t.progress_s >= t.work_s {
+                finished.push(id);
+            }
+        }
+        for id in finished {
+            self.release(id, TaskState::Succeeded, true);
+        }
+        self.schedule();
+    }
+
+    /// A node fails: the task running on it loses work back to its last
+    /// checkpoint and re-queues (§VII-A: "only the last 5 minutes of
+    /// progress are lost").
+    pub fn fail_node(&mut self, node: usize) {
+        self.nodes[node].healthy = false;
+        if let Some(id) = self.nodes[node].running {
+            let t = self.tasks.get_mut(&id).expect("running task exists");
+            let lost = t.progress_s - t.checkpoint_s;
+            self.lost_work_s += lost * t.assigned.len() as u64;
+            t.progress_s = t.checkpoint_s;
+            t.since_ckpt_s = 0;
+            self.release(id, TaskState::Queued, false);
+        }
+        self.schedule();
+    }
+
+    /// Return a repaired node to the pool.
+    pub fn heal_node(&mut self, node: usize) {
+        self.nodes[node].healthy = true;
+        self.schedule();
+    }
+
+    /// Task state.
+    pub fn state(&self, id: TaskId) -> TaskState {
+        self.tasks[&id].state
+    }
+
+    /// Task name as submitted.
+    pub fn name(&self, id: TaskId) -> &str {
+        &self.tasks[&id].name
+    }
+
+    /// Task progress, seconds of completed work.
+    pub fn progress(&self, id: TaskId) -> u64 {
+        self.tasks[&id].progress_s
+    }
+
+    /// The nodes a task runs on.
+    pub fn assignment(&self, id: TaskId) -> &[usize] {
+        &self.tasks[&id].assigned
+    }
+
+    /// Fraction of healthy node-time spent running tasks.
+    pub fn utilization(&self) -> f64 {
+        if self.healthy_node_s == 0 {
+            0.0
+        } else {
+            self.busy_node_s as f64 / self.healthy_node_s as f64
+        }
+    }
+
+    /// Free healthy nodes per zone.
+    fn free_by_zone(&self) -> [Vec<usize>; 2] {
+        let mut free = [Vec::new(), Vec::new()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.healthy && n.running.is_none() {
+                free[n.zone as usize].push(i);
+            }
+        }
+        free
+    }
+
+    fn cross_zone_running(&self) -> bool {
+        self.tasks
+            .values()
+            .any(|t| t.state == TaskState::Running && t.cross_zone)
+    }
+
+    /// Stop a task, releasing its nodes. `graceful` tasks checkpoint their
+    /// current progress first (the interruption-signal protocol).
+    fn release(&mut self, id: TaskId, new_state: TaskState, graceful: bool) {
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        if graceful {
+            t.checkpoint_s = t.progress_s;
+            t.since_ckpt_s = 0;
+        }
+        for &n in &t.assigned {
+            self.nodes[n].running = None;
+        }
+        t.assigned.clear();
+        t.cross_zone = false;
+        t.state = new_state;
+    }
+
+    /// Priority scheduling with preemption and the cross-zone rule, plus
+    /// backfill: smaller tasks run whenever nodes would otherwise idle.
+    fn schedule(&mut self) {
+        // Preemption pass for the highest-priority waiting task only.
+        let top = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
+            .min_by_key(|(&id, t)| (-t.priority, id))
+            .map(|(&id, t)| (id, t.nodes_required, t.priority));
+        if let Some((id, need, prio)) = top {
+            if !self.try_place(id, need) {
+                // Preempt strictly-lower-priority tasks until it fits.
+                // Victims checkpoint and go back to the queue (graceful).
+                let mut victims: Vec<(i32, TaskId)> = self
+                    .tasks
+                    .iter()
+                    .filter(|(_, t)| t.state == TaskState::Running && t.priority < prio)
+                    .map(|(&vid, t)| (t.priority, vid))
+                    .collect();
+                victims.sort(); // lowest priority first
+                let mut freed = self.free_healthy_count();
+                let mut to_evict = Vec::new();
+                for (_, vid) in victims {
+                    if freed >= need {
+                        break;
+                    }
+                    freed += self.tasks[&vid].assigned.len();
+                    to_evict.push(vid);
+                }
+                if freed >= need {
+                    for vid in to_evict {
+                        self.release(vid, TaskState::Interrupted, true);
+                    }
+                    // Placement can still fail on the cross-zone rule
+                    // (enough nodes, but split across zones with another
+                    // spanning task active); the victims then simply
+                    // re-place in the backfill pass below.
+                    let _ = self.try_place(id, need);
+                }
+            }
+        }
+        // Backfill pass: place whatever still fits, in priority order.
+        let mut waiting: Vec<(i32, TaskId, usize)> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
+            .map(|(&id, t)| (-t.priority, id, t.nodes_required))
+            .collect();
+        waiting.sort();
+        for (_, id, need) in waiting {
+            let _ = self.try_place(id, need);
+        }
+    }
+
+    fn free_healthy_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.healthy && n.running.is_none())
+            .count()
+    }
+
+    /// Try to place a task: single-zone first; cross-zone only when no
+    /// other cross-zone task runs.
+    fn try_place(&mut self, id: TaskId, need: usize) -> bool {
+        let free = self.free_by_zone();
+        let pick: Option<(Vec<usize>, bool)> = if free[0].len() >= need {
+            Some((free[0][..need].to_vec(), false))
+        } else if free[1].len() >= need {
+            Some((free[1][..need].to_vec(), false))
+        } else if free[0].len() + free[1].len() >= need && !self.cross_zone_running() {
+            let mut all = free[0].clone();
+            all.extend(&free[1]);
+            Some((all[..need].to_vec(), true))
+        } else {
+            None
+        };
+        let Some((nodes, cross)) = pick else {
+            return false;
+        };
+        for &n in &nodes {
+            self.nodes[n].running = Some(id);
+        }
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        t.assigned = nodes;
+        t.cross_zone = cross;
+        t.state = TaskState::Running;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_task_runs_to_completion() {
+        let mut p = Platform::new([4, 4], 300);
+        let t = p.submit("resnet", 2, 0, 100);
+        assert_eq!(p.state(t), TaskState::Running);
+        p.tick(100);
+        assert_eq!(p.state(t), TaskState::Succeeded);
+        assert_eq!(p.progress(t), 100);
+    }
+
+    #[test]
+    fn queueing_when_full_then_backfill() {
+        let mut p = Platform::new([2, 0], 300);
+        let a = p.submit("a", 2, 0, 50);
+        let b = p.submit("b", 2, 0, 50);
+        assert_eq!(p.state(a), TaskState::Running);
+        assert_eq!(p.state(b), TaskState::Queued);
+        p.tick(50);
+        assert_eq!(p.state(a), TaskState::Succeeded);
+        assert_eq!(p.state(b), TaskState::Running);
+    }
+
+    #[test]
+    fn priority_preempts_and_resumes_from_checkpoint() {
+        let mut p = Platform::new([2, 0], 300);
+        let low = p.submit("low", 2, 0, 100);
+        p.tick(40);
+        let high = p.submit("high", 2, 10, 30);
+        // Preemption is immediate and graceful: low checkpoints at 40.
+        assert_eq!(p.state(low), TaskState::Interrupted);
+        assert_eq!(p.state(high), TaskState::Running);
+        p.tick(30);
+        assert_eq!(p.state(high), TaskState::Succeeded);
+        assert_eq!(p.state(low), TaskState::Running);
+        // No work lost on graceful interrupt.
+        p.tick(60);
+        assert_eq!(p.state(low), TaskState::Succeeded);
+        assert_eq!(p.lost_work_s, 0);
+    }
+
+    #[test]
+    fn node_failure_loses_at_most_one_interval() {
+        let mut p = Platform::new([4, 0], 300);
+        let t = p.submit("llm", 4, 0, 10_000);
+        p.tick(640); // checkpoints at 300 and 600
+        let node = p.assignment(t)[0];
+        p.fail_node(node);
+        // Rolled back to the 600 s checkpoint: 40 s × 4 nodes lost.
+        assert_eq!(p.progress(t), 600);
+        assert_eq!(p.lost_work_s, 160);
+        // Only 3 healthy nodes remain: the 4-node task cannot run.
+        assert_eq!(p.state(t), TaskState::Queued);
+        p.heal_node(node);
+        assert_eq!(p.state(t), TaskState::Running);
+    }
+
+    #[test]
+    fn cross_zone_limited_to_one_task() {
+        let mut p = Platform::new([2, 2], 300);
+        // 3-node tasks must span zones (each zone has only 2).
+        let a = p.submit("span-a", 3, 0, 100);
+        let b = p.submit("span-b", 3, 0, 100);
+        assert_eq!(p.state(a), TaskState::Running);
+        assert_eq!(p.state(b), TaskState::Queued, "only one cross-zone task");
+        p.tick(100);
+        assert_eq!(p.state(a), TaskState::Succeeded);
+        assert_eq!(p.state(b), TaskState::Running);
+    }
+
+    #[test]
+    fn single_zone_tasks_fill_both_zones_concurrently() {
+        let mut p = Platform::new([2, 2], 300);
+        let a = p.submit("a", 2, 0, 100);
+        let b = p.submit("b", 2, 0, 100);
+        assert_eq!(p.state(a), TaskState::Running);
+        assert_eq!(p.state(b), TaskState::Running);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let mut p = Platform::new([4, 0], 300);
+        p.submit("half", 2, 0, 100);
+        p.tick(100);
+        // 2 of 4 nodes busy for the whole window.
+        assert!((p.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_sharing_keeps_utilization_high() {
+        // The 99%-utilization story: an over-subscribed queue of small
+        // tasks keeps every node busy.
+        let mut p = Platform::new([4, 4], 300);
+        for i in 0..20 {
+            p.submit(format!("job{i}"), 2, 0, 50);
+        }
+        for _ in 0..25 {
+            p.tick(10);
+        }
+        assert!(p.utilization() > 0.98, "utilization {}", p.utilization());
+    }
+
+    #[test]
+    fn unplaceable_task_waits_without_blocking_others() {
+        let mut p = Platform::new([2, 1], 300);
+        let huge = p.submit("huge", 5, 5, 10);
+        let small = p.submit("small", 1, 0, 10);
+        assert_eq!(p.state(huge), TaskState::Queued);
+        assert_eq!(p.state(small), TaskState::Running);
+    }
+}

@@ -1,0 +1,344 @@
+//! The hardware validator (§VII-B): "the platform's automatic operation
+//! and maintenance system runs the validator program weekly on nodes to
+//! verify their proper functionality. It removes the faulty nodes from the
+//! scheduling platform."
+//!
+//! Each check runs against a [`NodeUnderTest`] — a synthetic node whose
+//! defects are injectable, standing in for real hardware (the checks'
+//! *logic* is real: the GPU-memory test walks every byte of a buffer, the
+//! GEMM check multiplies matrices and compares against a reference, the
+//! allreduce check runs the actual reduction kernels).
+
+use ff_reduce::kernels::reduce_n_into;
+
+/// The synthetic node a validator run probes. Defaults to healthy;
+/// failure-injection flips fields.
+#[derive(Debug, Clone)]
+pub struct NodeUnderTest {
+    /// CPU base clock, MHz.
+    pub cpu_mhz: f64,
+    /// Expected CPU base clock, MHz.
+    pub cpu_mhz_expected: f64,
+    /// Per-NIC link speed, Gbps.
+    pub link_gbps: Vec<f64>,
+    /// Measured host memory bandwidth, GB/s.
+    pub mem_bw_gbps: f64,
+    /// GPU memory contents (one buffer per GPU); the GPU-memory test
+    /// checks every byte against the written pattern.
+    pub gpu_memory: Vec<Vec<u8>>,
+    /// Injected: GPU index whose arithmetic silently corrupts results
+    /// (§VII-C's computational errors not caught by ECC).
+    pub gemm_fault_gpu: Option<usize>,
+    /// Measured NVLink pair bandwidth, GB/s (None = no bridge).
+    pub nvlink_gbps: Option<f64>,
+    /// Measured storage read bandwidth, GB/s.
+    pub storage_gbps: f64,
+}
+
+impl NodeUnderTest {
+    /// A healthy Fire-Flyer 2 node.
+    pub fn healthy() -> Self {
+        NodeUnderTest {
+            cpu_mhz: 2600.0,
+            cpu_mhz_expected: 2600.0,
+            link_gbps: vec![200.0],
+            mem_bw_gbps: 320.0,
+            gpu_memory: vec![vec![0u8; 4096]; 8],
+            gemm_fault_gpu: None,
+            nvlink_gbps: Some(600.0),
+            storage_gbps: 20.0,
+        }
+    }
+}
+
+/// Result of one check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// Check name.
+    pub name: &'static str,
+    /// Whether the node passed.
+    pub passed: bool,
+    /// Operator-facing detail.
+    pub detail: String,
+}
+
+fn outcome(name: &'static str, passed: bool, detail: String) -> CheckOutcome {
+    CheckOutcome {
+        name,
+        passed,
+        detail,
+    }
+}
+
+/// Checking hardware frequency, link speed, and link status.
+pub fn check_frequency_and_links(n: &NodeUnderTest) -> CheckOutcome {
+    let freq_ok = n.cpu_mhz >= n.cpu_mhz_expected * 0.97;
+    let links_ok = !n.link_gbps.is_empty() && n.link_gbps.iter().all(|&g| g >= 200.0);
+    outcome(
+        "frequency-and-links",
+        freq_ok && links_ok,
+        format!("cpu {:.0} MHz, links {:?} Gbps", n.cpu_mhz, n.link_gbps),
+    )
+}
+
+/// CPU stress: a real computation with a known answer (detects cores that
+/// produce wrong results under load).
+pub fn check_cpu_stress(_n: &NodeUnderTest) -> CheckOutcome {
+    // Sum of the first 10^6 integers, computed the long way, twice, with
+    // different associativity — any mismatch means broken silicon.
+    let a: u64 = (1..=1_000_000u64).sum();
+    let b: u64 = (1..=1000u64).map(|i| ((i - 1) * 1000 + 1..=i * 1000).sum::<u64>()).sum();
+    let want = 1_000_000u64 * 1_000_001 / 2;
+    outcome(
+        "cpu-stress",
+        a == want && b == want,
+        format!("sum={a}, blocked={b}, expected={want}"),
+    )
+}
+
+/// Memory bandwidth must be near the 16-channel DDR4-3200 practical rate.
+pub fn check_memory_bandwidth(n: &NodeUnderTest) -> CheckOutcome {
+    let ok = n.mem_bw_gbps >= 320.0 * 0.85;
+    outcome(
+        "memory-bandwidth",
+        ok,
+        format!("{:.0} GB/s (need ≥ {:.0})", n.mem_bw_gbps, 320.0 * 0.85),
+    )
+}
+
+/// GPU memory test: "checking each byte of GPU memory to ensure no data
+/// corruption has occurred". Writes a pattern, reads back every byte.
+pub fn check_gpu_memory(n: &mut NodeUnderTest) -> CheckOutcome {
+    for (g, buf) in n.gpu_memory.iter_mut().enumerate() {
+        // The injected corruption model: a defective byte survives the
+        // pattern write (stuck bit). Record pre-state, write, verify.
+        let defect: Vec<usize> = buf
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == 0xBD)
+            .map(|(i, _)| i)
+            .collect();
+        for (i, b) in buf.iter_mut().enumerate() {
+            if !defect.contains(&i) {
+                *b = ((i as u8) ^ 0xA5).wrapping_add(g as u8);
+            }
+        }
+        for (i, &b) in buf.iter().enumerate() {
+            let want = ((i as u8) ^ 0xA5).wrapping_add(g as u8);
+            if b != want {
+                return outcome(
+                    "gpu-memory",
+                    false,
+                    format!("gpu{g} byte {i}: got {b:#04x}, want {want:#04x}"),
+                );
+            }
+        }
+    }
+    outcome("gpu-memory", true, "all bytes verified".into())
+}
+
+/// Full-GPU-occupancy GEMM with a logic check: multiply small integer
+/// matrices and compare against a reference product.
+pub fn check_gemm_logic(n: &NodeUnderTest) -> CheckOutcome {
+    const DIM: usize = 16;
+    for gpu in 0..n.gpu_memory.len() {
+        let a: Vec<i64> = (0..DIM * DIM).map(|i| (i % 7) as i64 - 3).collect();
+        let b: Vec<i64> = (0..DIM * DIM).map(|i| (i % 5) as i64 - 2).collect();
+        let mut c = vec![0i64; DIM * DIM];
+        for i in 0..DIM {
+            for k in 0..DIM {
+                let aik = a[i * DIM + k];
+                for j in 0..DIM {
+                    c[i * DIM + j] += aik * b[k * DIM + j];
+                }
+            }
+        }
+        // Reference with the loop order swapped.
+        let mut r = vec![0i64; DIM * DIM];
+        for i in 0..DIM {
+            for j in 0..DIM {
+                let mut acc = 0;
+                for k in 0..DIM {
+                    acc += a[i * DIM + k] * b[k * DIM + j];
+                }
+                r[i * DIM + j] = acc;
+            }
+        }
+        // The injected fault: this GPU's results are silently off by one
+        // in element 0 (§VII-C silent data corruption).
+        let mut observed = c.clone();
+        if n.gemm_fault_gpu == Some(gpu) {
+            observed[0] += 1;
+        }
+        if observed != r {
+            return outcome(
+                "gemm-logic",
+                false,
+                format!("gpu{gpu}: GEMM result mismatch (silent data corruption)"),
+            );
+        }
+    }
+    outcome("gemm-logic", true, "all GPUs multiply correctly".into())
+}
+
+/// Intra-node allreduce test: run the real reduction kernel over per-GPU
+/// buffers and verify, plus the NVLink bandwidth gate.
+#[allow(clippy::needless_range_loop)] // element index appears in the failure message
+pub fn check_intra_node_allreduce(n: &NodeUnderTest) -> CheckOutcome {
+    let gpus = n.gpu_memory.len().max(1);
+    let bufs: Vec<Vec<f32>> = (0..gpus)
+        .map(|g| (0..256).map(|i| ((g + i) % 11) as f32).collect())
+        .collect();
+    let refs: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
+    let mut sum = vec![0.0f32; 256];
+    reduce_n_into(&mut sum, &refs);
+    for i in 0..256 {
+        let want: f32 = (0..gpus).map(|g| ((g + i) % 11) as f32).sum();
+        if sum[i] != want {
+            return outcome("intra-node-allreduce", false, format!("element {i} wrong"));
+        }
+    }
+    match n.nvlink_gbps {
+        Some(bw) if bw < 600.0 * 0.9 => outcome(
+            "intra-node-allreduce",
+            false,
+            format!("NVLink bandwidth {bw:.0} GB/s below 90% of spec"),
+        ),
+        _ => outcome("intra-node-allreduce", true, "reduction + NVLink ok".into()),
+    }
+}
+
+/// Storage bandwidth stress.
+pub fn check_storage(n: &NodeUnderTest) -> CheckOutcome {
+    let ok = n.storage_gbps >= 10.0;
+    outcome(
+        "storage-stress",
+        ok,
+        format!("{:.1} GB/s (need ≥ 10)", n.storage_gbps),
+    )
+}
+
+/// Run the full validator suite on one node.
+pub fn run_all_checks(n: &mut NodeUnderTest) -> Vec<CheckOutcome> {
+    vec![
+        check_frequency_and_links(n),
+        check_cpu_stress(n),
+        check_memory_bandwidth(n),
+        check_gpu_memory(n),
+        check_gemm_logic(n),
+        check_intra_node_allreduce(n),
+        check_storage(n),
+    ]
+}
+
+/// True when every check passed.
+pub fn node_passes(outcomes: &[CheckOutcome]) -> bool {
+    outcomes.iter().all(|o| o.passed)
+}
+
+/// The weekly automation of §VII-B: run the validator on every node of
+/// the fleet and remove failing nodes from the scheduling platform
+/// ("ensuring that all scheduled nodes are operational"). Nodes that pass
+/// again after repair return to the pool. Returns the indices that failed
+/// this sweep.
+pub fn weekly_validation(
+    platform: &mut crate::scheduler::Platform,
+    fleet: &mut [NodeUnderTest],
+) -> Vec<usize> {
+    let mut failed = Vec::new();
+    for (i, node) in fleet.iter_mut().enumerate() {
+        let outcomes = run_all_checks(node);
+        if node_passes(&outcomes) {
+            platform.heal_node(i);
+        } else {
+            platform.fail_node(i);
+            failed.push(i);
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_node_passes_everything() {
+        let mut n = NodeUnderTest::healthy();
+        let outcomes = run_all_checks(&mut n);
+        assert_eq!(outcomes.len(), 7);
+        assert!(node_passes(&outcomes), "{outcomes:?}");
+    }
+
+    #[test]
+    fn downclocked_cpu_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.cpu_mhz = 2000.0;
+        let o = check_frequency_and_links(&n);
+        assert!(!o.passed);
+        assert!(!node_passes(&run_all_checks(&mut n)));
+    }
+
+    #[test]
+    fn degraded_link_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.link_gbps = vec![100.0]; // trained down to half speed
+        assert!(!check_frequency_and_links(&n).passed);
+    }
+
+    #[test]
+    fn gpu_memory_stuck_byte_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.gpu_memory[3][1234] = 0xBD; // stuck bits
+        let o = check_gpu_memory(&mut n);
+        assert!(!o.passed);
+        assert!(o.detail.contains("gpu3"));
+    }
+
+    #[test]
+    fn silent_gemm_corruption_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.gemm_fault_gpu = Some(5);
+        let o = check_gemm_logic(&n);
+        assert!(!o.passed);
+        assert!(o.detail.contains("gpu5"));
+    }
+
+    #[test]
+    fn weak_nvlink_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.nvlink_gbps = Some(300.0);
+        assert!(!check_intra_node_allreduce(&n).passed);
+        // No bridge at all is acceptable (pre-retrofit nodes).
+        n.nvlink_gbps = None;
+        assert!(check_intra_node_allreduce(&n).passed);
+    }
+
+    #[test]
+    fn weekly_sweep_removes_and_restores_nodes() {
+        use crate::scheduler::{Platform, TaskState};
+        let mut platform = Platform::new([4, 0], 300);
+        let mut fleet: Vec<NodeUnderTest> = (0..4).map(|_| NodeUnderTest::healthy()).collect();
+        let task = platform.submit("job", 4, 0, 10_000);
+        assert_eq!(platform.state(task), TaskState::Running);
+        // Node 2 develops a GPU memory defect; the sweep pulls it.
+        fleet[2].gpu_memory[0][5] = 0xBD;
+        let failed = weekly_validation(&mut platform, &mut fleet);
+        assert_eq!(failed, vec![2]);
+        assert_eq!(platform.state(task), TaskState::Queued, "4-node job can't run on 3");
+        // Repair (replace the module) and re-validate: back in the pool.
+        fleet[2] = NodeUnderTest::healthy();
+        assert!(weekly_validation(&mut platform, &mut fleet).is_empty());
+        assert_eq!(platform.state(task), TaskState::Running);
+    }
+
+    #[test]
+    fn slow_memory_and_storage_detected() {
+        let mut n = NodeUnderTest::healthy();
+        n.mem_bw_gbps = 200.0;
+        assert!(!check_memory_bandwidth(&n).passed);
+        let mut n = NodeUnderTest::healthy();
+        n.storage_gbps = 2.0;
+        assert!(!check_storage(&n).passed);
+    }
+}

@@ -1,0 +1,239 @@
+//! The assembled cluster model: node hardware + fat-tree network, shared by
+//! the allreduce and training simulators.
+
+use ff_desim::{FluidSim, Route};
+use ff_hw::{NodeHw, NodeSpec};
+use ff_net::{NetResources, ServiceLevel, VlConfig};
+use ff_topo::fattree::{attach_host, build_zone, FatTreeSpec};
+use ff_topo::graph::{NodeId, NodeKind, Topology};
+use ff_topo::routing::{RoutePolicy, Router};
+
+/// How to build a cluster model.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes (8 GPUs each).
+    pub nodes: usize,
+    /// The node build.
+    pub node_spec: NodeSpec,
+    /// Virtual-lane configuration.
+    pub vl: VlConfig,
+    /// Force a two-zone network with nodes split evenly (Figure 7b); with
+    /// `false` a single zone is used when the nodes fit.
+    pub two_zone: bool,
+}
+
+impl ClusterConfig {
+    /// A Fire-Flyer-2-like cluster of `nodes` nodes, single zone.
+    ///
+    /// Uses the shared-lane config: IB VL arbitration is work-conserving,
+    /// so a collective running alone sees the full link regardless of lane
+    /// weights. The hard-partition [`VlConfig::isolated`] model is for
+    /// mixed-traffic congestion ablations, where only the guaranteed share
+    /// matters.
+    pub fn fire_flyer(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            node_spec: NodeSpec::pcie_a100(),
+            vl: VlConfig::shared(),
+            two_zone: false,
+        }
+    }
+
+    /// Same but with NVLink bridges installed.
+    pub fn fire_flyer_nvlink(nodes: usize) -> Self {
+        ClusterConfig {
+            node_spec: NodeSpec::pcie_a100_nvlink(),
+            ..Self::fire_flyer(nodes)
+        }
+    }
+}
+
+/// A built cluster: fluid resources for every node's internals and every
+/// network link, plus static routing.
+pub struct ClusterModel {
+    /// The fluid simulator holding all resources. Take it (`std::mem::take`)
+    /// to hand to a `DagSim`; the routes remain valid.
+    pub fluid: FluidSim,
+    /// The network graph.
+    pub topo: Topology,
+    /// Link-lane resources.
+    pub netres: NetResources,
+    /// Compute-host topology ids, one per node.
+    pub hosts: Vec<NodeId>,
+    /// Node hardware handles, parallel to `hosts`.
+    pub hw: Vec<NodeHw>,
+}
+
+/// Pick a zone shape that fits `nodes_per_zone` hosts: paper-shaped
+/// (radix 40, 20 down / 20 up) once the cluster is big enough, a small
+/// 8-down tree otherwise.
+fn auto_zone(nodes_per_zone: usize) -> FatTreeSpec {
+    if nodes_per_zone <= 16 {
+        FatTreeSpec::small(nodes_per_zone.div_ceil(8).max(2), 4, 8)
+    } else {
+        FatTreeSpec {
+            radix: 40,
+            leaf_down: 20,
+            leaves: nodes_per_zone.div_ceil(20).clamp(2, 40),
+            spines: 20,
+            link_capacity: ff_topo::fattree::IB_200G,
+        }
+    }
+}
+
+impl ClusterModel {
+    /// Build the model.
+    pub fn build(cfg: &ClusterConfig) -> Self {
+        assert!(cfg.nodes >= 1, "cluster needs at least one node");
+        let mut fluid = FluidSim::new();
+        let mut topo = Topology::new();
+        let zones = if cfg.two_zone { 2 } else { 1 };
+        let per_zone = cfg.nodes.div_ceil(zones);
+        let spec = auto_zone(per_zone);
+        assert!(
+            per_zone <= spec.endpoints(),
+            "{per_zone} nodes exceed zone capacity {}",
+            spec.endpoints()
+        );
+        let mut zone_ids: Vec<_> = (0..zones)
+            .map(|z| build_zone(&mut topo, &spec, z as u8))
+            .collect();
+        if zones == 2 {
+            // A limited number of inter-zone links between paired spines.
+            let n_ix = spec.spines.min(4);
+            for i in 0..n_ix {
+                let a = zone_ids[0].spines[i];
+                let b = zone_ids[1].spines[i];
+                topo.add_link(a, b, spec.link_capacity);
+            }
+        }
+        let mut hosts = Vec::with_capacity(cfg.nodes);
+        let mut hw = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
+            let z = if zones == 2 && i >= per_zone { 1 } else { 0 };
+            let h = topo.add_node(NodeKind::ComputeHost, format!("node{i:03}"), Some(z as u8));
+            attach_host(&mut topo, &mut zone_ids[z], h, spec.link_capacity);
+            hosts.push(h);
+            hw.push(NodeHw::install(&mut fluid, &format!("node{i:03}"), &cfg.node_spec));
+        }
+        let netres = NetResources::install(&mut fluid, &topo, cfg.vl.clone());
+        ClusterModel {
+            fluid,
+            topo,
+            netres,
+            hosts,
+            hw,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Total GPUs.
+    pub fn gpus(&self) -> usize {
+        self.hw.iter().map(|h| h.gpus()).sum()
+    }
+
+    /// The network-only route between two nodes on the lane of `sl`, using
+    /// the paper's static (destination-hashed) routing.
+    pub fn net_route(&self, src_node: usize, dst_node: usize, sl: ServiceLevel) -> Route {
+        let router = Router::new(&self.topo, RoutePolicy::StaticByDestination);
+        let src = self.hosts[src_node];
+        let dst = self.hosts[dst_node];
+        let path = router.route(src, dst, 0, &|_| 0.0);
+        self.netres.path_route(&self.topo, src, &path, sl)
+    }
+
+    /// Full node→node RDMA edge: sender's IB send path, network, receiver's
+    /// IB receive path. `reduce_at_dst` adds the receive-side reduce-add
+    /// memory read (tree-up edges) versus a plain write (broadcast edges).
+    pub fn rdma_edge(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        sl: ServiceLevel,
+        reduce_at_dst: bool,
+    ) -> Route {
+        let send = self.hw[src_node].ib_send(0);
+        let net = self.net_route(src_node, dst_node, sl);
+        let recv = if reduce_at_dst {
+            self.hw[dst_node].ib_recv_reduce(0)
+        } else {
+            self.hw[dst_node].ib_recv(0)
+        };
+        send.join(net).join(recv)
+    }
+
+    /// Zone of a node.
+    pub fn zone_of(&self, node: usize) -> u8 {
+        self.topo.zone(self.hosts[node]).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cluster_builds() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(4));
+        assert_eq!(c.nodes(), 4);
+        assert_eq!(c.gpus(), 32);
+        assert_eq!(c.topo.hosts().len(), 4);
+    }
+
+    #[test]
+    fn paper_scale_cluster_builds() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(180));
+        assert_eq!(c.gpus(), 1440);
+        // Paper-shaped zone: radix-40 switches appear.
+        assert!(c.topo.switches().len() >= 9 + 20);
+    }
+
+    #[test]
+    fn two_zone_splits_nodes() {
+        let c = ClusterModel::build(&ClusterConfig {
+            two_zone: true,
+            ..ClusterConfig::fire_flyer(8)
+        });
+        assert_eq!(c.zone_of(0), 0);
+        assert_eq!(c.zone_of(7), 1);
+        assert_eq!((0..8).filter(|&n| c.zone_of(n) == 0).count(), 4);
+    }
+
+    #[test]
+    fn rdma_edge_moves_data_at_nic_speed() {
+        let mut c = ClusterModel::build(&ClusterConfig::fire_flyer(2));
+        let route = c.rdma_edge(0, 1, ServiceLevel::HfReduce, true);
+        let f = c.fluid.start_flow(1e9, &route);
+        // NIC wire (25e9) binds; membus weights don't (320/3 > 25).
+        let rate = c.fluid.flow_rate(f);
+        assert!((rate - 25e9).abs() < 1e3, "rate {rate}");
+    }
+
+    #[test]
+    fn isolated_vl_config_caps_the_storage_lane() {
+        let mut c = ClusterModel::build(&ClusterConfig {
+            vl: VlConfig::isolated(),
+            ..ClusterConfig::fire_flyer(2)
+        });
+        let r = c.net_route(0, 1, ServiceLevel::Storage);
+        let f = c.fluid.start_flow(1e9, &r);
+        // Storage lane gets its guaranteed 35% of 25e9.
+        let rate = c.fluid.flow_rate(f);
+        assert!((rate - 0.35 * 25e9).abs() < 1e3, "rate {rate}");
+    }
+
+    #[test]
+    fn cross_zone_edge_exists_in_two_zone_mode() {
+        let mut c = ClusterModel::build(&ClusterConfig {
+            two_zone: true,
+            ..ClusterConfig::fire_flyer(4)
+        });
+        let r = c.rdma_edge(0, 3, ServiceLevel::HfReduce, false);
+        let f = c.fluid.start_flow(1e6, &r);
+        assert!(c.fluid.flow_rate(f) > 0.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! Executable allreduce implementations over in-memory ranks.
+//!
+//! Every rank is a thread; RDMA is replaced by tagged messages over
+//! crossbeam channels (an ordered reliable transport, which is all the
+//! algorithms assume — see DESIGN.md's substitution table). The algorithms
+//! are the real ones: the chunked double-binary-tree allreduce of
+//! Algorithm 2, a ring allreduce baseline, and the full node-structured
+//! HFReduce (Algorithm 1 + 2: intra-node reduce → inter-node tree →
+//! broadcast back to every GPU buffer).
+
+use crate::kernels::{chunk_ranges, reduce_add_into, reduce_n_into};
+
+/// Alias used by the single-tree reduce helper.
+type TreeRef<'a> = &'a ff_topo::dbtree::Tree;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ff_dtypes::Element;
+use ff_topo::dbtree::DoubleBinaryTree;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Tag {
+    tree: u8,
+    chunk: u32,
+    phase: u8, // 0 = reduce-up, 1 = broadcast-down, 2 = ring
+    from: u32,
+}
+
+const UP: u8 = 0;
+const DOWN: u8 = 1;
+const RING: u8 = 2;
+
+struct Msg<E> {
+    tag: Tag,
+    data: Vec<E>,
+}
+
+/// Per-rank communicator: one inbox, senders to every rank, and a stash
+/// for out-of-order arrivals.
+struct Comm<E> {
+    me: usize,
+    txs: Vec<Sender<Msg<E>>>,
+    rx: Receiver<Msg<E>>,
+    stash: HashMap<Tag, Vec<E>>,
+}
+
+impl<E: Element> Comm<E> {
+    fn mesh(n: usize) -> Vec<Comm<E>> {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(me, rx)| Comm {
+                me,
+                txs: txs.clone(),
+                rx,
+                stash: HashMap::new(),
+            })
+            .collect()
+    }
+
+    fn send(&self, to: usize, tree: u8, chunk: u32, phase: u8, data: Vec<E>) {
+        let tag = Tag {
+            tree,
+            chunk,
+            phase,
+            from: self.me as u32,
+        };
+        self.txs[to]
+            .send(Msg { tag, data })
+            .expect("peer rank hung up");
+    }
+
+    fn recv(&mut self, from: usize, tree: u8, chunk: u32, phase: u8) -> Vec<E> {
+        let want = Tag {
+            tree,
+            chunk,
+            phase,
+            from: from as u32,
+        };
+        if let Some(d) = self.stash.remove(&want) {
+            return d;
+        }
+        loop {
+            let msg = self.rx.recv().expect("peer rank hung up");
+            if msg.tag == want {
+                return msg.data;
+            }
+            let dup = self.stash.insert(msg.tag, msg.data);
+            assert!(dup.is_none(), "duplicate message {:?}", msg.tag);
+        }
+    }
+}
+
+/// One rank's side of the chunked double-binary-tree allreduce: reduces
+/// `data` in place to the global sum. Tree A carries the lower half of
+/// each chunk, tree B the upper half.
+fn tree_allreduce_rank<E: Element>(
+    comm: &mut Comm<E>,
+    dt: &DoubleBinaryTree,
+    data: &mut [E],
+    chunks: usize,
+) {
+    let rank = comm.me;
+    let ranges = chunk_ranges(data.len(), chunks);
+    for (c, range) in ranges.iter().enumerate() {
+        let mid = range.start + range.len() / 2;
+        let halves = [range.start..mid, mid..range.end];
+        for (ti, tree) in [&dt.a, &dt.b].into_iter().enumerate() {
+            let seg = halves[ti].clone();
+            let mut acc: Vec<E> = data[seg.clone()].to_vec();
+            for &child in &tree.children[rank] {
+                let got = comm.recv(child, ti as u8, c as u32, UP);
+                reduce_add_into(&mut acc, &got);
+            }
+            let result = match tree.parent[rank] {
+                Some(parent) => {
+                    comm.send(parent, ti as u8, c as u32, UP, acc);
+                    comm.recv(parent, ti as u8, c as u32, DOWN)
+                }
+                None => acc,
+            };
+            for &child in &tree.children[rank] {
+                comm.send(child, ti as u8, c as u32, DOWN, result.clone());
+            }
+            data[seg].copy_from_slice(&result);
+        }
+    }
+}
+
+/// Allreduce `inputs` (one buffer per rank) with the chunked double binary
+/// tree; returns each rank's resulting buffer (all equal to the sum).
+///
+/// ```
+/// use ff_reduce::allreduce_dbtree;
+/// let out = allreduce_dbtree(vec![vec![1.0f32, 2.0], vec![10.0, 20.0]], 1);
+/// assert_eq!(out[0], vec![11.0, 22.0]);
+/// assert_eq!(out[1], vec![11.0, 22.0]);
+/// ```
+pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<Vec<E>> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one rank");
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    if n == 1 {
+        return inputs;
+    }
+    let dt = DoubleBinaryTree::new(n);
+    let comms = Comm::<E>::mesh(n);
+    let chunks = chunks.clamp(1, len.max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(comms)
+            .map(|(mut data, mut comm)| {
+                let dt = &dt;
+                s.spawn(move || {
+                    tree_allreduce_rank(&mut comm, dt, &mut data, chunks);
+                    data
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// One rank's ring allreduce (reduce-scatter + allgather) over `n` ranks.
+fn ring_allreduce_rank<E: Element>(comm: &mut Comm<E>, n: usize, data: &mut [E]) {
+    let rank = comm.me;
+    let ranges = chunk_ranges(data.len(), n);
+    let next = (rank + 1) % n;
+    let prev = (rank + n - 1) % n;
+    let mut step = 0u32;
+    // Reduce-scatter: after n-1 steps rank r owns the sum of chunk (r+1)%n.
+    for s in 0..n - 1 {
+        let send_chunk = (rank + n - s) % n;
+        let recv_chunk = (rank + n - s - 1) % n;
+        comm.send(next, 0, step, RING, data[ranges[send_chunk].clone()].to_vec());
+        let got = comm.recv(prev, 0, step, RING);
+        reduce_add_into(&mut data[ranges[recv_chunk].clone()], &got);
+        step += 1;
+    }
+    // Allgather: circulate the finished chunks.
+    for s in 0..n - 1 {
+        let send_chunk = (rank + 1 + n - s) % n;
+        let recv_chunk = (rank + n - s) % n;
+        comm.send(next, 0, step, RING, data[ranges[send_chunk].clone()].to_vec());
+        let got = comm.recv(prev, 0, step, RING);
+        data[ranges[recv_chunk].clone()].copy_from_slice(&got);
+        step += 1;
+    }
+}
+
+/// Ring allreduce across `inputs`; the NCCL-style baseline.
+pub fn allreduce_ring<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
+    let n = inputs.len();
+    assert!(n >= 1);
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    assert!(len >= n || n == 1, "ring needs at least one element per rank");
+    if n == 1 {
+        return inputs;
+    }
+    let comms = Comm::<E>::mesh(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(comms)
+            .map(|(mut data, mut comm)| {
+                s.spawn(move || {
+                    ring_allreduce_rank(&mut comm, n, &mut data);
+                    data
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// Reduce `inputs` to the root of the double binary tree only (the
+/// "general reduce" operation HFReduce also serves, §IV). Returns
+/// `(root_rank, sum)`.
+pub fn reduce_to_root<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> (usize, Vec<E>) {
+    let n = inputs.len();
+    assert!(n >= 1);
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    let dt = DoubleBinaryTree::new(n);
+    let root = dt.a.root;
+    if n == 1 {
+        return (0, inputs.into_iter().next().expect("one rank"));
+    }
+    let comms = Comm::<E>::mesh(n);
+    let chunks = chunks.clamp(1, len.max(1));
+    let mut results: Vec<Option<Vec<E>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(comms)
+            .map(|(data, mut comm)| {
+                let dt = &dt;
+                s.spawn(move || {
+                    reduce_rank(&mut comm, &dt.a, data, chunks)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+    (root, results[root].take().expect("root holds the sum"))
+}
+
+/// One rank's side of a single-tree reduce (no broadcast-down pass).
+fn reduce_rank<E: Element>(
+    comm: &mut Comm<E>,
+    tree: TreeRef<'_>,
+    mut data: Vec<E>,
+    chunks: usize,
+) -> Option<Vec<E>> {
+    let rank = comm.me;
+    let ranges = chunk_ranges(data.len(), chunks);
+    for (c, range) in ranges.iter().enumerate() {
+        let mut acc: Vec<E> = data[range.clone()].to_vec();
+        for &child in &tree.children[rank] {
+            let got = comm.recv(child, 0, c as u32, UP);
+            reduce_add_into(&mut acc, &got);
+        }
+        if let Some(parent) = tree.parent[rank] {
+            comm.send(parent, 0, c as u32, UP, acc);
+        } else {
+            data[range.clone()].copy_from_slice(&acc);
+        }
+    }
+    if tree.parent[rank].is_none() {
+        Some(data)
+    } else {
+        None
+    }
+}
+
+/// Broadcast `data` from the tree root to every rank (the "broadcast"
+/// operation, §IV). Returns each rank's received buffer.
+pub fn broadcast<E: Element>(data: Vec<E>, ranks: usize, chunks: usize) -> Vec<Vec<E>> {
+    assert!(ranks >= 1);
+    if ranks == 1 {
+        return vec![data];
+    }
+    let dt = DoubleBinaryTree::new(ranks);
+    let root = dt.a.root;
+    let len = data.len();
+    let comms = Comm::<E>::mesh(ranks);
+    let chunks = chunks.clamp(1, len.max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut comm)| {
+                let dt = &dt;
+                let seed = if rank == root { Some(data.clone()) } else { None };
+                s.spawn(move || {
+                    let mut buf = seed.unwrap_or_else(|| vec![E::ZERO; len]);
+                    let ranges = chunk_ranges(len, chunks);
+                    for (c, range) in ranges.iter().enumerate() {
+                        if dt.a.parent[rank].is_some() {
+                            let got = comm.recv(dt.a.parent[rank].expect("non-root"), 0, c as u32, DOWN);
+                            buf[range.clone()].copy_from_slice(&got);
+                        }
+                        for &child in &dt.a.children[rank] {
+                            comm.send(child, 0, c as u32, DOWN, buf[range.clone()].to_vec());
+                        }
+                    }
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+/// The full HFReduce data path, executed for real: per node, reduce the 8
+/// GPU buffers on the "CPU" (one fused multi-input reduction), allreduce
+/// the node sums across nodes with the double binary tree, and broadcast
+/// the result back to every GPU buffer.
+///
+/// `inputs[node][gpu]` are the GPU gradient buffers; the result has the
+/// same shape with every buffer equal to the global sum.
+pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec<Vec<Vec<E>>> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one node");
+    let len = inputs[0]
+        .first()
+        .map(|b| b.len())
+        .expect("nodes must have at least one GPU buffer");
+    for node in &inputs {
+        assert!(!node.is_empty());
+        assert!(node.iter().all(|b| b.len() == len), "unequal buffers");
+    }
+    let dt = DoubleBinaryTree::new(n);
+    let comms = Comm::<E>::mesh(n);
+    let chunks = chunks.clamp(1, len.max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(comms)
+            .map(|(gpu_bufs, mut comm)| {
+                let dt = &dt;
+                s.spawn(move || {
+                    // Intra-node reduce (Algorithm 1): one widened pass.
+                    let mut node_sum = vec![E::ZERO; len];
+                    let refs: Vec<&[E]> = gpu_bufs.iter().map(|b| b.as_slice()).collect();
+                    reduce_n_into(&mut node_sum, &refs);
+                    // Inter-node allreduce (Algorithm 2).
+                    if dt.len() > 1 {
+                        tree_allreduce_rank(&mut comm, dt, &mut node_sum, chunks);
+                    }
+                    // H2D broadcast: every GPU buffer gets the result.
+                    vec![node_sum; gpu_bufs.len()]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("node panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::reference_sum;
+    use ff_dtypes::{Bf16, F16};
+
+    /// Integer-valued f32 inputs make every summation order exact.
+    fn int_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| (0..len).map(|i| ((r * 31 + i * 7) % 50) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn dbtree_matches_reference_various_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 16] {
+            for len in [1usize, 2, 17, 128, 1001] {
+                let inputs = int_inputs(n, len);
+                let want = reference_sum(&inputs);
+                let out = allreduce_dbtree(inputs, 4);
+                for (r, buf) in out.iter().enumerate() {
+                    assert_eq!(buf, &want, "rank {r}, n={n}, len={len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_reference() {
+        for n in [2usize, 3, 4, 8] {
+            let inputs = int_inputs(n, 240);
+            let want = reference_sum(&inputs);
+            let out = allreduce_ring(inputs);
+            for buf in &out {
+                assert_eq!(buf, &want, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_tree_agree() {
+        let inputs = int_inputs(6, 600);
+        let a = allreduce_ring(inputs.clone());
+        let b = allreduce_dbtree(inputs, 3);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn hfreduce_exec_full_path() {
+        // 3 nodes × 8 GPUs of integer-valued gradients.
+        let inputs: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|v| {
+                (0..8)
+                    .map(|g| (0..100).map(|i| ((v * 8 + g + i) % 20) as f32).collect())
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<Vec<f32>> = inputs.iter().flatten().cloned().collect();
+        let want = reference_sum(&flat);
+        let out = hfreduce_exec(inputs, 2);
+        for (v, node) in out.iter().enumerate() {
+            assert_eq!(node.len(), 8);
+            for (g, buf) in node.iter().enumerate() {
+                assert_eq!(buf, &want, "node {v} gpu {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn hfreduce_exec_single_node() {
+        let inputs = vec![vec![vec![1.0f32, 2.0], vec![3.0, 4.0]]];
+        let out = hfreduce_exec(inputs, 1);
+        assert_eq!(out[0][0], vec![4.0, 6.0]);
+        assert_eq!(out[0][1], vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn f16_allreduce_small_integers_exact() {
+        // Sums stay ≤ 2048 so binary16 is exact.
+        let inputs: Vec<Vec<F16>> = (0..8)
+            .map(|r| (0..64).map(|i| F16::from_f32(((r + i) % 16) as f32)).collect())
+            .collect();
+        let want = reference_sum(&inputs);
+        let out = allreduce_dbtree(inputs, 2);
+        assert_eq!(out[3], want);
+    }
+
+    #[test]
+    fn bf16_hfreduce_exact_small_integers() {
+        let inputs: Vec<Vec<Vec<Bf16>>> = (0..2)
+            .map(|v| {
+                (0..8)
+                    .map(|g| (0..32).map(|i| Bf16::from_f32(((v + g + i) % 8) as f32)).collect())
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<Vec<Bf16>> = inputs.iter().flatten().cloned().collect();
+        let want = reference_sum(&flat);
+        let out = hfreduce_exec(inputs, 4);
+        assert_eq!(out[1][5], want);
+    }
+
+    #[test]
+    fn odd_length_and_chunk_interplay() {
+        // Lengths not divisible by chunks or halves still reduce exactly.
+        let inputs = int_inputs(5, 97);
+        let want = reference_sum(&inputs);
+        for chunks in [1usize, 2, 3, 7, 97] {
+            let out = allreduce_dbtree(inputs.clone(), chunks);
+            assert_eq!(out[0], want, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal buffers")]
+    fn mismatched_rank_buffers_rejected() {
+        allreduce_dbtree(vec![vec![1.0f32], vec![1.0, 2.0]], 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ff-reduce — HFReduce, the paper's core contribution (§IV)
+//!
+//! HFReduce is a CPU-asynchronous allreduce designed for PCIe GPU nodes
+//! with a single shared NIC: (1) asynchronously copy each GPU's gradients
+//! to host memory, (2) reduce them on the CPU with SIMD adds, (3) allreduce
+//! the node sums across nodes over a **double binary tree** via RDMA, and
+//! (4) return the result to the GPUs — GDRCopy for the fan-out so host
+//! memory is read only twice. No GPU kernel ever runs, so communication
+//! overlaps backpropagation completely.
+//!
+//! This crate provides both faces of the system:
+//!
+//! * **Executable algorithms** — real multithreaded implementations over
+//!   in-memory ranks: the reduction kernels ([`kernels`]), the chunked
+//!   double-binary-tree allreduce, a ring allreduce baseline, and the full
+//!   node-structured HFReduce (intra-node reduce → inter-node tree →
+//!   broadcast) ([`exec`]). These compute real numbers and are validated
+//!   against serial reference reductions.
+//! * **Performance models** — discrete-event simulations on the `ff-hw` +
+//!   `ff-net` cluster model reproducing Figure 7: HFReduce vs NCCL
+//!   allreduce bandwidth from 16 to 1,440 GPUs ([`model`], [`ring`]), and
+//!   the NVLink variant (§IV-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod exec;
+pub mod kernels;
+pub mod model;
+pub mod ring;
+pub mod sharded;
+
+pub use cluster::{ClusterConfig, ClusterModel};
+pub use exec::{hfreduce_exec, allreduce_dbtree, allreduce_ring};
+pub use model::{AllreduceReport, HfReduceOptions, HfReduceVariant};
+pub use sharded::{allgather, fsdp_step_exec, reduce_scatter};

@@ -1,0 +1,66 @@
+//! Tests for the general reduce and broadcast collectives (§IV:
+//! "HFReduce is versatile and can be applied to any scenario requiring
+//! allreduce, as well as general reduce and broadcast operations").
+
+use ff_reduce::exec::{broadcast, reduce_to_root};
+use ff_reduce::kernels::reference_sum;
+
+fn int_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| (0..len).map(|i| ((r * 13 + i * 5) % 40) as f32).collect())
+        .collect()
+}
+
+#[test]
+fn reduce_to_root_matches_reference() {
+    for n in [1usize, 2, 3, 5, 8, 12] {
+        let inputs = int_inputs(n, 333);
+        let want = reference_sum(&inputs);
+        let (root, sum) = reduce_to_root(inputs, 3);
+        assert!(root < n);
+        assert_eq!(sum, want, "n={n}");
+    }
+}
+
+#[test]
+fn reduce_root_is_the_tree_root() {
+    use ff_topo::dbtree::DoubleBinaryTree;
+    for n in [2usize, 4, 9] {
+        let (root, _) = reduce_to_root(int_inputs(n, 16), 2);
+        assert_eq!(root, DoubleBinaryTree::new(n).a.root);
+    }
+}
+
+#[test]
+fn broadcast_delivers_to_every_rank() {
+    let data: Vec<f32> = (0..500).map(|i| (i % 23) as f32).collect();
+    for n in [1usize, 2, 3, 7, 16] {
+        let out = broadcast(data.clone(), n, 4);
+        assert_eq!(out.len(), n);
+        for (r, buf) in out.iter().enumerate() {
+            assert_eq!(buf, &data, "rank {r}, n={n}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_then_reduce_roundtrip() {
+    // Broadcasting x to n ranks then reducing gives n·x.
+    let n = 6usize;
+    let data: Vec<f32> = (0..100).map(|i| (i % 10) as f32).collect();
+    let copies = broadcast(data.clone(), n, 2);
+    let (_, sum) = reduce_to_root(copies, 2);
+    for (i, &v) in sum.iter().enumerate() {
+        assert_eq!(v, n as f32 * data[i]);
+    }
+}
+
+#[test]
+fn chunking_does_not_change_results() {
+    let inputs = int_inputs(7, 97);
+    let want = reference_sum(&inputs);
+    for chunks in [1usize, 2, 5, 97] {
+        let (_, sum) = reduce_to_root(inputs.clone(), chunks);
+        assert_eq!(sum, want, "chunks={chunks}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Double binary trees (Sanders, Speck & Träff), the inter-node allreduce
+//! structure used by both HFReduce and NCCL (§IV-A).
+//!
+//! The allreduce sends half of the data up/down each of two binary trees
+//! built over the same ranks. The trees are constructed so that **every
+//! rank is an interior node in at most one tree**: a rank's full send/recv
+//! bandwidth is therefore never needed by both trees at once, giving full
+//! bandwidth utilization — the property the original paper proves.
+//!
+//! Construction: tree A is the "in-order" binary tree over ranks `0..n`
+//! (interior nodes sit at odd offsets). Tree B relabels tree A by mirroring
+//! (`r ↦ n−1−r`, when `n` is even) or shifting (`r ↦ (r+1) mod n`, when `n`
+//! is odd); either way A's interior ranks become B's leaves.
+
+/// One rooted tree over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// `parent[r]` is `None` for the root.
+    pub parent: Vec<Option<usize>>,
+    /// Children of each rank (0, 1 or 2 of them).
+    pub children: Vec<Vec<usize>>,
+    /// The root rank.
+    pub root: usize,
+}
+
+impl Tree {
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// True if `r` has children.
+    pub fn is_interior(&self, r: usize) -> bool {
+        !self.children[r].is_empty()
+    }
+
+    /// Height: the longest root-to-leaf path, in edges.
+    pub fn height(&self) -> usize {
+        fn depth(t: &Tree, r: usize) -> usize {
+            t.children[r]
+                .iter()
+                .map(|&c| 1 + depth(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        depth(self, self.root)
+    }
+
+    /// Ranks in post-order (children before parents) — the reduce schedule.
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        fn walk(t: &Tree, r: usize, out: &mut Vec<usize>) {
+            for &c in &t.children[r] {
+                walk(t, c, out);
+            }
+            out.push(r);
+        }
+        walk(self, self.root, &mut out);
+        out
+    }
+
+    /// Build the in-order binary tree over `0..n`: the rank sequence is the
+    /// in-order traversal, interior nodes sit at odd ranks, rank ranges
+    /// split at power-of-two boundaries (the classic MPI/NCCL shape).
+    fn inorder(n: usize) -> Tree {
+        assert!(n >= 1);
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        // Recursive split: the root of [lo, hi) is lo + p - 1 where p is
+        // the largest power of two ≤ (hi - lo).
+        fn build(
+            lo: usize,
+            hi: usize,
+            par: Option<usize>,
+            parent: &mut [Option<usize>],
+            children: &mut [Vec<usize>],
+        ) -> usize {
+            let size = hi - lo;
+            debug_assert!(size >= 1);
+            if size == 1 {
+                parent[lo] = par;
+                return lo;
+            }
+            let mut p = 1usize;
+            while p * 2 <= size {
+                p *= 2;
+            }
+            let root = lo + p - 1;
+            parent[root] = par;
+            if root > lo {
+                let c = build(lo, root, Some(root), parent, children);
+                children[root].push(c);
+            }
+            if root + 1 < hi {
+                let c = build(root + 1, hi, Some(root), parent, children);
+                children[root].push(c);
+            }
+            root
+        }
+        let root = build(0, n, None, &mut parent, &mut children);
+        Tree {
+            parent,
+            children,
+            root,
+        }
+    }
+
+    /// Relabel every rank through `f` (a bijection on `0..n`).
+    fn relabel(&self, f: impl Fn(usize) -> usize) -> Tree {
+        let n = self.len();
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        for r in 0..n {
+            let fr = f(r);
+            parent[fr] = self.parent[r].map(&f);
+            children[fr] = self.children[r].iter().map(|&c| f(c)).collect();
+        }
+        Tree {
+            parent,
+            children,
+            root: f(self.root),
+        }
+    }
+}
+
+/// The pair of trees driving a double-binary-tree allreduce.
+#[derive(Debug, Clone)]
+pub struct DoubleBinaryTree {
+    /// First tree (carries the even half of the data).
+    pub a: Tree,
+    /// Second tree (carries the odd half).
+    pub b: Tree,
+}
+
+impl DoubleBinaryTree {
+    /// Build the double tree over `n` ranks (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        let a = Tree::inorder(n);
+        let b = if n.is_multiple_of(2) {
+            a.relabel(|r| n - 1 - r)
+        } else {
+            a.relabel(|r| (r + 1) % n)
+        };
+        DoubleBinaryTree { a, b }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True when empty (never: `new` requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// The defining property: no rank is interior in both trees.
+    pub fn interior_disjoint(&self) -> bool {
+        (0..self.len()).all(|r| !(self.a.is_interior(r) && self.b.is_interior(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_valid_tree(t: &Tree) {
+        let n = t.len();
+        // Exactly one root.
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+        assert!(t.parent[t.root].is_none());
+        // parent/children agree.
+        for r in 0..n {
+            for &c in &t.children[r] {
+                assert_eq!(t.parent[c], Some(r));
+            }
+            assert!(t.children[r].len() <= 2, "rank {r} has >2 children");
+        }
+        // Connected: walking up from every rank reaches the root.
+        for mut r in 0..n {
+            let mut hops = 0;
+            while let Some(p) = t.parent[r] {
+                r = p;
+                hops += 1;
+                assert!(hops <= n, "cycle detected");
+            }
+            assert_eq!(r, t.root);
+        }
+        // Post-order covers all ranks once.
+        let po = t.post_order();
+        assert_eq!(po.len(), n);
+        assert_eq!(po.iter().copied().collect::<HashSet<_>>().len(), n);
+    }
+
+    #[test]
+    fn trees_are_valid_for_all_small_sizes() {
+        for n in 1..=130 {
+            let dt = DoubleBinaryTree::new(n);
+            assert_valid_tree(&dt.a);
+            assert_valid_tree(&dt.b);
+        }
+    }
+
+    #[test]
+    fn interior_sets_are_disjoint() {
+        for n in 1..=130 {
+            let dt = DoubleBinaryTree::new(n);
+            assert!(dt.interior_disjoint(), "interior overlap at n={n}");
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        for n in [4usize, 16, 64, 128, 1024] {
+            let dt = DoubleBinaryTree::new(n);
+            let bound = 2 * (usize::BITS - n.leading_zeros()) as usize;
+            assert!(
+                dt.a.height() <= bound,
+                "height {} exceeds 2·log2({n})",
+                dt.a.height()
+            );
+        }
+    }
+
+    #[test]
+    fn in_order_structure_known_small_cases() {
+        // n=4: ranks 0..4, root = 3 (p=4), chain 3 -> 1 -> {0, 2}.
+        let t = Tree::inorder(4);
+        assert_eq!(t.root, 3);
+        assert_eq!(t.children[3], vec![1]);
+        assert_eq!(t.children[1], vec![0, 2]);
+        assert!(t.is_interior(1) && t.is_interior(3));
+        assert!(!t.is_interior(0) && !t.is_interior(2));
+    }
+
+    #[test]
+    fn interior_ranks_are_odd_in_tree_a() {
+        for n in 2..=64 {
+            let t = Tree::inorder(n);
+            for r in 0..n {
+                if t.is_interior(r) {
+                    assert_eq!(r % 2, 1, "interior rank {r} is even (n={n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_tree() {
+        let dt = DoubleBinaryTree::new(1);
+        assert_eq!(dt.a.root, 0);
+        assert!(dt.a.children[0].is_empty());
+        assert!(dt.interior_disjoint());
+    }
+
+    #[test]
+    fn post_order_children_before_parents() {
+        let t = Tree::inorder(13);
+        let pos: Vec<usize> = {
+            let po = t.post_order();
+            let mut pos = vec![0; 13];
+            for (i, &r) in po.iter().enumerate() {
+                pos[r] = i;
+            }
+            pos
+        };
+        for r in 0..13 {
+            for &c in &t.children[r] {
+                assert!(pos[c] < pos[r]);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The Dragonfly alternative the paper rejected (§III-B).
+//!
+//! "Although the Dragonfly topology also offers comparable
+//! cost-effectiveness and performance, its lack of sufficient bisection
+//! bandwidth makes it unsuitable for our integrated storage and
+//! computation network design." This module quantifies that trade-off:
+//! switch counts and bisection bandwidth of a canonical dragonfly versus
+//! the two-layer fat-tree at equal endpoint counts.
+
+use crate::fattree::FatTreeSpec;
+
+/// A canonical dragonfly: groups of `a` routers, each with `p` terminal
+/// ports and `h` global links; groups fully connected internally, one
+/// global link between every pair of groups (balanced: `g = a·h + 1`).
+#[derive(Debug, Clone, Copy)]
+pub struct DragonflySpec {
+    /// Routers per group.
+    pub a: usize,
+    /// Terminals (hosts) per router.
+    pub p: usize,
+    /// Global links per router.
+    pub h: usize,
+    /// Link capacity per direction, bytes/second.
+    pub link_bps: f64,
+}
+
+impl DragonflySpec {
+    /// The balanced dragonfly with `a = 2p = 2h` built from `radix`-port
+    /// routers (`radix = p + h + a − 1`).
+    pub fn balanced(radix: usize, link_bps: f64) -> Self {
+        // radix = p + h + (a-1) with a = 2p, h = p  ⇒ radix = 4p - 1.
+        let p = (radix + 1) / 4;
+        DragonflySpec {
+            a: 2 * p,
+            p,
+            h: p,
+            link_bps,
+        }
+    }
+
+    /// Number of groups in the balanced configuration.
+    pub fn groups(&self) -> usize {
+        self.a * self.h + 1
+    }
+
+    /// Total hosts.
+    pub fn hosts(&self) -> usize {
+        self.groups() * self.a * self.p
+    }
+
+    /// Total routers (switches).
+    pub fn switches(&self) -> usize {
+        self.groups() * self.a
+    }
+
+    /// Bisection bandwidth as a fraction of the injection bandwidth:
+    /// cutting the network in half severs about half the global links;
+    /// with `g·a·h/2` directed global links for `g·a·p` hosts the ratio is
+    /// `h / (2p)` — one half of full bisection in the balanced design.
+    pub fn bisection_fraction(&self) -> f64 {
+        self.h as f64 / (2.0 * self.p as f64)
+    }
+}
+
+/// The two-layer fat-tree's bisection fraction (1.0 when non-blocking).
+pub fn fat_tree_bisection_fraction(spec: &FatTreeSpec) -> f64 {
+    (spec.leaf_up() as f64 / spec.leaf_down as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_dragonfly_shape() {
+        let d = DragonflySpec::balanced(39, 25e9);
+        assert_eq!(d.p, 10);
+        assert_eq!(d.a, 20);
+        assert_eq!(d.h, 10);
+        assert_eq!(d.groups(), 201);
+        assert_eq!(d.hosts(), 201 * 200);
+    }
+
+    #[test]
+    fn dragonfly_needs_fewer_switches_per_host_at_scale() {
+        // The cost-effectiveness the paper concedes: at a scale that
+        // forces the fat-tree into three layers, the dragonfly (which
+        // never needs one) uses fewer switches per host.
+        let d = DragonflySpec::balanced(39, 25e9);
+        let df_hosts_per_switch = d.hosts() as f64 / d.switches() as f64;
+        let (l, s, c) = crate::fattree::three_layer_counts(&crate::fattree::ThreeLayerSpec {
+            radix: 40,
+            endpoints: d.hosts(),
+        });
+        let ft_hosts_per_switch = d.hosts() as f64 / (l + s + c) as f64;
+        assert!(
+            df_hosts_per_switch > ft_hosts_per_switch,
+            "dragonfly {df_hosts_per_switch} vs three-layer fat-tree {ft_hosts_per_switch}"
+        );
+    }
+
+    #[test]
+    fn dragonfly_lacks_bisection_bandwidth() {
+        // The reason the paper rejected it: storage + compute traffic
+        // needs full bisection; the balanced dragonfly offers half.
+        let d = DragonflySpec::balanced(39, 25e9);
+        assert!((d.bisection_fraction() - 0.5).abs() < 1e-9);
+        let ft = FatTreeSpec::paper_zone();
+        assert!((fat_tree_bisection_fraction(&ft) - 1.0).abs() < 1e-9);
+    }
+}

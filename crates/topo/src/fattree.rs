@@ -1,0 +1,413 @@
+//! Fat-tree builders.
+//!
+//! Fire-Flyer 2's network (§III-B) is two complete two-layer fat-trees
+//! ("zones") of QM8700 40-port 200 Gbps switches — 20 spine + 40 leaf
+//! switches per zone, 20 downlinks per leaf, 800 endpoints per zone —
+//! joined by a limited number of inter-zone links between paired spines.
+//! A generic three-layer builder supports the Table III cost comparison.
+
+use crate::graph::{NodeId, NodeKind, Topology};
+
+/// 200 Gbps InfiniBand in bytes/second.
+pub const IB_200G: f64 = 25e9;
+
+/// Parameters of one two-layer fat-tree zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTreeSpec {
+    /// Switch radix (ports per switch). QM8700 = 40.
+    pub radix: usize,
+    /// Downlinks per leaf (= endpoints per leaf). The rest go up.
+    pub leaf_down: usize,
+    /// Number of leaf switches.
+    pub leaves: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Link capacity per direction, bytes/second.
+    pub link_capacity: f64,
+}
+
+impl FatTreeSpec {
+    /// The paper's zone: radix-40 switches, 20 spine + 40 leaf, 800 ports.
+    pub fn paper_zone() -> Self {
+        FatTreeSpec {
+            radix: 40,
+            leaf_down: 20,
+            leaves: 40,
+            spines: 20,
+            link_capacity: IB_200G,
+        }
+    }
+
+    /// A small zone for tests and laptop-scale experiments.
+    pub fn small(leaves: usize, spines: usize, leaf_down: usize) -> Self {
+        FatTreeSpec {
+            radix: leaf_down + spines,
+            leaf_down,
+            leaves,
+            spines,
+            link_capacity: IB_200G,
+        }
+    }
+
+    /// Endpoint capacity of the zone.
+    pub fn endpoints(&self) -> usize {
+        self.leaves * self.leaf_down
+    }
+
+    /// Uplinks per leaf. With `spines` spine switches each leaf spreads its
+    /// uplinks evenly: `uplinks = radix - leaf_down` and every spine gets
+    /// `uplinks / spines` parallel links (usually 1).
+    pub fn leaf_up(&self) -> usize {
+        self.radix - self.leaf_down
+    }
+
+    /// Validate port budgets: leaves need `leaf_down + leaf_up ≤ radix`;
+    /// spines need `leaves × links_per_spine ≤ radix`.
+    pub fn validate(&self) {
+        assert!(self.leaf_down > 0 && self.leaves > 0 && self.spines > 0);
+        assert!(
+            self.leaf_down + self.leaf_up() <= self.radix,
+            "leaf over port budget"
+        );
+        assert!(
+            self.leaf_up().is_multiple_of(self.spines),
+            "uplinks ({}) must spread evenly over spines ({})",
+            self.leaf_up(),
+            self.spines
+        );
+        let per_spine = self.leaf_up() / self.spines;
+        assert!(
+            self.leaves * per_spine <= self.radix,
+            "spine over port budget: {} leaves × {} links > {} ports",
+            self.leaves,
+            per_spine,
+            self.radix
+        );
+    }
+
+    /// Is the zone non-blocking (bisection bandwidth ≥ endpoint bandwidth)?
+    pub fn is_nonblocking(&self) -> bool {
+        self.leaf_up() >= self.leaf_down
+    }
+
+    /// Switch count of one zone.
+    pub fn switch_count(&self) -> usize {
+        self.leaves + self.spines
+    }
+}
+
+/// A built two-layer zone: the topology ids of its parts.
+#[derive(Debug, Clone)]
+pub struct ZoneIds {
+    /// Leaf switches, in order.
+    pub leaves: Vec<NodeId>,
+    /// Spine switches, in order.
+    pub spines: Vec<NodeId>,
+    /// Free (unconnected) downlink slots per leaf, as `(leaf index, count)`.
+    pub free_ports: Vec<(usize, usize)>,
+}
+
+/// Build one two-layer zone into `topo`, without hosts. Hosts are attached
+/// afterwards with [`attach_host`].
+pub fn build_zone(topo: &mut Topology, spec: &FatTreeSpec, zone: u8) -> ZoneIds {
+    spec.validate();
+    let leaves: Vec<NodeId> = (0..spec.leaves)
+        .map(|i| topo.add_node(NodeKind::Leaf, format!("z{zone}-leaf{i}"), Some(zone)))
+        .collect();
+    let spines: Vec<NodeId> = (0..spec.spines)
+        .map(|i| topo.add_node(NodeKind::Spine, format!("z{zone}-spine{i}"), Some(zone)))
+        .collect();
+    let per_spine = spec.leaf_up() / spec.spines;
+    for &leaf in &leaves {
+        for &spine in &spines {
+            for _ in 0..per_spine {
+                topo.add_link(leaf, spine, spec.link_capacity);
+            }
+        }
+    }
+    let free_ports = (0..spec.leaves).map(|i| (i, spec.leaf_down)).collect();
+    ZoneIds {
+        leaves,
+        spines,
+        free_ports,
+    }
+}
+
+/// Attach a host to the next free leaf port in the zone (round-robin over
+/// leaves so hosts spread evenly — the paper's placement of storage,
+/// computation and management nodes "evenly" across leaves, §VI-A2).
+/// Returns the leaf used. Panics when the zone is full.
+pub fn attach_host(
+    topo: &mut Topology,
+    zone: &mut ZoneIds,
+    host: NodeId,
+    capacity: f64,
+) -> NodeId {
+    // Pick the leaf with the most free ports (ties -> lowest index) for an
+    // even spread.
+    let (slot, _) = zone
+        .free_ports
+        .iter()
+        .enumerate()
+        .max_by(|(ia, (_, fa)), (ib, (_, fb))| fa.cmp(fb).then(ib.cmp(ia)))
+        .expect("zone has leaves");
+    let (leaf_idx, free) = zone.free_ports[slot];
+    assert!(free > 0, "fat-tree zone is full");
+    zone.free_ports[slot] = (leaf_idx, free - 1);
+    let leaf = zone.leaves[leaf_idx];
+    topo.add_link(host, leaf, capacity);
+    leaf
+}
+
+/// Parameters of the production two-zone network.
+#[derive(Debug, Clone)]
+pub struct TwoZoneSpec {
+    /// Per-zone fat-tree parameters.
+    pub zone: FatTreeSpec,
+    /// Number of inter-zone links (paired spines across zones).
+    pub interzone_links: usize,
+    /// Compute hosts per zone.
+    pub compute_per_zone: usize,
+    /// Storage hosts (each dual-homed: one NIC in each zone).
+    pub storage_hosts: usize,
+}
+
+impl TwoZoneSpec {
+    /// The paper's deployment: ~1,250 compute nodes and ~180 storage nodes
+    /// over two 800-port zones (storage dual-homed).
+    pub fn paper() -> Self {
+        TwoZoneSpec {
+            zone: FatTreeSpec::paper_zone(),
+            interzone_links: 20,
+            compute_per_zone: 600,
+            storage_hosts: 180,
+        }
+    }
+
+    /// A scaled-down variant with the same shape (for simulation speed).
+    pub fn scaled(compute_per_zone: usize, storage_hosts: usize) -> Self {
+        let leaf_down = 8;
+        let spines = 4;
+        let need = compute_per_zone + storage_hosts + 1;
+        let leaves = need.div_ceil(leaf_down).max(2);
+        TwoZoneSpec {
+            zone: FatTreeSpec {
+                radix: leaf_down + spines,
+                leaf_down,
+                leaves,
+                spines,
+                link_capacity: IB_200G,
+            },
+            interzone_links: 2,
+            compute_per_zone,
+            storage_hosts,
+        }
+    }
+}
+
+/// The built two-zone network with host inventories.
+#[derive(Debug, Clone)]
+pub struct TwoZoneNetwork {
+    /// The topology graph.
+    pub topo: Topology,
+    /// Per-zone switch ids.
+    pub zones: [ZoneIds; 2],
+    /// Compute hosts, zone 0 then zone 1.
+    pub compute: Vec<NodeId>,
+    /// Storage hosts (dual-homed).
+    pub storage: Vec<NodeId>,
+}
+
+impl TwoZoneNetwork {
+    /// Build the full network from a spec.
+    pub fn build(spec: &TwoZoneSpec) -> Self {
+        let mut topo = Topology::new();
+        let mut z0 = build_zone(&mut topo, &spec.zone, 0);
+        let mut z1 = build_zone(&mut topo, &spec.zone, 1);
+        // Inter-zone links pair spines across zones, round-robin.
+        assert!(spec.interzone_links <= spec.zone.spines * spec.zone.spines);
+        for i in 0..spec.interzone_links {
+            let a = z0.spines[i % z0.spines.len()];
+            let b = z1.spines[i % z1.spines.len()];
+            topo.add_link(a, b, spec.zone.link_capacity);
+        }
+        let mut compute = Vec::new();
+        for z in 0..2u8 {
+            for i in 0..spec.compute_per_zone {
+                let h = topo.add_node(
+                    NodeKind::ComputeHost,
+                    format!("z{z}-gpu{i:04}"),
+                    Some(z),
+                );
+                let zone = if z == 0 { &mut z0 } else { &mut z1 };
+                attach_host(&mut topo, zone, h, spec.zone.link_capacity);
+                compute.push(h);
+            }
+        }
+        let mut storage = Vec::new();
+        for i in 0..spec.storage_hosts {
+            // Dual-homed: no zone tag on the host itself.
+            let h = topo.add_node(NodeKind::StorageHost, format!("stor{i:03}"), None);
+            attach_host(&mut topo, &mut z0, h, spec.zone.link_capacity);
+            attach_host(&mut topo, &mut z1, h, spec.zone.link_capacity);
+            storage.push(h);
+        }
+        TwoZoneNetwork {
+            topo,
+            zones: [z0, z1],
+            compute,
+            storage,
+        }
+    }
+
+    /// Compute hosts in `zone`.
+    pub fn compute_in_zone(&self, zone: u8) -> Vec<NodeId> {
+        self.compute
+            .iter()
+            .copied()
+            .filter(|&h| self.topo.zone(h) == Some(zone))
+            .collect()
+    }
+}
+
+/// Parameters of a generic three-layer fat-tree (for cost comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeLayerSpec {
+    /// Switch radix.
+    pub radix: usize,
+    /// Total endpoints required.
+    pub endpoints: usize,
+}
+
+/// Switch counts for a three-layer fat-tree built from `radix`-port
+/// switches: pods of (radix/2 leaves + radix/2 spines) serving
+/// `(radix/2)²` endpoints each, with core switches matching the spine
+/// uplink count. Returns `(leaf, spine, core)`.
+pub fn three_layer_counts(spec: &ThreeLayerSpec) -> (usize, usize, usize) {
+    let half = spec.radix / 2;
+    let leaves = spec.endpoints.div_ceil(half);
+    // Spines pair leaves one-to-one within pods (full bisection).
+    let spines = leaves;
+    // Every spine has `half` uplinks; a core switch terminates `radix` of
+    // them.
+    let core = (spines * half).div_ceil(spec.radix);
+    (leaves, spines, core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_zone_has_800_ports_and_60_switches() {
+        let z = FatTreeSpec::paper_zone();
+        z.validate();
+        assert_eq!(z.endpoints(), 800);
+        assert_eq!(z.switch_count(), 60);
+        assert!(z.is_nonblocking());
+        assert_eq!(z.leaf_up(), 20);
+    }
+
+    #[test]
+    fn built_zone_is_fully_connected() {
+        let mut topo = Topology::new();
+        let spec = FatTreeSpec::small(4, 2, 4);
+        let z = build_zone(&mut topo, &spec, 0);
+        assert_eq!(z.leaves.len(), 4);
+        assert_eq!(z.spines.len(), 2);
+        // Each leaf links to each spine once (leaf_up=2, spines=2).
+        assert_eq!(topo.link_count(), 4 * 2);
+        // Any leaf can reach any other in 2 hops via a spine.
+        let d = topo.bfs_distances(z.leaves[0]);
+        assert_eq!(d[z.leaves[3].0 as usize], 2);
+    }
+
+    #[test]
+    fn attach_spreads_hosts_evenly() {
+        let mut topo = Topology::new();
+        let spec = FatTreeSpec::small(3, 1, 2);
+        let mut z = build_zone(&mut topo, &spec, 0);
+        let mut used = Vec::new();
+        for i in 0..6 {
+            let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
+            used.push(attach_host(&mut topo, &mut z, h, 1e9));
+        }
+        // 6 hosts over 3 leaves of 2 ports -> 2 per leaf.
+        for leaf in &z.leaves {
+            assert_eq!(used.iter().filter(|&&l| l == *leaf).count(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zone is full")]
+    fn attach_panics_when_full() {
+        let mut topo = Topology::new();
+        let spec = FatTreeSpec::small(1, 1, 1);
+        let mut z = build_zone(&mut topo, &spec, 0);
+        for i in 0..2 {
+            let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
+            attach_host(&mut topo, &mut z, h, 1e9);
+        }
+    }
+
+    #[test]
+    fn two_zone_network_shape() {
+        let spec = TwoZoneSpec::scaled(8, 3);
+        let net = TwoZoneNetwork::build(&spec);
+        assert_eq!(net.compute.len(), 16);
+        assert_eq!(net.storage.len(), 3);
+        assert_eq!(net.compute_in_zone(0).len(), 8);
+        assert_eq!(net.compute_in_zone(1).len(), 8);
+        // Storage hosts are dual-homed.
+        for &s in &net.storage {
+            assert_eq!(net.topo.access_switches(s).len(), 2);
+        }
+        // Cross-zone compute hosts can reach each other (via interzone).
+        let a = net.compute_in_zone(0)[0];
+        let b = net.compute_in_zone(1)[0];
+        assert!(!net.topo.shortest_paths(a, b, 1).is_empty());
+    }
+
+    #[test]
+    fn cross_zone_path_goes_through_interzone_spines() {
+        let spec = TwoZoneSpec::scaled(4, 1);
+        let net = TwoZoneNetwork::build(&spec);
+        let a = net.compute_in_zone(0)[0];
+        let b = net.compute_in_zone(1)[0];
+        let paths = net.topo.shortest_paths(a, b, 4);
+        // host→leaf→spine →(interzone)→ spine→leaf→host = 5 links.
+        assert_eq!(paths[0].len(), 5);
+    }
+
+    #[test]
+    fn paper_two_zone_builds() {
+        let net = TwoZoneNetwork::build(&TwoZoneSpec::paper());
+        // 2×(40+20) switches.
+        assert_eq!(net.topo.switches().len(), 120);
+        // 1200 compute + 180 storage hosts.
+        assert_eq!(net.topo.hosts().len(), 1380);
+        // Port budget per zone: 600 compute + 180 storage + free ≤ 800.
+        assert_eq!(net.compute_in_zone(0).len(), 600);
+    }
+
+    #[test]
+    fn three_layer_counts_match_known_configs() {
+        // 1,600 endpoints from 40-port switches: paper says 40 core and
+        // 160 spine+leaf (Table III).
+        let (l, s, c) = three_layer_counts(&ThreeLayerSpec {
+            radix: 40,
+            endpoints: 1600,
+        });
+        assert_eq!(l + s, 160);
+        assert_eq!(c, 40);
+        // 10,000 endpoints: paper says 500 leaf, 500 spine (320 core incl.
+        // overprovisioning; the textbook minimum is 250).
+        let (l, s, c) = three_layer_counts(&ThreeLayerSpec {
+            radix: 40,
+            endpoints: 10_000,
+        });
+        assert_eq!(l, 500);
+        assert_eq!(s, 500);
+        assert!((250..=320).contains(&c));
+    }
+}

@@ -1,0 +1,364 @@
+//! Typed topology graph.
+
+use std::collections::VecDeque;
+
+/// Identifies a node (host or switch) in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a bidirectional link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// What a node is. Hosts terminate traffic; switches forward it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A GPU compute server (8×A100 + 1 NIC in Fire-Flyer 2).
+    ComputeHost,
+    /// A storage server (16 SSDs + 2 NICs).
+    StorageHost,
+    /// A management/scheduler node.
+    ManagementHost,
+    /// Access-layer switch.
+    Leaf,
+    /// Aggregation-layer switch.
+    Spine,
+    /// Core-layer switch (three-layer fat-trees only).
+    Core,
+}
+
+impl NodeKind {
+    /// True for traffic-terminating nodes.
+    pub fn is_host(self) -> bool {
+        matches!(
+            self,
+            NodeKind::ComputeHost | NodeKind::StorageHost | NodeKind::ManagementHost
+        )
+    }
+
+    /// True for switches.
+    pub fn is_switch(self) -> bool {
+        !self.is_host()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    name: String,
+    zone: Option<u8>,
+}
+
+/// A bidirectional link between two nodes with a per-direction capacity.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity per direction, bytes/second.
+    pub capacity: f64,
+}
+
+/// A topology: typed nodes plus bidirectional capacity-labelled links.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node. `zone` tags which fat-tree zone it belongs to, if any.
+    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>, zone: Option<u8>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(Node {
+            kind,
+            name: name.into(),
+            zone,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add a bidirectional link with per-direction `capacity` bytes/second.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
+        assert!(a != b, "self-link at {a:?}");
+        assert!(capacity > 0.0, "link capacity must be positive");
+        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.links.push(Link { a, b, capacity });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The kind of `n`.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.0 as usize].kind
+    }
+
+    /// The name of `n`.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0 as usize].name
+    }
+
+    /// The zone tag of `n`.
+    pub fn zone(&self, n: NodeId) -> Option<u8> {
+        self.nodes[n.0 as usize].zone
+    }
+
+    /// Link metadata.
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.0 as usize]
+    }
+
+    /// Neighbours of `n` with the connecting link.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[n.0 as usize]
+    }
+
+    /// All nodes of a given kind, in id order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.kind(n) == kind)
+            .collect()
+    }
+
+    /// All host nodes, in id order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.kind(n).is_host())
+            .collect()
+    }
+
+    /// All switch nodes, in id order.
+    pub fn switches(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.kind(n).is_switch())
+            .collect()
+    }
+
+    /// Hop distance from `src` to every node (`u32::MAX` if unreachable).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        dist[src.0 as usize] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.0 as usize];
+            for &(v, _) in &self.adj[u.0 as usize] {
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Enumerate up to `limit` distinct shortest paths (as link sequences)
+    /// from `src` to `dst`, in deterministic order. Intermediate nodes must
+    /// be switches — hosts never forward traffic.
+    pub fn shortest_paths(&self, src: NodeId, dst: NodeId, limit: usize) -> Vec<Vec<LinkId>> {
+        if src == dst {
+            return vec![Vec::new()];
+        }
+        // BFS from dst over the "switches forward" graph so we can walk
+        // decreasing distances from src.
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        dist[dst.0 as usize] = 0;
+        let mut q = VecDeque::from([dst]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.0 as usize];
+            // Hosts terminate: do not expand through a host (except dst's
+            // own adjacency, handled because we expand *from* dst).
+            if u != dst && self.kind(u).is_host() {
+                continue;
+            }
+            for &(v, _) in &self.adj[u.0 as usize] {
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if dist[src.0 as usize] == u32::MAX {
+            return Vec::new();
+        }
+        // DFS along strictly-decreasing distances, deterministic adjacency
+        // order, collecting up to `limit` paths.
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.dfs_paths(src, dst, &dist, &mut path, &mut out, limit);
+        out
+    }
+
+    fn dfs_paths(
+        &self,
+        u: NodeId,
+        dst: NodeId,
+        dist: &[u32],
+        path: &mut Vec<LinkId>,
+        out: &mut Vec<Vec<LinkId>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if u == dst {
+            out.push(path.clone());
+            return;
+        }
+        let du = dist[u.0 as usize];
+        for &(v, l) in &self.adj[u.0 as usize] {
+            if dist[v.0 as usize] + 1 == du && (v == dst || self.kind(v).is_switch()) {
+                path.push(l);
+                self.dfs_paths(v, dst, dist, path, out, limit);
+                path.pop();
+                if out.len() >= limit {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The switch a host is attached to. Panics if the node is not a host
+    /// or has no switch neighbour; returns the first if multi-homed.
+    pub fn access_switch(&self, host: NodeId) -> NodeId {
+        assert!(self.kind(host).is_host(), "{host:?} is not a host");
+        self.adj[host.0 as usize]
+            .iter()
+            .map(|&(n, _)| n)
+            .find(|&n| self.kind(n).is_switch())
+            .expect("host has no switch uplink")
+    }
+
+    /// All access switches of a (possibly multi-homed) host.
+    pub fn access_switches(&self, host: NodeId) -> Vec<NodeId> {
+        assert!(self.kind(host).is_host(), "{host:?} is not a host");
+        self.adj[host.0 as usize]
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|&n| self.kind(n).is_switch())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// host0 - sw0 - sw1 - host1, plus a parallel switch sw2.
+    fn diamond() -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let h0 = t.add_node(NodeKind::ComputeHost, "h0", Some(0));
+        let h1 = t.add_node(NodeKind::ComputeHost, "h1", Some(0));
+        let s0 = t.add_node(NodeKind::Leaf, "s0", Some(0));
+        let s1 = t.add_node(NodeKind::Leaf, "s1", Some(0));
+        let s2 = t.add_node(NodeKind::Spine, "s2", Some(0));
+        let s3 = t.add_node(NodeKind::Spine, "s3", Some(0));
+        t.add_link(h0, s0, 25e9);
+        t.add_link(h1, s1, 25e9);
+        t.add_link(s0, s2, 25e9);
+        t.add_link(s0, s3, 25e9);
+        t.add_link(s2, s1, 25e9);
+        t.add_link(s3, s1, 25e9);
+        (t, h0, h1)
+    }
+
+    #[test]
+    fn bfs_distances_basic() {
+        let (t, h0, h1) = diamond();
+        let d = t.bfs_distances(h0);
+        assert_eq!(d[h0.0 as usize], 0);
+        assert_eq!(d[h1.0 as usize], 4);
+    }
+
+    #[test]
+    fn shortest_paths_enumerates_ecmp_candidates() {
+        let (t, h0, h1) = diamond();
+        let paths = t.shortest_paths(h0, h1, 10);
+        assert_eq!(paths.len(), 2); // via s2 or s3
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+        }
+        assert_ne!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn shortest_paths_respects_limit() {
+        let (t, h0, h1) = diamond();
+        assert_eq!(t.shortest_paths(h0, h1, 1).len(), 1);
+    }
+
+    #[test]
+    fn hosts_do_not_forward() {
+        // h0 - s0 - h_mid - s1 - h1 should be unreachable through h_mid.
+        let mut t = Topology::new();
+        let h0 = t.add_node(NodeKind::ComputeHost, "h0", None);
+        let hm = t.add_node(NodeKind::StorageHost, "hm", None);
+        let h1 = t.add_node(NodeKind::ComputeHost, "h1", None);
+        let s0 = t.add_node(NodeKind::Leaf, "s0", None);
+        let s1 = t.add_node(NodeKind::Leaf, "s1", None);
+        t.add_link(h0, s0, 1e9);
+        t.add_link(s0, hm, 1e9);
+        t.add_link(hm, s1, 1e9);
+        t.add_link(s1, h1, 1e9);
+        assert!(t.shortest_paths(h0, h1, 4).is_empty());
+        // But hm itself is reachable.
+        assert_eq!(t.shortest_paths(h0, hm, 4).len(), 1);
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let (t, h0, _) = diamond();
+        assert_eq!(t.shortest_paths(h0, h0, 4), vec![Vec::<LinkId>::new()]);
+    }
+
+    #[test]
+    fn access_switch_and_multihoming() {
+        let mut t = Topology::new();
+        let h = t.add_node(NodeKind::StorageHost, "st0", None);
+        let s0 = t.add_node(NodeKind::Leaf, "l0", Some(0));
+        let s1 = t.add_node(NodeKind::Leaf, "l1", Some(1));
+        t.add_link(h, s0, 25e9);
+        t.add_link(h, s1, 25e9);
+        assert_eq!(t.access_switch(h), s0);
+        assert_eq!(t.access_switches(h), vec![s0, s1]);
+    }
+
+    #[test]
+    fn kinds_partition() {
+        let (t, _, _) = diamond();
+        assert_eq!(t.hosts().len(), 2);
+        assert_eq!(t.switches().len(), 4);
+        assert_eq!(t.nodes_of_kind(NodeKind::Spine).len(), 2);
+        assert!(NodeKind::ComputeHost.is_host());
+        assert!(NodeKind::Core.is_switch());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Leaf, "a", None);
+        t.add_link(a, a, 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ff-topo — network topology, routing, and collective trees
+//!
+//! Reproduces the structural side of the paper:
+//!
+//! * [`graph`] — a typed topology graph (hosts, leaf/spine/core switches,
+//!   bidirectional links) with shortest-path machinery.
+//! * [`fattree`] — builders for the paper's networks: a single two-layer
+//!   fat-tree zone (§III-B: QM8700 40-port switches, 20 spine + 40 leaf =
+//!   800 endpoints), the production **two-zone** topology with limited
+//!   inter-zone links, and a generic three-layer fat-tree for the cost
+//!   comparison.
+//! * [`routing`] — static (destination-hashed, the paper's choice, §VI-A2),
+//!   ECMP, and adaptive route selection over up/down paths.
+//! * [`cost`] — the switch-count and relative-price model behind Table III.
+//! * [`dbtree`] — double binary trees (Sanders et al.), the inter-node
+//!   allreduce structure shared by HFReduce and NCCL (§IV-A).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dbtree;
+pub mod dragonfly;
+pub mod fattree;
+pub mod graph;
+pub mod multiplane;
+pub mod routing;
+
+pub use dbtree::{DoubleBinaryTree, Tree};
+pub use fattree::{FatTreeSpec, ThreeLayerSpec, TwoZoneSpec};
+pub use graph::{LinkId, NodeId, NodeKind, Topology};
+pub use routing::{RoutePolicy, Router};

@@ -1,0 +1,221 @@
+//! Route selection policies.
+//!
+//! The paper (§VI-A2) observed that *adaptive routing spreads incast
+//! congestion* across the fabric and therefore chose *static routing* with
+//! nodes spread evenly across leaves. All three policies are implemented so
+//! the ablation benchmark can reproduce that comparison:
+//!
+//! * [`RoutePolicy::StaticByDestination`] — deterministic per-destination
+//!   path choice (like IB subnet-manager LID routing / destination-mod-k).
+//! * [`RoutePolicy::Ecmp`] — per-flow hash over equal-cost paths.
+//! * [`RoutePolicy::Adaptive`] — pick the candidate path whose most-loaded
+//!   link is least loaded at flow start (greedy adaptive routing).
+
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// Maximum equal-cost candidates enumerated per pair.
+const MAX_CANDIDATES: usize = 64;
+
+/// How a router picks among equal-cost shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Deterministic function of the destination only (static routing).
+    StaticByDestination,
+    /// Deterministic hash of `(src, dst, flow_key)` (ECMP).
+    Ecmp,
+    /// Least-loaded candidate at selection time (adaptive routing).
+    Adaptive,
+}
+
+/// A router bound to a topology.
+pub struct Router<'a> {
+    topo: &'a Topology,
+    policy: RoutePolicy,
+}
+
+impl<'a> Router<'a> {
+    /// Create a router using `policy`.
+    pub fn new(topo: &'a Topology, policy: RoutePolicy) -> Self {
+        Router { topo, policy }
+    }
+
+    /// The routing policy in use.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Choose a path from `src` to `dst`.
+    ///
+    /// * `flow_key` differentiates flows for ECMP hashing.
+    /// * `load` reports current load on a link (any units, higher = more
+    ///   loaded); only consulted by [`RoutePolicy::Adaptive`].
+    ///
+    /// Returns the chosen link sequence (empty when `src == dst`).
+    /// Panics if the nodes are disconnected.
+    pub fn route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        flow_key: u64,
+        load: &dyn Fn(LinkId) -> f64,
+    ) -> Vec<LinkId> {
+        let candidates = self.topo.shortest_paths(src, dst, MAX_CANDIDATES);
+        assert!(
+            !candidates.is_empty(),
+            "no path from {:?} to {:?}",
+            src,
+            dst
+        );
+        let idx = match self.policy {
+            // Destination-mod-k: destinations round-robin the equal-cost
+            // paths, the spread IB subnet managers produce and the paper's
+            // "evenly disperse traffic into leaf→spine links" depends on
+            // (§VI-A2). Like sequential-per-leaf LID assignment, the
+            // selector is the destination's index among its own leaf's
+            // hosts, so the hosts of one leaf cover distinct spines.
+            RoutePolicy::StaticByDestination => {
+                let sel = if self.topo.kind(dst).is_host() {
+                    let leaf = self.topo.access_switch(dst);
+                    self.topo
+                        .neighbors(leaf)
+                        .iter()
+                        .filter(|&&(n, _)| self.topo.kind(n).is_host())
+                        .position(|&(n, _)| n == dst)
+                        .unwrap_or(dst.0 as usize)
+                } else {
+                    dst.0 as usize
+                };
+                sel % candidates.len()
+            }
+            RoutePolicy::Ecmp => {
+                let h = splitmix(
+                    (src.0 as u64) ^ (dst.0 as u64).rotate_left(21) ^ flow_key.rotate_left(42),
+                );
+                h as usize % candidates.len()
+            }
+            RoutePolicy::Adaptive => {
+                // Least max-link-load candidate; ties to the first.
+                let mut best = 0usize;
+                let mut best_load = f64::INFINITY;
+                for (i, path) in candidates.iter().enumerate() {
+                    let worst = path.iter().map(|&l| load(l)).fold(0.0f64, f64::max);
+                    if worst < best_load {
+                        best_load = worst;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        candidates[idx].clone()
+    }
+}
+
+/// SplitMix64: a tiny, deterministic, well-mixed integer hash.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{build_zone, FatTreeSpec};
+    use crate::graph::NodeKind;
+    use std::collections::HashMap;
+
+    fn test_net() -> (Topology, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        let spec = FatTreeSpec::small(4, 4, 4);
+        let mut z = build_zone(&mut topo, &spec, 0);
+        let hosts: Vec<NodeId> = (0..16)
+            .map(|i| {
+                let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
+                crate::fattree::attach_host(&mut topo, &mut z, h, 25e9);
+                h
+            })
+            .collect();
+        (topo, hosts)
+    }
+
+    #[test]
+    fn static_routing_is_destination_deterministic() {
+        let (topo, hosts) = test_net();
+        let r = Router::new(&topo, RoutePolicy::StaticByDestination);
+        let zero = |_: LinkId| 0.0;
+        let p1 = r.route(hosts[0], hosts[15], 1, &zero);
+        let p2 = r.route(hosts[0], hosts[15], 999, &zero);
+        assert_eq!(p1, p2, "static route must ignore the flow key");
+        // Same destination from a different source shares the spine choice
+        // determinism (path differs but derived from dst only).
+        let p3 = r.route(hosts[4], hosts[15], 7, &zero);
+        assert_eq!(p1.last(), p3.last(), "last hop into dst is fixed");
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_over_spines() {
+        let (topo, hosts) = test_net();
+        let r = Router::new(&topo, RoutePolicy::Ecmp);
+        let zero = |_: LinkId| 0.0;
+        let mut seen = HashMap::new();
+        for key in 0..64u64 {
+            let p = r.route(hosts[0], hosts[15], key, &zero);
+            *seen.entry(p[1]).or_insert(0) += 1; // leaf->spine link
+        }
+        assert!(seen.len() >= 3, "ECMP should use several spines: {seen:?}");
+    }
+
+    #[test]
+    fn adaptive_avoids_loaded_links() {
+        let (topo, hosts) = test_net();
+        let r = Router::new(&topo, RoutePolicy::Adaptive);
+        // First route with no load.
+        let p0 = r.route(hosts[0], hosts[15], 0, &|_| 0.0);
+        // Mark p0's *spine* links as loaded; adaptive must avoid them. The
+        // first and last hops (host↔leaf) are shared by every candidate, so
+        // loading those would not discriminate.
+        let loaded: Vec<LinkId> = p0[1..p0.len() - 1].to_vec();
+        let load = move |l: LinkId| {
+            if loaded.contains(&l) {
+                10.0
+            } else {
+                0.0
+            }
+        };
+        let p1 = r.route(hosts[0], hosts[15], 0, &load);
+        assert_ne!(p0[1], p1[1], "adaptive should move off the loaded spine");
+    }
+
+    #[test]
+    fn intra_leaf_route_is_two_hops() {
+        let (topo, hosts) = test_net();
+        let r = Router::new(&topo, RoutePolicy::StaticByDestination);
+        // Hosts 0..=3 share leaf 0 (even spread fills leaves round-robin;
+        // find two hosts with the same access switch).
+        let l0 = topo.access_switch(hosts[0]);
+        let peer = hosts[1..]
+            .iter()
+            .copied()
+            .find(|&h| topo.access_switch(h) == l0)
+            .expect("a leaf-sharing peer exists");
+        let p = r.route(hosts[0], peer, 0, &|_| 0.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (topo, hosts) = test_net();
+        let r = Router::new(&topo, RoutePolicy::Ecmp);
+        assert!(r.route(hosts[3], hosts[3], 0, &|_| 0.0).is_empty());
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        // Adjacent inputs give wildly different outputs.
+        let a = splitmix(1);
+        let b = splitmix(2);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

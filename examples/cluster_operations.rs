@@ -1,0 +1,100 @@
+//! A week in the life of the HAI Platform (§VI-C, §VII): time-sharing
+//! scheduling, priority preemption with checkpoint/resume, the weekly
+//! hardware validator, a node failure with bounded lost work, and real
+//! checkpoints saved to and restored from 3FS.
+//!
+//! ```text
+//! cargo run --release --example cluster_operations
+//! ```
+
+use fireflyer::fs3::chain::{Chain, ChainTable};
+use fireflyer::fs3::client::Fs3Client;
+use fireflyer::fs3::kvstore::KvStore;
+use fireflyer::fs3::meta::MetaService;
+use fireflyer::fs3::target::{Disk, StorageTarget};
+use fireflyer::platform::validator::{node_passes, run_all_checks, NodeUnderTest};
+use fireflyer::platform::{CheckpointManager, Platform, TaskState};
+use std::sync::Arc;
+
+fn main() {
+    // --- Time-sharing scheduling (§VI-C) ---
+    let mut platform = Platform::new([8, 8], 300);
+    let research = platform.submit("resnet-sweep", 4, 0, 6 * 3600);
+    let dev = platform.submit("notebook", 1, 0, 24 * 3600);
+    println!(
+        "submitted: {:?} on {:?} nodes, {:?} on {:?}",
+        platform.name(research),
+        platform.assignment(research),
+        platform.name(dev),
+        platform.assignment(dev)
+    );
+
+    platform.tick(3600);
+    let llm = platform.submit("llama13b-pretrain", 16, 10, 3 * 86_400);
+    println!(
+        "high-priority 16-node LLM job arrives: research is now {:?}, LLM {:?} (cross-zone)",
+        platform.state(research),
+        platform.state(llm)
+    );
+
+    // --- A node fails mid-run (§VII-A) ---
+    platform.tick(2 * 3600);
+    let victim = platform.assignment(llm)[0];
+    platform.fail_node(victim);
+    println!(
+        "node {victim} failed: LLM rolled back to its checkpoint (progress {}s, lost ≤ 300s of work), state {:?}",
+        platform.progress(llm),
+        platform.state(llm)
+    );
+    platform.heal_node(victim);
+    platform.tick(60);
+    println!(
+        "node repaired and revalidated: LLM {:?} again; total lost work {} node-seconds",
+        platform.state(llm),
+        platform.lost_work_s
+    );
+    assert_eq!(platform.state(llm), TaskState::Running);
+
+    // --- The weekly validator (§VII-B) ---
+    let mut healthy = NodeUnderTest::healthy();
+    let mut broken = NodeUnderTest::healthy();
+    broken.gpu_memory[3][77] = 0xBD; // a stuck byte in GPU 3's memory
+    broken.gemm_fault_gpu = Some(5); // and silent math corruption on GPU 5
+    let ok = run_all_checks(&mut healthy);
+    let bad = run_all_checks(&mut broken);
+    println!(
+        "\nvalidator: healthy node passes {}/{} checks; defective node fails:",
+        ok.iter().filter(|o| o.passed).count(),
+        ok.len()
+    );
+    for o in bad.iter().filter(|o| !o.passed) {
+        println!("  ✗ {}: {}", o.name, o.detail);
+    }
+    assert!(node_passes(&ok) && !node_passes(&bad));
+
+    // --- Checkpoints on real 3FS (§VII-A) ---
+    let chains: Vec<_> = (0..8)
+        .map(|c| Chain::new(c, vec![
+            StorageTarget::new(format!("c{c}a"), Disk::new(256 << 20)),
+            StorageTarget::new(format!("c{c}b"), Disk::new(256 << 20)),
+        ]))
+        .collect();
+    let table = Arc::new(ChainTable::new(chains));
+    let meta = MetaService::new(KvStore::new(8, 2), table.len());
+    let client = Fs3Client::new(meta, table, 16);
+    let mgr = CheckpointManager::new(client, "llama13b", 4 << 20).unwrap();
+
+    let state: Vec<(String, Vec<u8>)> = (0..8)
+        .map(|i| (format!("layer{i}"), vec![i as u8; 8 << 20]))
+        .collect();
+    let handle = mgr.save_async(1200, state.clone()); // training continues...
+    let saved = handle.join().unwrap().unwrap();
+    println!(
+        "\nasync checkpoint at step {}: {} tensors indexed",
+        saved.step,
+        saved.tensors.len()
+    );
+    let restored = mgr.load(mgr.latest_step().unwrap().unwrap()).unwrap();
+    assert_eq!(restored, state);
+    println!("restored and checksum-verified — ready to resume from step 1200");
+}

@@ -1,0 +1,114 @@
+//! Data-parallel training, for real: linear regression by SGD where every
+//! gradient step is aggregated with the executable HFReduce — the same
+//! intra-node reduce → double-binary-tree allreduce → broadcast path the
+//! cluster runs, here converging an actual model.
+//!
+//! 4 nodes × 8 "GPUs" each hold a shard of a synthetic dataset generated
+//! from known true weights; after a few dozen steps the learned weights
+//! match the truth, and (the DDP invariant) every replica holds
+//! bit-identical parameters throughout.
+//!
+//! ```text
+//! cargo run --release --example data_parallel_sgd
+//! ```
+
+use fireflyer::reduce::hfreduce_exec;
+
+const NODES: usize = 4;
+const GPUS: usize = 8;
+const DIM: usize = 8;
+const SAMPLES_PER_GPU: usize = 64;
+const STEPS: usize = 80;
+const LR: f32 = 0.6;
+
+/// Deterministic pseudo-random f32 in [-1, 1).
+fn prand(seed: u64) -> f32 {
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    (x as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32
+}
+
+fn main() {
+    // The ground truth the cluster should learn.
+    let truth: Vec<f32> = (0..DIM).map(|i| (i as f32 - 3.5) / 2.0).collect();
+
+    // Every GPU's private data shard: x ~ U[-1,1)^DIM, y = truth·x.
+    let shards: Vec<Vec<(Vec<f32>, f32)>> = (0..NODES * GPUS)
+        .map(|g| {
+            (0..SAMPLES_PER_GPU)
+                .map(|s| {
+                    let x: Vec<f32> = (0..DIM)
+                        .map(|d| prand((g * 1000 + s * 10 + d) as u64))
+                        .collect();
+                    let y: f32 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+                    (x, y)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Replicated parameters (the DDP invariant: all equal, always).
+    let mut weights = vec![0.0f32; DIM];
+    let n_total = (NODES * GPUS * SAMPLES_PER_GPU) as f32;
+
+    for step in 0..STEPS {
+        // Each GPU computes the gradient of its shard: ∂/∂w ½(w·x − y)².
+        let grads: Vec<Vec<Vec<f32>>> = (0..NODES)
+            .map(|node| {
+                (0..GPUS)
+                    .map(|gpu| {
+                        let shard = &shards[node * GPUS + gpu];
+                        let mut g = vec![0.0f32; DIM];
+                        for (x, y) in shard {
+                            let err: f32 =
+                                weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>() - y;
+                            for d in 0..DIM {
+                                g[d] += err * x[d];
+                            }
+                        }
+                        g
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // The cluster's allreduce: HFReduce over 32 gradient buffers.
+        let reduced = hfreduce_exec(grads, 4);
+        // Every replica received the identical global gradient.
+        let global = &reduced[0][0];
+        for node in &reduced {
+            for gpu in node {
+                assert_eq!(gpu, global, "replicas diverged");
+            }
+        }
+        // SGD step on the (replicated) parameters.
+        for d in 0..DIM {
+            weights[d] -= LR * global[d] / n_total;
+        }
+        if step % 20 == 0 {
+            let loss: f32 = shards
+                .iter()
+                .flatten()
+                .map(|(x, y)| {
+                    let p: f32 = weights.iter().zip(x).map(|(w, xi)| w * xi).sum();
+                    (p - y) * (p - y)
+                })
+                .sum::<f32>()
+                / n_total;
+            println!("step {step:3}: mse = {loss:.6}");
+        }
+    }
+
+    let err: f32 = weights
+        .iter()
+        .zip(&truth)
+        .map(|(w, t)| (w - t).abs())
+        .fold(0.0, f32::max);
+    println!("\nlearned weights : {weights:?}");
+    println!("true weights    : {truth:?}");
+    println!("max |error|     : {err:.4}");
+    assert!(err < 0.02, "training failed to converge");
+    println!("\n32 replicas trained in lock-step through HFReduce — converged ✓");
+}

@@ -1,0 +1,123 @@
+//! The whole platform under fire: the HAI scheduler runs a fleet while the
+//! calibrated failure generator injects the paper's failure mix; every
+//! checkpoint actually round-trips through 3FS; the validator gates
+//! repaired nodes back in. The §VII story as one executable scenario.
+
+use fireflyer::failures::generator::FailureGenerator;
+use fireflyer::failures::FailureKind;
+use fireflyer::fs3::chain::{Chain, ChainTable};
+use fireflyer::fs3::client::Fs3Client;
+use fireflyer::fs3::kvstore::KvStore;
+use fireflyer::fs3::meta::MetaService;
+use fireflyer::fs3::target::{Disk, StorageTarget};
+use fireflyer::platform::validator::{weekly_validation, NodeUnderTest};
+use fireflyer::platform::{CheckpointManager, Platform, TaskState};
+use std::sync::Arc;
+
+fn storage() -> Arc<Fs3Client> {
+    let chains: Vec<_> = (0..8)
+        .map(|c| {
+            Chain::new(
+                c,
+                vec![
+                    StorageTarget::new(format!("c{c}a"), Disk::new(64 << 20)),
+                    StorageTarget::new(format!("c{c}b"), Disk::new(64 << 20)),
+                ],
+            )
+        })
+        .collect();
+    let table = Arc::new(ChainTable::new(chains));
+    Fs3Client::new(MetaService::new(KvStore::new(8, 2), table.len()), table, 16)
+}
+
+#[test]
+fn a_week_of_production() {
+    let nodes = 16usize;
+    let ckpt_interval = 300u64;
+    let mut platform = Platform::new([nodes / 2, nodes / 2], ckpt_interval);
+    let mgr = CheckpointManager::new(storage(), "prod", 256 << 10).unwrap();
+    let mut fleet: Vec<NodeUnderTest> = (0..nodes).map(|_| NodeUnderTest::healthy()).collect();
+
+    // One long LLM job over half the cluster + small jobs backfilling.
+    let llm = platform.submit("llm", nodes / 2, 10, 30 * 86_400);
+    for i in 0..6 {
+        platform.submit(format!("dev{i}"), 1, 0, 86_400);
+    }
+    assert_eq!(platform.state(llm), TaskState::Running);
+
+    // A stressed failure trace (~200× rates so a week is eventful).
+    let mut gen = FailureGenerator::paper_calibrated(42, nodes);
+    gen.scale_rates(200.0 * nodes as f64 / 1250.0);
+    let events = gen.generate(7.0 * 86_400.0);
+    assert!(!events.is_empty(), "the stress trace must have events");
+
+    let mut ei = 0usize;
+    let mut saved_steps = 0u64;
+    let mut repairs: Vec<(u64, usize)> = Vec::new();
+    let tick = 300u64;
+    let mut now = 0u64;
+    while now < 7 * 86_400 {
+        now += tick;
+        platform.tick(tick);
+        // Each checkpoint interval the LLM job saves for real to 3FS.
+        if platform.state(llm) == TaskState::Running {
+            let step = platform.progress(llm);
+            let tensors = vec![("w".to_string(), step.to_le_bytes().to_vec())];
+            mgr.save(step, &tensors).unwrap();
+            saved_steps += 1;
+            // Keep only the recent few, as production would.
+            mgr.prune(3).unwrap();
+        }
+        // Repairs come back through the validator, not directly.
+        let due: Vec<usize> = repairs
+            .iter()
+            .filter(|&&(t, _)| t <= now)
+            .map(|&(_, n)| n)
+            .collect();
+        if !due.is_empty() {
+            repairs.retain(|&(t, _)| t > now);
+            for &n in &due {
+                fleet[n] = NodeUnderTest::healthy(); // hardware replaced
+            }
+            let failed = weekly_validation(&mut platform, &mut fleet);
+            for n in &due {
+                assert!(!failed.contains(n), "replaced node {n} must validate clean");
+            }
+        }
+        while ei < events.len() && events[ei].at_s <= now as f64 {
+            let e = &events[ei];
+            ei += 1;
+            let node_action = match e.kind {
+                FailureKind::GpuXid(x) => x.needs_node_action(),
+                FailureKind::MainMemoryEcc => true,
+                FailureKind::NetworkFlashCut => false,
+            };
+            if node_action && !repairs.iter().any(|&(_, n)| n == e.node) {
+                // The defect shows up on hardware; validator pulls it.
+                fleet[e.node].gemm_fault_gpu = Some(3);
+                let failed = weekly_validation(&mut platform, &mut fleet);
+                assert!(failed.contains(&e.node));
+                repairs.push((now + 2 * 3600, e.node));
+            }
+        }
+    }
+
+    // The job survived a week of injected chaos and kept its state safe.
+    assert!(saved_steps > 1000, "saved {saved_steps} checkpoints");
+    let latest = mgr.latest_step().unwrap().expect("checkpoints exist");
+    let restored = mgr.load(latest).unwrap();
+    let step = u64::from_le_bytes(restored[0].1[..8].try_into().unwrap());
+    assert_eq!(step, latest);
+    // Lost work bounded: every failure loses at most one checkpoint
+    // interval across the job's nodes.
+    let failures = repairs.len()
+        + fleet.len(); // upper bound bookkeeping only
+    let bound = (repairs.len() as u64 + 50) * ckpt_interval * (nodes as u64 / 2);
+    assert!(
+        platform.lost_work_s <= bound,
+        "lost {} node-s exceeds bound {bound} ({failures} failures)",
+        platform.lost_work_s
+    );
+    // And the cluster stayed productive.
+    assert!(platform.utilization() > 0.55, "utilization {}", platform.utilization());
+}
