@@ -1,8 +1,8 @@
-//! Criterion: the executable collectives — double binary tree vs ring,
-//! and the full node-structured HFReduce path.
+//! Bench: the executable collectives — double binary tree vs ring, and
+//! the full node-structured HFReduce path.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ff_reduce::{allreduce_dbtree, allreduce_ring, hfreduce_exec};
+use ff_util::bench::{black_box, Bench};
 
 const LEN: usize = 1 << 14;
 
@@ -12,39 +12,23 @@ fn inputs(ranks: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
-fn benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce_exec");
-    g.sample_size(20);
-    g.throughput(Throughput::Bytes((8 * LEN * 4) as u64));
-    g.bench_function("dbtree_8ranks", |b| {
-        b.iter_batched(
-            || inputs(8),
-            |bufs| allreduce_dbtree(bufs, 4),
-            BatchSize::SmallInput,
-        )
+fn main() {
+    let b = Bench::new();
+    let bytes = (8 * LEN * 4) as u64;
+    b.run_bytes("allreduce_exec/dbtree_8ranks", bytes, || {
+        black_box(allreduce_dbtree(inputs(8), 4));
     });
-    g.bench_function("ring_8ranks", |b| {
-        b.iter_batched(|| inputs(8), allreduce_ring, BatchSize::SmallInput)
+    b.run_bytes("allreduce_exec/ring_8ranks", bytes, || {
+        black_box(allreduce_ring(inputs(8)));
     });
-    g.bench_function("hfreduce_4nodes_8gpus", |b| {
-        b.iter_batched(
-            || {
-                (0..4)
-                    .map(|v| {
-                        (0..8)
-                            .map(|gpu| {
-                                (0..LEN).map(|i| ((v * 8 + gpu + i) % 17) as f32).collect()
-                            })
-                            .collect()
-                    })
-                    .collect::<Vec<Vec<Vec<f32>>>>()
-            },
-            |bufs| hfreduce_exec(bufs, 4),
-            BatchSize::SmallInput,
-        )
+    b.run_bytes("allreduce_exec/hfreduce_4nodes_8gpus", bytes, || {
+        let bufs: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|v| {
+                (0..8)
+                    .map(|gpu| (0..LEN).map(|i| ((v * 8 + gpu + i) % 17) as f32).collect())
+                    .collect()
+            })
+            .collect();
+        black_box(hfreduce_exec(bufs, 4));
     });
-    g.finish();
 }
-
-criterion_group!(allreduce, benches);
-criterion_main!(allreduce);

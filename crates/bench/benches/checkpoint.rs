@@ -1,12 +1,12 @@
-//! Criterion: checkpoint save/load through the full 3FS stack (§VII-A).
+//! Bench: checkpoint save/load through the full 3FS stack (§VII-A).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ff_3fs::chain::{Chain, ChainTable};
 use ff_3fs::client::Fs3Client;
 use ff_3fs::kvstore::KvStore;
 use ff_3fs::meta::MetaService;
 use ff_3fs::target::{Disk, StorageTarget};
 use ff_platform::CheckpointManager;
+use ff_util::bench::Bench;
 use std::sync::Arc;
 
 const STATE_BYTES: usize = 64 << 20;
@@ -27,25 +27,19 @@ fn manager() -> Arc<CheckpointManager> {
     CheckpointManager::new(client, "ckpt", 4 << 20).unwrap()
 }
 
-fn benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checkpoint");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(STATE_BYTES as u64));
+fn main() {
+    let b = Bench::new();
     let tensors: Vec<(String, Vec<u8>)> = (0..16)
         .map(|i| (format!("t{i}"), vec![i as u8; STATE_BYTES / 16]))
         .collect();
     let mgr = manager();
     let mut step = 0u64;
-    g.bench_function("save_64MiB", |b| {
-        b.iter(|| {
-            step += 1;
-            mgr.save(step, &tensors).unwrap()
-        })
+    b.run_bytes("checkpoint/save_64MiB", STATE_BYTES as u64, || {
+        step += 1;
+        mgr.save(step, &tensors).unwrap();
     });
     mgr.save(u64::MAX - 1, &tensors).unwrap();
-    g.bench_function("load_64MiB", |b| b.iter(|| mgr.load(u64::MAX - 1).unwrap()));
-    g.finish();
+    b.run_bytes("checkpoint/load_64MiB", STATE_BYTES as u64, || {
+        mgr.load(u64::MAX - 1).unwrap();
+    });
 }
-
-criterion_group!(checkpoint, benches);
-criterion_main!(checkpoint);

@@ -1,9 +1,9 @@
-//! Criterion: CRAQ chain write/read paths (§VI-B3).
+//! Bench: CRAQ chain write/read paths (§VI-B3).
 
-use bytes::Bytes;
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ff_3fs::chain::Chain;
 use ff_3fs::target::{ChunkId, Disk, StorageTarget};
+use ff_util::bench::{black_box, Bench};
+use ff_util::bytes::Bytes;
 
 const CHUNK: usize = 256 << 10;
 
@@ -14,19 +14,23 @@ fn chain(replicas: usize) -> std::sync::Arc<Chain> {
     Chain::new(0, targets)
 }
 
-fn benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("craq");
-    g.throughput(Throughput::Bytes(CHUNK as u64));
+fn main() {
+    let b = Bench::new();
     let data = Bytes::from(vec![7u8; CHUNK]);
 
     for reps in [1usize, 2, 3] {
         let ch = chain(reps);
         let mut idx = 0u64;
-        g.bench_function(format!("write_{reps}rep"), |b| {
-            b.iter(|| {
-                idx += 1;
-                ch.write(ChunkId { ino: 1, idx: idx % 1024 }, data.clone()).unwrap()
-            })
+        b.run_bytes(&format!("craq/write_{reps}rep"), CHUNK as u64, || {
+            idx += 1;
+            ch.write(
+                ChunkId {
+                    ino: 1,
+                    idx: idx % 1024,
+                },
+                data.clone(),
+            )
+            .unwrap();
         });
     }
 
@@ -35,14 +39,14 @@ fn benches(c: &mut Criterion) {
         ch.write(ChunkId { ino: 1, idx: i }, data.clone()).unwrap();
     }
     let mut i = 0u64;
-    g.bench_function("read_any_2rep", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(ch.read(ChunkId { ino: 1, idx: i % 1024 }).unwrap())
-        })
+    b.run_bytes("craq/read_any_2rep", CHUNK as u64, || {
+        i += 1;
+        black_box(
+            ch.read(ChunkId {
+                ino: 1,
+                idx: i % 1024,
+            })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
-
-criterion_group!(craq, benches);
-criterion_main!(craq);

@@ -1,7 +1,7 @@
-//! Criterion: the max-min fluid engine and DAG executor under load.
+//! Bench: the max-min fluid engine and DAG executor under load.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ff_desim::{DagSim, FluidSim, Route, Work};
+use ff_util::bench::{black_box, Bench};
 
 fn fan_in_drain(flows: usize) {
     let mut sim = FluidSim::new();
@@ -46,12 +46,10 @@ fn pipeline_dag(chunks: usize, stages: usize) {
     black_box(dag.run());
 }
 
-fn benches(c: &mut Criterion) {
-    c.bench_function("fluid_fanin_64", |b| b.iter(|| fan_in_drain(64)));
-    c.bench_function("fluid_fanin_512", |b| b.iter(|| fan_in_drain(512)));
-    c.bench_function("dag_pipeline_64x8", |b| b.iter(|| pipeline_dag(64, 8)));
-    c.bench_function("dag_pipeline_256x4", |b| b.iter(|| pipeline_dag(256, 4)));
+fn main() {
+    let b = Bench::new();
+    b.run("fluid_fanin_64", || fan_in_drain(64));
+    b.run("fluid_fanin_512", || fan_in_drain(512));
+    b.run("dag_pipeline_64x8", || pipeline_dag(64, 8));
+    b.run("dag_pipeline_256x4", || pipeline_dag(256, 4));
 }
-
-criterion_group!(fluid, benches);
-criterion_main!(fluid);

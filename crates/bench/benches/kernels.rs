@@ -1,44 +1,40 @@
-//! Criterion: the CPU reduction kernels per dtype (§IV-D1).
+//! Bench: the CPU reduction kernels per dtype (§IV-D1).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use ff_dtypes::{Bf16, Element, F16, F8E4M3};
 use ff_reduce::kernels::{reduce_add_into, reduce_n_into};
+use ff_util::bench::{black_box, Bench};
 
 const N: usize = 1 << 16;
 
-fn bench_add<E: Element>(c: &mut Criterion, name: &str) {
-    let mut g = c.benchmark_group("reduce_add_into");
-    g.throughput(Throughput::Bytes((N * std::mem::size_of::<E>()) as u64));
+fn bench_add<E: Element>(b: &Bench, name: &str) {
     let src: Vec<E> = (0..N).map(|i| E::from_f32((i % 13) as f32)).collect();
     let mut dst: Vec<E> = (0..N).map(|i| E::from_f32((i % 7) as f32)).collect();
-    g.bench_function(name, |b| {
-        b.iter(|| reduce_add_into(black_box(&mut dst), black_box(&src)))
-    });
-    g.finish();
+    b.run_bytes(
+        &format!("reduce_add_into/{name}"),
+        (N * std::mem::size_of::<E>()) as u64,
+        || reduce_add_into(black_box(&mut dst), black_box(&src)),
+    );
 }
 
-fn bench_nway<E: Element>(c: &mut Criterion, name: &str) {
-    let mut g = c.benchmark_group("reduce_8way");
-    g.throughput(Throughput::Bytes((8 * N * std::mem::size_of::<E>()) as u64));
+fn bench_nway<E: Element>(b: &Bench, name: &str) {
     let srcs: Vec<Vec<E>> = (0..8)
         .map(|s| (0..N).map(|i| E::from_f32(((s + i) % 13) as f32)).collect())
         .collect();
     let refs: Vec<&[E]> = srcs.iter().map(|v| v.as_slice()).collect();
     let mut dst = vec![E::ZERO; N];
-    g.bench_function(name, |b| {
-        b.iter(|| reduce_n_into(black_box(&mut dst), black_box(&refs)))
-    });
-    g.finish();
+    b.run_bytes(
+        &format!("reduce_8way/{name}"),
+        (8 * N * std::mem::size_of::<E>()) as u64,
+        || reduce_n_into(black_box(&mut dst), black_box(&refs)),
+    );
 }
 
-fn benches(c: &mut Criterion) {
-    bench_add::<f32>(c, "f32");
-    bench_add::<F16>(c, "f16");
-    bench_add::<Bf16>(c, "bf16");
-    bench_add::<F8E4M3>(c, "f8e4m3");
-    bench_nway::<f32>(c, "f32");
-    bench_nway::<Bf16>(c, "bf16");
+fn main() {
+    let b = Bench::new();
+    bench_add::<f32>(&b, "f32");
+    bench_add::<F16>(&b, "f16");
+    bench_add::<Bf16>(&b, "bf16");
+    bench_add::<F8E4M3>(&b, "f8e4m3");
+    bench_nway::<f32>(&b, "f32");
+    bench_nway::<Bf16>(&b, "bf16");
 }
-
-criterion_group!(kernels, benches);
-criterion_main!(kernels);

@@ -1,22 +1,23 @@
-//! Criterion: topology machinery — equal-cost path enumeration, route
+//! Bench: topology machinery — equal-cost path enumeration, route
 //! selection policies, and double-binary-tree construction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ff_topo::dbtree::DoubleBinaryTree;
 use ff_topo::fattree::{TwoZoneNetwork, TwoZoneSpec};
 use ff_topo::routing::{RoutePolicy, Router};
+use ff_util::bench::{black_box, Bench};
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let b = Bench::new();
     let net = TwoZoneNetwork::build(&TwoZoneSpec::paper());
     let a = net.compute[0];
-    let b = net.compute[599]; // same zone, far leaf
+    let z = net.compute[599]; // same zone, far leaf
     let x = net.compute[600]; // other zone
 
-    c.bench_function("shortest_paths_intra_zone", |bch| {
-        bch.iter(|| black_box(net.topo.shortest_paths(a, b, 64).len()))
+    b.run("shortest_paths_intra_zone", || {
+        black_box(net.topo.shortest_paths(a, z, 64).len());
     });
-    c.bench_function("shortest_paths_cross_zone", |bch| {
-        bch.iter(|| black_box(net.topo.shortest_paths(a, x, 64).len()))
+    b.run("shortest_paths_cross_zone", || {
+        black_box(net.topo.shortest_paths(a, x, 64).len());
     });
 
     for (name, policy) in [
@@ -26,18 +27,13 @@ fn benches(c: &mut Criterion) {
     ] {
         let router = Router::new(&net.topo, policy);
         let mut key = 0u64;
-        c.bench_function(&format!("route_{name}"), |bch| {
-            bch.iter(|| {
-                key += 1;
-                black_box(router.route(a, b, key, &|_| 0.0).len())
-            })
+        b.run(&format!("route_{name}"), || {
+            key += 1;
+            black_box(router.route(a, z, key, &|_| 0.0).len());
         });
     }
 
-    c.bench_function("dbtree_1250_nodes", |bch| {
-        bch.iter(|| black_box(DoubleBinaryTree::new(1250).a.height()))
+    b.run("dbtree_1250_nodes", || {
+        black_box(DoubleBinaryTree::new(1250).a.height());
     });
 }
-
-criterion_group!(routing, benches);
-criterion_main!(routing);

@@ -17,7 +17,10 @@ use ff_topo::routing::RoutePolicy;
 /// the same link.
 fn vl_ablation() {
     let mut rows = Vec::new();
-    for (name, vl) in [("shared (no VLs)", VlConfig::shared()), ("isolated VLs", VlConfig::isolated())] {
+    for (name, vl) in [
+        ("shared (no VLs)", VlConfig::shared()),
+        ("isolated VLs", VlConfig::isolated()),
+    ] {
         let mut topo = Topology::new();
         let a = topo.add_node(NodeKind::ComputeHost, "a", None);
         let s = topo.add_node(NodeKind::Leaf, "s", None);
@@ -27,9 +30,15 @@ fn vl_ablation() {
         let mut fluid = FluidSim::new();
         let net = NetResources::install(&mut fluid, &topo, vl);
         let path = topo.shortest_paths(a, b, 1).remove(0);
-        let hf = fluid.start_flow(1e12, &net.path_route(&topo, a, &path, ServiceLevel::HfReduce));
+        let hf = fluid.start_flow(
+            1e12,
+            &net.path_route(&topo, a, &path, ServiceLevel::HfReduce),
+        );
         for _ in 0..10 {
-            fluid.start_flow(1e12, &net.path_route(&topo, a, &path, ServiceLevel::Storage));
+            fluid.start_flow(
+                1e12,
+                &net.path_route(&topo, a, &path, ServiceLevel::Storage),
+            );
         }
         let rate = fluid.flow_rate(hf);
         rows.push(vec![name.to_string(), format!("{:.2}", rate / 1e9)]);
@@ -39,7 +48,9 @@ fn vl_ablation() {
         &["configuration", "HFReduce rate"],
         &rows,
     );
-    println!("Isolation guarantees the allreduce lane its share regardless of storage load (§VI-A1).");
+    println!(
+        "Isolation guarantees the allreduce lane its share regardless of storage load (§VI-A1)."
+    );
 }
 
 fn routing_ablation() {
@@ -61,7 +72,12 @@ fn routing_ablation() {
     ];
     print_table(
         "Ablation 2 — routing policy under storage incast",
-        &["routing", "mean compute GB/s", "worst GB/s", "links touched by storage"],
+        &[
+            "routing",
+            "mean compute GB/s",
+            "worst GB/s",
+            "links touched by storage",
+        ],
         &rows,
     );
     println!(
@@ -89,7 +105,12 @@ fn rts_ablation() {
     ];
     print_table(
         "Ablation 3 — 64-sender incast at the client NIC",
-        &["admission", "goodput GB/s", "mean latency ms", "makespan ms"],
+        &[
+            "admission",
+            "goodput GB/s",
+            "mean latency ms",
+            "makespan ms",
+        ],
         &rows,
     );
     println!(
@@ -133,7 +154,10 @@ fn dcqcn_ablation() {
     let without = run(false);
     let rows = vec![
         vec!["DCQCN enabled".to_string(), format!("{:.2}", with_cc / 1e9)],
-        vec!["DCQCN disabled (paper)".into(), format!("{:.2}", without / 1e9)],
+        vec![
+            "DCQCN disabled (paper)".into(),
+            format!("{:.2}", without / 1e9),
+        ],
     ];
     print_table(
         "Ablation 4 — single storage stream goodput (GB/s)",

@@ -23,10 +23,7 @@ fn main() {
     println!("Figure 1 — training compute of landmark models (log scale):");
     for &(name, year, flops) in runs {
         let log = flops.log10();
-        println!(
-            "{}",
-            bar(&format!("{name} ({year})"), log - 17.0, 8.0, 40)
-        );
+        println!("{}", bar(&format!("{name} ({year})"), log - 17.0, 8.0, 40));
     }
     println!("(bar length ∝ log10(FLOPs) − 17; growth is ~10× per year, far above Moore's law)");
 

@@ -69,6 +69,14 @@ fn main() {
         "> 10 GiB/s (NVMe-bound)",
         &format!("{:.1} GiB/s (RAM-backed)", gib / save_s),
     );
-    compare("Save completes in", "a few seconds", &format!("{save_s:.2} s"));
-    compare("Load completes in", "a few seconds", &format!("{load_s:.2} s"));
+    compare(
+        "Save completes in",
+        "a few seconds",
+        &format!("{save_s:.2} s"),
+    );
+    compare(
+        "Load completes in",
+        "a few seconds",
+        &format!("{load_s:.2} s"),
+    );
 }

@@ -37,12 +37,19 @@ fn main() {
         .collect();
     let gmax = *gen_monthly.iter().max().unwrap_or(&1) as f64;
     for (m, c) in gen_monthly.iter().enumerate() {
-        println!("{}", bar(&format!("month {:02}", m + 1), *c as f64, gmax, 40));
+        println!(
+            "{}",
+            bar(&format!("month {:02}", m + 1), *c as f64, gmax, 40)
+        );
     }
 
     println!();
     let gen_total: u64 = days.iter().sum();
-    compare("Flash cuts per year", &paper_total.to_string(), &gen_total.to_string());
+    compare(
+        "Flash cuts per year",
+        &paper_total.to_string(),
+        &gen_total.to_string(),
+    );
     let active = days.iter().filter(|&&c| c > 0).count();
     compare(
         "Days with at least one event",

@@ -2,8 +2,8 @@
 //! batch 4608, pipeline parallel 10, expert parallel), 40 → 640 GPUs.
 
 use ff_bench::{compare, print_table};
-use ff_haiscale::moe::{moe_step, MoeConfig};
 use ff_haiscale::models::TrainModel;
+use ff_haiscale::moe::{moe_step, MoeConfig};
 use ff_haiscale::strong_scaling_efficiency;
 
 fn main() {
@@ -44,11 +44,17 @@ fn main() {
     compare(
         "Efficiency at 320 GPUs",
         "92.92%",
-        &format!("{:.1}%", strong_scaling_efficiency(40, t40, 320, t320) * 100.0),
+        &format!(
+            "{:.1}%",
+            strong_scaling_efficiency(40, t40, 320, t320) * 100.0
+        ),
     );
     compare(
         "Efficiency at 640 GPUs",
         "76.14%",
-        &format!("{:.1}%", strong_scaling_efficiency(40, t40, 640, t640) * 100.0),
+        &format!(
+            "{:.1}%",
+            strong_scaling_efficiency(40, t40, 640, t640) * 100.0
+        ),
     );
 }

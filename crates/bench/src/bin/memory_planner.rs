@@ -9,7 +9,14 @@ use ff_haiscale::pipeline::{resident_microbatches, Schedule};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
-fn row(model: &TrainModel, label: &str, s: ShardingStrategy, dp: usize, pp: usize, tokens: usize) -> Vec<String> {
+fn row(
+    model: &TrainModel,
+    label: &str,
+    s: ShardingStrategy,
+    dp: usize,
+    pp: usize,
+    tokens: usize,
+) -> Vec<String> {
     let est = memory_per_gpu(model, s, dp, pp, 1, tokens, false);
     vec![
         model.name.to_string(),
@@ -23,7 +30,15 @@ fn row(model: &TrainModel, label: &str, s: ShardingStrategy, dp: usize, pp: usiz
 }
 
 fn main() {
-    let header = ["model", "strategy", "params GiB", "optim GiB", "act GiB", "total GiB", "fits 40GB?"];
+    let header = [
+        "model",
+        "strategy",
+        "params GiB",
+        "optim GiB",
+        "act GiB",
+        "total GiB",
+        "fits 40GB?",
+    ];
     let mut rows = Vec::new();
     // Figure 3's point: classic DL models fit plain DDP...
     for m in [TrainModel::vgg16(), TrainModel::gpt2_medium()] {
@@ -32,11 +47,32 @@ fn main() {
     // ...LLMs do not, until sharded.
     let llama = TrainModel::llama_13b();
     rows.push(row(&llama, "DDP", ShardingStrategy::Ddp, 128, 1, 2048));
-    rows.push(row(&llama, "ZeRO-1 + pp4", ShardingStrategy::Zero1, 128, 4, 4 * 2048));
-    rows.push(row(&llama, "FSDP (ZeRO-3)", ShardingStrategy::Zero3, 128, 1, 2048));
+    rows.push(row(
+        &llama,
+        "ZeRO-1 + pp4",
+        ShardingStrategy::Zero1,
+        128,
+        4,
+        4 * 2048,
+    ));
+    rows.push(row(
+        &llama,
+        "FSDP (ZeRO-3)",
+        ShardingStrategy::Zero3,
+        128,
+        1,
+        2048,
+    ));
     let moe = TrainModel::deepseek_moe_16b();
     rows.push(row(&moe, "DDP", ShardingStrategy::Ddp, 64, 1, 4096));
-    rows.push(row(&moe, "ZeRO-1 + pp10", ShardingStrategy::Zero1, 64, 10, 10 * 4096));
+    rows.push(row(
+        &moe,
+        "ZeRO-1 + pp10",
+        ShardingStrategy::Zero1,
+        64,
+        10,
+        10 * 4096,
+    ));
     print_table(
         "Per-GPU memory by strategy (A100-40GB usable ≈ 38 GiB)",
         &header,

@@ -12,8 +12,14 @@ fn main() {
         vec!["planes".to_string(), next.planes.to_string()],
         vec!["switch radix".into(), next.radix.to_string()],
         vec!["link speed".into(), "400 Gbps RoCE".into()],
-        vec!["NICs per node".into(), format!("{} (1 per GPU)", next.nics_per_node)],
-        vec!["endpoints per plane".into(), next.endpoints_per_plane().to_string()],
+        vec![
+            "NICs per node".into(),
+            format!("{} (1 per GPU)", next.nics_per_node),
+        ],
+        vec![
+            "endpoints per plane".into(),
+            next.endpoints_per_plane().to_string(),
+        ],
         vec!["max GPUs".into(), next.max_gpus().to_string()],
         vec!["total switches".into(), next.total_switches().to_string()],
         vec![
@@ -21,10 +27,18 @@ fn main() {
             format!("{:.0} GB/s", next.node_injection_bw() / 1e9),
         ],
     ];
-    print_table("§IX — next-generation multi-plane network", &["", "value"], &rows);
+    print_table(
+        "§IX — next-generation multi-plane network",
+        &["", "value"],
+        &rows,
+    );
 
     println!();
-    compare("Max GPUs on 4-plane two-layer", "32,768", &next.max_gpus().to_string());
+    compare(
+        "Max GPUs on 4-plane two-layer",
+        "32,768",
+        &next.max_gpus().to_string(),
+    );
 
     // MoE all-to-all: 1 GiB of dispatch traffic per GPU per step.
     let cur = current_gen_all2all_time(8, 1.0e9, 7.0 / 8.0);
@@ -33,7 +47,12 @@ fn main() {
     compare(
         "All-to-all (8 GPUs × 1 GB, 7/8 cross-node)",
         "\"all-to-all performance is crucial\"",
-        &format!("{:.0} ms now → {:.0} ms next-gen ({:.0}×)", cur * 1e3, nxt * 1e3, cur / nxt),
+        &format!(
+            "{:.0} ms now → {:.0} ms next-gen ({:.0}×)",
+            cur * 1e3,
+            nxt * 1e3,
+            cur / nxt
+        ),
     );
 
     // The §III-B road not taken, quantified.

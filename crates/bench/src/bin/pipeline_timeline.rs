@@ -25,7 +25,11 @@ fn main() {
         for g in 0..8 {
             let deps: Vec<_> = prev_d2h[g].into_iter().collect();
             let id = dag.add_labeled(
-                if g == 0 { format!("chunk{c} D2H") } else { String::new() },
+                if g == 0 {
+                    format!("chunk{c} D2H")
+                } else {
+                    String::new()
+                },
                 Work::Transfer {
                     work: chunk_bytes,
                     route: hw.d2h(g),
@@ -63,7 +67,11 @@ fn main() {
             let mut deps = vec![net];
             deps.extend(prev_h2d[g]);
             let id = dag.add_labeled(
-                if g == 0 { format!("chunk{c} H2D") } else { String::new() },
+                if g == 0 {
+                    format!("chunk{c} H2D")
+                } else {
+                    String::new()
+                },
                 Work::Transfer {
                     work: chunk_bytes,
                     route: hw.h2d(g, TransferMethod::GdrCopy),

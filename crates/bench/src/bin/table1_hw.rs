@@ -38,7 +38,11 @@ fn main() {
             format!("{:.0}", dgx.power_watts),
         ],
     ];
-    print_table("Table I — server hardware", &["", "Our PCIe Arch", "DGX-A100"], &rows);
+    print_table(
+        "Table I — server hardware",
+        &["", "Our PCIe Arch", "DGX-A100"],
+        &rows,
+    );
 
     let st = StorageNodeSpec::paper();
     let rows = vec![

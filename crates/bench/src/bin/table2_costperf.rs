@@ -8,8 +8,7 @@ use ff_hw::{GpuForm, NodeSpec};
 fn main() {
     let ours = NodeSpec::pcie_a100();
     let dgx = NodeSpec::dgx_a100();
-    let tput =
-        |f: GpuForm, p: GemmPrecision| format!("{:.0}", gemm_throughput(f, p) / 1e12);
+    let tput = |f: GpuForm, p: GemmPrecision| format!("{:.0}", gemm_throughput(f, p) / 1e12);
     let rows = vec![
         vec![
             "TF32 GEMM (TFLOPS/GPU)".to_string(),
@@ -42,7 +41,11 @@ fn main() {
             format!("{:.0}", dgx.power_watts),
         ],
     ];
-    print_table("Table II — A100 PCIe vs DGX-A100", &["", "Our Arch", "DGX Arch"], &rows);
+    print_table(
+        "Table II — A100 PCIe vs DGX-A100",
+        &["", "Our Arch", "DGX Arch"],
+        &rows,
+    );
 
     println!();
     compare(

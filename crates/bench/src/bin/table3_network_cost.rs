@@ -26,7 +26,11 @@ fn main() {
     println!();
     let t = table3();
     compare("Our Arch switches", "122", &t[0].switches.to_string());
-    compare("Three-layer PCIe switches", "200", &t[1].switches.to_string());
+    compare(
+        "Three-layer PCIe switches",
+        "200",
+        &t[1].switches.to_string(),
+    );
     compare("DGX Arch switches", "1320", &t[2].switches.to_string());
     compare(
         "Network saving vs three-layer",

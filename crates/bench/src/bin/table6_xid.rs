@@ -21,8 +21,13 @@ fn main() {
             format!("xid_{code}"),
             format!("{:?}", x.category().expect("tracked code")),
             paper_count.to_string(),
-            format!("{:.2}%", 100.0 * paper_count as f64 / table_vi_total() as f64),
-            gen_row.map(|r| r.count.to_string()).unwrap_or_else(|| "0".into()),
+            format!(
+                "{:.2}%",
+                100.0 * paper_count as f64 / table_vi_total() as f64
+            ),
+            gen_row
+                .map(|r| r.count.to_string())
+                .unwrap_or_else(|| "0".into()),
             gen_row
                 .map(|r| format!("{:.2}%", r.percentage))
                 .unwrap_or_else(|| "0%".into()),
@@ -30,7 +35,14 @@ fn main() {
     }
     print_table(
         "Table VI — GPU Xid errors over one year (paper vs generated)",
-        &["xid", "category", "paper #", "paper %", "generated #", "generated %"],
+        &[
+            "xid",
+            "category",
+            "paper #",
+            "paper %",
+            "generated #",
+            "generated %",
+        ],
         &rows,
     );
 
@@ -48,7 +60,11 @@ fn main() {
     println!();
     let gen_total: u64 = rows_gen.iter().map(|r| r.count).sum();
     compare("Total Xid events/year", "12,970", &gen_total.to_string());
-    let nv = rows_gen.iter().find(|r| r.xid == Xid(74)).map(|r| r.percentage).unwrap_or(0.0);
+    let nv = rows_gen
+        .iter()
+        .find(|r| r.xid == Xid(74))
+        .map(|r| r.percentage)
+        .unwrap_or(0.0);
     compare("Xid 74 (NVLink) share", "42.57%", &format!("{nv:.2}%"));
     compare(
         "NVLink share vs other-architecture report",

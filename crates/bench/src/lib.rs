@@ -56,7 +56,10 @@ pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Ve
         s
     };
     println!("{}", line(&header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for r in &rows {
         println!("{}", line(r));
     }

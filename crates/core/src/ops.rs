@@ -116,8 +116,8 @@ impl OpsSimulation {
         }
         OpsReport {
             lost_work_node_s: platform.lost_work_s,
-            busy_node_s: (platform.utilization()
-                * (nodes as u64 * self.days * 86_400) as f64) as u64,
+            busy_node_s: (platform.utilization() * (nodes as u64 * self.days * 86_400) as f64)
+                as u64,
             utilization: platform.utilization(),
             node_failures,
             total_events: events.len(),
@@ -155,7 +155,11 @@ mod tests {
             ..Default::default()
         }
         .run();
-        assert!(report.utilization > 0.90, "utilization {}", report.utilization);
+        assert!(
+            report.utilization > 0.90,
+            "utilization {}",
+            report.utilization
+        );
     }
 
     #[test]
@@ -180,7 +184,10 @@ mod tests {
         let sweep = checkpoint_cadence_sweep(&[300, 3600, 14400], 5);
         assert!(sweep[0].1 <= sweep[1].1 + 1e-9);
         assert!(sweep[1].1 <= sweep[2].1 + 1e-9);
-        assert!(sweep[2].1 > sweep[0].1, "sweep should differentiate: {sweep:?}");
+        assert!(
+            sweep[2].1 > sweep[0].1,
+            "sweep should differentiate: {sweep:?}"
+        );
     }
 
     #[test]

@@ -87,6 +87,17 @@ struct Resource {
     /// Rate ceiling imposed by congestion control (bytes/s); `f64::INFINITY`
     /// when uncapped. Applies to the resource's aggregate load.
     cap_override: f64,
+    /// Health multiplier in `(0, 1]` applied to `capacity` — a PCIe lane
+    /// trained down, a weak NVLink bridge, an IB link flash-cut to a lower
+    /// speed. Fault injection sets it; diagnostics observe the slowdown.
+    degrade_factor: f64,
+}
+
+impl Resource {
+    /// Usable capacity after degradation and congestion-control caps.
+    fn effective_capacity(&self) -> f64 {
+        (self.capacity * self.degrade_factor).min(self.cap_override)
+    }
 }
 
 struct Flow {
@@ -166,6 +177,7 @@ impl FluidSim {
             capacity,
             stats: ResourceStats::default(),
             cap_override: f64::INFINITY,
+            degrade_factor: 1.0,
         });
         id
     }
@@ -187,6 +199,38 @@ impl FluidSim {
         self.settle();
         self.resources[r.0 as usize].cap_override = cap;
         self.rates_dirty = true;
+    }
+
+    /// Degrade `r` to `factor × capacity` (`0 < factor ≤ 1`) — fault
+    /// injection for a link trained down or a flaky bridge. In-flight flows
+    /// re-derive their rates immediately; compose with
+    /// [`restore`](Self::restore) to model transient flash cuts.
+    pub fn degrade(&mut self, r: ResourceId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        self.settle();
+        self.resources[r.0 as usize].degrade_factor = factor;
+        self.rates_dirty = true;
+    }
+
+    /// Lift any degradation on `r` (the link re-trained at full speed).
+    pub fn restore(&mut self, r: ResourceId) {
+        self.settle();
+        self.resources[r.0 as usize].degrade_factor = 1.0;
+        self.rates_dirty = true;
+    }
+
+    /// The current degradation factor of `r` (`1.0` when healthy).
+    pub fn degradation(&self, r: ResourceId) -> f64 {
+        self.resources[r.0 as usize].degrade_factor
+    }
+
+    /// Capacity of `r` after degradation and rate caps — what flows can
+    /// actually use right now.
+    pub fn effective_capacity(&self, r: ResourceId) -> f64 {
+        self.resources[r.0 as usize].effective_capacity()
     }
 
     /// Begin a flow of `work` units over `route` at the current time.
@@ -381,7 +425,7 @@ impl FluidSim {
         let mut residual: Vec<f64> = self
             .resources
             .iter()
-            .map(|r| r.capacity.min(r.cap_override))
+            .map(|r| r.effective_capacity())
             .collect();
         // Per-resource sum of weights of unfrozen flows.
         let mut weight_sum = vec![0.0f64; n_res];
@@ -426,10 +470,7 @@ impl FluidSim {
             let saturated: Vec<bool> = residual
                 .iter()
                 .enumerate()
-                .map(|(i, &res)| {
-                    let cap = self.resources[i].capacity.min(self.resources[i].cap_override);
-                    res <= cap * 1e-6
-                })
+                .map(|(i, &res)| res <= self.resources[i].effective_capacity() * 1e-6)
                 .collect();
             let (frozen_now, still): (Vec<FlowId>, Vec<FlowId>) =
                 unfrozen.into_iter().partition(|id| {
@@ -553,6 +594,55 @@ mod tests {
         approx(sim.flow_rate(b), 5.0);
         sim.set_rate_cap(link, f64::INFINITY.min(1e18));
         approx(sim.flow_rate(a), 50.0);
+    }
+
+    #[test]
+    fn degrade_shrinks_rates_and_restore_recovers() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let f = sim.start_flow(1000.0, &Route::unit([link]));
+        approx(sim.flow_rate(f), 100.0);
+        // Link trains down to a quarter speed mid-flow.
+        sim.degrade(link, 0.25);
+        approx(sim.degradation(link), 0.25);
+        approx(sim.effective_capacity(link), 25.0);
+        approx(sim.flow_rate(f), 25.0);
+        // Flash cut over: full speed again.
+        sim.restore(link);
+        approx(sim.flow_rate(f), 100.0);
+    }
+
+    #[test]
+    fn degrade_composes_with_rate_cap() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.set_rate_cap(link, 40.0);
+        sim.degrade(link, 0.5);
+        // min(100×0.5, cap 40) = 40: the tighter constraint wins.
+        approx(sim.effective_capacity(link), 40.0);
+        sim.degrade(link, 0.1);
+        approx(sim.effective_capacity(link), 10.0);
+        let f = sim.start_flow(100.0, &Route::unit([link]));
+        approx(sim.flow_rate(f), 10.0);
+    }
+
+    #[test]
+    fn degraded_link_delays_completion() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.degrade(link, 0.5);
+        let f = sim.start_flow(100.0, &Route::unit([link]));
+        let (t, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done, vec![f]);
+        approx(t.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be in (0, 1]")]
+    fn zero_degrade_factor_rejected() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.degrade(link, 0.0);
     }
 
     #[test]

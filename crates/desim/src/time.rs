@@ -221,7 +221,10 @@ mod tests {
     fn time_arithmetic_roundtrip() {
         let t = SimTime::from_secs(3) + SimDuration::from_millis(250);
         assert_eq!(t.as_nanos(), 3_250_000_000);
-        assert_eq!(t.since(SimTime::from_secs(3)), SimDuration::from_millis(250));
+        assert_eq!(
+            t.since(SimTime::from_secs(3)),
+            SimDuration::from_millis(250)
+        );
         assert!((t.as_secs_f64() - 3.25).abs() < 1e-12);
     }
 

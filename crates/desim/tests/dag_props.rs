@@ -1,7 +1,9 @@
-//! Property-based tests for the DAG executor.
+//! Randomized property tests for the DAG executor (seeded, reproducible).
 
 use ff_desim::{DagNodeId, DagSim, FluidSim, Route, SimDuration, SimTime, Work};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
+
+const CASES: usize = 64;
 
 /// A random layered DAG: `layers × width` transfer nodes over a few
 /// shared resources, each node depending on a random subset of the
@@ -14,18 +16,25 @@ struct LayeredDag {
     work: Vec<Vec<(f64, usize, u32)>>,
 }
 
-fn layered_dag() -> impl Strategy<Value = LayeredDag> {
-    let caps = prop::collection::vec(10.0f64..1000.0, 1..4);
-    caps.prop_flat_map(|capacities| {
-        let n_res = capacities.len();
-        let node = (1.0f64..100.0, 0..n_res, any::<u32>());
-        let layer = prop::collection::vec(node, 1..5);
-        let layers = prop::collection::vec(layer, 1..5);
-        layers.prop_map(move |work| LayeredDag {
-            capacities: capacities.clone(),
-            work,
+fn layered_dag(rng: &mut ChaCha8Rng) -> LayeredDag {
+    let capacities: Vec<f64> = (0..rng.gen_range(1usize..4))
+        .map(|_| rng.gen_range(10.0f64..1000.0))
+        .collect();
+    let n_res = capacities.len();
+    let work: Vec<Vec<(f64, usize, u32)>> = (0..rng.gen_range(1usize..5))
+        .map(|_| {
+            (0..rng.gen_range(1usize..5))
+                .map(|_| {
+                    (
+                        rng.gen_range(1.0f64..100.0),
+                        rng.gen_range(0..n_res),
+                        rng.next_u32(),
+                    )
+                })
+                .collect()
         })
-    })
+        .collect();
+    LayeredDag { capacities, work }
 }
 
 fn build(d: &LayeredDag) -> (DagSim, Vec<Vec<DagNodeId>>) {
@@ -64,13 +73,13 @@ fn build(d: &LayeredDag) -> (DagSim, Vec<Vec<DagNodeId>>) {
     (dag, ids)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every node runs; finish times respect dependencies; the makespan is
-    /// the max finish.
-    #[test]
-    fn dependencies_respected(d in layered_dag()) {
+/// Every node runs; finish times respect dependencies; the makespan is
+/// the max finish.
+#[test]
+fn dependencies_respected() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDA61);
+    for _ in 0..CASES {
+        let d = layered_dag(&mut rng);
         let (mut dag, ids) = build(&d);
         let makespan = dag.run();
         let mut max_finish = SimTime::ZERO;
@@ -78,12 +87,12 @@ proptest! {
             for (&id, &(_, _, mask)) in row.iter().zip(&d.work[li]) {
                 let start = dag.start_time(id).expect("ran");
                 let finish = dag.finish_time(id).expect("finished");
-                prop_assert!(start <= finish);
+                assert!(start <= finish);
                 max_finish = max_finish.max(finish);
                 if li > 0 {
                     for (j, &dep) in ids[li - 1].iter().enumerate() {
                         if mask & (1 << (j % 32)) != 0 {
-                            prop_assert!(
+                            assert!(
                                 dag.finish_time(dep).expect("dep finished") <= start,
                                 "node started before its dependency finished"
                             );
@@ -92,13 +101,17 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(makespan, max_finish);
+        assert_eq!(makespan, max_finish);
     }
+}
 
-    /// Lower bound: the makespan is at least each resource's total work
-    /// divided by its capacity (no overcommitment in time).
-    #[test]
-    fn makespan_respects_capacity_bound(d in layered_dag()) {
+/// Lower bound: the makespan is at least each resource's total work
+/// divided by its capacity (no overcommitment in time).
+#[test]
+fn makespan_respects_capacity_bound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDA62);
+    for _ in 0..CASES {
+        let d = layered_dag(&mut rng);
         let (mut dag, _) = build(&d);
         let makespan = dag.run().as_secs_f64();
         for (ri, &cap) in d.capacities.iter().enumerate() {
@@ -109,17 +122,21 @@ proptest! {
                 .filter(|&&(_, r, _)| r == ri)
                 .map(|&(u, _, _)| u)
                 .sum();
-            prop_assert!(
+            assert!(
                 makespan >= total / cap - 1e-6,
                 "resource {ri}: {makespan} < {}",
                 total / cap
             );
         }
     }
+}
 
-    /// Determinism: the same DAG yields the same timeline.
-    #[test]
-    fn deterministic(d in layered_dag()) {
+/// Determinism: the same DAG yields the same timeline.
+#[test]
+fn deterministic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDA63);
+    for _ in 0..CASES {
+        let d = layered_dag(&mut rng);
         let run = |d: &LayeredDag| {
             let (mut dag, ids) = build(d);
             dag.run();
@@ -128,13 +145,19 @@ proptest! {
                 .map(|&id| dag.finish_time(id).expect("finished"))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(&d), run(&d));
+        assert_eq!(run(&d), run(&d));
     }
+}
 
-    /// Mixing delays with transfers keeps the clock monotone and the gate
-    /// semantics exact.
-    #[test]
-    fn delays_and_gates(ms in prop::collection::vec(1u64..1000, 1..8)) {
+/// Mixing delays with transfers keeps the clock monotone and the gate
+/// semantics exact.
+#[test]
+fn delays_and_gates() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDA64);
+    for _ in 0..CASES {
+        let ms: Vec<u64> = (0..rng.gen_range(1usize..8))
+            .map(|_| rng.gen_range(1u64..1000))
+            .collect();
         let mut dag = DagSim::new(FluidSim::new());
         let delays: Vec<DagNodeId> = ms
             .iter()
@@ -143,7 +166,7 @@ proptest! {
         let gate = dag.add(Work::Gate, &delays);
         let makespan = dag.run();
         let max = *ms.iter().max().expect("non-empty");
-        prop_assert_eq!(makespan, SimTime(max * 1_000_000));
-        prop_assert_eq!(dag.finish_time(gate).expect("gate ran"), makespan);
+        assert_eq!(makespan, SimTime(max * 1_000_000));
+        assert_eq!(dag.finish_time(gate).expect("gate ran"), makespan);
     }
 }

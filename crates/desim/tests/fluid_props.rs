@@ -1,7 +1,10 @@
-//! Property-based tests for the max-min fair fluid engine.
+//! Randomized property tests for the max-min fair fluid engine (seeded,
+//! reproducible).
 
 use ff_desim::{FluidSim, Route, SimTime};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
+
+const CASES: usize = 96;
 
 /// A randomly generated scenario: a few resources, a few flows with random
 /// routes and sizes.
@@ -12,17 +15,20 @@ struct Scenario {
     flows: Vec<(f64, Vec<(usize, f64)>)>,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    let caps = prop::collection::vec(1.0f64..1000.0, 1..6);
-    caps.prop_flat_map(|capacities| {
-        let n = capacities.len();
-        let route = prop::collection::vec((0..n, 0.5f64..4.0), 1..=n);
-        let flows = prop::collection::vec((1.0f64..500.0, route), 1..12);
-        flows.prop_map(move |flows| Scenario {
-            capacities: capacities.clone(),
-            flows,
+fn scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    let capacities: Vec<f64> = (0..rng.gen_range(1usize..6))
+        .map(|_| rng.gen_range(1.0f64..1000.0))
+        .collect();
+    let n = capacities.len();
+    let flows: Vec<(f64, Vec<(usize, f64)>)> = (0..rng.gen_range(1usize..12))
+        .map(|_| {
+            let route: Vec<(usize, f64)> = (0..rng.gen_range(1usize..n + 1))
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0.5f64..4.0)))
+                .collect();
+            (rng.gen_range(1.0f64..500.0), route)
         })
-    })
+        .collect();
+    Scenario { capacities, flows }
 }
 
 fn build(s: &Scenario) -> (FluidSim, Vec<ff_desim::ResourceId>, Vec<ff_desim::FlowId>) {
@@ -44,10 +50,12 @@ fn build(s: &Scenario) -> (FluidSim, Vec<ff_desim::ResourceId>, Vec<ff_desim::Fl
     (sim, rids, fids)
 }
 
-proptest! {
-    /// No resource is ever overloaded: Σ rate×weight ≤ capacity (+ε).
-    #[test]
-    fn capacity_never_exceeded(s in scenario()) {
+/// No resource is ever overloaded: Σ rate×weight ≤ capacity (+ε).
+#[test]
+fn capacity_never_exceeded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF101);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let (mut sim, rids, fids) = build(&s);
         let rates: Vec<f64> = fids.iter().map(|&f| sim.flow_rate(f)).collect();
         let mut loads = vec![0.0; rids.len()];
@@ -57,15 +65,19 @@ proptest! {
             }
         }
         for (load, cap) in loads.iter().zip(&s.capacities) {
-            prop_assert!(*load <= cap * (1.0 + 1e-6), "load {load} > cap {cap}");
+            assert!(*load <= cap * (1.0 + 1e-6), "load {load} > cap {cap}");
         }
     }
+}
 
-    /// Every flow is bottlenecked: each flow crosses at least one resource
-    /// whose load is (numerically) at capacity — the defining property of a
-    /// max-min fair allocation together with capacity feasibility.
-    #[test]
-    fn every_flow_has_a_saturated_resource(s in scenario()) {
+/// Every flow is bottlenecked: each flow crosses at least one resource
+/// whose load is (numerically) at capacity — the defining property of a
+/// max-min fair allocation together with capacity feasibility.
+#[test]
+fn every_flow_has_a_saturated_resource() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF102);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let (mut sim, rids, fids) = build(&s);
         let rates: Vec<f64> = fids.iter().map(|&f| sim.flow_rate(f)).collect();
         let mut loads = vec![0.0; rids.len()];
@@ -78,28 +90,32 @@ proptest! {
             let bottlenecked = route
                 .iter()
                 .any(|&(i, _)| loads[i] >= s.capacities[i] * (1.0 - 1e-5));
-            prop_assert!(
+            assert!(
                 bottlenecked,
                 "flow {fi} (rate {}) crosses no saturated resource",
                 rates[fi]
             );
         }
     }
+}
 
-    /// All flows eventually complete, total served work matches, and time
-    /// never runs backwards.
-    #[test]
-    fn drain_conserves_work(s in scenario()) {
+/// All flows eventually complete, total served work matches, and time
+/// never runs backwards.
+#[test]
+fn drain_conserves_work() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF103);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let (mut sim, rids, _fids) = build(&s);
         let mut last = SimTime::ZERO;
         let mut completions = 0usize;
         while let Some((t, done)) = sim.advance_to_next_completion() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             completions += done.len();
         }
-        prop_assert_eq!(completions, s.flows.len());
-        prop_assert_eq!(sim.active_flows(), 0);
+        assert_eq!(completions, s.flows.len());
+        assert_eq!(sim.active_flows(), 0);
         // Work served per resource = Σ flow work × weight on that resource.
         let mut expected = vec![0.0; rids.len()];
         for (work, route) in &s.flows {
@@ -111,17 +127,22 @@ proptest! {
             let served = sim.stats(*rid).units_served();
             // Rounding to integer ns on each event makes served slightly
             // diverge; allow a small relative tolerance.
-            prop_assert!(
+            assert!(
                 (served - expected[ri]).abs() <= expected[ri] * 1e-3 + 1e-6,
-                "resource {ri}: served {served}, expected {}", expected[ri]
+                "resource {ri}: served {served}, expected {}",
+                expected[ri]
             );
         }
     }
+}
 
-    /// Determinism: building the same scenario twice gives identical rates
-    /// and identical completion timelines.
-    #[test]
-    fn deterministic_replay(s in scenario()) {
+/// Determinism: building the same scenario twice gives identical rates
+/// and identical completion timelines.
+#[test]
+fn deterministic_replay() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF104);
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
         let run = |s: &Scenario| {
             let (mut sim, _, _) = build(s);
             let mut timeline = Vec::new();
@@ -130,6 +151,6 @@ proptest! {
             }
             timeline
         };
-        prop_assert_eq!(run(&s), run(&s));
+        assert_eq!(run(&s), run(&s));
     }
 }

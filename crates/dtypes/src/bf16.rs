@@ -191,7 +191,11 @@ mod tests {
             if h.is_nan() {
                 assert!(Bf16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(Bf16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    Bf16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }

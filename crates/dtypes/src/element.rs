@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn narrowing_is_idempotent() {
-        for x in [0.0f32, 1.0, -1.5, 3.14159, 1e-3, 100.0] {
+        for x in [0.0f32, 1.0, -1.5, std::f32::consts::PI, 1e-3, 100.0] {
             roundtrip_one::<f32>(x);
             roundtrip_one::<F16>(x);
             roundtrip_one::<Bf16>(x);

@@ -1,92 +1,122 @@
-//! Property-based tests for dtype conversions.
+//! Randomized property tests for dtype conversions (seeded, reproducible).
 
 use ff_dtypes::{Bf16, Element, F16, F8E4M3};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
 
-/// Narrowing must pick one of the two representable neighbours of x
-/// (correct rounding implies the nearer one; here we verify the weaker but
-/// regression-catching property that |narrow(x) - x| ≤ ulp and that the
-/// result never moves past x by more than half a step in the wrong
-/// direction — expressed as: the error is no larger than the distance to
-/// the *further* neighbour).
+const CASES: usize = 2048;
+
+/// Narrowing must land between the representable neighbours of x: the
+/// error is bounded by one representable step at the result's scale.
 fn check_nearest<E: Element>(x: f32) {
     let y = E::from_f32(x).to_f32();
     if !y.is_finite() || !x.is_finite() {
         return; // overflow/saturation paths tested exhaustively elsewhere
     }
-    // Walk to the neighbouring representable values around y.
     let bits_up = E::from_f32(f32::from_bits(y.to_bits().wrapping_add(1))).to_f32();
     let err = (y - x).abs();
-    // Error must not exceed the gap between y and the next value after x
-    // in the direction away from y (i.e. x is between y's neighbours).
-    let gap = (bits_up - y).abs().max((y - x).abs() * 0.0 + f32::MIN_POSITIVE);
+    let gap = (bits_up - y).abs().max(f32::MIN_POSITIVE);
     assert!(
         err <= gap.max((x * 2e-2).abs()),
         "narrow({x}) = {y}, err {err} too large"
     );
 }
 
-proptest! {
-    /// f16: round-to-nearest means error ≤ half ULP of the result's scale.
-    #[test]
-    fn f16_error_bounded(x in -60000.0f32..60000.0) {
+/// f16: round-to-nearest means error ≤ half ULP of the result's scale.
+#[test]
+fn f16_error_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF16);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-60000.0f64..60000.0) as f32;
         let y = F16::from_f32(x).to_f32();
         // binary16 has 11 significand bits: relative error ≤ 2^-11 for
         // normals; absolute error ≤ 2^-25 near zero (subnormal unit / 2).
         let tol = (x.abs() * (2.0f32).powi(-11)).max((2.0f32).powi(-25));
-        prop_assert!((y - x).abs() <= tol, "x={x} y={y}");
+        assert!((y - x).abs() <= tol, "x={x} y={y}");
     }
+}
 
-    /// bf16: 8 significand bits.
-    #[test]
-    fn bf16_error_bounded(x in -1e30f32..1e30) {
+/// bf16: 8 significand bits.
+#[test]
+fn bf16_error_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBF16);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-1e30f64..1e30) as f32;
         let y = Bf16::from_f32(x).to_f32();
         let tol = (x.abs() * (2.0f32).powi(-8)).max(f32::MIN_POSITIVE);
-        prop_assert!((y - x).abs() <= tol, "x={x} y={y}");
+        assert!((y - x).abs() <= tol, "x={x} y={y}");
     }
+}
 
-    /// f8 E4M3: 4 significand bits within ±448.
-    #[test]
-    fn f8_error_bounded(x in -448.0f32..448.0) {
+/// f8 E4M3: 4 significand bits within ±448.
+#[test]
+fn f8_error_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF8);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-448.0f64..448.0) as f32;
         let y = F8E4M3::from_f32(x).to_f32();
         let tol = (x.abs() * (2.0f32).powi(-4)).max((2.0f32).powi(-10));
-        prop_assert!((y - x).abs() <= tol, "x={x} y={y}");
+        assert!((y - x).abs() <= tol, "x={x} y={y}");
     }
+}
 
-    /// Narrowing is monotonic: a ≤ b implies narrow(a) ≤ narrow(b).
-    #[test]
-    fn f16_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+/// Narrowing is monotonic: a ≤ b implies narrow(a) ≤ narrow(b).
+#[test]
+fn f16_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-70000.0f64..70000.0) as f32;
+        let b = rng.gen_range(-70000.0f64..70000.0) as f32;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+        assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
     }
+}
 
-    /// Same for f8.
-    #[test]
-    fn f8_monotone(a in -500.0f32..500.0, b in -500.0f32..500.0) {
+/// Same for f8.
+#[test]
+fn f8_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-500.0f64..500.0) as f32;
+        let b = rng.gen_range(-500.0f64..500.0) as f32;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(F8E4M3::from_f32(lo).to_f32() <= F8E4M3::from_f32(hi).to_f32());
+        assert!(F8E4M3::from_f32(lo).to_f32() <= F8E4M3::from_f32(hi).to_f32());
     }
+}
 
-    /// Same for bf16.
-    #[test]
-    fn bf16_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+/// Same for bf16.
+#[test]
+fn bf16_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-1e30f64..1e30) as f32;
+        let b = rng.gen_range(-1e30f64..1e30) as f32;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+        assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
     }
+}
 
-    /// Negation commutes with conversion (sign symmetry).
-    #[test]
-    fn sign_symmetry(x in -400.0f32..400.0) {
-        prop_assert_eq!((-F16::from_f32(x)).to_f32(), F16::from_f32(-x).to_f32());
-        prop_assert_eq!((-Bf16::from_f32(x)).to_f32(), Bf16::from_f32(-x).to_f32());
-        prop_assert_eq!((-F8E4M3::from_f32(x)).to_f32(), F8E4M3::from_f32(-x).to_f32());
+/// Negation commutes with conversion (sign symmetry).
+#[test]
+fn sign_symmetry() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-400.0f64..400.0) as f32;
+        assert_eq!((-F16::from_f32(x)).to_f32(), F16::from_f32(-x).to_f32());
+        assert_eq!((-Bf16::from_f32(x)).to_f32(), Bf16::from_f32(-x).to_f32());
+        assert_eq!(
+            (-F8E4M3::from_f32(x)).to_f32(),
+            F8E4M3::from_f32(-x).to_f32()
+        );
     }
+}
 
-    /// Values already representable convert exactly (idempotence).
-    #[test]
-    fn idempotent_f16(bits in 0u16..0x7c00) {
+/// Values already representable convert exactly (idempotence) — every
+/// finite f16 bit pattern, exhaustively.
+#[test]
+fn idempotent_f16() {
+    for bits in 0u16..0x7c00 {
         let v = F16::from_bits(bits).to_f32();
-        prop_assert_eq!(F16::from_f32(v).to_bits(), bits);
+        assert_eq!(F16::from_f32(v).to_bits(), bits);
         check_nearest::<F16>(v);
     }
 }

@@ -45,7 +45,12 @@ pub fn expected_interruptions(days: f64, job_nodes: usize, cluster_nodes: usize)
 
 /// Fraction of job progress lost to failures with checkpoint cadence
 /// `ckpt_s`: each interruption loses on average half an interval.
-pub fn expected_loss_fraction(days: f64, job_nodes: usize, cluster_nodes: usize, ckpt_s: f64) -> f64 {
+pub fn expected_loss_fraction(
+    days: f64,
+    job_nodes: usize,
+    cluster_nodes: usize,
+    ckpt_s: f64,
+) -> f64 {
     let interruptions = expected_interruptions(days, job_nodes, cluster_nodes);
     let lost_s = interruptions * ckpt_s / 2.0;
     lost_s / (days * 86_400.0)
@@ -62,7 +67,10 @@ mod tests {
         let any = cluster_mtbf_any_xid_h();
         let action = cluster_mtbf_node_action_h();
         assert!(any < 1.0, "an Xid somewhere every {any:.2} h");
-        assert!(action > 20.0 && action < 30.0, "node-action every {action:.1} h");
+        assert!(
+            action > 20.0 && action < 30.0,
+            "node-action every {action:.1} h"
+        );
     }
 
     #[test]

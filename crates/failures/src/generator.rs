@@ -7,9 +7,7 @@
 
 use crate::data::{TABLE_VIII_FLASH_CUTS, TABLE_VII_MONTHLY, TABLE_VI_XID_COUNTS};
 use crate::xid::Xid;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use ff_util::rng::ChaCha8Rng;
 
 /// Seconds in the paper's observation year.
 pub const YEAR_S: f64 = 365.0 * 24.0 * 3600.0;
@@ -164,7 +162,10 @@ mod tests {
     #[test]
     fn replay_matches_the_raw_trace() {
         let events = replay_flash_cut_trace(1250);
-        let total: u64 = crate::data::TABLE_VIII_FLASH_CUTS.iter().map(|&(_, c)| c).sum();
+        let total: u64 = crate::data::TABLE_VIII_FLASH_CUTS
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
         assert_eq!(events.len() as u64, total);
         // Ordered in time, within the year.
         for w in events.windows(2) {

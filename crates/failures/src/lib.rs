@@ -12,6 +12,10 @@
 //!   per-category Poisson rates are calibrated to those tables; it
 //!   produces event streams statistically matching the production
 //!   cluster's, for driving the platform's failure handling.
+//! * [`plan`] — typed fault *injection* plans: the handling policy of
+//!   Table V applied to an event stream, yielding rank deaths, link
+//!   degradations and silent-data-corruption injections the simulators
+//!   and the platform's recovery loop execute.
 //! * [`report`] — the characterization pipeline: aggregate an event
 //!   stream back into the paper's tables and figures.
 
@@ -21,8 +25,10 @@
 pub mod availability;
 pub mod data;
 pub mod generator;
+pub mod plan;
 pub mod report;
 pub mod xid;
 
 pub use generator::{FailureEvent, FailureGenerator, FailureKind};
+pub use plan::{FaultAction, FaultPlan, PlannedFault};
 pub use xid::{Xid, XidCategory};

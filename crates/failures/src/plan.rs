@@ -1,0 +1,285 @@
+//! Fault *plans*: turning the calibrated failure stream into typed
+//! injections the rest of the stack can execute.
+//!
+//! The [`generator`](crate::generator) says *what broke and when*; a
+//! [`FaultPlan`] says *what that does to a running job*, applying the
+//! paper's handling policy (Table V, §VII-C):
+//!
+//! * Uncorrectable Xids, GSP failures, contained GPU ECC and host-memory
+//!   ECC take the node out of the scheduling pool — the job sees a **rank
+//!   death** ([`FaultAction::KillRank`]).
+//! * An IB link flash cut (§VII-C, Table VIII) leaves the node up but
+//!   trains the link down — a **link degradation**
+//!   ([`FaultAction::DegradeLink`]) the fluid/network model executes via
+//!   `FluidSim::degrade` and hostping detects.
+//! * Uncontained GPU ECC (Xid 95) is the pathway the paper blames for
+//!   *silent data corruption*: the computation continues with wrong bits
+//!   ([`FaultAction::CorruptData`]) until a checksum catches it.
+//! * Software-caused and NVLink Xids are tolerated in-band
+//!   ([`FaultAction::Tolerate`]): retry the step, keep the node.
+//!
+//! Consumers: the threaded executor maps `KillRank` onto
+//! `ff_reduce::ExecFaultPlan`, the simulators map `DegradeLink` onto
+//! degraded fluid resources, and the platform's recovery loop maps
+//! `CorruptData` onto flipped checkpoint bytes.
+
+use crate::generator::{FailureEvent, FailureGenerator, FailureKind};
+use crate::xid::XidCategory;
+
+/// What a failure event does to the running job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The node leaves the pool mid-step: its rank stops responding.
+    KillRank {
+        /// The job rank hosted on the failed node.
+        rank: usize,
+    },
+    /// The node's network link trains down to `factor × capacity`.
+    DegradeLink {
+        /// The job rank whose link degrades.
+        rank: usize,
+        /// Remaining fraction of link capacity, in `(0, 1]`.
+        factor: f64,
+    },
+    /// The rank keeps computing but its data can no longer be trusted —
+    /// silent corruption until a checksum exposes it.
+    CorruptData {
+        /// The job rank producing corrupt data.
+        rank: usize,
+    },
+    /// Handled in-band (software retry, NVLink tolerate-and-retry); the
+    /// rank survives.
+    Tolerate {
+        /// The affected job rank.
+        rank: usize,
+    },
+}
+
+impl FaultAction {
+    /// The rank the action lands on.
+    pub fn rank(&self) -> usize {
+        match *self {
+            FaultAction::KillRank { rank }
+            | FaultAction::DegradeLink { rank, .. }
+            | FaultAction::CorruptData { rank }
+            | FaultAction::Tolerate { rank } => rank,
+        }
+    }
+}
+
+/// One scheduled injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFault {
+    /// Seconds since job start.
+    pub at_s: f64,
+    /// The cluster node that failed (before the rank mapping).
+    pub node: usize,
+    /// The raw failure, for reporting.
+    pub kind: FailureKind,
+    /// What the job experiences.
+    pub action: FaultAction,
+}
+
+/// A time-ordered list of typed injections for a `ranks`-wide job.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The injections, ordered by `at_s`.
+    pub faults: Vec<PlannedFault>,
+}
+
+/// Capacity fraction left by an IB flash cut: the link drops to a
+/// management-lane trickle rather than hard-down, which is exactly why
+/// flash cuts are nasty — traffic crawls instead of failing fast.
+pub const FLASH_CUT_FACTOR: f64 = 0.05;
+
+/// The paper's handling policy as a pure function of the failure kind.
+pub fn action_for(kind: FailureKind, rank: usize) -> FaultAction {
+    match kind {
+        FailureKind::GpuXid(x) => match x.category() {
+            // Uncontained ECC: the one case where wrong bits flow onward.
+            Some(XidCategory::MemoryEcc) if x.0 == 95 => FaultAction::CorruptData { rank },
+            Some(XidCategory::MemoryEcc)
+            | Some(XidCategory::Uncorrectable)
+            | Some(XidCategory::GspError) => FaultAction::KillRank { rank },
+            Some(XidCategory::SoftwareCauses) | Some(XidCategory::NvLinkError) | None => {
+                FaultAction::Tolerate { rank }
+            }
+        },
+        FailureKind::MainMemoryEcc => FaultAction::KillRank { rank },
+        FailureKind::NetworkFlashCut => FaultAction::DegradeLink {
+            rank,
+            factor: FLASH_CUT_FACTOR,
+        },
+    }
+}
+
+impl FaultPlan {
+    /// Apply the policy to an event stream. Node `n` hosts rank
+    /// `n % ranks`; events keep their times and order.
+    pub fn from_events(events: &[FailureEvent], ranks: usize) -> FaultPlan {
+        assert!(ranks > 0, "a job needs at least one rank");
+        let faults = events
+            .iter()
+            .map(|e| PlannedFault {
+                at_s: e.at_s,
+                node: e.node,
+                kind: e.kind,
+                action: action_for(e.kind, e.node % ranks),
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Generate a plan from the paper-calibrated generator: `ranks` nodes
+    /// observed for `horizon_s` seconds with failure rates scaled by
+    /// `rate_scale` (use ≫1 to compress a year of pain into a short run).
+    pub fn generate(seed: u64, ranks: usize, horizon_s: f64, rate_scale: f64) -> FaultPlan {
+        let mut gen = FailureGenerator::paper_calibrated(seed, ranks);
+        gen.scale_rates(rate_scale);
+        let events = gen.generate(horizon_s);
+        FaultPlan::from_events(&events, ranks)
+    }
+
+    /// Injections due in `[from_s, to_s)`.
+    pub fn window(&self, from_s: f64, to_s: f64) -> impl Iterator<Item = &PlannedFault> {
+        self.faults
+            .iter()
+            .filter(move |f| f.at_s >= from_s && f.at_s < to_s)
+    }
+
+    /// The rank deaths only.
+    pub fn kills(&self) -> impl Iterator<Item = &PlannedFault> {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.action, FaultAction::KillRank { .. }))
+    }
+
+    /// The earliest rank death, if any.
+    pub fn first_kill(&self) -> Option<&PlannedFault> {
+        self.kills().next()
+    }
+
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing is scheduled to fail.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TABLE_VI_XID_COUNTS;
+    use crate::xid::Xid;
+
+    /// Every code the paper counted in Table VI is classified, and the
+    /// plan's action agrees with the Table V node-action policy.
+    #[test]
+    fn every_table_vi_code_maps_to_a_policy_action() {
+        for &(code, _) in TABLE_VI_XID_COUNTS {
+            let x = Xid(code);
+            assert!(x.category().is_some(), "Xid {code} unclassified");
+            let action = action_for(FailureKind::GpuXid(x), 3);
+            let lethal = matches!(
+                action,
+                FaultAction::KillRank { .. } | FaultAction::CorruptData { .. }
+            );
+            assert_eq!(
+                lethal,
+                x.needs_node_action(),
+                "Xid {code}: action {action:?} disagrees with needs_node_action"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_special_cases() {
+        // Uncontained ECC is the silent-corruption pathway.
+        assert_eq!(
+            action_for(FailureKind::GpuXid(Xid(95)), 1),
+            FaultAction::CorruptData { rank: 1 }
+        );
+        // Contained ECC still kills the rank (GPU reset ⇒ node leaves pool).
+        assert_eq!(
+            action_for(FailureKind::GpuXid(Xid(94)), 1),
+            FaultAction::KillRank { rank: 1 }
+        );
+        // NVLink and software errors are tolerated in-band.
+        assert_eq!(
+            action_for(FailureKind::GpuXid(Xid(74)), 0),
+            FaultAction::Tolerate { rank: 0 }
+        );
+        assert_eq!(
+            action_for(FailureKind::MainMemoryEcc, 2),
+            FaultAction::KillRank { rank: 2 }
+        );
+        match action_for(FailureKind::NetworkFlashCut, 4) {
+            FaultAction::DegradeLink { rank, factor } => {
+                assert_eq!(rank, 4);
+                assert!(factor > 0.0 && factor < 1.0);
+            }
+            other => panic!("flash cut mapped to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_plans_are_ordered_deterministic_and_in_range() {
+        let ranks = 16;
+        let a = FaultPlan::generate(9, ranks, 30.0 * 86_400.0, 50.0);
+        let b = FaultPlan::generate(9, ranks, 30.0 * 86_400.0, 50.0);
+        assert_eq!(a.faults, b.faults, "same seed, same plan");
+        assert!(!a.is_empty(), "50× rates for a month must produce faults");
+        for w in a.faults.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+        for f in &a.faults {
+            assert!(f.action.rank() < ranks);
+            assert!(f.at_s < 30.0 * 86_400.0);
+        }
+        // A year of a large cluster contains every action flavour.
+        let big = FaultPlan::generate(7, 1250, 365.0 * 86_400.0, 1.0);
+        assert!(big.kills().next().is_some());
+        assert!(big
+            .faults
+            .iter()
+            .any(|f| matches!(f.action, FaultAction::DegradeLink { .. })));
+        assert!(big
+            .faults
+            .iter()
+            .any(|f| matches!(f.action, FaultAction::CorruptData { .. })));
+        assert!(big
+            .faults
+            .iter()
+            .any(|f| matches!(f.action, FaultAction::Tolerate { .. })));
+    }
+
+    #[test]
+    fn window_selects_half_open_interval() {
+        let events = vec![
+            FailureEvent {
+                at_s: 1.0,
+                node: 0,
+                kind: FailureKind::MainMemoryEcc,
+            },
+            FailureEvent {
+                at_s: 5.0,
+                node: 1,
+                kind: FailureKind::NetworkFlashCut,
+            },
+            FailureEvent {
+                at_s: 9.0,
+                node: 2,
+                kind: FailureKind::MainMemoryEcc,
+            },
+        ];
+        let plan = FaultPlan::from_events(&events, 4);
+        let hit: Vec<f64> = plan.window(1.0, 9.0).map(|f| f.at_s).collect();
+        assert_eq!(hit, vec![1.0, 5.0]);
+        assert_eq!(plan.first_kill().unwrap().at_s, 1.0);
+        assert_eq!(plan.len(), 3);
+    }
+}

@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn descriptions_and_handling_present() {
-        for code in [13u32, 31, 43, 45, 74, 63, 64, 94, 95, 44, 48, 61, 62, 69, 79, 119] {
+        for code in [
+            13u32, 31, 43, 45, 74, 63, 64, 94, 95, 44, 48, 61, 62, 69, 79, 119,
+        ] {
             assert_ne!(Xid(code).description(), "unknown", "code {code}");
             let cat = Xid(code).category().unwrap();
             assert!(!cat.handling().is_empty());

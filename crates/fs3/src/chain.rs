@@ -9,8 +9,8 @@
 //! which is what spreads load over every SSD.
 
 use crate::target::{ChunkId, LocalRead, StorageTarget};
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use ff_util::bytes::Bytes;
+use ff_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,7 +31,7 @@ pub enum ChainError {
 /// ```
 /// use ff_3fs::chain::Chain;
 /// use ff_3fs::target::{ChunkId, Disk, StorageTarget};
-/// use bytes::Bytes;
+/// use ff_util::bytes::Bytes;
 ///
 /// let chain = Chain::new(0, vec![
 ///     StorageTarget::new("head", Disk::new(1 << 20)),
@@ -241,7 +241,11 @@ impl Chain {
 
     /// The replica targets (diagnostics).
     pub fn target_names(&self) -> Vec<String> {
-        self.targets.read().iter().map(|t| t.name().to_string()).collect()
+        self.targets
+            .read()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect()
     }
 }
 
@@ -308,7 +312,10 @@ mod tests {
         }
         // Read from every replica returns the data.
         for r in 0..3 {
-            assert_eq!(chain.read_at(chunk(0), r).unwrap(), Bytes::from_static(b"hello"));
+            assert_eq!(
+                chain.read_at(chunk(0), r).unwrap(),
+                Bytes::from_static(b"hello")
+            );
         }
     }
 
@@ -392,7 +399,10 @@ mod tests {
         });
         // 400 writes serialized: final version is 400.
         let (chain2, _) = (chain, ());
-        assert_eq!(chain2.write(chunk(0), Bytes::from_static(b"y")).unwrap(), 401);
+        assert_eq!(
+            chain2.write(chunk(0), Bytes::from_static(b"y")).unwrap(),
+            401
+        );
     }
 
     #[test]
@@ -408,7 +418,9 @@ mod tests {
             s.spawn(move || {
                 for i in 0..300 {
                     let byte = if i % 2 == 0 { b'B' } else { b'A' };
-                    chain_w.write(chunk(0), Bytes::from(vec![byte; 512])).unwrap();
+                    chain_w
+                        .write(chunk(0), Bytes::from(vec![byte; 512]))
+                        .unwrap();
                 }
                 stop_ref.store(true, std::sync::atomic::Ordering::Relaxed);
             });

@@ -5,8 +5,8 @@
 use crate::chain::{ChainError, ChainTable};
 use crate::meta::{FileAttr, MetaError, MetaService};
 use crate::target::ChunkId;
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use ff_util::bytes::Bytes;
+use ff_util::sync::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Client-visible errors.
@@ -226,7 +226,10 @@ impl Fs3Client {
                     s.spawn(move || client.write_chunk(&attr, off, data))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("writer panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("writer panicked"))
+                .collect()
         });
         let mut total = 0;
         for r in results {
@@ -288,7 +291,10 @@ mod tests {
         let table = Arc::new(ChainTable::new(chains));
         let meta = MetaService::new(KvStore::new(8, 2), table.len());
         let client = Fs3Client::new(meta, table, 8);
-        let attr = client.meta().create(ROOT, "file", chunk_size, stripe).unwrap();
+        let attr = client
+            .meta()
+            .create(ROOT, "file", chunk_size, stripe)
+            .unwrap();
         (client, attr)
     }
 
@@ -311,7 +317,10 @@ mod tests {
         assert!(got[10..30].iter().all(|&b| b == 0xBB));
         assert!(got[30..].iter().all(|&b| b == 0xAA));
         // Partial mid-file read.
-        assert_eq!(c.read_at(&attr, 25, 10).unwrap(), vec![0xBB, 0xBB, 0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]);
+        assert_eq!(
+            c.read_at(&attr, 25, 10).unwrap(),
+            vec![0xBB, 0xBB, 0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]
+        );
     }
 
     #[test]
@@ -336,9 +345,7 @@ mod tests {
         let (c, attr) = setup(16, 3);
         c.write_at(&attr, 0, &[5u8; 16 * 6]).unwrap();
         // Chunks 0..6 with stripe 3 → exactly 3 distinct chains used.
-        let mut used: Vec<usize> = (0..6)
-            .map(|i| c.chain_of(&attr, i).id())
-            .collect();
+        let mut used: Vec<usize> = (0..6).map(|i| c.chain_of(&attr, i).id()).collect();
         used.sort_unstable();
         used.dedup();
         assert_eq!(used.len(), 3);

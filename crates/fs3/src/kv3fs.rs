@@ -9,7 +9,7 @@
 
 use crate::client::{Fs3Client, FsError};
 use crate::meta::{FileAttr, MetaError, ROOT};
-use parking_lot::Mutex;
+use ff_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -255,8 +255,7 @@ impl ServingCostModel {
     /// Blended cost per input token at a given cache hit rate.
     pub fn blended_cost(&self, hit_rate: f64) -> f64 {
         assert!((0.0..=1.0).contains(&hit_rate));
-        hit_rate * self.cached_cost_per_token()
-            + (1.0 - hit_rate) * self.prefill_cost_per_token()
+        hit_rate * self.cached_cost_per_token() + (1.0 - hit_rate) * self.prefill_cost_per_token()
     }
 }
 
@@ -279,7 +278,12 @@ mod tests {
 
     fn client() -> Arc<Fs3Client> {
         let chains: Vec<_> = (0..4)
-            .map(|c| Chain::new(c, vec![StorageTarget::new(format!("t{c}"), Disk::new(32 << 20))]))
+            .map(|c| {
+                Chain::new(
+                    c,
+                    vec![StorageTarget::new(format!("t{c}"), Disk::new(32 << 20))],
+                )
+            })
             .collect();
         let table = Arc::new(ChainTable::new(chains));
         let meta = MetaService::new(KvStore::new(4, 2), table.len());
@@ -306,8 +310,11 @@ mod tests {
                 let kv = kv.clone();
                 s.spawn(move || {
                     for i in 0..50 {
-                        kv.put(format!("t{t}k{i}").as_bytes(), format!("v{t}:{i}").as_bytes())
-                            .unwrap();
+                        kv.put(
+                            format!("t{t}k{i}").as_bytes(),
+                            format!("v{t}:{i}").as_bytes(),
+                        )
+                        .unwrap();
                     }
                 });
             }

@@ -9,8 +9,8 @@
 //! consistency recipe as the data path's CRAQ, at the granularity meta
 //! traffic needs.
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use ff_util::bytes::Bytes;
+use ff_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -34,7 +34,9 @@ impl KvStore {
         Arc::new(KvStore {
             shards: (0..shards)
                 .map(|_| Shard {
-                    replicas: (0..replication).map(|_| RwLock::new(Table::new())).collect(),
+                    replicas: (0..replication)
+                        .map(|_| RwLock::new(Table::new()))
+                        .collect(),
                     rr: AtomicUsize::new(0),
                 })
                 .collect(),
@@ -189,7 +191,10 @@ mod tests {
     fn scan_prefix_across_shards_sorted() {
         let kv = KvStore::new(8, 2);
         for i in 0..20 {
-            kv.put(format!("dir/{i:02}").as_bytes(), Bytes::from(format!("{i}")));
+            kv.put(
+                format!("dir/{i:02}").as_bytes(),
+                Bytes::from(format!("{i}")),
+            );
         }
         kv.put(b"other/x", Bytes::from_static(b"no"));
         let hits = kv.scan_prefix(b"dir/");
@@ -207,15 +212,15 @@ mod tests {
                 let kv = &kv;
                 s.spawn(move || {
                     for i in 0..100 {
-                        kv.put(format!("t{t}/k{i}").as_bytes(), Bytes::from(format!("{t}:{i}")));
+                        kv.put(
+                            format!("t{t}/k{i}").as_bytes(),
+                            Bytes::from(format!("{t}:{i}")),
+                        );
                     }
                 });
             }
         });
         assert_eq!(kv.len(), 800);
-        assert_eq!(
-            kv.get(b"t3/k42"),
-            Some(Bytes::from(String::from("3:42")))
-        );
+        assert_eq!(kv.get(b"t3/k42"), Some(Bytes::from(String::from("3:42"))));
     }
 }

@@ -6,7 +6,7 @@
 //! Time is injected (millisecond ticks) so elections and heartbeat
 //! timeouts are deterministic in tests and composable with the simulator.
 
-use parking_lot::Mutex;
+use ff_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -9,7 +9,7 @@
 //! [`MetaService`] handles as you like over one [`KvStore`].
 
 use crate::kvstore::KvStore;
-use bytes::Bytes;
+use ff_util::bytes::Bytes;
 use std::sync::Arc;
 
 /// An inode number. Root is `InodeId(1)`.
@@ -67,7 +67,11 @@ impl FileAttr {
         let u = |r: std::ops::Range<usize>| u64::from_be_bytes(b[r].try_into().unwrap());
         FileAttr {
             ino: InodeId(u(0..8)),
-            kind: if b[8] == 0 { FileKind::File } else { FileKind::Dir },
+            kind: if b[8] == 0 {
+                FileKind::File
+            } else {
+                FileKind::Dir
+            },
             size: u(9..17),
             chunk_size: u(17..25),
             chain_offset: u(25..33),
@@ -138,8 +142,14 @@ impl MetaService {
             stripe: 0,
         };
         let _ = svc.kv.cas(&inode_key(ROOT), None, root.encode());
-        let _ = svc.kv.cas(NEXT_INO_KEY, None, Bytes::from(2u64.to_be_bytes().to_vec()));
-        let _ = svc.kv.cas(NEXT_CHAIN_KEY, None, Bytes::from(0u64.to_be_bytes().to_vec()));
+        let _ = svc
+            .kv
+            .cas(NEXT_INO_KEY, None, Bytes::from(2u64.to_be_bytes().to_vec()));
+        let _ = svc.kv.cas(
+            NEXT_CHAIN_KEY,
+            None,
+            Bytes::from(0u64.to_be_bytes().to_vec()),
+        );
         svc
     }
 
@@ -164,8 +174,13 @@ impl MetaService {
 
     /// Look up one directory entry.
     pub fn lookup(&self, parent: InodeId, name: &str) -> Result<InodeId, MetaError> {
-        let b = self.kv.get(&dirent_key(parent, name)).ok_or(MetaError::NotFound)?;
-        Ok(InodeId(u64::from_be_bytes(b.as_ref().try_into().expect("ino"))))
+        let b = self
+            .kv
+            .get(&dirent_key(parent, name))
+            .ok_or(MetaError::NotFound)?;
+        Ok(InodeId(u64::from_be_bytes(
+            b.as_ref().try_into().expect("ino"),
+        )))
     }
 
     /// Resolve an absolute `/a/b/c` path to its attributes.
@@ -177,7 +192,12 @@ impl MetaService {
         self.stat(at)
     }
 
-    fn insert_entry(&self, parent: InodeId, name: &str, attr: FileAttr) -> Result<FileAttr, MetaError> {
+    fn insert_entry(
+        &self,
+        parent: InodeId,
+        name: &str,
+        attr: FileAttr,
+    ) -> Result<FileAttr, MetaError> {
         assert!(!name.is_empty() && !name.contains('/'), "bad entry name");
         let pattr = self.stat(parent)?;
         if pattr.kind != FileKind::Dir {
@@ -286,7 +306,10 @@ impl MetaService {
             return Ok(());
         }
         let ino_bytes = Bytes::from(ino.0.to_be_bytes().to_vec());
-        if !self.kv.cas(&dirent_key(new_parent, new_name), None, ino_bytes) {
+        if !self
+            .kv
+            .cas(&dirent_key(new_parent, new_name), None, ino_bytes)
+        {
             return Err(MetaError::Exists);
         }
         self.kv.delete(&dirent_key(parent, name));
@@ -302,7 +325,10 @@ impl MetaService {
                 return Err(MetaError::WrongKind);
             }
             attr.size = size;
-            if self.kv.cas(&inode_key(ino), Some(cur.as_ref()), attr.encode()) {
+            if self
+                .kv
+                .cas(&inode_key(ino), Some(cur.as_ref()), attr.encode())
+            {
                 return Ok(attr);
             }
         }
@@ -317,7 +343,10 @@ impl MetaService {
                 return Ok(attr);
             }
             attr.size = size;
-            if self.kv.cas(&inode_key(ino), Some(cur.as_ref()), attr.encode()) {
+            if self
+                .kv
+                .cas(&inode_key(ino), Some(cur.as_ref()), attr.encode())
+            {
                 return Ok(attr);
             }
         }
@@ -362,7 +391,10 @@ mod tests {
         let m = svc();
         m.mkdir(ROOT, "x").unwrap();
         assert_eq!(m.mkdir(ROOT, "x").map(|_| ()), Err(MetaError::Exists));
-        assert_eq!(m.create(ROOT, "x", 1, 1).map(|_| ()), Err(MetaError::Exists));
+        assert_eq!(
+            m.create(ROOT, "x", 1, 1).map(|_| ()),
+            Err(MetaError::Exists)
+        );
     }
 
     #[test]
@@ -371,7 +403,12 @@ mod tests {
         for n in ["b", "a", "c"] {
             m.create(ROOT, n, 1 << 20, 1).unwrap();
         }
-        let names: Vec<String> = m.readdir(ROOT).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = m
+            .readdir(ROOT)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
 

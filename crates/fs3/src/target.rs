@@ -6,8 +6,8 @@
 //! any in-flight ("dirty") versions; dirty versions are retained until the
 //! tail commits so an apportioned read can still serve the committed one.
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use ff_util::bytes::Bytes;
+use ff_util::sync::Mutex;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -122,7 +122,10 @@ impl StorageTarget {
         }
         let mut objs = self.objects.lock();
         let r = objs.entry(id).or_default();
-        debug_assert!(version > r.clean, "version {version} not newer than committed");
+        debug_assert!(
+            version > r.clean,
+            "version {version} not newer than committed"
+        );
         r.versions.insert(version, data);
         true
     }
@@ -201,9 +204,7 @@ impl StorageTarget {
     pub fn committed_objects(&self) -> Vec<(ChunkId, u64, Bytes)> {
         let objs = self.objects.lock();
         objs.iter()
-            .filter_map(|(&id, r)| {
-                r.versions.get(&r.clean).map(|d| (id, r.clean, d.clone()))
-            })
+            .filter_map(|(&id, r)| r.versions.get(&r.clean).map(|d| (id, r.clean, d.clone())))
             .collect()
     }
 

@@ -1,10 +1,11 @@
-//! Property-based tests for the replicated KV store and the CRAQ chain.
+//! Randomized property tests for the replicated KV store and the CRAQ
+//! chain (seeded, reproducible).
 
-use bytes::Bytes;
 use ff_3fs::chain::{Chain, ChainError};
 use ff_3fs::kvstore::KvStore;
 use ff_3fs::target::{ChunkId, Disk, StorageTarget};
-use proptest::prelude::*;
+use ff_util::bytes::Bytes;
+use ff_util::rng::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -14,21 +15,36 @@ enum Op {
     Cas(u8, Option<Vec<u8>>, Vec<u8>),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    let val = prop::collection::vec(any::<u8>(), 0..8);
-    let op = prop_oneof![
-        (any::<u8>(), val.clone()).prop_map(|(k, v)| Op::Put(k, v)),
-        any::<u8>().prop_map(Op::Delete),
-        (any::<u8>(), prop::option::of(val.clone()), val).prop_map(|(k, e, v)| Op::Cas(k, e, v)),
-    ];
-    prop::collection::vec(op, 0..60)
+fn rand_val(rng: &mut ChaCha8Rng) -> Vec<u8> {
+    (0..rng.gen_range(0usize..8))
+        .map(|_| rng.next_u32() as u8)
+        .collect()
 }
 
-proptest! {
-    /// Sequential equivalence: the replicated sharded store behaves like a
-    /// plain map under any single-threaded op sequence.
-    #[test]
-    fn kv_matches_model(ops in ops()) {
+fn rand_ops(rng: &mut ChaCha8Rng) -> Vec<Op> {
+    (0..rng.gen_range(0usize..60))
+        .map(|_| match rng.gen_range(0u32..3) {
+            0 => Op::Put(rng.next_u32() as u8, rand_val(rng)),
+            1 => Op::Delete(rng.next_u32() as u8),
+            _ => {
+                let expect = if rng.gen_bool(0.5) {
+                    Some(rand_val(rng))
+                } else {
+                    None
+                };
+                Op::Cas(rng.next_u32() as u8, expect, rand_val(rng))
+            }
+        })
+        .collect()
+}
+
+/// Sequential equivalence: the replicated sharded store behaves like a
+/// plain map under any single-threaded op sequence.
+#[test]
+fn kv_matches_model() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4B01);
+    for _ in 0..64 {
+        let ops = rand_ops(&mut rng);
         let kv = KvStore::new(4, 3);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for op in ops {
@@ -39,12 +55,13 @@ proptest! {
                 }
                 Op::Delete(k) => {
                     let existed = kv.delete(&[k]);
-                    prop_assert_eq!(existed, model.remove(&vec![k]).is_some());
+                    assert_eq!(existed, model.remove(&vec![k]).is_some());
                 }
                 Op::Cas(k, expect, v) => {
                     let ok = kv.cas(&[k], expect.as_deref(), Bytes::from(v.clone()));
-                    let model_matches = model.get(&vec![k]).map(|x| x.as_slice()) == expect.as_deref();
-                    prop_assert_eq!(ok, model_matches);
+                    let model_matches =
+                        model.get(&vec![k]).map(|x| x.as_slice()) == expect.as_deref();
+                    assert_eq!(ok, model_matches);
                     if ok {
                         model.insert(vec![k], v);
                     }
@@ -54,22 +71,33 @@ proptest! {
         // Final state identical, via point reads and a full scan.
         for (k, v) in &model {
             let got = kv.get(k);
-            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+            assert_eq!(got.as_deref(), Some(v.as_slice()));
         }
-        prop_assert_eq!(kv.len(), model.len());
+        assert_eq!(kv.len(), model.len());
         let scan = kv.scan_prefix(b"");
-        prop_assert_eq!(scan.len(), model.len());
+        assert_eq!(scan.len(), model.len());
         for ((sk, sv), (mk, mv)) in scan.iter().zip(model.iter()) {
-            prop_assert_eq!(sk, mk);
-            prop_assert_eq!(sv.as_ref(), mv.as_slice());
+            assert_eq!(sk, mk);
+            assert_eq!(sv.as_ref(), mv.as_slice());
         }
     }
+}
 
-    /// Chain writes/reads match a model map under arbitrary interleavings
-    /// of objects and replica choices; versions are monotone per object.
-    #[test]
-    fn chain_matches_model(writes in prop::collection::vec((0u64..8, prop::collection::vec(any::<u8>(), 1..16)), 1..50),
-                           replicas in 1usize..4) {
+/// Chain writes/reads match a model map under arbitrary interleavings
+/// of objects and replica choices; versions are monotone per object.
+#[test]
+fn chain_matches_model() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4B02);
+    for _ in 0..48 {
+        let writes: Vec<(u64, Vec<u8>)> = (0..rng.gen_range(1usize..50))
+            .map(|_| {
+                let data: Vec<u8> = (0..rng.gen_range(1usize..16))
+                    .map(|_| rng.next_u32() as u8)
+                    .collect();
+                (rng.gen_range(0u64..8), data)
+            })
+            .collect();
+        let replicas = rng.gen_range(1usize..4);
         let targets: Vec<_> = (0..replicas)
             .map(|i| StorageTarget::new(format!("t{i}"), Disk::new(1 << 20)))
             .collect();
@@ -80,26 +108,35 @@ proptest! {
             let id = ChunkId { ino: 1, idx };
             let v = chain.write(id, Bytes::from(data.clone())).unwrap();
             let prev = versions.insert(idx, v).unwrap_or(0);
-            prop_assert_eq!(v, prev + 1, "versions monotone");
+            assert_eq!(v, prev + 1, "versions monotone");
             model.insert(idx, data);
         }
         for (idx, data) in &model {
             let id = ChunkId { ino: 1, idx: *idx };
             for r in 0..replicas {
                 let got = chain.read_at(id, r).unwrap();
-                prop_assert_eq!(got.as_ref(), data.as_slice());
+                assert_eq!(got.as_ref(), data.as_slice());
             }
         }
         // Unwritten objects are NotFound.
         for idx in 8..12 {
-            prop_assert_eq!(chain.read(ChunkId { ino: 1, idx }), Err(ChainError::NotFound));
+            assert_eq!(
+                chain.read(ChunkId { ino: 1, idx }),
+                Err(ChainError::NotFound)
+            );
         }
     }
+}
 
-    /// Concurrent independent-key writers never corrupt each other; the
-    /// end state is exactly the union of their writes.
-    #[test]
-    fn kv_concurrent_union(seed in 0u8..100, threads in 2usize..6, per in 1usize..30) {
+/// Concurrent independent-key writers never corrupt each other; the
+/// end state is exactly the union of their writes.
+#[test]
+fn kv_concurrent_union() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4B03);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u8..100);
+        let threads = rng.gen_range(2usize..6);
+        let per = rng.gen_range(1usize..30);
         let kv = KvStore::new(8, 2);
         std::thread::scope(|s| {
             for t in 0..threads {
@@ -112,11 +149,11 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(kv.len(), threads * per);
+        assert_eq!(kv.len(), threads * per);
         for t in 0..threads {
             for i in 0..per {
                 let got = kv.get(&[t as u8, i as u8]).expect("present");
-                prop_assert_eq!(got.as_ref(), &[seed, t as u8, i as u8][..]);
+                assert_eq!(got.as_ref(), &[seed, t as u8, i as u8][..]);
             }
         }
     }

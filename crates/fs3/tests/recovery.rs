@@ -1,11 +1,11 @@
 //! Failure-injection and recovery tests for the 3FS storage stack.
 
-use bytes::Bytes;
 use ff_3fs::chain::{Chain, ChainError, ChainTable};
 use ff_3fs::client::Fs3Client;
 use ff_3fs::kvstore::KvStore;
 use ff_3fs::meta::{MetaService, ROOT};
 use ff_3fs::target::{ChunkId, Disk, StorageTarget};
+use ff_util::bytes::Bytes;
 use std::sync::Arc;
 
 fn chunk(i: u64) -> ChunkId {
@@ -101,10 +101,18 @@ fn reads_survive_rolling_replica_loss() {
         .map(|i| StorageTarget::new(format!("t{i}"), Disk::new(1 << 20)))
         .collect();
     let chain = Chain::new(0, t);
-    chain.write(chunk(1), Bytes::from_static(b"precious")).unwrap();
+    chain
+        .write(chunk(1), Bytes::from_static(b"precious"))
+        .unwrap();
     chain.remove_replica(2); // tail dies
-    assert_eq!(chain.read(chunk(1)).unwrap(), Bytes::from_static(b"precious"));
+    assert_eq!(
+        chain.read(chunk(1)).unwrap(),
+        Bytes::from_static(b"precious")
+    );
     chain.remove_replica(0); // then the head
     assert_eq!(chain.replicas(), 1);
-    assert_eq!(chain.read(chunk(1)).unwrap(), Bytes::from_static(b"precious"));
+    assert_eq!(
+        chain.read(chunk(1)).unwrap(),
+        Bytes::from_static(b"precious")
+    );
 }

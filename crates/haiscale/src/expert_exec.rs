@@ -11,7 +11,7 @@
 //! composed with the expert transforms — the property a correct all2all
 //! pair must have.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use ff_util::channel::{unbounded, Receiver, Sender};
 
 /// A routed token: its home rank and index there, plus its payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,19 +43,30 @@ pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
                 let txs = txs.clone();
                 s.spawn(move || {
                     for (dst, payload) in row.into_iter().enumerate() {
-                        txs[dst].send((me, payload)).expect("peer alive");
+                        txs[dst]
+                            .send((me, payload))
+                            .unwrap_or_else(|_| panic!("peer alive"));
                     }
                     drop(txs); // close our senders so receivers can drain
                     let mut inbox: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
                     for _ in 0..n {
                         let (src, payload) = rx.recv().expect("n messages");
-                        assert!(inbox[src].replace(payload).is_none(), "duplicate from {src}");
+                        assert!(
+                            inbox[src].replace(payload).is_none(),
+                            "duplicate from {src}"
+                        );
                     }
-                    inbox.into_iter().map(|p| p.expect("all received")).collect::<Vec<_>>()
+                    inbox
+                        .into_iter()
+                        .map(|p| p.expect("all received"))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -63,11 +74,7 @@ pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
 /// `tokens[rank]` are the rank's token vectors, `gate` maps a token to its
 /// expert rank, `expert(rank, x)` is the expert computation. Returns the
 /// combined outputs in each token's original position.
-pub fn moe_layer_step<T, G, F>(
-    tokens: Vec<Vec<T>>,
-    gate: G,
-    expert: F,
-) -> Vec<Vec<T>>
+pub fn moe_layer_step<T, G, F>(tokens: Vec<Vec<T>>, gate: G, expert: F) -> Vec<Vec<T>>
 where
     T: Send + Clone,
     G: Fn(usize, usize, &T) -> usize, // (home rank, index, token) -> expert rank
@@ -75,7 +82,9 @@ where
 {
     let n = tokens.len();
     // Dispatch: bucket each token to its expert's rank.
-    let mut sends: Vec<Vec<Vec<Routed<T>>>> = (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect();
+    let mut sends: Vec<Vec<Vec<Routed<T>>>> = (0..n)
+        .map(|_| (0..n).map(|_| Vec::new()).collect())
+        .collect();
     for (home, batch) in tokens.iter().enumerate() {
         for (index, tok) in batch.iter().enumerate() {
             let dst = gate(home, index, tok);
@@ -111,7 +120,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("expert panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("expert panicked"))
+            .collect()
     });
     // Combine: send results back to the home ranks...
     let returned = all2all(processed);
@@ -131,7 +143,11 @@ where
         }
     }
     out.into_iter()
-        .map(|b| b.into_iter().map(|t| t.expect("every token returned")).collect())
+        .map(|b| {
+            b.into_iter()
+                .map(|t| t.expect("every token returned"))
+                .collect()
+        })
         .collect()
 }
 
@@ -156,10 +172,7 @@ mod tests {
 
     #[test]
     fn all2all_handles_empty_and_uneven_payloads() {
-        let sends = vec![
-            vec![vec![1, 2, 3], vec![]],
-            vec![vec![9], vec![7, 7]],
-        ];
+        let sends = vec![vec![vec![1, 2, 3], vec![]], vec![vec![9], vec![7, 7]]];
         let out = all2all(sends);
         assert_eq!(out[0][0], vec![1, 2, 3]);
         assert_eq!(out[0][1], vec![9]);

@@ -127,7 +127,11 @@ mod tests {
         // 13B × 16 B/param ≈ 208 GB of state per GPU.
         let m = TrainModel::llama_13b();
         let est = memory_per_gpu(&m, ShardingStrategy::Ddp, 128, 1, 1, 2048, false);
-        assert!(!est.fits_a100(), "{:.1} GiB should not fit", est.total() / GIB);
+        assert!(
+            !est.fits_a100(),
+            "{:.1} GiB should not fit",
+            est.total() / GIB
+        );
         assert!(est.total() > 200.0 * GIB);
     }
 

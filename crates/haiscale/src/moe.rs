@@ -57,7 +57,10 @@ pub fn moe_step(model: &TrainModel, cfg: &MoeConfig, gpus: usize) -> StepBreakdo
     let p = &cfg.pipeline;
     assert!(gpus.is_multiple_of(p.pp), "GPUs must divide into pipelines");
     let dp = gpus / p.pp;
-    assert!(p.global_batch_seqs.is_multiple_of(dp), "batch must divide DP ways");
+    assert!(
+        p.global_batch_seqs.is_multiple_of(dp),
+        "batch must divide DP ways"
+    );
     let per_rank_seqs = p.global_batch_seqs / dp;
     let m = (per_rank_seqs / p.micro_batch_seqs).max(1);
     let tokens = (p.global_batch_seqs * p.seq_len) as f64;
@@ -69,8 +72,7 @@ pub fn moe_step(model: &TrainModel, cfg: &MoeConfig, gpus: usize) -> StepBreakdo
     // vectors out (dispatch) and back (combine), forward and backward.
     let tokens_per_gpu = tokens / gpus as f64;
     let layers_per_stage = model.layers as f64 * cfg.moe_layer_frac / p.pp as f64;
-    let bytes_per_token_layer =
-        cfg.top_k as f64 * model.boundary_bytes_per_token() * 4.0; // disp+comb × fwd+bwd
+    let bytes_per_token_layer = cfg.top_k as f64 * model.boundary_bytes_per_token() * 4.0; // disp+comb × fwd+bwd
     let a2a_volume = tokens_per_gpu * layers_per_stage * bytes_per_token_layer;
     // Cross-node share of the EP group, squeezed through the shared NIC.
     let ep_nodes = (cfg.ep_group as f64 / GPUS_PER_NODE as f64).max(1.0);

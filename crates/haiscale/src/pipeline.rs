@@ -82,7 +82,10 @@ pub fn resident_microbatches(schedule: Schedule, m: usize, pp: usize) -> usize {
 
 /// One pipeline-parallel training step at `gpus` total GPUs.
 pub fn pipeline_step(model: &TrainModel, cfg: &PipelineConfig, gpus: usize) -> StepBreakdown {
-    assert!(gpus.is_multiple_of(cfg.pp), "GPUs must divide into pipelines");
+    assert!(
+        gpus.is_multiple_of(cfg.pp),
+        "GPUs must divide into pipelines"
+    );
     let dp = gpus / cfg.pp;
     assert!(
         cfg.global_batch_seqs.is_multiple_of(dp),
@@ -104,9 +107,8 @@ pub fn pipeline_step(model: &TrainModel, cfg: &PipelineConfig, gpus: usize) -> S
     // directions, through the shared NIC. Staggering lets the 8 DP ranks
     // of a node interleave; without it they collide 8-wide.
     let pp_comm = if cfg.pp > 1 {
-        let per_micro = cfg.micro_batch_seqs as f64
-            * cfg.seq_len as f64
-            * model.boundary_bytes_per_token();
+        let per_micro =
+            cfg.micro_batch_seqs as f64 * cfg.seq_len as f64 * model.boundary_bytes_per_token();
         let transfers = 2.0 * m as f64; // fwd + bwd per microbatch
         let contention = if cfg.stagger_dp_ranks {
             1.0

@@ -1,5 +1,6 @@
-//! Property-based tests: the step-time and memory models behave sanely
-//! over their whole input space, not just the paper's points.
+//! Randomized property tests: the step-time and memory models behave
+//! sanely over their whole input space, not just the paper's points
+//! (seeded, reproducible).
 
 use ff_haiscale::ddp::{ddp_step, DdpBackend};
 use ff_haiscale::fsdp::{fsdp_step, FsdpImpl};
@@ -7,57 +8,75 @@ use ff_haiscale::memory::{memory_per_gpu, ShardingStrategy};
 use ff_haiscale::models::TrainModel;
 use ff_haiscale::moe::{moe_step, MoeConfig};
 use ff_haiscale::pipeline::{pipeline_step, PipelineConfig};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
 
-fn models() -> impl Strategy<Value = TrainModel> {
-    prop::sample::select(vec![
+const CASES: usize = 64;
+
+fn models() -> Vec<TrainModel> {
+    vec![
         TrainModel::vgg16(),
         TrainModel::gpt2_medium(),
         TrainModel::llama_13b(),
         TrainModel::deepseek_moe_16b(),
-    ])
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// All step components are finite and non-negative for any model and
-    /// GPU count; at multi-node scale (≥16 GPUs, the paper's regime)
-    /// HaiScale never loses to the Torch baseline. (Intra-node, NCCL's
-    /// PCIe P2P ring legitimately beats the CPU-staged path — the paper
-    /// compares multi-node configurations.)
-    #[test]
-    fn ddp_components_sane(m in models(), gpus_exp in 4u32..10, batch in 1usize..128) {
-        let gpus = 1usize << gpus_exp;
+/// All step components are finite and non-negative for any model and
+/// GPU count; at multi-node scale (≥16 GPUs, the paper's regime)
+/// HaiScale never loses to the Torch baseline. (Intra-node, NCCL's
+/// PCIe P2P ring legitimately beats the CPU-staged path — the paper
+/// compares multi-node configurations.)
+#[test]
+fn ddp_components_sane() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4801);
+    let models = models();
+    for _ in 0..CASES {
+        let m = rng.choose(&models).expect("non-empty");
+        let gpus = 1usize << rng.gen_range(4u32..10);
+        let batch = rng.gen_range(1usize..128);
         for backend in [DdpBackend::HaiScale, DdpBackend::TorchNccl] {
-            let s = ddp_step(&m, gpus, batch, backend);
-            prop_assert!(s.compute_s.is_finite() && s.compute_s > 0.0);
-            prop_assert!(s.exposed_comm_s >= 0.0);
-            prop_assert!(s.total_s() > 0.0);
+            let s = ddp_step(m, gpus, batch, backend);
+            assert!(s.compute_s.is_finite() && s.compute_s > 0.0);
+            assert!(s.exposed_comm_s >= 0.0);
+            assert!(s.total_s() > 0.0);
         }
-        let hai = ddp_step(&m, gpus, batch, DdpBackend::HaiScale).total_s();
-        let torch = ddp_step(&m, gpus, batch, DdpBackend::TorchNccl).total_s();
-        prop_assert!(hai <= torch * 1.0001, "hai {hai} vs torch {torch}");
+        let hai = ddp_step(m, gpus, batch, DdpBackend::HaiScale).total_s();
+        let torch = ddp_step(m, gpus, batch, DdpBackend::TorchNccl).total_s();
+        assert!(hai <= torch * 1.0001, "hai {hai} vs torch {torch}");
     }
+}
 
-    /// FSDP weak scaling between multi-node points: going 16 → 128 GPUs
-    /// can at most double the step (the remote-shard fraction grows from
-    /// 1/2 toward 1), never worse — for any model, even ones whose compute
-    /// cannot hide the traffic.
-    #[test]
-    fn fsdp_weak_scaling_bounded(m in models(), tokens in 512usize..32768) {
-        let t16 = fsdp_step(&m, 16, tokens, FsdpImpl::HaiScale).total_s();
-        let t128 = fsdp_step(&m, 128, tokens, FsdpImpl::HaiScale).total_s();
-        prop_assert!(t128 < t16 * 2.0, "weak scaling collapsed: {t16} -> {t128}");
-        prop_assert!(t128 >= t16 * 0.999, "more nodes cannot shrink a weak-scaled step");
+/// FSDP weak scaling between multi-node points: going 16 → 128 GPUs
+/// can at most double the step (the remote-shard fraction grows from
+/// 1/2 toward 1), never worse — for any model, even ones whose compute
+/// cannot hide the traffic.
+#[test]
+fn fsdp_weak_scaling_bounded() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4802);
+    let models = models();
+    for _ in 0..CASES {
+        let m = rng.choose(&models).expect("non-empty");
+        let tokens = rng.gen_range(512usize..32768);
+        let t16 = fsdp_step(m, 16, tokens, FsdpImpl::HaiScale).total_s();
+        let t128 = fsdp_step(m, 128, tokens, FsdpImpl::HaiScale).total_s();
+        assert!(t128 < t16 * 2.0, "weak scaling collapsed: {t16} -> {t128}");
+        assert!(
+            t128 >= t16 * 0.999,
+            "more nodes cannot shrink a weak-scaled step"
+        );
     }
+}
 
-    /// Pipeline step time is monotone decreasing in GPU count (strong
-    /// scaling) for any pipeline depth that divides.
-    #[test]
-    fn pipeline_strong_scaling_monotone(pp in prop::sample::select(vec![2usize, 4, 8])) {
+/// Pipeline step time is monotone decreasing in GPU count (strong
+/// scaling) for any pipeline depth that divides.
+#[test]
+fn pipeline_strong_scaling_monotone() {
+    for pp in [2usize, 4, 8] {
         let m = TrainModel::llama_13b();
-        let cfg = PipelineConfig { pp, ..PipelineConfig::llama_13b_paper() };
+        let cfg = PipelineConfig {
+            pp,
+            ..PipelineConfig::llama_13b_paper()
+        };
         let mut prev = f64::INFINITY;
         for mult in [8usize, 16, 32, 64] {
             let gpus = pp * mult;
@@ -65,41 +84,49 @@ proptest! {
                 continue;
             }
             let t = pipeline_step(&m, &cfg, gpus).total_s();
-            prop_assert!(t < prev, "pp={pp}, {gpus} GPUs: {t} >= {prev}");
+            assert!(t < prev, "pp={pp}, {gpus} GPUs: {t} >= {prev}");
             prev = t;
         }
     }
+}
 
-    /// MoE efficiency is in (0, 1] and never increases with scale.
-    #[test]
-    fn moe_efficiency_well_formed(scale in prop::sample::select(vec![2usize, 4, 8, 16])) {
+/// MoE efficiency is in (0, 1] and never increases with scale.
+#[test]
+fn moe_efficiency_well_formed() {
+    for scale in [2usize, 4, 8, 16] {
         let m = TrainModel::deepseek_moe_16b();
         let cfg = MoeConfig::deepseek_moe_16b_paper();
         let t40 = moe_step(&m, &cfg, 40).total_s();
         let gpus = 40 * scale;
         let t = moe_step(&m, &cfg, gpus).total_s();
         let eff = (t40 * 40.0) / (t * gpus as f64);
-        prop_assert!(eff > 0.0 && eff <= 1.01, "eff {eff}");
+        assert!(eff > 0.0 && eff <= 1.01, "eff {eff}");
     }
+}
 
-    /// Memory: total is additive in its components, monotone in tokens,
-    /// and antitone in every sharding denominator.
-    #[test]
-    fn memory_model_monotonicity(m in models(),
-                                 dp in 1usize..256,
-                                 pp in 1usize..8,
-                                 tokens in 0usize..65536) {
-        let base = memory_per_gpu(&m, ShardingStrategy::Zero3, dp, pp, 1, tokens, false);
+/// Memory: total is additive in its components, monotone in tokens,
+/// and antitone in every sharding denominator.
+#[test]
+fn memory_model_monotonicity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4803);
+    let models = models();
+    for _ in 0..CASES {
+        let m = rng.choose(&models).expect("non-empty");
+        let dp = rng.gen_range(1usize..256);
+        let pp = rng.gen_range(1usize..8);
+        let tokens = rng.gen_range(0usize..65536);
+        let base = memory_per_gpu(m, ShardingStrategy::Zero3, dp, pp, 1, tokens, false);
         let total = base.params + base.grads + base.optimizer + base.activations;
-        prop_assert!((base.total() - total).abs() < 1.0);
-        let more_tokens = memory_per_gpu(&m, ShardingStrategy::Zero3, dp, pp, 1, tokens + 1024, false);
-        prop_assert!(more_tokens.total() >= base.total());
-        let more_dp = memory_per_gpu(&m, ShardingStrategy::Zero3, dp * 2, pp, 1, tokens, false);
-        prop_assert!(more_dp.total() <= base.total());
-        let more_pp = memory_per_gpu(&m, ShardingStrategy::Zero3, dp, pp * 2, 1, tokens, false);
-        prop_assert!(more_pp.params <= base.params);
+        assert!((base.total() - total).abs() < 1.0);
+        let more_tokens =
+            memory_per_gpu(m, ShardingStrategy::Zero3, dp, pp, 1, tokens + 1024, false);
+        assert!(more_tokens.total() >= base.total());
+        let more_dp = memory_per_gpu(m, ShardingStrategy::Zero3, dp * 2, pp, 1, tokens, false);
+        assert!(more_dp.total() <= base.total());
+        let more_pp = memory_per_gpu(m, ShardingStrategy::Zero3, dp, pp * 2, 1, tokens, false);
+        assert!(more_pp.params <= base.params);
         // Recompute never increases activation memory.
-        let rec = memory_per_gpu(&m, ShardingStrategy::Zero3, dp, pp, 1, tokens, true);
-        prop_assert!(rec.activations <= base.activations);
+        let rec = memory_per_gpu(m, ShardingStrategy::Zero3, dp, pp, 1, tokens, true);
+        assert!(rec.activations <= base.activations);
     }
 }

@@ -7,7 +7,7 @@
 //! read, and H2D 2 reads (GDRCopy) or 8 reads (MemcpyAsync).
 
 use crate::spec::{
-    GpuForm, NodeSpec, HOST_BRIDGE_BIDIR_BPS, HOST_BRIDGE_BPS, NVLINK_DIR_BPS, NIC_200G_BPS,
+    GpuForm, NodeSpec, HOST_BRIDGE_BIDIR_BPS, HOST_BRIDGE_BPS, NIC_200G_BPS, NVLINK_DIR_BPS,
     PCIE4_X16_BPS, ROME_P2P_BPS,
 };
 use ff_desim::{FluidSim, ResourceId, Route};

@@ -80,6 +80,26 @@ impl NetResources {
         route
     }
 
+    /// Degrade every lane and direction of `link` to `factor × capacity` —
+    /// the net-layer face of fault injection: an IB link flash cut or a
+    /// cable trained down hits all service levels in both directions.
+    pub fn degrade_link(&self, fluid: &mut FluidSim, link: LinkId, factor: f64) {
+        for dir in &self.per_link[link.0 as usize] {
+            for &r in dir {
+                fluid.degrade(r, factor);
+            }
+        }
+    }
+
+    /// Lift any degradation on `link` (the link re-trained at full speed).
+    pub fn restore_link(&self, fluid: &mut FluidSim, link: LinkId) {
+        for dir in &self.per_link[link.0 as usize] {
+            for &r in dir {
+                fluid.restore(r);
+            }
+        }
+    }
+
     /// Current load on the directed lane of `sl` over `link` from `from` —
     /// the load oracle adaptive routing consults.
     pub fn load_of(
@@ -174,6 +194,25 @@ mod tests {
         );
         assert!((fluid.flow_rate(a) - 100.0).abs() < 1e-6);
         assert!((fluid.flow_rate(b) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_link_throttles_all_lanes_until_restored() {
+        let (topo, h0, h1, l0, _) = line_topo();
+        let mut fluid = FluidSim::new();
+        let net = NetResources::install(&mut fluid, &topo, VlConfig::isolated());
+        let path = topo.shortest_paths(h0, h1, 1).remove(0);
+        let storage = net.path_route(&topo, h0, &path, ServiceLevel::Storage);
+        let hfreduce = net.path_route(&topo, h0, &path, ServiceLevel::HfReduce);
+        let fs = fluid.start_flow(1e6, &storage);
+        let fr = fluid.start_flow(1e6, &hfreduce);
+        assert!((fluid.flow_rate(fs) - 35.0).abs() < 1e-6);
+        // Flash cut: the whole link trains down to 10%.
+        net.degrade_link(&mut fluid, l0, 0.1);
+        assert!((fluid.flow_rate(fs) - 3.5).abs() < 1e-6);
+        assert!((fluid.flow_rate(fr) - 3.5).abs() < 1e-6);
+        net.restore_link(&mut fluid, l0);
+        assert!((fluid.flow_rate(fs) - 35.0).abs() < 1e-6);
     }
 
     #[test]

@@ -109,9 +109,9 @@ impl Dcqcn {
             .iter()
             .map(|f| {
                 !f.done
-                    && f.watch.iter().any(|&(r, cap)| {
-                        fluid.resource_load(r) > self.params.ecn_threshold * cap
-                    })
+                    && f.watch
+                        .iter()
+                        .any(|&(r, cap)| fluid.resource_load(r) > self.params.ecn_threshold * cap)
             })
             .collect();
         let mut n = 0;

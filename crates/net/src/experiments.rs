@@ -64,11 +64,7 @@ pub struct IncastResult {
 pub fn incast(cfg: &IncastConfig) -> IncastResult {
     // Topology: enough leaves for senders + 1 client.
     let leaf_down = 8;
-    let spec = FatTreeSpec::small(
-        (cfg.senders + 1).div_ceil(leaf_down).max(2),
-        4,
-        leaf_down,
-    );
+    let spec = FatTreeSpec::small((cfg.senders + 1).div_ceil(leaf_down).max(2), 4, leaf_down);
     let mut topo = Topology::new();
     let mut zone = build_zone(&mut topo, &spec, 0);
     let client = topo.add_node(NodeKind::ComputeHost, "client", Some(0));
@@ -225,42 +221,41 @@ pub fn congestion_spread(policy: RoutePolicy, storage_flows_per_wave: usize) -> 
         std::collections::HashSet::new();
     let mut storage_live: HashMap<FlowId, usize> = HashMap::new();
     let mut wave_key = 0u64;
-    let start_wave =
-        |fluid: &mut FluidSim,
-         storage_live: &mut HashMap<FlowId, usize>,
-         storage_links: &mut std::collections::HashSet<ff_topo::LinkId>,
-         wave_key: &mut u64| {
-            for j in 0..storage_flows_per_wave {
-                let src = storage[j % 2];
-                let dst = compute[(*wave_key as usize + j * 7) % compute.len()];
-                *wave_key += 1;
-                let key = *wave_key;
-                let path = match policy {
-                    RoutePolicy::Adaptive => {
-                        // Rank candidates by live flow count on their lanes.
-                        storage_router.route(src, dst, key, &|l| {
-                            let link = topo.link(l);
-                            let r = net.link_resource(&topo, l, link.a, ServiceLevel::Storage);
-                            count_flows(fluid, r) as f64
-                                + count_flows(
-                                    fluid,
-                                    net.link_resource(&topo, l, link.b, ServiceLevel::Storage),
-                                ) as f64
-                        })
-                    }
-                    _ => storage_router.route(src, dst, key, &|_| 0.0),
-                };
-                for &l in &path {
-                    let link = topo.link(l);
-                    if topo.kind(link.a).is_switch() && topo.kind(link.b).is_switch() {
-                        storage_links.insert(l);
-                    }
+    let start_wave = |fluid: &mut FluidSim,
+                      storage_live: &mut HashMap<FlowId, usize>,
+                      storage_links: &mut std::collections::HashSet<ff_topo::LinkId>,
+                      wave_key: &mut u64| {
+        for j in 0..storage_flows_per_wave {
+            let src = storage[j % 2];
+            let dst = compute[(*wave_key as usize + j * 7) % compute.len()];
+            *wave_key += 1;
+            let key = *wave_key;
+            let path = match policy {
+                RoutePolicy::Adaptive => {
+                    // Rank candidates by live flow count on their lanes.
+                    storage_router.route(src, dst, key, &|l| {
+                        let link = topo.link(l);
+                        let r = net.link_resource(&topo, l, link.a, ServiceLevel::Storage);
+                        count_flows(fluid, r) as f64
+                            + count_flows(
+                                fluid,
+                                net.link_resource(&topo, l, link.b, ServiceLevel::Storage),
+                            ) as f64
+                    })
                 }
-                let route = net.path_route(&topo, src, &path, ServiceLevel::Storage);
-                let f = fluid.start_flow(64.0 * 1024.0 * 1024.0, &route);
-                storage_live.insert(f, j);
+                _ => storage_router.route(src, dst, key, &|_| 0.0),
+            };
+            for &l in &path {
+                let link = topo.link(l);
+                if topo.kind(link.a).is_switch() && topo.kind(link.b).is_switch() {
+                    storage_links.insert(l);
+                }
             }
-        };
+            let route = net.path_route(&topo, src, &path, ServiceLevel::Storage);
+            let f = fluid.start_flow(64.0 * 1024.0 * 1024.0, &route);
+            storage_live.insert(f, j);
+        }
+    };
     start_wave(
         &mut fluid,
         &mut storage_live,
@@ -283,7 +278,9 @@ pub fn congestion_spread(policy: RoutePolicy, storage_flows_per_wave: usize) -> 
             }
         }
         // Keep the incast pressure on while compute runs.
-        if storage_done > 0 && !compute_flows.is_empty() && storage_live.len() < storage_flows_per_wave
+        if storage_done > 0
+            && !compute_flows.is_empty()
+            && storage_live.len() < storage_flows_per_wave
         {
             start_wave(
                 &mut fluid,

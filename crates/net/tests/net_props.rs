@@ -1,73 +1,88 @@
-//! Property-based tests for the network layer: route/direction
-//! correctness and lane-isolation invariants over randomized fat-trees.
+//! Randomized property tests for the network layer: route/direction
+//! correctness and lane-isolation invariants over randomized fat-trees
+//! (seeded, reproducible).
 
 use ff_desim::FluidSim;
 use ff_net::{NetResources, ServiceLevel, VlConfig};
 use ff_topo::fattree::{attach_host, build_zone, FatTreeSpec};
 use ff_topo::graph::{NodeId, NodeKind, Topology};
 use ff_topo::routing::{RoutePolicy, Router};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
 
-fn random_zone() -> impl Strategy<Value = (Topology, Vec<NodeId>)> {
-    (2usize..6, 2usize..5, 2usize..6, 2usize..20).prop_map(|(leaves, spines, down, hosts)| {
-        // Spines must have ports for every leaf: leaves ≤ radix.
-        let leaves = leaves.min(spines + down);
-        let spec = FatTreeSpec::small(leaves, spines, down);
-        let mut topo = Topology::new();
-        let mut zone = build_zone(&mut topo, &spec, 0);
-        let n = hosts.min(leaves * down);
-        let hosts: Vec<NodeId> = (0..n)
-            .map(|i| {
-                let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
-                attach_host(&mut topo, &mut zone, h, 25e9);
-                h
-            })
-            .collect();
-        (topo, hosts)
-    })
+const CASES: usize = 48;
+
+fn random_zone(rng: &mut ChaCha8Rng) -> (Topology, Vec<NodeId>) {
+    let leaves = rng.gen_range(2usize..6);
+    let spines = rng.gen_range(2usize..5);
+    let down = rng.gen_range(2usize..6);
+    let hosts = rng.gen_range(2usize..20);
+    // Spines must have ports for every leaf: leaves ≤ radix.
+    let leaves = leaves.min(spines + down);
+    let spec = FatTreeSpec::small(leaves, spines, down);
+    let mut topo = Topology::new();
+    let mut zone = build_zone(&mut topo, &spec, 0);
+    let n = hosts.min(leaves * down);
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
+            attach_host(&mut topo, &mut zone, h, 25e9);
+            h
+        })
+        .collect();
+    (topo, hosts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every routed path is connected: consecutive links share exactly the
-    /// node the walk is at, and the walk ends at the destination.
-    #[test]
-    fn routes_are_walkable((topo, hosts) in random_zone(),
-                           si in any::<prop::sample::Index>(),
-                           di in any::<prop::sample::Index>(),
-                           key in any::<u64>()) {
-        prop_assume!(hosts.len() >= 2);
-        let src = *si.get(&hosts);
-        let dst = *di.get(&hosts);
-        for policy in [RoutePolicy::StaticByDestination, RoutePolicy::Ecmp, RoutePolicy::Adaptive] {
+/// Every routed path is connected: consecutive links share exactly the
+/// node the walk is at, and the walk ends at the destination.
+#[test]
+fn routes_are_walkable() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4E01);
+    for _ in 0..CASES {
+        let (topo, hosts) = random_zone(&mut rng);
+        if hosts.len() < 2 {
+            continue;
+        }
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let dst = hosts[rng.gen_range(0..hosts.len())];
+        let key = rng.next_u64();
+        for policy in [
+            RoutePolicy::StaticByDestination,
+            RoutePolicy::Ecmp,
+            RoutePolicy::Adaptive,
+        ] {
             let router = Router::new(&topo, policy);
             let path = router.route(src, dst, key, &|_| 0.0);
             let mut at = src;
             for &l in &path {
                 let link = topo.link(l);
-                prop_assert!(link.a == at || link.b == at, "disconnected walk");
+                assert!(link.a == at || link.b == at, "disconnected walk");
                 at = if link.a == at { link.b } else { link.a };
             }
-            prop_assert_eq!(at, dst);
+            assert_eq!(at, dst);
             if src == dst {
-                prop_assert!(path.is_empty());
+                assert!(path.is_empty());
             }
         }
     }
+}
 
-    /// Converting a routed path into fluid resources picks the correct
-    /// directions: a flow on the route achieves full line rate when the
-    /// network is otherwise idle (a direction mix-up would double-load
-    /// some resource and halve the rate).
-    #[test]
-    fn path_route_directions_correct((topo, hosts) in random_zone(),
-                                     si in any::<prop::sample::Index>(),
-                                     di in any::<prop::sample::Index>()) {
-        prop_assume!(hosts.len() >= 2);
-        let src = *si.get(&hosts);
-        let dst = *di.get(&hosts);
-        prop_assume!(src != dst);
+/// Converting a routed path into fluid resources picks the correct
+/// directions: a flow on the route achieves full line rate when the
+/// network is otherwise idle (a direction mix-up would double-load
+/// some resource and halve the rate).
+#[test]
+fn path_route_directions_correct() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4E02);
+    for _ in 0..CASES {
+        let (topo, hosts) = random_zone(&mut rng);
+        if hosts.len() < 2 {
+            continue;
+        }
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let dst = hosts[rng.gen_range(0..hosts.len())];
+        if src == dst {
+            continue;
+        }
         let mut fluid = FluidSim::new();
         let net = NetResources::install(&mut fluid, &topo, VlConfig::shared());
         let router = Router::new(&topo, RoutePolicy::StaticByDestination);
@@ -75,7 +90,7 @@ proptest! {
         let route = net.path_route(&topo, src, &path, ServiceLevel::Other);
         let f = fluid.start_flow(1e9, &route);
         let rate = fluid.flow_rate(f);
-        prop_assert!((rate - 25e9).abs() < 1.0, "rate {rate}");
+        assert!((rate - 25e9).abs() < 1.0, "rate {rate}");
         // And the reverse direction is independent: both at line rate.
         let rpath = router.route(dst, src, 0, &|_| 0.0);
         let rroute = net.path_route(&topo, dst, &rpath, ServiceLevel::Other);
@@ -85,15 +100,21 @@ proptest! {
         // direction, so both flows keep full rate unless they share a
         // directed spine hop (possible only if src/dst leaves coincide).
         let _ = fluid.flow_rate(g);
-        prop_assert!((fluid.flow_rate(f) - 25e9).abs() < 1e9);
+        assert!((fluid.flow_rate(f) - 25e9).abs() < 1e9);
     }
+}
 
-    /// VL isolation invariant: whatever storm hits the Storage lane, an
-    /// HFReduce flow keeps at least its configured share of every link.
-    #[test]
-    fn isolation_floor_holds((topo, hosts) in random_zone(),
-                             storm in 1usize..20) {
-        prop_assume!(hosts.len() >= 2);
+/// VL isolation invariant: whatever storm hits the Storage lane, an
+/// HFReduce flow keeps at least its configured share of every link.
+#[test]
+fn isolation_floor_holds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4E03);
+    for _ in 0..CASES {
+        let (topo, hosts) = random_zone(&mut rng);
+        if hosts.len() < 2 {
+            continue;
+        }
+        let storm = rng.gen_range(1usize..20);
         let mut fluid = FluidSim::new();
         let net = NetResources::install(&mut fluid, &topo, VlConfig::isolated());
         let router = Router::new(&topo, RoutePolicy::StaticByDestination);
@@ -109,6 +130,6 @@ proptest! {
         }
         // HFReduce's lane share is 35% of 25 GB/s on every hop.
         let rate = fluid.flow_rate(hf);
-        prop_assert!(rate >= 0.35 * 25e9 * 0.999, "rate {rate}");
+        assert!(rate >= 0.35 * 25e9 * 0.999, "rate {rate}");
     }
 }

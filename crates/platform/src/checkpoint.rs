@@ -9,8 +9,8 @@
 
 use ff_3fs::client::{Fs3Client, FsError};
 use ff_3fs::meta::{FileAttr, MetaError, ROOT};
-use bytes::Bytes;
-use std::sync::Arc;
+use ff_util::bytes::Bytes;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// One tensor's location inside a checkpoint file.
@@ -81,11 +81,22 @@ pub struct CheckpointManager {
     client: Arc<Fs3Client>,
     dir: FileAttr,
     chunk_bytes: u64,
+    /// In-flight background saves, reaped opportunistically.
+    pending: Mutex<Vec<JoinHandle<Result<CheckpointMeta, CkptError>>>>,
+    /// First background-save failure not yet reported to a caller. A
+    /// failed async save must never vanish silently: the next `save`,
+    /// `load` or [`wait_saves`](Self::wait_saves) returns it, and `Drop`
+    /// complains about anything still unclaimed.
+    async_error: Mutex<Option<CkptError>>,
 }
 
 impl CheckpointManager {
     /// Create (or reopen) the checkpoint directory `name`.
-    pub fn new(client: Arc<Fs3Client>, name: &str, chunk_bytes: u64) -> Result<Arc<Self>, CkptError> {
+    pub fn new(
+        client: Arc<Fs3Client>,
+        name: &str,
+        chunk_bytes: u64,
+    ) -> Result<Arc<Self>, CkptError> {
         let dir = match client.meta().mkdir(ROOT, name) {
             Ok(d) => d,
             Err(MetaError::Exists) => {
@@ -98,7 +109,61 @@ impl CheckpointManager {
             client,
             dir,
             chunk_bytes: chunk_bytes.max(1),
+            pending: Mutex::new(Vec::new()),
+            async_error: Mutex::new(None),
         }))
+    }
+
+    /// The 3FS client the manager writes through.
+    pub fn client(&self) -> &Arc<Fs3Client> {
+        &self.client
+    }
+
+    /// Join completed background saves, stashing the first failure.
+    /// With `block`, wait for every in-flight save.
+    fn reap(&self, block: bool) {
+        let handles: Vec<_> = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            if block {
+                pending.drain(..).collect()
+            } else {
+                let mut done = Vec::new();
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].is_finished() {
+                        done.push(pending.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                done
+            }
+        };
+        for h in handles {
+            let result = h.join().unwrap_or(Err(CkptError::Corrupt(
+                "background save thread panicked".into(),
+            )));
+            if let Err(e) = result {
+                let mut slot = self.async_error.lock().expect("error lock");
+                slot.get_or_insert(e);
+            }
+        }
+    }
+
+    /// The stashed background-save failure, if any, clearing it.
+    fn take_async_error(&self) -> Option<CkptError> {
+        self.reap(false);
+        self.async_error.lock().expect("error lock").take()
+    }
+
+    /// Block until all background saves land; the first failure (from
+    /// these or any earlier async save) is returned exactly once.
+    pub fn wait_saves(&self) -> Result<(), CkptError> {
+        self.reap(true);
+        match self.async_error.lock().expect("error lock").take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Save `tensors` as checkpoint `step` via the batch-write API.
@@ -108,11 +173,28 @@ impl CheckpointManager {
     /// `CkptError::Fs(FsError::Meta(MetaError::Exists))` — never a silent
     /// overwrite of a checkpoint a recovery might be reading. Re-saving
     /// after a rollback requires pruning or a fresh step number.
-    pub fn save(&self, step: u64, tensors: &[(String, Vec<u8>)]) -> Result<CheckpointMeta, CkptError> {
-        let file = self
-            .client
-            .meta()
-            .create(self.dir.ino, &format!("step-{step:012}.bin"), self.chunk_bytes, 4)?;
+    pub fn save(
+        &self,
+        step: u64,
+        tensors: &[(String, Vec<u8>)],
+    ) -> Result<CheckpointMeta, CkptError> {
+        if let Some(e) = self.take_async_error() {
+            return Err(e);
+        }
+        self.save_inner(step, tensors)
+    }
+
+    fn save_inner(
+        &self,
+        step: u64,
+        tensors: &[(String, Vec<u8>)],
+    ) -> Result<CheckpointMeta, CkptError> {
+        let file = self.client.meta().create(
+            self.dir.ino,
+            &format!("step-{step:012}.bin"),
+            self.chunk_bytes,
+            4,
+        )?;
         // Lay tensors out chunk-aligned: parallel batch writers then never
         // share a file chunk, so no read-modify-write races between the
         // writer threads (and chunk-replace writes skip the read entirely).
@@ -147,41 +229,76 @@ impl CheckpointManager {
             tensors: index,
         };
         let idx_bytes = encode_meta(&meta);
-        let idx = self
-            .client
-            .meta()
-            .create(self.dir.ino, &format!("step-{step:012}.idx"), self.chunk_bytes, 1)?;
+        let idx = self.client.meta().create(
+            self.dir.ino,
+            &format!("step-{step:012}.idx"),
+            self.chunk_bytes,
+            1,
+        )?;
         self.client.write_at(&idx, 0, &idx_bytes)?;
         Ok(meta)
     }
 
     /// Save on a background thread ("asynchronously transferred ... with
     /// checkpoint saving performed periodically"): the training loop keeps
-    /// going while 3FS absorbs the write.
-    pub fn save_async(
-        self: &Arc<Self>,
-        step: u64,
-        tensors: Vec<(String, Vec<u8>)>,
-    ) -> JoinHandle<Result<CheckpointMeta, CkptError>> {
+    /// going while 3FS absorbs the write. A failure is *not* lost with the
+    /// thread: it resurfaces from the next `save`/`load`/
+    /// [`wait_saves`](Self::wait_saves) call, and a failed save is never
+    /// visible through [`latest_step`](Self::latest_step).
+    pub fn save_async(self: &Arc<Self>, step: u64, tensors: Vec<(String, Vec<u8>)>) {
+        self.reap(false);
         let mgr = Arc::clone(self);
-        std::thread::spawn(move || mgr.save(step, &tensors))
+        let handle = std::thread::spawn(move || mgr.save_inner(step, &tensors));
+        self.pending.lock().expect("pending lock").push(handle);
+    }
+
+    /// All fully-written checkpoint steps, ascending. A step counts only
+    /// once its index file exists *and* is non-empty — the index is
+    /// written last, so interrupted or failed saves never appear.
+    pub fn steps(&self) -> Result<Vec<u64>, CkptError> {
+        let entries = self.client.meta().readdir(self.dir.ino)?;
+        let mut steps = Vec::new();
+        for (name, ino) in &entries {
+            let step = match name
+                .strip_prefix("step-")
+                .and_then(|s| s.strip_suffix(".idx"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                Some(s) => s,
+                None => continue,
+            };
+            if self.client.meta().stat(*ino)?.size > 0 {
+                steps.push(step);
+            }
+        }
+        steps.sort_unstable();
+        Ok(steps)
     }
 
     /// The most recent checkpoint step, if any.
     pub fn latest_step(&self) -> Result<Option<u64>, CkptError> {
-        let entries = self.client.meta().readdir(self.dir.ino)?;
-        Ok(entries
-            .iter()
-            .filter_map(|(n, _)| {
-                n.strip_prefix("step-")
-                    .and_then(|s| s.strip_suffix(".idx"))
-                    .and_then(|s| s.parse::<u64>().ok())
-            })
-            .max())
+        Ok(self.steps()?.pop())
+    }
+
+    /// Delete checkpoint `step` (index first, so a concurrent
+    /// [`latest_step`](Self::latest_step) never selects a half-deleted
+    /// checkpoint). Used to discard a checkpoint that failed its checksum
+    /// so the step number can be written again after a rollback.
+    pub fn remove_step(&self, step: u64) -> Result<(), CkptError> {
+        self.client
+            .meta()
+            .unlink(self.dir.ino, &format!("step-{step:012}.idx"))?;
+        self.client
+            .meta()
+            .unlink(self.dir.ino, &format!("step-{step:012}.bin"))?;
+        Ok(())
     }
 
     /// Load checkpoint `step` via the batch-read API, verifying checksums.
     pub fn load(&self, step: u64) -> Result<Vec<(String, Vec<u8>)>, CkptError> {
+        if let Some(e) = self.take_async_error() {
+            return Err(e);
+        }
         let idx_ino = self
             .client
             .meta()
@@ -189,7 +306,8 @@ impl CheckpointManager {
             .map_err(|_| CkptError::Missing)?;
         let idx_attr = self.client.meta().stat(idx_ino)?;
         let idx_bytes = self.client.read_at(&idx_attr, 0, idx_attr.size as usize)?;
-        let meta = decode_meta(&idx_bytes);
+        let meta =
+            decode_meta(&idx_bytes).ok_or_else(|| CkptError::Corrupt("checkpoint index".into()))?;
         let bin_ino = self
             .client
             .meta()
@@ -226,10 +344,29 @@ impl CheckpointManager {
         steps.sort_unstable();
         let evict = steps.len().saturating_sub(keep);
         for &s in &steps[..evict] {
-            let _ = self.client.meta().unlink(self.dir.ino, &format!("step-{s:012}.idx"));
-            let _ = self.client.meta().unlink(self.dir.ino, &format!("step-{s:012}.bin"));
+            let _ = self
+                .client
+                .meta()
+                .unlink(self.dir.ino, &format!("step-{s:012}.idx"));
+            let _ = self
+                .client
+                .meta()
+                .unlink(self.dir.ino, &format!("step-{s:012}.bin"));
         }
         Ok(evict)
+    }
+}
+
+impl Drop for CheckpointManager {
+    fn drop(&mut self) {
+        // Background threads hold an Arc to the manager, so by the time
+        // Drop runs they have all finished; joining cannot block.
+        self.reap(true);
+        if let Some(e) = self.async_error.lock().expect("error lock").take() {
+            eprintln!(
+                "CheckpointManager dropped with an unreported background save failure: {e:?}"
+            );
+        }
     }
 }
 
@@ -247,20 +384,22 @@ fn encode_meta(meta: &CheckpointMeta) -> Vec<u8> {
     v
 }
 
-fn decode_meta(b: &[u8]) -> CheckpointMeta {
-    let u64at = |at: usize| u64::from_be_bytes(b[at..at + 8].try_into().expect("u64"));
-    let step = u64at(0);
-    let n = u64at(8) as usize;
+/// Decode an index file; `None` on any truncation or malformed field, so
+/// a partially written index surfaces as corruption instead of a panic.
+fn decode_meta(b: &[u8]) -> Option<CheckpointMeta> {
+    let u64at = |at: usize| Some(u64::from_be_bytes(b.get(at..at + 8)?.try_into().ok()?));
+    let step = u64at(0)?;
+    let n = usize::try_from(u64at(8)?).ok()?;
     let mut at = 16;
-    let mut tensors = Vec::with_capacity(n);
+    let mut tensors = Vec::new();
     for _ in 0..n {
-        let name_len = u32::from_be_bytes(b[at..at + 4].try_into().expect("u32")) as usize;
+        let name_len = u32::from_be_bytes(b.get(at..at + 4)?.try_into().ok()?) as usize;
         at += 4;
-        let name = String::from_utf8(b[at..at + name_len].to_vec()).expect("utf8 name");
+        let name = String::from_utf8(b.get(at..at + name_len)?.to_vec()).ok()?;
         at += name_len;
-        let offset = u64at(at);
-        let len = u64at(at + 8);
-        let checksum = u64at(at + 16);
+        let offset = u64at(at)?;
+        let len = u64at(at + 8)?;
+        let checksum = u64at(at + 16)?;
         at += 24;
         tensors.push(TensorIndex {
             name,
@@ -269,7 +408,7 @@ fn decode_meta(b: &[u8]) -> CheckpointMeta {
             checksum,
         });
     }
-    CheckpointMeta { step, tensors }
+    Some(CheckpointMeta { step, tensors })
 }
 
 #[cfg(test)]
@@ -350,11 +489,85 @@ mod tests {
     #[test]
     fn async_save_does_not_block() {
         let mgr = CheckpointManager::new(client(), "ckpt", 16 << 10).unwrap();
-        let handle = mgr.save_async(5, fake_tensors(4, 4, 200_000));
+        mgr.save_async(5, fake_tensors(4, 4, 200_000));
         // "Training" continues here...
-        let meta = handle.join().unwrap().unwrap();
-        assert_eq!(meta.step, 5);
+        mgr.wait_saves().unwrap();
         assert_eq!(mgr.load(5).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn async_save_failure_surfaces_on_next_call() {
+        let mgr = CheckpointManager::new(client(), "ckpt", 1 << 10).unwrap();
+        mgr.save(5, &fake_tensors(1, 2, 500)).unwrap();
+        // Steps are write-once, so this background save must fail.
+        mgr.save_async(5, fake_tensors(1, 2, 500));
+        mgr.reap(true);
+        let err = mgr.save(6, &fake_tensors(1, 2, 500)).unwrap_err();
+        assert!(
+            matches!(err, CkptError::Fs(FsError::Meta(MetaError::Exists))),
+            "{err:?}"
+        );
+        // Reported exactly once: the retry goes through, state intact.
+        mgr.save(6, &fake_tensors(1, 2, 500)).unwrap();
+        assert_eq!(mgr.latest_step().unwrap(), Some(6));
+    }
+
+    #[test]
+    fn async_save_failure_surfaces_on_load_and_wait() {
+        let mgr = CheckpointManager::new(client(), "ckpt", 1 << 10).unwrap();
+        mgr.save(3, &fake_tensors(2, 1, 100)).unwrap();
+        mgr.save_async(3, fake_tensors(2, 1, 100));
+        mgr.reap(true);
+        assert!(mgr.load(3).is_err(), "pending failure must preempt load");
+        // Once reported, the checkpoint itself is fine.
+        assert_eq!(mgr.load(3).unwrap().len(), 1);
+        mgr.save_async(3, fake_tensors(2, 1, 100));
+        assert!(mgr.wait_saves().is_err());
+        assert!(mgr.wait_saves().is_ok(), "error reported exactly once");
+    }
+
+    #[test]
+    fn partial_index_is_never_the_latest_step() {
+        let c = client();
+        let mgr = CheckpointManager::new(c.clone(), "ckpt", 1 << 10).unwrap();
+        mgr.save(10, &fake_tensors(6, 1, 100)).unwrap();
+        // An index file created but never written — the footprint of a
+        // save that died between create and write.
+        c.meta()
+            .create(mgr.dir.ino, &format!("step-{:012}.idx", 99u64), 1 << 10, 1)
+            .unwrap();
+        assert_eq!(mgr.steps().unwrap(), vec![10]);
+        assert_eq!(mgr.latest_step().unwrap(), Some(10));
+    }
+
+    #[test]
+    fn truncated_index_reads_as_corrupt() {
+        let c = client();
+        let mgr = CheckpointManager::new(c.clone(), "ckpt", 1 << 10).unwrap();
+        mgr.save(7, &fake_tensors(6, 2, 300)).unwrap();
+        // Smash the tensor-count field: the index now claims far more
+        // entries than the file holds, as a half-written index would.
+        let attr = c.meta().resolve("/ckpt/step-000000000007.idx").unwrap();
+        c.write_at(&attr, 8, &[0xFF; 8]).unwrap();
+        match mgr.load(7) {
+            Err(CkptError::Corrupt(what)) => assert_eq!(what, "checkpoint index"),
+            other => panic!("expected index corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_step_allows_rewriting_after_rollback() {
+        let mgr = CheckpointManager::new(client(), "ckpt", 1 << 10).unwrap();
+        mgr.save(20, &fake_tensors(1, 2, 400)).unwrap();
+        assert!(
+            mgr.save(20, &fake_tensors(9, 2, 400)).is_err(),
+            "write-once"
+        );
+        mgr.remove_step(20).unwrap();
+        assert_eq!(mgr.latest_step().unwrap(), None);
+        let meta = mgr.save(20, &fake_tensors(9, 2, 400)).unwrap();
+        assert_eq!(meta.step, 20);
+        assert_eq!(mgr.load(20).unwrap(), fake_tensors(9, 2, 400));
     }
 
     #[test]
@@ -384,7 +597,12 @@ mod tests {
                 checksum: 0xdeadbeef,
             }],
         };
-        assert_eq!(decode_meta(&encode_meta(&meta)), meta);
+        assert_eq!(decode_meta(&encode_meta(&meta)), Some(meta.clone()));
+        // Any truncation decodes to None, not a panic.
+        let full = encode_meta(&meta);
+        for cut in 0..full.len() {
+            assert_eq!(decode_meta(&full[..cut]), None, "truncated at {cut}");
+        }
     }
 
     #[test]

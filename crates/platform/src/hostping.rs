@@ -124,7 +124,10 @@ mod tests {
         let (mut fluid, hw) = install();
         let _hog = fluid.start_flow(1e18, &hw.d2h(5));
         let probes = hostping(&mut fluid, &hw);
-        let bad: Vec<String> = bottlenecks(&probes).iter().map(|p| p.path.clone()).collect();
+        let bad: Vec<String> = bottlenecks(&probes)
+            .iter()
+            .map(|p| p.path.clone())
+            .collect();
         assert!(bad.contains(&"d2h/gpu5".to_string()));
         assert!(bad.contains(&"d2h/gpu6".to_string()), "{bad:?}");
         assert!(!bad.contains(&"d2h/gpu4".to_string()));

@@ -10,6 +10,11 @@
 //! * [`checkpoint`] — the checkpoint manager of §VII-A: tensors chunked
 //!   and batch-written to 3FS with a per-tensor index, periodic (5-minute)
 //!   cadence, asynchronous saves, checksum-verified loads.
+//! * [`recovery`] — the closed fault-recovery loop of §VII-A: a
+//!   deterministic training job on the real threaded allreduce, with
+//!   injected rank deaths, checkpoint corruption and link degradation;
+//!   detect (typed comm errors, hostping) → resume (last good 3FS
+//!   checkpoint) → requeue (scheduler spares).
 //! * [`validator`] — the weekly hardware validator of §VII-B: frequency /
 //!   link checks, CPU stress, memory-bandwidth, GPU-memory byte patterns,
 //!   full-occupancy GEMM logic checks, intra-node allreduce, storage
@@ -20,10 +25,12 @@
 
 pub mod checkpoint;
 pub mod hostping;
+pub mod recovery;
 pub mod scheduler;
 pub mod validator;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta};
 pub use hostping::{bottlenecks, hostping, PathProbe};
+pub use recovery::{train_with_recovery, JobFaults, RecoveryEvent, RecoveryReport, TrainerConfig};
 pub use scheduler::{Platform, TaskId, TaskState};
 pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

@@ -87,7 +87,9 @@ pub fn check_cpu_stress(_n: &NodeUnderTest) -> CheckOutcome {
     // Sum of the first 10^6 integers, computed the long way, twice, with
     // different associativity — any mismatch means broken silicon.
     let a: u64 = (1..=1_000_000u64).sum();
-    let b: u64 = (1..=1000u64).map(|i| ((i - 1) * 1000 + 1..=i * 1000).sum::<u64>()).sum();
+    let b: u64 = (1..=1000u64)
+        .map(|i| ((i - 1) * 1000 + 1..=i * 1000).sum::<u64>())
+        .sum();
     let want = 1_000_000u64 * 1_000_001 / 2;
     outcome(
         "cpu-stress",
@@ -325,7 +327,11 @@ mod tests {
         fleet[2].gpu_memory[0][5] = 0xBD;
         let failed = weekly_validation(&mut platform, &mut fleet);
         assert_eq!(failed, vec![2]);
-        assert_eq!(platform.state(task), TaskState::Queued, "4-node job can't run on 3");
+        assert_eq!(
+            platform.state(task),
+            TaskState::Queued,
+            "4-node job can't run on 3"
+        );
         // Repair (replace the module) and re-validate: back in the pool.
         fleet[2] = NodeUnderTest::healthy();
         assert!(weekly_validation(&mut platform, &mut fleet).is_empty());

@@ -114,7 +114,11 @@ impl ClusterModel {
             let h = topo.add_node(NodeKind::ComputeHost, format!("node{i:03}"), Some(z as u8));
             attach_host(&mut topo, &mut zone_ids[z], h, spec.link_capacity);
             hosts.push(h);
-            hw.push(NodeHw::install(&mut fluid, &format!("node{i:03}"), &cfg.node_spec));
+            hw.push(NodeHw::install(
+                &mut fluid,
+                &format!("node{i:03}"),
+                &cfg.node_spec,
+            ));
         }
         let netres = NetResources::install(&mut fluid, &topo, cfg.vl.clone());
         ClusterModel {

@@ -1,21 +1,61 @@
 //! Executable allreduce implementations over in-memory ranks.
 //!
 //! Every rank is a thread; RDMA is replaced by tagged messages over
-//! crossbeam channels (an ordered reliable transport, which is all the
+//! mpmc channels (an ordered reliable transport, which is all the
 //! algorithms assume — see DESIGN.md's substitution table). The algorithms
 //! are the real ones: the chunked double-binary-tree allreduce of
 //! Algorithm 2, a ring allreduce baseline, and the full node-structured
 //! HFReduce (Algorithm 1 + 2: intra-node reduce → inter-node tree →
 //! broadcast back to every GPU buffer).
+//!
+//! The communication layer is `Result`-based: a peer that dies mid-step
+//! surfaces as a typed [`CommError`] (disconnect or receive timeout), not
+//! a process-wide panic. On top of that, [`allreduce_dbtree_ft`] runs the
+//! allreduce under an injected [`ExecFaultPlan`] and recovers by
+//! shrinking to the survivor set and retrying — the executable core of
+//! the paper's §VII failure-handling machinery.
 
 use crate::kernels::{chunk_ranges, reduce_add_into, reduce_n_into};
 
 /// Alias used by the single-tree reduce helper.
 type TreeRef<'a> = &'a ff_topo::dbtree::Tree;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ff_dtypes::Element;
 use ff_topo::dbtree::DoubleBinaryTree;
+use ff_util::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
+use std::time::Duration;
+
+/// Communication failure observed by one rank. The process survives; the
+/// caller decides whether to retry, shrink, or abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's endpoint is gone (its communicator was dropped).
+    Disconnected {
+        /// The peer rank that hung up.
+        peer: usize,
+    },
+    /// No message from the peer within the receive timeout — the liveness
+    /// signal a real collective gets from a transport-level timeout.
+    Timeout {
+        /// The peer rank that went silent.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            CommError::Timeout { peer } => write!(f, "timed out waiting for peer rank {peer}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Default receive timeout for the fault-free entry points: generous
+/// enough that scheduler hiccups never fire it.
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Tag {
@@ -41,10 +81,23 @@ struct Comm<E> {
     txs: Vec<Sender<Msg<E>>>,
     rx: Receiver<Msg<E>>,
     stash: HashMap<Tag, Vec<E>>,
+    recv_timeout: Duration,
+    /// Injected fault: the rank "dies" once it has issued this many
+    /// sends (`usize::MAX` = never).
+    die_after_sends: usize,
+    sends: usize,
+    /// Set once the injected death has fired.
+    died: bool,
 }
 
 impl<E: Element> Comm<E> {
     fn mesh(n: usize) -> Vec<Comm<E>> {
+        Self::mesh_with(n, DEFAULT_RECV_TIMEOUT, &[])
+    }
+
+    /// A mesh with a custom receive timeout and injected rank deaths
+    /// given as `(rank, after_sends)` pairs.
+    fn mesh_with(n: usize, recv_timeout: Duration, deaths: &[(usize, usize)]) -> Vec<Comm<E>> {
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
         rxs.into_iter()
             .enumerate()
@@ -53,11 +106,34 @@ impl<E: Element> Comm<E> {
                 txs: txs.clone(),
                 rx,
                 stash: HashMap::new(),
+                recv_timeout,
+                die_after_sends: deaths
+                    .iter()
+                    .find(|&&(r, _)| r == me)
+                    .map(|&(_, k)| k)
+                    .unwrap_or(usize::MAX),
+                sends: 0,
+                died: false,
             })
             .collect()
     }
 
-    fn send(&self, to: usize, tree: u8, chunk: u32, phase: u8, data: Vec<E>) {
+    fn send(
+        &mut self,
+        to: usize,
+        tree: u8,
+        chunk: u32,
+        phase: u8,
+        data: Vec<E>,
+    ) -> Result<(), CommError> {
+        if self.sends >= self.die_after_sends {
+            // The injected Xid fires here: this rank's endpoint goes
+            // silent. Reported as a self-disconnect so the rank's own
+            // stack unwinds without touching any peer.
+            self.died = true;
+            return Err(CommError::Disconnected { peer: self.me });
+        }
+        self.sends += 1;
         let tag = Tag {
             tree,
             chunk,
@@ -66,10 +142,10 @@ impl<E: Element> Comm<E> {
         };
         self.txs[to]
             .send(Msg { tag, data })
-            .expect("peer rank hung up");
+            .map_err(|_| CommError::Disconnected { peer: to })
     }
 
-    fn recv(&mut self, from: usize, tree: u8, chunk: u32, phase: u8) -> Vec<E> {
+    fn recv(&mut self, from: usize, tree: u8, chunk: u32, phase: u8) -> Result<Vec<E>, CommError> {
         let want = Tag {
             tree,
             chunk,
@@ -77,12 +153,18 @@ impl<E: Element> Comm<E> {
             from: from as u32,
         };
         if let Some(d) = self.stash.remove(&want) {
-            return d;
+            return Ok(d);
         }
         loop {
-            let msg = self.rx.recv().expect("peer rank hung up");
+            let msg = match self.rx.recv_timeout(self.recv_timeout) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { peer: from }),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: from })
+                }
+            };
             if msg.tag == want {
-                return msg.data;
+                return Ok(msg.data);
             }
             let dup = self.stash.insert(msg.tag, msg.data);
             assert!(dup.is_none(), "duplicate message {:?}", msg.tag);
@@ -98,7 +180,7 @@ fn tree_allreduce_rank<E: Element>(
     dt: &DoubleBinaryTree,
     data: &mut [E],
     chunks: usize,
-) {
+) -> Result<(), CommError> {
     let rank = comm.me;
     let ranges = chunk_ranges(data.len(), chunks);
     for (c, range) in ranges.iter().enumerate() {
@@ -108,22 +190,23 @@ fn tree_allreduce_rank<E: Element>(
             let seg = halves[ti].clone();
             let mut acc: Vec<E> = data[seg.clone()].to_vec();
             for &child in &tree.children[rank] {
-                let got = comm.recv(child, ti as u8, c as u32, UP);
+                let got = comm.recv(child, ti as u8, c as u32, UP)?;
                 reduce_add_into(&mut acc, &got);
             }
             let result = match tree.parent[rank] {
                 Some(parent) => {
-                    comm.send(parent, ti as u8, c as u32, UP, acc);
-                    comm.recv(parent, ti as u8, c as u32, DOWN)
+                    comm.send(parent, ti as u8, c as u32, UP, acc)?;
+                    comm.recv(parent, ti as u8, c as u32, DOWN)?
                 }
                 None => acc,
             };
             for &child in &tree.children[rank] {
-                comm.send(child, ti as u8, c as u32, DOWN, result.clone());
+                comm.send(child, ti as u8, c as u32, DOWN, result.clone())?;
             }
             data[seg].copy_from_slice(&result);
         }
     }
+    Ok(())
 }
 
 /// Allreduce `inputs` (one buffer per rank) with the chunked double binary
@@ -153,17 +236,200 @@ pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<V
             .map(|(mut data, mut comm)| {
                 let dt = &dt;
                 s.spawn(move || {
-                    tree_allreduce_rank(&mut comm, dt, &mut data, chunks);
+                    tree_allreduce_rank(&mut comm, dt, &mut data, chunks)
+                        .expect("fault-free allreduce must not fail");
                     data
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
+/// Injected faults for the executable allreduce: which ranks die, and how
+/// patient survivors are before declaring a peer dead.
+#[derive(Debug, Clone)]
+pub struct ExecFaultPlan {
+    /// `(rank, after_sends)` — the rank's endpoint goes silent after it
+    /// has issued that many messages (0 = before sending anything).
+    pub deaths: Vec<(usize, usize)>,
+    /// Survivor-side receive timeout — the liveness-detection latency.
+    pub recv_timeout: Duration,
+}
+
+impl ExecFaultPlan {
+    /// No faults: `allreduce_dbtree_ft` behaves like `allreduce_dbtree`.
+    pub fn none() -> ExecFaultPlan {
+        ExecFaultPlan {
+            deaths: Vec::new(),
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+
+    /// Kill one rank after `after_sends` messages; survivors detect the
+    /// loss within `recv_timeout`.
+    pub fn kill_rank(rank: usize, after_sends: usize, recv_timeout: Duration) -> ExecFaultPlan {
+        ExecFaultPlan {
+            deaths: vec![(rank, after_sends)],
+            recv_timeout,
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant allreduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtReport<E> {
+    /// Original rank ids that survived and hold a result.
+    pub survivors: Vec<usize>,
+    /// Original rank ids observed dead.
+    pub dead: Vec<usize>,
+    /// Attempts run (1 = no fault fired).
+    pub attempts: usize,
+    /// Per-original-rank output: `None` for dead ranks; every survivor
+    /// holds the identical survivor-set sum.
+    pub outputs: Vec<Option<Vec<E>>>,
+}
+
+enum RankOutcome<E> {
+    Done(Vec<E>),
+    Died,
+    Errored(CommError),
+}
+
+/// Fault-tolerant chunked double-binary-tree allreduce under `plan`'s
+/// injected deaths. When a rank dies mid-collective, survivors detect it
+/// (receive timeout or disconnect) and return a [`CommError`] instead of
+/// panicking; the orchestrator — standing in for the platform's job
+/// manager — then rebuilds the tree over the survivor set and retries
+/// from the original inputs. One failed rank never aborts the process.
+///
+/// The returned buffers are the sum over the **survivor** set: the dead
+/// rank's contribution is lost exactly as a dead GPU's gradients would
+/// be, and the training layer above decides whether the step is usable or
+/// must be replayed from a checkpoint (see `ff-platform`).
+pub fn allreduce_dbtree_ft<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    plan: &ExecFaultPlan,
+) -> FtReport<E> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one rank");
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    let chunks = chunks.clamp(1, len.max(1));
+
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut dead: Vec<usize> = Vec::new();
+    // Deaths not yet fired, keyed by original rank id.
+    let mut pending: Vec<(usize, usize)> = plan.deaths.clone();
+    let mut attempts = 0usize;
+    let mut stale_retries = 0usize;
+
+    loop {
+        attempts += 1;
+        if alive.len() == 1 {
+            let only = alive[0];
+            let mut outputs: Vec<Option<Vec<E>>> = vec![None; n];
+            outputs[only] = Some(inputs[only].clone());
+            return FtReport {
+                survivors: alive,
+                dead,
+                attempts,
+                outputs,
+            };
+        }
+        // Injected deaths remapped onto this attempt's compacted ids.
+        let deaths: Vec<(usize, usize)> = pending
+            .iter()
+            .filter_map(|&(orig, k)| alive.iter().position(|&a| a == orig).map(|i| (i, k)))
+            .collect();
+        let m = alive.len();
+        let dt = DoubleBinaryTree::new(m);
+        let comms = Comm::<E>::mesh_with(m, plan.recv_timeout, &deaths);
+        let results: Vec<RankOutcome<E>> = std::thread::scope(|s| {
+            let handles: Vec<_> = alive
+                .iter()
+                .zip(comms)
+                .map(|(&orig, mut comm)| {
+                    // Survivors restart from their original gradients: a
+                    // half-reduced buffer from an abandoned attempt is
+                    // never reused.
+                    let mut data = inputs[orig].clone();
+                    let dt = &dt;
+                    s.spawn(move || {
+                        let res = tree_allreduce_rank(&mut comm, dt, &mut data, chunks);
+                        let died = comm.died;
+                        // Death drops the endpoint: peers now observe
+                        // silence, exactly like a host that went down.
+                        drop(comm);
+                        match res {
+                            Ok(()) => RankOutcome::Done(data),
+                            Err(_) if died => RankOutcome::Died,
+                            Err(e) => RankOutcome::Errored(e),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
+
+        let mut newly_dead: Vec<usize> = Vec::new();
+        let mut done: Vec<(usize, Vec<E>)> = Vec::new();
+        let mut last_error: Option<CommError> = None;
+        for (&orig, outcome) in alive.iter().zip(results) {
+            match outcome {
+                RankOutcome::Done(data) => done.push((orig, data)),
+                RankOutcome::Died => newly_dead.push(orig),
+                RankOutcome::Errored(e) => last_error = Some(e),
+            }
+        }
+        if newly_dead.is_empty() && last_error.is_none() {
+            // Clean attempt: every survivor agreed on the sum.
+            let mut outputs: Vec<Option<Vec<E>>> = vec![None; n];
+            for (orig, data) in done {
+                outputs[orig] = Some(data);
+            }
+            return FtReport {
+                survivors: alive,
+                dead,
+                attempts,
+                outputs,
+            };
+        }
+        if newly_dead.is_empty() {
+            // Errors with no death: spurious timeouts (timeout shorter
+            // than a slow scheduler hiccup). Retrying with the same set
+            // is correct, but bound it so a malformed plan can't loop
+            // forever.
+            stale_retries += 1;
+            assert!(
+                stale_retries <= 3,
+                "allreduce kept failing with no observed rank death: {}",
+                last_error.expect("errored attempt carries an error")
+            );
+            continue;
+        }
+        stale_retries = 0;
+        pending.retain(|&(orig, _)| !newly_dead.contains(&orig));
+        alive.retain(|r| !newly_dead.contains(r));
+        dead.extend(newly_dead);
+        dead.sort_unstable();
+        assert!(!alive.is_empty(), "all ranks died");
+    }
+}
+
 /// One rank's ring allreduce (reduce-scatter + allgather) over `n` ranks.
-fn ring_allreduce_rank<E: Element>(comm: &mut Comm<E>, n: usize, data: &mut [E]) {
+fn ring_allreduce_rank<E: Element>(
+    comm: &mut Comm<E>,
+    n: usize,
+    data: &mut [E],
+) -> Result<(), CommError> {
     let rank = comm.me;
     let ranges = chunk_ranges(data.len(), n);
     let next = (rank + 1) % n;
@@ -173,8 +439,14 @@ fn ring_allreduce_rank<E: Element>(comm: &mut Comm<E>, n: usize, data: &mut [E])
     for s in 0..n - 1 {
         let send_chunk = (rank + n - s) % n;
         let recv_chunk = (rank + n - s - 1) % n;
-        comm.send(next, 0, step, RING, data[ranges[send_chunk].clone()].to_vec());
-        let got = comm.recv(prev, 0, step, RING);
+        comm.send(
+            next,
+            0,
+            step,
+            RING,
+            data[ranges[send_chunk].clone()].to_vec(),
+        )?;
+        let got = comm.recv(prev, 0, step, RING)?;
         reduce_add_into(&mut data[ranges[recv_chunk].clone()], &got);
         step += 1;
     }
@@ -182,11 +454,18 @@ fn ring_allreduce_rank<E: Element>(comm: &mut Comm<E>, n: usize, data: &mut [E])
     for s in 0..n - 1 {
         let send_chunk = (rank + 1 + n - s) % n;
         let recv_chunk = (rank + n - s) % n;
-        comm.send(next, 0, step, RING, data[ranges[send_chunk].clone()].to_vec());
-        let got = comm.recv(prev, 0, step, RING);
+        comm.send(
+            next,
+            0,
+            step,
+            RING,
+            data[ranges[send_chunk].clone()].to_vec(),
+        )?;
+        let got = comm.recv(prev, 0, step, RING)?;
         data[ranges[recv_chunk].clone()].copy_from_slice(&got);
         step += 1;
     }
+    Ok(())
 }
 
 /// Ring allreduce across `inputs`; the NCCL-style baseline.
@@ -195,7 +474,10 @@ pub fn allreduce_ring<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
     assert!(n >= 1);
     let len = inputs[0].len();
     assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
-    assert!(len >= n || n == 1, "ring needs at least one element per rank");
+    assert!(
+        len >= n || n == 1,
+        "ring needs at least one element per rank"
+    );
     if n == 1 {
         return inputs;
     }
@@ -206,12 +488,16 @@ pub fn allreduce_ring<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
             .zip(comms)
             .map(|(mut data, mut comm)| {
                 s.spawn(move || {
-                    ring_allreduce_rank(&mut comm, n, &mut data);
+                    ring_allreduce_rank(&mut comm, n, &mut data)
+                        .expect("fault-free allreduce must not fail");
                     data
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -238,10 +524,14 @@ pub fn reduce_to_root<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> (usize,
                 let dt = &dt;
                 s.spawn(move || {
                     reduce_rank(&mut comm, &dt.a, data, chunks)
+                        .expect("fault-free reduce must not fail")
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     });
     (root, results[root].take().expect("root holds the sum"))
 }
@@ -252,26 +542,26 @@ fn reduce_rank<E: Element>(
     tree: TreeRef<'_>,
     mut data: Vec<E>,
     chunks: usize,
-) -> Option<Vec<E>> {
+) -> Result<Option<Vec<E>>, CommError> {
     let rank = comm.me;
     let ranges = chunk_ranges(data.len(), chunks);
     for (c, range) in ranges.iter().enumerate() {
         let mut acc: Vec<E> = data[range.clone()].to_vec();
         for &child in &tree.children[rank] {
-            let got = comm.recv(child, 0, c as u32, UP);
+            let got = comm.recv(child, 0, c as u32, UP)?;
             reduce_add_into(&mut acc, &got);
         }
         if let Some(parent) = tree.parent[rank] {
-            comm.send(parent, 0, c as u32, UP, acc);
+            comm.send(parent, 0, c as u32, UP, acc)?;
         } else {
             data[range.clone()].copy_from_slice(&acc);
         }
     }
-    if tree.parent[rank].is_none() {
+    Ok(if tree.parent[rank].is_none() {
         Some(data)
     } else {
         None
-    }
+    })
 }
 
 /// Broadcast `data` from the tree root to every rank (the "broadcast"
@@ -292,24 +582,34 @@ pub fn broadcast<E: Element>(data: Vec<E>, ranks: usize, chunks: usize) -> Vec<V
             .enumerate()
             .map(|(rank, mut comm)| {
                 let dt = &dt;
-                let seed = if rank == root { Some(data.clone()) } else { None };
+                let seed = if rank == root {
+                    Some(data.clone())
+                } else {
+                    None
+                };
                 s.spawn(move || {
                     let mut buf = seed.unwrap_or_else(|| vec![E::ZERO; len]);
                     let ranges = chunk_ranges(len, chunks);
                     for (c, range) in ranges.iter().enumerate() {
                         if dt.a.parent[rank].is_some() {
-                            let got = comm.recv(dt.a.parent[rank].expect("non-root"), 0, c as u32, DOWN);
+                            let got = comm
+                                .recv(dt.a.parent[rank].expect("non-root"), 0, c as u32, DOWN)
+                                .expect("fault-free broadcast must not fail");
                             buf[range.clone()].copy_from_slice(&got);
                         }
                         for &child in &dt.a.children[rank] {
-                            comm.send(child, 0, c as u32, DOWN, buf[range.clone()].to_vec());
+                            comm.send(child, 0, c as u32, DOWN, buf[range.clone()].to_vec())
+                                .expect("fault-free broadcast must not fail");
                         }
                     }
                     buf
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -347,14 +647,18 @@ pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec
                     reduce_n_into(&mut node_sum, &refs);
                     // Inter-node allreduce (Algorithm 2).
                     if dt.len() > 1 {
-                        tree_allreduce_rank(&mut comm, dt, &mut node_sum, chunks);
+                        tree_allreduce_rank(&mut comm, dt, &mut node_sum, chunks)
+                            .expect("fault-free allreduce must not fail");
                     }
                     // H2D broadcast: every GPU buffer gets the result.
                     vec![node_sum; gpu_bufs.len()]
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("node panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node panicked"))
+            .collect()
     })
 }
 
@@ -438,7 +742,11 @@ mod tests {
     fn f16_allreduce_small_integers_exact() {
         // Sums stay ≤ 2048 so binary16 is exact.
         let inputs: Vec<Vec<F16>> = (0..8)
-            .map(|r| (0..64).map(|i| F16::from_f32(((r + i) % 16) as f32)).collect())
+            .map(|r| {
+                (0..64)
+                    .map(|i| F16::from_f32(((r + i) % 16) as f32))
+                    .collect()
+            })
             .collect();
         let want = reference_sum(&inputs);
         let out = allreduce_dbtree(inputs, 2);
@@ -450,7 +758,11 @@ mod tests {
         let inputs: Vec<Vec<Vec<Bf16>>> = (0..2)
             .map(|v| {
                 (0..8)
-                    .map(|g| (0..32).map(|i| Bf16::from_f32(((v + g + i) % 8) as f32)).collect())
+                    .map(|g| {
+                        (0..32)
+                            .map(|i| Bf16::from_f32(((v + g + i) % 8) as f32))
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
@@ -475,5 +787,90 @@ mod tests {
     #[should_panic(expected = "unequal buffers")]
     fn mismatched_rank_buffers_rejected() {
         allreduce_dbtree(vec![vec![1.0f32], vec![1.0, 2.0]], 1);
+    }
+
+    // ---- fault tolerance ----
+
+    const FAST_TIMEOUT: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn ft_no_fault_matches_plain_allreduce() {
+        let inputs = int_inputs(6, 120);
+        let want = reference_sum(&inputs);
+        let report = allreduce_dbtree_ft(inputs, 3, &ExecFaultPlan::none());
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.survivors, (0..6).collect::<Vec<_>>());
+        assert!(report.dead.is_empty());
+        for out in report.outputs.iter() {
+            assert_eq!(out.as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn ft_rank_death_shrinks_to_survivors() {
+        for victim in [0usize, 2, 5] {
+            let inputs = int_inputs(6, 120);
+            // Reference excludes the victim's contribution.
+            let surviving: Vec<Vec<f32>> = inputs
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != victim)
+                .map(|(_, v)| v.clone())
+                .collect();
+            let want = reference_sum(&surviving);
+            let plan = ExecFaultPlan::kill_rank(victim, 1, FAST_TIMEOUT);
+            let report = allreduce_dbtree_ft(inputs, 3, &plan);
+            assert_eq!(report.dead, vec![victim]);
+            assert_eq!(report.attempts, 2, "one failed attempt + one clean retry");
+            assert_eq!(report.survivors.len(), 5);
+            assert!(report.outputs[victim].is_none());
+            for (r, out) in report.outputs.iter().enumerate() {
+                if r != victim {
+                    assert_eq!(out.as_ref().unwrap(), &want, "rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ft_death_before_any_send() {
+        let inputs = int_inputs(4, 64);
+        let surviving: Vec<Vec<f32>> = inputs[..3].to_vec();
+        let want = reference_sum(&surviving);
+        let plan = ExecFaultPlan::kill_rank(3, 0, FAST_TIMEOUT);
+        let report = allreduce_dbtree_ft(inputs, 2, &plan);
+        assert_eq!(report.dead, vec![3]);
+        for r in 0..3 {
+            assert_eq!(report.outputs[r].as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn ft_two_deaths_two_shrinks_or_one() {
+        let inputs = int_inputs(5, 80);
+        let surviving: Vec<Vec<f32>> =
+            vec![inputs[0].clone(), inputs[2].clone(), inputs[4].clone()];
+        let want = reference_sum(&surviving);
+        let plan = ExecFaultPlan {
+            deaths: vec![(1, 0), (3, 0)],
+            recv_timeout: FAST_TIMEOUT,
+        };
+        let report = allreduce_dbtree_ft(inputs, 2, &plan);
+        assert_eq!(report.dead, vec![1, 3]);
+        assert_eq!(report.survivors, vec![0, 2, 4]);
+        for &r in &[0usize, 2, 4] {
+            assert_eq!(report.outputs[r].as_ref().unwrap(), &want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ft_shrinks_to_single_survivor() {
+        let inputs = int_inputs(2, 16);
+        let want = inputs[0].clone();
+        let plan = ExecFaultPlan::kill_rank(1, 0, FAST_TIMEOUT);
+        let report = allreduce_dbtree_ft(inputs, 1, &plan);
+        assert_eq!(report.survivors, vec![0]);
+        assert_eq!(report.outputs[0].as_ref().unwrap(), &want);
+        assert!(report.outputs[1].is_none());
     }
 }

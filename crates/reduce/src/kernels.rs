@@ -132,7 +132,9 @@ mod tests {
         let mut out = vec![Bf16::ZERO; 50];
         reduce_n_into(&mut out, &refs);
         for i in 0..50 {
-            let want: f32 = (0..8).map(|g| Bf16::from_f32((g + i) as f32).to_f32()).sum();
+            let want: f32 = (0..8)
+                .map(|g| Bf16::from_f32((g + i) as f32).to_f32())
+                .sum();
             assert_eq!(out[i], Bf16::from_f32(want), "index {i}");
         }
     }

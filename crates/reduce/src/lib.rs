@@ -32,6 +32,9 @@ pub mod ring;
 pub mod sharded;
 
 pub use cluster::{ClusterConfig, ClusterModel};
-pub use exec::{hfreduce_exec, allreduce_dbtree, allreduce_ring};
+pub use exec::{
+    allreduce_dbtree, allreduce_dbtree_ft, allreduce_ring, hfreduce_exec, CommError, ExecFaultPlan,
+    FtReport,
+};
 pub use model::{AllreduceReport, HfReduceOptions, HfReduceVariant};
 pub use sharded::{allgather, fsdp_step_exec, reduce_scatter};

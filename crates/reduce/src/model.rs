@@ -536,7 +536,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(mc.seconds >= gdr.seconds * 0.999, "{} vs {}", mc.seconds, gdr.seconds);
+        assert!(
+            mc.seconds >= gdr.seconds * 0.999,
+            "{} vs {}",
+            mc.seconds,
+            gdr.seconds
+        );
     }
 
     #[test]

@@ -83,14 +83,11 @@ pub fn ring_simulate(cluster: &mut ClusterModel, bytes: f64) -> f64 {
                 deps.push(p);
             }
             // Per-step launch overhead.
-            let gate = dag.add(Work::Delay(SimDuration::from_secs_f64(RING_STEP_OVERHEAD_S)), &deps);
-            let id = dag.add(
-                Work::Transfer {
-                    work: chunk,
-                    route,
-                },
-                &[gate],
+            let gate = dag.add(
+                Work::Delay(SimDuration::from_secs_f64(RING_STEP_OVERHEAD_S)),
+                &deps,
             );
+            let id = dag.add(Work::Transfer { work: chunk, route }, &[gate]);
             this_step[r] = Some(id);
         }
         prev_step = this_step;

@@ -9,8 +9,8 @@
 //! protocol end to end.
 
 use crate::kernels::{chunk_ranges, reduce_add_into};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ff_dtypes::Element;
+use ff_util::channel::{unbounded, Receiver, Sender};
 
 struct Ring<E> {
     me: usize,
@@ -69,7 +69,10 @@ pub fn allgather<E: Element>(shards: Vec<Vec<E>>) -> Vec<Vec<E>> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -118,7 +121,10 @@ pub fn reduce_scatter<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -159,7 +165,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     });
     // 3. Reduce-scatter gradients.
     let grad_shards = reduce_scatter(grads);

@@ -1,81 +1,108 @@
-//! Property-based tests: the executable collectives agree with the serial
-//! reference reduction for arbitrary shapes and dtypes.
+//! Randomized property tests: the executable collectives agree with the
+//! serial reference reduction for arbitrary shapes and dtypes (seeded,
+//! reproducible).
 
 use ff_dtypes::{Bf16, F16};
 use ff_reduce::kernels::reference_sum;
 use ff_reduce::{allreduce_dbtree, allreduce_ring, hfreduce_exec};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
 
-fn f32_inputs() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    // Integer-valued entries keep every summation order exact.
-    (1usize..10, 1usize..200).prop_flat_map(|(n, len)| {
-        prop::collection::vec(
-            prop::collection::vec((-50i32..50).prop_map(|x| x as f32), len),
-            n,
-        )
-    })
+const CASES: usize = 32;
+
+// Integer-valued entries keep every summation order exact.
+fn f32_inputs(rng: &mut ChaCha8Rng) -> Vec<Vec<f32>> {
+    let n = rng.gen_range(1usize..10);
+    let len = rng.gen_range(1usize..200);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(-50i32..50) as f32).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn dbtree_equals_reference(inputs in f32_inputs(), chunks in 1usize..6) {
+#[test]
+fn dbtree_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA801);
+    for _ in 0..CASES {
+        let inputs = f32_inputs(&mut rng);
+        let chunks = rng.gen_range(1usize..6);
         let want = reference_sum(&inputs);
         let out = allreduce_dbtree(inputs, chunks);
         for buf in &out {
-            prop_assert_eq!(buf, &want);
+            assert_eq!(buf, &want);
         }
     }
+}
 
-    #[test]
-    fn ring_equals_reference(inputs in f32_inputs()) {
-        prop_assume!(inputs[0].len() >= inputs.len());
+#[test]
+fn ring_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA802);
+    let mut done = 0;
+    while done < CASES {
+        let inputs = f32_inputs(&mut rng);
+        if inputs[0].len() < inputs.len() {
+            continue;
+        }
+        done += 1;
         let want = reference_sum(&inputs);
         let out = allreduce_ring(inputs);
         for buf in &out {
-            prop_assert_eq!(buf, &want);
+            assert_eq!(buf, &want);
         }
     }
+}
 
-    #[test]
-    fn hfreduce_exec_equals_reference(
-        nodes in 1usize..5,
-        gpus in 1usize..5,
-        len in 1usize..100,
-        chunks in 1usize..5,
-        seed in 0i32..1000,
-    ) {
+#[test]
+fn hfreduce_exec_equals_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA803);
+    for _ in 0..CASES {
+        let nodes = rng.gen_range(1usize..5);
+        let gpus = rng.gen_range(1usize..5);
+        let len = rng.gen_range(1usize..100);
+        let chunks = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0i32..1000);
         let inputs: Vec<Vec<Vec<f32>>> = (0..nodes)
-            .map(|v| (0..gpus)
-                .map(|g| (0..len)
-                    .map(|i| (((seed as usize + v * 31 + g * 7 + i) % 41) as i32 - 20) as f32)
-                    .collect())
-                .collect())
+            .map(|v| {
+                (0..gpus)
+                    .map(|g| {
+                        (0..len)
+                            .map(|i| {
+                                (((seed as usize + v * 31 + g * 7 + i) % 41) as i32 - 20) as f32
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
             .collect();
         let flat: Vec<Vec<f32>> = inputs.iter().flatten().cloned().collect();
         let want = reference_sum(&flat);
         let out = hfreduce_exec(inputs, chunks);
         for node in &out {
             for buf in node {
-                prop_assert_eq!(buf, &want);
+                assert_eq!(buf, &want);
             }
         }
     }
+}
 
-    /// Narrow dtypes: the tree result must be within the accumulated
-    /// rounding tolerance of the wide reference (each element is rounded
-    /// once per tree level at worst).
-    #[test]
-    fn f16_tree_close_to_wide_reference(
-        n in 2usize..9,
-        len in 1usize..64,
-        seed in 0u32..500,
-    ) {
+/// Narrow dtypes: the tree result must be within the accumulated
+/// rounding tolerance of the wide reference (each element is rounded
+/// once per tree level at worst).
+#[test]
+fn f16_tree_close_to_wide_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA804);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..9);
+        let len = rng.gen_range(1usize..64);
+        let seed = rng.gen_range(0u32..500);
         let inputs: Vec<Vec<F16>> = (0..n)
-            .map(|r| (0..len)
-                .map(|i| F16::from_f32((((seed as usize + r * 13 + i * 3) % 200) as f32 - 100.0) / 16.0))
-                .collect())
+            .map(|r| {
+                (0..len)
+                    .map(|i| {
+                        F16::from_f32(
+                            (((seed as usize + r * 13 + i * 3) % 200) as f32 - 100.0) / 16.0,
+                        )
+                    })
+                    .collect()
+            })
             .collect();
         let wide: Vec<f32> = (0..len)
             .map(|i| inputs.iter().map(|v| v[i].to_f32()).sum())
@@ -83,25 +110,35 @@ proptest! {
         let out = allreduce_dbtree(inputs, 2);
         for (i, v) in out[0].iter().enumerate() {
             let tol = wide[i].abs().max(1.0) * 0.01 * (n as f32).log2().ceil();
-            prop_assert!(
+            assert!(
                 (v.to_f32() - wide[i]).abs() <= tol,
-                "elem {i}: tree {} vs wide {}", v.to_f32(), wide[i]
+                "elem {i}: tree {} vs wide {}",
+                v.to_f32(),
+                wide[i]
             );
         }
     }
+}
 
-    /// All ranks end with bit-identical buffers (consistency), regardless
-    /// of dtype rounding.
-    #[test]
-    fn all_ranks_agree_bf16(n in 2usize..8, len in 1usize..64, seed in 0u32..100) {
+/// All ranks end with bit-identical buffers (consistency), regardless
+/// of dtype rounding.
+#[test]
+fn all_ranks_agree_bf16() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA805);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..8);
+        let len = rng.gen_range(1usize..64);
+        let seed = rng.gen_range(0u32..100);
         let inputs: Vec<Vec<Bf16>> = (0..n)
-            .map(|r| (0..len)
-                .map(|i| Bf16::from_f32(((seed + r as u32 * 17 + i as u32) % 97) as f32 / 7.0))
-                .collect())
+            .map(|r| {
+                (0..len)
+                    .map(|i| Bf16::from_f32(((seed + r as u32 * 17 + i as u32) % 97) as f32 / 7.0))
+                    .collect()
+            })
             .collect();
         let out = allreduce_dbtree(inputs, 3);
         for buf in &out[1..] {
-            prop_assert_eq!(buf, &out[0]);
+            assert_eq!(buf, &out[0]);
         }
     }
 }

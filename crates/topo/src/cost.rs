@@ -106,7 +106,11 @@ mod tests {
     fn our_arch_matches_table3() {
         let c = our_arch();
         assert_eq!(c.switches, 122);
-        assert!((c.network_price - 350.0).abs() <= 10.0, "{}", c.network_price);
+        assert!(
+            (c.network_price - 350.0).abs() <= 10.0,
+            "{}",
+            c.network_price
+        );
         assert_eq!(c.server_price, 11_250.0);
         assert!((c.total() - 11_600.0).abs() <= 10.0);
     }
@@ -115,7 +119,11 @@ mod tests {
     fn pcie_three_layer_matches_table3() {
         let c = pcie_three_layer();
         assert_eq!(c.switches, 200);
-        assert!((c.network_price - 600.0).abs() <= 10.0, "{}", c.network_price);
+        assert!(
+            (c.network_price - 600.0).abs() <= 10.0,
+            "{}",
+            c.network_price
+        );
         assert!((c.total() - 11_850.0).abs() <= 10.0);
     }
 
@@ -123,7 +131,11 @@ mod tests {
     fn dgx_matches_table3() {
         let c = dgx_arch();
         assert_eq!(c.switches, 1320);
-        assert!((c.network_price - 4000.0).abs() <= 10.0, "{}", c.network_price);
+        assert!(
+            (c.network_price - 4000.0).abs() <= 10.0,
+            "{}",
+            c.network_price
+        );
         assert!((c.total() - 23_000.0).abs() <= 10.0);
     }
 

@@ -137,12 +137,7 @@ pub fn build_zone(topo: &mut Topology, spec: &FatTreeSpec, zone: u8) -> ZoneIds 
 /// leaves so hosts spread evenly — the paper's placement of storage,
 /// computation and management nodes "evenly" across leaves, §VI-A2).
 /// Returns the leaf used. Panics when the zone is full.
-pub fn attach_host(
-    topo: &mut Topology,
-    zone: &mut ZoneIds,
-    host: NodeId,
-    capacity: f64,
-) -> NodeId {
+pub fn attach_host(topo: &mut Topology, zone: &mut ZoneIds, host: NodeId, capacity: f64) -> NodeId {
     // Pick the leaf with the most free ports (ties -> lowest index) for an
     // even spread.
     let (slot, _) = zone
@@ -234,11 +229,7 @@ impl TwoZoneNetwork {
         let mut compute = Vec::new();
         for z in 0..2u8 {
             for i in 0..spec.compute_per_zone {
-                let h = topo.add_node(
-                    NodeKind::ComputeHost,
-                    format!("z{z}-gpu{i:04}"),
-                    Some(z),
-                );
+                let h = topo.add_node(NodeKind::ComputeHost, format!("z{z}-gpu{i:04}"), Some(z));
                 let zone = if z == 0 { &mut z0 } else { &mut z1 };
                 attach_host(&mut topo, zone, h, spec.zone.link_capacity);
                 compute.push(h);

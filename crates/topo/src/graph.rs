@@ -75,7 +75,12 @@ impl Topology {
     }
 
     /// Add a node. `zone` tags which fat-tree zone it belongs to, if any.
-    pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>, zone: Option<u8>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        name: impl Into<String>,
+        zone: Option<u8>,
+    ) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
         self.nodes.push(Node {
             kind,

@@ -11,7 +11,6 @@
 //! `gpus / k` endpoints, so each stays within a two-layer radix budget
 //! instead of forcing a three-layer tree.
 
-
 /// Parameters of a multi-plane deployment.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiPlaneSpec {

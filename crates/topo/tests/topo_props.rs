@@ -1,28 +1,40 @@
-//! Property-based tests for topology construction and the double trees.
+//! Randomized property tests for topology construction and the double
+//! trees (seeded, reproducible).
 
 use ff_topo::dbtree::DoubleBinaryTree;
 use ff_topo::fattree::{attach_host, build_zone, FatTreeSpec};
 use ff_topo::graph::{NodeKind, Topology};
-use proptest::prelude::*;
+use ff_util::rng::ChaCha8Rng;
 
-proptest! {
-    /// Any valid two-layer zone is fully connected with diameter ≤ 2
-    /// between switches, and hosts spread within one of each other.
-    #[test]
-    fn zones_are_wellformed(leaves in 2usize..8, spines in 2usize..6, down in 2usize..8,
-                            hosts in 1usize..32) {
+/// Any valid two-layer zone is fully connected with diameter ≤ 2
+/// between switches, and hosts spread within one of each other.
+#[test]
+fn zones_are_wellformed() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x20E5);
+    for _ in 0..64 {
+        let leaves = rng.gen_range(2usize..8);
+        let spines = rng.gen_range(2usize..6);
+        let down = rng.gen_range(2usize..8);
+        let hosts = rng.gen_range(1usize..32);
         let leaves = leaves.min(spines + down);
         let spec = FatTreeSpec::small(leaves, spines, down);
         let mut topo = Topology::new();
         let mut zone = build_zone(&mut topo, &spec, 0);
-        prop_assert_eq!(topo.switches().len(), leaves + spines);
-        prop_assert_eq!(topo.link_count(), leaves * spines * (spec.leaf_up() / spines));
+        assert_eq!(topo.switches().len(), leaves + spines);
+        assert_eq!(
+            topo.link_count(),
+            leaves * spines * (spec.leaf_up() / spines)
+        );
         let n = hosts.min(spec.endpoints());
         let mut per_leaf = vec![0usize; leaves];
         for i in 0..n {
             let h = topo.add_node(NodeKind::ComputeHost, format!("h{i}"), Some(0));
             let leaf = attach_host(&mut topo, &mut zone, h, 25e9);
-            let li = zone.leaves.iter().position(|&l| l == leaf).expect("known leaf");
+            let li = zone
+                .leaves
+                .iter()
+                .position(|&l| l == leaf)
+                .expect("known leaf");
             per_leaf[li] += 1;
         }
         // Even spread: counts differ by at most 1.
@@ -30,57 +42,67 @@ proptest! {
             *per_leaf.iter().min().expect("leaves"),
             *per_leaf.iter().max().expect("leaves"),
         );
-        prop_assert!(mx - mn <= 1, "{per_leaf:?}");
+        assert!(mx - mn <= 1, "{per_leaf:?}");
         // Leaf-to-leaf distance is exactly 2 (via any spine).
         let d = topo.bfs_distances(zone.leaves[0]);
         for &l in &zone.leaves[1..] {
-            prop_assert_eq!(d[l.0 as usize], 2);
+            assert_eq!(d[l.0 as usize], 2);
         }
     }
+}
 
-    /// Double-binary-tree invariants for every size: valid spanning trees,
-    /// ≤2 children, disjoint interiors, logarithmic height.
-    #[test]
-    fn double_tree_invariants(n in 1usize..600) {
+/// Double-binary-tree invariants for every size: valid spanning trees,
+/// ≤2 children, disjoint interiors, logarithmic height.
+#[test]
+fn double_tree_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDB);
+    let mut sizes: Vec<usize> = (1..=64).collect();
+    sizes.extend((0..64).map(|_| rng.gen_range(65usize..600)));
+    for n in sizes {
         let dt = DoubleBinaryTree::new(n);
-        prop_assert!(dt.interior_disjoint());
+        assert!(dt.interior_disjoint());
         for t in [&dt.a, &dt.b] {
-            prop_assert_eq!(t.len(), n);
+            assert_eq!(t.len(), n);
             // Exactly one root; parents consistent; all reachable.
             let roots = t.parent.iter().filter(|p| p.is_none()).count();
-            prop_assert_eq!(roots, 1);
+            assert_eq!(roots, 1);
             let mut seen = 0usize;
             let mut stack = vec![t.root];
             while let Some(r) = stack.pop() {
                 seen += 1;
-                prop_assert!(t.children[r].len() <= 2);
+                assert!(t.children[r].len() <= 2);
                 for &c in &t.children[r] {
-                    prop_assert_eq!(t.parent[c], Some(r));
+                    assert_eq!(t.parent[c], Some(r));
                     stack.push(c);
                 }
             }
-            prop_assert_eq!(seen, n);
+            assert_eq!(seen, n);
             let bound = 2 * (usize::BITS - n.leading_zeros()) as usize + 2;
-            prop_assert!(t.height() <= bound, "height {} at n={n}", t.height());
+            assert!(t.height() <= bound, "height {} at n={n}", t.height());
         }
     }
+}
 
-    /// The post-order schedule is a valid reduce order: every child
-    /// appears before its parent, each rank exactly once.
-    #[test]
-    fn post_order_is_topological(n in 1usize..300) {
+/// The post-order schedule is a valid reduce order: every child
+/// appears before its parent, each rank exactly once.
+#[test]
+fn post_order_is_topological() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9057);
+    let mut sizes: Vec<usize> = (1..=32).collect();
+    sizes.extend((0..32).map(|_| rng.gen_range(33usize..300)));
+    for n in sizes {
         let dt = DoubleBinaryTree::new(n);
         for t in [&dt.a, &dt.b] {
             let po = t.post_order();
-            prop_assert_eq!(po.len(), n);
+            assert_eq!(po.len(), n);
             let mut pos = vec![usize::MAX; n];
             for (i, &r) in po.iter().enumerate() {
-                prop_assert_eq!(pos[r], usize::MAX, "duplicate rank");
+                assert_eq!(pos[r], usize::MAX, "duplicate rank");
                 pos[r] = i;
             }
             for r in 0..n {
                 if let Some(p) = t.parent[r] {
-                    prop_assert!(pos[r] < pos[p]);
+                    assert!(pos[r] < pos[p]);
                 }
             }
         }

@@ -1,0 +1,68 @@
+//! Minimal wall-clock benchmark harness — a criterion stand-in for
+//! `harness = false` bench binaries. Each case warms up briefly, then
+//! measures for a fixed wall budget and reports mean time per iteration
+//! (plus throughput when a per-iteration byte count is known).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark runner; construct once per bench binary.
+pub struct Bench {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A runner with the default 50 ms warmup / 300 ms measure budget.
+    /// `FF_BENCH_MS` overrides the measure budget (milliseconds).
+    pub fn new() -> Bench {
+        let measure = std::env::var("FF_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Bench {
+            warmup: Duration::from_millis(50),
+            measure,
+        }
+    }
+
+    /// Time `f`, printing mean ns/iter.
+    pub fn run<F: FnMut()>(&self, name: &str, f: F) {
+        let per_iter = self.time(f);
+        println!("{name:40} {:>12.0} ns/iter", per_iter * 1e9);
+    }
+
+    /// Time `f`, printing mean ns/iter and GiB/s given `bytes` processed
+    /// per iteration.
+    pub fn run_bytes<F: FnMut()>(&self, name: &str, bytes: u64, f: F) {
+        let per_iter = self.time(f);
+        let gibs = bytes as f64 / per_iter / (1u64 << 30) as f64;
+        println!(
+            "{name:40} {:>12.0} ns/iter {gibs:>10.2} GiB/s",
+            per_iter * 1e9
+        );
+    }
+
+    /// Mean seconds per iteration of `f` over the measure budget.
+    fn time<F: FnMut()>(&self, mut f: F) -> f64 {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            f();
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            f();
+            iters += 1;
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    }
+}

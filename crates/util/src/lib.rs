@@ -1,0 +1,19 @@
+//! Zero-dependency substrate for the workspace.
+//!
+//! The build environment has no access to crates.io, so the handful of
+//! external utility crates the original design leaned on (`bytes`,
+//! `parking_lot`, `crossbeam-channel`, `rand`/`rand_chacha`) are replaced
+//! by small, std-only equivalents with compatible APIs:
+//!
+//! - [`bytes::Bytes`] — cheaply cloneable, sliceable, immutable byte buffer
+//! - [`sync`] — `Mutex` / `RwLock` / `Condvar` with `parking_lot`'s
+//!   non-poisoning guard API
+//! - [`channel`] — multi-producer multi-consumer FIFO channels with
+//!   disconnect semantics and `recv_timeout`
+//! - [`rng`] — a seeded, deterministic ChaCha8 generator
+
+pub mod bench;
+pub mod bytes;
+pub mod channel;
+pub mod rng;
+pub mod sync;

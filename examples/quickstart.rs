@@ -19,7 +19,11 @@ use fireflyer::FireFlyer2;
 fn main() {
     // --- The deployment, by the numbers (§III) ---
     let ff2 = FireFlyer2::paper();
-    println!("Fire-Flyer 2: {} GPUs over {} nodes", ff2.total_gpus(), ff2.compute_nodes);
+    println!(
+        "Fire-Flyer 2: {} GPUs over {} nodes",
+        ff2.total_gpus(),
+        ff2.compute_nodes
+    );
     println!(
         "network: {} switches (a 10,000-GPU DGX build needs 1,320); power {:.1} MW",
         ff2.network_cost().switches,
@@ -28,7 +32,11 @@ fn main() {
 
     // --- Performance: HFReduce vs NCCL on 64 GPUs (Figure 7a) ---
     let bytes = 186.0 * 1024.0 * 1024.0;
-    let hf = hfreduce_steady(&ClusterConfig::fire_flyer(8), bytes, &HfReduceOptions::default());
+    let hf = hfreduce_steady(
+        &ClusterConfig::fire_flyer(8),
+        bytes,
+        &HfReduceOptions::default(),
+    );
     let nccl = ring_analytic_bw(64, bytes);
     println!(
         "\nallreduce of 186 MiB on 64 GPUs: HFReduce {:.2} GB/s vs NCCL {:.2} GB/s ({:.1}x)",
@@ -44,7 +52,11 @@ fn main() {
     let inputs: Vec<Vec<Vec<f32>>> = (0..4)
         .map(|node| {
             (0..8)
-                .map(|gpu| (0..1024).map(|i| ((node * 8 + gpu + i) % 21) as f32).collect())
+                .map(|gpu| {
+                    (0..1024)
+                        .map(|i| ((node * 8 + gpu + i) % 21) as f32)
+                        .collect()
+                })
                 .collect()
         })
         .collect();

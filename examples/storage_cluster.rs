@@ -6,7 +6,7 @@
 //! cargo run --release --example storage_cluster
 //! ```
 
-use bytes::Bytes;
+use ff_util::bytes::Bytes;
 use fireflyer::fs3::chain::{Chain, ChainTable};
 use fireflyer::fs3::client::Fs3Client;
 use fireflyer::fs3::kv3fs::{KvOnFs, ObjectStoreOnFs, QueueOnFs};
@@ -65,7 +65,10 @@ fn main() {
         client.meta().stat(file.ino).unwrap().size >> 10
     );
     let reads = client
-        .batch_read(&file, (0..16u64).map(|i| (i * (64 << 10), 64 << 10)).collect())
+        .batch_read(
+            &file,
+            (0..16u64).map(|i| (i * (64 << 10), 64 << 10)).collect(),
+        )
         .unwrap();
     assert!(reads
         .iter()
@@ -80,7 +83,10 @@ fn main() {
     );
     chain0.remove_replica(0); // the head "dies"; manager drops it
     let reads = client
-        .batch_read(&file, (0..16u64).map(|i| (i * (64 << 10), 64 << 10)).collect())
+        .batch_read(
+            &file,
+            (0..16u64).map(|i| (i * (64 << 10), 64 << 10)).collect(),
+        )
         .unwrap();
     assert!(reads
         .iter()

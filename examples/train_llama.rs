@@ -11,8 +11,8 @@
 
 use fireflyer::haiscale::models::TrainModel;
 use fireflyer::haiscale::pipeline::{pipeline_step, PipelineConfig, Schedule};
-use fireflyer::haiscale::tensor::{tp_layer_comm_time, TpLink};
 use fireflyer::haiscale::strong_scaling_efficiency;
+use fireflyer::haiscale::tensor::{tp_layer_comm_time, TpLink};
 use fireflyer::ops::OpsSimulation;
 
 fn main() {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, tests, lints, formatting.
+# Run from the repository root. Pass --offline-only is implicit: the
+# workspace has no registry dependencies, so everything works air-gapped.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify.sh: all gates passed"

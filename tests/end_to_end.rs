@@ -1,7 +1,7 @@
 //! Cross-crate integration: a training job's full life on the stack —
 //! cluster model, collectives, storage, checkpoints, scheduling, failures.
 
-use bytes::Bytes;
+use ff_util::bytes::Bytes;
 use fireflyer::fs3::chain::{Chain, ChainTable};
 use fireflyer::fs3::client::Fs3Client;
 use fireflyer::fs3::kvstore::KvStore;
@@ -40,7 +40,11 @@ fn train_checkpoint_crash_restore() {
     let grads: Vec<Vec<Vec<f32>>> = (0..nodes)
         .map(|v| {
             (0..gpus)
-                .map(|g| (0..len).map(|i| ((v * 7 + g * 3 + i) % 13) as f32).collect())
+                .map(|g| {
+                    (0..len)
+                        .map(|i| ((v * 7 + g * 3 + i) % 13) as f32)
+                        .collect()
+                })
                 .collect()
         })
         .collect();
@@ -49,10 +53,7 @@ fn train_checkpoint_crash_restore() {
     assert_eq!(reduced[0][0], expect);
 
     // Step 2: apply the "update" and checkpoint to 3FS.
-    let weights: Vec<u8> = reduced[0][0]
-        .iter()
-        .flat_map(|x| x.to_le_bytes())
-        .collect();
+    let weights: Vec<u8> = reduced[0][0].iter().flat_map(|x| x.to_le_bytes()).collect();
     let client = storage_stack();
     let mgr = CheckpointManager::new(client, "run1", 64 << 10).unwrap();
     mgr.save(1, &[("weights".into(), weights.clone())]).unwrap();
@@ -103,13 +104,19 @@ fn preemption_with_real_checkpoints() {
 fn dataset_write_read_pipeline() {
     let client = storage_stack();
     let dir = client.meta().mkdir(ROOT, "data").unwrap();
-    let file = client.meta().create(dir.ino, "shard.bin", 32 << 10, 4).unwrap();
+    let file = client
+        .meta()
+        .create(dir.ino, "shard.bin", 32 << 10, 4)
+        .unwrap();
     let parts: Vec<(u64, Bytes)> = (0..32u64)
         .map(|i| (i * (32 << 10), Bytes::from(vec![(i * 3) as u8; 32 << 10])))
         .collect();
     client.batch_write(&file, parts).unwrap();
     let got = client
-        .batch_read(&file, (0..32u64).map(|i| (i * (32 << 10), 32 << 10)).collect())
+        .batch_read(
+            &file,
+            (0..32u64).map(|i| (i * (32 << 10), 32 << 10)).collect(),
+        )
         .unwrap();
     for (i, blob) in got.iter().enumerate() {
         assert!(blob.iter().all(|&b| b == (i * 3) as u8), "shard {i}");
@@ -126,7 +133,11 @@ fn dataset_write_read_pipeline() {
 #[test]
 fn model_and_execution_agree() {
     let bytes = 32.0 * 1024.0 * 1024.0;
-    let hf = hfreduce_steady(&ClusterConfig::fire_flyer(2), bytes, &HfReduceOptions::default());
+    let hf = hfreduce_steady(
+        &ClusterConfig::fire_flyer(2),
+        bytes,
+        &HfReduceOptions::default(),
+    );
     let nccl = fireflyer::reduce::ring::ring_analytic_bw(16, bytes);
     assert!(hf.algbw_bps > nccl, "sim: HFReduce must beat NCCL");
     // Executable cross-check at the same shape (2 nodes × 8 GPUs).

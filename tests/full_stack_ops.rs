@@ -110,8 +110,7 @@ fn a_week_of_production() {
     assert_eq!(step, latest);
     // Lost work bounded: every failure loses at most one checkpoint
     // interval across the job's nodes.
-    let failures = repairs.len()
-        + fleet.len(); // upper bound bookkeeping only
+    let failures = repairs.len() + fleet.len(); // upper bound bookkeeping only
     let bound = (repairs.len() as u64 + 50) * ckpt_interval * (nodes as u64 / 2);
     assert!(
         platform.lost_work_s <= bound,
@@ -119,5 +118,9 @@ fn a_week_of_production() {
         platform.lost_work_s
     );
     // And the cluster stayed productive.
-    assert!(platform.utilization() > 0.55, "utilization {}", platform.utilization());
+    assert!(
+        platform.utilization() > 0.55,
+        "utilization {}",
+        platform.utilization()
+    );
 }
