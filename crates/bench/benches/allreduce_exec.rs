@@ -1,7 +1,15 @@
 //! Bench: the executable collectives — double binary tree vs ring, and
 //! the full node-structured HFReduce path.
+//!
+//! With `--trace <path>`, one traced iteration of each collective is
+//! recorded (per-rank send/recv spans on logical clocks) and written as
+//! Chrome trace-event JSON — open it in <https://ui.perfetto.dev>.
 
-use ff_reduce::{allreduce_dbtree, allreduce_ring, hfreduce_exec};
+use ff_obs::{chrome::export_chrome_json, summary::summary_text, Recorder};
+use ff_reduce::{
+    allreduce_dbtree, allreduce_dbtree_traced, allreduce_ring, hfreduce_exec, hfreduce_exec_traced,
+    ObsCtx,
+};
 use ff_util::bench::{black_box, Bench};
 
 const LEN: usize = 1 << 14;
@@ -12,7 +20,42 @@ fn inputs(ranks: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+fn write_trace(path: &str) {
+    let rec = Recorder::new();
+    black_box(allreduce_dbtree_traced(
+        inputs(8),
+        4,
+        &ObsCtx::new(&rec, "reduce/dbtree", 0),
+    ));
+    let hf_base = rec.last_ts_ns();
+    let bufs: Vec<Vec<Vec<f32>>> = (0..4)
+        .map(|v| {
+            (0..8)
+                .map(|gpu| (0..LEN).map(|i| ((v * 8 + gpu + i) % 17) as f32).collect())
+                .collect()
+        })
+        .collect();
+    black_box(hfreduce_exec_traced(
+        bufs,
+        4,
+        &ObsCtx::new(&rec, "reduce/hfreduce", hf_base),
+    ));
+    std::fs::write(path, export_chrome_json(&rec)).expect("write trace file");
+    println!("{}", summary_text(&rec));
+    println!("trace digest : {}", rec.digest());
+    println!("trace written: {path} (open in https://ui.perfetto.dev)");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+    {
+        write_trace(path);
+        return;
+    }
     let b = Bench::new();
     let bytes = (8 * LEN * 4) as u64;
     b.run_bytes("allreduce_exec/dbtree_8ranks", bytes, || {

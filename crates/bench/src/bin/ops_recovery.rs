@@ -1,16 +1,31 @@
 //! §VII-A: disaster-recovery overhead — the HAI platform running a month
 //! under the paper's measured failure rates, and the checkpoint-cadence
 //! sweep behind the 5-minute choice.
+//!
+//! With `--trace <path>`, the recovery run records a full-stack trace
+//! (platform, reduce, fs3, desim tracks) and writes Chrome trace-event
+//! JSON to `<path>` — open it in <https://ui.perfetto.dev> — plus prints
+//! the hai-monitor-style summary and the deterministic trace digest.
 
 use ff_bench::{compare, print_table};
 use ff_failures::availability::{
     cluster_mtbf_any_xid_h, cluster_mtbf_flash_cut_h, cluster_mtbf_node_action_h,
     expected_interruptions, expected_loss_fraction, per_node_mtbf_h,
 };
-use ff_platform::recovery::{train_with_recovery, JobFaults, RecoveryEvent, TrainerConfig};
+use ff_obs::{chrome::export_chrome_json, summary::summary_text, Recorder};
+use ff_platform::recovery::{
+    train_with_recovery, train_with_recovery_traced, JobFaults, RecoveryEvent, TrainerConfig,
+};
 use fireflyer::ops::{checkpoint_cadence_sweep, OpsSimulation};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     let report = OpsSimulation {
         days: 30,
         ..Default::default()
@@ -83,7 +98,9 @@ Availability numbers derived from Tables VI–VIII:"
         corrupt_ckpts: vec![24],
         degrades: vec![(11, 4)],
     };
-    let faulty = train_with_recovery(&cfg, &faults).expect("recovery run");
+    let recorder = trace_path.as_ref().map(|_| Recorder::new());
+    let faulty =
+        train_with_recovery_traced(&cfg, &faults, recorder.as_ref()).expect("recovery run");
     for e in &faulty.events {
         let line = match e {
             RecoveryEvent::Checkpointed { step } => format!("step {step:>3}: checkpoint saved"),
@@ -129,4 +146,11 @@ Availability numbers derived from Tables VI–VIII:"
             faulty.resume_points().len()
         ),
     );
+
+    if let (Some(path), Some(rec)) = (trace_path, recorder) {
+        std::fs::write(&path, export_chrome_json(&rec)).expect("write trace file");
+        println!("\n{}", summary_text(&rec));
+        println!("trace digest : {}", rec.digest());
+        println!("trace written: {path} (open in https://ui.perfetto.dev)");
+    }
 }

@@ -32,6 +32,7 @@ pub use ff_failures as failures;
 pub use ff_haiscale as haiscale;
 pub use ff_hw as hw;
 pub use ff_net as net;
+pub use ff_obs as obs;
 pub use ff_platform as platform;
 pub use ff_reduce as reduce;
 pub use ff_topo as topo;

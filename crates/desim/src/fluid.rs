@@ -19,9 +19,11 @@
 //! continues — the classic max-min fair ("water-filling") allocation.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::stats::ResourceStats;
 use crate::time::{SimDuration, SimTime};
+use ff_obs::{Recorder, TrackId};
 
 /// Identifies a resource registered with a [`FluidSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -102,9 +104,21 @@ impl Resource {
 
 struct Flow {
     route: Vec<(ResourceId, f64)>,
+    work: f64,
     remaining: f64,
     rate: f64,
     started: SimTime,
+}
+
+/// Where an attached [`Recorder`] receives this simulator's events.
+struct ObsSink {
+    rec: Arc<Recorder>,
+    track: TrackId,
+    track_name: String,
+    /// Added to every simulated timestamp, letting callers place repeated
+    /// runs of the same sim (one per training step, say) side by side on a
+    /// shared timeline.
+    offset_ns: u64,
 }
 
 /// The fluid-flow simulator. See the [module docs](self) for the model.
@@ -128,6 +142,7 @@ pub struct FluidSim {
     flows: BTreeMap<FlowId, Flow>,
     next_flow_id: u64,
     rates_dirty: bool,
+    obs: Option<ObsSink>,
 }
 
 impl Default for FluidSim {
@@ -145,6 +160,48 @@ impl FluidSim {
             flows: BTreeMap::new(),
             next_flow_id: 0,
             rates_dirty: false,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability recorder. Flow completions become spans on
+    /// `track` (timestamps shifted by `offset_ns`), degradations/restores
+    /// become instants, and [`flush_stats`](Self::flush_stats) publishes
+    /// per-resource utilization gauges. Detaching is not supported; the
+    /// sink lives as long as the sim.
+    pub fn attach_recorder(&mut self, rec: &Arc<Recorder>, track: &str, offset_ns: u64) {
+        let id = rec.track(track);
+        self.obs = Some(ObsSink {
+            rec: Arc::clone(rec),
+            track: id,
+            track_name: track.to_string(),
+            offset_ns,
+        });
+    }
+
+    /// Publish per-resource utilization gauges to the attached recorder:
+    /// `{track}/util/{res}` (time-averaged), `{track}/peak/{res}`,
+    /// `{track}/served/{res}` (units moved), `{track}/cap/{res}`
+    /// (∫ capacity dt). No-op without a recorder. Call at the end of a run;
+    /// last write wins, so repeated calls just refresh the values.
+    pub fn flush_stats(&self) {
+        let Some(obs) = &self.obs else { return };
+        for r in &self.resources {
+            // A resource with zero ∫capacity·dt never saw simulated time
+            // pass (e.g. instantaneous-rate probes); its utilization is
+            // 0/0, not an interesting 0%. Skip it.
+            if r.stats.capacity_integral() == 0.0 {
+                continue;
+            }
+            let p = &obs.track_name;
+            obs.rec
+                .gauge_set(&format!("{p}/util/{}", r.name), r.stats.utilization());
+            obs.rec
+                .gauge_set(&format!("{p}/peak/{}", r.name), r.stats.peak_utilization());
+            obs.rec
+                .gauge_set(&format!("{p}/served/{}", r.name), r.stats.units_served());
+            obs.rec
+                .gauge_set(&format!("{p}/cap/{}", r.name), r.stats.capacity_integral());
         }
     }
 
@@ -213,6 +270,15 @@ impl FluidSim {
         self.settle();
         self.resources[r.0 as usize].degrade_factor = factor;
         self.rates_dirty = true;
+        if let Some(obs) = &self.obs {
+            let name = format!("degrade {}", self.resources[r.0 as usize].name);
+            obs.rec.instant(
+                obs.track,
+                &name,
+                obs.offset_ns + self.now.as_nanos(),
+                factor,
+            );
+        }
     }
 
     /// Lift any degradation on `r` (the link re-trained at full speed).
@@ -220,6 +286,11 @@ impl FluidSim {
         self.settle();
         self.resources[r.0 as usize].degrade_factor = 1.0;
         self.rates_dirty = true;
+        if let Some(obs) = &self.obs {
+            let name = format!("restore {}", self.resources[r.0 as usize].name);
+            obs.rec
+                .instant(obs.track, &name, obs.offset_ns + self.now.as_nanos(), 1.0);
+        }
     }
 
     /// The current degradation factor of `r` (`1.0` when healthy).
@@ -256,6 +327,7 @@ impl FluidSim {
             id,
             Flow {
                 route: normalized,
+                work,
                 remaining: work,
                 rate: 0.0,
                 started: self.now,
@@ -319,7 +391,24 @@ impl FluidSim {
         self.progress_flows_to(at);
         self.now = at;
         for id in &done {
-            self.flows.remove(id).expect("completion bookkeeping");
+            let f = self.flows.remove(id).expect("completion bookkeeping");
+            if let Some(obs) = &self.obs {
+                let name = format!(
+                    "xfer {}",
+                    f.route
+                        .iter()
+                        .map(|&(r, _)| self.resources[r.0 as usize].name.as_str())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                );
+                obs.rec.span(
+                    obs.track,
+                    &name,
+                    obs.offset_ns + f.started.as_nanos(),
+                    at.since(f.started).as_nanos(),
+                    f.work,
+                );
+            }
         }
         self.rates_dirty = true;
         Some((at, done))
@@ -439,7 +528,9 @@ impl FluidSim {
                 weight_sum[r.0 as usize] += w;
             }
         }
+        let mut rounds = 0u64;
         while !unfrozen.is_empty() {
+            rounds += 1;
             // The common growth increment is limited by the tightest
             // resource: residual / weight_sum.
             let mut delta = f64::INFINITY;
@@ -489,6 +580,14 @@ impl FluidSim {
                 }
             }
             unfrozen = still;
+        }
+        if let Some(obs) = &self.obs {
+            if rounds > 0 {
+                obs.rec.counter_add(
+                    &format!("{}/waterfill_rounds", obs.track_name),
+                    rounds as f64,
+                );
+            }
         }
     }
 

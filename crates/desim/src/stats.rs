@@ -14,18 +14,32 @@ pub struct ResourceStats {
 }
 
 impl ResourceStats {
-    pub(crate) fn record(&mut self, dt: f64, load: f64, capacity: f64) {
+    /// Account an interval of `dt` seconds at instantaneous `load` against
+    /// `capacity`. Zero (or negative) capacity is a no-op: a resource that
+    /// can serve nothing has nothing to account, and accumulating a busy
+    /// integral against it would claim units moved through a dead conduit.
+    pub fn record(&mut self, dt: f64, load: f64, capacity: f64) {
+        if capacity <= 0.0 {
+            debug_assert!(
+                load == 0.0,
+                "recording load {load} against zero-capacity resource"
+            );
+            return;
+        }
         self.busy_integral += load * dt;
         self.cap_integral += capacity * dt;
         self.elapsed += dt;
-        if capacity > 0.0 {
-            self.peak_load_frac = self.peak_load_frac.max(load / capacity);
-        }
+        self.peak_load_frac = self.peak_load_frac.max(load / capacity);
     }
 
     /// Total units moved through the resource.
     pub fn units_served(&self) -> f64 {
         self.busy_integral
+    }
+
+    /// ∫ capacity dt — the units the resource *could* have served.
+    pub fn capacity_integral(&self) -> f64 {
+        self.cap_integral
     }
 
     /// Time-averaged fraction of capacity in use (0..=1).
@@ -200,6 +214,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 1);
         assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn zero_capacity_record_is_noop() {
+        let mut st = ResourceStats::default();
+        st.record(1.0, 0.0, 0.0);
+        st.record(2.5, 0.0, -1.0);
+        assert_eq!(st.units_served(), 0.0);
+        assert_eq!(st.capacity_integral(), 0.0);
+        assert_eq!(st.elapsed_secs(), 0.0);
+        assert_eq!(st.utilization(), 0.0);
+        assert_eq!(st.peak_utilization(), 0.0);
+        // A later real interval accounts normally.
+        st.record(1.0, 25.0, 100.0);
+        assert!((st.utilization() - 0.25).abs() < 1e-12);
+        assert!((st.elapsed_secs() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests for `ResourceStats`, in the repo's seeded style: a
+//! ChaCha8 stream drives randomized record sequences, so failures replay
+//! exactly.
+
+use ff_desim::stats::ResourceStats;
+use ff_util::rng::ChaCha8Rng;
+
+const CASES: usize = 300;
+
+/// A random record sequence where every interval keeps `load <= capacity`.
+fn feasible_sequence(rng: &mut ChaCha8Rng) -> Vec<(f64, f64, f64)> {
+    let n = rng.gen_range(1..80usize);
+    (0..n)
+        .map(|_| {
+            let dt = rng.gen_range(1e-6..2.0f64);
+            let cap = rng.gen_range(0.1..1e9f64);
+            let load = cap * rng.gen_range(0.0..1.0f64);
+            (dt, load, cap)
+        })
+        .collect()
+}
+
+#[test]
+fn utilization_stays_in_unit_interval_under_feasible_load() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xde51);
+    for _ in 0..CASES {
+        let mut s = ResourceStats::default();
+        for (dt, load, cap) in feasible_sequence(&mut rng) {
+            s.record(dt, load, cap);
+        }
+        let u = s.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of [0,1]");
+        let p = s.peak_utilization();
+        assert!((0.0..=1.0).contains(&p), "peak {p} out of [0,1]");
+    }
+}
+
+#[test]
+fn peak_utilization_dominates_average() {
+    // The time-average is a convex combination of the instantaneous
+    // load/capacity fractions, so it can never exceed the max of them.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xde52);
+    for _ in 0..CASES {
+        let mut s = ResourceStats::default();
+        for (dt, load, cap) in feasible_sequence(&mut rng) {
+            s.record(dt, load, cap);
+        }
+        assert!(
+            s.peak_utilization() >= s.utilization() - 1e-12,
+            "peak {} < average {}",
+            s.peak_utilization(),
+            s.utilization()
+        );
+    }
+}
+
+#[test]
+fn units_served_is_additive_over_sequence_splits() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xde53);
+    for _ in 0..CASES {
+        let seq = feasible_sequence(&mut rng);
+        let cut = rng.gen_range(0..seq.len() + 1);
+        let mut whole = ResourceStats::default();
+        let (mut head, mut tail) = (ResourceStats::default(), ResourceStats::default());
+        for (i, &(dt, load, cap)) in seq.iter().enumerate() {
+            whole.record(dt, load, cap);
+            if i < cut {
+                head.record(dt, load, cap);
+            } else {
+                tail.record(dt, load, cap);
+            }
+        }
+        let split = head.units_served() + tail.units_served();
+        let tol = 1e-9 * whole.units_served().max(1.0);
+        assert!(
+            (whole.units_served() - split).abs() <= tol,
+            "served not additive: whole {} vs head+tail {}",
+            whole.units_served(),
+            split
+        );
+        let cap_split = head.capacity_integral() + tail.capacity_integral();
+        let cap_tol = 1e-9 * whole.capacity_integral().max(1.0);
+        assert!((whole.capacity_integral() - cap_split).abs() <= cap_tol);
+    }
+}
+
+#[test]
+fn zero_capacity_records_never_change_anything() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xde54);
+    for _ in 0..CASES {
+        let seq = feasible_sequence(&mut rng);
+        let mut plain = ResourceStats::default();
+        let mut interleaved = ResourceStats::default();
+        for &(dt, load, cap) in &seq {
+            plain.record(dt, load, cap);
+            interleaved.record(dt, load, cap);
+            // Dead-conduit intervals must be invisible to every statistic.
+            interleaved.record(rng.gen_range(0.0..5.0f64), 0.0, 0.0);
+        }
+        assert_eq!(plain.units_served(), interleaved.units_served());
+        assert_eq!(plain.capacity_integral(), interleaved.capacity_integral());
+        assert_eq!(plain.utilization(), interleaved.utilization());
+        assert_eq!(plain.peak_utilization(), interleaved.peak_utilization());
+        assert_eq!(plain.elapsed_secs(), interleaved.elapsed_secs());
+    }
+}

@@ -9,11 +9,18 @@
 //! which is what spreads load over every SSD.
 
 use crate::target::{ChunkId, LocalRead, StorageTarget};
+use ff_obs::{Recorder, TrackId};
 use ff_util::bytes::Bytes;
 use ff_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Observability sink for one chain (see [`Chain::attach_recorder`]).
+struct ChainObs {
+    rec: Arc<Recorder>,
+    track: TrackId,
+}
 
 /// Errors from chain operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +57,7 @@ pub struct Chain {
     heads: Mutex<HashMap<ChunkId, Arc<Mutex<u64>>>>,
     /// Round-robin read distribution.
     rr: AtomicUsize,
+    obs: RwLock<Option<ChainObs>>,
 }
 
 impl Chain {
@@ -61,7 +69,36 @@ impl Chain {
             targets: RwLock::new(targets),
             heads: Mutex::new(HashMap::new()),
             rr: AtomicUsize::new(0),
+            obs: RwLock::new(None),
         })
+    }
+
+    /// Attach an observability recorder: every committed write/update
+    /// becomes a span on `track`. Timestamps are the object's committed
+    /// *version* (scaled to µs) — a logical clock that is deterministic
+    /// even when distinct objects are written from racing threads, unlike
+    /// arrival order.
+    pub fn attach_recorder(&self, rec: &Arc<Recorder>, track: &str) {
+        let id = rec.track(track);
+        *self.obs.write() = Some(ChainObs {
+            rec: Arc::clone(rec),
+            track: id,
+        });
+    }
+
+    fn note_write(&self, op: &str, id: ChunkId, ver: u64, len: usize) {
+        if let Some(obs) = self.obs.read().as_ref() {
+            let name = format!("{op} {}.{}", id.ino, id.idx);
+            obs.rec.span(
+                obs.track,
+                &name,
+                ver * 1000,
+                (len as u64).max(1),
+                len as f64,
+            );
+            obs.rec.counter_add("fs3/write_bytes", len as f64);
+            obs.rec.observe("fs3/write_size", len as u64);
+        }
     }
 
     /// Chain id within the chain table.
@@ -102,6 +139,7 @@ impl Chain {
             t.commit(id, ver);
         }
         *last = ver;
+        self.note_write("write", id, ver, data.len());
         Ok(ver)
     }
 
@@ -139,6 +177,7 @@ impl Chain {
             t.commit(id, ver);
         }
         *last = ver;
+        self.note_write("update", id, ver, data.len());
         Ok(ver)
     }
 

@@ -1,0 +1,241 @@
+//! Log-bucketed histogram with percentile queries.
+//!
+//! Values are `u64` (nanoseconds, bytes, counts). Values below 8 get exact
+//! one-value buckets; above that, buckets are spaced at 8 sub-buckets per
+//! octave (bucket width ≤ 12.5% of its lower bound), so a reported
+//! percentile is within ~7% relative error of the true sample — tight
+//! enough for latency/bandwidth monitoring at O(1) memory, the same trade
+//! HdrHistogram makes.
+
+/// Sub-buckets per power of two.
+const SUB: u64 = 8;
+/// 8 exact buckets for 0..8, then 8 sub-buckets per octave for 2^3..2^64.
+const BUCKETS: usize = 8 + 61 * 8;
+
+/// Bucket index of `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // ≥ 3
+    let frac = (v >> (msb - 3)) & (SUB - 1);
+    (8 + (msb - 3) * SUB + frac) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let j = (i - 8) as u64;
+    let (msb, frac) = (3 + j / SUB, j % SUB);
+    (1u64 << msb) + (frac << (msb - 3))
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i < 8 {
+        return i as u64;
+    }
+    let j = (i - 8) as u64;
+    let msb = 3 + j / SUB;
+    bucket_lo(i) + ((1u64 << (msb - 3)) - 1)
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 100.0`): the midpoint of the bucket
+    /// holding the sample of rank `⌈p/100 × count⌉`, clamped to the
+    /// observed `[min, max]`. Within one bucket width (≤ 12.5% relative)
+    /// of the true sample; exact for values below 8.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+                return (lo + (hi - lo) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Canonical serialization: non-empty buckets as `i:count` pairs plus
+    /// the exact moments — identical histograms serialize identically.
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "n={} sum={} min={} max={}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                s.push_str(&format!(" {i}:{c}"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_bracket_their_values() {
+        for v in (0u64..4096).chain([1 << 20, (1 << 33) + 17, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(bucket_lo(b) <= v, "v={v} lo={}", bucket_lo(b));
+            assert!(v <= bucket_hi(b), "v={v} hi={}", bucket_hi(b));
+            assert!(b < BUCKETS);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous() {
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_hi(i) + 1, bucket_lo(i + 1), "gap after bucket {i}");
+        }
+    }
+
+    #[test]
+    fn exact_for_small_integers() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 7);
+        assert_eq!(h.percentile(50.0), 3);
+    }
+
+    #[test]
+    fn percentile_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(i * i % 50_000);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            assert!(v >= h.min() && v <= h.max());
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 10_000;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.canonical(), whole.canonical());
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ff-obs — simulated-time observability
+//!
+//! The unified trace/metrics substrate of the reproduction (the role
+//! hai-monitor plays in §VIII): scoped **spans** and **instants** on named
+//! tracks, plus **counters**, **gauges**, and log-bucketed **histograms**,
+//! all keyed to *simulated* nanoseconds — never the wall clock — so that a
+//! trace is a pure function of the inputs and a fixed seed.
+//!
+//! Determinism is the load-bearing property. Threaded code (the real
+//! crossbeam-style exec paths in `ff-reduce`, background checkpoint saves
+//! in `ff-platform`) records through per-thread [`TrackBuf`]s with
+//! *logical* clocks, and the [`Recorder`] treats the whole trace as a
+//! **multiset**: [`Recorder::canonical`] sorts every event by
+//! `(track, ts, name, kind, value)` before serializing, so any arrival
+//! interleaving of a deterministic event multiset yields a byte-identical
+//! [`Recorder::digest`]. The digest is therefore a regression-test oracle:
+//! same seed ⇒ same digest, and `tests/trace_replay.rs` pins exactly that.
+//!
+//! Exports:
+//!
+//! * [`chrome::export_chrome_json`] — Chrome trace-event JSON that loads in
+//!   `chrome://tracing` and Perfetto, one thread per track.
+//! * [`summary::summary_text`] — a hai-monitor-style text report: top
+//!   utilized resources, per-phase traffic, histograms, recovery timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod recorder;
+pub mod summary;
+
+pub use hist::Histogram;
+pub use recorder::{Event, EventKind, Recorder, Snapshot, TrackBuf, TrackId};

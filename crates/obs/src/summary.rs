@@ -1,0 +1,158 @@
+//! hai-monitor-style text summary of a recorded trace.
+//!
+//! Renders the recorder's contents as the operator-facing report the
+//! paper's §VIII tooling produces on real hardware: the most-utilized
+//! resources, traffic broken down by phase, latency/size histograms, and
+//! the failure/recovery timeline. Built entirely from the canonical
+//! snapshot, so the text is as deterministic as the digest.
+
+use crate::recorder::{EventKind, Recorder};
+use std::collections::BTreeMap;
+
+/// A span name's *phase* is its prefix up to the first `:` or space —
+/// `send:u:t0:c1->r3` and `send:u:t1:c0->r2` are both phase `send`.
+fn phase_of(name: &str) -> &str {
+    name.split([':', ' ']).next().unwrap_or(name)
+}
+
+/// Render the hai-monitor-style report.
+///
+/// Sections (each omitted when empty):
+/// 1. **top utilized** — gauges matching `*/util/<res>`, sorted by value
+///    descending, with served/cap context when the sibling gauges exist;
+/// 2. **per-phase traffic** — span value-sums and busy-time by phase;
+/// 3. **histograms** — count/mean/p50/p90/p99/max per histogram;
+/// 4. **recovery timeline** — instants on tracks whose name contains
+///    `recovery` or `ctl`, in time order.
+pub fn summary_text(rec: &Recorder) -> String {
+    let snap = rec.snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== trace summary: {} events on {} tracks, {:.3} ms simulated ==\n",
+        snap.events.len(),
+        snap.tracks.len(),
+        rec.last_ts_ns() as f64 / 1e6
+    ));
+
+    // 1. top utilized resources, from `<track>/util/<res>` gauges.
+    let mut utils: Vec<(&String, f64)> = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.contains("/util/"))
+        .map(|(k, &v)| (k, v))
+        .collect();
+    utils.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    if !utils.is_empty() {
+        out.push_str("-- top utilized resources --\n");
+        for (k, v) in utils.iter().take(8) {
+            let served = snap.gauges.get(&k.replace("/util/", "/served/"));
+            let cap = snap.gauges.get(&k.replace("/util/", "/cap/"));
+            match (served, cap) {
+                (Some(s), Some(c)) => out.push_str(&format!(
+                    "  {k:<40} {:>6.1}%  served {s:.3e} of cap {c:.3e}\n",
+                    v * 100.0
+                )),
+                _ => out.push_str(&format!("  {k:<40} {:>6.1}%\n", v * 100.0)),
+            }
+        }
+    }
+
+    // 2. per-phase traffic from span values (bytes/work) and busy time.
+    let mut phases: BTreeMap<String, (u64, f64, u64)> = BTreeMap::new(); // count, value, busy_ns
+    for (_, e) in &snap.events {
+        if let EventKind::Span { dur_ns } = e.kind {
+            let ent = phases.entry(phase_of(&e.name).to_string()).or_default();
+            ent.0 += 1;
+            ent.1 += e.value;
+            ent.2 += dur_ns;
+        }
+    }
+    if !phases.is_empty() {
+        out.push_str("-- per-phase traffic --\n");
+        for (phase, (n, value, busy)) in &phases {
+            let busy_s = *busy as f64 / 1e9;
+            let bw = if *busy > 0 { value / busy_s } else { 0.0 };
+            out.push_str(&format!(
+                "  {phase:<16} {n:>6} spans  value {value:>14.3e}  busy {busy_s:>10.6}s  ~{bw:.3e}/s\n"
+            ));
+        }
+    }
+
+    // 3. histograms.
+    if !snap.hists.is_empty() {
+        out.push_str("-- histograms --\n");
+        for (k, h) in &snap.hists {
+            out.push_str(&format!(
+                "  {k:<28} n={} mean={:.1} p50={} p90={} p99={} max={}\n",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+                h.max()
+            ));
+        }
+    }
+
+    // 4. recovery timeline: instants on recovery/ctl tracks, time order.
+    let mut timeline: Vec<(u64, &String, &String, f64)> = snap
+        .events
+        .iter()
+        .filter(|(t, e)| {
+            matches!(e.kind, EventKind::Instant) && (t.contains("recovery") || t.contains("ctl"))
+        })
+        .map(|(t, e)| (e.ts_ns, t, &e.name, e.value))
+        .collect();
+    timeline.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+    if !timeline.is_empty() {
+        out.push_str("-- recovery timeline --\n");
+        for (ts, track, name, value) in timeline {
+            out.push_str(&format!(
+                "  t={:>12.6}s  [{track}] {name} ({value})\n",
+                ts as f64 / 1e9
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn summary_has_all_sections() {
+        let rec = Recorder::new();
+        let net = rec.track("desim/net");
+        let ctl = rec.track("platform/recovery");
+        rec.span(net, "send:u:t0:c0->r1", 0, 1_000, 4096.0);
+        rec.span(net, "send:d:t0:c1->r2", 1_000, 1_000, 4096.0);
+        rec.span(net, "reduce:t0:c0", 2_000, 500, 4096.0);
+        rec.instant(ctl, "fault detected rank 3", 5_000, 3.0);
+        rec.instant(ctl, "requeue", 6_000, 0.0);
+        rec.gauge_set("desim/net/util/eth0", 0.85);
+        rec.gauge_set("desim/net/served/eth0", 8192.0);
+        rec.gauge_set("desim/net/cap/eth0", 9640.0);
+        rec.observe("write_bytes", 4096);
+        let s = summary_text(&rec);
+        assert!(s.contains("top utilized resources"));
+        assert!(s.contains("85.0%"));
+        assert!(s.contains("per-phase traffic"));
+        assert!(s.contains("send"));
+        assert!(s.contains("reduce"));
+        assert!(s.contains("histograms"));
+        assert!(s.contains("recovery timeline"));
+        assert!(s.contains("fault detected rank 3"));
+        // deterministic
+        assert_eq!(s, summary_text(&rec));
+    }
+
+    #[test]
+    fn empty_recorder_summary_is_minimal() {
+        let rec = Recorder::new();
+        let s = summary_text(&rec);
+        assert!(s.contains("0 events"));
+        assert!(!s.contains("timeline"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the log-bucketed histogram, in the repo's seeded
+//! style: a ChaCha8 stream drives randomized cases, so failures replay
+//! exactly.
+
+use ff_obs::Histogram;
+use ff_util::rng::ChaCha8Rng;
+
+const CASES: usize = 200;
+
+fn random_values(rng: &mut ChaCha8Rng) -> Vec<u64> {
+    let n = rng.gen_range(1..400usize);
+    (0..n)
+        .map(|_| {
+            // Mix tiny exact values with values spread over many octaves.
+            match rng.gen_range(0..3u32) {
+                0 => rng.gen_range(0..8u64),
+                1 => rng.gen_range(0..10_000u64),
+                _ => rng.next_u64() >> rng.gen_range(0..40u32),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn percentiles_are_bounded_and_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xf1f1);
+    for _ in 0..CASES {
+        let vals = random_values(&mut rng);
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let ps = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0];
+        let qs: Vec<u64> = ps.iter().map(|&p| h.percentile(p)).collect();
+        for q in &qs {
+            assert!(
+                h.min() <= *q && *q <= h.max(),
+                "percentile out of [min,max]: {q} not in [{}, {}]",
+                h.min(),
+                h.max()
+            );
+        }
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotone: {qs:?}");
+        }
+        assert_eq!(h.count(), vals.len() as u64);
+        assert_eq!(h.sum(), vals.iter().map(|&v| v as u128).sum::<u128>());
+    }
+}
+
+#[test]
+fn percentile_relative_error_is_bounded() {
+    // Log buckets with 8 sub-buckets per octave: any reported quantile is
+    // within 12.5% of a value actually recorded at that rank.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xabcd);
+    for _ in 0..CASES {
+        let mut vals = random_values(&mut rng);
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for &p in &[50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = vals[rank] as f64;
+            let approx = h.percentile(p) as f64;
+            let tol = (exact * 0.125).max(1.0);
+            assert!(
+                (approx - exact).abs() <= tol,
+                "p{p}: approx {approx} vs exact {exact} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_equals_recording_everything_into_one() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5eed);
+    for _ in 0..CASES {
+        let a_vals = random_values(&mut rng);
+        let b_vals = random_values(&mut rng);
+        let mut merged = Histogram::new();
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for &v in &a_vals {
+            a.record(v);
+            merged.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            merged.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(
+            a.canonical(),
+            merged.canonical(),
+            "merge must equal recording all values into one histogram"
+        );
+    }
+}
+
+#[test]
+fn small_values_are_exact() {
+    // Values below 8 get one-value buckets, so their percentiles are exact.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x11);
+    for _ in 0..CASES {
+        let mut vals: Vec<u64> = (0..rng.gen_range(1..60usize))
+            .map(|_| rng.gen_range(0..8u64))
+            .collect();
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for &p in &[25.0, 50.0, 75.0, 100.0] {
+            let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).max(1) - 1;
+            assert_eq!(
+                h.percentile(p),
+                vals[rank],
+                "exact below 8: p{p} of {vals:?}"
+            );
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use ff_3fs::client::{Fs3Client, FsError};
 use ff_3fs::meta::{FileAttr, MetaError, ROOT};
+use ff_obs::{Recorder, TrackId};
 use ff_util::bytes::Bytes;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -88,6 +89,9 @@ pub struct CheckpointManager {
     /// `load` or [`wait_saves`](Self::wait_saves) returns it, and `Drop`
     /// complains about anything still unclaimed.
     async_error: Mutex<Option<CkptError>>,
+    /// Observability sink: saves/loads become spans keyed to the *step*
+    /// (a logical clock — wall time would ruin trace determinism).
+    obs: Mutex<Option<(Arc<Recorder>, TrackId)>>,
 }
 
 impl CheckpointManager {
@@ -111,7 +115,27 @@ impl CheckpointManager {
             chunk_bytes: chunk_bytes.max(1),
             pending: Mutex::new(Vec::new()),
             async_error: Mutex::new(None),
+            obs: Mutex::new(None),
         }))
+    }
+
+    /// Attach an observability recorder: each save/load becomes a span on
+    /// `track` at `ts = step × 1s` (matching the per-step timeline the
+    /// training loop records), with the byte volume as the span value.
+    pub fn attach_recorder(&self, rec: &Arc<Recorder>, track: &str) {
+        let id = rec.track(track);
+        *self.obs.lock().expect("obs lock") = Some((Arc::clone(rec), id));
+    }
+
+    fn note(&self, name: &str, step: u64, bytes: u64, instant: bool) {
+        if let Some((rec, track)) = self.obs.lock().expect("obs lock").as_ref() {
+            let ts = step.saturating_mul(1_000_000_000);
+            if instant {
+                rec.instant(*track, name, ts, bytes as f64);
+            } else {
+                rec.span(*track, name, ts, bytes.max(1), bytes as f64);
+            }
+        }
     }
 
     /// The 3FS client the manager writes through.
@@ -236,6 +260,8 @@ impl CheckpointManager {
             1,
         )?;
         self.client.write_at(&idx, 0, &idx_bytes)?;
+        let total: u64 = meta.tensors.iter().map(|t| t.len).sum();
+        self.note(&format!("ckpt save step {step}"), step, total, false);
         Ok(meta)
     }
 
@@ -323,10 +349,13 @@ impl CheckpointManager {
         let mut out = Vec::with_capacity(meta.tensors.len());
         for (t, blob) in meta.tensors.iter().zip(blobs) {
             if fnv1a(&blob) != t.checksum {
+                self.note(&format!("ckpt corrupt step {step}"), step, t.len, true);
                 return Err(CkptError::Corrupt(t.name.clone()));
             }
             out.push((t.name.clone(), blob));
         }
+        let total: u64 = meta.tensors.iter().map(|t| t.len).sum();
+        self.note(&format!("ckpt load step {step}"), step, total, false);
         Ok(out)
     }
 

@@ -31,6 +31,9 @@ pub mod validator;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta};
 pub use hostping::{bottlenecks, hostping, PathProbe};
-pub use recovery::{train_with_recovery, JobFaults, RecoveryEvent, RecoveryReport, TrainerConfig};
+pub use recovery::{
+    train_with_recovery, train_with_recovery_traced, JobFaults, RecoveryEvent, RecoveryReport,
+    TrainerConfig,
+};
 pub use scheduler::{Platform, TaskId, TaskState};
 pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

@@ -36,7 +36,8 @@ use ff_3fs::target::{Disk, StorageTarget};
 use ff_desim::FluidSim;
 use ff_failures::plan::{FaultAction, FaultPlan};
 use ff_hw::{NodeHw, NodeSpec};
-use ff_reduce::exec::{allreduce_dbtree_ft, ExecFaultPlan};
+use ff_obs::Recorder;
+use ff_reduce::exec::{allreduce_dbtree_ft, allreduce_dbtree_ft_traced, ExecFaultPlan, ObsCtx};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -240,7 +241,8 @@ fn decode_params(b: &[u8]) -> Vec<f32> {
 const DETECT_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// A fresh single-job 3FS instance big enough for the run's checkpoints.
-fn build_store() -> Arc<Fs3Client> {
+/// With a recorder, every chain reports its writes on `fs3/chain{c}`.
+fn build_store(obs: Option<&Arc<Recorder>>) -> Arc<Fs3Client> {
     let chains: Vec<_> = (0..4)
         .map(|c| {
             Chain::new(
@@ -252,6 +254,11 @@ fn build_store() -> Arc<Fs3Client> {
             )
         })
         .collect();
+    if let Some(rec) = obs {
+        for ch in &chains {
+            ch.attach_recorder(rec, &format!("fs3/chain{}", ch.id()));
+        }
+    }
     let table = Arc::new(ChainTable::new(chains));
     let meta = MetaService::new(KvStore::new(4, 2), table.len());
     Fs3Client::new(meta, table, 8)
@@ -270,10 +277,42 @@ pub fn train_with_recovery(
     cfg: &TrainerConfig,
     faults: &JobFaults,
 ) -> Result<RecoveryReport, CkptError> {
+    train_with_recovery_traced(cfg, faults, None)
+}
+
+/// [`train_with_recovery`] with full-stack observability. One recorder
+/// collects the whole run on simulated/logical time, one second per step:
+///
+/// * `platform/job` — a span per completed training step;
+/// * `platform/recovery` — the [`RecoveryEvent`] timeline as instants;
+/// * `reduce/rank{r}` + `reduce/ctl` — every collective's send/recv spans
+///   and the shrink-to-survivors control events;
+/// * `fs3/chain{c}` — chain-replicated checkpoint chunk writes;
+/// * `platform/ckpt` — checkpoint save/load/corrupt;
+/// * `desim/hostping` — degradation probes and link utilization gauges.
+///
+/// The job is deterministic and every timestamp is logical, so the same
+/// `(cfg, faults)` always yields a byte-identical trace digest.
+pub fn train_with_recovery_traced(
+    cfg: &TrainerConfig,
+    faults: &JobFaults,
+    obs: Option<&Arc<Recorder>>,
+) -> Result<RecoveryReport, CkptError> {
     assert!(cfg.ranks >= 2, "recovery needs a multi-rank job");
     assert!(cfg.ckpt_every >= 1);
-    let client = build_store();
+    const STEP_NS: u64 = 1_000_000_000;
+    let job_track = obs.map(|r| r.track("platform/job"));
+    let rec_track = obs.map(|r| r.track("platform/recovery"));
+    let note = |name: &str, step: u64, value: f64| {
+        if let (Some(r), Some(t)) = (obs, rec_track) {
+            r.instant(t, name, step * STEP_NS, value);
+        }
+    };
+    let client = build_store(obs);
     let ckpt = CheckpointManager::new(client.clone(), "job", cfg.ckpt_chunk_bytes)?;
+    if let Some(rec) = obs {
+        ckpt.attach_recorder(rec, "platform/ckpt");
+    }
 
     let mut platform = Platform::new([cfg.ranks, cfg.ranks], cfg.ckpt_every);
     let task = platform.submit("train", cfg.ranks, 0, cfg.steps);
@@ -297,6 +336,9 @@ pub fn train_with_recovery(
         while let Some(pos) = degrades.iter().position(|&(s, _)| s == step) {
             let (_, rank) = degrades.swap_remove(pos);
             let mut fluid = FluidSim::new();
+            if let Some(rec) = obs {
+                fluid.attach_recorder(rec, "desim/hostping", step * STEP_NS);
+            }
             let hw = NodeHw::install(&mut fluid, &format!("rank{rank}"), &NodeSpec::pcie_a100());
             // The flash cut: the node's PCIe uplink trains down.
             let uplink = hw.d2h(0).0[0].0;
@@ -309,9 +351,11 @@ pub fn train_with_recovery(
                 rank,
                 slow_paths: slow,
             });
+            note(&format!("link degraded rank {rank}"), step, slow as f64);
             // Flash cuts are tolerated in-band (Table V policy): the node
             // is flagged, the link re-trains, the job keeps its world.
             fluid.restore(uplink);
+            fluid.flush_stats();
         }
 
         // --- The step's allreduce, possibly with a rank dying inside. ---
@@ -325,13 +369,22 @@ pub fn train_with_recovery(
         let grads: Vec<Vec<f32>> = (0..cfg.ranks)
             .map(|r| gradient(r, step, cfg.params))
             .collect();
-        let report = allreduce_dbtree_ft(grads, cfg.chunks, &plan);
+        let report = match obs {
+            Some(rec) => allreduce_dbtree_ft_traced(
+                grads,
+                cfg.chunks,
+                &plan,
+                &ObsCtx::new(rec, "reduce", step * STEP_NS),
+            ),
+            None => allreduce_dbtree_ft(grads, cfg.chunks, &plan),
+        };
         steps_executed += 1;
 
         if !report.dead.is_empty() {
             // --- Detect → requeue → resume. ---
             for &rank in &report.dead {
                 events.push(RecoveryEvent::RankDied { step, rank });
+                note(&format!("rank {rank} died"), step, rank as f64);
                 // The node hosting the dead rank leaves the pool; the
                 // scheduler rolls the task back and reschedules it onto
                 // the remaining healthy nodes plus the spare pool.
@@ -339,6 +392,7 @@ pub fn train_with_recovery(
                 platform.fail_node(node);
             }
             events.push(RecoveryEvent::Requeued { step });
+            note("requeued onto spares", step, step as f64);
             assert_eq!(
                 platform.state(task),
                 TaskState::Running,
@@ -352,6 +406,7 @@ pub fn train_with_recovery(
                         params = vec![0f32; cfg.params];
                         completed = 0;
                         events.push(RecoveryEvent::ResumedFrom { step: 0 });
+                        note("resumed from scratch", step, 0.0);
                         break;
                     }
                     Some(s) => match ckpt.load(s) {
@@ -359,10 +414,12 @@ pub fn train_with_recovery(
                             params = decode_params(&tensors[0].1);
                             completed = s;
                             events.push(RecoveryEvent::ResumedFrom { step: s });
+                            note(&format!("resumed from ckpt {s}"), step, s as f64);
                             break;
                         }
                         Err(CkptError::Corrupt(_)) => {
                             events.push(RecoveryEvent::CheckpointCorrupt { step: s });
+                            note(&format!("ckpt {s} corrupt, discarded"), step, s as f64);
                             ckpt.remove_step(s)?;
                         }
                         Err(e) => return Err(e),
@@ -380,6 +437,15 @@ pub fn train_with_recovery(
             .next()
             .expect("a clean allreduce has outputs");
         apply(&mut params, total, cfg.ranks);
+        if let (Some(r), Some(t)) = (obs, job_track) {
+            r.span(
+                t,
+                &format!("step {step}"),
+                step * STEP_NS,
+                STEP_NS,
+                cfg.params as f64,
+            );
+        }
         completed += 1;
         platform.tick(1);
 
@@ -387,6 +453,11 @@ pub fn train_with_recovery(
         if completed.is_multiple_of(cfg.ckpt_every) && completed < cfg.steps {
             ckpt.save(completed, &[("params".to_string(), encode_params(&params))])?;
             events.push(RecoveryEvent::Checkpointed { step: completed });
+            note(
+                &format!("checkpointed {completed}"),
+                completed,
+                completed as f64,
+            );
             if let Some(pos) = corrupt.iter().position(|&s| s == completed) {
                 corrupt.swap_remove(pos);
                 // Flip a byte of the stored chunk behind the manager's

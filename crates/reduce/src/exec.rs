@@ -20,10 +20,50 @@ use crate::kernels::{chunk_ranges, reduce_add_into, reduce_n_into};
 /// Alias used by the single-tree reduce helper.
 type TreeRef<'a> = &'a ff_topo::dbtree::Tree;
 use ff_dtypes::Element;
+use ff_obs::{Recorder, TrackBuf};
 use ff_topo::dbtree::DoubleBinaryTree;
 use ff_util::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Observability context for the `*_traced` entry points.
+///
+/// Each rank records onto track `{track_prefix}/rank{r}` through a
+/// per-thread [`TrackBuf`] whose logical clock counts *elements moved*
+/// (one tick per element), starting at `base_ns`. Buffers are committed
+/// only for **clean** executions: a failed fault-tolerant attempt has racy
+/// abort points (which receive times out first, where each rank stops),
+/// so its staged events are discarded and only deterministic facts — the
+/// attempt index, the ranks that died, the shrink — are recorded as
+/// instants on `{track_prefix}/ctl`. That discipline is what keeps the
+/// trace digest byte-identical across runs of the same fault plan.
+#[derive(Clone)]
+pub struct ObsCtx {
+    /// Destination recorder.
+    pub rec: Arc<Recorder>,
+    /// Track name prefix, e.g. `reduce/step3`.
+    pub track_prefix: String,
+    /// Offset added to every logical timestamp (lets callers lay repeated
+    /// collectives out side by side on one timeline).
+    pub base_ns: u64,
+}
+
+impl ObsCtx {
+    /// A context recording to `rec` under `track_prefix` starting at
+    /// `base_ns`.
+    pub fn new(rec: &Arc<Recorder>, track_prefix: impl Into<String>, base_ns: u64) -> ObsCtx {
+        ObsCtx {
+            rec: Arc::clone(rec),
+            track_prefix: track_prefix.into(),
+            base_ns,
+        }
+    }
+
+    fn rank_buf(&self, rank: usize) -> TrackBuf {
+        TrackBuf::new(format!("{}/rank{rank}", self.track_prefix), self.base_ns)
+    }
+}
 
 /// Communication failure observed by one rank. The process survives; the
 /// caller decides whether to retry, shrink, or abort.
@@ -88,6 +128,9 @@ struct Comm<E> {
     sends: usize,
     /// Set once the injected death has fired.
     died: bool,
+    /// Staged observability events; committed by the orchestrator only
+    /// for clean executions (see [`ObsCtx`]).
+    obs: Option<TrackBuf>,
 }
 
 impl<E: Element> Comm<E> {
@@ -114,8 +157,17 @@ impl<E: Element> Comm<E> {
                     .unwrap_or(usize::MAX),
                 sends: 0,
                 died: false,
+                obs: None,
             })
             .collect()
+    }
+
+    fn phase_char(phase: u8) -> char {
+        match phase {
+            UP => 'u',
+            DOWN => 'd',
+            _ => 'g', // ring
+        }
     }
 
     fn send(
@@ -140,6 +192,11 @@ impl<E: Element> Comm<E> {
             phase,
             from: self.me as u32,
         };
+        if let Some(buf) = &mut self.obs {
+            let len = data.len() as u64;
+            let name = format!("send:{}:t{tree}:c{chunk}->r{to}", Self::phase_char(phase));
+            buf.op(&name, len, len as f64);
+        }
         self.txs[to]
             .send(Msg { tag, data })
             .map_err(|_| CommError::Disconnected { peer: to })
@@ -153,6 +210,7 @@ impl<E: Element> Comm<E> {
             from: from as u32,
         };
         if let Some(d) = self.stash.remove(&want) {
+            self.note_recv(&want, d.len());
             return Ok(d);
         }
         loop {
@@ -164,10 +222,24 @@ impl<E: Element> Comm<E> {
                 }
             };
             if msg.tag == want {
+                self.note_recv(&want, msg.data.len());
                 return Ok(msg.data);
             }
             let dup = self.stash.insert(msg.tag, msg.data);
             assert!(dup.is_none(), "duplicate message {:?}", msg.tag);
+        }
+    }
+
+    fn note_recv(&mut self, tag: &Tag, len: usize) {
+        if let Some(buf) = &mut self.obs {
+            let name = format!(
+                "recv:{}:t{}:c{}<-r{}",
+                Self::phase_char(tag.phase),
+                tag.tree,
+                tag.chunk,
+                tag.from
+            );
+            buf.op(&name, len as u64, len as f64);
         }
     }
 }
@@ -219,6 +291,24 @@ fn tree_allreduce_rank<E: Element>(
 /// assert_eq!(out[1], vec![11.0, 22.0]);
 /// ```
 pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<Vec<E>> {
+    allreduce_dbtree_impl(inputs, chunks, None)
+}
+
+/// [`allreduce_dbtree`] with per-rank send/recv spans recorded to
+/// `obs.rec` (tracks `{prefix}/rank{r}`, logical clocks in elements).
+pub fn allreduce_dbtree_traced<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    obs: &ObsCtx,
+) -> Vec<Vec<E>> {
+    allreduce_dbtree_impl(inputs, chunks, Some(obs))
+}
+
+fn allreduce_dbtree_impl<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    obs: Option<&ObsCtx>,
+) -> Vec<Vec<E>> {
     let n = inputs.len();
     assert!(n >= 1, "need at least one rank");
     let len = inputs[0].len();
@@ -227,9 +317,14 @@ pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<V
         return inputs;
     }
     let dt = DoubleBinaryTree::new(n);
-    let comms = Comm::<E>::mesh(n);
+    let mut comms = Comm::<E>::mesh(n);
+    if let Some(o) = obs {
+        for (r, c) in comms.iter_mut().enumerate() {
+            c.obs = Some(o.rank_buf(r));
+        }
+    }
     let chunks = chunks.clamp(1, len.max(1));
-    std::thread::scope(|s| {
+    let (outputs, bufs): (Vec<Vec<E>>, Vec<Option<TrackBuf>>) = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
             .into_iter()
             .zip(comms)
@@ -238,15 +333,22 @@ pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<V
                 s.spawn(move || {
                     tree_allreduce_rank(&mut comm, dt, &mut data, chunks)
                         .expect("fault-free allreduce must not fail");
-                    data
+                    (data, comm.obs.take())
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    })
+            .unzip()
+    });
+    if let Some(o) = obs {
+        // Fault-free executions are Kahn-deterministic: commit every rank.
+        for buf in bufs.into_iter().flatten() {
+            buf.commit(&o.rec);
+        }
+    }
+    outputs
 }
 
 /// Injected faults for the executable allreduce: which ranks die, and how
@@ -294,7 +396,7 @@ pub struct FtReport<E> {
 }
 
 enum RankOutcome<E> {
-    Done(Vec<E>),
+    Done(Vec<E>, Option<TrackBuf>),
     Died,
     Errored(CommError),
 }
@@ -315,6 +417,35 @@ pub fn allreduce_dbtree_ft<E: Element>(
     chunks: usize,
     plan: &ExecFaultPlan,
 ) -> FtReport<E> {
+    allreduce_dbtree_ft_impl(inputs, chunks, plan, None)
+}
+
+/// [`allreduce_dbtree_ft`] with observability: clean attempts commit
+/// per-rank send/recv spans (tracks `{prefix}/rank{orig}`, named by
+/// *original* rank id so the track set is stable across shrinks), while
+/// failed attempts record only their deterministic summary — attempt
+/// index, which ranks died, the shrink — as instants on `{prefix}/ctl`.
+pub fn allreduce_dbtree_ft_traced<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    plan: &ExecFaultPlan,
+    obs: &ObsCtx,
+) -> FtReport<E> {
+    allreduce_dbtree_ft_impl(inputs, chunks, plan, Some(obs))
+}
+
+fn allreduce_dbtree_ft_impl<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    plan: &ExecFaultPlan,
+    obs: Option<&ObsCtx>,
+) -> FtReport<E> {
+    let ctl = obs.map(|o| o.rec.track(&format!("{}/ctl", o.track_prefix)));
+    let ctl_instant = |name: &str, attempt: usize, value: f64| {
+        if let (Some(o), Some(t)) = (obs, ctl) {
+            o.rec.instant(t, name, o.base_ns + attempt as u64, value);
+        }
+    };
     let n = inputs.len();
     assert!(n >= 1, "need at least one rank");
     let len = inputs[0].len();
@@ -332,6 +463,7 @@ pub fn allreduce_dbtree_ft<E: Element>(
         attempts += 1;
         if alive.len() == 1 {
             let only = alive[0];
+            ctl_instant(&format!("sole survivor rank {only}"), attempts, only as f64);
             let mut outputs: Vec<Option<Vec<E>>> = vec![None; n];
             outputs[only] = Some(inputs[only].clone());
             return FtReport {
@@ -348,7 +480,12 @@ pub fn allreduce_dbtree_ft<E: Element>(
             .collect();
         let m = alive.len();
         let dt = DoubleBinaryTree::new(m);
-        let comms = Comm::<E>::mesh_with(m, plan.recv_timeout, &deaths);
+        let mut comms = Comm::<E>::mesh_with(m, plan.recv_timeout, &deaths);
+        if let Some(o) = obs {
+            for (&orig, c) in alive.iter().zip(comms.iter_mut()) {
+                c.obs = Some(o.rank_buf(orig));
+            }
+        }
         let results: Vec<RankOutcome<E>> = std::thread::scope(|s| {
             let handles: Vec<_> = alive
                 .iter()
@@ -362,11 +499,12 @@ pub fn allreduce_dbtree_ft<E: Element>(
                     s.spawn(move || {
                         let res = tree_allreduce_rank(&mut comm, dt, &mut data, chunks);
                         let died = comm.died;
+                        let buf = comm.obs.take();
                         // Death drops the endpoint: peers now observe
                         // silence, exactly like a host that went down.
                         drop(comm);
                         match res {
-                            Ok(()) => RankOutcome::Done(data),
+                            Ok(()) => RankOutcome::Done(data, buf),
                             Err(_) if died => RankOutcome::Died,
                             Err(e) => RankOutcome::Errored(e),
                         }
@@ -380,20 +518,25 @@ pub fn allreduce_dbtree_ft<E: Element>(
         });
 
         let mut newly_dead: Vec<usize> = Vec::new();
-        let mut done: Vec<(usize, Vec<E>)> = Vec::new();
+        let mut done: Vec<(usize, Vec<E>, Option<TrackBuf>)> = Vec::new();
         let mut last_error: Option<CommError> = None;
         for (&orig, outcome) in alive.iter().zip(results) {
             match outcome {
-                RankOutcome::Done(data) => done.push((orig, data)),
+                RankOutcome::Done(data, buf) => done.push((orig, data, buf)),
                 RankOutcome::Died => newly_dead.push(orig),
                 RankOutcome::Errored(e) => last_error = Some(e),
             }
         }
         if newly_dead.is_empty() && last_error.is_none() {
-            // Clean attempt: every survivor agreed on the sum.
+            // Clean attempt: every survivor agreed on the sum. Only now do
+            // the staged per-rank events reach the recorder — a clean
+            // Kahn-network execution is deterministic, a failed one isn't.
             let mut outputs: Vec<Option<Vec<E>>> = vec![None; n];
-            for (orig, data) in done {
+            for (orig, data, buf) in done {
                 outputs[orig] = Some(data);
+                if let (Some(o), Some(b)) = (obs, buf) {
+                    b.commit(&o.rec);
+                }
             }
             return FtReport {
                 survivors: alive,
@@ -402,6 +545,8 @@ pub fn allreduce_dbtree_ft<E: Element>(
                 outputs,
             };
         }
+        // Failed attempt: the staged buffers in `done` drop here,
+        // unrecorded — their contents depend on which timeout fired first.
         if newly_dead.is_empty() {
             // Errors with no death: spurious timeouts (timeout shorter
             // than a slow scheduler hiccup). Retrying with the same set
@@ -416,8 +561,16 @@ pub fn allreduce_dbtree_ft<E: Element>(
             continue;
         }
         stale_retries = 0;
+        for &orig in &newly_dead {
+            ctl_instant(&format!("rank {orig} died"), attempts, orig as f64);
+        }
         pending.retain(|&(orig, _)| !newly_dead.contains(&orig));
         alive.retain(|r| !newly_dead.contains(r));
+        ctl_instant(
+            &format!("shrink to {} survivors", alive.len()),
+            attempts,
+            alive.len() as f64,
+        );
         dead.extend(newly_dead);
         dead.sort_unstable();
         assert!(!alive.is_empty(), "all ranks died");
@@ -621,6 +774,25 @@ pub fn broadcast<E: Element>(data: Vec<E>, ranks: usize, chunks: usize) -> Vec<V
 /// `inputs[node][gpu]` are the GPU gradient buffers; the result has the
 /// same shape with every buffer equal to the global sum.
 pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec<Vec<Vec<E>>> {
+    hfreduce_exec_impl(inputs, chunks, None)
+}
+
+/// [`hfreduce_exec`] with per-node observability: the intra-node reduce,
+/// every inter-node send/recv, and the H2D broadcast become spans on
+/// tracks `{prefix}/rank{node}`.
+pub fn hfreduce_exec_traced<E: Element>(
+    inputs: Vec<Vec<Vec<E>>>,
+    chunks: usize,
+    obs: &ObsCtx,
+) -> Vec<Vec<Vec<E>>> {
+    hfreduce_exec_impl(inputs, chunks, Some(obs))
+}
+
+fn hfreduce_exec_impl<E: Element>(
+    inputs: Vec<Vec<Vec<E>>>,
+    chunks: usize,
+    obs: Option<&ObsCtx>,
+) -> Vec<Vec<Vec<E>>> {
     let n = inputs.len();
     assert!(n >= 1, "need at least one node");
     let len = inputs[0]
@@ -632,9 +804,14 @@ pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec
         assert!(node.iter().all(|b| b.len() == len), "unequal buffers");
     }
     let dt = DoubleBinaryTree::new(n);
-    let comms = Comm::<E>::mesh(n);
+    let mut comms = Comm::<E>::mesh(n);
+    if let Some(o) = obs {
+        for (r, c) in comms.iter_mut().enumerate() {
+            c.obs = Some(o.rank_buf(r));
+        }
+    }
     let chunks = chunks.clamp(1, len.max(1));
-    std::thread::scope(|s| {
+    let (outputs, bufs): (Vec<Vec<Vec<E>>>, Vec<Option<TrackBuf>>) = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
             .into_iter()
             .zip(comms)
@@ -645,21 +822,34 @@ pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec
                     let mut node_sum = vec![E::ZERO; len];
                     let refs: Vec<&[E]> = gpu_bufs.iter().map(|b| b.as_slice()).collect();
                     reduce_n_into(&mut node_sum, &refs);
+                    let gpus = gpu_bufs.len();
+                    if let Some(buf) = &mut comm.obs {
+                        buf.op("reduce:intra", len as u64, (len * gpus) as f64);
+                    }
                     // Inter-node allreduce (Algorithm 2).
                     if dt.len() > 1 {
                         tree_allreduce_rank(&mut comm, dt, &mut node_sum, chunks)
                             .expect("fault-free allreduce must not fail");
                     }
+                    if let Some(buf) = &mut comm.obs {
+                        buf.op("bcast:h2d", len as u64, (len * gpus) as f64);
+                    }
                     // H2D broadcast: every GPU buffer gets the result.
-                    vec![node_sum; gpu_bufs.len()]
+                    (vec![node_sum; gpus], comm.obs.take())
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("node panicked"))
-            .collect()
-    })
+            .unzip()
+    });
+    if let Some(o) = obs {
+        for buf in bufs.into_iter().flatten() {
+            buf.commit(&o.rec);
+        }
+    }
+    outputs
 }
 
 #[cfg(test)]

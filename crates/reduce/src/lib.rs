@@ -33,8 +33,9 @@ pub mod sharded;
 
 pub use cluster::{ClusterConfig, ClusterModel};
 pub use exec::{
-    allreduce_dbtree, allreduce_dbtree_ft, allreduce_ring, hfreduce_exec, CommError, ExecFaultPlan,
-    FtReport,
+    allreduce_dbtree, allreduce_dbtree_ft, allreduce_dbtree_ft_traced, allreduce_dbtree_traced,
+    allreduce_ring, hfreduce_exec, hfreduce_exec_traced, CommError, ExecFaultPlan, FtReport,
+    ObsCtx,
 };
 pub use model::{AllreduceReport, HfReduceOptions, HfReduceVariant};
 pub use sharded::{allgather, fsdp_step_exec, reduce_scatter};

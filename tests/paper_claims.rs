@@ -126,3 +126,61 @@ fn failure_characterization_reproduced() {
     assert!((nv - 42.57).abs() < 2.0, "Xid74 share {nv}");
     assert!(nv / 100.0 < fireflyer::failures::data::OTHER_ARCH_NVLINK_SHARE);
 }
+
+/// The trace is an independent witness for Figure 7's bandwidth numbers:
+/// attach a recorder to the cluster's fluid sim, run one HFReduce, and
+/// re-derive algorithmic bandwidth purely from the recorded spans. The
+/// trace-derived figure must agree with the directly-reported one.
+#[test]
+fn hfreduce_algbw_rederived_from_trace() {
+    use fireflyer::obs::Recorder;
+    use fireflyer::reduce::model::hfreduce_time;
+    use fireflyer::reduce::ClusterModel;
+
+    let bytes = 16.0 * MIB;
+    let mut cluster = ClusterModel::build(&ClusterConfig::fire_flyer(16));
+    let rec = Recorder::new();
+    cluster.fluid.attach_recorder(&rec, "desim/cluster", 0);
+    let report = hfreduce_time(&mut cluster, bytes, &HfReduceOptions::default());
+    cluster.fluid.flush_stats();
+
+    // Elapsed time from the trace: the last transfer completion. algbw is
+    // gradient bytes over that, exactly the quantity the report computes
+    // from the sim clock.
+    let elapsed_s = rec.last_ts_ns() as f64 / 1e9;
+    assert!(elapsed_s > 0.0, "trace recorded no transfers");
+    let algbw_from_trace = report.data_bytes / elapsed_s;
+    let rel = (algbw_from_trace - report.algbw_bps).abs() / report.algbw_bps;
+    assert!(
+        rel < 1e-3,
+        "trace-derived algbw {algbw_from_trace:.3e} vs reported {:.3e} (rel {rel:.2e})",
+        report.algbw_bps
+    );
+
+    // The busy integral (units moved through all resources) must cover at
+    // least the gradient itself — the collective cannot move fewer bytes
+    // than it reduces — and utilization gauges must be sane fractions.
+    let snap = rec.snapshot();
+    let served: f64 = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.contains("/served/"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        served >= bytes,
+        "total units served {served:.3e} < gradient bytes {bytes:.3e}"
+    );
+    let utils: Vec<f64> = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.contains("/util/"))
+        .map(|(_, &v)| v)
+        .collect();
+    assert!(!utils.is_empty(), "no utilization gauges flushed");
+    assert!(utils.iter().all(|u| (0.0..=1.0 + 1e-9).contains(u)));
+    assert!(
+        utils.iter().any(|&u| u > 0.05),
+        "at least one resource should be meaningfully utilized"
+    );
+}
