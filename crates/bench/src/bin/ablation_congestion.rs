@@ -8,7 +8,7 @@
 use ff_bench::{compare, print_table};
 use ff_desim::{FluidSim, Route, SimTime};
 use ff_net::cc::{Dcqcn, DcqcnParams};
-use ff_net::experiments::{congestion_spread, incast, IncastConfig};
+use ff_net::experiments::{congestion_spread_with, incast, IncastConfig, SpreadConfig};
 use ff_net::{NetResources, ServiceLevel, VlConfig};
 use ff_topo::graph::{NodeKind, Topology};
 use ff_topo::routing::RoutePolicy;
@@ -54,25 +54,29 @@ fn vl_ablation() {
 }
 
 fn routing_ablation() {
-    let st = congestion_spread(RoutePolicy::StaticByDestination, 12);
-    let ad = congestion_spread(RoutePolicy::Adaptive, 12);
-    let rows = vec![
-        vec![
-            "static".to_string(),
-            format!("{:.2}", st.compute_bw.mean() / 1e9),
-            format!("{:.2}", st.worst_compute_bw / 1e9),
-            format!("{:.0}%", st.links_touched_by_storage * 100.0),
-        ],
-        vec![
-            "adaptive".into(),
-            format!("{:.2}", ad.compute_bw.mean() / 1e9),
-            format!("{:.2}", ad.worst_compute_bw / 1e9),
-            format!("{:.0}%", ad.links_touched_by_storage * 100.0),
-        ],
-    ];
+    let mut rows = Vec::new();
+    for (fabric, cfg) in [
+        ("small (48 hosts)", SpreadConfig::small(12)),
+        ("paper zone (780 hosts)", SpreadConfig::paper_zone(48)),
+    ] {
+        for (name, policy) in [
+            ("static", RoutePolicy::StaticByDestination),
+            ("adaptive", RoutePolicy::Adaptive),
+        ] {
+            let r = congestion_spread_with(policy, &cfg);
+            rows.push(vec![
+                fabric.to_string(),
+                name.to_string(),
+                format!("{:.2}", r.compute_bw.mean() / 1e9),
+                format!("{:.2}", r.worst_compute_bw / 1e9),
+                format!("{:.0}%", r.links_touched_by_storage * 100.0),
+            ]);
+        }
+    }
     print_table(
         "Ablation 2 — routing policy under storage incast",
         &[
+            "fabric",
             "routing",
             "mean compute GB/s",
             "worst GB/s",
@@ -87,25 +91,29 @@ fn routing_ablation() {
 }
 
 fn rts_ablation() {
-    let without = incast(&IncastConfig::heavy(None));
-    let with = incast(&IncastConfig::heavy(Some(8)));
-    let rows = vec![
-        vec![
-            "no control".to_string(),
-            format!("{:.2}", without.goodput_bps / 1e9),
-            format!("{:.2}", without.latency.mean() * 1e3),
-            format!("{:.1}", without.makespan_s * 1e3),
-        ],
-        vec![
-            "request-to-send (8)".into(),
-            format!("{:.2}", with.goodput_bps / 1e9),
-            format!("{:.2}", with.latency.mean() * 1e3),
-            format!("{:.1}", with.makespan_s * 1e3),
-        ],
-    ];
+    let mut rows = Vec::new();
+    for (scale, mk) in [
+        (
+            "64 senders",
+            IncastConfig::heavy as fn(Option<usize>) -> IncastConfig,
+        ),
+        ("180 senders (full zone)", IncastConfig::paper_scale),
+    ] {
+        for (name, limit) in [("no control", None), ("request-to-send (8)", Some(8))] {
+            let r = incast(&mk(limit));
+            rows.push(vec![
+                scale.to_string(),
+                name.to_string(),
+                format!("{:.2}", r.goodput_bps / 1e9),
+                format!("{:.2}", r.latency.mean() * 1e3),
+                format!("{:.1}", r.makespan_s * 1e3),
+            ]);
+        }
+    }
     print_table(
-        "Ablation 3 — 64-sender incast at the client NIC",
+        "Ablation 3 — incast at the client NIC",
         &[
+            "scale",
             "admission",
             "goodput GB/s",
             "mean latency ms",

@@ -1,11 +1,13 @@
 //! Figure 7a: allreduce bandwidth of HFReduce vs NCCL at 186 MiB, scaling
-//! from 16 to 1,440 GPUs.
+//! from 16 GPUs to the full 10,000-GPU deployment.
 //!
 //! HFReduce numbers come from the discrete-event cluster simulation
 //! (steady-state extrapolated, see `ff_reduce::model::hfreduce_steady`);
 //! NCCL from the calibrated ring model (validated against a full DAG
-//! simulation at small scale). Run with `--release`; the 1,440-GPU point
-//! simulates ~180 nodes of hardware.
+//! simulation at small scale). Run with `--release`; the final row
+//! simulates all 1,250 nodes of the paper's two-zone cluster
+//! ([`ClusterConfig::fire_flyer_full`]), which is only tractable with the
+//! incremental max-min solver.
 
 use ff_bench::{bar, print_table};
 use ff_reduce::model::{hfreduce_steady, HfReduceOptions};
@@ -14,16 +16,25 @@ use ff_reduce::ClusterConfig;
 
 fn main() {
     let bytes = 186.0 * 1024.0 * 1024.0;
-    let gpu_counts = [16usize, 32, 64, 128, 256, 512, 720, 1024, 1440];
+    let gpu_counts = [
+        16usize, 32, 64, 128, 256, 512, 720, 1024, 1440, 2560, 10_000,
+    ];
     let mut rows = Vec::new();
     let mut series = Vec::new();
     for &gpus in &gpu_counts {
         let nodes = gpus / 8;
-        let hf = hfreduce_steady(
-            &ClusterConfig::fire_flyer(nodes),
-            bytes,
-            &HfReduceOptions::default(),
-        );
+        // A single radix-40 zone tops out at 800 nodes; the 10,000-GPU
+        // point is the paper's fixed two-zone deployment.
+        let cfg = if nodes <= 800 {
+            ClusterConfig::fire_flyer(nodes)
+        } else {
+            assert_eq!(
+                nodes, 1250,
+                "only the paper's two-zone build exceeds one zone"
+            );
+            ClusterConfig::fire_flyer_full()
+        };
+        let hf = hfreduce_steady(&cfg, bytes, &HfReduceOptions::default());
         let nccl = ring_analytic_bw(gpus, bytes);
         rows.push(vec![
             gpus.to_string(),

@@ -480,7 +480,7 @@ mod tests {
         );
         dag.add(Work::Delay(SimDuration::from_secs(3)), &[]);
         dag.run();
-        let fluid = dag.into_fluid();
+        let mut fluid = dag.into_fluid();
         // Link busy for 1s out of 3s total.
         assert!((fluid.stats(link).utilization() - 1.0 / 3.0).abs() < 1e-6);
     }

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod time;
 
 pub use dag::{DagSim, NodeId as DagNodeId, Work};
-pub use fluid::{FlowId, FluidSim, ResourceId, Route};
+pub use fluid::{FlowId, FluidSim, ResourceId, Route, SolverMode};
 pub use queue::EventQueue;
 pub use stats::{ResourceStats, Summary};
 pub use time::{SimDuration, SimTime};

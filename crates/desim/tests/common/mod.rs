@@ -1,0 +1,3 @@
+//! Shared helpers for ff-desim integration tests.
+
+pub mod reference;

@@ -1,0 +1,252 @@
+//! The pre-incremental brute-force max-min solver, kept verbatim as a
+//! differential-testing oracle.
+//!
+//! This is the engine `FluidSim` shipped with before the incremental
+//! rewrite: flow progress is settled eagerly on every clock advance, the
+//! whole allocation is re-derived by one global water-fill whenever any
+//! flow starts/finishes/changes, and the next completion is found by a
+//! linear scan. It is O(flows × resources) per event — hopeless at
+//! 10,000-GPU scale, but only ~150 lines and obviously faithful to the
+//! progressive-filling definition, which is exactly what an oracle should
+//! be. `fluid_diff.rs` replays seeded random schedules against both
+//! engines and insists the answers agree.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+use ff_desim::{SimDuration, SimTime};
+
+struct RefFlow {
+    route: Vec<(usize, f64)>,
+    remaining: f64,
+    rate: f64,
+}
+
+/// Brute-force fluid simulator over `usize`-indexed resources.
+pub struct RefFluidSim {
+    now: SimTime,
+    capacity: Vec<f64>,
+    cap_override: Vec<f64>,
+    degrade_factor: Vec<f64>,
+    flows: BTreeMap<u64, RefFlow>,
+    next_flow_id: u64,
+    rates_dirty: bool,
+}
+
+impl RefFluidSim {
+    /// A simulator over resources with the given capacities.
+    pub fn new(capacities: &[f64]) -> Self {
+        assert!(capacities.iter().all(|&c| c > 0.0 && c.is_finite()));
+        RefFluidSim {
+            now: SimTime::ZERO,
+            capacity: capacities.to_vec(),
+            cap_override: vec![f64::INFINITY; capacities.len()],
+            degrade_factor: vec![1.0; capacities.len()],
+            flows: BTreeMap::new(),
+            next_flow_id: 0,
+            rates_dirty: false,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn effective_capacity(&self, r: usize) -> f64 {
+        (self.capacity[r] * self.degrade_factor[r]).min(self.cap_override[r])
+    }
+
+    pub fn set_rate_cap(&mut self, r: usize, cap: f64) {
+        assert!(cap > 0.0);
+        self.cap_override[r] = cap;
+        self.rates_dirty = true;
+    }
+
+    pub fn degrade(&mut self, r: usize, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0);
+        self.degrade_factor[r] = factor;
+        self.rates_dirty = true;
+    }
+
+    pub fn restore(&mut self, r: usize) {
+        self.degrade_factor[r] = 1.0;
+        self.rates_dirty = true;
+    }
+
+    /// Start a flow; routes normalize exactly like `Route::normalized`
+    /// (duplicates collapse, weights accumulate, hops sorted by resource).
+    pub fn start_flow(&mut self, work: f64, route: &[(usize, f64)]) -> u64 {
+        assert!(work > 0.0 && work.is_finite());
+        let mut map: BTreeMap<usize, f64> = BTreeMap::new();
+        for &(r, w) in route {
+            assert!(w > 0.0 && w.is_finite());
+            assert!(r < self.capacity.len());
+            *map.entry(r).or_insert(0.0) += w;
+        }
+        assert!(!map.is_empty());
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        self.flows.insert(
+            id,
+            RefFlow {
+                route: map.into_iter().collect(),
+                remaining: work,
+                rate: 0.0,
+            },
+        );
+        self.rates_dirty = true;
+        id
+    }
+
+    pub fn cancel_flow(&mut self, id: u64) -> f64 {
+        let flow = self.flows.remove(&id).expect("cancel_flow: unknown flow");
+        self.rates_dirty = true;
+        flow.remaining
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub fn flow_rate(&mut self, id: u64) -> f64 {
+        self.recompute_rates_if_dirty();
+        self.flows.get(&id).expect("flow_rate: unknown flow").rate
+    }
+
+    /// Instantaneous Σ rate×weight over `r`, the quantity the rewritten
+    /// engine maintains incrementally as `cur_load`.
+    pub fn resource_load(&mut self, r: usize) -> f64 {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .map(|f| {
+                f.route
+                    .iter()
+                    .filter(|&&(rr, _)| rr == r)
+                    .map(|&(_, w)| f.rate * w)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    pub fn next_completion_time(&mut self) -> Option<SimTime> {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .map(|f| self.now + SimDuration::for_work(f.remaining, f.rate))
+            .min()
+    }
+
+    pub fn advance_to_next_completion(&mut self) -> Option<(SimTime, Vec<u64>)> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        self.recompute_rates_if_dirty();
+        let mut at = SimTime::MAX;
+        let mut done: Vec<u64> = Vec::new();
+        for (&id, f) in &self.flows {
+            let fin = self.now + SimDuration::for_work(f.remaining, f.rate);
+            if fin < at {
+                at = fin;
+                done.clear();
+                done.push(id);
+            } else if fin == at {
+                done.push(id);
+            }
+        }
+        self.progress_flows_to(at);
+        self.now = at;
+        for id in &done {
+            self.flows.remove(id).expect("completion bookkeeping");
+        }
+        self.rates_dirty = true;
+        Some((at, done))
+    }
+
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to: {t} is in the past");
+        if let Some(next) = self.next_completion_time() {
+            assert!(t <= next, "advance_to: {t} would skip a completion");
+        }
+        self.progress_flows_to(t);
+        self.now = t;
+    }
+
+    /// Eager progress: decrement `remaining` on every flow for `[now, t]`.
+    fn progress_flows_to(&mut self, t: SimTime) {
+        self.recompute_rates_if_dirty();
+        let dt = t.since(self.now).as_secs_f64();
+        if dt == 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
+        }
+    }
+
+    fn recompute_rates_if_dirty(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        self.water_fill();
+    }
+
+    /// Global progressive filling, byte-for-byte the pre-rewrite algorithm.
+    fn water_fill(&mut self) {
+        let n_res = self.capacity.len();
+        let mut residual: Vec<f64> = (0..n_res).map(|r| self.effective_capacity(r)).collect();
+        let mut weight_sum = vec![0.0f64; n_res];
+        let ids: Vec<u64> = self.flows.keys().copied().collect();
+        let mut unfrozen: Vec<u64> = ids.clone();
+        for f in self.flows.values_mut() {
+            f.rate = 0.0;
+        }
+        for id in &ids {
+            for &(r, w) in &self.flows[id].route {
+                weight_sum[r] += w;
+            }
+        }
+        while !unfrozen.is_empty() {
+            let mut delta = f64::INFINITY;
+            for id in &unfrozen {
+                for &(r, _) in &self.flows[id].route {
+                    let ws = weight_sum[r];
+                    if ws > 0.0 {
+                        delta = delta.min(residual[r] / ws);
+                    }
+                }
+            }
+            assert!(
+                delta.is_finite() && delta >= 0.0,
+                "water_fill: degenerate allocation (delta={delta})"
+            );
+            for id in &unfrozen {
+                let f = self.flows.get_mut(id).expect("unfrozen flow exists");
+                f.rate += delta;
+                for &(r, w) in &f.route {
+                    residual[r] -= delta * w;
+                }
+            }
+            let saturated: Vec<bool> = residual
+                .iter()
+                .enumerate()
+                .map(|(i, &res)| res <= self.effective_capacity(i) * 1e-6)
+                .collect();
+            let (frozen_now, still): (Vec<u64>, Vec<u64>) = unfrozen
+                .into_iter()
+                .partition(|id| self.flows[id].route.iter().any(|&(r, _)| saturated[r]));
+            assert!(
+                !frozen_now.is_empty(),
+                "water_fill: no progress (numerical issue)"
+            );
+            for id in &frozen_now {
+                for &(r, w) in &self.flows[id].route {
+                    weight_sum[r] -= w;
+                }
+            }
+            unfrozen = still;
+        }
+    }
+}

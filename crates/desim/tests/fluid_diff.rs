@@ -1,0 +1,240 @@
+//! Differential test: the incremental solver against two oracles.
+//!
+//! Every seeded scenario from `ff_util::scengen` is replayed through three
+//! engines:
+//!
+//! 1. `FluidSim` in [`SolverMode::Incremental`] — the production path:
+//!    component-scoped recomputes, lazy settling, heap-driven completions.
+//! 2. `FluidSim` in [`SolverMode::Reference`] — same fill arithmetic, but
+//!    every component re-solved every time and completions found by linear
+//!    scan. Must agree **bit for bit**: any divergence means the dirty
+//!    tracking, component walk, or heap invalidation dropped an update.
+//! 3. `RefFluidSim` — the pre-rewrite brute-force engine kept verbatim in
+//!    `tests/common/reference.rs` (global water-fill, eager per-advance
+//!    progress). Must agree on rates to 1e-9 relative and on completion
+//!    order, with completion instants within a couple of nanoseconds
+//!    (eager vs lazy settling legitimately reorders f64 rounding).
+//!
+//! The schedules include mid-run `degrade`/`restore`/`set_rate_cap`/
+//! `cancel_flow` events and same-instant bursts, per the scenario
+//! generator.
+
+mod common;
+
+use std::collections::BTreeMap;
+
+use common::reference::RefFluidSim;
+use ff_desim::{FlowId, FluidSim, Route, SimTime, SolverMode};
+use ff_util::scengen::{GenConfig, ScenEvent, Scenario};
+
+/// Everything observable about one engine's replay of a scenario, in a
+/// shape that is engine-independent and directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+struct Replay {
+    /// Rates of all active flows, probed after every event application,
+    /// in active-list order (start order, cancellations `swap_remove`d).
+    rate_probes: Vec<f64>,
+    /// `resource_load` of every resource, probed after every event.
+    load_probes: Vec<f64>,
+    /// Remaining work returned by each `cancel_flow`, in cancel order.
+    cancel_remaining: Vec<f64>,
+    /// `(flow ordinal, completion ns)` in completion order (batches
+    /// flattened in id order, which both engines guarantee).
+    completions: Vec<(u64, u64)>,
+}
+
+fn replay_fluidsim(s: &Scenario, mode: SolverMode) -> Replay {
+    let mut sim = FluidSim::with_solver(mode);
+    let rids: Vec<_> = s
+        .capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
+        .collect();
+    let mut out = Replay {
+        rate_probes: Vec::new(),
+        load_probes: Vec::new(),
+        cancel_remaining: Vec::new(),
+        completions: Vec::new(),
+    };
+    let mut ordinal_of: BTreeMap<FlowId, u64> = BTreeMap::new();
+    let mut next_ordinal = 0u64;
+    let mut active: Vec<FlowId> = Vec::new();
+    let drain_until = |sim: &mut FluidSim,
+                       active: &mut Vec<FlowId>,
+                       ordinal_of: &BTreeMap<FlowId, u64>,
+                       out: &mut Replay,
+                       t: Option<SimTime>| {
+        while let Some(tc) = sim.next_completion_time() {
+            if t.is_some_and(|t| tc > t) {
+                break;
+            }
+            let (at, done) = sim.advance_to_next_completion().unwrap();
+            for id in done {
+                out.completions.push((ordinal_of[&id], at.as_nanos()));
+                active.retain(|&f| f != id);
+            }
+        }
+    };
+    for &(t_ns, ref ev) in &s.events {
+        let t = SimTime(t_ns);
+        drain_until(&mut sim, &mut active, &ordinal_of, &mut out, Some(t));
+        sim.advance_to(t);
+        match ev {
+            ScenEvent::Start { route, work } => {
+                let hops: Vec<_> = route.iter().map(|&(r, w)| (rids[r], w)).collect();
+                let id = sim.start_flow(*work, &Route::weighted(hops));
+                ordinal_of.insert(id, next_ordinal);
+                next_ordinal += 1;
+                active.push(id);
+            }
+            ScenEvent::Degrade { resource, factor } => sim.degrade(rids[*resource], *factor),
+            ScenEvent::Restore { resource } => sim.restore(rids[*resource]),
+            ScenEvent::SetRateCap { resource, cap } => sim.set_rate_cap(rids[*resource], *cap),
+            ScenEvent::Cancel { nth } => {
+                if !active.is_empty() {
+                    let id = active.swap_remove(nth % active.len());
+                    out.cancel_remaining.push(sim.cancel_flow(id));
+                }
+            }
+        }
+        for &id in &active {
+            out.rate_probes.push(sim.flow_rate(id));
+        }
+        for &r in &rids {
+            out.load_probes.push(sim.resource_load(r));
+        }
+    }
+    drain_until(&mut sim, &mut active, &ordinal_of, &mut out, None);
+    assert_eq!(sim.active_flows(), 0, "drain left flows behind");
+    out
+}
+
+fn replay_brute(s: &Scenario) -> Replay {
+    let mut sim = RefFluidSim::new(&s.capacities);
+    let mut out = Replay {
+        rate_probes: Vec::new(),
+        load_probes: Vec::new(),
+        cancel_remaining: Vec::new(),
+        completions: Vec::new(),
+    };
+    let mut active: Vec<u64> = Vec::new();
+    let drain_until =
+        |sim: &mut RefFluidSim, active: &mut Vec<u64>, out: &mut Replay, t: Option<SimTime>| {
+            while let Some(tc) = sim.next_completion_time() {
+                if t.is_some_and(|t| tc > t) {
+                    break;
+                }
+                let (at, done) = sim.advance_to_next_completion().unwrap();
+                for id in done {
+                    out.completions.push((id, at.as_nanos()));
+                    active.retain(|&f| f != id);
+                }
+            }
+        };
+    for &(t_ns, ref ev) in &s.events {
+        let t = SimTime(t_ns);
+        drain_until(&mut sim, &mut active, &mut out, Some(t));
+        sim.advance_to(t);
+        match ev {
+            ScenEvent::Start { route, work } => {
+                let id = sim.start_flow(*work, route);
+                active.push(id);
+            }
+            ScenEvent::Degrade { resource, factor } => sim.degrade(*resource, *factor),
+            ScenEvent::Restore { resource } => sim.restore(*resource),
+            ScenEvent::SetRateCap { resource, cap } => sim.set_rate_cap(*resource, *cap),
+            ScenEvent::Cancel { nth } => {
+                if !active.is_empty() {
+                    let id = active.swap_remove(nth % active.len());
+                    out.cancel_remaining.push(sim.cancel_flow(id));
+                }
+            }
+        }
+        for &id in &active {
+            out.rate_probes.push(sim.flow_rate(id));
+        }
+        for r in 0..s.capacities.len() {
+            out.load_probes.push(sim.resource_load(r));
+        }
+    }
+    drain_until(&mut sim, &mut active, &mut out, None);
+    assert_eq!(sim.active_flows(), 0, "drain left flows behind");
+    out
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str, seed: u64) {
+    assert_eq!(a.len(), b.len(), "seed {seed}: {what} probe count differs");
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "seed {seed}: {what}[{i}] diverged: {x} vs {y}"
+        );
+    }
+}
+
+fn check_seed(seed: u64, cfg: &GenConfig) {
+    let s = Scenario::generate(seed, cfg);
+    let inc = replay_fluidsim(&s, SolverMode::Incremental);
+    let refm = replay_fluidsim(&s, SolverMode::Reference);
+    // Incremental vs in-tree Reference mode: bit-for-bit identical — the
+    // fill arithmetic is shared, so any difference is a solver bug, not
+    // floating-point noise.
+    assert_eq!(
+        inc, refm,
+        "seed {seed}: incremental and reference solver modes diverged"
+    );
+    // Vs the pre-rewrite brute-force engine: rates to 1e-9, completion
+    // order exact, completion instants within 2 ns (eager vs lazy progress
+    // settling reorders the f64 operations around the integer-ns ceil).
+    let brute = replay_brute(&s);
+    assert_close(&inc.rate_probes, &brute.rate_probes, 1e-9, "rate", seed);
+    assert_close(&inc.load_probes, &brute.load_probes, 1e-9, "load", seed);
+    assert_close(
+        &inc.cancel_remaining,
+        &brute.cancel_remaining,
+        1e-9,
+        "cancel remaining",
+        seed,
+    );
+    assert_eq!(
+        inc.completions.len(),
+        brute.completions.len(),
+        "seed {seed}: completion counts differ"
+    );
+    for (i, (&(fa, ta), &(fb, tb))) in inc.completions.iter().zip(&brute.completions).enumerate() {
+        assert_eq!(
+            fa, fb,
+            "seed {seed}: completion order diverged at #{i}: flow {fa} vs {fb}"
+        );
+        assert!(
+            ta.abs_diff(tb) <= 2,
+            "seed {seed}: flow {fa} completion time diverged: {ta} ns vs {tb} ns"
+        );
+    }
+}
+
+#[test]
+fn incremental_solver_agrees_on_1024_default_scenarios() {
+    let cfg = GenConfig::default();
+    for seed in 0x0D1F_0000..0x0D1F_0000 + 1024 {
+        check_seed(seed, &cfg);
+    }
+}
+
+#[test]
+fn incremental_solver_agrees_on_dense_scenarios() {
+    // Larger, denser topologies: more flows per resource, longer routes,
+    // tighter event spacing — proportionally more same-instant batches and
+    // multi-resource components.
+    let cfg = GenConfig {
+        max_resources: 24,
+        max_events: 96,
+        max_route_len: 6,
+        max_gap_ns: 800_000,
+    };
+    for seed in 0x0D2F_0000..0x0D2F_0000 + 128 {
+        check_seed(seed, &cfg);
+    }
+}

@@ -47,6 +47,16 @@ impl IncastConfig {
             degradation: 0.15,
         }
     }
+
+    /// The zone-scale version: every storage server of a full Fire-Flyer
+    /// zone (180 per zone, §III) answering the same client at once.
+    pub fn paper_scale(rts_limit: Option<usize>) -> Self {
+        IncastConfig {
+            senders: 180,
+            bytes: 32.0 * 1024.0 * 1024.0,
+            ..Self::heavy(rts_limit)
+        }
+    }
 }
 
 /// Outcome of the incast experiment.
@@ -62,9 +72,17 @@ pub struct IncastResult {
 
 /// Run the incast scenario on a small fat-tree.
 pub fn incast(cfg: &IncastConfig) -> IncastResult {
-    // Topology: enough leaves for senders + 1 client.
-    let leaf_down = 8;
-    let spec = FatTreeSpec::small((cfg.senders + 1).div_ceil(leaf_down).max(2), 4, leaf_down);
+    // Topology: enough leaves for senders + 1 client on the small test
+    // fabric; a full radix-40 paper zone once the population outgrows it
+    // (the small spec's 4 spines run out of ports past 12 leaves).
+    let hosts = cfg.senders + 1;
+    let spec = if hosts <= 96 {
+        FatTreeSpec::small(hosts.div_ceil(8).max(2), 4, 8)
+    } else {
+        let zone = FatTreeSpec::paper_zone();
+        assert!(hosts <= zone.endpoints(), "{hosts} hosts exceed one zone");
+        zone
+    };
     let mut topo = Topology::new();
     let mut zone = build_zone(&mut topo, &spec, 0);
     let client = topo.add_node(NodeKind::ComputeHost, "client", Some(0));
@@ -179,19 +197,66 @@ pub struct SpreadResult {
     pub links_touched_by_storage: f64,
 }
 
-/// Run the static-vs-adaptive routing comparison under storage incast.
+/// Scale of the congestion-spread experiment: the fabric plus the host
+/// populations attached to it.
+#[derive(Debug, Clone, Copy)]
+pub struct SpreadConfig {
+    /// The leaf/spine fabric to build.
+    pub spec: FatTreeSpec,
+    /// Compute hosts, each running one long ring-neighbour flow.
+    pub compute_hosts: usize,
+    /// Storage hosts attached to the fabric (a couple act as hot servers).
+    pub storage_hosts: usize,
+    /// Concurrent storage flows per burst wave.
+    pub storage_flows_per_wave: usize,
+}
+
+impl SpreadConfig {
+    /// The original small fabric: 8 leaves × 4 spines, 32 compute + 16
+    /// storage hosts. Cheap enough for debug-mode unit tests.
+    pub fn small(storage_flows_per_wave: usize) -> Self {
+        SpreadConfig {
+            spec: FatTreeSpec::small(8, 4, 8),
+            compute_hosts: 32,
+            storage_hosts: 16,
+            storage_flows_per_wave,
+        }
+    }
+
+    /// One full Fire-Flyer zone (§III): a radix-40 leaf/spine fabric (40
+    /// leaves × 20 spines, 800 down-ports) carrying 600 compute nodes and
+    /// 180 storage servers — the scale at which the §VI-A2 congestion-spread
+    /// observation was actually made. Hundreds of concurrent flows per
+    /// recompute: only tractable with the incremental solver.
+    pub fn paper_zone(storage_flows_per_wave: usize) -> Self {
+        SpreadConfig {
+            spec: FatTreeSpec::paper_zone(),
+            compute_hosts: 600,
+            storage_hosts: 180,
+            storage_flows_per_wave,
+        }
+    }
+}
+
+/// Run the static-vs-adaptive routing comparison under storage incast on
+/// the original small fabric ([`SpreadConfig::small`]).
 pub fn congestion_spread(policy: RoutePolicy, storage_flows_per_wave: usize) -> SpreadResult {
-    let spec = FatTreeSpec::small(8, 4, 8);
+    congestion_spread_with(policy, &SpreadConfig::small(storage_flows_per_wave))
+}
+
+/// Run the comparison at an arbitrary scale.
+pub fn congestion_spread_with(policy: RoutePolicy, cfg: &SpreadConfig) -> SpreadResult {
+    let spec = &cfg.spec;
     let mut topo = Topology::new();
-    let mut zone = build_zone(&mut topo, &spec, 0);
+    let mut zone = build_zone(&mut topo, spec, 0);
     let mut compute = Vec::new();
-    for i in 0..32 {
+    for i in 0..cfg.compute_hosts {
         let h = topo.add_node(NodeKind::ComputeHost, format!("c{i}"), Some(0));
         attach_host(&mut topo, &mut zone, h, spec.link_capacity);
         compute.push(h);
     }
     let mut storage = Vec::new();
-    for i in 0..16 {
+    for i in 0..cfg.storage_hosts {
         let h = topo.add_node(NodeKind::StorageHost, format!("s{i}"), Some(0));
         attach_host(&mut topo, &mut zone, h, spec.link_capacity);
         storage.push(h);
@@ -225,7 +290,7 @@ pub fn congestion_spread(policy: RoutePolicy, storage_flows_per_wave: usize) -> 
                       storage_live: &mut HashMap<FlowId, usize>,
                       storage_links: &mut std::collections::HashSet<ff_topo::LinkId>,
                       wave_key: &mut u64| {
-        for j in 0..storage_flows_per_wave {
+        for j in 0..cfg.storage_flows_per_wave {
             let src = storage[j % 2];
             let dst = compute[(*wave_key as usize + j * 7) % compute.len()];
             *wave_key += 1;
@@ -280,7 +345,7 @@ pub fn congestion_spread(policy: RoutePolicy, storage_flows_per_wave: usize) -> 
         // Keep the incast pressure on while compute runs.
         if storage_done > 0
             && !compute_flows.is_empty()
-            && storage_live.len() < storage_flows_per_wave
+            && storage_live.len() < cfg.storage_flows_per_wave
         {
             start_wave(
                 &mut fluid,
@@ -348,6 +413,29 @@ mod tests {
         // compute flow (the allreduce pace-setter) suffers.
         let st = congestion_spread(RoutePolicy::StaticByDestination, 12);
         let ad = congestion_spread(RoutePolicy::Adaptive, 12);
+        assert!(
+            ad.worst_compute_bw < st.worst_compute_bw,
+            "adaptive straggler {} should be slower than static {}",
+            ad.worst_compute_bw,
+            st.worst_compute_bw
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "zone-scale fabric (780 hosts, 600+ concurrent flows): run with --release"
+    )]
+    fn paper_zone_spread_holds_at_full_scale() {
+        let st = congestion_spread_with(
+            RoutePolicy::StaticByDestination,
+            &SpreadConfig::paper_zone(48),
+        );
+        let ad = congestion_spread_with(RoutePolicy::Adaptive, &SpreadConfig::paper_zone(48));
+        assert_eq!(st.compute_bw.count(), 600);
+        assert_eq!(ad.compute_bw.count(), 600);
+        // The §VI-A2 effect survives at the scale it was reported at: the
+        // compute straggler is slower under adaptive routing.
         assert!(
             ad.worst_compute_bw < st.worst_compute_bw,
             "adaptive straggler {} should be slower than static {}",

@@ -46,6 +46,18 @@ impl ClusterConfig {
             ..Self::fire_flyer(nodes)
         }
     }
+
+    /// The full Fire-Flyer 2 deployment (§III): 1,250 nodes / 10,000 GPUs
+    /// split across the paper's two zones, 625 nodes per zone under
+    /// radix-40 leaf/spine switches, with the limited inter-zone links.
+    /// Only viable with the incremental solver — the brute-force engine's
+    /// global recompute makes this scale intractable.
+    pub fn fire_flyer_full() -> Self {
+        ClusterConfig {
+            two_zone: true,
+            ..Self::fire_flyer(1250)
+        }
+    }
 }
 
 /// A built cluster: fluid resources for every node's internals and every
@@ -194,6 +206,17 @@ mod tests {
         assert_eq!(c.gpus(), 1440);
         // Paper-shaped zone: radix-40 switches appear.
         assert!(c.topo.switches().len() >= 9 + 20);
+    }
+
+    #[test]
+    fn full_cluster_builds_at_paper_scale() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer_full());
+        assert_eq!(c.nodes(), 1250);
+        assert_eq!(c.gpus(), 10_000);
+        // Two paper-shaped zones with hosts in both.
+        assert_eq!(c.zone_of(0), 0);
+        assert_eq!(c.zone_of(1249), 1);
+        assert!(c.topo.switches().len() >= 2 * (32 + 20));
     }
 
     #[test]

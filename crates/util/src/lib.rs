@@ -11,9 +11,13 @@
 //! - [`channel`] — multi-producer multi-consumer FIFO channels with
 //!   disconnect semantics and `recv_timeout`
 //! - [`rng`] — a seeded, deterministic ChaCha8 generator
+//!
+//! [`scengen`] builds on [`rng`] to generate seeded random fluid-simulation
+//! scenarios (topology + flow schedule) for differential solver testing.
 
 pub mod bench;
 pub mod bytes;
 pub mod channel;
 pub mod rng;
+pub mod scengen;
 pub mod sync;

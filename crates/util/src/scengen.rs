@@ -1,0 +1,218 @@
+//! Seeded random topology / flow-schedule generator.
+//!
+//! Produces small but adversarial fluid-simulation scenarios — a set of
+//! resource capacities plus a timestamped schedule of flow starts,
+//! degradations, restores, rate-cap changes and cancellations — entirely in
+//! plain indices so the bottom-of-stack `ff-util` crate stays independent
+//! of the simulator. The differential suite in `desim/tests/fluid_diff.rs`
+//! replays one scenario against several solver implementations and demands
+//! they agree; anything else replaying the same `(seed, config)` pair sees
+//! the exact same schedule.
+//!
+//! All numeric parameters are drawn from "nice" grids (capacities in
+//! multiples of 25, weights in halves, integral work units, degrade
+//! factors exactly representable in binary) so that a correct solver's
+//! f64 arithmetic has the best possible chance of agreeing bit-for-bit
+//! across algebraically equivalent implementations — differences the
+//! suite then observes are real, not rounding noise.
+
+use crate::rng::ChaCha8Rng;
+
+/// Tuning knobs for [`Scenario::generate`]. The defaults give compact
+/// scenarios (≤ 12 resources, ≤ 48 events) suitable for running thousands
+/// of cases in a test.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Resources per scenario are drawn from `2..=max_resources`.
+    pub max_resources: usize,
+    /// Events per scenario are drawn from `4..=max_events`.
+    pub max_events: usize,
+    /// Route hops per flow are drawn from `1..=max_route_len` (duplicate
+    /// resources allowed, exercising weight accumulation).
+    pub max_route_len: usize,
+    /// Maximum gap between consecutive event timestamps, in nanoseconds.
+    pub max_gap_ns: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_resources: 12,
+            max_events: 48,
+            max_route_len: 4,
+            max_gap_ns: 5_000_000,
+        }
+    }
+}
+
+/// One scheduled action against the simulated topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenEvent {
+    /// Start a flow of `work` units over `route` (`(resource index,
+    /// weight)` hops; duplicates accumulate weight).
+    Start {
+        /// Hops as `(resource index, weight)` pairs.
+        route: Vec<(usize, f64)>,
+        /// Units of work to move.
+        work: f64,
+    },
+    /// Degrade a resource to `factor × capacity`.
+    Degrade {
+        /// Resource index.
+        resource: usize,
+        /// Health multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Lift any degradation on a resource.
+    Restore {
+        /// Resource index.
+        resource: usize,
+    },
+    /// Impose a congestion-control ceiling on a resource's aggregate load.
+    SetRateCap {
+        /// Resource index.
+        resource: usize,
+        /// Ceiling in units/second.
+        cap: f64,
+    },
+    /// Cancel the `nth % active` currently-active flow (no-op when no
+    /// flows are active). The consumer tracks its own active list, ordered
+    /// by start, completions removed, cancellations `swap_remove`d.
+    Cancel {
+        /// Selector into the consumer's active-flow list.
+        nth: usize,
+    },
+}
+
+/// A reproducible topology + flow schedule: capacities for a dense set of
+/// resources and a time-ordered event list.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed this scenario was generated from.
+    pub seed: u64,
+    /// Capacity of resource `i` in units/second.
+    pub capacities: Vec<f64>,
+    /// `(timestamp ns, event)`, non-decreasing in time. Repeated
+    /// timestamps are deliberate: they exercise same-instant batching.
+    pub events: Vec<(u64, ScenEvent)>,
+}
+
+impl Scenario {
+    /// Deterministically generate the scenario for `(seed, cfg)`.
+    pub fn generate(seed: u64, cfg: &GenConfig) -> Scenario {
+        const WEIGHTS: [f64; 7] = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0];
+        const FACTORS: [f64; 4] = [0.25, 0.5, 0.625, 0.75];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n_res = rng.gen_range(2..cfg.max_resources + 1);
+        let capacities: Vec<f64> = (0..n_res)
+            .map(|_| 25.0 * rng.gen_range(1u64..41) as f64)
+            .collect();
+        let n_events = rng.gen_range(4..cfg.max_events + 1);
+        let mut events = Vec::with_capacity(n_events);
+        let mut t = 0u64;
+        let mut starts = 0usize;
+        for i in 0..n_events {
+            // Same-instant bursts are common in real collectives (a wave of
+            // chunk transfers) and stress completion batching: keep ~30% of
+            // events at the previous timestamp.
+            if i > 0 && !rng.gen_bool(0.3) {
+                t += rng.gen_range(1..cfg.max_gap_ns);
+            }
+            let roll = rng.gen_range(0u32..100);
+            let ev = if roll < 55 || starts == 0 {
+                let len = rng.gen_range(1..cfg.max_route_len + 1);
+                let route = (0..len)
+                    .map(|_| {
+                        let r = rng.gen_range(0..n_res);
+                        (r, *rng.choose(&WEIGHTS).unwrap())
+                    })
+                    .collect();
+                starts += 1;
+                ScenEvent::Start {
+                    route,
+                    work: rng.gen_range(1u64..501) as f64,
+                }
+            } else if roll < 70 {
+                ScenEvent::Degrade {
+                    resource: rng.gen_range(0..n_res),
+                    factor: *rng.choose(&FACTORS).unwrap(),
+                }
+            } else if roll < 80 {
+                ScenEvent::Restore {
+                    resource: rng.gen_range(0..n_res),
+                }
+            } else if roll < 90 {
+                ScenEvent::SetRateCap {
+                    resource: rng.gen_range(0..n_res),
+                    cap: 5.0 * rng.gen_range(1u64..61) as f64,
+                }
+            } else {
+                ScenEvent::Cancel {
+                    nth: rng.gen_range(0..64),
+                }
+            };
+            events.push((t, ev));
+        }
+        Scenario {
+            seed,
+            capacities,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cfg = GenConfig::default();
+        let a = Scenario::generate(0xD1FF, &cfg);
+        let b = Scenario::generate(0xD1FF, &cfg);
+        assert_eq!(a.capacities, b.capacities);
+        assert_eq!(a.events, b.events);
+        let c = Scenario::generate(0xD200, &cfg);
+        assert!(a.events != c.events || a.capacities != c.capacities);
+    }
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let s = Scenario::generate(seed, &cfg);
+            assert!((2..=cfg.max_resources).contains(&s.capacities.len()));
+            assert!((4..=cfg.max_events).contains(&s.events.len()));
+            assert!(s.capacities.iter().all(|&c| c > 0.0));
+            let mut starts = 0;
+            let mut prev_t = 0;
+            for (t, ev) in &s.events {
+                assert!(*t >= prev_t, "timestamps must be non-decreasing");
+                prev_t = *t;
+                match ev {
+                    ScenEvent::Start { route, work } => {
+                        starts += 1;
+                        assert!(!route.is_empty());
+                        assert!(route
+                            .iter()
+                            .all(|&(r, w)| r < s.capacities.len() && w > 0.0));
+                        assert!(*work > 0.0);
+                    }
+                    ScenEvent::Degrade { resource, factor } => {
+                        assert!(*resource < s.capacities.len());
+                        assert!(*factor > 0.0 && *factor <= 1.0);
+                    }
+                    ScenEvent::Restore { resource } => {
+                        assert!(*resource < s.capacities.len())
+                    }
+                    ScenEvent::SetRateCap { resource, cap } => {
+                        assert!(*resource < s.capacities.len());
+                        assert!(*cap > 0.0);
+                    }
+                    ScenEvent::Cancel { .. } => {}
+                }
+            }
+            assert!(starts > 0, "every scenario starts at least one flow");
+        }
+    }
+}
