@@ -97,6 +97,10 @@ Availability numbers derived from Tables VI–VIII:"
         kills: vec![(27, 1)],
         corrupt_ckpts: vec![24],
         degrades: vec![(11, 4)],
+        // A storage target dies at step 13 and rejoins (validated and
+        // re-synced) at step 18; checkpoint 16 lands on the degraded chain.
+        storage_kills: vec![(13, 2)],
+        storage_rejoins: vec![(18, 2)],
     };
     let recorder = trace_path.as_ref().map(|_| Recorder::new());
     let faulty =
@@ -122,6 +126,17 @@ Availability numbers derived from Tables VI–VIII:"
             }
             RecoveryEvent::ResumedFrom { step } => {
                 format!("step {step:>3}: resumed from checkpoint {step}")
+            }
+            RecoveryEvent::StorageTargetLost { step, target } => {
+                format!(
+                    "step {step:>3}: storage target {target} died — chain serves degraded, \
+                     writes ride through on retries"
+                )
+            }
+            RecoveryEvent::StorageRejoined { step, target } => {
+                format!(
+                    "step {step:>3}: storage target {target} validated and re-synced back in"
+                )
             }
         };
         println!("  {line}");

@@ -106,6 +106,9 @@ impl OpsSimulation {
                     FailureKind::MainMemoryEcc => true,
                     // Flash cuts break a link, not a node; tasks retry.
                     FailureKind::NetworkFlashCut => false,
+                    // Storage faults are absorbed by the storage plane
+                    // (chain failover + re-sync), not the compute pool.
+                    FailureKind::StorageTargetFailure => false,
                 };
                 if needs_action && !repairs.iter().any(|&(_, n)| n == e.node) {
                     node_failures += 1;

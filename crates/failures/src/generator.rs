@@ -21,6 +21,10 @@ pub enum FailureKind {
     MainMemoryEcc,
     /// An IB link flash cut.
     NetworkFlashCut,
+    /// A 3FS storage target died (SSD failure or storage-node loss,
+    /// §VI-B). Handled by the storage plane — chain reconfiguration and
+    /// re-sync — not by the job scheduler.
+    StorageTargetFailure,
 }
 
 /// One generated failure event.
@@ -64,6 +68,15 @@ impl FailureGenerator {
             nodes: nodes.max(1),
             rates,
         }
+    }
+
+    /// Add a storage-target failure process at `per_year` events/year.
+    /// Opt-in (not part of `paper_calibrated`): appending a default rate
+    /// would shift the seeded sampling streams of every calibrated trace.
+    pub fn with_storage_failures(&mut self, per_year: f64) {
+        assert!(per_year > 0.0);
+        self.rates
+            .push((FailureKind::StorageTargetFailure, per_year / YEAR_S));
     }
 
     /// Scale all rates (e.g. simulate a smaller cluster or a worse batch

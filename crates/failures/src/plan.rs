@@ -53,16 +53,27 @@ pub enum FaultAction {
         /// The affected job rank.
         rank: usize,
     },
+    /// A 3FS storage target dies. The job's ranks all survive; the
+    /// storage plane must reconfigure the affected chain and re-sync a
+    /// recruit while checkpoint I/O rides through on client retries.
+    KillStorageTarget {
+        /// The storage-target index (the node mapped into the storage
+        /// pool rather than the rank space).
+        target: usize,
+    },
 }
 
 impl FaultAction {
-    /// The rank the action lands on.
+    /// The rank the action lands on. For a storage-target kill this is
+    /// the target index — storage faults land on the storage pool, not a
+    /// job rank.
     pub fn rank(&self) -> usize {
         match *self {
             FaultAction::KillRank { rank }
             | FaultAction::DegradeLink { rank, .. }
             | FaultAction::CorruptData { rank }
             | FaultAction::Tolerate { rank } => rank,
+            FaultAction::KillStorageTarget { target } => target,
         }
     }
 }
@@ -110,6 +121,7 @@ pub fn action_for(kind: FailureKind, rank: usize) -> FaultAction {
             rank,
             factor: FLASH_CUT_FACTOR,
         },
+        FailureKind::StorageTargetFailure => FaultAction::KillStorageTarget { target: rank },
     }
 }
 
@@ -224,6 +236,32 @@ mod tests {
             }
             other => panic!("flash cut mapped to {other:?}"),
         }
+        // Storage-target death lands on the storage pool, not a rank.
+        assert_eq!(
+            action_for(FailureKind::StorageTargetFailure, 3),
+            FaultAction::KillStorageTarget { target: 3 }
+        );
+    }
+
+    #[test]
+    fn storage_failures_are_opt_in() {
+        // The calibrated stream must be byte-identical with and without
+        // the storage process switched on elsewhere — i.e. the default
+        // generator never emits storage faults.
+        let plan = FaultPlan::generate(21, 64, 30.0 * 86_400.0, 50.0);
+        assert!(plan
+            .faults
+            .iter()
+            .all(|f| !matches!(f.action, FaultAction::KillStorageTarget { .. })));
+        // Opting in produces them.
+        let mut gen = crate::generator::FailureGenerator::paper_calibrated(21, 64);
+        gen.with_storage_failures(5000.0);
+        let events = gen.generate(30.0 * 86_400.0);
+        let plan = FaultPlan::from_events(&events, 64);
+        assert!(plan
+            .faults
+            .iter()
+            .any(|f| matches!(f.action, FaultAction::KillStorageTarget { .. })));
     }
 
     #[test]

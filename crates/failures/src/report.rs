@@ -83,7 +83,7 @@ pub fn monthly_trends(events: &[FailureEvent], months: usize) -> Vec<MonthlyTren
             FailureKind::GpuXid(x) if matches!(x.0, 63 | 64 | 79 | 94 | 95) => {
                 out[m].gpu_memory_xids += 1
             }
-            FailureKind::GpuXid(_) => {}
+            FailureKind::GpuXid(_) | FailureKind::StorageTargetFailure => {}
         }
     }
     out

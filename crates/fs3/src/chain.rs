@@ -7,12 +7,23 @@
 //! the tail (never a data transfer). Writes to one object are serialized
 //! (the head's role in CRAQ); distinct objects proceed fully in parallel,
 //! which is what spreads load over every SSD.
+//!
+//! Membership is dynamic: a failed replica is dropped by
+//! [`Chain::remove_dead`] (survivors reconcile dirty versions against the
+//! new tail and keep serving degraded), and redundancy is restored by
+//! recruiting a spare through a background [`ResyncSession`] — writes
+//! during the re-sync land on both the old members and the recruit, and
+//! the recruit becomes a full member only once every committed object has
+//! been copied.
+//!
+//! [`ResyncSession`]: crate::resync::ResyncSession
 
-use crate::target::{ChunkId, LocalRead, StorageTarget};
+use crate::resync::ResyncSession;
+use crate::target::{ChunkId, LocalRead, StorageTarget, StoreOutcome};
 use ff_obs::{Recorder, TrackId};
 use ff_util::bytes::Bytes;
 use ff_util::sync::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -31,6 +42,43 @@ pub enum ChainError {
     NotFound,
     /// The chain has no replicas left.
     Empty,
+    /// A member has failed and the chain cannot serve until it is
+    /// reconfigured; retry after the manager repairs the chain.
+    Unavailable,
+    /// A membership change is in progress; retry shortly.
+    Reconfiguring,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::DiskFull => write!(f, "replica disk full"),
+            ChainError::NotFound => write!(f, "object not found"),
+            ChainError::Empty => write!(f, "chain has no replicas"),
+            ChainError::Unavailable => write!(f, "chain member failed; awaiting reconfiguration"),
+            ChainError::Reconfiguring => write!(f, "chain membership change in progress"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// The chain's membership: ordered full members plus at most one recruit
+/// being re-synced in the background.
+struct Members {
+    /// Full members, head first. The last one is the tail (commit
+    /// authority and dirty-read resolver).
+    active: Vec<Arc<StorageTarget>>,
+    /// A recruit receiving a background re-sync. It takes every new write
+    /// (dual-landing) but serves no reads and holds no commit authority
+    /// until promoted.
+    joining: Option<Arc<StorageTarget>>,
+    /// Configuration epoch; bumped on every membership change.
+    epoch: u64,
+    /// Set while the manager performs membership surgery: writers back
+    /// off with [`ChainError::Reconfiguring`] instead of piling onto the
+    /// membership lock.
+    reconfiguring: bool,
 }
 
 /// A replication chain over an ordered set of storage targets.
@@ -52,7 +100,7 @@ pub enum ChainError {
 /// ```
 pub struct Chain {
     id: usize,
-    targets: RwLock<Vec<Arc<StorageTarget>>>,
+    members: RwLock<Members>,
     /// Per-object write serialization + last version (the head's role).
     heads: Mutex<HashMap<ChunkId, Arc<Mutex<u64>>>>,
     /// Round-robin read distribution.
@@ -66,7 +114,12 @@ impl Chain {
         assert!(!targets.is_empty(), "chain needs at least one replica");
         Arc::new(Chain {
             id,
-            targets: RwLock::new(targets),
+            members: RwLock::new(Members {
+                active: targets,
+                joining: None,
+                epoch: 0,
+                reconfiguring: false,
+            }),
             heads: Mutex::new(HashMap::new()),
             rr: AtomicUsize::new(0),
             obs: RwLock::new(None),
@@ -106,38 +159,80 @@ impl Chain {
         self.id
     }
 
-    /// Current replica count.
+    /// Current full-member count (a joining recruit is not counted).
     pub fn replicas(&self) -> usize {
-        self.targets.read().len()
+        self.members.read().active.len()
     }
 
-    fn object_lock(&self, id: ChunkId) -> Arc<Mutex<u64>> {
+    /// Configuration epoch: bumped on every membership change.
+    pub fn epoch(&self) -> u64 {
+        self.members.read().epoch
+    }
+
+    /// Block or unblock writers with [`ChainError::Reconfiguring`] while
+    /// the manager performs membership surgery.
+    pub fn set_reconfiguring(&self, on: bool) {
+        self.members.write().reconfiguring = on;
+    }
+
+    pub(crate) fn object_lock(&self, id: ChunkId) -> Arc<Mutex<u64>> {
         self.heads.lock().entry(id).or_default().clone()
+    }
+
+    /// Forward pass (head → tail → recruit, dirty) then commit pass in
+    /// reverse. A dead member rolls the write back and reports
+    /// `Unavailable` — the write takes effect on no replica until the
+    /// chain is reconfigured.
+    fn replicate(
+        &self,
+        m: &Members,
+        id: ChunkId,
+        ver: u64,
+        data: &Bytes,
+    ) -> Result<(), ChainError> {
+        let mut stored: Vec<&Arc<StorageTarget>> = Vec::with_capacity(m.active.len() + 1);
+        for t in m.active.iter().chain(m.joining.iter()) {
+            match t.store_dirty(id, ver, data.clone()) {
+                StoreOutcome::Stored => stored.push(t),
+                StoreOutcome::DiskFull => {
+                    for s in &stored {
+                        s.abort(id, ver);
+                    }
+                    return Err(ChainError::DiskFull);
+                }
+                StoreOutcome::Dead => {
+                    for s in &stored {
+                        s.abort(id, ver);
+                    }
+                    return Err(ChainError::Unavailable);
+                }
+            }
+        }
+        // Tail commits; the notification propagates back toward the head
+        // (the recruit sits past the tail in the forward route).
+        for t in m.joining.iter().chain(m.active.iter().rev()) {
+            t.commit(id, ver);
+        }
+        Ok(())
     }
 
     /// Write (replace) an object's content. Returns the committed version.
     pub fn write(&self, id: ChunkId, data: Bytes) -> Result<u64, ChainError> {
         let lock = self.object_lock(id);
         let mut last = lock.lock();
-        let targets = self.targets.read().clone();
-        if targets.is_empty() {
+        // Hold the membership read guard across the whole forward + commit
+        // pass: reconfiguration takes the write guard, so membership
+        // changes linearize against in-flight writes instead of racing
+        // them.
+        let m = self.members.read();
+        if m.reconfiguring {
+            return Err(ChainError::Reconfiguring);
+        }
+        if m.active.is_empty() {
             return Err(ChainError::Empty);
         }
         let ver = *last + 1;
-        // Forward pass: head → tail, dirty.
-        for (i, t) in targets.iter().enumerate() {
-            if !t.store_dirty(id, ver, data.clone()) {
-                // Roll back the replicas already written.
-                for t in &targets[..=i] {
-                    t.abort(id, ver);
-                }
-                return Err(ChainError::DiskFull);
-            }
-        }
-        // Tail commits; the notification propagates back toward the head.
-        for t in targets.iter().rev() {
-            t.commit(id, ver);
-        }
+        self.replicate(&m, id, ver, &data)?;
         *last = ver;
         self.note_write("write", id, ver, data.len());
         Ok(ver)
@@ -154,47 +249,58 @@ impl Chain {
     ) -> Result<u64, ChainError> {
         let lock = self.object_lock(id);
         let mut last = lock.lock();
-        let targets = self.targets.read().clone();
-        if targets.is_empty() {
+        let m = self.members.read();
+        if m.reconfiguring {
+            return Err(ChainError::Reconfiguring);
+        }
+        if m.active.is_empty() {
             return Err(ChainError::Empty);
         }
-        let current = match self.read_with_targets(id, 0, &targets) {
+        let alive: Vec<Arc<StorageTarget>> =
+            m.active.iter().filter(|t| t.is_alive()).cloned().collect();
+        if alive.is_empty() {
+            return Err(ChainError::Unavailable);
+        }
+        let current = match self.read_with_targets(id, 0, &alive) {
             Ok(d) => Some(d),
             Err(ChainError::NotFound) => None,
             Err(e) => return Err(e),
         };
         let data = f(current);
         let ver = *last + 1;
-        for (i, t) in targets.iter().enumerate() {
-            if !t.store_dirty(id, ver, data.clone()) {
-                for t in &targets[..=i] {
-                    t.abort(id, ver);
-                }
-                return Err(ChainError::DiskFull);
-            }
-        }
-        for t in targets.iter().rev() {
-            t.commit(id, ver);
-        }
+        self.replicate(&m, id, ver, &data)?;
         *last = ver;
         self.note_write("update", id, ver, data.len());
         Ok(ver)
     }
 
-    /// Apportioned read from any replica.
-    pub fn read(&self, id: ChunkId) -> Result<Bytes, ChainError> {
-        let targets = self.targets.read().clone();
-        if targets.is_empty() {
+    /// Snapshot of the replicas eligible to serve reads: live full
+    /// members only (a joining recruit never serves reads — it may still
+    /// be missing objects).
+    fn read_snapshot(&self) -> Result<Vec<Arc<StorageTarget>>, ChainError> {
+        let m = self.members.read();
+        if m.active.is_empty() {
             return Err(ChainError::Empty);
         }
+        let alive: Vec<Arc<StorageTarget>> =
+            m.active.iter().filter(|t| t.is_alive()).cloned().collect();
+        if alive.is_empty() {
+            return Err(ChainError::Unavailable);
+        }
+        Ok(alive)
+    }
+
+    /// Apportioned read from any live replica.
+    pub fn read(&self, id: ChunkId) -> Result<Bytes, ChainError> {
+        let targets = self.read_snapshot()?;
         let pick = self.rr.fetch_add(1, Ordering::Relaxed) % targets.len();
-        self.read_at(id, pick)
+        self.read_with_targets(id, pick, &targets)
     }
 
     /// Apportioned read from a specific replica index (tests and load
-    /// placement).
+    /// placement). The index counts live replicas only.
     pub fn read_at(&self, id: ChunkId, replica: usize) -> Result<Bytes, ChainError> {
-        let targets = self.targets.read().clone();
+        let targets = self.read_snapshot()?;
         self.read_with_targets(id, replica, &targets)
     }
 
@@ -240,51 +346,188 @@ impl Chain {
         }
     }
 
-    /// Drop a failed replica (manager-driven reconfiguration). The chain
-    /// keeps serving with the survivors.
+    /// Drop a failed replica by index (manager-driven reconfiguration).
+    /// The chain keeps serving with the survivors. Survivors reconcile
+    /// dirty versions against the new tail (see [`remove_dead`]).
+    ///
+    /// [`remove_dead`]: Self::remove_dead
     pub fn remove_replica(&self, index: usize) {
-        let mut targets = self.targets.write();
-        assert!(index < targets.len());
-        targets.remove(index);
+        let mut m = self.members.write();
+        assert!(index < m.active.len());
+        m.active.remove(index);
+        m.epoch += 1;
+        Self::reconcile_members(&mut m);
     }
 
-    /// Restore redundancy: append a fresh replica as the new tail after
-    /// copying every committed object from the current tail — the
-    /// recovery step that follows a [`remove_replica`](Self::remove_replica).
-    /// New writes are blocked for the duration (the configuration epoch
-    /// change); reads keep flowing. The cluster manager must drain writes
-    /// already in flight before invoking this (as real reconfiguration
-    /// protocols do) — a write racing the copy could leave the recruit one
-    /// version behind on that object.
-    pub fn add_replica(&self, recruit: Arc<StorageTarget>) -> Result<(), ChainError> {
-        let mut targets = self.targets.write();
-        let tail = targets.last().ok_or(ChainError::Empty)?.clone();
-        for (id, version, data) in tail.committed_objects() {
-            if !recruit.store_dirty(id, version, data) {
-                return Err(ChainError::DiskFull);
+    /// Drop every dead member (failed target detection → reconfiguration).
+    /// Returns the names of the members removed. Survivors reconcile their
+    /// version state against the new tail: for each object, the tail's
+    /// newest version becomes committed everywhere (anything the tail
+    /// stored had reached every upstream member), and strictly newer
+    /// in-flight versions are aborted (they can no longer commit).
+    pub fn remove_dead(&self) -> Vec<String> {
+        let mut m = self.members.write();
+        let mut removed: Vec<String> = Vec::new();
+        m.active.retain(|t| {
+            let keep = t.is_alive();
+            if !keep {
+                removed.push(t.name().to_string());
             }
-            recruit.commit(id, version);
+            keep
+        });
+        if let Some(j) = &m.joining {
+            if !j.is_alive() {
+                removed.push(j.name().to_string());
+                m.joining = None;
+            }
         }
-        targets.push(recruit);
-        Ok(())
+        if removed.is_empty() {
+            return removed;
+        }
+        m.epoch += 1;
+        Self::reconcile_members(&mut m);
+        removed
+    }
+
+    /// The membership-change reconciliation rule, applied under the
+    /// membership write guard (no write is in flight).
+    fn reconcile_members(m: &mut Members) {
+        let Some(tail) = m.active.last().cloned() else {
+            return;
+        };
+        let mut ids: BTreeSet<ChunkId> = BTreeSet::new();
+        for t in m.active.iter().chain(m.joining.iter()) {
+            ids.extend(t.object_ids());
+        }
+        for id in ids {
+            let keep = tail.newest_version(id);
+            for t in m.active.iter().chain(m.joining.iter()) {
+                t.reconcile(id, keep);
+            }
+        }
+    }
+
+    /// Start recruiting `recruit`: it becomes the joining member (every
+    /// new write dual-lands on it) and the returned work-list is the set
+    /// of objects the re-sync session must copy. Fails with
+    /// `Reconfiguring` when a recruit is already joining.
+    pub(crate) fn begin_recruit(
+        &self,
+        recruit: Arc<StorageTarget>,
+    ) -> Result<Vec<ChunkId>, ChainError> {
+        let mut m = self.members.write();
+        if m.joining.is_some() {
+            return Err(ChainError::Reconfiguring);
+        }
+        if !recruit.is_alive() {
+            return Err(ChainError::Unavailable);
+        }
+        let tail = m.active.last().ok_or(ChainError::Empty)?;
+        if !tail.is_alive() {
+            return Err(ChainError::Unavailable);
+        }
+        let pending = tail.object_ids();
+        m.joining = Some(recruit);
+        m.epoch += 1;
+        Ok(pending)
+    }
+
+    /// The replica a re-sync session copies from: the live tail. Verifies
+    /// the session is still current (`recruit` is still the joining
+    /// member) — a concurrent reconfiguration invalidates the session.
+    pub(crate) fn resync_source(
+        &self,
+        recruit: &Arc<StorageTarget>,
+    ) -> Result<Arc<StorageTarget>, ChainError> {
+        let m = self.members.read();
+        match &m.joining {
+            Some(j) if Arc::ptr_eq(j, recruit) => {}
+            _ => return Err(ChainError::Reconfiguring),
+        }
+        if !recruit.is_alive() {
+            return Err(ChainError::Unavailable);
+        }
+        m.active
+            .iter()
+            .rev()
+            .find(|t| t.is_alive())
+            .cloned()
+            .ok_or(ChainError::Unavailable)
+    }
+
+    /// Promote the joining recruit to a full member (the re-sync session
+    /// finished copying every committed object).
+    pub(crate) fn promote_joining(&self, recruit: &Arc<StorageTarget>) -> Result<(), ChainError> {
+        let mut m = self.members.write();
+        match m.joining.take() {
+            Some(j) if Arc::ptr_eq(&j, recruit) => {
+                m.active.push(j);
+                m.epoch += 1;
+                Ok(())
+            }
+            other => {
+                m.joining = other;
+                Err(ChainError::Reconfiguring)
+            }
+        }
+    }
+
+    /// Drop the joining recruit without promoting it (re-sync aborted).
+    pub(crate) fn abort_joining(&self) {
+        let mut m = self.members.write();
+        if m.joining.take().is_some() {
+            m.epoch += 1;
+        }
+    }
+
+    /// Restore redundancy synchronously: recruit a fresh replica as the
+    /// new tail, copying every committed object in one foreground re-sync
+    /// (the background-paced equivalent is [`ResyncSession`]). On failure
+    /// (recruit disk full or a member death mid-copy) the recruit is
+    /// wiped and does not join; membership is unchanged.
+    pub fn add_replica(self: &Arc<Self>, recruit: Arc<StorageTarget>) -> Result<(), ChainError> {
+        let mut session = ResyncSession::begin(Arc::clone(self), recruit)?;
+        loop {
+            match session.pump(u64::MAX) {
+                Ok(p) if p.done => break,
+                Ok(_) => continue,
+                Err(e) => {
+                    let recruit = session.abort();
+                    recruit.wipe();
+                    return Err(e);
+                }
+            }
+        }
+        session.finish()
     }
 
     /// Delete an object from every replica (file unlink / truncation).
     pub fn delete(&self, id: ChunkId) {
         let lock = self.object_lock(id);
         let _guard = lock.lock();
-        for t in self.targets.read().iter() {
+        let m = self.members.read();
+        for t in m.active.iter().chain(m.joining.iter()) {
             t.delete(id);
         }
     }
 
-    /// The replica targets (diagnostics).
+    /// The full-member targets (diagnostics).
     pub fn target_names(&self) -> Vec<String> {
-        self.targets
+        self.members
             .read()
+            .active
             .iter()
             .map(|t| t.name().to_string())
             .collect()
+    }
+
+    /// The joining recruit's name, if a re-sync is in progress.
+    pub fn joining_name(&self) -> Option<String> {
+        self.members
+            .read()
+            .joining
+            .as_ref()
+            .map(|t| t.name().to_string())
     }
 }
 
@@ -397,6 +640,118 @@ mod tests {
         // Writes continue on the survivors.
         chain.write(chunk(0), Bytes::from_static(b"more")).unwrap();
         assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from_static(b"more"));
+    }
+
+    #[test]
+    fn dead_member_fails_writes_until_removed() {
+        let (chain, targets) = test_chain(3);
+        chain.write(chunk(0), Bytes::from_static(b"pre")).unwrap();
+        targets[1].fail();
+        // Writes touching the dead member roll back and report Unavailable.
+        assert_eq!(
+            chain.write(chunk(0), Bytes::from_static(b"x")),
+            Err(ChainError::Unavailable)
+        );
+        // The rollback left every survivor at the committed version.
+        assert_eq!(targets[0].newest_version(chunk(0)), 1);
+        // Reads keep serving from live replicas (degraded).
+        assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from_static(b"pre"));
+        // Reconfiguration drops the dead member; writes resume.
+        assert_eq!(chain.remove_dead(), vec!["t1".to_string()]);
+        assert_eq!(chain.replicas(), 2);
+        chain.write(chunk(0), Bytes::from_static(b"post")).unwrap();
+        assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from_static(b"post"));
+    }
+
+    #[test]
+    fn remove_dead_reconciles_in_flight_versions() {
+        // Simulate a tail failure with a version in flight: the head holds
+        // dirty v2, the failed tail never saw it. After reconfiguration the
+        // surviving tail's newest version (v1) must rule: v2 is aborted.
+        let (chain, targets) = test_chain(2);
+        chain.write(chunk(0), Bytes::from_static(b"v1")).unwrap();
+        // Hand-inject the in-flight dirty version on the head only.
+        assert_eq!(
+            targets[0].store_dirty(chunk(0), 2, Bytes::from_static(b"v2")),
+            StoreOutcome::Stored
+        );
+        targets[1].fail();
+        chain.remove_dead();
+        // Survivor (now both head and tail): v2 committed (the tail-of-one
+        // saw it), reads serve it.
+        assert_eq!(targets[0].committed_version(chunk(0)), 2);
+        assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn remove_dead_aborts_versions_the_new_tail_never_saw() {
+        let (chain, targets) = test_chain(3);
+        chain.write(chunk(0), Bytes::from_static(b"v1")).unwrap();
+        // In-flight v2 reached only the head; the mid replica becomes the
+        // new tail and never saw it → v2 must be aborted everywhere.
+        assert_eq!(
+            targets[0].store_dirty(chunk(0), 2, Bytes::from_static(b"v2")),
+            StoreOutcome::Stored
+        );
+        targets[2].fail();
+        chain.remove_dead();
+        assert_eq!(targets[0].newest_version(chunk(0)), 1);
+        assert_eq!(targets[0].committed_version(chunk(0)), 1);
+        assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from_static(b"v1"));
+    }
+
+    #[test]
+    fn all_members_dead_is_unavailable() {
+        let (chain, targets) = test_chain(2);
+        chain.write(chunk(0), Bytes::from_static(b"v1")).unwrap();
+        for t in &targets {
+            t.fail();
+        }
+        assert_eq!(chain.read(chunk(0)), Err(ChainError::Unavailable));
+        assert_eq!(
+            chain.write(chunk(0), Bytes::from_static(b"x")),
+            Err(ChainError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn reconfiguring_flag_bounces_writers() {
+        let (chain, _) = test_chain(2);
+        chain.set_reconfiguring(true);
+        assert_eq!(
+            chain.write(chunk(0), Bytes::from_static(b"x")),
+            Err(ChainError::Reconfiguring)
+        );
+        chain.set_reconfiguring(false);
+        chain.write(chunk(0), Bytes::from_static(b"x")).unwrap();
+    }
+
+    #[test]
+    fn recruit_receives_writes_during_resync() {
+        let (chain, _) = test_chain(2);
+        for i in 0..4 {
+            chain
+                .write(chunk(i), Bytes::from(format!("obj{i}")))
+                .unwrap();
+        }
+        let recruit = StorageTarget::new("spare", Disk::new(1 << 20));
+        let mut session = ResyncSession::begin(Arc::clone(&chain), recruit.clone()).unwrap();
+        // A write during the re-sync dual-lands on the recruit.
+        chain
+            .write(chunk(9), Bytes::from_static(b"during"))
+            .unwrap();
+        assert_eq!(recruit.committed_version(chunk(9)), 1);
+        // But the recruit serves no reads yet.
+        assert_eq!(chain.replicas(), 2);
+        assert_eq!(chain.joining_name().as_deref(), Some("spare"));
+        // Pump to completion and promote.
+        while !session.pump(64).unwrap().done {}
+        session.finish().unwrap();
+        assert_eq!(chain.replicas(), 3);
+        assert_eq!(chain.joining_name(), None);
+        for i in 0..4 {
+            assert_eq!(recruit.committed_version(chunk(i)), 1);
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@ use crate::chain::{ChainError, ChainTable};
 use crate::meta::{FileAttr, MetaError, MetaService};
 use crate::target::ChunkId;
 use ff_util::bytes::Bytes;
-use ff_util::sync::{Condvar, Mutex};
+use ff_util::sync::{Condvar, Mutex, RwLock};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-visible errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,21 +62,99 @@ impl Semaphore {
     }
 }
 
+/// Bounded exponential backoff for chain operations failing with a
+/// *transient* error ([`ChainError::Unavailable`] /
+/// [`ChainError::Reconfiguring`]): the client rides through a chain
+/// failover instead of surfacing it.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts before the error surfaces (1 = no retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Called with the failing chain's id when the client sees a transient
+/// chain error — the hook the cluster manager uses to trigger repair
+/// (remove dead members, recruit a spare) before the client retries.
+pub type FailoverHandler = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// A 3FS client bound to a meta service and a chain table.
 pub struct Fs3Client {
     meta: MetaService,
     table: Arc<ChainTable>,
     read_permits: Semaphore,
+    retry: RetryPolicy,
+    failover: RwLock<Option<FailoverHandler>>,
 }
 
 impl Fs3Client {
-    /// Connect with a read-concurrency limit (the RTS sender cap).
+    /// Connect with a read-concurrency limit (the RTS sender cap) and the
+    /// default retry policy.
     pub fn new(meta: MetaService, table: Arc<ChainTable>, read_concurrency: usize) -> Arc<Self> {
+        Self::with_retry_policy(meta, table, read_concurrency, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit retry policy.
+    pub fn with_retry_policy(
+        meta: MetaService,
+        table: Arc<ChainTable>,
+        read_concurrency: usize,
+        retry: RetryPolicy,
+    ) -> Arc<Self> {
         Arc::new(Fs3Client {
             meta,
             table,
             read_permits: Semaphore::new(read_concurrency.max(1)),
+            retry,
+            failover: RwLock::new(None),
         })
+    }
+
+    /// Install the failover hook invoked (with the chain id) before each
+    /// retry of a transient chain error.
+    pub fn set_failover_handler(&self, handler: FailoverHandler) {
+        *self.failover.write() = Some(handler);
+    }
+
+    /// Run `op` with bounded-exponential-backoff retry on transient chain
+    /// errors, poking the failover handler between attempts.
+    fn with_chain_retry<T>(
+        &self,
+        chain_id: usize,
+        mut op: impl FnMut() -> Result<T, ChainError>,
+    ) -> Result<T, ChainError> {
+        let mut delay = self.retry.base_delay;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(e @ (ChainError::Unavailable | ChainError::Reconfiguring)) => {
+                    attempt += 1;
+                    if attempt >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    let handler = self.failover.read().clone();
+                    if let Some(h) = handler {
+                        h(chain_id);
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(self.retry.max_delay);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// The metadata service handle.
@@ -108,7 +187,8 @@ impl Fs3Client {
             };
             let n = data.len();
             if n as u64 == cs {
-                self.chain_of(attr, id.idx).write(id, data)?;
+                let chain = self.chain_of(attr, id.idx);
+                self.with_chain_retry(chain.id(), || chain.write(id, data.clone()))?;
                 return Ok(n);
             }
         }
@@ -134,19 +214,22 @@ impl Fs3Client {
             };
             if in_chunk == 0 && n == cs as usize {
                 // Full-chunk replace: no read needed.
-                chain.write(id, Bytes::copy_from_slice(&data[written..written + n]))?;
+                let payload = Bytes::copy_from_slice(&data[written..written + n]);
+                self.with_chain_retry(chain.id(), || chain.write(id, payload.clone()))?;
             } else {
                 // Partial write: read-modify-write atomically under the
                 // chain's per-object lock, so two concurrent partial
                 // writers to the same chunk cannot lose each other.
                 let patch = &data[written..written + n];
-                chain.update(id, |current| {
-                    let mut buf = current.map(|b| b.to_vec()).unwrap_or_default();
-                    if buf.len() < in_chunk + n {
-                        buf.resize(in_chunk + n, 0);
-                    }
-                    buf[in_chunk..in_chunk + n].copy_from_slice(patch);
-                    Bytes::from(buf)
+                self.with_chain_retry(chain.id(), || {
+                    chain.update(id, |current| {
+                        let mut buf = current.map(|b| b.to_vec()).unwrap_or_default();
+                        if buf.len() < in_chunk + n {
+                            buf.resize(in_chunk + n, 0);
+                        }
+                        buf[in_chunk..in_chunk + n].copy_from_slice(patch);
+                        Bytes::from(buf)
+                    })
                 })?;
             }
             written += n;
@@ -173,7 +256,8 @@ impl Fs3Client {
                 idx: chunk_idx,
             };
             self.read_permits.acquire();
-            let res = self.chain_of(attr, chunk_idx).read(id);
+            let chain = self.chain_of(attr, chunk_idx);
+            let res = self.with_chain_retry(chain.id(), || chain.read(id));
             self.read_permits.release();
             match res {
                 Ok(b) => {
@@ -394,6 +478,64 @@ mod tests {
                 "writer {t}'s range was clobbered"
             );
         }
+    }
+
+    fn setup_with_targets(
+        chunk_size: u64,
+    ) -> (Arc<Fs3Client>, FileAttr, Vec<Vec<Arc<StorageTarget>>>) {
+        let chains_targets: Vec<Vec<Arc<StorageTarget>>> = (0..2)
+            .map(|c| {
+                (0..2)
+                    .map(|r| StorageTarget::new(format!("c{c}r{r}"), Disk::new(64 << 20)))
+                    .collect()
+            })
+            .collect();
+        let chains: Vec<_> = chains_targets
+            .iter()
+            .enumerate()
+            .map(|(c, reps)| Chain::new(c, reps.clone()))
+            .collect();
+        let table = Arc::new(ChainTable::new(chains));
+        let meta = MetaService::new(KvStore::new(8, 2), table.len());
+        let client = Fs3Client::new(meta, table, 8);
+        let attr = client.meta().create(ROOT, "file", chunk_size, 2).unwrap();
+        (client, attr, chains_targets)
+    }
+
+    #[test]
+    fn writes_ride_through_failover_via_retry_hook() {
+        let (c, attr, targets) = setup_with_targets(64);
+        c.write_at(&attr, 0, &[1u8; 128]).unwrap();
+        // Kill one replica of chain 0: the next write to it bounces with
+        // Unavailable, the failover hook repairs the chain (drops the dead
+        // member), and the retry succeeds.
+        targets[0][1].fail();
+        let table = Arc::clone(&c.table);
+        let repairs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let repairs_hook = Arc::clone(&repairs);
+        c.set_failover_handler(Arc::new(move |chain_id| {
+            table.chains()[chain_id].remove_dead();
+            repairs_hook.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+        c.write_at(&attr, 0, &[2u8; 128]).unwrap();
+        assert!(repairs.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert_eq!(c.read_at(&attr, 0, 128).unwrap(), vec![2u8; 128]);
+    }
+
+    #[test]
+    fn retry_is_bounded_without_a_repair() {
+        let (c, attr, targets) = setup_with_targets(64);
+        c.write_at(&attr, 0, &[1u8; 64]).unwrap();
+        for reps in &targets {
+            for t in reps {
+                t.fail();
+            }
+        }
+        // No failover handler: the error surfaces after max_attempts.
+        assert_eq!(
+            c.write_at(&attr, 0, &[2u8; 64]),
+            Err(FsError::Chain(ChainError::Unavailable))
+        );
     }
 
     #[test]

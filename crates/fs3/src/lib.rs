@@ -34,12 +34,14 @@ pub mod kv3fs;
 pub mod kvstore;
 pub mod manager;
 pub mod meta;
+pub mod resync;
 pub mod target;
 pub mod throughput;
 
-pub use chain::{Chain, ChainTable};
-pub use client::Fs3Client;
+pub use chain::{Chain, ChainError, ChainTable};
+pub use client::{Fs3Client, RetryPolicy};
 pub use kvstore::KvStore;
-pub use manager::ClusterManager;
+pub use manager::{ClusterManager, HealthState};
 pub use meta::{FileAttr, InodeId, MetaService};
-pub use target::{ChunkId, StorageTarget};
+pub use resync::{ResyncProgress, ResyncSession};
+pub use target::{ChunkId, StorageTarget, StoreOutcome};

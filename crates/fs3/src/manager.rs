@@ -3,8 +3,16 @@
 //! configuration and service status from the manager. Multiple cluster
 //! managers are present, with one elected as the primary."
 //!
+//! Beyond liveness, every service carries a **health state** driving the
+//! paper's ops loop (§VIII): missed heartbeats move a node Healthy →
+//! Suspect → Quarantined; a quarantined node is sticky — it never
+//! re-enters chain placement until it passes validation (Quarantined →
+//! Validating → Healthy only via [`conclude_validation`]).
+//!
 //! Time is injected (millisecond ticks) so elections and heartbeat
 //! timeouts are deterministic in tests and composable with the simulator.
+//!
+//! [`conclude_validation`]: ClusterManager::conclude_validation
 
 use ff_util::sync::Mutex;
 use std::collections::HashMap;
@@ -30,10 +38,50 @@ pub enum ServiceStatus {
     Dead,
 }
 
+/// The node-health state machine (§VIII ops loop). Transitions:
+///
+/// ```text
+///            missed ≥ timeout/2        missed ≥ timeout
+///  Healthy ────────────────► Suspect ────────────────► Quarantined
+///     ▲                         │                           │
+///     │ heartbeat               │ heartbeat                 │ begin_validation
+///     │ (Suspect only)          ▼                           ▼
+///     └──────────────────── Healthy ◄── validator pass ── Validating
+///                                        (validator fail ──► Quarantined)
+/// ```
+///
+/// Quarantine is sticky: heartbeats resuming do **not** clear it — only a
+/// validation pass does, mirroring the paper's weekly-validation gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Serving; eligible for chain placement.
+    Healthy,
+    /// Missed some heartbeats; still serving but watched.
+    Suspect,
+    /// Failed (timeout or injected fault); excluded from placement until
+    /// validated.
+    Quarantined,
+    /// Under validator checks; still excluded from placement.
+    Validating,
+}
+
+impl HealthState {
+    /// Stable lowercase name (metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Validating => "validating",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ServiceRecord {
     role: ServiceRole,
     last_heartbeat_ms: u64,
+    health: HealthState,
 }
 
 /// Cluster configuration version + contents distributed to pollers.
@@ -58,15 +106,19 @@ struct ManagerState {
 /// election decides which replica id is primary and may answer writes).
 pub struct ClusterManager {
     heartbeat_timeout_ms: u64,
+    suspect_after_ms: u64,
     lease_ms: u64,
     state: Mutex<ManagerState>,
 }
 
 impl ClusterManager {
     /// A manager with the given heartbeat timeout and primary-lease term.
+    /// Services turn Suspect at half the timeout and Quarantined at the
+    /// full timeout.
     pub fn new(heartbeat_timeout_ms: u64, lease_ms: u64) -> Arc<Self> {
         Arc::new(ClusterManager {
             heartbeat_timeout_ms,
+            suspect_after_ms: heartbeat_timeout_ms / 2,
             lease_ms,
             state: Mutex::new(ManagerState {
                 now_ms: 0,
@@ -78,7 +130,9 @@ impl ClusterManager {
         })
     }
 
-    /// Advance the manager's clock.
+    /// Advance the manager's clock and run health transitions: services
+    /// past the suspect threshold turn Suspect, past the full timeout
+    /// turn Quarantined (each quarantine bumps the config version once).
     pub fn tick(&self, now_ms: u64) {
         let mut st = self.state.lock();
         assert!(now_ms >= st.now_ms, "time went backwards");
@@ -86,39 +140,147 @@ impl ClusterManager {
         // The primary lease expires implicitly: `primary()` and
         // `campaign()` compare against `lease_expiry_ms`, and the term
         // counter survives expiry so a new primary gets a higher term.
-        // Death detection bumps the config version once per transition.
         let timeout = self.heartbeat_timeout_ms;
-        let newly_dead = st
-            .services
-            .values()
-            .any(|s| now_ms.saturating_sub(s.last_heartbeat_ms) == timeout);
-        if newly_dead {
-            st.config_version += 1;
+        let suspect = self.suspect_after_ms;
+        let mut quarantined = 0u64;
+        for rec in st.services.values_mut() {
+            let missed = now_ms.saturating_sub(rec.last_heartbeat_ms);
+            match rec.health {
+                HealthState::Healthy | HealthState::Suspect if missed >= timeout => {
+                    rec.health = HealthState::Quarantined;
+                    quarantined += 1;
+                }
+                HealthState::Healthy if missed >= suspect => {
+                    rec.health = HealthState::Suspect;
+                }
+                _ => {}
+            }
         }
+        st.config_version += quarantined;
     }
 
-    /// Register a service (first heartbeat).
+    /// Register a service (first heartbeat). Re-registering an existing
+    /// service refreshes its heartbeat but does **not** clear quarantine —
+    /// a failed node cannot readmit itself by restarting; it must pass
+    /// validation.
     pub fn register(&self, id: impl Into<String>, role: ServiceRole) {
+        let id = id.into();
         let mut st = self.state.lock();
         let now = st.now_ms;
+        let health = match st.services.get(&id) {
+            Some(rec)
+                if matches!(
+                    rec.health,
+                    HealthState::Quarantined | HealthState::Validating
+                ) =>
+            {
+                rec.health
+            }
+            _ => HealthState::Healthy,
+        };
         st.services.insert(
-            id.into(),
+            id,
             ServiceRecord {
                 role,
                 last_heartbeat_ms: now,
+                health,
             },
         );
         st.config_version += 1;
     }
 
     /// Record a heartbeat from `id`. Unknown services are ignored (they
-    /// must register first).
+    /// must register first). A Suspect service recovers to Healthy; a
+    /// quarantined one stays quarantined (the validation gate).
     pub fn heartbeat(&self, id: &str) {
         let mut st = self.state.lock();
         let now = st.now_ms;
         if let Some(rec) = st.services.get_mut(id) {
             rec.last_heartbeat_ms = now;
+            if rec.health == HealthState::Suspect {
+                rec.health = HealthState::Healthy;
+            }
         }
+    }
+
+    /// Quarantine a service immediately (fault injection or an external
+    /// detector like hai-monitor reporting a hard failure).
+    pub fn mark_failed(&self, id: &str) {
+        let mut st = self.state.lock();
+        if let Some(rec) = st.services.get_mut(id) {
+            if rec.health != HealthState::Quarantined {
+                rec.health = HealthState::Quarantined;
+                st.config_version += 1;
+            }
+        }
+    }
+
+    /// Move a quarantined service onto the validation bench. Returns
+    /// false when the service is unknown or not quarantined.
+    pub fn begin_validation(&self, id: &str) -> bool {
+        let mut st = self.state.lock();
+        match st.services.get_mut(id) {
+            Some(rec) if rec.health == HealthState::Quarantined => {
+                rec.health = HealthState::Validating;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Conclude a validation run: a pass readmits the service (Healthy,
+    /// heartbeat refreshed); a fail sends it back to quarantine. Returns
+    /// false when the service is unknown or not validating.
+    pub fn conclude_validation(&self, id: &str, passed: bool) -> bool {
+        let mut st = self.state.lock();
+        let now = st.now_ms;
+        match st.services.get_mut(id) {
+            Some(rec) if rec.health == HealthState::Validating => {
+                if passed {
+                    rec.health = HealthState::Healthy;
+                    rec.last_heartbeat_ms = now;
+                } else {
+                    rec.health = HealthState::Quarantined;
+                }
+                st.config_version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The health state of a service.
+    pub fn health(&self, id: &str) -> Option<HealthState> {
+        self.state.lock().services.get(id).map(|rec| rec.health)
+    }
+
+    /// True when `id` may receive chain placement: known and Healthy.
+    /// Quarantined and Validating nodes are gated out until the validator
+    /// passes them.
+    pub fn placement_eligible(&self, id: &str) -> bool {
+        self.health(id) == Some(HealthState::Healthy)
+    }
+
+    /// Service counts per health state:
+    /// `[healthy, suspect, quarantined, validating]`.
+    pub fn health_counts(&self) -> [usize; 4] {
+        let st = self.state.lock();
+        let mut counts = [0usize; 4];
+        for rec in st.services.values() {
+            let i = match rec.health {
+                HealthState::Healthy => 0,
+                HealthState::Suspect => 1,
+                HealthState::Quarantined => 2,
+                HealthState::Validating => 3,
+            };
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    /// The manager's current clock, as last advanced by `tick`.
+    pub fn now_ms(&self) -> u64 {
+        self.state.lock().now_ms
     }
 
     /// The status of a service.
@@ -133,7 +295,9 @@ impl ClusterManager {
         })
     }
 
-    /// The configuration pollers fetch: version + alive services.
+    /// The configuration pollers fetch: version + alive services. A
+    /// quarantined or validating service is excluded even if it resumed
+    /// heartbeating — it is out of service until validated.
     pub fn poll_config(&self) -> ClusterConfig {
         let st = self.state.lock();
         let mut alive: Vec<(String, ServiceRole)> = st
@@ -141,6 +305,7 @@ impl ClusterManager {
             .iter()
             .filter(|(_, rec)| {
                 st.now_ms.saturating_sub(rec.last_heartbeat_ms) < self.heartbeat_timeout_ms
+                    && matches!(rec.health, HealthState::Healthy | HealthState::Suspect)
             })
             .map(|(id, rec)| (id.clone(), rec.role))
             .collect();
@@ -158,14 +323,21 @@ impl ClusterManager {
     pub fn campaign(&self, manager_id: &str) -> Option<u64> {
         let mut st = self.state.lock();
         let now = st.now_ms;
+        // A lease is live strictly *before* its deadline. At `now ==
+        // lease_expiry_ms` the lease is uniformly expired for renewal,
+        // challenge and `primary()` alike, so a campaign racing a tick at
+        // the exact deadline has one deterministic outcome: a fresh
+        // election with a new term, won by whichever campaign reaches the
+        // state mutex first.
+        let lease_live = now < st.lease_expiry_ms;
         match &st.primary {
-            Some((term, holder)) if holder == manager_id => {
+            Some((term, holder)) if holder == manager_id && lease_live => {
                 // Renewal.
                 let term = *term;
                 st.lease_expiry_ms = now + self.lease_ms;
                 Some(term)
             }
-            Some(_) if now < st.lease_expiry_ms => None,
+            Some(_) if lease_live => None,
             _ => {
                 let term = st.primary.as_ref().map(|(t, _)| t + 1).unwrap_or(1);
                 st.primary = Some((term, manager_id.to_string()));
@@ -188,6 +360,7 @@ impl ClusterManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ff_util::rng::ChaCha8Rng;
 
     #[test]
     fn heartbeats_keep_services_alive() {
@@ -243,6 +416,47 @@ mod tests {
     }
 
     #[test]
+    fn campaign_at_exact_lease_deadline_has_one_winner() {
+        // Seeded regression for the tick/campaign race at `now_ms ==
+        // lease deadline`: whatever order campaigns arrive in, the lease
+        // is uniformly expired, exactly one campaign wins, and it wins a
+        // fresh term. Before the fix the incumbent's renewal treated the
+        // deadline as live while a challenger treated it as expired, so
+        // the outcome depended on arrival order.
+        let mgrs = ["mgr0", "mgr1", "mgr2", "mgr3"];
+        let mut rng = ChaCha8Rng::seed_from_u64(0x3F5_C4A);
+        let lease = 500u64;
+        let m = ClusterManager::new(100, lease);
+        assert_eq!(m.campaign(mgrs[0]), Some(1));
+        let mut deadline = lease; // granted at t=0
+        for round in 0..50u64 {
+            m.tick(deadline);
+            let mut order: Vec<&str> = mgrs.to_vec();
+            rng.shuffle(&mut order);
+            let grants: Vec<(&str, u64)> = order
+                .iter()
+                .filter_map(|id| m.campaign(id).map(|t| (*id, t)))
+                .collect();
+            // Exactly one winner — the first campaigner — with a new term.
+            assert_eq!(grants.len(), 1, "round {round}: {grants:?}");
+            assert_eq!(grants[0].0, order[0], "first campaigner wins");
+            assert_eq!(grants[0].1, round + 2, "terms are monotone");
+            assert_eq!(m.primary(), Some(order[0].to_string()));
+            deadline += lease;
+        }
+    }
+
+    #[test]
+    fn incumbent_renewal_at_deadline_needs_a_new_term() {
+        let m = ClusterManager::new(100, 500);
+        assert_eq!(m.campaign("mgr0"), Some(1));
+        m.tick(500);
+        // The incumbent's own campaign at the deadline is a re-election,
+        // not a renewal: the term advances.
+        assert_eq!(m.campaign("mgr0"), Some(2));
+    }
+
+    #[test]
     fn unknown_heartbeat_ignored() {
         let m = ClusterManager::new(100, 500);
         m.heartbeat("ghost");
@@ -257,5 +471,59 @@ mod tests {
         assert_eq!(m.status("stor0"), Some(ServiceStatus::Dead));
         m.register("stor0", ServiceRole::Storage);
         assert_eq!(m.status("stor0"), Some(ServiceStatus::Alive));
+    }
+
+    #[test]
+    fn health_degrades_suspect_then_quarantined() {
+        let m = ClusterManager::new(100, 500);
+        m.register("stor0", ServiceRole::Storage);
+        assert_eq!(m.health("stor0"), Some(HealthState::Healthy));
+        m.tick(50);
+        assert_eq!(m.health("stor0"), Some(HealthState::Suspect));
+        // A heartbeat recovers a suspect.
+        m.heartbeat("stor0");
+        assert_eq!(m.health("stor0"), Some(HealthState::Healthy));
+        assert!(m.placement_eligible("stor0"));
+        m.tick(150);
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        assert!(!m.placement_eligible("stor0"));
+    }
+
+    #[test]
+    fn quarantine_is_sticky_until_validation_passes() {
+        let m = ClusterManager::new(100, 500);
+        m.register("stor0", ServiceRole::Storage);
+        m.tick(100);
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        // Resumed heartbeats do not clear quarantine...
+        m.heartbeat("stor0");
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        // ...and neither does re-registering.
+        m.register("stor0", ServiceRole::Storage);
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        assert!(!m.poll_config().alive.iter().any(|(id, _)| id == "stor0"));
+        // A failed validation returns to quarantine.
+        assert!(m.begin_validation("stor0"));
+        assert_eq!(m.health("stor0"), Some(HealthState::Validating));
+        assert!(!m.placement_eligible("stor0"));
+        assert!(m.conclude_validation("stor0", false));
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        // Only a pass readmits.
+        assert!(m.begin_validation("stor0"));
+        assert!(m.conclude_validation("stor0", true));
+        assert_eq!(m.health("stor0"), Some(HealthState::Healthy));
+        assert!(m.placement_eligible("stor0"));
+        assert!(m.poll_config().alive.iter().any(|(id, _)| id == "stor0"));
+    }
+
+    #[test]
+    fn mark_failed_quarantines_immediately() {
+        let m = ClusterManager::new(100, 500);
+        m.register("stor0", ServiceRole::Storage);
+        let v = m.poll_config().version;
+        m.mark_failed("stor0");
+        assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
+        assert!(m.poll_config().version > v);
+        assert_eq!(m.health_counts(), [0, 0, 1, 0]);
     }
 }

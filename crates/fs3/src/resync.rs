@@ -1,0 +1,232 @@
+//! Background replica re-synchronization.
+//!
+//! When a chain loses a member it keeps serving degraded; redundancy is
+//! restored by recruiting a spare target and copying every committed
+//! object to it *in the background*, bandwidth-bounded and resumable, so
+//! recovery traffic never starves foreground I/O (§VI-B). The protocol:
+//!
+//! 1. [`ResyncSession::begin`] installs the recruit as the chain's
+//!    *joining* member and snapshots the tail's object list as the
+//!    work-list. From this instant every new write dual-lands on the old
+//!    members **and** the recruit, so the work-list never grows.
+//! 2. [`ResyncSession::pump`] copies committed objects until a byte
+//!    budget is spent. Each object is copied under the chain's per-object
+//!    write lock, so a copy never interleaves with a write to the same
+//!    object; objects already advanced past the snapshot by dual-landing
+//!    writes are skipped for free.
+//! 3. [`ResyncSession::finish`] promotes the recruit to a full member
+//!    (the new tail) once the work-list is drained.
+//!
+//! A concurrent reconfiguration (the recruit dying, a manager aborting
+//! the join) invalidates the session: `pump` reports
+//! [`ChainError::Reconfiguring`] / [`ChainError::Unavailable`] and the
+//! caller abandons or restarts the recruitment.
+
+use crate::chain::{Chain, ChainError};
+use crate::target::{ChunkId, StorageTarget, StoreOutcome};
+use std::sync::Arc;
+
+/// Progress of one [`ResyncSession::pump`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncProgress {
+    /// Objects copied by this pump.
+    pub copied_objects: usize,
+    /// Bytes copied by this pump.
+    pub copied_bytes: u64,
+    /// Objects still pending after this pump.
+    pub remaining: usize,
+    /// True once the work-list is drained (the session can finish).
+    pub done: bool,
+}
+
+/// A resumable, bandwidth-bounded copy of a chain's committed objects to
+/// a recruit. See the [module docs](self) for the protocol.
+pub struct ResyncSession {
+    chain: Arc<Chain>,
+    recruit: Arc<StorageTarget>,
+    /// Snapshot of the tail's objects at `begin`, copied in sorted order.
+    pending: Vec<ChunkId>,
+    cursor: usize,
+    copied_bytes: u64,
+}
+
+impl ResyncSession {
+    /// Install `recruit` as the chain's joining member and snapshot the
+    /// re-sync work-list.
+    pub fn begin(chain: Arc<Chain>, recruit: Arc<StorageTarget>) -> Result<Self, ChainError> {
+        let pending = chain.begin_recruit(recruit.clone())?;
+        Ok(ResyncSession {
+            chain,
+            recruit,
+            pending,
+            cursor: 0,
+            copied_bytes: 0,
+        })
+    }
+
+    /// Copy committed objects to the recruit until `max_bytes` have been
+    /// copied by this call (the bandwidth bound) or the work-list drains.
+    /// Resumable: call again to continue where the last pump stopped.
+    pub fn pump(&mut self, max_bytes: u64) -> Result<ResyncProgress, ChainError> {
+        let mut copied_objects = 0usize;
+        let mut copied_bytes = 0u64;
+        while self.cursor < self.pending.len() && copied_bytes < max_bytes {
+            let id = self.pending[self.cursor];
+            // The per-object write lock: a copy never interleaves with a
+            // write to the same object (same lock order as writers —
+            // object lock, then membership).
+            let lock = self.chain.object_lock(id);
+            let _guard = lock.lock();
+            let src = self.chain.resync_source(&self.recruit)?;
+            if let Some((ver, data)) = src.committed_data(id) {
+                // Dual-landing writes may already have advanced the
+                // recruit past the snapshot — nothing to copy then.
+                if self.recruit.committed_version(id) < ver {
+                    match self.recruit.store_dirty(id, ver, data.clone()) {
+                        StoreOutcome::Stored => self.recruit.commit(id, ver),
+                        StoreOutcome::DiskFull => return Err(ChainError::DiskFull),
+                        StoreOutcome::Dead => return Err(ChainError::Unavailable),
+                    }
+                    copied_objects += 1;
+                    copied_bytes += data.len() as u64;
+                }
+            }
+            self.cursor += 1;
+        }
+        self.copied_bytes += copied_bytes;
+        Ok(ResyncProgress {
+            copied_objects,
+            copied_bytes,
+            remaining: self.pending.len() - self.cursor,
+            done: self.done(),
+        })
+    }
+
+    /// True once every pending object has been processed.
+    pub fn done(&self) -> bool {
+        self.cursor >= self.pending.len()
+    }
+
+    /// Objects still pending.
+    pub fn remaining(&self) -> usize {
+        self.pending.len() - self.cursor
+    }
+
+    /// Total bytes copied across all pumps.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes
+    }
+
+    /// The recruit being synced.
+    pub fn recruit(&self) -> &Arc<StorageTarget> {
+        &self.recruit
+    }
+
+    /// Promote the recruit to a full member. Call only once [`done`]
+    /// reports true.
+    ///
+    /// [`done`]: Self::done
+    pub fn finish(self) -> Result<(), ChainError> {
+        assert!(
+            self.done(),
+            "resync incomplete: finish before work-list drained"
+        );
+        self.chain.promote_joining(&self.recruit)
+    }
+
+    /// Abandon the re-sync: the recruit leaves the joining slot and is
+    /// returned so the caller can wipe or retire it.
+    pub fn abort(self) -> Arc<StorageTarget> {
+        self.chain.abort_joining();
+        self.recruit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::Disk;
+    use ff_util::bytes::Bytes;
+
+    fn chunk(i: u64) -> ChunkId {
+        ChunkId { ino: 3, idx: i }
+    }
+
+    fn seeded_chain(objects: u64, obj_bytes: usize) -> Arc<Chain> {
+        let targets = vec![
+            StorageTarget::new("a", Disk::new(1 << 20)),
+            StorageTarget::new("b", Disk::new(1 << 20)),
+        ];
+        let chain = Chain::new(0, targets);
+        for i in 0..objects {
+            chain
+                .write(chunk(i), Bytes::from(vec![i as u8; obj_bytes]))
+                .unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn bounded_pumps_are_resumable() {
+        let chain = seeded_chain(10, 100);
+        let recruit = StorageTarget::new("r", Disk::new(1 << 20));
+        let mut session = ResyncSession::begin(Arc::clone(&chain), recruit.clone()).unwrap();
+        assert_eq!(session.remaining(), 10);
+        // 250-byte budget → at most 3 objects per pump.
+        let p = session.pump(250).unwrap();
+        assert!(p.copied_objects <= 3);
+        assert!(!p.done);
+        let mut pumps = 1;
+        while !session.pump(250).unwrap().done {
+            pumps += 1;
+            assert!(pumps < 100, "resync never finished");
+        }
+        assert_eq!(session.copied_bytes(), 1000);
+        session.finish().unwrap();
+        assert_eq!(chain.replicas(), 3);
+        for i in 0..10 {
+            assert_eq!(recruit.committed_version(chunk(i)), 1);
+        }
+    }
+
+    #[test]
+    fn recruit_disk_full_aborts_without_joining() {
+        let chain = seeded_chain(4, 200);
+        let recruit = StorageTarget::new("tiny", Disk::new(300));
+        let mut session = ResyncSession::begin(Arc::clone(&chain), recruit).unwrap();
+        let err = loop {
+            match session.pump(u64::MAX) {
+                Ok(p) if p.done => panic!("should not complete"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ChainError::DiskFull);
+        let recruit = session.abort();
+        recruit.wipe();
+        assert_eq!(chain.replicas(), 2);
+        assert_eq!(chain.joining_name(), None);
+    }
+
+    #[test]
+    fn only_one_recruit_at_a_time() {
+        let chain = seeded_chain(1, 10);
+        let r1 = StorageTarget::new("r1", Disk::new(1 << 20));
+        let r2 = StorageTarget::new("r2", Disk::new(1 << 20));
+        let _s1 = ResyncSession::begin(Arc::clone(&chain), r1).unwrap();
+        assert!(matches!(
+            ResyncSession::begin(Arc::clone(&chain), r2),
+            Err(ChainError::Reconfiguring)
+        ));
+    }
+
+    #[test]
+    fn recruit_death_mid_resync_reports_unavailable() {
+        let chain = seeded_chain(8, 50);
+        let recruit = StorageTarget::new("r", Disk::new(1 << 20));
+        let mut session = ResyncSession::begin(Arc::clone(&chain), recruit.clone()).unwrap();
+        session.pump(100).unwrap();
+        recruit.fail();
+        assert_eq!(session.pump(100), Err(ChainError::Unavailable));
+    }
+}

@@ -10,6 +10,7 @@ use ff_util::bytes::Bytes;
 use ff_util::sync::Mutex;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Identifies a chunk: `(inode, chunk index)`.
@@ -85,6 +86,23 @@ pub struct StorageTarget {
     name: String,
     disk: Arc<Disk>,
     objects: Mutex<HashMap<ChunkId, Replica>>,
+    /// False once the target has failed (SSD death, node loss). A dead
+    /// target rejects every store and read until revived + re-recruited.
+    alive: AtomicBool,
+}
+
+/// Outcome of a dirty store on one replica — distinguishes the two
+/// failure causes the chain must handle differently: a full disk rolls
+/// the write back, a dead target triggers manager-driven reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum StoreOutcome {
+    /// The dirty version is stored.
+    Stored,
+    /// The disk is out of capacity.
+    DiskFull,
+    /// The target has failed; the chain must be reconfigured.
+    Dead,
 }
 
 /// What a read observed at this replica.
@@ -105,6 +123,7 @@ impl StorageTarget {
             name: name.into(),
             disk,
             objects: Mutex::new(HashMap::new()),
+            alive: AtomicBool::new(true),
         })
     }
 
@@ -113,12 +132,42 @@ impl StorageTarget {
         &self.name
     }
 
+    /// True until [`fail`](Self::fail) is called.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Kill the target (fault injection / detected hardware failure).
+    /// Subsequent stores return [`StoreOutcome::Dead`] and the chain layer
+    /// stops routing reads here.
+    pub fn fail(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Bring the target back up (after repair + validation). Its contents
+    /// are stale; callers wipe and re-recruit it through a resync.
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Drop every object and release the disk space — the clean-slate a
+    /// repaired target presents before it is re-recruited.
+    pub fn wipe(&self) {
+        let mut objs = self.objects.lock();
+        for (_, r) in objs.drain() {
+            for (_, data) in r.versions {
+                self.disk.release(data.len() as u64);
+            }
+        }
+    }
+
     /// Store a dirty version (the forward pass of chain replication).
-    /// Returns false when the disk is full.
-    #[must_use]
-    pub fn store_dirty(&self, id: ChunkId, version: u64, data: Bytes) -> bool {
+    pub fn store_dirty(&self, id: ChunkId, version: u64, data: Bytes) -> StoreOutcome {
+        if !self.is_alive() {
+            return StoreOutcome::Dead;
+        }
         if !self.disk.reserve(data.len() as u64) {
-            return false;
+            return StoreOutcome::DiskFull;
         }
         let mut objs = self.objects.lock();
         let r = objs.entry(id).or_default();
@@ -127,12 +176,16 @@ impl StorageTarget {
             "version {version} not newer than committed"
         );
         r.versions.insert(version, data);
-        true
+        StoreOutcome::Stored
     }
 
     /// Commit `version` (the ack pass): it becomes the clean version and
-    /// all older versions are dropped.
+    /// all older versions are dropped. Dead targets ignore commits — they
+    /// are about to be dropped from the chain.
     pub fn commit(&self, id: ChunkId, version: u64) {
+        if !self.is_alive() {
+            return;
+        }
         let mut objs = self.objects.lock();
         let Some(r) = objs.get_mut(&id) else {
             return; // replica removed (target drained)
@@ -208,6 +261,55 @@ impl StorageTarget {
             .collect()
     }
 
+    /// Every object id held here (committed or dirty), sorted — the
+    /// work-list a resync session walks.
+    pub fn object_ids(&self) -> Vec<ChunkId> {
+        let mut ids: Vec<ChunkId> = self.objects.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The committed data of one object: `(version, data)`, or `None`
+    /// when nothing is committed here.
+    pub fn committed_data(&self, id: ChunkId) -> Option<(u64, Bytes)> {
+        let objs = self.objects.lock();
+        let r = objs.get(&id)?;
+        r.versions.get(&r.clean).map(|d| (r.clean, d.clone()))
+    }
+
+    /// Membership-change reconciliation (the CRAQ rule): `keep` is the
+    /// surviving tail's newest version for this object. Any version the
+    /// tail saw reached every upstream replica, so `keep` commits;
+    /// anything newer was in flight past the failure point and can never
+    /// commit, so it is aborted and its space released. `keep == 0` drops
+    /// the object entirely (the write never reached the tail).
+    pub fn reconcile(&self, id: ChunkId, keep: u64) {
+        let mut objs = self.objects.lock();
+        let Some(r) = objs.get_mut(&id) else {
+            return;
+        };
+        // Abort in-flight versions newer than the tail's newest.
+        let drop_keys: Vec<u64> = r.versions.range(keep + 1..).map(|(&k, _)| k).collect();
+        for k in drop_keys {
+            if let Some(data) = r.versions.remove(&k) {
+                self.disk.release(data.len() as u64);
+            }
+        }
+        if keep > r.clean && r.versions.contains_key(&keep) {
+            // Commit the tail's version; drop superseded ones.
+            r.clean = keep;
+            let old: Vec<u64> = r.versions.range(..keep).map(|(&k, _)| k).collect();
+            for k in old {
+                if let Some(data) = r.versions.remove(&k) {
+                    self.disk.release(data.len() as u64);
+                }
+            }
+        }
+        if r.versions.is_empty() {
+            objs.remove(&id);
+        }
+    }
+
     /// Remove an object entirely (unlink), releasing its disk space.
     pub fn delete(&self, id: ChunkId) {
         let mut objs = self.objects.lock();
@@ -227,11 +329,15 @@ mod tests {
         ChunkId { ino: 1, idx: i }
     }
 
+    fn stored(outcome: StoreOutcome) {
+        assert_eq!(outcome, StoreOutcome::Stored);
+    }
+
     #[test]
     fn dirty_then_commit_lifecycle() {
         let disk = Disk::new(1 << 20);
         let t = StorageTarget::new("t0", disk.clone());
-        assert!(t.store_dirty(chunk(0), 1, Bytes::from_static(b"v1")));
+        stored(t.store_dirty(chunk(0), 1, Bytes::from_static(b"v1")));
         // Nothing committed: read is Dirty (version 1 retained).
         match t.read_local(chunk(0)) {
             LocalRead::Dirty(v) => assert_eq!(v[&1], Bytes::from_static(b"v1")),
@@ -249,10 +355,10 @@ mod tests {
     fn old_versions_dropped_on_commit() {
         let disk = Disk::new(1 << 20);
         let t = StorageTarget::new("t0", disk.clone());
-        assert!(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 100])));
+        stored(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 100])));
         t.commit(chunk(0), 1);
         assert_eq!(disk.used(), 100);
-        assert!(t.store_dirty(chunk(0), 2, Bytes::from(vec![0u8; 50])));
+        stored(t.store_dirty(chunk(0), 2, Bytes::from(vec![0u8; 50])));
         assert_eq!(disk.used(), 150); // both retained while dirty
         t.commit(chunk(0), 2);
         assert_eq!(disk.used(), 50); // v1 released
@@ -262,9 +368,9 @@ mod tests {
     fn dirty_read_retains_committed_version() {
         let disk = Disk::new(1 << 20);
         let t = StorageTarget::new("t0", disk);
-        assert!(t.store_dirty(chunk(0), 1, Bytes::from_static(b"old")));
+        stored(t.store_dirty(chunk(0), 1, Bytes::from_static(b"old")));
         t.commit(chunk(0), 1);
-        assert!(t.store_dirty(chunk(0), 2, Bytes::from_static(b"new")));
+        stored(t.store_dirty(chunk(0), 2, Bytes::from_static(b"new")));
         match t.read_local(chunk(0)) {
             LocalRead::Dirty(v) => {
                 assert_eq!(v[&1], Bytes::from_static(b"old"));
@@ -280,8 +386,11 @@ mod tests {
     fn disk_capacity_enforced() {
         let disk = Disk::new(100);
         let t = StorageTarget::new("t0", disk);
-        assert!(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 60])));
-        assert!(!t.store_dirty(chunk(1), 1, Bytes::from(vec![0u8; 60])));
+        stored(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 60])));
+        assert_eq!(
+            t.store_dirty(chunk(1), 1, Bytes::from(vec![0u8; 60])),
+            StoreOutcome::DiskFull
+        );
     }
 
     #[test]
@@ -289,5 +398,57 @@ mod tests {
         let t = StorageTarget::new("t0", Disk::new(10));
         assert!(matches!(t.read_local(chunk(9)), LocalRead::Missing));
         assert_eq!(t.committed_version(chunk(9)), 0);
+    }
+
+    #[test]
+    fn dead_target_rejects_stores_and_wipe_releases_disk() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk.clone());
+        stored(t.store_dirty(chunk(0), 1, Bytes::from(vec![0u8; 64])));
+        t.commit(chunk(0), 1);
+        t.fail();
+        assert!(!t.is_alive());
+        assert_eq!(
+            t.store_dirty(chunk(1), 1, Bytes::from_static(b"x")),
+            StoreOutcome::Dead
+        );
+        // Commits on a dead target are ignored.
+        t.commit(chunk(0), 5);
+        assert_eq!(t.committed_version(chunk(0)), 1);
+        t.revive();
+        t.wipe();
+        assert_eq!(disk.used(), 0);
+        assert_eq!(t.object_count(), 0);
+        assert!(t.is_alive());
+    }
+
+    #[test]
+    fn reconcile_commits_tail_version_and_aborts_newer() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk.clone());
+        stored(t.store_dirty(chunk(0), 1, Bytes::from(vec![1u8; 10])));
+        t.commit(chunk(0), 1);
+        stored(t.store_dirty(chunk(0), 2, Bytes::from(vec![2u8; 10])));
+        stored(t.store_dirty(chunk(0), 3, Bytes::from(vec![3u8; 10])));
+        // Tail saw version 2: commit it, abort 3.
+        t.reconcile(chunk(0), 2);
+        assert_eq!(t.committed_version(chunk(0)), 2);
+        assert_eq!(t.newest_version(chunk(0)), 2);
+        assert_eq!(disk.used(), 10);
+        match t.read_local(chunk(0)) {
+            LocalRead::Clean(d) => assert_eq!(d, Bytes::from(vec![2u8; 10])),
+            _ => panic!("expected clean"),
+        }
+    }
+
+    #[test]
+    fn reconcile_to_zero_drops_the_object() {
+        let disk = Disk::new(1 << 20);
+        let t = StorageTarget::new("t0", disk.clone());
+        stored(t.store_dirty(chunk(0), 1, Bytes::from(vec![1u8; 10])));
+        // The write never reached the tail: abort everything.
+        t.reconcile(chunk(0), 0);
+        assert_eq!(t.object_count(), 0);
+        assert_eq!(disk.used(), 0);
     }
 }

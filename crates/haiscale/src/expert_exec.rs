@@ -10,7 +10,13 @@
 //! order). The tests verify the end-to-end permutation is the identity
 //! composed with the expert transforms — the property a correct all2all
 //! pair must have.
+//!
+//! A peer dying mid-exchange surfaces as a typed
+//! [`CommError`](ff_reduce::CommError) — the same error surface as the
+//! fault-tolerant allreduce — never a panic: the caller decides whether
+//! to retry, reroute around the dead expert, or abort the step.
 
+use ff_reduce::CommError;
 use ff_util::channel::{unbounded, Receiver, Sender};
 
 /// A routed token: its home rank and index there, plus its payload.
@@ -26,55 +32,99 @@ pub struct Routed<T> {
 
 /// Generic all2all: `sends[src][dst]` is delivered so the result at
 /// `out[dst][src]` equals it — every rank exchanges with every rank
-/// concurrently (one thread per rank).
-pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Vec<Vec<Vec<T>>> {
+/// concurrently (one thread per rank). A dead peer yields
+/// [`CommError::Disconnected`] on every survivor.
+pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Result<Vec<Vec<Vec<T>>>, CommError> {
+    all2all_with_dead(sends, &[])
+}
+
+/// [`all2all`] with fault injection: ranks listed in `dead` drop their
+/// endpoints without sending or receiving, exactly like a process that
+/// died before the exchange. Survivors observe the missing traffic as a
+/// typed [`CommError::Disconnected`] naming the dead peer.
+pub fn all2all_with_dead<T: Send + Clone>(
+    sends: Vec<Vec<Vec<T>>>,
+    dead: &[usize],
+) -> Result<Vec<Vec<Vec<T>>>, CommError> {
     let n = sends.len();
     for row in &sends {
         assert_eq!(row.len(), n, "all2all needs an n×n send matrix");
     }
-    type Channels<T> = (Vec<Sender<(usize, Vec<T>)>>, Vec<Receiver<(usize, Vec<T>)>>);
+    type Endpoint<T> = (usize, Vec<T>);
+    type Channels<T> = (Vec<Sender<Endpoint<T>>>, Vec<Receiver<Endpoint<T>>>);
     let (txs, rxs): Channels<T> = (0..n).map(|_| unbounded()).unzip();
-    std::thread::scope(|s| {
+    let results: Vec<Result<Vec<Vec<T>>, CommError>> = std::thread::scope(|s| {
         let handles: Vec<_> = sends
             .into_iter()
             .zip(rxs)
             .enumerate()
             .map(|(me, (row, rx))| {
                 let txs = txs.clone();
-                s.spawn(move || {
+                let is_dead = dead.contains(&me);
+                s.spawn(move || -> Result<Vec<Vec<T>>, CommError> {
+                    if is_dead {
+                        // The dead rank's endpoints close unused; its own
+                        // "result" is its death.
+                        drop(txs);
+                        drop(rx);
+                        return Err(CommError::Disconnected { peer: me });
+                    }
                     for (dst, payload) in row.into_iter().enumerate() {
-                        txs[dst]
-                            .send((me, payload))
-                            .unwrap_or_else(|_| panic!("peer alive"));
+                        if txs[dst].send((me, payload)).is_err() {
+                            // The destination hung up; keep sending to
+                            // the survivors — they still need our data.
+                            continue;
+                        }
                     }
                     drop(txs); // close our senders so receivers can drain
                     let mut inbox: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
                     for _ in 0..n {
-                        let (src, payload) = rx.recv().expect("n messages");
-                        assert!(
-                            inbox[src].replace(payload).is_none(),
-                            "duplicate from {src}"
-                        );
+                        match rx.recv() {
+                            Ok((src, payload)) => {
+                                assert!(
+                                    inbox[src].replace(payload).is_none(),
+                                    "duplicate from {src}"
+                                );
+                            }
+                            Err(_) => {
+                                // Channel drained with messages missing:
+                                // name the first silent peer.
+                                let peer = inbox
+                                    .iter()
+                                    .position(|p| p.is_none())
+                                    .expect("a missing message implies a missing peer");
+                                return Err(CommError::Disconnected { peer });
+                            }
+                        }
                     }
-                    inbox
+                    Ok(inbox
                         .into_iter()
                         .map(|p| p.expect("all received"))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>())
                 })
             })
             .collect();
+        // Every thread owns its clone now; dropping the originals lets
+        // receivers observe closure when a peer never sends.
+        drop(txs);
         handles
             .into_iter()
             .map(|h| h.join().expect("rank panicked"))
             .collect()
-    })
+    });
+    results.into_iter().collect()
 }
 
 /// One MoE layer step over `ep` expert-parallel ranks:
 /// `tokens[rank]` are the rank's token vectors, `gate` maps a token to its
 /// expert rank, `expert(rank, x)` is the expert computation. Returns the
-/// combined outputs in each token's original position.
-pub fn moe_layer_step<T, G, F>(tokens: Vec<Vec<T>>, gate: G, expert: F) -> Vec<Vec<T>>
+/// combined outputs in each token's original position, or the
+/// [`CommError`] a dying peer inflicted on either all2all.
+pub fn moe_layer_step<T, G, F>(
+    tokens: Vec<Vec<T>>,
+    gate: G,
+    expert: F,
+) -> Result<Vec<Vec<T>>, CommError>
 where
     T: Send + Clone,
     G: Fn(usize, usize, &T) -> usize, // (home rank, index, token) -> expert rank
@@ -96,7 +146,7 @@ where
             });
         }
     }
-    let received = all2all(sends);
+    let received = all2all(sends)?;
     // Expert computation on each rank (parallel via the same scope).
     let processed: Vec<Vec<Vec<Routed<T>>>> = std::thread::scope(|s| {
         let handles: Vec<_> = received
@@ -126,7 +176,7 @@ where
             .collect()
     });
     // Combine: send results back to the home ranks...
-    let returned = all2all(processed);
+    let returned = all2all(processed)?;
     // ...and scatter them into original positions.
     let mut out: Vec<Vec<Option<T>>> = tokens
         .iter()
@@ -142,13 +192,14 @@ where
             }
         }
     }
-    out.into_iter()
+    Ok(out
+        .into_iter()
         .map(|b| {
             b.into_iter()
                 .map(|t| t.expect("every token returned"))
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -162,7 +213,7 @@ mod tests {
         let sends: Vec<Vec<Vec<(usize, usize)>>> = (0..n)
             .map(|src| (0..n).map(|dst| vec![(src, dst)]).collect())
             .collect();
-        let out = all2all(sends);
+        let out = all2all(sends).unwrap();
         for dst in 0..n {
             for src in 0..n {
                 assert_eq!(out[dst][src], vec![(src, dst)]);
@@ -173,11 +224,46 @@ mod tests {
     #[test]
     fn all2all_handles_empty_and_uneven_payloads() {
         let sends = vec![vec![vec![1, 2, 3], vec![]], vec![vec![9], vec![7, 7]]];
-        let out = all2all(sends);
+        let out = all2all(sends).unwrap();
         assert_eq!(out[0][0], vec![1, 2, 3]);
         assert_eq!(out[0][1], vec![9]);
         assert_eq!(out[1][0], Vec::<i32>::new());
         assert_eq!(out[1][1], vec![7, 7]);
+    }
+
+    #[test]
+    fn dead_peer_is_a_typed_error_not_a_panic() {
+        let n = 4;
+        let sends: Vec<Vec<Vec<u32>>> = (0..n)
+            .map(|src| (0..n).map(|dst| vec![(src * n + dst) as u32]).collect())
+            .collect();
+        let err = all2all_with_dead(sends, &[2]).unwrap_err();
+        assert_eq!(err, CommError::Disconnected { peer: 2 });
+    }
+
+    #[test]
+    fn moe_step_propagates_a_mid_dispatch_death() {
+        // Route everything through the doomed exchange: moe_layer_step
+        // itself only sees the error surface, so drive the faulty
+        // all2all the way it would — dispatch matrix, one dead rank.
+        let n = 3;
+        let sends: Vec<Vec<Vec<Routed<i64>>>> = (0..n)
+            .map(|home| {
+                (0..n)
+                    .map(|dst| {
+                        vec![Routed {
+                            home,
+                            index: dst,
+                            data: 7,
+                        }]
+                    })
+                    .collect()
+            })
+            .collect();
+        match all2all_with_dead(sends, &[0]) {
+            Err(CommError::Disconnected { peer: 0 }) => {}
+            other => panic!("expected rank-0 disconnect, got {other:?}"),
+        }
     }
 
     #[test]
@@ -191,7 +277,8 @@ mod tests {
             tokens.clone(),
             |_, _, &tok| (tok % 3) as usize,
             |rank, &x| x * 10 + rank as i64,
-        );
+        )
+        .unwrap();
         for (r, batch) in out.iter().enumerate() {
             for (i, &v) in batch.iter().enumerate() {
                 let orig = tokens[r][i];
@@ -206,7 +293,7 @@ mod tests {
         // The worst-case gate (every token to expert 0) still round-trips
         // — the load-imbalance case MoE systems must survive.
         let tokens: Vec<Vec<i64>> = (0..4).map(|r| vec![r as i64; 8]).collect();
-        let out = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| -x);
+        let out = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| -x).unwrap();
         for (r, batch) in out.iter().enumerate() {
             assert_eq!(batch, &vec![-(r as i64); 8]);
         }
@@ -214,7 +301,7 @@ mod tests {
 
     #[test]
     fn single_rank_degenerates_to_local_compute() {
-        let out = moe_layer_step(vec![vec![1.0f64, 2.0]], |_, _, _| 0, |_, &x| x + 0.5);
+        let out = moe_layer_step(vec![vec![1.0f64, 2.0]], |_, _, _| 0, |_, &x| x + 0.5).unwrap();
         assert_eq!(out, vec![vec![1.5, 2.5]]);
     }
 
@@ -224,8 +311,8 @@ mod tests {
         // caller combines (weighted sum) — verify two passes with
         // different gates agree with direct evaluation.
         let tokens: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let pass1 = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| x * 2.0);
-        let pass2 = moe_layer_step(tokens.clone(), |_, _, _| 1, |_, &x| x + 100.0);
+        let pass1 = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| x * 2.0).unwrap();
+        let pass2 = moe_layer_step(tokens.clone(), |_, _, _| 1, |_, &x| x + 100.0).unwrap();
         for r in 0..2 {
             for i in 0..2 {
                 let combined = 0.5 * pass1[r][i] + 0.5 * pass2[r][i];

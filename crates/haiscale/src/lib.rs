@@ -36,7 +36,7 @@ pub mod pipeline;
 pub mod tensor;
 
 pub use ddp::{ddp_step, DdpBackend};
-pub use expert_exec::{all2all, moe_layer_step};
+pub use expert_exec::{all2all, all2all_with_dead, moe_layer_step};
 pub use fsdp::{fsdp_step, FsdpImpl};
 pub use memory::{memory_per_gpu, MemoryEstimate, ShardingStrategy};
 pub use models::TrainModel;

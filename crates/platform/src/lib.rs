@@ -27,13 +27,15 @@ pub mod checkpoint;
 pub mod hostping;
 pub mod recovery;
 pub mod scheduler;
+pub mod storage_health;
 pub mod validator;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta};
 pub use hostping::{bottlenecks, hostping, PathProbe};
 pub use recovery::{
     train_with_recovery, train_with_recovery_traced, JobFaults, RecoveryEvent, RecoveryReport,
-    TrainerConfig,
+    TrainerConfig, STORAGE_REJOIN_DELAY_STEPS,
 };
 pub use scheduler::{Platform, TaskId, TaskState};
+pub use storage_health::StoragePlane;
 pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

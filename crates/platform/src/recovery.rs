@@ -28,6 +28,7 @@
 use crate::checkpoint::{CheckpointManager, CkptError};
 use crate::hostping::{bottlenecks, hostping};
 use crate::scheduler::{Platform, TaskState};
+use crate::storage_health::StoragePlane;
 use ff_3fs::chain::{Chain, ChainTable};
 use ff_3fs::client::Fs3Client;
 use ff_3fs::kvstore::KvStore;
@@ -82,7 +83,18 @@ pub struct JobFaults {
     pub corrupt_ckpts: Vec<u64>,
     /// `(step, rank)`: the rank's link trains down before that step.
     pub degrades: Vec<(u64, usize)>,
+    /// `(step, target)`: the 3FS storage target at pool index `target`
+    /// dies before that step. Checkpoint I/O must ride through on client
+    /// retries while the chain reconfigures.
+    pub storage_kills: Vec<(u64, usize)>,
+    /// `(step, target)`: the repaired target returns, is validated, and
+    /// re-syncs back into a chain.
+    pub storage_rejoins: Vec<(u64, usize)>,
 }
+
+/// Steps between a storage target's death and its repaired return in
+/// plans projected by [`JobFaults::from_plan`].
+pub const STORAGE_REJOIN_DELAY_STEPS: u64 = 5;
 
 impl JobFaults {
     /// No faults: the baseline run.
@@ -111,6 +123,11 @@ impl JobFaults {
                     }
                 }
                 FaultAction::Tolerate { .. } => {}
+                FaultAction::KillStorageTarget { target } => {
+                    out.storage_kills.push((step, target));
+                    out.storage_rejoins
+                        .push((step + STORAGE_REJOIN_DELAY_STEPS, target));
+                }
             }
         }
         out
@@ -155,6 +172,20 @@ pub enum RecoveryEvent {
         rank: usize,
         /// Number of unhealthy probes.
         slow_paths: usize,
+    },
+    /// A 3FS storage target died; its chains serve degraded until repair.
+    StorageTargetLost {
+        /// The step before which the target died.
+        step: u64,
+        /// The dead target's name.
+        target: String,
+    },
+    /// A storage target passed validation and rejoined the plane.
+    StorageRejoined {
+        /// The step before which the target returned.
+        step: u64,
+        /// The readmitted target's name.
+        target: String,
     },
 }
 
@@ -264,6 +295,39 @@ fn build_store(obs: Option<&Arc<Recorder>>) -> Arc<Fs3Client> {
     Fs3Client::new(meta, table, 8)
 }
 
+/// [`build_store`]'s topology wrapped in a [`StoragePlane`] so storage
+/// faults can be injected, detected and repaired. The client's failover
+/// hook drives repair passes from inside its retry loop; the dead target
+/// itself — once validated — is the only spare, so a rejoin must re-sync
+/// it back into its chain.
+fn build_faulted_store(obs: Option<&Arc<Recorder>>) -> (Arc<Fs3Client>, Arc<StoragePlane>) {
+    let mut members = Vec::new();
+    let chains: Vec<_> = (0..4)
+        .map(|c| {
+            let reps: Vec<_> = ["a", "b"]
+                .iter()
+                .map(|r| StorageTarget::new(format!("c{c}{r}"), Disk::new(64 << 20)))
+                .collect();
+            members.extend(reps.iter().cloned());
+            Chain::new(c, reps)
+        })
+        .collect();
+    if let Some(rec) = obs {
+        for ch in &chains {
+            ch.attach_recorder(rec, &format!("fs3/chain{}", ch.id()));
+        }
+    }
+    let table = Arc::new(ChainTable::new(chains));
+    let plane = StoragePlane::new(table.clone(), members, Vec::new(), 64 << 10);
+    if let Some(rec) = obs {
+        plane.attach_recorder(rec);
+    }
+    let meta = MetaService::new(KvStore::new(4, 2), table.len());
+    let client = Fs3Client::new(meta, table, 8);
+    client.set_failover_handler(plane.failover_handler());
+    (client, plane)
+}
+
 /// Run the job under `faults`, recovering as the platform would, and
 /// return the timeline plus the final parameters.
 ///
@@ -308,7 +372,15 @@ pub fn train_with_recovery_traced(
             r.instant(t, name, step * STEP_NS, value);
         }
     };
-    let client = build_store(obs);
+    // The storage plane (and its obs streams) exists only when storage
+    // faults are in play, so fault-free traces keep their golden digests.
+    let (client, storage) = if faults.storage_kills.is_empty() && faults.storage_rejoins.is_empty()
+    {
+        (build_store(obs), None)
+    } else {
+        let (client, plane) = build_faulted_store(obs);
+        (client, Some(plane))
+    };
     let ckpt = CheckpointManager::new(client.clone(), "job", cfg.ckpt_chunk_bytes)?;
     if let Some(rec) = obs {
         ckpt.attach_recorder(rec, "platform/ckpt");
@@ -324,6 +396,8 @@ pub fn train_with_recovery_traced(
     let mut steps_executed = 0u64;
     let mut kills = faults.kills.clone();
     let mut degrades = faults.degrades.clone();
+    let mut storage_kills = faults.storage_kills.clone();
+    let mut storage_rejoins = faults.storage_rejoins.clone();
     // Dedup: flipping the same byte twice would restore it.
     let mut corrupt: Vec<u64> = faults.corrupt_ckpts.clone();
     corrupt.sort_unstable();
@@ -331,6 +405,40 @@ pub fn train_with_recovery_traced(
 
     while completed < cfg.steps {
         let step = completed;
+
+        // --- Storage plane: kills, health ticks, validated rejoins. ---
+        if let Some(plane) = &storage {
+            // The plane's clock must stay monotonic even when `completed`
+            // rolls back to a checkpoint, so it runs on executed steps.
+            plane.tick(steps_executed);
+            while let Some(pos) = storage_kills.iter().position(|&(s, _)| s == step) {
+                let (_, idx) = storage_kills.swap_remove(pos);
+                if let Some(target) = plane.inject_kill(idx, step) {
+                    events.push(RecoveryEvent::StorageTargetLost {
+                        step,
+                        target: target.clone(),
+                    });
+                    note(&format!("storage target {target} lost"), step, idx as f64);
+                }
+            }
+            while let Some(pos) = storage_rejoins.iter().position(|&(s, _)| s == step) {
+                let (_, idx) = storage_rejoins.swap_remove(pos);
+                let names = plane.target_names();
+                let target = names[idx % names.len()].clone();
+                plane.repair_node(idx);
+                if plane.revive_and_validate(idx, step) {
+                    events.push(RecoveryEvent::StorageRejoined {
+                        step,
+                        target: target.clone(),
+                    });
+                    note(
+                        &format!("storage target {target} rejoined"),
+                        step,
+                        idx as f64,
+                    );
+                }
+            }
+        }
 
         // --- Detect: link degradation via hostping (§VII-B). ---
         while let Some(pos) = degrades.iter().position(|&(s, _)| s == step) {

@@ -1,0 +1,459 @@
+//! The storage-plane health manager: the glue between the 3FS chains,
+//! the cluster manager's node-health state machine, and the hardware
+//! validator (§VI-B failure handling).
+//!
+//! [`StoragePlane`] owns the failure/recovery loop for storage targets:
+//!
+//! 1. Alive targets heartbeat the [`ClusterManager`] every tick; a dead
+//!    one misses beats, turns **Suspect**, then **Quarantined** (an
+//!    injected fault quarantines it immediately via `mark_failed`).
+//! 2. [`StoragePlane::repair`] removes dead members from every chain —
+//!    the chain reconciles dirty versions against the surviving tail and
+//!    keeps serving degraded — then recruits a *placement-eligible*
+//!    spare and copies the committed objects across through a
+//!    bandwidth-bounded, resumable [`ResyncSession`].
+//! 3. A quarantined target can only re-enter placement through the
+//!    validator: [`StoragePlane::revive_and_validate`] runs the full
+//!    check suite on the node and readmits it as a (wiped) spare iff
+//!    every check passes. Quarantine is sticky — heartbeats alone never
+//!    clear it.
+//!
+//! Everything is instrumented through `ff-obs`: failover/rejoin instants
+//! on the `fs3/failover` track, a `fs3/resync_bytes` gauge, and
+//! per-health-state gauges, so two same-seed runs produce identical
+//! digests.
+
+use crate::validator::{node_passes, run_all_checks, NodeUnderTest};
+use ff_3fs::chain::ChainTable;
+use ff_3fs::manager::{ClusterManager, ServiceRole};
+use ff_3fs::resync::ResyncSession;
+use ff_3fs::target::StorageTarget;
+use ff_3fs::ChainError;
+use ff_obs::{Recorder, TrackId};
+use ff_util::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Simulated nanoseconds per training step (matches the recovery loop's
+/// clock so storage events land on the same timeline).
+const STEP_NS: u64 = 1_000_000_000;
+
+/// Simulated milliseconds per training step fed to the cluster manager.
+const STEP_MS: u64 = 1_000;
+
+/// A target three ticks silent is quarantined (suspect at 1.5 ticks).
+const HEARTBEAT_TIMEOUT_MS: u64 = 3 * STEP_MS;
+
+/// Storage-plane health manager; see the module docs.
+pub struct StoragePlane {
+    manager: Arc<ClusterManager>,
+    table: Arc<ChainTable>,
+    /// Every target ever placed (members and spares), by name. BTreeMap
+    /// so iteration (heartbeats, lookups) is deterministic.
+    targets: BTreeMap<String, Arc<StorageTarget>>,
+    /// Validated targets awaiting placement.
+    spares: Mutex<Vec<Arc<StorageTarget>>>,
+    /// Replica count each chain should be repaired back to.
+    desired: Vec<usize>,
+    /// Max bytes copied per re-sync pump (the background-traffic bound).
+    resync_budget: u64,
+    /// Serializes repair passes: concurrent client failover callbacks
+    /// must not race each other into `begin_recruit`.
+    repair_lock: Mutex<()>,
+    /// The simulated hardware behind each target's node, driven through
+    /// the validator on readmission.
+    nodes: Mutex<BTreeMap<String, NodeUnderTest>>,
+    obs: Mutex<Option<(Arc<Recorder>, TrackId)>>,
+}
+
+impl StoragePlane {
+    /// Wire a plane over `table`'s chains. `members` are the targets
+    /// currently placed in chains; `spares` is the standby pool. Every
+    /// target registers with the cluster manager as a storage service on
+    /// a healthy node.
+    pub fn new(
+        table: Arc<ChainTable>,
+        members: Vec<Arc<StorageTarget>>,
+        spares: Vec<Arc<StorageTarget>>,
+        resync_budget: u64,
+    ) -> Arc<StoragePlane> {
+        assert!(resync_budget > 0);
+        let manager = ClusterManager::new(HEARTBEAT_TIMEOUT_MS, 10 * HEARTBEAT_TIMEOUT_MS);
+        let desired = table.chains().iter().map(|c| c.replicas()).collect();
+        let mut targets = BTreeMap::new();
+        let mut nodes = BTreeMap::new();
+        for t in members.iter().chain(spares.iter()) {
+            manager.register(t.name(), ServiceRole::Storage);
+            nodes.insert(t.name().to_string(), NodeUnderTest::healthy());
+            targets.insert(t.name().to_string(), t.clone());
+        }
+        Arc::new(StoragePlane {
+            manager,
+            table,
+            targets,
+            spares: Mutex::new(spares),
+            desired,
+            resync_budget,
+            repair_lock: Mutex::new(()),
+            nodes: Mutex::new(nodes),
+            obs: Mutex::new(None),
+        })
+    }
+
+    /// Attach a recorder; failover instants land on the `fs3/failover`
+    /// track.
+    pub fn attach_recorder(&self, rec: &Arc<Recorder>) {
+        let track = rec.track("fs3/failover");
+        *self.obs.lock() = Some((rec.clone(), track));
+    }
+
+    /// The underlying cluster manager (health queries).
+    pub fn manager(&self) -> &Arc<ClusterManager> {
+        &self.manager
+    }
+
+    /// The target registered under `name`.
+    pub fn target(&self, name: &str) -> Option<Arc<StorageTarget>> {
+        self.targets.get(name).cloned()
+    }
+
+    /// Target names in deterministic (sorted) order — index `i` here is
+    /// the storage-pool index fault plans address.
+    pub fn target_names(&self) -> Vec<String> {
+        self.targets.keys().cloned().collect()
+    }
+
+    fn note(&self, name: &str, step: u64, value: f64) {
+        if let Some((rec, track)) = self.obs.lock().as_ref() {
+            rec.instant(*track, name, step * STEP_NS, value);
+        }
+    }
+
+    /// One health tick at training step `step`: alive targets heartbeat,
+    /// the manager clock advances (dead targets degrade Suspect →
+    /// Quarantined), and per-state gauges refresh.
+    pub fn tick(&self, step: u64) {
+        self.manager.tick(step * STEP_MS);
+        // Beats land *after* the clock advance so an alive target is
+        // never counted as missing the interval the tick itself spans
+        // (a transient Suspect verdict heals right here).
+        for t in self.targets.values() {
+            if t.is_alive() {
+                self.manager.heartbeat(t.name());
+            }
+        }
+        if let Some((rec, _)) = self.obs.lock().as_ref() {
+            let [healthy, suspect, quarantined, validating] = self.manager.health_counts();
+            rec.gauge_set("fs3/health/healthy", healthy as f64);
+            rec.gauge_set("fs3/health/suspect", suspect as f64);
+            rec.gauge_set("fs3/health/quarantined", quarantined as f64);
+            rec.gauge_set("fs3/health/validating", validating as f64);
+        }
+    }
+
+    /// Kill the target at storage-pool index `idx` (sorted-name order)
+    /// at step `step`: the target stops serving and is quarantined
+    /// immediately. The chain is *not* repaired here — in-flight writes
+    /// hit `Unavailable` and the client's failover retry drives
+    /// [`StoragePlane::repair`], exactly as a real deployment would
+    /// discover the fault.
+    pub fn inject_kill(&self, idx: usize, step: u64) -> Option<String> {
+        let name = self
+            .target_names()
+            .get(idx % self.targets.len().max(1))?
+            .clone();
+        let target = self.targets.get(&name)?.clone();
+        if !target.is_alive() {
+            return None; // already down
+        }
+        target.fail();
+        self.manager.mark_failed(&name);
+        // The node's SSD path is now broken: the validator must see a
+        // defect until repair, so a premature readmission attempt fails.
+        if let Some(n) = self.nodes.lock().get_mut(&name) {
+            n.storage_gbps = 2.0;
+        }
+        self.note("storage_target_lost", step, idx as f64);
+        Some(name)
+    }
+
+    /// Repair pass at step `step`: drop dead members from every chain
+    /// (dirty-version reconciliation happens inside the chain), then
+    /// recruit placement-eligible spares for under-replicated chains and
+    /// re-sync them with bounded pumps. Returns the number of membership
+    /// changes made. Serialized — concurrent callers queue.
+    pub fn repair(&self, step: u64) -> usize {
+        let _guard = self.repair_lock.lock();
+        let mut changes = 0usize;
+        for (ci, chain) in self.table.chains().iter().enumerate() {
+            for _dead in chain.remove_dead() {
+                changes += 1;
+                self.note("chain_member_removed", step, ci as f64);
+                if let Some((rec, _)) = self.obs.lock().as_ref() {
+                    rec.counter_add("fs3/failovers", 1.0);
+                }
+            }
+            while chain.replicas() < self.desired[ci] && chain.joining_name().is_none() {
+                let recruit = {
+                    let mut spares = self.spares.lock();
+                    let pos = spares
+                        .iter()
+                        .position(|s| s.is_alive() && self.manager.placement_eligible(s.name()));
+                    match pos {
+                        Some(p) => spares.remove(p),
+                        None => break, // nothing eligible; stay degraded
+                    }
+                };
+                match self.resync(chain, recruit, ci, step) {
+                    Ok(()) => changes += 1,
+                    Err(_) => break, // recruit died mid-copy; retry next pass
+                }
+            }
+        }
+        changes
+    }
+
+    /// Run one full background re-sync of `recruit` into `chain`:
+    /// bounded pumps until the committed set is copied, then promotion.
+    fn resync(
+        &self,
+        chain: &Arc<ff_3fs::chain::Chain>,
+        recruit: Arc<StorageTarget>,
+        ci: usize,
+        step: u64,
+    ) -> Result<(), ChainError> {
+        let mut session = ResyncSession::begin(chain.clone(), recruit)?;
+        loop {
+            let p = match session.pump(self.resync_budget) {
+                Ok(p) => p,
+                Err(e) => {
+                    let failed = session.abort();
+                    failed.wipe();
+                    self.spares.lock().push(failed);
+                    return Err(e);
+                }
+            };
+            if let Some((rec, _)) = self.obs.lock().as_ref() {
+                rec.gauge_set("fs3/resync_bytes", p.copied_bytes as f64);
+                rec.gauge_set("fs3/resync_remaining", p.remaining as f64);
+            }
+            if p.done {
+                break;
+            }
+        }
+        session.finish()?;
+        self.note("chain_member_recruited", step, ci as f64);
+        Ok(())
+    }
+
+    /// The repair crew fixed the node at pool index `idx` (e.g. swapped
+    /// its failed SSD): clear the simulated hardware defect. This alone
+    /// readmits nothing — only [`StoragePlane::revive_and_validate`]
+    /// can, and only with the validator's sign-off.
+    pub fn repair_node(&self, idx: usize) {
+        if let Some(name) = self.target_names().get(idx % self.targets.len().max(1)) {
+            self.nodes
+                .lock()
+                .insert(name.clone(), NodeUnderTest::healthy());
+        }
+    }
+
+    /// Attempt to bring the target at pool index `idx` back at step
+    /// `step`: run the validator on its node as-is and — only if every
+    /// check passes — wipe the target, revive it and hand it to the
+    /// spare pool (placement happens through a repair pass). A node
+    /// whose defect persists (no [`StoragePlane::repair_node`] yet)
+    /// fails validation and stays quarantined. Returns `true` when the
+    /// node was readmitted.
+    pub fn revive_and_validate(&self, idx: usize, step: u64) -> bool {
+        // First make sure every chain has already dropped the dead
+        // member — reviving first could resurrect a stale replica.
+        self.repair(step);
+        let Some(name) = self
+            .target_names()
+            .get(idx % self.targets.len().max(1))
+            .cloned()
+        else {
+            return false;
+        };
+        let Some(target) = self.targets.get(&name).cloned() else {
+            return false;
+        };
+        if target.is_alive() {
+            return false;
+        }
+        if !self.manager.begin_validation(&name) {
+            return false;
+        }
+        let passed = {
+            let mut nodes = self.nodes.lock();
+            let node = nodes.get_mut(&name).expect("registered node");
+            node_passes(&run_all_checks(node))
+        };
+        self.manager.conclude_validation(&name, passed);
+        if !passed {
+            return false;
+        }
+        target.wipe();
+        target.revive();
+        {
+            // A dead *spare* revives in place — pushing it again would
+            // let one target be recruited into two chains at once.
+            let mut spares = self.spares.lock();
+            if !spares.iter().any(|s| Arc::ptr_eq(s, &target)) {
+                spares.push(target);
+            }
+        }
+        self.note("storage_target_rejoined", step, idx as f64);
+        // Place it immediately if a chain is still degraded.
+        self.repair(step);
+        true
+    }
+
+    /// A client failover handler: any `Unavailable`/`Reconfiguring`
+    /// retry triggers a repair pass (the step is unknown from inside the
+    /// client, so instants from this path land at the last ticked step).
+    pub fn failover_handler(self: &Arc<Self>) -> ff_3fs::client::FailoverHandler {
+        let plane = Arc::downgrade(self);
+        Arc::new(move |_chain_id| {
+            if let Some(plane) = plane.upgrade() {
+                plane.repair(plane.last_step());
+            }
+        })
+    }
+
+    fn last_step(&self) -> u64 {
+        self.manager.now_ms() / STEP_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_3fs::chain::Chain;
+    use ff_3fs::manager::HealthState;
+    use ff_3fs::target::{ChunkId, Disk};
+    use ff_util::bytes::Bytes;
+
+    fn chunk(i: u64) -> ChunkId {
+        ChunkId { ino: 4, idx: i }
+    }
+
+    fn target(name: &str) -> Arc<StorageTarget> {
+        StorageTarget::new(name, Disk::new(8 << 20))
+    }
+
+    fn plane_fixture() -> (Arc<StoragePlane>, Arc<ChainTable>, Vec<Arc<StorageTarget>>) {
+        let members = vec![target("sa"), target("sb"), target("sc")];
+        let chain = Chain::new(0, members.clone());
+        let table = Arc::new(ChainTable::new(vec![chain]));
+        let spares = vec![target("sp0")];
+        let plane = StoragePlane::new(table.clone(), members.clone(), spares, 1 << 10);
+        (plane, table, members)
+    }
+
+    #[test]
+    fn kill_quarantines_and_repair_recruits_a_spare() {
+        let (plane, table, members) = plane_fixture();
+        let chain = &table.chains()[0];
+        for i in 0..8 {
+            chain
+                .write(chunk(i), Bytes::from(vec![i as u8; 2048]))
+                .unwrap();
+        }
+        plane.tick(1);
+        // Pool order is sorted: sa, sb, sc, sp0. Kill "sb" (index 1).
+        let name = plane.inject_kill(1, 2).unwrap();
+        assert_eq!(name, "sb");
+        assert!(!members[1].is_alive());
+        assert_eq!(plane.manager().health("sb"), Some(HealthState::Quarantined));
+        assert_eq!(chain.replicas(), 3, "no repair before the loop runs");
+        let changes = plane.repair(3);
+        assert_eq!(changes, 2, "one removal, one recruit");
+        let names = chain.target_names();
+        assert!(names.contains(&"sp0".to_string()), "{names:?}");
+        assert!(!names.contains(&"sb".to_string()));
+        // The recruit serves every committed object.
+        for i in 0..8 {
+            let r = chain.read_at(chunk(i), 2).unwrap();
+            assert_eq!(r.as_ref()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn quarantined_target_needs_validation_to_return() {
+        let (plane, table, _members) = plane_fixture();
+        let chain = &table.chains()[0];
+        chain
+            .write(chunk(0), Bytes::from("v1".to_string()))
+            .unwrap();
+        plane.inject_kill(0, 1).unwrap(); // "sa"
+        plane.repair(2);
+        assert_eq!(chain.replicas(), 3, "spare replaced the dead member");
+        // Heartbeats do not readmit: still quarantined after many ticks.
+        for s in 3..10 {
+            plane.tick(s);
+        }
+        assert_eq!(plane.manager().health("sa"), Some(HealthState::Quarantined));
+        assert!(!plane.manager().placement_eligible("sa"));
+        // Validation with the defect still present fails and changes
+        // nothing; after the repair crew's visit it passes.
+        assert!(!plane.revive_and_validate(0, 10));
+        assert_eq!(plane.manager().health("sa"), Some(HealthState::Quarantined));
+        plane.repair_node(0);
+        assert!(plane.revive_and_validate(0, 10));
+        assert_eq!(plane.manager().health("sa"), Some(HealthState::Healthy));
+        assert!(plane.manager().placement_eligible("sa"));
+        assert!(plane.target("sa").unwrap().is_alive());
+    }
+
+    #[test]
+    fn validation_fails_while_the_defect_persists() {
+        let (plane, _table, members) = plane_fixture();
+        plane.inject_kill(0, 1).unwrap();
+        // The kill broke the node's storage path; without a repair-crew
+        // visit the validator's storage-stress check fails every attempt.
+        for attempt in 0..3 {
+            assert!(!plane.revive_and_validate(0, 2 + attempt));
+            assert_eq!(plane.manager().health("sa"), Some(HealthState::Quarantined));
+        }
+        assert!(
+            !members[0].is_alive(),
+            "a failed validation revives nothing"
+        );
+    }
+
+    #[test]
+    fn dead_targets_degrade_through_suspect_without_mark_failed() {
+        let members = vec![target("da"), target("db")];
+        let chain = Chain::new(0, members.clone());
+        let table = Arc::new(ChainTable::new(vec![chain]));
+        let plane = StoragePlane::new(table, members.clone(), vec![], 1 << 10);
+        plane.tick(1);
+        // Silent death: no mark_failed, just missed heartbeats. The last
+        // beat landed at step 1; suspect at 1.5 s missed, out at 3 s.
+        members[0].fail();
+        plane.tick(2);
+        assert_eq!(plane.manager().health("da"), Some(HealthState::Healthy));
+        plane.tick(3); // 2 s missed ≥ suspect threshold
+        assert_eq!(plane.manager().health("da"), Some(HealthState::Suspect));
+        plane.tick(4); // 3 s missed ≥ timeout
+        assert_eq!(plane.manager().health("da"), Some(HealthState::Quarantined));
+        assert_eq!(plane.manager().health("db"), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn repair_without_eligible_spare_stays_degraded() {
+        let members = vec![target("xa"), target("xb")];
+        let chain = Chain::new(0, members.clone());
+        let table = Arc::new(ChainTable::new(vec![chain]));
+        let plane = StoragePlane::new(table.clone(), members.clone(), vec![], 1 << 10);
+        let chain = &table.chains()[0];
+        chain.write(chunk(0), Bytes::from("x".to_string())).unwrap();
+        plane.inject_kill(1, 1).unwrap();
+        let changes = plane.repair(2);
+        assert_eq!(changes, 1, "removal only; no spare to recruit");
+        assert_eq!(chain.replicas(), 1);
+        assert_eq!(chain.read(chunk(0)).unwrap(), Bytes::from("x".to_string()));
+    }
+}

@@ -1,0 +1,183 @@
+//! Property test for the storage-plane health gate: a target that has
+//! been quarantined **never** receives chain placement — as a member of
+//! a chain it did not already belong to, or as a joining recruit — until
+//! the validator passes it.
+//!
+//! Seeded random op sequences drive the plane through kills, health
+//! ticks, repair passes, botched readmission attempts (no repair-crew
+//! visit, so validation must fail) and successful ones. After every op
+//! the placement invariant is checked against a model that tracks which
+//! targets are banned (quarantined since their last passed validation)
+//! and, for each banned target, the one chain it may still linger in
+//! (membership it held when it died, until a repair pass evicts it).
+
+use ff_3fs::chain::{Chain, ChainTable};
+use ff_3fs::target::{ChunkId, Disk, StorageTarget};
+use ff_platform::StoragePlane;
+use ff_util::bytes::Bytes;
+use ff_util::rng::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const CHAINS: usize = 2;
+const REPLICAS: usize = 2;
+const SPARES: usize = 2;
+const OPS: usize = 80;
+
+fn chunk(i: u64) -> ChunkId {
+    ChunkId { ino: 9, idx: i }
+}
+
+/// Where each banned (quarantined, unvalidated) target may still appear:
+/// the chain that held it when it died, or nowhere once evicted.
+type Grandfathered = HashMap<String, Option<usize>>;
+
+fn check_invariant(table: &ChainTable, plane: &StoragePlane, banned: &Grandfathered, op: usize) {
+    for (ci, chain) in table.chains().iter().enumerate() {
+        for (name, home) in banned {
+            assert_ne!(
+                chain.joining_name().as_deref(),
+                Some(name.as_str()),
+                "op {op}: quarantined {name} recruited into chain {ci}"
+            );
+            if chain.target_names().iter().any(|n| n == name) {
+                assert_eq!(
+                    *home,
+                    Some(ci),
+                    "op {op}: quarantined {name} placed into chain {ci}"
+                );
+                assert!(
+                    !plane.manager().placement_eligible(name),
+                    "op {op}: banned {name} regained eligibility without validation"
+                );
+            }
+        }
+    }
+}
+
+fn run_seed(seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut members = Vec::new();
+    let chains: Vec<_> = (0..CHAINS)
+        .map(|c| {
+            let reps: Vec<_> = (0..REPLICAS)
+                .map(|r| StorageTarget::new(format!("m{c}{r}"), Disk::new(8 << 20)))
+                .collect();
+            members.extend(reps.iter().cloned());
+            Chain::new(c, reps)
+        })
+        .collect();
+    let spares: Vec<_> = (0..SPARES)
+        .map(|s| StorageTarget::new(format!("z{s}"), Disk::new(8 << 20)))
+        .collect();
+    let table = Arc::new(ChainTable::new(chains));
+    let plane = StoragePlane::new(table.clone(), members, spares, 4 << 10);
+    let pool = plane.target_names();
+
+    let chain_of = |name: &str| -> Option<usize> {
+        table
+            .chains()
+            .iter()
+            .position(|c| c.target_names().iter().any(|n| n == name))
+    };
+
+    let mut banned: Grandfathered = HashMap::new();
+    let mut step = 1u64;
+    for op in 0..OPS {
+        match rng.gen_range(0u32..10) {
+            // Time passes; dead targets degrade through the states.
+            0 | 1 => {
+                plane.tick(step);
+                step += 1;
+            }
+            // A target dies — unless it is the last live member of its
+            // chain (total chain loss is unrecoverable data loss, which
+            // failure-domain placement makes out of scope here).
+            2 | 3 => {
+                let idx = rng.gen_range(0usize..pool.len());
+                let name = pool[idx].clone();
+                let last_alive = chain_of(&name).is_some_and(|c| {
+                    table.chains()[c]
+                        .target_names()
+                        .iter()
+                        .filter(|n| plane.target(n).is_some_and(|t| t.is_alive()))
+                        .count()
+                        <= 1
+                });
+                if !last_alive {
+                    if let Some(name) = plane.inject_kill(idx, step) {
+                        let home = chain_of(&name);
+                        banned.insert(name, home);
+                    }
+                }
+            }
+            // The repair loop runs: dead members evicted, eligible
+            // spares recruited and re-synced.
+            4 | 5 => {
+                plane.repair(step);
+                // Eviction: a banned member may now be in no chain at
+                // all, which the invariant treats as "nowhere".
+                for (name, home) in banned.iter_mut() {
+                    if chain_of(name).is_none() {
+                        *home = None;
+                    }
+                }
+            }
+            // Botched readmission: no repair-crew visit, the hardware
+            // defect persists, validation must fail and place nothing.
+            6 => {
+                let idx = rng.gen_range(0usize..pool.len());
+                let name = &pool[idx];
+                if banned.contains_key(name) {
+                    assert!(
+                        !plane.revive_and_validate(idx, step),
+                        "op {op}: {name} passed validation with a live defect"
+                    );
+                }
+            }
+            // Proper readmission: repair the node, then validate.
+            7 => {
+                let idx = rng.gen_range(0usize..pool.len());
+                plane.repair_node(idx);
+                if plane.revive_and_validate(idx, step) {
+                    banned.remove(&pool[idx]);
+                }
+            }
+            // Foreground traffic keeps the chains busy (and exercises
+            // degraded serving); total loss of a chain is tolerated.
+            _ => {
+                let c = rng.gen_range(0usize..CHAINS);
+                let obj = rng.gen_range(0u64..8);
+                let _ = table.chains()[c].write(chunk(obj), Bytes::from(format!("op{op}")));
+            }
+        }
+        check_invariant(&table, &plane, &banned, op);
+    }
+
+    // Close the loop: readmit everything and repair — the pool must be
+    // able to return to full health, and the ban list must drain.
+    for (idx, name) in pool.iter().enumerate() {
+        plane.repair_node(idx);
+        if plane.revive_and_validate(idx, step) {
+            banned.remove(name);
+        }
+    }
+    plane.repair(step);
+    assert!(
+        banned.is_empty(),
+        "seed {seed}: targets stuck in quarantine: {banned:?}"
+    );
+    for chain in table.chains() {
+        assert!(
+            chain.replicas() >= 1,
+            "seed {seed}: a chain ended with no members"
+        );
+    }
+}
+
+#[test]
+fn quarantined_targets_never_get_placed_until_validated() {
+    for seed in [3u64, 11, 29, 1234, 9001] {
+        run_seed(seed);
+    }
+}

@@ -11,6 +11,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> storage failover smoke (release, fixed seed)"
+cargo test -q --release --offline -p fireflyer --test storage_failover
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

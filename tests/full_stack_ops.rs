@@ -91,6 +91,7 @@ fn a_week_of_production() {
                 FailureKind::GpuXid(x) => x.needs_node_action(),
                 FailureKind::MainMemoryEcc => true,
                 FailureKind::NetworkFlashCut => false,
+                FailureKind::StorageTargetFailure => false,
             };
             if node_action && !repairs.iter().any(|&(_, n)| n == e.node) {
                 // The defect shows up on hardware; validator pulls it.

@@ -31,6 +31,7 @@ fn seeded_faults(seed: u64) -> JobFaults {
         kills: vec![(rng.gen_range(10..35u64), rng.gen_range(1..6usize))],
         corrupt_ckpts: vec![8 * rng.gen_range(1..4u64)],
         degrades: vec![(rng.gen_range(2..9u64), rng.gen_range(0..6usize))],
+        ..JobFaults::default()
     }
 }
 
