@@ -23,9 +23,12 @@
 //! | `fig11_flashcuts` | Figure 11 — IB link flash cuts |
 //! | `ablation_congestion` | §VI-A/VIII-A — VLs, routing, RTS, DCQCN |
 //! | `ops_recovery` | §VII-A — checkpoint cadence vs lost work |
+//! | `hai_platform` | §VI-C — the HAI scheduler at full cluster scale |
 //! | `background_figs` | Figures 1–3 — background growth charts |
 
 #![forbid(unsafe_code)]
+
+pub mod hai;
 
 use std::fmt::Display;
 

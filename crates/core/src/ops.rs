@@ -9,7 +9,7 @@
 //! "the overhead from disaster recovery is minimal".
 
 use ff_failures::{FailureEvent, FailureGenerator, FailureKind};
-use ff_platform::Platform;
+use ff_platform::{JobSpec, PlatformConfig};
 
 /// Configuration of an operations run.
 #[derive(Debug, Clone)]
@@ -73,10 +73,16 @@ impl OpsSimulation {
     /// Run the simulation.
     pub fn run(&self) -> OpsReport {
         let nodes = self.per_zone[0] + self.per_zone[1];
-        let mut platform = Platform::new(self.per_zone, self.ckpt_interval_s);
+        let mut platform = PlatformConfig::new()
+            .zones(self.per_zone)
+            .ckpt_interval(self.ckpt_interval_s)
+            .build()
+            .expect("ops simulation has nodes");
         // Keep the cluster saturated with week-long 4-node jobs.
         for i in 0..nodes {
-            platform.submit(format!("train-{i}"), 4, 0, 14 * 86_400);
+            platform
+                .submit(JobSpec::new(format!("train-{i}"), 4, 14 * 86_400))
+                .expect("4-node job fits the cluster");
         }
         // Failure trace scaled from the paper's 1,250-node rates to ours.
         let mut gen = FailureGenerator::paper_calibrated(self.seed, nodes);
@@ -118,7 +124,7 @@ impl OpsSimulation {
             }
         }
         OpsReport {
-            lost_work_node_s: platform.lost_work_s,
+            lost_work_node_s: platform.lost_work_s(),
             busy_node_s: (platform.utilization() * (nodes as u64 * self.days * 86_400) as f64)
                 as u64,
             utilization: platform.utilization(),

@@ -63,6 +63,12 @@ impl std::fmt::Display for ChainError {
 
 impl std::error::Error for ChainError {}
 
+impl From<ChainError> for ff_util::FfError {
+    fn from(e: ChainError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Storage, e.to_string(), e)
+    }
+}
+
 /// The chain's membership: ordered full members plus at most one recruit
 /// being re-synced in the background.
 struct Members {

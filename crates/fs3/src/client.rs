@@ -32,6 +32,32 @@ impl From<ChainError> for FsError {
     }
 }
 
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Meta(e) => write!(f, "metadata: {e}"),
+            FsError::Chain(e) => write!(f, "storage chain: {e}"),
+            FsError::Eof => write!(f, "read past end of file"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Meta(e) => Some(e),
+            FsError::Chain(e) => Some(e),
+            FsError::Eof => None,
+        }
+    }
+}
+
+impl From<FsError> for ff_util::FfError {
+    fn from(e: FsError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Storage, e.to_string(), e)
+    }
+}
+
 /// A counting semaphore: the client-side sender limit of the
 /// request-to-send control ("the client limits the number of concurrent
 /// senders").

@@ -39,9 +39,10 @@ pub mod target;
 pub mod throughput;
 
 pub use chain::{Chain, ChainError, ChainTable};
-pub use client::{Fs3Client, RetryPolicy};
+pub use client::{Fs3Client, FsError, RetryPolicy};
+pub use ff_util::error::{FfError, FfKind};
 pub use kvstore::KvStore;
-pub use manager::{ClusterManager, HealthState};
-pub use meta::{FileAttr, InodeId, MetaService};
+pub use manager::{ClusterManager, HealthState, ServiceRole};
+pub use meta::{FileAttr, InodeId, MetaError, MetaService};
 pub use resync::{ResyncProgress, ResyncSession};
 pub use target::{ChunkId, StorageTarget, StoreOutcome};

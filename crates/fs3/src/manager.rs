@@ -27,6 +27,9 @@ pub enum ServiceRole {
     Storage,
     /// A cluster-manager replica.
     Manager,
+    /// A compute node registered by the scheduling platform (§VI-C): the
+    /// same health machine gates its return to the scheduling pool.
+    Compute,
 }
 
 /// Liveness as judged by heartbeat recency.
@@ -199,6 +202,19 @@ impl ClusterManager {
             rec.last_heartbeat_ms = now;
             if rec.health == HealthState::Suspect {
                 rec.health = HealthState::Healthy;
+            }
+        }
+    }
+
+    /// Report a service suspect without waiting for the heartbeat
+    /// timeout: an external detector (hai-monitor, the scheduler's own
+    /// liveness probe) saw the first missed beat. Healthy services move
+    /// to Suspect; quarantined/validating ones are left alone.
+    pub fn mark_suspect(&self, id: &str) {
+        let mut st = self.state.lock();
+        if let Some(rec) = st.services.get_mut(id) {
+            if rec.health == HealthState::Healthy {
+                rec.health = HealthState::Suspect;
             }
         }
     }
@@ -514,6 +530,23 @@ mod tests {
         assert_eq!(m.health("stor0"), Some(HealthState::Healthy));
         assert!(m.placement_eligible("stor0"));
         assert!(m.poll_config().alive.iter().any(|(id, _)| id == "stor0"));
+    }
+
+    #[test]
+    fn mark_suspect_is_explicit_and_reversible() {
+        let m = ClusterManager::new(100, 500);
+        m.register("node000", ServiceRole::Compute);
+        m.mark_suspect("node000");
+        assert_eq!(m.health("node000"), Some(HealthState::Suspect));
+        assert!(!m.placement_eligible("node000"));
+        // Confirmation escalates; only validation readmits.
+        m.mark_failed("node000");
+        assert_eq!(m.health("node000"), Some(HealthState::Quarantined));
+        m.mark_suspect("node000"); // no-op on quarantined services
+        assert_eq!(m.health("node000"), Some(HealthState::Quarantined));
+        assert!(m.begin_validation("node000"));
+        assert!(m.conclude_validation("node000", true));
+        assert_eq!(m.health("node000"), Some(HealthState::Healthy));
     }
 
     #[test]

@@ -93,6 +93,25 @@ pub enum MetaError {
     NotEmpty,
 }
 
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::NotFound => write!(f, "path or entry not found"),
+            MetaError::Exists => write!(f, "entry already exists"),
+            MetaError::WrongKind => write!(f, "wrong entry kind for operation"),
+            MetaError::NotEmpty => write!(f, "directory not empty"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+impl From<MetaError> for ff_util::FfError {
+    fn from(e: MetaError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Storage, e.to_string(), e)
+    }
+}
+
 fn inode_key(ino: InodeId) -> Vec<u8> {
     let mut k = b"i/".to_vec();
     k.extend_from_slice(&ino.0.to_be_bytes());

@@ -59,6 +59,31 @@ impl From<MetaError> for CkptError {
     }
 }
 
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Fs(e) => write!(f, "checkpoint I/O: {e}"),
+            CkptError::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
+            CkptError::Missing => write!(f, "no checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for ff_util::FfError {
+    fn from(e: CkptError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Checkpoint, e.to_string(), e)
+    }
+}
+
 /// FNV-1a over 8-byte words (plus a byte-wise tail and a length fold):
 /// the same error-detection role as byte-wise FNV at ~8× the speed —
 /// checksumming must not be the checkpoint bottleneck.

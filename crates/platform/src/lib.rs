@@ -3,10 +3,13 @@
 //! The cluster-side software that makes the hardware usable and keeps it
 //! at "99% utilization":
 //!
-//! * [`scheduler`] — time-sharing task scheduling over tagged nodes
-//!   (resource type, network zone), with the interrupt/checkpoint/resume
-//!   protocol of §VI-C, priority preemption, the ≤1 cross-zone-task rule
-//!   of §III-B, and node-failure handling.
+//! * [`scheduler`] — event-driven time-sharing task scheduling on
+//!   simulated time over tagged nodes (resource type, network zone), with
+//!   the interrupt/checkpoint/resume protocol of §VI-C, priority
+//!   preemption, the ≤1 cross-zone-task rule of §III-B, node failures
+//!   flowing through the cluster manager's health lifecycle, and an
+//!   optional fluid-traffic mode where step and checkpoint durations
+//!   emerge from bandwidth contention. Built via [`PlatformConfig`].
 //! * [`checkpoint`] — the checkpoint manager of §VII-A: tensors chunked
 //!   and batch-written to 3FS with a per-tensor index, periodic (5-minute)
 //!   cadence, asynchronous saves, checksum-verified loads.
@@ -31,11 +34,14 @@ pub mod storage_health;
 pub mod validator;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta};
+pub use ff_util::error::{FfError, FfKind};
 pub use hostping::{bottlenecks, hostping, PathProbe};
 pub use recovery::{
     train_with_recovery, train_with_recovery_traced, JobFaults, RecoveryEvent, RecoveryReport,
     TrainerConfig, STORAGE_REJOIN_DELAY_STEPS,
 };
-pub use scheduler::{Platform, TaskId, TaskState};
+pub use scheduler::{
+    ConfigError, JobSpec, Platform, PlatformConfig, SubmitError, TaskId, TaskState,
+};
 pub use storage_health::StoragePlane;
 pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

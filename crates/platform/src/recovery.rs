@@ -27,7 +27,7 @@
 
 use crate::checkpoint::{CheckpointManager, CkptError};
 use crate::hostping::{bottlenecks, hostping};
-use crate::scheduler::{Platform, TaskState};
+use crate::scheduler::{JobSpec, PlatformConfig, TaskState};
 use crate::storage_health::StoragePlane;
 use ff_3fs::chain::{Chain, ChainTable};
 use ff_3fs::client::Fs3Client;
@@ -39,6 +39,7 @@ use ff_failures::plan::{FaultAction, FaultPlan};
 use ff_hw::{NodeHw, NodeSpec};
 use ff_obs::Recorder;
 use ff_reduce::exec::{allreduce_dbtree_ft, allreduce_dbtree_ft_traced, ExecFaultPlan, ObsCtx};
+use ff_util::error::FfError;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -332,7 +333,7 @@ fn build_faulted_store(obs: Option<&Arc<Recorder>>) -> (Arc<Fs3Client>, Arc<Stor
 /// return the timeline plus the final parameters.
 ///
 /// The run owns its world: a fresh 3FS instance for checkpoints, a
-/// [`Platform`] with `ranks` nodes per zone (zone 1 is the spare pool a
+/// [`crate::Platform`] with `ranks` nodes per zone (zone 1 is the spare pool a
 /// requeued task lands on), and a fluid model of each node for hostping
 /// probing. Saves here are synchronous so that a checkpoint provably
 /// precedes the faults that follow it; the asynchronous path and its
@@ -340,7 +341,7 @@ fn build_faulted_store(obs: Option<&Arc<Recorder>>) -> (Arc<Fs3Client>, Arc<Stor
 pub fn train_with_recovery(
     cfg: &TrainerConfig,
     faults: &JobFaults,
-) -> Result<RecoveryReport, CkptError> {
+) -> Result<RecoveryReport, FfError> {
     train_with_recovery_traced(cfg, faults, None)
 }
 
@@ -361,7 +362,7 @@ pub fn train_with_recovery_traced(
     cfg: &TrainerConfig,
     faults: &JobFaults,
     obs: Option<&Arc<Recorder>>,
-) -> Result<RecoveryReport, CkptError> {
+) -> Result<RecoveryReport, FfError> {
     assert!(cfg.ranks >= 2, "recovery needs a multi-rank job");
     assert!(cfg.ckpt_every >= 1);
     const STEP_NS: u64 = 1_000_000_000;
@@ -386,9 +387,12 @@ pub fn train_with_recovery_traced(
         ckpt.attach_recorder(rec, "platform/ckpt");
     }
 
-    let mut platform = Platform::new([cfg.ranks, cfg.ranks], cfg.ckpt_every);
-    let task = platform.submit("train", cfg.ranks, 0, cfg.steps);
-    assert_eq!(platform.state(task), TaskState::Running);
+    let mut platform = PlatformConfig::new()
+        .zones([cfg.ranks, cfg.ranks])
+        .ckpt_interval(cfg.ckpt_every)
+        .build()?;
+    let task = platform.submit(JobSpec::new("train", cfg.ranks, cfg.steps))?;
+    assert_eq!(platform.state(task), Some(TaskState::Running));
 
     let mut events = Vec::new();
     let mut params = vec![0f32; cfg.params];
@@ -496,14 +500,18 @@ pub fn train_with_recovery_traced(
                 // The node hosting the dead rank leaves the pool; the
                 // scheduler rolls the task back and reschedules it onto
                 // the remaining healthy nodes plus the spare pool.
-                let node = platform.assignment(task).get(rank).copied().unwrap_or(rank);
+                let node = platform
+                    .assignment(task)
+                    .and_then(|a| a.get(rank))
+                    .copied()
+                    .unwrap_or(rank);
                 platform.fail_node(node);
             }
             events.push(RecoveryEvent::Requeued { step });
             note("requeued onto spares", step, step as f64);
             assert_eq!(
                 platform.state(task),
-                TaskState::Running,
+                Some(TaskState::Running),
                 "spare nodes must absorb the requeued task"
             );
 
@@ -530,7 +538,7 @@ pub fn train_with_recovery_traced(
                             note(&format!("ckpt {s} corrupt, discarded"), step, s as f64);
                             ckpt.remove_step(s)?;
                         }
-                        Err(e) => return Err(e),
+                        Err(e) => return Err(e.into()),
                     },
                 }
             }
@@ -585,7 +593,7 @@ pub fn train_with_recovery_traced(
         steps_executed,
         steps: cfg.steps,
         utilization: platform.utilization(),
-        lost_work_s: platform.lost_work_s,
+        lost_work_s: platform.lost_work_s(),
     })
 }
 

@@ -1,4 +1,4 @@
-//! Time-sharing scheduling (§VI-C).
+//! Event-driven time-sharing scheduling (§VI-C).
 //!
 //! "Users submit tasks ... and the platform interrupts and loads tasks
 //! according to current resource requirements, cluster busyness, etc."
@@ -8,8 +8,44 @@
 //! on computing nodes as basic units, according to resource types, network
 //! areas" — here, zones. The scheduler enforces the §III-B rule that at
 //! most one running task spans both fat-tree zones.
+//!
+//! The platform advances on [`ff_desim`] simulated time and runs in one of
+//! two modes, chosen at build time by [`PlatformConfig`]:
+//!
+//! * **Declared** (no cluster model): each task declares its work in
+//!   seconds and runs for exactly that long. Progress, periodic
+//!   checkpoints and interruptions are computed analytically, so a 30-day
+//!   operations run costs O(scheduling events), not O(seconds).
+//! * **Fluid** (a [`ClusterModel`] is attached): each unit of work is one
+//!   *training step* whose gradient-allreduce ring and periodic
+//!   checkpoint shards become real flows on the shared bandwidth model
+//!   ([`ff_reduce::jobflow`]) and real records on 3FS chains. Step
+//!   duration, queueing delay and preemption cost then *emerge* from
+//!   contention between jobs, storage traffic, degraded links and
+//!   failures instead of being declared.
+//!
+//! Node failures flow through the cluster manager's health lifecycle
+//! (Healthy → Suspect → Quarantined → Validating → Healthy, §VI-B3) and a
+//! failed node's task rolls back to its last durable checkpoint — the
+//! §VII-A claim that "only the last 5 minutes of progress are lost".
 
-use std::collections::HashMap;
+use ff_3fs::target::Disk;
+use ff_3fs::{Chain, ChunkId, ClusterManager, HealthState, ServiceRole, StorageTarget};
+use ff_desim::{EventQueue, FlowId, SimDuration, SimTime};
+use ff_failures::{FaultAction, FaultPlan};
+use ff_obs::{Recorder, TrackId};
+use ff_reduce::{jobflow, ClusterModel};
+use ff_util::bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Seconds between a node falling suspect and the manager confirming the
+/// failure (hostping + heartbeat loss, §VII-A's detection path).
+const DETECT_CONFIRM_S: u64 = 2;
+
+/// Seconds an IB flash cut leaves a link degraded before the subnet
+/// manager re-trains it.
+const FLASH_CUT_REPAIR_S: u64 = 90;
 
 /// Identifies a submitted task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,300 +58,1244 @@ pub enum TaskState {
     Queued,
     /// Running on assigned nodes.
     Running,
+    /// Received the interruption signal and is writing its checkpoint
+    /// before releasing its nodes (fluid mode only — declared-mode
+    /// checkpoints are instantaneous).
+    Interrupting,
     /// Interrupted (preempted); will resume from its checkpoint.
     Interrupted,
     /// Finished all its work.
     Succeeded,
 }
 
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job asked for zero nodes.
+    ZeroNodes,
+    /// The job declared zero work.
+    ZeroWork,
+    /// The job needs more nodes than the cluster has — it could never be
+    /// placed, even with every other task preempted.
+    TooLarge {
+        /// Nodes the job asked for.
+        need: usize,
+        /// Compute nodes in the whole cluster.
+        cluster: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ZeroNodes => write!(f, "job requests zero nodes"),
+            SubmitError::ZeroWork => write!(f, "job declares zero work"),
+            SubmitError::TooLarge { need, cluster } => {
+                write!(f, "job needs {need} nodes but the cluster has {cluster}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<SubmitError> for ff_util::FfError {
+    fn from(e: SubmitError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Sched, e.to_string(), e)
+    }
+}
+
+/// Why a [`PlatformConfig`] could not build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The configuration yields no compute nodes at all.
+    NoNodes,
+    /// More storage nodes were reserved than the cluster model has.
+    StorageExceedsCluster {
+        /// Storage nodes requested.
+        storage: usize,
+        /// Nodes in the cluster model.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "platform has no compute nodes"),
+            ConfigError::StorageExceedsCluster { storage, nodes } => {
+                write!(
+                    f,
+                    "{storage} storage nodes leave no compute nodes in a {nodes}-node cluster"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for ff_util::FfError {
+    fn from(e: ConfigError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Config, e.to_string(), e)
+    }
+}
+
+/// A job submission: name, shape and traffic profile.
+///
+/// Work is measured in *units*: seconds of runtime in declared mode,
+/// training steps in fluid mode. The traffic fields only matter in fluid
+/// mode, where they size the allreduce and checkpoint flows.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    name: String,
+    nodes: usize,
+    work: u64,
+    priority: i32,
+    step_bytes: f64,
+    ckpt_bytes: f64,
+}
+
+impl JobSpec {
+    /// A job named `name` over `nodes` nodes performing `work` units.
+    /// Defaults: priority 0, 128 MiB of gradients per step, 1 GiB of
+    /// checkpoint state.
+    pub fn new(name: impl Into<String>, nodes: usize, work: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            nodes,
+            work,
+            priority: 0,
+            step_bytes: (128u64 << 20) as f64,
+            ckpt_bytes: (1u64 << 30) as f64,
+        }
+    }
+
+    /// Scheduling priority — higher preempts lower.
+    pub fn priority(mut self, p: i32) -> JobSpec {
+        self.priority = p;
+        self
+    }
+
+    /// Gradient bytes allreduced per training step (fluid mode).
+    pub fn step_bytes(mut self, bytes: f64) -> JobSpec {
+        self.step_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint bytes written per save, sharded over the job's nodes
+    /// (fluid mode).
+    pub fn ckpt_bytes(mut self, bytes: f64) -> JobSpec {
+        self.ckpt_bytes = bytes;
+        self
+    }
+}
+
+/// Builder for [`Platform`].
+///
+/// ```
+/// use ff_platform::{JobSpec, PlatformConfig, TaskState};
+/// let mut p = PlatformConfig::new()
+///     .zones([4, 4])
+///     .ckpt_interval(300)
+///     .build()
+///     .unwrap();
+/// let job = p.submit(JobSpec::new("train", 4, 3600)).unwrap();
+/// assert_eq!(p.state(job), Some(TaskState::Running));
+/// p.tick(3600);
+/// assert_eq!(p.state(job), Some(TaskState::Succeeded));
+/// ```
+#[derive(Default)]
+pub struct PlatformConfig {
+    zones: [usize; 2],
+    ckpt_interval: u64,
+    cluster: Option<ClusterModel>,
+    storage_nodes: usize,
+    recorder: Option<Arc<Recorder>>,
+    repair_delay_s: u64,
+    validation_s: u64,
+}
+
+impl PlatformConfig {
+    /// An empty configuration: declared mode, no nodes yet, 300-unit
+    /// checkpoint cadence (§VII-A: every 5 minutes).
+    pub fn new() -> PlatformConfig {
+        PlatformConfig {
+            zones: [0, 0],
+            ckpt_interval: 300,
+            cluster: None,
+            storage_nodes: 0,
+            recorder: None,
+            repair_delay_s: 3600,
+            validation_s: 60,
+        }
+    }
+
+    /// Compute nodes per fat-tree zone (declared mode). Ignored when a
+    /// cluster model is attached — zones then come from the model.
+    pub fn zones(mut self, per_zone: [usize; 2]) -> PlatformConfig {
+        self.zones = per_zone;
+        self
+    }
+
+    /// Checkpoint cadence in work units (seconds declared / steps fluid).
+    pub fn ckpt_interval(mut self, units: u64) -> PlatformConfig {
+        self.ckpt_interval = units;
+        self
+    }
+
+    /// Attach a bandwidth cluster model: the platform switches to fluid
+    /// mode, where training and checkpoint traffic are simulated flows.
+    pub fn cluster(mut self, model: ClusterModel) -> PlatformConfig {
+        self.cluster = Some(model);
+        self
+    }
+
+    /// How many nodes at the tail of the cluster model serve as 3FS
+    /// storage nodes instead of compute (fluid mode). `0` picks
+    /// `max(1, nodes/25)`, roughly the paper's 1:25 storage:compute ratio.
+    pub fn storage_nodes(mut self, n: usize) -> PlatformConfig {
+        self.storage_nodes = n;
+        self
+    }
+
+    /// Record scheduling activity on a `platform/sched` observability
+    /// track of this recorder.
+    pub fn recorder(mut self, rec: Arc<Recorder>) -> PlatformConfig {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Seconds from a confirmed node failure to the repaired node entering
+    /// validation (auto-repair path used by injected fault plans).
+    pub fn repair_delay_s(mut self, s: u64) -> PlatformConfig {
+        self.repair_delay_s = s;
+        self
+    }
+
+    /// Seconds a repaired node spends in validation before rejoining.
+    pub fn validation_s(mut self, s: u64) -> PlatformConfig {
+        self.validation_s = s;
+        self
+    }
+
+    /// Build the platform.
+    pub fn build(self) -> Result<Platform, ConfigError> {
+        let manager = ClusterManager::new(30_000, 10_000);
+        let mut nodes = Vec::new();
+        let mut engine = None;
+        if let Some(cluster) = self.cluster {
+            let total = cluster.nodes();
+            let storage = if self.storage_nodes == 0 {
+                (total / 25).max(1)
+            } else {
+                self.storage_nodes
+            };
+            if storage >= total {
+                return Err(ConfigError::StorageExceedsCluster {
+                    storage,
+                    nodes: total,
+                });
+            }
+            let compute = total - storage;
+            for i in 0..compute {
+                nodes.push(Node {
+                    zone: cluster.zone_of(i),
+                    up: true,
+                    running: None,
+                    gen: 0,
+                });
+            }
+            let storage_hosts: Vec<usize> = (compute..total).collect();
+            // One CRAQ chain per storage host; each chain mirrors onto the
+            // next host so a single host loss never loses checkpoints.
+            let mut host_targets: Vec<Vec<(usize, Arc<StorageTarget>)>> = vec![Vec::new(); storage];
+            let mut chains = Vec::new();
+            for j in 0..storage {
+                let head = StorageTarget::new(format!("s{j}.c{j}"), Disk::new(64 << 20));
+                let mut members = vec![head.clone()];
+                host_targets[j].push((j, head));
+                if storage > 1 {
+                    let m = (j + 1) % storage;
+                    let mirror = StorageTarget::new(format!("s{m}.c{j}"), Disk::new(64 << 20));
+                    host_targets[m].push((j, mirror.clone()));
+                    members.push(mirror);
+                }
+                let chain = Chain::new(j, members);
+                if let Some(rec) = &self.recorder {
+                    chain.attach_recorder(rec, &format!("platform/ckpt-chain{j}"));
+                }
+                chains.push(chain);
+            }
+            for j in 0..storage {
+                manager.register(storage_name(j), ServiceRole::Storage);
+            }
+            engine = Some(FluidEngine {
+                cluster,
+                storage_hosts,
+                storage_up: vec![true; storage],
+                chains,
+                host_targets,
+                flow_owner: BTreeMap::new(),
+            });
+        } else {
+            for (z, &n) in self.zones.iter().enumerate() {
+                nodes.extend((0..n).map(|_| Node {
+                    zone: z as u8,
+                    up: true,
+                    running: None,
+                    gen: 0,
+                }));
+            }
+        }
+        if nodes.is_empty() {
+            return Err(ConfigError::NoNodes);
+        }
+        for i in 0..nodes.len() {
+            manager.register(node_name(i), ServiceRole::Compute);
+        }
+        let up_nodes = nodes.len();
+        let obs = self.recorder.map(|rec| {
+            let t = rec.track("platform/sched");
+            (rec, t)
+        });
+        Ok(Platform {
+            now: SimTime(0),
+            ckpt_interval: self.ckpt_interval.max(1),
+            nodes,
+            tasks: BTreeMap::new(),
+            next_id: 1,
+            timers: EventQueue::new(),
+            manager,
+            engine,
+            repair_delay_s: self.repair_delay_s,
+            validation_s: self.validation_s.max(1),
+            busy_node_ns: 0,
+            healthy_node_ns: 0,
+            busy_nodes: 0,
+            up_nodes,
+            lost_work: 0,
+            preemptions: 0,
+            failures: 0,
+            obs,
+            dirty: false,
+        })
+    }
+}
+
+fn node_name(i: usize) -> String {
+    format!("node{i:04}")
+}
+
+fn storage_name(j: usize) -> String {
+    format!("sched-s{j}")
+}
+
+/// What a fluid-mode task is currently doing on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Restore,
+    Step,
+    Ckpt,
+}
+
 #[derive(Debug, Clone)]
 struct Task {
     name: String,
-    nodes_required: usize,
+    need: usize,
     priority: i32,
-    work_s: u64,
-    /// Seconds of completed work.
-    progress_s: u64,
-    /// Progress captured by the last checkpoint.
-    checkpoint_s: u64,
-    /// Wall seconds of work since the last periodic checkpoint.
-    since_ckpt_s: u64,
+    /// Total work in units (seconds declared / steps fluid).
+    work: u64,
+    step_bytes: f64,
+    ckpt_bytes: f64,
     state: TaskState,
     assigned: Vec<usize>,
     cross_zone: bool,
+    /// Committed completed work. In declared mode this is only updated at
+    /// scheduling events; [`Platform::progress`] adds the elapsed run time.
+    progress: u64,
+    /// Progress captured by the last (durable) checkpoint.
+    ckpt: u64,
+    /// The checkpoint before that — the fallback when the latest one turns
+    /// out corrupt.
+    prev_ckpt: u64,
+    /// Set by a silent-corruption fault: the latest checkpoint cannot be
+    /// trusted and recovery must fall back one interval.
+    ckpt_poisoned: bool,
+    placed_at: SimTime,
+    /// Bumped on every placement/release; stale timer events carry the old
+    /// epoch and are dropped.
+    epoch: u64,
+    phase: Phase,
+    flows: Vec<FlowId>,
+    /// Durable checkpoint records written so far (fluid mode); the latest
+    /// lives at chunk index `ckpt_seq - 1`.
+    ckpt_seq: u64,
+    /// State to enter once the in-flight checkpoint completes (the
+    /// interruption-signal protocol's hand-off).
+    pending: Option<TaskState>,
 }
 
 #[derive(Debug, Clone)]
 struct Node {
     zone: u8,
-    healthy: bool,
+    up: bool,
     running: Option<TaskId>,
+    /// Bumped on every fail/heal; stale timer events are dropped.
+    gen: u64,
 }
 
-/// The scheduling platform.
-///
-/// ```
-/// use ff_platform::{Platform, TaskState};
-/// let mut p = Platform::new([4, 4], 300);
-/// let job = p.submit("train", 4, 0, 3600);
-/// assert_eq!(p.state(job), TaskState::Running);
-/// p.tick(3600);
-/// assert_eq!(p.state(job), TaskState::Succeeded);
-/// ```
+/// Timer events driving the platform.
+enum Ev {
+    /// A declared-mode task finishes its remaining work.
+    TaskDone { id: TaskId, epoch: u64 },
+    /// Failure detection confirms a suspect node (Suspect → Quarantined).
+    ConfirmFail { node: usize, gen: u64 },
+    /// A quarantined node's repair completes; validation begins.
+    RepairDone { node: usize, gen: u64 },
+    /// Validation passes; the node rejoins the pool.
+    ValidationDone { node: usize, gen: u64 },
+    /// An injected fault from a [`FaultPlan`] lands.
+    Fault { node: usize, action: FaultAction },
+    /// A flash-cut link re-trains to full capacity.
+    LinkRestore { node: usize },
+    /// A failed storage host comes back and its targets re-sync.
+    StorageRepair { host: usize },
+}
+
+/// Fluid-mode machinery: the bandwidth model, the storage pool and the
+/// flow → task ownership map.
+struct FluidEngine {
+    cluster: ClusterModel,
+    /// Absolute node indices (in the cluster model) serving storage.
+    storage_hosts: Vec<usize>,
+    storage_up: Vec<bool>,
+    chains: Vec<Arc<Chain>>,
+    /// Per storage-pool index: the (chain, target) replicas it hosts.
+    host_targets: Vec<Vec<(usize, Arc<StorageTarget>)>>,
+    flow_owner: BTreeMap<FlowId, TaskId>,
+}
+
+impl FluidEngine {
+    fn alive_storage(&self) -> Vec<usize> {
+        self.storage_hosts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| self.storage_up[j])
+            .map(|(_, &h)| h)
+            .collect()
+    }
+}
+
+/// The scheduling platform — see the module docs for the two modes.
 pub struct Platform {
+    now: SimTime,
+    ckpt_interval: u64,
     nodes: Vec<Node>,
-    tasks: HashMap<TaskId, Task>,
+    tasks: BTreeMap<TaskId, Task>,
     next_id: u64,
-    now_s: u64,
-    ckpt_interval_s: u64,
-    busy_node_s: u64,
-    healthy_node_s: u64,
-    /// Work lost to failures (rolled back to checkpoints), node-seconds.
-    pub lost_work_s: u64,
+    timers: EventQueue<Ev>,
+    manager: Arc<ClusterManager>,
+    engine: Option<FluidEngine>,
+    repair_delay_s: u64,
+    validation_s: u64,
+    busy_node_ns: u128,
+    healthy_node_ns: u128,
+    busy_nodes: usize,
+    up_nodes: usize,
+    /// Work lost to failures, in node-units.
+    lost_work: u64,
+    preemptions: u64,
+    failures: u64,
+    obs: Option<(Arc<Recorder>, TrackId)>,
+    dirty: bool,
 }
 
 impl Platform {
     /// A platform over two zones with `per_zone` nodes each, checkpointing
-    /// every `ckpt_interval_s` seconds of task runtime (§VII-A: typically
-    /// 300).
+    /// every `ckpt_interval_s` seconds of task runtime.
+    #[deprecated(note = "use PlatformConfig::new().zones(..).ckpt_interval(..).build()")]
     pub fn new(per_zone: [usize; 2], ckpt_interval_s: u64) -> Platform {
-        let mut nodes = Vec::new();
-        for (z, &n) in per_zone.iter().enumerate() {
-            nodes.extend((0..n).map(|_| Node {
-                zone: z as u8,
-                healthy: true,
-                running: None,
-            }));
-        }
-        Platform {
-            nodes,
-            tasks: HashMap::new(),
-            next_id: 1,
-            now_s: 0,
-            ckpt_interval_s: ckpt_interval_s.max(1),
-            busy_node_s: 0,
-            healthy_node_s: 0,
-            lost_work_s: 0,
-        }
+        PlatformConfig::new()
+            .zones(per_zone)
+            .ckpt_interval(ckpt_interval_s)
+            .build()
+            .expect("legacy Platform::new requires at least one node")
     }
 
-    /// Submit a task needing `nodes_required` nodes for `work_s` seconds
-    /// of work at `priority` (higher preempts lower).
-    pub fn submit(
-        &mut self,
-        name: impl Into<String>,
-        nodes_required: usize,
-        priority: i32,
-        work_s: u64,
-    ) -> TaskId {
-        assert!(nodes_required >= 1 && work_s >= 1);
+    /// Submit a job. It is placed immediately if resources allow,
+    /// otherwise queued (possibly preempting lower-priority tasks).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<TaskId, SubmitError> {
+        if spec.nodes == 0 {
+            return Err(SubmitError::ZeroNodes);
+        }
+        if spec.work == 0 {
+            return Err(SubmitError::ZeroWork);
+        }
+        if spec.nodes > self.nodes.len() {
+            return Err(SubmitError::TooLarge {
+                need: spec.nodes,
+                cluster: self.nodes.len(),
+            });
+        }
         let id = TaskId(self.next_id);
         self.next_id += 1;
         self.tasks.insert(
             id,
             Task {
-                name: name.into(),
-                nodes_required,
-                priority,
-                work_s,
-                progress_s: 0,
-                checkpoint_s: 0,
-                since_ckpt_s: 0,
+                name: spec.name,
+                need: spec.nodes,
+                priority: spec.priority,
+                work: spec.work,
+                step_bytes: spec.step_bytes,
+                ckpt_bytes: spec.ckpt_bytes,
                 state: TaskState::Queued,
                 assigned: Vec::new(),
                 cross_zone: false,
+                progress: 0,
+                ckpt: 0,
+                prev_ckpt: 0,
+                ckpt_poisoned: false,
+                placed_at: self.now,
+                epoch: 0,
+                phase: Phase::Idle,
+                flows: Vec::new(),
+                ckpt_seq: 0,
+                pending: None,
             },
         );
-        self.schedule();
-        id
+        self.schedule_now();
+        Ok(id)
     }
 
-    /// Advance wall time by `dt_s`, progressing running tasks, taking
-    /// periodic checkpoints, completing finished tasks, and rescheduling.
+    /// Advance simulated time by `dt_s` seconds, processing every
+    /// scheduling event (completions, failures, repairs, flow endings) on
+    /// the way.
     pub fn tick(&mut self, dt_s: u64) {
-        self.now_s += dt_s;
-        let healthy = self.nodes.iter().filter(|n| n.healthy).count() as u64;
-        self.healthy_node_s += healthy * dt_s;
-        let mut finished = Vec::new();
-        for (&id, t) in self.tasks.iter_mut() {
-            if t.state != TaskState::Running {
-                continue;
-            }
-            // Charge only the work actually performed this tick: a task
-            // finishing mid-tick must not inflate utilization.
-            let advanced = dt_s.min(t.work_s - t.progress_s);
-            self.busy_node_s += t.assigned.len() as u64 * advanced;
-            t.progress_s = (t.progress_s + dt_s).min(t.work_s);
-            t.since_ckpt_s += dt_s;
-            while t.since_ckpt_s >= self.ckpt_interval_s {
-                t.since_ckpt_s -= self.ckpt_interval_s;
-                t.checkpoint_s = t.progress_s - t.since_ckpt_s;
-            }
-            if t.progress_s >= t.work_s {
-                finished.push(id);
-            }
-        }
-        for id in finished {
-            self.release(id, TaskState::Succeeded, true);
-        }
-        self.schedule();
+        self.run_for(SimDuration::from_secs(dt_s));
     }
 
-    /// A node fails: the task running on it loses work back to its last
-    /// checkpoint and re-queues (§VII-A: "only the last 5 minutes of
-    /// progress are lost").
+    /// Advance simulated time by `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Advance simulated time to `t` (which must not be in the past).
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(t.0 >= self.now.0, "cannot run the platform backwards");
+        loop {
+            let timer_next = self.timers.peek_time();
+            let fluid_next = self
+                .engine
+                .as_mut()
+                .and_then(|e| e.cluster.fluid.next_completion_time());
+            let next = match (timer_next, fluid_next) {
+                (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
+                (a, b) => a.or(b),
+            };
+            match next {
+                Some(n) if n.0 <= t.0 => {
+                    self.advance_to(n);
+                    // Timers first: a failure at t must cancel flows before
+                    // the fluid sim hands us their completions at t.
+                    while self.timers.peek_time() == Some(n) {
+                        let (_, ev) = self.timers.pop().expect("peeked event exists");
+                        self.handle_event(ev);
+                    }
+                    // Re-peek each round — handlers may have canceled flows.
+                    loop {
+                        let due = self
+                            .engine
+                            .as_mut()
+                            .and_then(|e| e.cluster.fluid.next_completion_time());
+                        if due != Some(n) {
+                            break;
+                        }
+                        let done = self
+                            .engine
+                            .as_mut()
+                            .and_then(|e| e.cluster.fluid.advance_to_next_completion())
+                            .map(|(_, f)| f)
+                            .unwrap_or_default();
+                        self.handle_flows(done);
+                    }
+                    if self.dirty {
+                        self.schedule_now();
+                    }
+                }
+                _ => {
+                    self.advance_to(t);
+                    break;
+                }
+            }
+        }
+        if self.dirty {
+            self.schedule_now();
+        }
+    }
+
+    /// Move the clock (and the fluid sim) to `t`, integrating busy and
+    /// healthy node-time on the way.
+    fn advance_to(&mut self, t: SimTime) {
+        let dt = (t.0 - self.now.0) as u128;
+        if dt == 0 {
+            return;
+        }
+        self.busy_node_ns += self.busy_nodes as u128 * dt;
+        self.healthy_node_ns += self.up_nodes as u128 * dt;
+        self.now = t;
+        if let Some(e) = self.engine.as_mut() {
+            e.cluster.fluid.advance_to(t);
+        }
+    }
+
+    // ----- failures and repairs ------------------------------------------
+
+    /// A node fails *now*: the task running on it rolls back to its last
+    /// durable checkpoint and re-queues (§VII-A: "only the last 5 minutes
+    /// of progress are lost"), and the node enters the Suspect →
+    /// Quarantined health lifecycle. The node stays out of the pool until
+    /// [`Platform::heal_node`] (operator repair) — injected fault plans
+    /// auto-repair instead.
     pub fn fail_node(&mut self, node: usize) {
-        self.nodes[node].healthy = false;
+        self.fail_node_internal(node, false);
+        self.schedule_now();
+    }
+
+    fn fail_node_internal(&mut self, node: usize, auto_repair: bool) {
+        if !self.nodes[node].up {
+            return;
+        }
+        self.nodes[node].up = false;
+        self.up_nodes -= 1;
+        self.nodes[node].gen += 1;
+        let gen = self.nodes[node].gen;
+        self.failures += 1;
+        self.manager.mark_suspect(&node_name(node));
+        self.note("node-fail");
+        self.timers.schedule(
+            self.now + SimDuration::from_secs(DETECT_CONFIRM_S),
+            Ev::ConfirmFail { node, gen },
+        );
         if let Some(id) = self.nodes[node].running {
-            let t = self.tasks.get_mut(&id).expect("running task exists");
-            let lost = t.progress_s - t.checkpoint_s;
-            self.lost_work_s += lost * t.assigned.len() as u64;
-            t.progress_s = t.checkpoint_s;
-            t.since_ckpt_s = 0;
-            self.release(id, TaskState::Queued, false);
+            self.rollback_and_requeue(id);
         }
-        self.schedule();
+        if auto_repair {
+            let delay = self.repair_delay_s.max(DETECT_CONFIRM_S + 1);
+            self.timers.schedule(
+                self.now + SimDuration::from_secs(delay),
+                Ev::RepairDone { node, gen },
+            );
+        }
+        self.dirty = true;
     }
 
-    /// Return a repaired node to the pool.
+    /// Return a repaired node to the pool immediately (the operator path:
+    /// repair + validation have already happened off-line). A no-op on
+    /// healthy nodes, so sweeps may call it unconditionally.
     pub fn heal_node(&mut self, node: usize) {
-        self.nodes[node].healthy = true;
-        self.schedule();
+        if self.nodes[node].up {
+            return;
+        }
+        self.nodes[node].gen += 1; // invalidate pending repair timers
+        let name = node_name(node);
+        if self.manager.health(&name) == Some(HealthState::Suspect) {
+            self.manager.mark_failed(&name);
+        }
+        if self.manager.health(&name) == Some(HealthState::Quarantined) {
+            self.manager.begin_validation(&name);
+        }
+        self.manager.conclude_validation(&name, true);
+        self.nodes[node].up = true;
+        self.up_nodes += 1;
+        self.note("node-rejoin");
+        self.schedule_now();
     }
 
-    /// Task state.
-    pub fn state(&self, id: TaskId) -> TaskState {
-        self.tasks[&id].state
-    }
-
-    /// Task name as submitted.
-    pub fn name(&self, id: TaskId) -> &str {
-        &self.tasks[&id].name
-    }
-
-    /// Task progress, seconds of completed work.
-    pub fn progress(&self, id: TaskId) -> u64 {
-        self.tasks[&id].progress_s
-    }
-
-    /// The nodes a task runs on.
-    pub fn assignment(&self, id: TaskId) -> &[usize] {
-        &self.tasks[&id].assigned
-    }
-
-    /// Fraction of healthy node-time spent running tasks.
-    pub fn utilization(&self) -> f64 {
-        if self.healthy_node_s == 0 {
-            0.0
-        } else {
-            self.busy_node_s as f64 / self.healthy_node_s as f64
+    /// Schedule every fault in `plan` for injection at its planned time
+    /// (clamped to now at the earliest). Failed nodes auto-repair after
+    /// the configured repair delay and re-validate before rejoining.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for f in &plan.faults {
+            let at_ns = if f.at_s <= 0.0 {
+                0
+            } else {
+                (f.at_s * 1e9) as u64
+            };
+            let at = SimTime(at_ns.max(self.now.0));
+            self.timers.schedule(
+                at,
+                Ev::Fault {
+                    node: f.node,
+                    action: f.action,
+                },
+            );
         }
     }
 
-    /// Free healthy nodes per zone.
-    fn free_by_zone(&self) -> [Vec<usize>; 2] {
-        let mut free = [Vec::new(), Vec::new()];
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.healthy && n.running.is_none() {
-                free[n.zone as usize].push(i);
+    /// Roll a running task back to its last durable checkpoint and
+    /// re-queue it. With a poisoned checkpoint the rollback falls back one
+    /// more interval (§VII-A: checksum-exposed corruption).
+    fn rollback_and_requeue(&mut self, id: TaskId) {
+        self.cancel_task_flows(id);
+        let interval = self.ckpt_interval;
+        let fluid = self.engine.is_some();
+        let (live, target) = {
+            let t = &self.tasks[&id];
+            if fluid {
+                let target = if t.ckpt_poisoned {
+                    t.prev_ckpt.min(t.ckpt)
+                } else {
+                    t.ckpt
+                };
+                (t.progress, target)
+            } else {
+                let live = self.live_progress(t);
+                let ck = self.live_ckpt(t);
+                let target = if t.ckpt_poisoned {
+                    ck.saturating_sub(interval).max(t.progress)
+                } else {
+                    ck
+                };
+                (live, target)
+            }
+        };
+        let t = self.tasks.get_mut(&id).expect("rolled-back task exists");
+        if t.ckpt_poisoned {
+            t.ckpt_seq = t.ckpt_seq.saturating_sub(1);
+        }
+        self.lost_work += (live - target) * t.assigned.len() as u64;
+        t.progress = target;
+        t.ckpt = target;
+        t.ckpt_poisoned = false;
+        self.note("rollback");
+        self.release(id, TaskState::Queued);
+    }
+
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::TaskDone { id, epoch } => {
+                let valid = self
+                    .tasks
+                    .get(&id)
+                    .is_some_and(|t| t.epoch == epoch && t.state == TaskState::Running);
+                if valid {
+                    let t = self.tasks.get_mut(&id).expect("checked above");
+                    t.progress = t.work;
+                    t.ckpt = t.work;
+                    self.release(id, TaskState::Succeeded);
+                }
+            }
+            Ev::ConfirmFail { node, gen } => {
+                if self.nodes[node].gen == gen && !self.nodes[node].up {
+                    self.manager.mark_failed(&node_name(node));
+                    self.note("quarantine");
+                }
+            }
+            Ev::RepairDone { node, gen } => {
+                if self.nodes[node].gen == gen && !self.nodes[node].up {
+                    let name = node_name(node);
+                    if self.manager.health(&name) == Some(HealthState::Suspect) {
+                        self.manager.mark_failed(&name);
+                    }
+                    self.manager.begin_validation(&name);
+                    self.timers.schedule(
+                        self.now + SimDuration::from_secs(self.validation_s),
+                        Ev::ValidationDone { node, gen },
+                    );
+                }
+            }
+            Ev::ValidationDone { node, gen } => {
+                if self.nodes[node].gen == gen && !self.nodes[node].up {
+                    self.manager.conclude_validation(&node_name(node), true);
+                    self.nodes[node].up = true;
+                    self.up_nodes += 1;
+                    self.note("node-rejoin");
+                    self.dirty = true;
+                }
+            }
+            Ev::Fault { node, action } => self.handle_fault(node, action),
+            Ev::LinkRestore { node } => {
+                if let Some(eng) = self.engine.as_mut() {
+                    if let Some(&(r, _)) = eng.cluster.hw[node].ib_send(0).0.last() {
+                        eng.cluster.fluid.restore(r);
+                    }
+                }
+                self.note("link-restored");
+            }
+            Ev::StorageRepair { host } => self.repair_storage_host(host),
+        }
+    }
+
+    fn handle_fault(&mut self, node: usize, action: FaultAction) {
+        match action {
+            FaultAction::KillRank { .. } => {
+                let n = node % self.nodes.len();
+                self.fail_node_internal(n, true);
+            }
+            FaultAction::DegradeLink { factor, .. } => {
+                let n = node % self.nodes.len();
+                if let Some(eng) = self.engine.as_mut() {
+                    if let Some(&(r, _)) = eng.cluster.hw[n].ib_send(0).0.last() {
+                        eng.cluster.fluid.degrade(r, factor);
+                        self.timers.schedule(
+                            self.now + SimDuration::from_secs(FLASH_CUT_REPAIR_S),
+                            Ev::LinkRestore { node: n },
+                        );
+                    }
+                }
+                self.note("link-degraded");
+            }
+            FaultAction::CorruptData { .. } => {
+                let n = node % self.nodes.len();
+                if let Some(id) = self.nodes[n].running {
+                    let t = self.tasks.get_mut(&id).expect("running task exists");
+                    t.ckpt_poisoned = true;
+                    self.note("ckpt-poisoned");
+                }
+            }
+            FaultAction::Tolerate { .. } => self.note("tolerated"),
+            FaultAction::KillStorageTarget { target } => self.fail_storage_host(target),
+        }
+    }
+
+    /// Kill a storage host: its targets die, affected chains shed the dead
+    /// member and keep serving from the mirror, repair is scheduled.
+    fn fail_storage_host(&mut self, target: usize) {
+        let Some(eng) = self.engine.as_mut() else {
+            self.note("storage-fault-ignored");
+            return;
+        };
+        let host = target % eng.storage_hosts.len();
+        if !eng.storage_up[host] {
+            return;
+        }
+        eng.storage_up[host] = false;
+        for (chain_idx, t) in &eng.host_targets[host] {
+            t.fail();
+            let chain = &eng.chains[*chain_idx];
+            if chain.replicas() > 1 {
+                chain.remove_dead();
             }
         }
-        free
+        self.manager.mark_failed(&storage_name(host));
+        self.timers.schedule(
+            self.now + SimDuration::from_secs(self.repair_delay_s.max(1)),
+            Ev::StorageRepair { host },
+        );
+        self.note("storage-host-fail");
     }
 
-    fn cross_zone_running(&self) -> bool {
-        self.tasks
-            .values()
-            .any(|t| t.state == TaskState::Running && t.cross_zone)
+    fn repair_storage_host(&mut self, host: usize) {
+        let Some(eng) = self.engine.as_mut() else {
+            return;
+        };
+        if eng.storage_up[host] {
+            return;
+        }
+        for (chain_idx, t) in &eng.host_targets[host] {
+            let chain = &eng.chains[*chain_idx];
+            if chain.target_names().iter().any(|n| n == t.name()) {
+                // Still a member (the chain could not afford to drop it):
+                // its data survives the outage.
+                t.revive();
+            } else {
+                // Evicted: rejoin empty and let the chain re-sync it.
+                t.wipe();
+                t.revive();
+                let _ = chain.add_replica(t.clone());
+            }
+        }
+        eng.storage_up[host] = true;
+        let name = storage_name(host);
+        self.manager.begin_validation(&name);
+        self.manager.conclude_validation(&name, true);
+        self.note("storage-host-rejoin");
     }
 
-    /// Stop a task, releasing its nodes. `graceful` tasks checkpoint their
-    /// current progress first (the interruption-signal protocol).
-    fn release(&mut self, id: TaskId, new_state: TaskState, graceful: bool) {
+    // ----- fluid-mode phases ---------------------------------------------
+
+    /// Run `f` with the engine detached so it can borrow the rest of
+    /// `self` freely. No-op (None) in declared mode.
+    fn with_engine<R>(&mut self, f: impl FnOnce(&mut Self, &mut FluidEngine) -> R) -> Option<R> {
+        let mut eng = self.engine.take()?;
+        let r = f(self, &mut eng);
+        self.engine = Some(eng);
+        Some(r)
+    }
+
+    fn cancel_task_flows(&mut self, id: TaskId) {
+        self.with_engine(|p, eng| {
+            let t = p.tasks.get_mut(&id).expect("task exists");
+            for f in t.flows.drain(..) {
+                eng.flow_owner.remove(&f);
+                eng.cluster.fluid.cancel_flow(f);
+            }
+            t.phase = Phase::Idle;
+        });
+    }
+
+    /// Flow completions from the fluid sim: group by owning task and fire
+    /// phase transitions for tasks whose whole flow set finished.
+    fn handle_flows(&mut self, done: Vec<FlowId>) {
+        self.with_engine(|p, eng| {
+            let mut by_owner: BTreeMap<TaskId, Vec<FlowId>> = BTreeMap::new();
+            for f in done {
+                if let Some(id) = eng.flow_owner.remove(&f) {
+                    by_owner.entry(id).or_default().push(f);
+                }
+            }
+            for (id, fs) in by_owner {
+                let t = p.tasks.get_mut(&id).expect("flow owner exists");
+                t.flows.retain(|f| !fs.contains(f));
+                if t.flows.is_empty() {
+                    p.phase_complete(eng, id);
+                }
+            }
+        });
+    }
+
+    fn phase_complete(&mut self, eng: &mut FluidEngine, id: TaskId) {
+        let phase = self.tasks[&id].phase;
+        match phase {
+            Phase::Idle => {}
+            Phase::Restore => {
+                self.verify_restore(eng, id);
+                self.start_step(eng, id);
+            }
+            Phase::Step => {
+                let t = self.tasks.get_mut(&id).expect("task exists");
+                t.progress += 1;
+                if t.progress >= t.work {
+                    t.ckpt = t.work;
+                    self.release(id, TaskState::Succeeded);
+                } else if t.progress - t.ckpt >= self.ckpt_interval {
+                    self.start_ckpt(eng, id);
+                } else {
+                    self.start_step(eng, id);
+                }
+            }
+            Phase::Ckpt => {
+                let durable = self.write_ckpt_record(eng, id);
+                let t = self.tasks.get_mut(&id).expect("task exists");
+                if durable {
+                    t.prev_ckpt = t.ckpt;
+                    t.ckpt = t.progress;
+                    t.ckpt_seq += 1;
+                    t.ckpt_poisoned = false;
+                }
+                if let Some(next) = t.pending.take() {
+                    if next == TaskState::Interrupted {
+                        // The interruption signal was honored: the job had
+                        // the chance to save, so no work is lost.
+                        t.ckpt = t.progress;
+                    }
+                    self.note("interrupt-complete");
+                    self.release(id, next);
+                } else if durable {
+                    self.note("ckpt");
+                    self.start_step(eng, id);
+                } else {
+                    self.note("ckpt-failed");
+                    self.start_step(eng, id);
+                }
+            }
+        }
+    }
+
+    fn start_step(&mut self, eng: &mut FluidEngine, id: TaskId) {
+        let (assigned, step_bytes) = {
+            let t = &self.tasks[&id];
+            (t.assigned.clone(), t.step_bytes)
+        };
+        let routes = jobflow::step_routes(&eng.cluster, &assigned);
+        let work = jobflow::ring_edge_bytes(assigned.len(), step_bytes).max(1.0);
         let t = self.tasks.get_mut(&id).expect("task exists");
-        if graceful {
-            t.checkpoint_s = t.progress_s;
-            t.since_ckpt_s = 0;
+        t.phase = Phase::Step;
+        for route in &routes {
+            let f = eng.cluster.fluid.start_flow(work, route);
+            eng.flow_owner.insert(f, id);
+            t.flows.push(f);
         }
-        for &n in &t.assigned {
-            self.nodes[n].running = None;
+    }
+
+    fn start_ckpt(&mut self, eng: &mut FluidEngine, id: TaskId) {
+        let alive = eng.alive_storage();
+        if alive.is_empty() {
+            // Nowhere to write: skip this save and keep training; an
+            // interrupt hand-off proceeds with the in-memory state.
+            self.note("ckpt-skipped");
+            let t = self.tasks.get_mut(&id).expect("task exists");
+            if let Some(next) = t.pending.take() {
+                if next == TaskState::Interrupted {
+                    t.ckpt = t.progress;
+                }
+                self.release(id, next);
+            } else {
+                self.start_step(eng, id);
+            }
+            return;
         }
-        t.assigned.clear();
+        let (assigned, ckpt_bytes) = {
+            let t = &self.tasks[&id];
+            (t.assigned.clone(), t.ckpt_bytes)
+        };
+        let routes = jobflow::ckpt_routes(&eng.cluster, &assigned, &alive);
+        let work = (ckpt_bytes / assigned.len() as f64).max(1.0);
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        t.phase = Phase::Ckpt;
+        for route in &routes {
+            let f = eng.cluster.fluid.start_flow(work, route);
+            eng.flow_owner.insert(f, id);
+            t.flows.push(f);
+        }
+    }
+
+    fn start_restore(&mut self, eng: &mut FluidEngine, id: TaskId) {
+        let alive = eng.alive_storage();
+        if alive.is_empty() {
+            self.start_step(eng, id);
+            return;
+        }
+        let (assigned, ckpt_bytes) = {
+            let t = &self.tasks[&id];
+            (t.assigned.clone(), t.ckpt_bytes)
+        };
+        let routes = jobflow::restore_routes(&eng.cluster, &assigned, &alive);
+        let work = (ckpt_bytes / assigned.len() as f64).max(1.0);
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        t.phase = Phase::Restore;
+        for route in &routes {
+            let f = eng.cluster.fluid.start_flow(work, route);
+            eng.flow_owner.insert(f, id);
+            t.flows.push(f);
+        }
+    }
+
+    /// Write this task's checkpoint record (task id, progress, sequence)
+    /// to its 3FS chain. One retry after shedding dead members.
+    fn write_ckpt_record(&mut self, eng: &mut FluidEngine, id: TaskId) -> bool {
+        let (progress, seq) = {
+            let t = &self.tasks[&id];
+            (t.progress, t.ckpt_seq)
+        };
+        let chain = &eng.chains[id.0 as usize % eng.chains.len()];
+        let mut data = Vec::with_capacity(24);
+        data.extend_from_slice(&id.0.to_le_bytes());
+        data.extend_from_slice(&progress.to_le_bytes());
+        data.extend_from_slice(&seq.to_le_bytes());
+        let chunk = ChunkId {
+            ino: id.0,
+            idx: seq,
+        };
+        let bytes = Bytes::copy_from_slice(&data);
+        match chain.write(chunk, bytes.clone()) {
+            Ok(_) => true,
+            Err(_) => {
+                if chain.replicas() > 1 {
+                    chain.remove_dead();
+                }
+                chain.write(chunk, bytes).is_ok()
+            }
+        }
+    }
+
+    /// Cross-check the restored state against the durable record. Purely
+    /// observational: a mismatch or degraded read is noted, not fatal.
+    fn verify_restore(&mut self, eng: &mut FluidEngine, id: TaskId) {
+        let (progress, seq) = {
+            let t = &self.tasks[&id];
+            (t.progress, t.ckpt_seq)
+        };
+        if seq == 0 {
+            return;
+        }
+        let chain = &eng.chains[id.0 as usize % eng.chains.len()];
+        match chain.read(ChunkId {
+            ino: id.0,
+            idx: seq - 1,
+        }) {
+            Ok(b) if b.len() == 24 => {
+                let rec = u64::from_le_bytes(b.as_slice()[8..16].try_into().expect("8 bytes"));
+                if rec != progress {
+                    self.note("restore-mismatch");
+                }
+            }
+            Ok(_) => self.note("restore-mismatch"),
+            Err(_) => self.note("restore-degraded"),
+        }
+    }
+
+    // ----- scheduling ----------------------------------------------------
+
+    /// Deliver the interruption signal: checkpoint, then release.
+    /// Declared-mode saves are instantaneous; fluid-mode tasks enter
+    /// `Interrupting` and keep their nodes until the save lands on 3FS.
+    fn signal_interrupt(&mut self, id: TaskId) {
+        self.preemptions += 1;
+        self.note("interrupt-signal");
+        if self.engine.is_none() {
+            let t = &self.tasks[&id];
+            let live = self.live_progress(t);
+            let t = self.tasks.get_mut(&id).expect("task exists");
+            t.progress = live;
+            t.ckpt = live;
+            self.release(id, TaskState::Interrupted);
+            return;
+        }
+        let phase = self.tasks[&id].phase;
+        match phase {
+            Phase::Step => {
+                self.cancel_task_flows(id);
+                let t = self.tasks.get_mut(&id).expect("task exists");
+                t.pending = Some(TaskState::Interrupted);
+                t.state = TaskState::Interrupting;
+                self.with_engine(|p, eng| p.start_ckpt(eng, id));
+            }
+            Phase::Ckpt => {
+                let t = self.tasks.get_mut(&id).expect("task exists");
+                t.pending = Some(TaskState::Interrupted);
+                t.state = TaskState::Interrupting;
+            }
+            Phase::Restore | Phase::Idle => {
+                self.cancel_task_flows(id);
+                self.release(id, TaskState::Interrupted);
+            }
+        }
+    }
+
+    /// Stop a task and free its nodes, entering `new_state`.
+    fn release(&mut self, id: TaskId, new_state: TaskState) {
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        let assigned = std::mem::take(&mut t.assigned);
+        let (name, placed_at, progress) = (t.name.clone(), t.placed_at, t.progress);
         t.cross_zone = false;
         t.state = new_state;
+        t.phase = Phase::Idle;
+        t.pending = None;
+        t.epoch += 1;
+        debug_assert!(t.flows.is_empty(), "released task has no live flows");
+        for &n in &assigned {
+            self.nodes[n].running = None;
+        }
+        self.busy_nodes -= assigned.len();
+        self.dirty = true;
+        if let Some((rec, track)) = &self.obs {
+            rec.span(
+                *track,
+                &name,
+                placed_at.0,
+                self.now.0 - placed_at.0,
+                progress as f64,
+            );
+        }
     }
 
     /// Priority scheduling with preemption and the cross-zone rule, plus
     /// backfill: smaller tasks run whenever nodes would otherwise idle.
-    fn schedule(&mut self) {
+    fn schedule_now(&mut self) {
+        self.dirty = false;
         // Preemption pass for the highest-priority waiting task only.
         let top = self
             .tasks
             .iter()
             .filter(|(_, t)| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
             .min_by_key(|(&id, t)| (-t.priority, id))
-            .map(|(&id, t)| (id, t.nodes_required, t.priority));
+            .map(|(&id, t)| (id, t.need, t.priority));
         if let Some((id, need, prio)) = top {
             if !self.try_place(id, need) {
-                // Preempt strictly-lower-priority tasks until it fits.
-                // Victims checkpoint and go back to the queue (graceful).
-                let mut victims: Vec<(i32, TaskId)> = self
-                    .tasks
-                    .iter()
-                    .filter(|(_, t)| t.state == TaskState::Running && t.priority < prio)
-                    .map(|(&vid, t)| (t.priority, vid))
-                    .collect();
-                victims.sort(); // lowest priority first
-                let mut freed = self.free_healthy_count();
-                let mut to_evict = Vec::new();
-                for (_, vid) in victims {
+                // Count nodes already being freed by in-flight interrupts
+                // before signaling more victims.
+                let mut freed = self.free_up_count()
+                    + self
+                        .tasks
+                        .values()
+                        .filter(|t| t.state == TaskState::Interrupting)
+                        .map(|t| t.assigned.len())
+                        .sum::<usize>();
+                if freed < need {
+                    let mut victims: Vec<(i32, TaskId)> = self
+                        .tasks
+                        .iter()
+                        .filter(|(_, t)| t.state == TaskState::Running && t.priority < prio)
+                        .map(|(&vid, t)| (t.priority, vid))
+                        .collect();
+                    victims.sort(); // lowest priority first
+                    let mut to_evict = Vec::new();
+                    for (_, vid) in victims {
+                        if freed >= need {
+                            break;
+                        }
+                        freed += self.tasks[&vid].assigned.len();
+                        to_evict.push(vid);
+                    }
                     if freed >= need {
-                        break;
+                        for vid in to_evict {
+                            self.signal_interrupt(vid);
+                        }
+                        // Declared-mode interrupts complete instantly, so
+                        // the nodes may already be free; fluid-mode victims
+                        // finish their saves first and re-trigger us.
+                        let _ = self.try_place(id, need);
                     }
-                    freed += self.tasks[&vid].assigned.len();
-                    to_evict.push(vid);
-                }
-                if freed >= need {
-                    for vid in to_evict {
-                        self.release(vid, TaskState::Interrupted, true);
-                    }
-                    // Placement can still fail on the cross-zone rule
-                    // (enough nodes, but split across zones with another
-                    // spanning task active); the victims then simply
-                    // re-place in the backfill pass below.
-                    let _ = self.try_place(id, need);
                 }
             }
         }
-        // Backfill pass: place whatever still fits, in priority order.
-        let mut waiting: Vec<(i32, TaskId, usize)> = self
+        // Backfill pass — but not while an interruption is in flight:
+        // backfill would steal the partially-freed nodes the signaled
+        // preemptor is waiting for.
+        let interrupting = self
             .tasks
-            .iter()
-            .filter(|(_, t)| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
-            .map(|(&id, t)| (-t.priority, id, t.nodes_required))
-            .collect();
-        waiting.sort();
-        for (_, id, need) in waiting {
-            let _ = self.try_place(id, need);
+            .values()
+            .any(|t| t.state == TaskState::Interrupting);
+        if !interrupting {
+            let mut waiting: Vec<(i32, TaskId, usize)> = self
+                .tasks
+                .iter()
+                .filter(|(_, t)| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
+                .map(|(&id, t)| (-t.priority, id, t.need))
+                .collect();
+            waiting.sort();
+            for (_, id, need) in waiting {
+                let _ = self.try_place(id, need);
+            }
         }
+        self.record_gauges();
     }
 
-    fn free_healthy_count(&self) -> usize {
+    fn free_up_count(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| n.healthy && n.running.is_none())
+            .filter(|n| n.up && n.running.is_none())
             .count()
     }
 
+    fn free_by_zone(&self) -> [Vec<usize>; 2] {
+        let mut free = [Vec::new(), Vec::new()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.up && n.running.is_none() {
+                free[n.zone as usize].push(i);
+            }
+        }
+        free
+    }
+
+    fn cross_zone_active(&self) -> bool {
+        self.tasks.values().any(|t| {
+            matches!(t.state, TaskState::Running | TaskState::Interrupting) && t.cross_zone
+        })
+    }
+
     /// Try to place a task: single-zone first; cross-zone only when no
-    /// other cross-zone task runs.
+    /// other cross-zone task is active.
     fn try_place(&mut self, id: TaskId, need: usize) -> bool {
         let free = self.free_by_zone();
         let pick: Option<(Vec<usize>, bool)> = if free[0].len() >= need {
             Some((free[0][..need].to_vec(), false))
         } else if free[1].len() >= need {
             Some((free[1][..need].to_vec(), false))
-        } else if free[0].len() + free[1].len() >= need && !self.cross_zone_running() {
+        } else if free[0].len() + free[1].len() >= need && !self.cross_zone_active() {
             let mut all = free[0].clone();
             all.extend(&free[1]);
             Some((all[..need].to_vec(), true))
@@ -328,11 +1308,160 @@ impl Platform {
         for &n in &nodes {
             self.nodes[n].running = Some(id);
         }
+        self.busy_nodes += nodes.len();
         let t = self.tasks.get_mut(&id).expect("task exists");
         t.assigned = nodes;
         t.cross_zone = cross;
         t.state = TaskState::Running;
+        t.placed_at = self.now;
+        t.ckpt = t.progress; // cadence restarts from the resume point
+        t.epoch += 1;
+        let epoch = t.epoch;
+        let resume = t.progress > 0;
+        let remaining = t.work - t.progress;
+        self.note("place");
+        if self.engine.is_some() {
+            if resume {
+                self.with_engine(|p, eng| p.start_restore(eng, id));
+            } else {
+                self.with_engine(|p, eng| p.start_step(eng, id));
+            }
+        } else {
+            self.timers.schedule(
+                self.now + SimDuration::from_secs(remaining),
+                Ev::TaskDone { id, epoch },
+            );
+        }
         true
+    }
+
+    // ----- declared-mode analytics ---------------------------------------
+
+    /// Whole seconds a declared-mode task has been running since placement.
+    fn elapsed_units(&self, t: &Task) -> u64 {
+        (self.now.0 - t.placed_at.0) / 1_000_000_000
+    }
+
+    /// Committed progress plus the analytically-earned run time.
+    fn live_progress(&self, t: &Task) -> u64 {
+        if self.engine.is_none() && t.state == TaskState::Running {
+            (t.progress + self.elapsed_units(t)).min(t.work)
+        } else {
+            t.progress
+        }
+    }
+
+    /// The last periodic-checkpoint position of a declared-mode task.
+    fn live_ckpt(&self, t: &Task) -> u64 {
+        if self.engine.is_none() && t.state == TaskState::Running {
+            let periodic =
+                t.progress + (self.elapsed_units(t) / self.ckpt_interval) * self.ckpt_interval;
+            periodic.min(self.live_progress(t))
+        } else {
+            t.ckpt
+        }
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// Task state, or `None` for an unknown id.
+    pub fn state(&self, id: TaskId) -> Option<TaskState> {
+        self.tasks.get(&id).map(|t| t.state)
+    }
+
+    /// Task name as submitted, or `None` for an unknown id.
+    pub fn name(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(&id).map(|t| t.name.as_str())
+    }
+
+    /// Completed work units (live for a running declared-mode task), or
+    /// `None` for an unknown id.
+    pub fn progress(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| self.live_progress(t))
+    }
+
+    /// Work units captured by the last checkpoint, or `None` for an
+    /// unknown id.
+    pub fn checkpoint(&self, id: TaskId) -> Option<u64> {
+        self.tasks.get(&id).map(|t| self.live_ckpt(t))
+    }
+
+    /// The nodes a task runs on (empty when not running), or `None` for an
+    /// unknown id.
+    pub fn assignment(&self, id: TaskId) -> Option<&[usize]> {
+        self.tasks.get(&id).map(|t| t.assigned.as_slice())
+    }
+
+    /// Fraction of healthy node-time spent running tasks.
+    pub fn utilization(&self) -> f64 {
+        if self.healthy_node_ns == 0 {
+            0.0
+        } else {
+            self.busy_node_ns as f64 / self.healthy_node_ns as f64
+        }
+    }
+
+    /// Work lost to failures (rolled back past checkpoints), in
+    /// node-units: node-seconds in declared mode, node-steps in fluid.
+    pub fn lost_work_s(&self) -> u64 {
+        self.lost_work
+    }
+
+    /// Tasks waiting for nodes (queued or interrupted).
+    pub fn queue_depth(&self) -> usize {
+        self.tasks
+            .values()
+            .filter(|t| matches!(t.state, TaskState::Queued | TaskState::Interrupted))
+            .count()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Compute nodes in the pool (up or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Compute nodes currently up.
+    pub fn healthy_nodes(&self) -> usize {
+        self.up_nodes
+    }
+
+    /// The manager's health state for a compute node.
+    pub fn node_health(&self, node: usize) -> Option<HealthState> {
+        self.manager.health(&node_name(node))
+    }
+
+    /// Interruption signals delivered so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Node failures seen so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// The cluster manager tracking node health (§VI-B3's registry).
+    pub fn manager(&self) -> &Arc<ClusterManager> {
+        &self.manager
+    }
+
+    fn note(&self, what: &str) {
+        if let Some((rec, track)) = &self.obs {
+            rec.instant(*track, what, self.now.0, 1.0);
+        }
+    }
+
+    fn record_gauges(&self) {
+        if let Some((rec, _)) = &self.obs {
+            rec.gauge_set("platform/utilization", self.utilization());
+            rec.gauge_set("platform/queue_depth", self.queue_depth() as f64);
+            rec.gauge_set("platform/lost_work", self.lost_work as f64);
+        }
     }
 }
 
@@ -340,88 +1469,152 @@ impl Platform {
 mod tests {
     use super::*;
 
+    fn declared(per_zone: [usize; 2], interval: u64) -> Platform {
+        PlatformConfig::new()
+            .zones(per_zone)
+            .ckpt_interval(interval)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn simple_task_runs_to_completion() {
-        let mut p = Platform::new([4, 4], 300);
-        let t = p.submit("resnet", 2, 0, 100);
-        assert_eq!(p.state(t), TaskState::Running);
+        let mut p = declared([4, 4], 300);
+        let t = p.submit(JobSpec::new("resnet", 2, 100)).unwrap();
+        assert_eq!(p.state(t), Some(TaskState::Running));
         p.tick(100);
-        assert_eq!(p.state(t), TaskState::Succeeded);
-        assert_eq!(p.progress(t), 100);
+        assert_eq!(p.state(t), Some(TaskState::Succeeded));
+        assert_eq!(p.progress(t), Some(100));
     }
 
     #[test]
     fn queueing_when_full_then_backfill() {
-        let mut p = Platform::new([2, 0], 300);
-        let a = p.submit("a", 2, 0, 50);
-        let b = p.submit("b", 2, 0, 50);
-        assert_eq!(p.state(a), TaskState::Running);
-        assert_eq!(p.state(b), TaskState::Queued);
+        let mut p = declared([2, 0], 300);
+        let a = p.submit(JobSpec::new("a", 2, 50)).unwrap();
+        let b = p.submit(JobSpec::new("b", 2, 50)).unwrap();
+        assert_eq!(p.state(a), Some(TaskState::Running));
+        assert_eq!(p.state(b), Some(TaskState::Queued));
         p.tick(50);
-        assert_eq!(p.state(a), TaskState::Succeeded);
-        assert_eq!(p.state(b), TaskState::Running);
+        assert_eq!(p.state(a), Some(TaskState::Succeeded));
+        assert_eq!(p.state(b), Some(TaskState::Running));
     }
 
     #[test]
     fn priority_preempts_and_resumes_from_checkpoint() {
-        let mut p = Platform::new([2, 0], 300);
-        let low = p.submit("low", 2, 0, 100);
+        let mut p = declared([2, 0], 300);
+        let low = p.submit(JobSpec::new("low", 2, 100)).unwrap();
         p.tick(40);
-        let high = p.submit("high", 2, 10, 30);
+        let high = p.submit(JobSpec::new("high", 2, 30).priority(10)).unwrap();
         // Preemption is immediate and graceful: low checkpoints at 40.
-        assert_eq!(p.state(low), TaskState::Interrupted);
-        assert_eq!(p.state(high), TaskState::Running);
+        assert_eq!(p.state(low), Some(TaskState::Interrupted));
+        assert_eq!(p.progress(low), Some(40));
+        assert_eq!(p.state(high), Some(TaskState::Running));
         p.tick(30);
-        assert_eq!(p.state(high), TaskState::Succeeded);
-        assert_eq!(p.state(low), TaskState::Running);
+        assert_eq!(p.state(high), Some(TaskState::Succeeded));
+        assert_eq!(p.state(low), Some(TaskState::Running));
         // No work lost on graceful interrupt.
         p.tick(60);
-        assert_eq!(p.state(low), TaskState::Succeeded);
-        assert_eq!(p.lost_work_s, 0);
+        assert_eq!(p.state(low), Some(TaskState::Succeeded));
+        assert_eq!(p.lost_work_s(), 0);
+        assert_eq!(p.preemptions(), 1);
     }
 
     #[test]
     fn node_failure_loses_at_most_one_interval() {
-        let mut p = Platform::new([4, 0], 300);
-        let t = p.submit("llm", 4, 0, 10_000);
+        let mut p = declared([4, 0], 300);
+        let t = p.submit(JobSpec::new("llm", 4, 10_000)).unwrap();
         p.tick(640); // checkpoints at 300 and 600
-        let node = p.assignment(t)[0];
+        let node = p.assignment(t).unwrap()[0];
         p.fail_node(node);
         // Rolled back to the 600 s checkpoint: 40 s × 4 nodes lost.
-        assert_eq!(p.progress(t), 600);
-        assert_eq!(p.lost_work_s, 160);
+        assert_eq!(p.progress(t), Some(600));
+        assert_eq!(p.lost_work_s(), 160);
         // Only 3 healthy nodes remain: the 4-node task cannot run.
-        assert_eq!(p.state(t), TaskState::Queued);
+        assert_eq!(p.state(t), Some(TaskState::Queued));
         p.heal_node(node);
-        assert_eq!(p.state(t), TaskState::Running);
+        assert_eq!(p.state(t), Some(TaskState::Running));
+    }
+
+    #[test]
+    fn failed_node_walks_the_health_lifecycle() {
+        let mut p = declared([4, 0], 300);
+        p.submit(JobSpec::new("job", 2, 1000)).unwrap();
+        p.fail_node(0);
+        assert_eq!(p.node_health(0), Some(HealthState::Suspect));
+        assert_eq!(p.healthy_nodes(), 3);
+        p.tick(5); // detection confirms at +2 s
+        assert_eq!(p.node_health(0), Some(HealthState::Quarantined));
+        p.heal_node(0);
+        assert_eq!(p.node_health(0), Some(HealthState::Healthy));
+        assert_eq!(p.healthy_nodes(), 4);
+        // Healing an up node is a no-op (weekly sweeps call it blindly).
+        p.heal_node(0);
+        assert_eq!(p.healthy_nodes(), 4);
+    }
+
+    #[test]
+    fn fault_plan_kill_auto_repairs() {
+        use ff_failures::{FailureEvent, FailureKind};
+        let mut p = PlatformConfig::new()
+            .zones([4, 0])
+            .ckpt_interval(300)
+            .repair_delay_s(100)
+            .validation_s(20)
+            .build()
+            .unwrap();
+        let t = p.submit(JobSpec::new("llm", 4, 10_000)).unwrap();
+        let plan = FaultPlan::from_events(
+            &[FailureEvent {
+                at_s: 640.0,
+                node: 1,
+                kind: FailureKind::MainMemoryEcc,
+            }],
+            4,
+        );
+        p.apply_fault_plan(&plan);
+        p.tick(650);
+        // Killed at 640, rolled back to the 600 s checkpoint and queued.
+        assert_eq!(p.state(t), Some(TaskState::Queued));
+        assert_eq!(p.progress(t), Some(600));
+        assert_eq!(p.node_health(1), Some(HealthState::Quarantined));
+        // Repair (100 s) + validation (20 s) put the node back and the
+        // task resumes without operator intervention.
+        p.tick(200);
+        assert_eq!(p.node_health(1), Some(HealthState::Healthy));
+        assert_eq!(p.state(t), Some(TaskState::Running));
+        assert_eq!(p.lost_work_s(), 160);
     }
 
     #[test]
     fn cross_zone_limited_to_one_task() {
-        let mut p = Platform::new([2, 2], 300);
+        let mut p = declared([2, 2], 300);
         // 3-node tasks must span zones (each zone has only 2).
-        let a = p.submit("span-a", 3, 0, 100);
-        let b = p.submit("span-b", 3, 0, 100);
-        assert_eq!(p.state(a), TaskState::Running);
-        assert_eq!(p.state(b), TaskState::Queued, "only one cross-zone task");
+        let a = p.submit(JobSpec::new("span-a", 3, 100)).unwrap();
+        let b = p.submit(JobSpec::new("span-b", 3, 100)).unwrap();
+        assert_eq!(p.state(a), Some(TaskState::Running));
+        assert_eq!(
+            p.state(b),
+            Some(TaskState::Queued),
+            "only one cross-zone task"
+        );
         p.tick(100);
-        assert_eq!(p.state(a), TaskState::Succeeded);
-        assert_eq!(p.state(b), TaskState::Running);
+        assert_eq!(p.state(a), Some(TaskState::Succeeded));
+        assert_eq!(p.state(b), Some(TaskState::Running));
     }
 
     #[test]
     fn single_zone_tasks_fill_both_zones_concurrently() {
-        let mut p = Platform::new([2, 2], 300);
-        let a = p.submit("a", 2, 0, 100);
-        let b = p.submit("b", 2, 0, 100);
-        assert_eq!(p.state(a), TaskState::Running);
-        assert_eq!(p.state(b), TaskState::Running);
+        let mut p = declared([2, 2], 300);
+        let a = p.submit(JobSpec::new("a", 2, 100)).unwrap();
+        let b = p.submit(JobSpec::new("b", 2, 100)).unwrap();
+        assert_eq!(p.state(a), Some(TaskState::Running));
+        assert_eq!(p.state(b), Some(TaskState::Running));
     }
 
     #[test]
     fn utilization_accounts_busy_fraction() {
-        let mut p = Platform::new([4, 0], 300);
-        p.submit("half", 2, 0, 100);
+        let mut p = declared([4, 0], 300);
+        p.submit(JobSpec::new("half", 2, 100)).unwrap();
         p.tick(100);
         // 2 of 4 nodes busy for the whole window.
         assert!((p.utilization() - 0.5).abs() < 1e-9);
@@ -431,9 +1624,9 @@ mod tests {
     fn time_sharing_keeps_utilization_high() {
         // The 99%-utilization story: an over-subscribed queue of small
         // tasks keeps every node busy.
-        let mut p = Platform::new([4, 4], 300);
+        let mut p = declared([4, 4], 300);
         for i in 0..20 {
-            p.submit(format!("job{i}"), 2, 0, 50);
+            p.submit(JobSpec::new(format!("job{i}"), 2, 50)).unwrap();
         }
         for _ in 0..25 {
             p.tick(10);
@@ -442,11 +1635,164 @@ mod tests {
     }
 
     #[test]
-    fn unplaceable_task_waits_without_blocking_others() {
-        let mut p = Platform::new([2, 1], 300);
-        let huge = p.submit("huge", 5, 5, 10);
-        let small = p.submit("small", 1, 0, 10);
-        assert_eq!(p.state(huge), TaskState::Queued);
-        assert_eq!(p.state(small), TaskState::Running);
+    fn oversized_and_empty_submissions_are_rejected() {
+        let mut p = declared([2, 1], 300);
+        assert_eq!(
+            p.submit(JobSpec::new("huge", 5, 10)),
+            Err(SubmitError::TooLarge {
+                need: 5,
+                cluster: 3
+            })
+        );
+        assert_eq!(
+            p.submit(JobSpec::new("none", 0, 10)),
+            Err(SubmitError::ZeroNodes)
+        );
+        assert_eq!(
+            p.submit(JobSpec::new("idle", 1, 0)),
+            Err(SubmitError::ZeroWork)
+        );
+        let small = p.submit(JobSpec::new("small", 1, 10)).unwrap();
+        assert_eq!(p.state(small), Some(TaskState::Running));
+    }
+
+    #[test]
+    fn unknown_task_accessors_return_none() {
+        let p = declared([2, 0], 300);
+        let ghost = TaskId(999);
+        assert_eq!(p.state(ghost), None);
+        assert_eq!(p.name(ghost), None);
+        assert_eq!(p.progress(ghost), None);
+        assert_eq!(p.checkpoint(ghost), None);
+        assert_eq!(p.assignment(ghost), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_still_schedules() {
+        let mut p = Platform::new([2, 0], 300);
+        let t = p.submit(JobSpec::new("old-api", 2, 10)).unwrap();
+        p.tick(10);
+        assert_eq!(p.state(t), Some(TaskState::Succeeded));
+    }
+
+    // ----- fluid mode -----------------------------------------------------
+
+    use ff_reduce::ClusterConfig;
+
+    fn fluid(nodes: usize, storage: usize, interval: u64) -> Platform {
+        PlatformConfig::new()
+            .cluster(ClusterModel::build(&ClusterConfig::fire_flyer(nodes)))
+            .storage_nodes(storage)
+            .ckpt_interval(interval)
+            .build()
+            .unwrap()
+    }
+
+    /// Run until the predicate holds, polling every `dt`, bailing out
+    /// after `max_iters` polls so a broken event loop cannot hang the
+    /// suite. Steps on this small cluster take milliseconds of simulated
+    /// time, so observation granularity must be comparably fine.
+    fn run_till(
+        p: &mut Platform,
+        dt: SimDuration,
+        max_iters: u64,
+        mut pred: impl FnMut(&Platform) -> bool,
+    ) {
+        for _ in 0..max_iters {
+            if pred(p) {
+                return;
+            }
+            p.run_for(dt);
+        }
+        panic!("condition not reached within {max_iters} polls");
+    }
+
+    #[test]
+    fn fluid_step_durations_emerge_from_bandwidth() {
+        let mut p = fluid(6, 2, 10);
+        let t = p
+            .submit(
+                JobSpec::new("train", 4, 25)
+                    .step_bytes(6.4e7)
+                    .ckpt_bytes(2.56e8),
+            )
+            .unwrap();
+        assert_eq!(p.state(t), Some(TaskState::Running));
+        run_till(&mut p, SimDuration::from_secs(1), 100_000, |p| {
+            p.state(t) == Some(TaskState::Succeeded)
+        });
+        // Steps took real simulated time and checkpoints were durable.
+        assert!(p.now().0 > 0);
+        assert_eq!(p.progress(t), Some(25));
+        assert_eq!(p.checkpoint(t), Some(25));
+        assert!(p.utilization() > 0.0);
+    }
+
+    #[test]
+    fn fluid_interruption_signal_protocol() {
+        let ms = SimDuration::from_millis(5);
+        let mut p = fluid(6, 2, 5);
+        let low = p
+            .submit(
+                JobSpec::new("low", 4, 2000)
+                    .step_bytes(6.4e7)
+                    .ckpt_bytes(2.56e8),
+            )
+            .unwrap();
+        // Let it make some progress.
+        run_till(&mut p, ms, 1_000_000, |p| p.progress(low).unwrap() >= 8);
+        let high = p
+            .submit(JobSpec::new("high", 4, 10).priority(9).step_bytes(6.4e7))
+            .unwrap();
+        // The signal is delivered; low finishes its save before releasing.
+        assert!(matches!(
+            p.state(low),
+            Some(TaskState::Interrupting | TaskState::Interrupted)
+        ));
+        run_till(&mut p, ms, 1_000_000, |p| {
+            p.state(low) == Some(TaskState::Interrupted)
+        });
+        // The interruption signal was honored: the save captured exactly
+        // the committed progress, so nothing replays on resume.
+        assert_eq!(p.progress(low), p.checkpoint(low));
+        run_till(&mut p, ms, 1_000_000, |p| {
+            p.state(high) == Some(TaskState::Succeeded)
+        });
+        // After high completes, low resumes from its checkpoint.
+        run_till(&mut p, ms, 1_000_000, |p| {
+            p.state(low) == Some(TaskState::Running)
+        });
+        assert_eq!(p.lost_work_s(), 0, "graceful interruption loses no work");
+        assert!(p.preemptions() >= 1);
+    }
+
+    #[test]
+    fn fluid_node_failure_bounds_lost_work() {
+        let ms = SimDuration::from_millis(5);
+        let mut p = fluid(6, 2, 5);
+        let t = p
+            .submit(
+                JobSpec::new("train", 4, 400)
+                    .step_bytes(6.4e7)
+                    .ckpt_bytes(2.56e8),
+            )
+            .unwrap();
+        run_till(&mut p, ms, 1_000_000, |p| p.progress(t).unwrap() >= 12);
+        assert_eq!(p.state(t), Some(TaskState::Running));
+        let node = p.assignment(t).unwrap()[0];
+        p.fail_node(node);
+        // ≤ one checkpoint interval of steps lost, over 4 nodes.
+        assert!(
+            p.lost_work_s() <= 5 * 4,
+            "lost {} node-steps, expected ≤ {}",
+            p.lost_work_s(),
+            5 * 4
+        );
+        assert_eq!(p.state(t), Some(TaskState::Queued));
+        p.heal_node(node);
+        run_till(&mut p, SimDuration::from_secs(1), 100_000, |p| {
+            p.state(t) == Some(TaskState::Succeeded)
+        });
     }
 }

@@ -28,8 +28,8 @@ use ff_3fs::chain::ChainTable;
 use ff_3fs::manager::{ClusterManager, ServiceRole};
 use ff_3fs::resync::ResyncSession;
 use ff_3fs::target::StorageTarget;
-use ff_3fs::ChainError;
 use ff_obs::{Recorder, TrackId};
+use ff_util::error::FfError;
 use ff_util::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -221,7 +221,7 @@ impl StoragePlane {
         recruit: Arc<StorageTarget>,
         ci: usize,
         step: u64,
-    ) -> Result<(), ChainError> {
+    ) -> Result<(), FfError> {
         let mut session = ResyncSession::begin(chain.clone(), recruit)?;
         loop {
             let p = match session.pump(self.resync_budget) {
@@ -230,7 +230,7 @@ impl StoragePlane {
                     let failed = session.abort();
                     failed.wipe();
                     self.spares.lock().push(failed);
-                    return Err(e);
+                    return Err(e.into());
                 }
             };
             if let Some((rec, _)) = self.obs.lock().as_ref() {

@@ -318,24 +318,28 @@ mod tests {
 
     #[test]
     fn weekly_sweep_removes_and_restores_nodes() {
-        use crate::scheduler::{Platform, TaskState};
-        let mut platform = Platform::new([4, 0], 300);
+        use crate::scheduler::{JobSpec, PlatformConfig, TaskState};
+        let mut platform = PlatformConfig::new()
+            .zones([4, 0])
+            .ckpt_interval(300)
+            .build()
+            .unwrap();
         let mut fleet: Vec<NodeUnderTest> = (0..4).map(|_| NodeUnderTest::healthy()).collect();
-        let task = platform.submit("job", 4, 0, 10_000);
-        assert_eq!(platform.state(task), TaskState::Running);
+        let task = platform.submit(JobSpec::new("job", 4, 10_000)).unwrap();
+        assert_eq!(platform.state(task), Some(TaskState::Running));
         // Node 2 develops a GPU memory defect; the sweep pulls it.
         fleet[2].gpu_memory[0][5] = 0xBD;
         let failed = weekly_validation(&mut platform, &mut fleet);
         assert_eq!(failed, vec![2]);
         assert_eq!(
             platform.state(task),
-            TaskState::Queued,
+            Some(TaskState::Queued),
             "4-node job can't run on 3"
         );
         // Repair (replace the module) and re-validate: back in the pool.
         fleet[2] = NodeUnderTest::healthy();
         assert!(weekly_validation(&mut platform, &mut fleet).is_empty());
-        assert_eq!(platform.state(task), TaskState::Running);
+        assert_eq!(platform.state(task), Some(TaskState::Running));
     }
 
     #[test]

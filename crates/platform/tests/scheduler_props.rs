@@ -1,0 +1,202 @@
+//! Seeded property tests for the event-driven scheduler: randomized
+//! submit / fail / heal / tick sequences must preserve the platform's
+//! core invariants at every observation point.
+//!
+//! Invariants (per ISSUE 5):
+//!   1. No node is assigned to two live tasks at once.
+//!   2. At most one cross-zone task holds nodes at any time (§VI-C).
+//!   3. checkpoint ≤ progress ≤ work for every task.
+//!   4. utilization ∈ [0, 1].
+//!   5. Queued / Interrupted tasks hold no nodes.
+//!   6. Work is conserved: once every node is healed and the cluster
+//!      drains, every task has run to completion.
+
+use ff_platform::{JobSpec, Platform, PlatformConfig, TaskId, TaskState};
+use ff_util::rng::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+const ZONES: [usize; 2] = [8, 8];
+
+struct Submitted {
+    id: TaskId,
+    need: usize,
+    work: u64,
+}
+
+fn zone_of(node: usize) -> usize {
+    usize::from(node >= ZONES[0])
+}
+
+/// Check every invariant that must hold at an arbitrary instant.
+fn check_invariants(p: &Platform, tasks: &[Submitted]) {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut cross_zone_holders = 0usize;
+    for t in tasks {
+        let state = p.state(t.id).expect("submitted task is known");
+        let assigned = p.assignment(t.id).expect("submitted task is known");
+        let progress = p.progress(t.id).expect("submitted task is known");
+        let ckpt = p.checkpoint(t.id).expect("submitted task is known");
+
+        // (3) checkpoint ≤ progress ≤ work.
+        assert!(
+            ckpt <= progress && progress <= t.work,
+            "task {:?}: ckpt {ckpt} ≤ progress {progress} ≤ work {} violated",
+            t.id,
+            t.work
+        );
+
+        match state {
+            TaskState::Running | TaskState::Interrupting => {
+                assert_eq!(
+                    assigned.len(),
+                    t.need,
+                    "task {:?} holds {} nodes, needs {}",
+                    t.id,
+                    assigned.len(),
+                    t.need
+                );
+                // (1) no node double-assigned.
+                for &n in assigned {
+                    assert!(seen.insert(n), "node {n} assigned to two tasks");
+                }
+                // (2) count cross-zone holders.
+                let zones: BTreeSet<usize> = assigned.iter().map(|&n| zone_of(n)).collect();
+                if zones.len() > 1 {
+                    cross_zone_holders += 1;
+                }
+            }
+            // (5) non-running tasks hold nothing.
+            TaskState::Queued | TaskState::Interrupted | TaskState::Succeeded => {
+                assert!(
+                    assigned.is_empty(),
+                    "task {:?} in {state:?} still holds nodes {assigned:?}",
+                    t.id
+                );
+            }
+        }
+        if state == TaskState::Succeeded {
+            assert_eq!(progress, t.work, "succeeded task {:?} short of work", t.id);
+        }
+    }
+    assert!(
+        cross_zone_holders <= 1,
+        "{cross_zone_holders} cross-zone tasks active at once"
+    );
+    // (4) utilization is a fraction.
+    let u = p.utilization();
+    assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+}
+
+/// One randomized scenario: a few hundred interleaved operations, with
+/// the invariants re-checked after every single one.
+fn run_scenario(seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut p = PlatformConfig::new()
+        .zones(ZONES)
+        .ckpt_interval(300)
+        .build()
+        .unwrap();
+    let total = ZONES[0] + ZONES[1];
+    let mut tasks: Vec<Submitted> = Vec::new();
+
+    for op in 0..250 {
+        match rng.gen_range(0..100u32) {
+            // Submit a job; sizes span single-node to forced cross-zone.
+            0..=29 => {
+                let need = rng.gen_range(1..11usize);
+                let work = rng.gen_range(60..7201u64);
+                let prio = rng.gen_range(0..11i32) - 5;
+                let id = p
+                    .submit(JobSpec::new(format!("job-{seed}-{op}"), need, work).priority(prio))
+                    .expect("job fits the cluster");
+                tasks.push(Submitted { id, need, work });
+            }
+            // Fail a node (failing an already-down node must be a no-op).
+            30..=44 => p.fail_node(rng.gen_range(0..total)),
+            // Heal a node (healing an up node must be a no-op).
+            45..=59 => p.heal_node(rng.gen_range(0..total)),
+            // Let simulated time pass.
+            _ => {
+                p.tick(rng.gen_range(1..601u64));
+            }
+        }
+        check_invariants(&p, &tasks);
+    }
+
+    // (6) Work conservation: heal everything, drain the queue, and every
+    // task must have completed exactly its declared work.
+    for n in 0..total {
+        p.heal_node(n);
+    }
+    let worst: u64 = tasks.iter().map(|t| t.work).sum();
+    let mut guard = 0;
+    while tasks
+        .iter()
+        .any(|t| p.state(t.id) != Some(TaskState::Succeeded))
+    {
+        p.tick(600);
+        guard += 1;
+        assert!(
+            guard * 600 < 2 * worst + 1_000_000,
+            "seed {seed}: queue failed to drain; depth {}",
+            p.queue_depth()
+        );
+    }
+    check_invariants(&p, &tasks);
+    for t in &tasks {
+        assert_eq!(p.progress(t.id), Some(t.work));
+    }
+}
+
+#[test]
+fn randomized_sequences_preserve_invariants() {
+    for seed in 0..12u64 {
+        run_scenario(seed);
+    }
+}
+
+#[test]
+fn same_seed_same_trajectory() {
+    // Determinism: two platforms fed the identical operation stream agree
+    // on every observable at every step.
+    let script = |p: &mut Platform| {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut ids = Vec::new();
+        for op in 0..120 {
+            match rng.gen_range(0..4u32) {
+                0 => ids.push(
+                    p.submit(
+                        JobSpec::new(format!("d{op}"), rng.gen_range(1..7usize), 3600)
+                            .priority(rng.gen_range(0..6i32)),
+                    )
+                    .unwrap(),
+                ),
+                1 => p.fail_node(rng.gen_range(0..16usize)),
+                2 => p.heal_node(rng.gen_range(0..16usize)),
+                _ => p.tick(rng.gen_range(1..901u64)),
+            }
+        }
+        let snap: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                (
+                    p.state(id),
+                    p.progress(id),
+                    p.assignment(id).map(<[usize]>::to_vec),
+                )
+            })
+            .collect();
+        (snap, p.utilization().to_bits(), p.lost_work_s())
+    };
+    let mut a = PlatformConfig::new()
+        .zones(ZONES)
+        .ckpt_interval(300)
+        .build()
+        .unwrap();
+    let mut b = PlatformConfig::new()
+        .zones(ZONES)
+        .ckpt_interval(300)
+        .build()
+        .unwrap();
+    assert_eq!(script(&mut a), script(&mut b));
+}

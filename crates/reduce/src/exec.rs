@@ -93,6 +93,12 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+impl From<CommError> for ff_util::FfError {
+    fn from(e: CommError) -> Self {
+        ff_util::FfError::with_source(ff_util::FfKind::Comm, e.to_string(), e)
+    }
+}
+
 /// Default receive timeout for the fault-free entry points: generous
 /// enough that scheduler hiccups never fire it.
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);

@@ -1,0 +1,136 @@
+//! Fluid-traffic shapes for scheduled training jobs (§VI-C on §IV's
+//! network).
+//!
+//! The event-driven scheduler models each placed job as a sequence of
+//! training steps; a step's wall time *emerges* from the bandwidth its
+//! flows get on the shared cluster model rather than being declared. This
+//! module builds those flows' routes:
+//!
+//! * [`step_routes`] — one gradient-allreduce step over the job's nodes,
+//!   as the directed ring the steady-state bandwidth analysis reduces to:
+//!   node *i* streams to node *i+1* on the HFReduce lane, every edge
+//!   carrying the classic `2(N−1)/N` of the gradient bytes. Nodes are
+//!   ring-ordered by access leaf ([`leaf_grouped_order`]) so a single-leaf
+//!   job never touches the spine and a cross-zone job pays the inter-zone
+//!   trunk exactly twice — contention between jobs, storage traffic and
+//!   failures then shapes every step's duration.
+//! * [`ckpt_routes`] / [`restore_routes`] — the periodic checkpoint
+//!   (§VII-A): each job node ships its shard of the checkpoint to (or
+//!   back from) a storage node on the storage lane, so checkpoint cost
+//!   rises with job size and competes with training traffic.
+
+use crate::cluster::ClusterModel;
+use crate::model::leaf_grouped_order;
+use ff_desim::Route;
+use ff_net::ServiceLevel;
+
+/// Bytes each directed ring edge carries when `n` nodes allreduce
+/// `step_bytes` of gradients (reduce-scatter + allgather: `2(n−1)/n`).
+/// A single node reduces locally and moves the bytes once.
+pub fn ring_edge_bytes(n: usize, step_bytes: f64) -> f64 {
+    if n <= 1 {
+        step_bytes
+    } else {
+        step_bytes * 2.0 * (n as f64 - 1.0) / n as f64
+    }
+}
+
+/// Order a job's nodes for ring construction: by access leaf, then index
+/// (the same packing [`leaf_grouped_order`] gives whole-cluster
+/// collectives), so ring edges stay under one switch wherever placement
+/// allows.
+pub fn ring_order(cluster: &ClusterModel, nodes: &[usize]) -> Vec<usize> {
+    let order = leaf_grouped_order(cluster);
+    let mut pos = vec![usize::MAX; cluster.nodes()];
+    for (p, &n) in order.iter().enumerate() {
+        pos[n] = p;
+    }
+    let mut ring: Vec<usize> = nodes.to_vec();
+    ring.sort_by_key(|&n| pos[n]);
+    ring
+}
+
+/// The routes of one allreduce step over `nodes`: the directed ring's
+/// edges on the HFReduce lane, receive side reducing. A single-node job
+/// reduces in host memory instead (no network). Every returned route
+/// should carry [`ring_edge_bytes`] of work.
+pub fn step_routes(cluster: &ClusterModel, nodes: &[usize]) -> Vec<Route> {
+    if nodes.len() <= 1 {
+        let node = nodes.first().copied().unwrap_or(0);
+        return vec![cluster.hw[node].cpu_reduce(cluster.hw[node].gpus())];
+    }
+    let ring = ring_order(cluster, nodes);
+    (0..ring.len())
+        .map(|i| {
+            let src = ring[i];
+            let dst = ring[(i + 1) % ring.len()];
+            cluster.rdma_edge(src, dst, ServiceLevel::HfReduce, true)
+        })
+        .collect()
+}
+
+/// Checkpoint-save routes: job node `nodes[i]` streams its shard to
+/// `storage[i % storage.len()]` on the storage lane (plain RDMA write at
+/// the destination). Each route carries `ckpt_bytes / nodes.len()`.
+pub fn ckpt_routes(cluster: &ClusterModel, nodes: &[usize], storage: &[usize]) -> Vec<Route> {
+    assert!(!storage.is_empty(), "checkpointing needs a storage node");
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            cluster.rdma_edge(n, storage[i % storage.len()], ServiceLevel::Storage, false)
+        })
+        .collect()
+}
+
+/// Checkpoint-restore routes: the save pattern reversed — each job node
+/// reads its shard back from its storage node.
+pub fn restore_routes(cluster: &ClusterModel, nodes: &[usize], storage: &[usize]) -> Vec<Route> {
+    assert!(!storage.is_empty(), "restoring needs a storage node");
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            cluster.rdma_edge(storage[i % storage.len()], n, ServiceLevel::Storage, false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    #[test]
+    fn ring_edge_bytes_matches_allreduce_theory() {
+        assert_eq!(ring_edge_bytes(1, 1024.0), 1024.0);
+        assert_eq!(ring_edge_bytes(2, 1024.0), 1024.0);
+        assert!((ring_edge_bytes(4, 1024.0) - 1536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_routes_form_a_ring() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(4));
+        let routes = step_routes(&c, &[0, 2, 3]);
+        assert_eq!(routes.len(), 3);
+        for r in &routes {
+            assert!(!r.0.is_empty(), "ring edge routes traverse resources");
+        }
+    }
+
+    #[test]
+    fn single_node_step_stays_local() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(2));
+        let routes = step_routes(&c, &[1]);
+        assert_eq!(routes.len(), 1);
+    }
+
+    #[test]
+    fn ckpt_routes_shard_across_storage() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(6));
+        let save = ckpt_routes(&c, &[0, 1, 2, 3], &[4, 5]);
+        let load = restore_routes(&c, &[0, 1, 2, 3], &[4, 5]);
+        assert_eq!(save.len(), 4);
+        assert_eq!(load.len(), 4);
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod cluster;
 pub mod exec;
+pub mod jobflow;
 pub mod kernels;
 pub mod model;
 pub mod ring;
@@ -37,5 +38,6 @@ pub use exec::{
     allreduce_ring, hfreduce_exec, hfreduce_exec_traced, CommError, ExecFaultPlan, FtReport,
     ObsCtx,
 };
+pub use ff_util::error::{FfError, FfKind};
 pub use model::{AllreduceReport, HfReduceOptions, HfReduceVariant};
 pub use sharded::{allgather, fsdp_step_exec, reduce_scatter};

@@ -1,0 +1,136 @@
+//! The workspace-wide error type.
+//!
+//! Every layer of the stack has its own typed error — `CommError` in
+//! ff-reduce, `ChainError`/`FsError`/`MetaError` in ff-3fs, `CkptError`
+//! and the scheduler errors in ff-platform. Code that composes layers
+//! (the recovery loop, the storage plane, the event-driven scheduler)
+//! used to need a match ladder per crate boundary; [`FfError`] gives them
+//! one `?`-friendly sink instead.
+//!
+//! ff-util sits at the bottom of the dependency graph, so `FfError`
+//! cannot name the concrete error types above it. It carries a coarse
+//! [`FfKind`] plus the original error boxed as a `source()`, and each
+//! crate provides its own `impl From<TheirError> for FfError` next to the
+//! error it owns (legal under the orphan rule: the local type appears as
+//! the trait's type parameter).
+
+use std::error::Error;
+use std::fmt;
+
+/// Which layer of the stack an [`FfError`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FfKind {
+    /// Collective-communication failure (a peer died or timed out).
+    Comm,
+    /// Storage-plane failure (3FS chain, file system, metadata).
+    Storage,
+    /// Checkpoint save/load failure (including checksum mismatches).
+    Checkpoint,
+    /// Invalid configuration (builder rejected the shape).
+    Config,
+    /// Scheduler-level failure (rejected submission, unknown task).
+    Sched,
+    /// Anything else.
+    Other,
+}
+
+impl FfKind {
+    /// Stable lowercase name (metric labels, log prefixes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FfKind::Comm => "comm",
+            FfKind::Storage => "storage",
+            FfKind::Checkpoint => "checkpoint",
+            FfKind::Config => "config",
+            FfKind::Sched => "sched",
+            FfKind::Other => "other",
+        }
+    }
+}
+
+/// The unified error: a kind, a human-readable message, and (when the
+/// error crossed a crate boundary) the typed original as `source()`.
+#[derive(Debug)]
+pub struct FfError {
+    kind: FfKind,
+    msg: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl FfError {
+    /// An error with no underlying cause.
+    pub fn new(kind: FfKind, msg: impl Into<String>) -> FfError {
+        FfError {
+            kind,
+            msg: msg.into(),
+            source: None,
+        }
+    }
+
+    /// Wrap a typed error from a higher crate, preserving it as
+    /// `source()` for callers that want to downcast.
+    pub fn with_source(
+        kind: FfKind,
+        msg: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> FfError {
+        FfError {
+            kind,
+            msg: msg.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// The layer this error came from.
+    pub fn kind(&self) -> FfKind {
+        self.kind
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for FfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.msg)
+    }
+}
+
+impl Error for FfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Inner;
+    impl fmt::Display for Inner {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "inner failure")
+        }
+    }
+    impl Error for Inner {}
+
+    #[test]
+    fn displays_kind_and_message() {
+        let e = FfError::new(FfKind::Sched, "task 7 unknown");
+        assert_eq!(e.to_string(), "sched: task 7 unknown");
+        assert_eq!(e.kind(), FfKind::Sched);
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn preserves_source_chain() {
+        let e = FfError::with_source(FfKind::Storage, "chain write failed", Inner);
+        assert_eq!(e.kind(), FfKind::Storage);
+        let src = e.source().expect("source preserved");
+        assert_eq!(src.to_string(), "inner failure");
+        assert!(src.downcast_ref::<Inner>().is_some());
+    }
+}

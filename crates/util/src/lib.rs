@@ -18,6 +18,9 @@
 pub mod bench;
 pub mod bytes;
 pub mod channel;
+pub mod error;
 pub mod rng;
 pub mod scengen;
 pub mod sync;
+
+pub use error::{FfError, FfKind};

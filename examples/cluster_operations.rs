@@ -13,14 +13,22 @@ use fireflyer::fs3::kvstore::KvStore;
 use fireflyer::fs3::meta::MetaService;
 use fireflyer::fs3::target::{Disk, StorageTarget};
 use fireflyer::platform::validator::{node_passes, run_all_checks, NodeUnderTest};
-use fireflyer::platform::{CheckpointManager, Platform, TaskState};
+use fireflyer::platform::{CheckpointManager, JobSpec, PlatformConfig, TaskState};
 use std::sync::Arc;
 
 fn main() {
     // --- Time-sharing scheduling (§VI-C) ---
-    let mut platform = Platform::new([8, 8], 300);
-    let research = platform.submit("resnet-sweep", 4, 0, 6 * 3600);
-    let dev = platform.submit("notebook", 1, 0, 24 * 3600);
+    let mut platform = PlatformConfig::new()
+        .zones([8, 8])
+        .ckpt_interval(300)
+        .build()
+        .expect("cluster has nodes");
+    let research = platform
+        .submit(JobSpec::new("resnet-sweep", 4, 6 * 3600))
+        .unwrap();
+    let dev = platform
+        .submit(JobSpec::new("notebook", 1, 24 * 3600))
+        .unwrap();
     println!(
         "submitted: {:?} on {:?} nodes, {:?} on {:?}",
         platform.name(research),
@@ -30,7 +38,9 @@ fn main() {
     );
 
     platform.tick(3600);
-    let llm = platform.submit("llama13b-pretrain", 16, 10, 3 * 86_400);
+    let llm = platform
+        .submit(JobSpec::new("llama13b-pretrain", 16, 3 * 86_400).priority(10))
+        .unwrap();
     println!(
         "high-priority 16-node LLM job arrives: research is now {:?}, LLM {:?} (cross-zone)",
         platform.state(research),
@@ -39,11 +49,11 @@ fn main() {
 
     // --- A node fails mid-run (§VII-A) ---
     platform.tick(2 * 3600);
-    let victim = platform.assignment(llm)[0];
+    let victim = platform.assignment(llm).expect("llm is placed")[0];
     platform.fail_node(victim);
     println!(
         "node {victim} failed: LLM rolled back to its checkpoint (progress {}s, lost ≤ 300s of work), state {:?}",
-        platform.progress(llm),
+        platform.progress(llm).unwrap(),
         platform.state(llm)
     );
     platform.heal_node(victim);
@@ -51,9 +61,9 @@ fn main() {
     println!(
         "node repaired and revalidated: LLM {:?} again; total lost work {} node-seconds",
         platform.state(llm),
-        platform.lost_work_s
+        platform.lost_work_s()
     );
-    assert_eq!(platform.state(llm), TaskState::Running);
+    assert_eq!(platform.state(llm), Some(TaskState::Running));
 
     // --- The weekly validator (§VII-B) ---
     let mut healthy = NodeUnderTest::healthy();

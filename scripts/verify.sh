@@ -14,6 +14,12 @@ cargo test -q --offline --workspace
 echo "==> storage failover smoke (release, fixed seed)"
 cargo test -q --release --offline -p fireflyer --test storage_failover
 
+echo "==> HAI platform full-scale smoke (release, fixed seed)"
+cargo test -q --release --offline -p ff-bench --test hai_platform_smoke
+
+echo "==> cargo clippy -D warnings (ff-platform)"
+cargo clippy --offline -p ff-platform --all-targets -- -D warnings
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -7,7 +7,7 @@ use fireflyer::fs3::client::Fs3Client;
 use fireflyer::fs3::kvstore::KvStore;
 use fireflyer::fs3::meta::{MetaService, ROOT};
 use fireflyer::fs3::target::{Disk, StorageTarget};
-use fireflyer::platform::{CheckpointManager, Platform, TaskState};
+use fireflyer::platform::{CheckpointManager, JobSpec, PlatformConfig, TaskState};
 use fireflyer::reduce::kernels::reference_sum;
 use fireflyer::reduce::model::{hfreduce_steady, HfReduceOptions};
 use fireflyer::reduce::{hfreduce_exec, ClusterConfig};
@@ -77,25 +77,35 @@ fn train_checkpoint_crash_restore() {
 fn preemption_with_real_checkpoints() {
     let client = storage_stack();
     let mgr = CheckpointManager::new(client, "preempt", 64 << 10).unwrap();
-    let mut p = Platform::new([4, 0], 300);
-    let low = p.submit("exp", 4, 0, 7200);
+    let mut p = PlatformConfig::new()
+        .zones([4, 0])
+        .ckpt_interval(300)
+        .build()
+        .unwrap();
+    let low = p.submit(JobSpec::new("exp", 4, 7200)).unwrap();
     p.tick(3600);
     // The platform interrupts; the task saves its state (the protocol of
     // §VI-C) — here, for real.
     let state = vec![("progress".to_string(), 3600u64.to_le_bytes().to_vec())];
     mgr.save(3600, &state).unwrap();
-    let high = p.submit("urgent", 4, 9, 600);
-    assert_eq!(p.state(low), TaskState::Interrupted);
+    let high = p
+        .submit(JobSpec::new("urgent", 4, 600).priority(9))
+        .unwrap();
+    assert_eq!(p.state(low), Some(TaskState::Interrupted));
     p.tick(600);
-    assert_eq!(p.state(high), TaskState::Succeeded);
-    assert_eq!(p.state(low), TaskState::Running);
+    assert_eq!(p.state(high), Some(TaskState::Succeeded));
+    assert_eq!(p.state(low), Some(TaskState::Running));
     // Recover the saved position.
     let restored = mgr.load(mgr.latest_step().unwrap().unwrap()).unwrap();
     let pos = u64::from_le_bytes(restored[0].1[..8].try_into().unwrap());
     assert_eq!(pos, 3600);
-    assert_eq!(p.progress(low), 3600, "no work lost on graceful preemption");
+    assert_eq!(
+        p.progress(low),
+        Some(3600),
+        "no work lost on graceful preemption"
+    );
     p.tick(3600);
-    assert_eq!(p.state(low), TaskState::Succeeded);
+    assert_eq!(p.state(low), Some(TaskState::Succeeded));
 }
 
 /// The §VI-B dataset pipeline: many writers fill a striped dataset file,

@@ -11,7 +11,7 @@ use fireflyer::fs3::kvstore::KvStore;
 use fireflyer::fs3::meta::MetaService;
 use fireflyer::fs3::target::{Disk, StorageTarget};
 use fireflyer::platform::validator::{weekly_validation, NodeUnderTest};
-use fireflyer::platform::{CheckpointManager, Platform, TaskState};
+use fireflyer::platform::{CheckpointManager, JobSpec, PlatformConfig, TaskState};
 use std::sync::Arc;
 
 fn storage() -> Arc<Fs3Client> {
@@ -34,16 +34,24 @@ fn storage() -> Arc<Fs3Client> {
 fn a_week_of_production() {
     let nodes = 16usize;
     let ckpt_interval = 300u64;
-    let mut platform = Platform::new([nodes / 2, nodes / 2], ckpt_interval);
+    let mut platform = PlatformConfig::new()
+        .zones([nodes / 2, nodes / 2])
+        .ckpt_interval(ckpt_interval)
+        .build()
+        .unwrap();
     let mgr = CheckpointManager::new(storage(), "prod", 256 << 10).unwrap();
     let mut fleet: Vec<NodeUnderTest> = (0..nodes).map(|_| NodeUnderTest::healthy()).collect();
 
     // One long LLM job over half the cluster + small jobs backfilling.
-    let llm = platform.submit("llm", nodes / 2, 10, 30 * 86_400);
+    let llm = platform
+        .submit(JobSpec::new("llm", nodes / 2, 30 * 86_400).priority(10))
+        .unwrap();
     for i in 0..6 {
-        platform.submit(format!("dev{i}"), 1, 0, 86_400);
+        platform
+            .submit(JobSpec::new(format!("dev{i}"), 1, 86_400))
+            .unwrap();
     }
-    assert_eq!(platform.state(llm), TaskState::Running);
+    assert_eq!(platform.state(llm), Some(TaskState::Running));
 
     // A stressed failure trace (~200× rates so a week is eventful).
     let mut gen = FailureGenerator::paper_calibrated(42, nodes);
@@ -60,8 +68,8 @@ fn a_week_of_production() {
         now += tick;
         platform.tick(tick);
         // Each checkpoint interval the LLM job saves for real to 3FS.
-        if platform.state(llm) == TaskState::Running {
-            let step = platform.progress(llm);
+        if platform.state(llm) == Some(TaskState::Running) {
+            let step = platform.progress(llm).expect("llm task exists");
             let tensors = vec![("w".to_string(), step.to_le_bytes().to_vec())];
             mgr.save(step, &tensors).unwrap();
             saved_steps += 1;
@@ -114,9 +122,9 @@ fn a_week_of_production() {
     let failures = repairs.len() + fleet.len(); // upper bound bookkeeping only
     let bound = (repairs.len() as u64 + 50) * ckpt_interval * (nodes as u64 / 2);
     assert!(
-        platform.lost_work_s <= bound,
+        platform.lost_work_s() <= bound,
         "lost {} node-s exceeds bound {bound} ({failures} failures)",
-        platform.lost_work_s
+        platform.lost_work_s()
     );
     // And the cluster stayed productive.
     assert!(
