@@ -26,25 +26,77 @@
 //! per-resource index of crossing flows and, on a start/finish/degrade/cap
 //! event, re-solves only the components reachable from the touched
 //! resources. Flow progress is settled lazily — `remaining` is decremented
-//! only when a flow's rate actually changes — and completions pop from a
-//! binary heap keyed by predicted finish time, with stale entries
+//! only when a flow's rate actually changes — and completions pop from
+//! per-zone binary heaps keyed by predicted finish time, with stale entries
 //! invalidated by a per-flow epoch counter. At 10,000-GPU scale this
 //! replaces an O(flows × resources) global recompute per event with work
 //! proportional to the disturbed component.
 //!
-//! [`SolverMode::Reference`] disables both optimizations (every component
-//! is re-solved every time and the next completion is found by linear
-//! scan) while sharing the identical per-component fill arithmetic; the
-//! differential suite in `desim/tests/fluid_diff.rs` holds the two modes
+//! ## Memory layout
+//!
+//! The hot structures are arena/SoA-shaped so a component solve touches
+//! dense arrays instead of pointer-chasing node-based maps:
+//!
+//! * Flows live in a **slot arena** (`Vec<FlowSlot>` plus a free list).
+//!   [`FlowId`]s stay monotonic u64 handles — identity, ordering and the
+//!   deterministic completion-batch order are unchanged — but every hot
+//!   access goes through a dense `u32` slot, and routes live as ranges in
+//!   one shared **route arena** (a recycled slot reuses its arena range),
+//!   so a component walk chases no per-flow heap pointers.
+//! * Per-resource state is **struct-of-arrays**: capacity, degradation,
+//!   cached effective capacity, instantaneous load and the crossing-flow
+//!   index are parallel `Vec`s indexed by resource id; rarely-touched
+//!   fields (name, statistics) live in a separate cold array.
+//! * Each resource's crossing-flow index is a `(flow id, slot)` vector
+//!   kept sorted by flow id — flow ids are monotonic, so insertion is an
+//!   O(1) push — preserving the exact iteration order the old
+//!   `BTreeSet<FlowId>` index provided.
+//! * A component solve compiles its flows' routes into a CSR triple
+//!   (offsets / local resource ids / weights) in reusable scratch, and the
+//!   water-fill kernel runs on that — no per-solve allocation on the
+//!   serial path.
+//!
+//! ## Component-parallel solving
+//!
+//! Disjoint components are independent subproblems, so one recompute can
+//! solve them on the [`ff_util::par`] worker pool. Determinism is by
+//! construction, not by luck:
+//!
+//! * each component is *extracted* into an owned problem (capacities +
+//!   CSR routes) and solved by a pure function — workers share no mutable
+//!   state and perform the bit-identical fill arithmetic the serial path
+//!   uses;
+//! * results are merged **serially**, in the deterministic component
+//!   order (components discovered from dirty seeds sorted by smallest
+//!   resource id), so every heap push, epoch bump and statistics update
+//!   happens in the same order at any thread count;
+//! * within a component the fill keeps a fixed reduction order — flows
+//!   ascending by id, hops in normalized route order — and no float
+//!   operation is reassociated; resource-indexed state only feeds
+//!   order-independent operations (exact min reductions, sticky flags),
+//!   so the deterministic BFS discovery order of resources is free to
+//!   differ from id order.
+//!
+//! The same seed therefore produces the same trace digest at 1, 2, or N
+//! threads ([`set_threads`](FluidSim::set_threads)), and observability
+//! commits stay single-writer: worker threads never touch the attached
+//! [`Recorder`] — only the merge thread does, after the join.
+//!
+//! [`SolverMode::Reference`] disables the incremental machinery (every
+//! component is re-solved every time and the next completion is found by
+//! linear scan) while sharing the identical per-component fill arithmetic;
+//! the differential suite in `desim/tests/fluid_diff.rs` holds the modes
 //! bit-exactly equal on thousands of seeded random schedules.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 use crate::stats::ResourceStats;
 use crate::time::{SimDuration, SimTime};
 use ff_obs::{Recorder, TrackId};
+use ff_util::error::{FfError, FfKind};
+use ff_util::par;
 
 /// Identifies a resource registered with a [`FluidSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -105,42 +157,32 @@ impl Route {
     }
 }
 
-struct Resource {
+/// Rarely-touched per-resource state, kept out of the solver's hot arrays.
+struct ResourceCold {
     name: String,
-    capacity: f64,
     stats: ResourceStats,
-    /// Rate ceiling imposed by congestion control (bytes/s); `f64::INFINITY`
-    /// when uncapped. Applies to the resource's aggregate load.
-    cap_override: f64,
-    /// Health multiplier in `(0, 1]` applied to `capacity` — a PCIe lane
-    /// trained down, a weak NVLink bridge, an IB link flash-cut to a lower
-    /// speed. Fault injection sets it; diagnostics observe the slowdown.
-    degrade_factor: f64,
-    /// Active flows whose routes cross this resource — the index that lets
-    /// the solver walk connected components without scanning all flows.
-    flows: BTreeSet<FlowId>,
-    /// Instantaneous aggregate load (Σ rate×weight), maintained at each
-    /// recompute that touches this resource's component.
-    cur_load: f64,
-    /// Statistics are integrated up to this instant; `cur_load` held over
-    /// `[synced_to, now]`.
+    /// Statistics are integrated up to this instant; the resource's load
+    /// is held constant over `[synced_to, now]`.
     synced_to: SimTime,
-    /// On the pending-recompute dirty list (dedup for `FluidSim::dirty`).
-    dirty: bool,
-    /// BFS scratch for component collection; always false between
-    /// recomputes.
-    visited: bool,
 }
 
-impl Resource {
-    /// Usable capacity after degradation and congestion-control caps.
-    fn effective_capacity(&self) -> f64 {
-        (self.capacity * self.degrade_factor).min(self.cap_override)
-    }
-}
+/// Sentinel `fid` marking a free arena slot.
+const FREE_SLOT: u64 = u64::MAX;
 
-struct Flow {
-    route: Vec<(ResourceId, f64)>,
+/// One arena slot. While occupied it is a flow; freed slots keep their
+/// route-arena range reserved for the next occupant.
+struct FlowSlot {
+    /// Occupant's flow id, [`FREE_SLOT`] when the slot is on the free list.
+    fid: u64,
+    /// Start of this flow's normalized route (sorted by resource id,
+    /// duplicate hops merged) in the simulator's shared route arena.
+    r_start: u32,
+    /// Hops in the route.
+    r_len: u32,
+    /// High-water route length of this slot: a re-started flow whose route
+    /// fits reuses the arena range in place, so arena growth is bounded by
+    /// per-slot maxima, not by flow churn.
+    r_cap: u32,
     work: f64,
     /// Work left as of `updated_at` (not as of `now`: progress at a
     /// constant rate is settled lazily, only when the rate changes).
@@ -152,24 +194,24 @@ struct Flow {
     /// Bumped on every rate change; completion-heap entries carrying a
     /// stale epoch are ignored.
     epoch: u64,
-    /// BFS scratch for component collection; always false between
-    /// recomputes.
-    in_comp: bool,
 }
 
 /// Predicted completion instant of `f`, valid while its rate is unchanged.
-fn predict(f: &Flow) -> SimTime {
+fn predict(f: &FlowSlot) -> SimTime {
     f.updated_at + SimDuration::for_work(f.remaining, f.rate)
 }
 
 /// Completion-heap entry. `BinaryHeap` is a max-heap, so the ordering is
 /// reversed: the earliest `(at, id, epoch)` pops first, which also yields
-/// ascending `FlowId` order within a completion instant.
+/// ascending `FlowId` order within a completion instant. The slot is a
+/// cache for O(1) validity checks and does not participate in ordering
+/// (a given `(id, epoch)` pair can only ever live in one slot).
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct CompEntry {
     at: SimTime,
     id: FlowId,
     epoch: u64,
+    slot: u32,
 }
 
 impl Ord for CompEntry {
@@ -181,6 +223,82 @@ impl Ord for CompEntry {
 impl PartialOrd for CompEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Resources per completion-heap shard: contiguous id ranges, matching the
+/// zone-contiguous resource numbering the topology builders produce.
+const SHARD_SPAN: u32 = 256;
+/// Upper bound on completion-heap shards.
+const MAX_SHARDS: usize = 16;
+
+/// The completion heap, sharded by the owning flow's home zone (the
+/// contiguous resource-id range its smallest resource falls in). Each
+/// shard is an independent binary heap; the cross-shard pop compares the
+/// shard heads under the same `(at, id, epoch)` total order a single heap
+/// would use, so sharding is observably identical to one big heap — just
+/// with shallower heaps and zone-local pushes.
+#[derive(Default)]
+struct CompletionShards {
+    shards: Vec<BinaryHeap<CompEntry>>,
+}
+
+impl CompletionShards {
+    /// Shard index for a flow whose smallest route resource is `r0`.
+    fn shard_of(r0: u32) -> usize {
+        ((r0 / SHARD_SPAN) as usize).min(MAX_SHARDS - 1)
+    }
+
+    fn push(&mut self, r0: u32, e: CompEntry) {
+        let s = Self::shard_of(r0);
+        if self.shards.len() <= s {
+            self.shards.resize_with(s + 1, BinaryHeap::new);
+        }
+        self.shards[s].push(e);
+    }
+
+    /// Earliest valid entry across all shards, discarding stale heads.
+    /// Validity: the slot's occupant is still `(id, epoch)`.
+    fn peek_valid(&mut self, slots: &[FlowSlot]) -> Option<SimTime> {
+        let mut best: Option<(SimTime, FlowId, u64)> = None;
+        for heap in &mut self.shards {
+            while let Some(e) = heap.peek() {
+                let f = &slots[e.slot as usize];
+                if f.fid == e.id.0 && f.epoch == e.epoch {
+                    let key = (e.at, e.id, e.epoch);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                    break;
+                }
+                heap.pop();
+            }
+        }
+        best.map(|(at, _, _)| at)
+    }
+
+    /// Pop every valid entry completing exactly at `at` into `done`.
+    /// Call after [`peek_valid`](Self::peek_valid) returned `Some(at)`.
+    fn pop_batch(&mut self, at: SimTime, slots: &[FlowSlot], done: &mut Vec<FlowId>) {
+        for heap in &mut self.shards {
+            while let Some(e) = heap.peek() {
+                if e.at != at {
+                    break;
+                }
+                let e = *heap.pop().as_ref().expect("peeked entry pops");
+                let f = &slots[e.slot as usize];
+                if f.fid == e.id.0 && f.epoch == e.epoch {
+                    done.push(e.id);
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn clear(&mut self) {
+        for h in &mut self.shards {
+            h.clear();
+        }
     }
 }
 
@@ -200,16 +318,245 @@ pub enum SolverMode {
     Reference,
 }
 
+/// Cumulative effort counters of a [`FluidSim`] — the raw material for
+/// `BENCH_fluid.json`'s events/sec trajectory and for tuning the parallel
+/// dispatch threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Structural events applied: flow starts.
+    pub flow_starts: u64,
+    /// Structural events applied: flow cancellations.
+    pub cancels: u64,
+    /// Flows completed (popped by `advance_to_next_completion`).
+    pub completions: u64,
+    /// Rate recomputations performed (one per batch of dirty seeds).
+    pub recomputes: u64,
+    /// Connected components solved across all recomputes.
+    pub components: u64,
+    /// Components that contained no flows (index cleanup only).
+    pub empty_components: u64,
+    /// Flow-rate derivations: Σ over solved components of their flow count.
+    pub flow_solves: u64,
+    /// Water-filling rounds executed.
+    pub fill_rounds: u64,
+    /// Recomputes whose components were solved on the worker pool.
+    pub parallel_batches: u64,
+}
+
+impl SolverStats {
+    /// Total structural simulation events processed — the numerator of the
+    /// benchmark harness's events/sec metric.
+    pub fn events(&self) -> u64 {
+        self.flow_starts + self.cancels + self.completions
+    }
+}
+
 /// Where an attached [`Recorder`] receives this simulator's events.
 struct ObsSink {
     rec: Arc<Recorder>,
     track: TrackId,
     track_name: String,
+    /// Pre-resolved handle for the per-recompute rounds counter, so the
+    /// hot path never re-formats the metric name.
+    rounds_counter: ff_obs::CounterId,
     /// Added to every simulated timestamp, letting callers place repeated
     /// runs of the same sim (one per training step, say) side by side on a
     /// shared timeline.
     offset_ns: u64,
 }
+
+/// An extracted, owned component subproblem: effective capacities of the
+/// component's resources (ascending id order) and the member flows' routes
+/// (ascending flow-id order) compiled to CSR over local resource indices.
+/// Pure data — solving it cannot observe or mutate simulator state, which
+/// is what makes the parallel path trivially deterministic.
+#[derive(Default)]
+struct CompProblem {
+    caps: Vec<f64>,
+    off: Vec<u32>,
+    hop_res: Vec<u32>,
+    hop_w: Vec<f64>,
+}
+
+/// Water-fill scratch, reusable across solves.
+#[derive(Default)]
+struct FillScratch {
+    residual: Vec<f64>,
+    weight_sum: Vec<f64>,
+    /// Per-resource growth headroom `residual / weight_sum`, divided once
+    /// per (resource, round) on first touch so the min scan over hops
+    /// reads cached quotients instead of re-dividing per hop occurrence.
+    quot: Vec<f64>,
+    /// Round stamp marking `quot[r]` fresh for the current round.
+    quot_stamp: Vec<u32>,
+    saturated: Vec<bool>,
+    unfrozen: Vec<u32>,
+}
+
+/// Progressive filling over one compiled component. Identical arithmetic
+/// and iteration order as the historical in-place solver: flows ascending
+/// by id, hops in normalized route order, and the same relative order of
+/// every floating-point operation — bit-exact whether invoked serially or
+/// from a worker. Per-resource state (quotients, residuals, saturation)
+/// only enters through order-independent operations, so the local
+/// resource numbering is immaterial. Returns the fill-round count;
+/// `rates` comes back with one rate per flow.
+fn water_fill(p: &CompProblem, rates: &mut Vec<f64>, s: &mut FillScratch) -> u64 {
+    let k = p.caps.len();
+    let m = p.off.len() - 1;
+    s.residual.clear();
+    s.residual.extend_from_slice(&p.caps);
+    s.weight_sum.clear();
+    s.weight_sum.resize(k, 0.0);
+    s.saturated.clear();
+    s.saturated.resize(k, false);
+    for h in 0..p.hop_res.len() {
+        s.weight_sum[p.hop_res[h] as usize] += p.hop_w[h];
+    }
+    rates.clear();
+    rates.resize(m, 0.0);
+    s.unfrozen.clear();
+    s.unfrozen.extend(0..m as u32);
+    let mut rounds = 0u64;
+    s.quot.clear();
+    s.quot.resize(k, 0.0);
+    s.quot_stamp.clear();
+    s.quot_stamp.resize(k, 0);
+    while !s.unfrozen.is_empty() {
+        rounds += 1;
+        // The common growth increment is limited by the tightest resource
+        // crossed by an unfrozen flow: residual / weight_sum. Divide once
+        // per (resource, round) on first touch — the stamp marks the
+        // quotient fresh — then min over hop occurrences. Same quotient
+        // values the per-hop division produced, so the min (an exact,
+        // order-free reduction) is bit-identical, and resources no
+        // unfrozen flow crosses cost nothing.
+        let stamp = rounds as u32;
+        let mut delta = f64::INFINITY;
+        for &i in &s.unfrozen {
+            let (a, b) = (p.off[i as usize] as usize, p.off[i as usize + 1] as usize);
+            for &hr in &p.hop_res[a..b] {
+                let r = hr as usize;
+                if s.quot_stamp[r] != stamp {
+                    s.quot_stamp[r] = stamp;
+                    let ws = s.weight_sum[r];
+                    s.quot[r] = if ws > 0.0 {
+                        s.residual[r] / ws
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                delta = delta.min(s.quot[r]);
+            }
+        }
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "water_fill: degenerate allocation (delta={delta})"
+        );
+        // Grow every unfrozen flow by delta, charge resources, and flag
+        // saturation in the same pass. The threshold is relative to
+        // capacity: at the bottleneck the residual lands on zero up to
+        // float error, which scales with the capacity magnitude. Checking
+        // after each decrement instead of once after the sweep flags the
+        // same set: residuals only shrink, so an early crossing implies the
+        // final value crosses too, and the final decrement performs the
+        // same check the old full-`k` sweep did — without touching the
+        // resources this round never charged.
+        for &i in &s.unfrozen {
+            rates[i as usize] += delta;
+            let (a, b) = (p.off[i as usize] as usize, p.off[i as usize + 1] as usize);
+            for (&hr, &hw) in p.hop_res[a..b].iter().zip(&p.hop_w[a..b]) {
+                let r = hr as usize;
+                let nr = s.residual[r] - delta * hw;
+                s.residual[r] = nr;
+                if !s.saturated[r] && nr <= p.caps[r] * 1e-6 {
+                    s.saturated[r] = true;
+                }
+            }
+        }
+        // Partition in place, preserving order: flows crossing a saturated
+        // resource freeze now (their weight leaves the pool), the rest
+        // stay. The weight decrements happen in the same relative order as
+        // the historical two-pass partition, so every f64 agrees.
+        let mut kept = 0usize;
+        let mut froze = 0usize;
+        for idx in 0..s.unfrozen.len() {
+            let i = s.unfrozen[idx];
+            let (a, b) = (p.off[i as usize] as usize, p.off[i as usize + 1] as usize);
+            let hr = &p.hop_res[a..b];
+            let frozen = hr.iter().any(|&r| s.saturated[r as usize]);
+            if frozen {
+                froze += 1;
+                for (&r, &w) in hr.iter().zip(&p.hop_w[a..b]) {
+                    s.weight_sum[r as usize] -= w;
+                }
+            } else {
+                s.unfrozen[kept] = i;
+                kept += 1;
+            }
+        }
+        assert!(froze > 0, "water_fill: no progress (numerical issue)");
+        s.unfrozen.truncate(kept);
+    }
+    rounds
+}
+
+/// Pool entry point: solve one extracted component. A pure `fn` so the
+/// worker pool can ship it without capturing any simulator state. The
+/// problem rides back with the result — the merge step reuses its CSR to
+/// refresh loads.
+fn solve_problem(p: CompProblem) -> (CompProblem, Vec<f64>, u64) {
+    let mut rates = Vec::new();
+    let mut scratch = FillScratch::default();
+    let rounds = water_fill(&p, &mut rates, &mut scratch);
+    (p, rates, rounds)
+}
+
+/// Compile a component into CSR form. `comp_flows` must be sorted
+/// ascending by flow id, and `res_local` populated for every resource in
+/// `comp_res` (the global-id → local-index scatter table, making each hop
+/// an O(1) lookup).
+fn build_problem(
+    comp_res: &[u32],
+    comp_flows: &[(u64, u32)],
+    slots: &[FlowSlot],
+    arena: &[(ResourceId, f64)],
+    eff_cap: &[f64],
+    res_local: &[u32],
+    p: &mut CompProblem,
+) {
+    p.caps.clear();
+    p.caps.extend(comp_res.iter().map(|&r| eff_cap[r as usize]));
+    p.off.clear();
+    p.off.reserve(comp_flows.len() + 1);
+    p.hop_res.clear();
+    p.hop_w.clear();
+    p.off.push(0);
+    for &(_, slot) in comp_flows {
+        let f = &slots[slot as usize];
+        let (a, b) = (f.r_start as usize, (f.r_start + f.r_len) as usize);
+        for &(r, w) in &arena[a..b] {
+            p.hop_res.push(res_local[r.0 as usize]);
+            p.hop_w.push(w);
+        }
+        p.off.push(p.hop_res.len() as u32);
+    }
+}
+
+/// One collected component: ranges into the shared flat buffers, plus its
+/// total route-hop count (the cost model for parallel lane packing).
+#[derive(Clone, Copy)]
+struct CompRange {
+    res: (u32, u32),
+    flows: (u32, u32),
+    hops: u64,
+}
+
+/// Default total-hop-count threshold above which a multi-component
+/// recompute is dispatched to the worker pool. Extraction and merge cost
+/// a few hundred nanoseconds per flow, so small recomputes (the common
+/// per-event case) stay inline.
+const DEFAULT_PAR_THRESHOLD: u64 = 16 * 1024;
 
 /// The fluid-flow simulator. See the [module docs](self) for the model.
 ///
@@ -228,21 +575,73 @@ struct ObsSink {
 /// ```
 pub struct FluidSim {
     now: SimTime,
-    resources: Vec<Resource>,
-    flows: BTreeMap<FlowId, Flow>,
+    // ---- resources, struct-of-arrays (hot) ----
+    res_capacity: Vec<f64>,
+    /// Rate ceiling imposed by congestion control; `f64::INFINITY` when
+    /// uncapped. Applies to the resource's aggregate load.
+    res_cap_override: Vec<f64>,
+    /// Health multiplier in `(0, 1]` — a PCIe lane trained down, a weak
+    /// NVLink bridge, an IB link flash-cut to a lower speed.
+    res_degrade: Vec<f64>,
+    /// Cached `(capacity × degrade).min(cap_override)`, refreshed whenever
+    /// one of its inputs changes.
+    res_eff_cap: Vec<f64>,
+    /// Instantaneous aggregate load (Σ rate×weight), maintained at each
+    /// recompute that touches this resource's component.
+    res_load: Vec<f64>,
+    /// Active flows whose routes cross this resource, as slot indices
+    /// sorted ascending by flow id (slots carry the fid) — the index that
+    /// lets the solver walk connected components without scanning all
+    /// flows. Slot-only entries keep the hottest BFS scan at 4 bytes per
+    /// crossing.
+    res_flows: Vec<Vec<u32>>,
+    /// On the pending-recompute dirty list (dedup for `FluidSim::dirty`).
+    res_dirty: Vec<bool>,
+    /// BFS scratch for component collection; always false between
+    /// recomputes.
+    res_visited: Vec<bool>,
+    res_cold: Vec<ResourceCold>,
+    // ---- flows: slot arena + id index ----
+    slots: Vec<FlowSlot>,
+    /// Shared normalized-route storage; slots hold `(r_start, r_len)`
+    /// ranges into it. Growth is bounded by per-slot high-water marks,
+    /// not flow churn (see [`FlowSlot::r_cap`]).
+    route_arena: Vec<(ResourceId, f64)>,
+    /// BFS scratch, parallel to `slots`: "already in the component being
+    /// collected". A dense bitmap outside the arena, so the membership
+    /// test — the single hottest read in component collection — stays
+    /// cache-resident instead of poking 100-byte slots. Always false
+    /// between recomputes.
+    flow_in_comp: Vec<bool>,
+    free_slots: Vec<u32>,
+    /// Active flows by id (ascending — Reference mode iterates this).
+    index: BTreeMap<FlowId, u32>,
     next_flow_id: u64,
+    // ---- solver state ----
     rates_dirty: bool,
     mode: SolverMode,
     /// Resources touched since the last recompute — the seeds the
     /// incremental solver grows components from. Deduplicated via
-    /// `Resource::dirty`.
+    /// `res_dirty`.
     dirty: Vec<ResourceId>,
-    completions: BinaryHeap<CompEntry>,
-    /// Fill scratch, indexed by resource id and reused across recomputes.
-    residual: Vec<f64>,
-    weight_sum: Vec<f64>,
-    saturated: Vec<bool>,
-    fid_scratch: Vec<FlowId>,
+    completions: CompletionShards,
+    /// Worker lanes for component-parallel solving; 0 = the pool default.
+    threads: usize,
+    /// Minimum total hop count before a recompute goes parallel.
+    par_threshold: u64,
+    stats: SolverStats,
+    // ---- reusable scratch ----
+    comp_res_buf: Vec<u32>,
+    comp_flow_buf: Vec<(u64, u32)>,
+    bfs_stack: Vec<u32>,
+    /// Global-resource-id → component-local index scatter table, sized to
+    /// the resource count and repopulated per component, turning the CSR
+    /// build and the load refresh into O(1)-per-hop scatters.
+    res_local: Vec<u32>,
+    load_buf: Vec<f64>,
+    problem: CompProblem,
+    fill: FillScratch,
+    rates_buf: Vec<f64>,
     obs: Option<ObsSink>,
 }
 
@@ -263,17 +662,36 @@ impl FluidSim {
     pub fn with_solver(mode: SolverMode) -> Self {
         FluidSim {
             now: SimTime::ZERO,
-            resources: Vec::new(),
-            flows: BTreeMap::new(),
+            res_capacity: Vec::new(),
+            res_cap_override: Vec::new(),
+            res_degrade: Vec::new(),
+            res_eff_cap: Vec::new(),
+            res_load: Vec::new(),
+            res_flows: Vec::new(),
+            res_dirty: Vec::new(),
+            res_visited: Vec::new(),
+            res_cold: Vec::new(),
+            slots: Vec::new(),
+            route_arena: Vec::new(),
+            flow_in_comp: Vec::new(),
+            free_slots: Vec::new(),
+            index: BTreeMap::new(),
             next_flow_id: 0,
             rates_dirty: false,
             mode,
             dirty: Vec::new(),
-            completions: BinaryHeap::new(),
-            residual: Vec::new(),
-            weight_sum: Vec::new(),
-            saturated: Vec::new(),
-            fid_scratch: Vec::new(),
+            completions: CompletionShards::default(),
+            threads: 0,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            stats: SolverStats::default(),
+            comp_res_buf: Vec::new(),
+            comp_flow_buf: Vec::new(),
+            bfs_stack: Vec::new(),
+            res_local: Vec::new(),
+            load_buf: Vec::new(),
+            problem: CompProblem::default(),
+            fill: FillScratch::default(),
+            rates_buf: Vec::new(),
             obs: None,
         }
     }
@@ -283,17 +701,48 @@ impl FluidSim {
         self.mode
     }
 
+    /// Cap the worker lanes used for component-parallel solving. `0`
+    /// (the default) means the `ff_util::par` pool default (which honors
+    /// `RAYON_NUM_THREADS` / `FF_THREADS`); `1` forces fully serial
+    /// solving. Results are bit-identical at every setting — this knob
+    /// trades wall-clock only.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured worker-lane cap (`0` = pool default).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total route-hop count a recompute must reach before its components
+    /// are dispatched to the worker pool. `0` parallelizes every
+    /// multi-component recompute (used by the determinism tests);
+    /// `u64::MAX` disables the parallel path.
+    pub fn set_par_threshold(&mut self, hops: u64) {
+        self.par_threshold = hops;
+    }
+
+    /// Cumulative solver-effort counters since construction.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
+
     /// Attach an observability recorder. Flow completions become spans on
     /// `track` (timestamps shifted by `offset_ns`), degradations/restores
     /// become instants, and [`flush_stats`](Self::flush_stats) publishes
     /// per-resource utilization gauges. Detaching is not supported; the
-    /// sink lives as long as the sim.
+    /// sink lives as long as the sim. Only the thread driving the
+    /// simulator ever writes to the recorder — the component-parallel
+    /// solve path keeps workers away from observability state.
     pub fn attach_recorder(&mut self, rec: &Arc<Recorder>, track: &str, offset_ns: u64) {
         let id = rec.track(track);
+        let rounds_counter = rec.counter_handle(&format!("{track}/waterfill_rounds"));
         self.obs = Some(ObsSink {
             rec: Arc::clone(rec),
             track: id,
             track_name: track.to_string(),
+            rounds_counter,
             offset_ns,
         });
     }
@@ -305,11 +754,11 @@ impl FluidSim {
     /// last write wins, so repeated calls just refresh the values.
     pub fn flush_stats(&mut self) {
         self.recompute_rates_if_dirty();
-        for ri in 0..self.resources.len() {
+        for ri in 0..self.res_cold.len() {
             self.sync_resource_stats(ri);
         }
         let Some(obs) = &self.obs else { return };
-        for r in &self.resources {
+        for r in &self.res_cold {
             // A resource with zero ∫capacity·dt never saw simulated time
             // pass (e.g. instantaneous-rate probes); its utilization is
             // 0/0, not an interesting 0%. Skip it.
@@ -335,12 +784,12 @@ impl FluidSim {
 
     /// Number of registered resources.
     pub fn resource_count(&self) -> usize {
-        self.resources.len()
+        self.res_capacity.len()
     }
 
     /// The `i`-th resource (ids are dense, `0..resource_count()`).
     pub fn resource_at(&self, i: usize) -> ResourceId {
-        assert!(i < self.resources.len());
+        assert!(i < self.res_capacity.len());
         ResourceId(i as u32)
     }
 
@@ -351,53 +800,91 @@ impl FluidSim {
             capacity > 0.0 && capacity.is_finite(),
             "resource capacity must be positive and finite, got {capacity}"
         );
-        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
-        self.resources.push(Resource {
+        let id = ResourceId(u32::try_from(self.res_capacity.len()).expect("too many resources"));
+        self.res_capacity.push(capacity);
+        self.res_cap_override.push(f64::INFINITY);
+        self.res_degrade.push(1.0);
+        self.res_eff_cap.push(capacity);
+        self.res_load.push(0.0);
+        self.res_flows.push(Vec::new());
+        self.res_dirty.push(false);
+        self.res_visited.push(false);
+        self.res_cold.push(ResourceCold {
             name: name.into(),
-            capacity,
             stats: ResourceStats::default(),
-            cap_override: f64::INFINITY,
-            degrade_factor: 1.0,
-            flows: BTreeSet::new(),
-            cur_load: 0.0,
             synced_to: self.now,
-            dirty: false,
-            visited: false,
         });
         id
     }
 
     /// The configured capacity of `r`.
     pub fn capacity(&self, r: ResourceId) -> f64 {
-        self.resources[r.0 as usize].capacity
+        self.res_capacity[r.0 as usize]
     }
 
     /// The name given to `r` at registration.
     pub fn resource_name(&self, r: ResourceId) -> &str {
-        &self.resources[r.0 as usize].name
+        &self.res_cold[r.0 as usize].name
+    }
+
+    /// `Ok(index)` when `r` names a registered resource.
+    fn check_resource(&self, r: ResourceId) -> Result<usize, FfError> {
+        let ri = r.0 as usize;
+        if ri < self.res_capacity.len() {
+            Ok(ri)
+        } else {
+            Err(FfError::new(
+                FfKind::Config,
+                format!(
+                    "unknown resource {:?} (registered: {})",
+                    r,
+                    self.res_capacity.len()
+                ),
+            ))
+        }
+    }
+
+    /// Re-derive the cached effective capacity of resource `ri`.
+    fn refresh_eff_cap(&mut self, ri: usize) {
+        self.res_eff_cap[ri] =
+            (self.res_capacity[ri] * self.res_degrade[ri]).min(self.res_cap_override[ri]);
     }
 
     /// Impose (or lift, with `f64::INFINITY`) a congestion-control ceiling
     /// on the aggregate load of `r`. Used by DCQCN-style rate limiting.
-    pub fn set_rate_cap(&mut self, r: ResourceId, cap: f64) {
-        assert!(cap > 0.0, "rate cap must be positive, got {cap}");
-        self.resources[r.0 as usize].cap_override = cap;
+    /// Rejects unknown resources and non-positive (or NaN) caps.
+    pub fn set_rate_cap(&mut self, r: ResourceId, cap: f64) -> Result<(), FfError> {
+        let ri = self.check_resource(r)?;
+        if cap.is_nan() || cap <= 0.0 {
+            return Err(FfError::new(
+                FfKind::Config,
+                format!("rate cap must be positive, got {cap}"),
+            ));
+        }
+        self.res_cap_override[ri] = cap;
+        self.refresh_eff_cap(ri);
         self.mark_dirty(r);
+        Ok(())
     }
 
     /// Degrade `r` to `factor × capacity` (`0 < factor ≤ 1`) — fault
     /// injection for a link trained down or a flaky bridge. In-flight flows
     /// re-derive their rates immediately; compose with
-    /// [`restore`](Self::restore) to model transient flash cuts.
-    pub fn degrade(&mut self, r: ResourceId, factor: f64) {
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "degrade factor must be in (0, 1], got {factor}"
-        );
-        self.resources[r.0 as usize].degrade_factor = factor;
+    /// [`restore`](Self::restore) to model transient flash cuts. Rejects
+    /// unknown resources and factors outside `(0, 1]`.
+    pub fn degrade(&mut self, r: ResourceId, factor: f64) -> Result<(), FfError> {
+        let ri = self.check_resource(r)?;
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(FfError::new(
+                FfKind::Config,
+                format!("degrade factor must be in (0, 1], got {factor}"),
+            ));
+        }
+        self.res_degrade[ri] = factor;
+        self.refresh_eff_cap(ri);
         self.mark_dirty(r);
         if let Some(obs) = &self.obs {
-            let name = format!("degrade {}", self.resources[r.0 as usize].name);
+            let name = format!("degrade {}", self.res_cold[ri].name);
             obs.rec.instant(
                 obs.track,
                 &name,
@@ -405,28 +892,33 @@ impl FluidSim {
                 factor,
             );
         }
+        Ok(())
     }
 
     /// Lift any degradation on `r` (the link re-trained at full speed).
-    pub fn restore(&mut self, r: ResourceId) {
-        self.resources[r.0 as usize].degrade_factor = 1.0;
+    /// Rejects unknown resources.
+    pub fn restore(&mut self, r: ResourceId) -> Result<(), FfError> {
+        let ri = self.check_resource(r)?;
+        self.res_degrade[ri] = 1.0;
+        self.refresh_eff_cap(ri);
         self.mark_dirty(r);
         if let Some(obs) = &self.obs {
-            let name = format!("restore {}", self.resources[r.0 as usize].name);
+            let name = format!("restore {}", self.res_cold[ri].name);
             obs.rec
                 .instant(obs.track, &name, obs.offset_ns + self.now.as_nanos(), 1.0);
         }
+        Ok(())
     }
 
     /// The current degradation factor of `r` (`1.0` when healthy).
     pub fn degradation(&self, r: ResourceId) -> f64 {
-        self.resources[r.0 as usize].degrade_factor
+        self.res_degrade[r.0 as usize]
     }
 
     /// Capacity of `r` after degradation and rate caps — what flows can
     /// actually use right now.
     pub fn effective_capacity(&self, r: ResourceId) -> f64 {
-        self.resources[r.0 as usize].effective_capacity()
+        self.res_eff_cap[r.0 as usize]
     }
 
     /// Begin a flow of `work` units over `route` at the current time.
@@ -441,66 +933,142 @@ impl FluidSim {
         assert!(!normalized.is_empty(), "flow route must be non-empty");
         for &(r, _) in &normalized {
             assert!(
-                (r.0 as usize) < self.resources.len(),
+                (r.0 as usize) < self.res_capacity.len(),
                 "route references unknown resource {r:?}"
             );
         }
-        let id = FlowId(self.next_flow_id);
+        let fid = self.next_flow_id;
         self.next_flow_id += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("too many concurrent flows");
+                self.slots.push(FlowSlot {
+                    fid: FREE_SLOT,
+                    r_start: 0,
+                    r_len: 0,
+                    r_cap: 0,
+                    work: 0.0,
+                    remaining: 0.0,
+                    rate: 0.0,
+                    started: SimTime::ZERO,
+                    updated_at: SimTime::ZERO,
+                    epoch: 0,
+                });
+                self.flow_in_comp.push(false);
+                s
+            }
+        };
         for &(r, _) in &normalized {
-            self.resources[r.0 as usize].flows.insert(id);
+            debug_assert!(self.res_flows[r.0 as usize]
+                .last()
+                .is_none_or(|&s| self.slots[s as usize].fid < fid));
+            // Flow ids are monotonic, so the fid-sorted index appends.
+            self.res_flows[r.0 as usize].push(slot);
             self.mark_dirty(r);
         }
-        self.flows.insert(
-            id,
-            Flow {
-                route: normalized,
-                work,
-                remaining: work,
-                rate: 0.0,
-                started: self.now,
-                updated_at: self.now,
-                epoch: 0,
-                in_comp: false,
-            },
-        );
+        let n = u32::try_from(normalized.len()).expect("route too long");
+        let r_start = {
+            let f = &self.slots[slot as usize];
+            debug_assert_eq!(f.fid, FREE_SLOT, "slot on free list must be vacant");
+            if n <= f.r_cap {
+                let a = f.r_start as usize;
+                self.route_arena[a..a + normalized.len()].copy_from_slice(&normalized);
+                f.r_start
+            } else {
+                let a = u32::try_from(self.route_arena.len())
+                    .expect("route arena exceeds u32 indexing");
+                self.route_arena.extend_from_slice(&normalized);
+                a
+            }
+        };
+        let f = &mut self.slots[slot as usize];
+        f.fid = fid;
+        f.r_start = r_start;
+        f.r_len = n;
+        f.r_cap = f.r_cap.max(n);
+        f.work = work;
+        f.remaining = work;
+        f.rate = 0.0;
+        f.started = self.now;
+        f.updated_at = self.now;
+        f.epoch = 0;
+        let id = FlowId(fid);
+        self.index.insert(id, slot);
+        self.stats.flow_starts += 1;
         id
+    }
+
+    /// Drop `id` from every per-resource crossing index and mark those
+    /// resources dirty.
+    fn unlink_flow(&mut self, id: FlowId, slot: u32) {
+        let (a, b) = {
+            let f = &self.slots[slot as usize];
+            (f.r_start as usize, (f.r_start + f.r_len) as usize)
+        };
+        {
+            // The lists are fid-sorted and every listed slot (including the
+            // one being unlinked — its fid clears below) still carries a
+            // live fid, so binary search through the slot arena works.
+            let slots = &self.slots;
+            let arena = &self.route_arena;
+            for &(r, _) in &arena[a..b] {
+                let list = &mut self.res_flows[r.0 as usize];
+                let i = list
+                    .binary_search_by_key(&id.0, |&s| slots[s as usize].fid)
+                    .expect("flow indexed on its route");
+                list.remove(i);
+            }
+        }
+        for h in a..b {
+            let r = self.route_arena[h].0;
+            self.mark_dirty(r);
+        }
+        let f = &mut self.slots[slot as usize];
+        f.r_len = 0;
+        f.fid = FREE_SLOT;
+        self.free_slots.push(slot);
     }
 
     /// Abort an active flow, returning the work it had left. Panics if the
     /// flow is unknown (already completed or cancelled).
     pub fn cancel_flow(&mut self, id: FlowId) -> f64 {
-        let mut flow = self.flows.remove(&id).expect("cancel_flow: unknown flow");
+        let slot = self.index.remove(&id).expect("cancel_flow: unknown flow");
+        let f = &mut self.slots[slot as usize];
         // The rate has been valid since `updated_at` (every clock advance
         // recomputes first), so one settle yields the true remaining work.
-        let dt = self.now.since(flow.updated_at).as_secs_f64();
+        let dt = self.now.since(f.updated_at).as_secs_f64();
         if dt > 0.0 {
-            flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+            f.remaining = (f.remaining - f.rate * dt).max(0.0);
         }
-        for &(r, _) in &flow.route {
-            self.resources[r.0 as usize].flows.remove(&id);
-            self.mark_dirty(r);
-        }
-        flow.remaining
+        let remaining = f.remaining;
+        self.unlink_flow(id, slot);
+        self.stats.cancels += 1;
+        remaining
     }
 
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.index.len()
     }
 
     /// The current max-min fair rate of `id` in units/second.
     pub fn flow_rate(&mut self, id: FlowId) -> f64 {
         self.recompute_rates_if_dirty();
-        self.flows.get(&id).expect("flow_rate: unknown flow").rate
+        let slot = *self.index.get(&id).expect("flow_rate: unknown flow");
+        self.slots[slot as usize].rate
     }
 
     /// The instant the next flow(s) will complete, or `None` if idle.
     pub fn next_completion_time(&mut self) -> Option<SimTime> {
         self.recompute_rates_if_dirty();
         match self.mode {
-            SolverMode::Reference => self.flows.values().map(predict).min(),
-            SolverMode::Incremental => self.peek_valid_completion(),
+            SolverMode::Reference => self
+                .index
+                .values()
+                .map(|&s| predict(&self.slots[s as usize]))
+                .min(),
+            SolverMode::Incremental => self.completions.peek_valid(&self.slots),
         }
     }
 
@@ -508,7 +1076,7 @@ impl FluidSim {
     /// flows that finish at that instant. Returns `None` when no flows are
     /// active.
     pub fn advance_to_next_completion(&mut self) -> Option<(SimTime, Vec<FlowId>)> {
-        if self.flows.is_empty() {
+        if self.index.is_empty() {
             return None;
         }
         self.recompute_rates_if_dirty();
@@ -519,8 +1087,8 @@ impl FluidSim {
                 // complete.
                 let mut at = SimTime::MAX;
                 let mut done: Vec<FlowId> = Vec::new();
-                for (&id, f) in &self.flows {
-                    let fin = predict(f);
+                for (&id, &slot) in &self.index {
+                    let fin = predict(&self.slots[slot as usize]);
                     if fin < at {
                         at = fin;
                         done.clear();
@@ -533,37 +1101,26 @@ impl FluidSim {
             }
             SolverMode::Incremental => {
                 let at = self
-                    .peek_valid_completion()
+                    .completions
+                    .peek_valid(&self.slots)
                     .expect("active flows must have pending completion entries");
                 let mut done: Vec<FlowId> = Vec::new();
-                while let Some(e) = self.completions.peek() {
-                    if e.at != at {
-                        break;
-                    }
-                    let e = *e;
-                    self.completions.pop();
-                    if self.flows.get(&e.id).is_some_and(|f| f.epoch == e.epoch) {
-                        done.push(e.id);
-                    }
-                }
+                self.completions.pop_batch(at, &self.slots, &mut done);
                 (at, done)
             }
         };
         done.sort_unstable();
         debug_assert!(!done.is_empty());
         self.now = at;
-        for id in &done {
-            let f = self.flows.remove(id).expect("completion bookkeeping");
-            for &(r, _) in &f.route {
-                self.resources[r.0 as usize].flows.remove(id);
-                self.mark_dirty(r);
-            }
+        for &id in &done {
+            let slot = self.index.remove(&id).expect("completion bookkeeping");
             if let Some(obs) = &self.obs {
+                let f = &self.slots[slot as usize];
                 let name = format!(
                     "xfer {}",
-                    f.route
+                    self.route_arena[f.r_start as usize..(f.r_start + f.r_len) as usize]
                         .iter()
-                        .map(|&(r, _)| self.resources[r.0 as usize].name.as_str())
+                        .map(|&(r, _)| self.res_cold[r.0 as usize].name.as_str())
                         .collect::<Vec<_>>()
                         .join("+")
                 );
@@ -575,6 +1132,8 @@ impl FluidSim {
                     f.work,
                 );
             }
+            self.unlink_flow(id, slot);
+            self.stats.completions += 1;
         }
         Some((at, done))
     }
@@ -615,7 +1174,7 @@ impl FluidSim {
     pub fn stats(&mut self, r: ResourceId) -> &ResourceStats {
         self.recompute_rates_if_dirty();
         self.sync_resource_stats(r.0 as usize);
-        &self.resources[r.0 as usize].stats
+        &self.res_cold[r.0 as usize].stats
     }
 
     /// Instantaneous aggregate load on `r` (units/second): Σ rate×weight of
@@ -623,21 +1182,21 @@ impl FluidSim {
     /// maintained by the solver at every recompute.
     pub fn resource_load(&mut self, r: ResourceId) -> f64 {
         self.recompute_rates_if_dirty();
-        self.resources[r.0 as usize].cur_load
+        self.res_load[r.0 as usize]
     }
 
     /// Number of active flows crossing `r`. O(1) via the per-resource flow
     /// index (a route crossing `r` twice still counts as one flow).
     pub fn flows_through(&self, r: ResourceId) -> usize {
-        self.resources[r.0 as usize].flows.len()
+        self.res_flows[r.0 as usize].len()
     }
 
     /// Put `r` on the dirty list (deduplicated) and flag rates stale.
     fn mark_dirty(&mut self, r: ResourceId) {
         self.rates_dirty = true;
-        let res = &mut self.resources[r.0 as usize];
-        if !res.dirty {
-            res.dirty = true;
+        let ri = r.0 as usize;
+        if !self.res_dirty[ri] {
+            self.res_dirty[ri] = true;
             self.dirty.push(r);
         }
     }
@@ -645,197 +1204,261 @@ impl FluidSim {
     /// Integrate `r`'s statistics up to `now` at its current load.
     fn sync_resource_stats(&mut self, ri: usize) {
         let now = self.now;
-        let res = &mut self.resources[ri];
-        let dt = now.since(res.synced_to).as_secs_f64();
+        let cold = &mut self.res_cold[ri];
+        let dt = now.since(cold.synced_to).as_secs_f64();
         if dt > 0.0 {
-            res.stats.record(dt, res.cur_load, res.capacity);
+            cold.stats
+                .record(dt, self.res_load[ri], self.res_capacity[ri]);
         }
-        res.synced_to = now;
-    }
-
-    /// Earliest valid completion entry, discarding stale ones.
-    fn peek_valid_completion(&mut self) -> Option<SimTime> {
-        while let Some(e) = self.completions.peek() {
-            if self.flows.get(&e.id).is_some_and(|f| f.epoch == e.epoch) {
-                return Some(e.at);
-            }
-            self.completions.pop();
-        }
-        None
+        cold.synced_to = now;
     }
 
     /// If rates are stale, re-solve the max-min allocation for every
     /// component touched by a dirty resource (all components in
-    /// [`SolverMode::Reference`]).
+    /// [`SolverMode::Reference`]). Disjoint components may be farmed out
+    /// to the worker pool; results merge serially in component order, so
+    /// the outcome is bit-identical at any thread count.
     fn recompute_rates_if_dirty(&mut self) {
         if !self.rates_dirty {
             return;
         }
         self.rates_dirty = false;
-        let n = self.resources.len();
-        self.residual.resize(n, 0.0);
-        self.weight_sum.resize(n, 0.0);
-        self.saturated.resize(n, false);
+        self.stats.recomputes += 1;
         let mut seeds = std::mem::take(&mut self.dirty);
         for &r in &seeds {
-            self.resources[r.0 as usize].dirty = false;
+            self.res_dirty[r.0 as usize] = false;
         }
         match self.mode {
             SolverMode::Incremental => seeds.sort_unstable(),
             SolverMode::Reference => {
                 seeds.clear();
-                seeds.extend((0..n as u32).map(ResourceId));
+                seeds.extend((0..self.res_capacity.len() as u32).map(ResourceId));
             }
         }
-        let mut total_rounds = 0u64;
-        let mut touched: Vec<u32> = Vec::new();
+        // Phase 1: collect all dirty components into the shared flat
+        // buffers (serial — the BFS is cheap and wants the index).
+        let mut comp_res = std::mem::take(&mut self.comp_res_buf);
+        let mut comp_flows = std::mem::take(&mut self.comp_flow_buf);
+        comp_res.clear();
+        comp_flows.clear();
+        let mut comps: Vec<CompRange> = Vec::new();
+        let mut total_hops = 0u64;
         for &seed in &seeds {
-            if self.resources[seed.0 as usize].visited {
+            if self.res_visited[seed.0 as usize] {
                 continue;
             }
-            let (comp_res, comp_flows) = self.collect_component(seed);
-            touched.extend_from_slice(&comp_res);
-            total_rounds += self.solve_component(&comp_res, &comp_flows);
-        }
-        for &ri in &touched {
-            self.resources[ri as usize].visited = false;
+            let range = self.collect_component(seed, &mut comp_res, &mut comp_flows);
+            total_hops += range.hops;
+            comps.push(range);
         }
         seeds.clear();
         self.dirty = seeds;
+        self.stats.components += comps.len() as u64;
+
+        // Phase 2: solve. Components are independent; go wide when there
+        // is enough work to amortize extraction, otherwise solve inline
+        // with reusable scratch. Both paths run the identical fill.
+        let width = if self.threads == 0 {
+            par::default_threads()
+        } else {
+            self.threads
+        };
+        let solvable = comps.iter().filter(|c| c.flows.0 != c.flows.1).count();
+        let mut total_rounds = 0u64;
+        if width > 1 && solvable >= 2 && total_hops >= self.par_threshold {
+            self.stats.parallel_batches += 1;
+            let mut res_local = std::mem::take(&mut self.res_local);
+            res_local.resize(self.res_capacity.len(), 0);
+            let mut jobs: Vec<(u64, CompProblem)> = Vec::with_capacity(solvable);
+            let mut job_of: Vec<Option<usize>> = Vec::with_capacity(comps.len());
+            for c in &comps {
+                if c.flows.0 == c.flows.1 {
+                    job_of.push(None);
+                    continue;
+                }
+                let cr = &comp_res[c.res.0 as usize..c.res.1 as usize];
+                for (i, &r) in cr.iter().enumerate() {
+                    res_local[r as usize] = i as u32;
+                }
+                let mut p = CompProblem::default();
+                build_problem(
+                    cr,
+                    &comp_flows[c.flows.0 as usize..c.flows.1 as usize],
+                    &self.slots,
+                    &self.route_arena,
+                    &self.res_eff_cap,
+                    &res_local,
+                    &mut p,
+                );
+                job_of.push(Some(jobs.len()));
+                jobs.push((c.hops.max(1), p));
+            }
+            self.res_local = res_local;
+            let results = par::pool().map_weighted(jobs, width, solve_problem);
+            for (ci, c) in comps.iter().enumerate() {
+                match job_of[ci] {
+                    Some(j) => {
+                        let (p, rates, rounds) = &results[j];
+                        total_rounds += rounds;
+                        self.apply_component(
+                            &comp_res[c.res.0 as usize..c.res.1 as usize],
+                            &comp_flows[c.flows.0 as usize..c.flows.1 as usize],
+                            rates,
+                            Some(p),
+                        );
+                    }
+                    None => {
+                        self.stats.empty_components += 1;
+                        self.apply_component(
+                            &comp_res[c.res.0 as usize..c.res.1 as usize],
+                            &[],
+                            &[],
+                            None,
+                        );
+                    }
+                }
+            }
+        } else {
+            for c in &comps {
+                let cr = &comp_res[c.res.0 as usize..c.res.1 as usize];
+                let cf = &comp_flows[c.flows.0 as usize..c.flows.1 as usize];
+                if cf.is_empty() {
+                    self.stats.empty_components += 1;
+                    self.apply_component(cr, &[], &[], None);
+                    continue;
+                }
+                let mut problem = std::mem::take(&mut self.problem);
+                let mut fill = std::mem::take(&mut self.fill);
+                let mut rates = std::mem::take(&mut self.rates_buf);
+                let mut res_local = std::mem::take(&mut self.res_local);
+                res_local.resize(self.res_capacity.len(), 0);
+                for (i, &r) in cr.iter().enumerate() {
+                    res_local[r as usize] = i as u32;
+                }
+                build_problem(
+                    cr,
+                    cf,
+                    &self.slots,
+                    &self.route_arena,
+                    &self.res_eff_cap,
+                    &res_local,
+                    &mut problem,
+                );
+                self.res_local = res_local;
+                total_rounds += water_fill(&problem, &mut rates, &mut fill);
+                self.apply_component(cr, cf, &rates, Some(&problem));
+                self.problem = problem;
+                self.fill = fill;
+                self.rates_buf = rates;
+            }
+        }
+        self.stats.fill_rounds += total_rounds;
+
+        // Phase 3: clear BFS marks and publish effort counters (merge
+        // thread only — workers never touch the recorder).
+        for &ri in comp_res.iter() {
+            self.res_visited[ri as usize] = false;
+        }
+        self.comp_res_buf = comp_res;
+        self.comp_flow_buf = comp_flows;
         if total_rounds > 0 {
             if let Some(obs) = &self.obs {
-                obs.rec.counter_add(
-                    &format!("{}/waterfill_rounds", obs.track_name),
-                    total_rounds as f64,
-                );
+                obs.rec
+                    .counter_add_by(obs.rounds_counter, total_rounds as f64);
             }
         }
     }
 
     /// Collect the connected component of the flow↔resource graph
-    /// containing `seed`. Both lists come back sorted ascending so fill
-    /// iteration order — and therefore every f64 rounding — is independent
-    /// of which resource seeded the walk.
-    fn collect_component(&mut self, seed: ResourceId) -> (Vec<u32>, Vec<FlowId>) {
-        let mut comp_res: Vec<u32> = Vec::new();
-        let mut comp_flows: Vec<FlowId> = Vec::new();
-        let mut stack: Vec<u32> = vec![seed.0];
-        let mut fid_buf = std::mem::take(&mut self.fid_scratch);
+    /// containing `seed`, appending into the shared flat buffers. The
+    /// flow range comes back sorted ascending by id so fill iteration
+    /// order — and therefore every f64 rounding — is independent of which
+    /// resource seeded the walk; the resource range stays in (equally
+    /// deterministic) discovery order.
+    fn collect_component(
+        &mut self,
+        seed: ResourceId,
+        comp_res: &mut Vec<u32>,
+        comp_flows: &mut Vec<(u64, u32)>,
+    ) -> CompRange {
+        let res_start = comp_res.len() as u32;
+        let flow_start = comp_flows.len() as u32;
+        let mut hops = 0u64;
+        let mut stack = std::mem::take(&mut self.bfs_stack);
+        stack.clear();
+        // Disjoint-field borrows: the walk reads the crossing indexes and
+        // routes, and writes only the two scratch bitmaps. Resources are
+        // marked visited when *pushed*, so each enters the stack exactly
+        // once and no pop needs a revisit check.
+        let res_flows = &self.res_flows;
+        let slots = &self.slots;
+        let arena = &self.route_arena;
+        let res_visited = &mut self.res_visited;
+        let flow_in_comp = &mut self.flow_in_comp;
+        res_visited[seed.0 as usize] = true;
+        stack.push(seed.0);
         while let Some(ri) = stack.pop() {
-            if self.resources[ri as usize].visited {
-                continue;
-            }
-            self.resources[ri as usize].visited = true;
             comp_res.push(ri);
-            fid_buf.clear();
-            fid_buf.extend(self.resources[ri as usize].flows.iter().copied());
-            for &fid in &fid_buf {
-                let f = self.flows.get_mut(&fid).expect("flow index consistent");
-                if f.in_comp {
+            for &slot in &res_flows[ri as usize] {
+                if flow_in_comp[slot as usize] {
                     continue;
                 }
-                f.in_comp = true;
-                comp_flows.push(fid);
-                for &(r, _) in &f.route {
-                    if !self.resources[r.0 as usize].visited {
+                flow_in_comp[slot as usize] = true;
+                let f = &slots[slot as usize];
+                comp_flows.push((f.fid, slot));
+                let route = &arena[f.r_start as usize..(f.r_start + f.r_len) as usize];
+                hops += route.len() as u64;
+                for &(r, _) in route {
+                    if !res_visited[r.0 as usize] {
+                        res_visited[r.0 as usize] = true;
                         stack.push(r.0);
                     }
                 }
             }
         }
-        fid_buf.clear();
-        self.fid_scratch = fid_buf;
-        comp_res.sort_unstable();
-        comp_flows.sort_unstable();
-        (comp_res, comp_flows)
+        self.bfs_stack = stack;
+        // Flows must come out sorted by id: flow order fixes the f64
+        // accumulation order of every weight/load sum. Resource order, by
+        // contrast, only feeds order-*independent* operations — an exact
+        // min reduction, per-resource flag sets and disjoint stat syncs —
+        // so comp_res legitimately stays in discovery order (which is
+        // itself deterministic: the walk is seeded and expanded from
+        // fid-sorted index lists, never from hash/timing state).
+        comp_flows[flow_start as usize..].sort_unstable();
+        CompRange {
+            res: (res_start, comp_res.len() as u32),
+            flows: (flow_start, comp_flows.len() as u32),
+            hops,
+        }
     }
 
-    /// Progressive filling over one component, followed by settle-and-apply
-    /// of the changed rates and a refresh of per-resource loads. Returns
-    /// the number of fill rounds. O(rounds × Σ component route lengths);
-    /// each round freezes at least one resource.
-    fn solve_component(&mut self, comp_res: &[u32], comp_flows: &[FlowId]) -> u64 {
-        for &ri in comp_res {
-            self.residual[ri as usize] = self.resources[ri as usize].effective_capacity();
-            self.weight_sum[ri as usize] = 0.0;
-            self.saturated[ri as usize] = false;
-        }
-        for fid in comp_flows {
-            for &(r, w) in &self.flows[fid].route {
-                self.weight_sum[r.0 as usize] += w;
-            }
-        }
-        let m = comp_flows.len();
-        let mut new_rate = vec![0.0f64; m];
-        let mut rounds = 0u64;
-        {
-            let flows = &self.flows;
-            let routes: Vec<&[(ResourceId, f64)]> = comp_flows
-                .iter()
-                .map(|id| flows[id].route.as_slice())
-                .collect();
-            let mut unfrozen: Vec<usize> = (0..m).collect();
-            while !unfrozen.is_empty() {
-                rounds += 1;
-                // The common growth increment is limited by the tightest
-                // resource: residual / weight_sum.
-                let mut delta = f64::INFINITY;
-                for &i in &unfrozen {
-                    for &(r, _) in routes[i] {
-                        let ws = self.weight_sum[r.0 as usize];
-                        if ws > 0.0 {
-                            delta = delta.min(self.residual[r.0 as usize] / ws);
-                        }
-                    }
-                }
-                assert!(
-                    delta.is_finite() && delta >= 0.0,
-                    "water_fill: degenerate allocation (delta={delta})"
-                );
-                // Grow every unfrozen flow by delta and charge resources.
-                for &i in &unfrozen {
-                    new_rate[i] += delta;
-                    for &(r, w) in routes[i] {
-                        self.residual[r.0 as usize] -= delta * w;
-                    }
-                }
-                // Freeze flows crossing any saturated resource. The
-                // threshold is relative to capacity: after subtracting
-                // delta×weight the bottleneck's residual is zero up to
-                // float error, which scales with the capacity magnitude.
-                // Residuals only shrink during a fill, so the flag can be
-                // sticky.
-                for &ri in comp_res {
-                    let i = ri as usize;
-                    if !self.saturated[i]
-                        && self.residual[i] <= self.resources[i].effective_capacity() * 1e-6
-                    {
-                        self.saturated[i] = true;
-                    }
-                }
-                let (frozen_now, still): (Vec<usize>, Vec<usize>) = unfrozen
-                    .into_iter()
-                    .partition(|&i| routes[i].iter().any(|&(r, _)| self.saturated[r.0 as usize]));
-                assert!(
-                    !frozen_now.is_empty(),
-                    "water_fill: no progress (numerical issue)"
-                );
-                for &i in &frozen_now {
-                    for &(r, w) in routes[i] {
-                        self.weight_sum[r.0 as usize] -= w;
-                    }
-                }
-                unfrozen = still;
-            }
-        }
-        // Settle and apply, but only where the rate actually changed: an
-        // untouched flow keeps its (updated_at, remaining, rate) triple
-        // bit-identical, so its heap entry — and the Reference-mode linear
-        // scan — still predict the same finish instant.
+    /// Settle-and-apply one component's freshly solved rates, then refresh
+    /// its per-resource loads. Serial and deterministic: this is the merge
+    /// step the parallel path funnels into.
+    fn apply_component(
+        &mut self,
+        comp_res: &[u32],
+        comp_flows: &[(u64, u32)],
+        rates: &[f64],
+        prob: Option<&CompProblem>,
+    ) {
+        debug_assert_eq!(comp_flows.len(), rates.len());
+        debug_assert!(prob.is_some() || comp_flows.is_empty());
         let now = self.now;
-        for (i, &fid) in comp_flows.iter().enumerate() {
-            let f = self.flows.get_mut(&fid).expect("component flow exists");
-            let nr = new_rate[i];
+        let mode = self.mode;
+        let arena = &self.route_arena;
+        let slots = &mut self.slots;
+        let flow_in_comp = &mut self.flow_in_comp;
+        let completions = &mut self.completions;
+        for (i, &(fid, slot)) in comp_flows.iter().enumerate() {
+            // Settle and apply, but only where the rate actually changed:
+            // an untouched flow keeps its (updated_at, remaining, rate)
+            // triple bit-identical, so its heap entry — and the
+            // Reference-mode linear scan — still predict the same finish
+            // instant.
+            let f = &mut slots[slot as usize];
+            let nr = rates[i];
+            let mut entry: Option<(u32, CompEntry)> = None;
             if f.rate != nr {
                 let dt = now.since(f.updated_at).as_secs_f64();
                 if dt > 0.0 {
@@ -844,40 +1467,65 @@ impl FluidSim {
                 f.updated_at = now;
                 f.rate = nr;
                 f.epoch += 1;
-                if self.mode == SolverMode::Incremental {
+                if mode == SolverMode::Incremental {
                     let at = predict(f);
-                    self.completions.push(CompEntry {
-                        at,
-                        id: fid,
-                        epoch: f.epoch,
-                    });
+                    entry = Some((
+                        arena[f.r_start as usize].0 .0,
+                        CompEntry {
+                            at,
+                            id: FlowId(fid),
+                            epoch: f.epoch,
+                            slot,
+                        },
+                    ));
                 }
             }
-            f.in_comp = false;
-        }
-        // Refresh per-resource loads, syncing statistics at the old load
-        // first whenever the load changes.
-        for &ri in comp_res {
-            let mut load = 0.0f64;
-            for &fid in &self.resources[ri as usize].flows {
-                let f = &self.flows[&fid];
-                let k = f
-                    .route
-                    .binary_search_by_key(&ResourceId(ri), |&(r, _)| r)
-                    .expect("indexed flow must route through resource");
-                load += f.rate * f.route[k].1;
+            flow_in_comp[slot as usize] = false;
+            if let Some((r0, e)) = entry {
+                completions.push(r0, e);
             }
-            if load != self.resources[ri as usize].cur_load {
+        }
+        // Refresh per-resource loads by scattering each flow's rate×weight
+        // into component-local accumulators, then sync statistics at the
+        // old load wherever it changed. The solved problem's CSR already
+        // holds (local resource, weight) per hop, so the scatter is a pure
+        // sequential sweep — no route pointers, no global index. Flow-major
+        // iteration (the CSR rows follow fid-sorted comp_flows) adds to
+        // each accumulator in ascending flow-id order — the identical add
+        // sequence a resource-major walk over the fid-sorted crossing index
+        // would produce, so every f64 bit matches. `rates[i]` equals the
+        // settled `f.rate` for changed and unchanged flows alike.
+        let mut load_buf = std::mem::take(&mut self.load_buf);
+        load_buf.clear();
+        load_buf.resize(comp_res.len(), 0.0);
+        if let Some(p) = prob {
+            for (i, &rate) in rates.iter().enumerate() {
+                for h in p.off[i] as usize..p.off[i + 1] as usize {
+                    load_buf[p.hop_res[h] as usize] += rate * p.hop_w[h];
+                }
+            }
+        }
+        for (i, &ri) in comp_res.iter().enumerate() {
+            let load = load_buf[i];
+            if load != self.res_load[ri as usize] {
                 self.sync_resource_stats(ri as usize);
-                self.resources[ri as usize].cur_load = load;
+                self.res_load[ri as usize] = load;
             }
         }
-        rounds
+        self.load_buf = load_buf;
     }
 
     /// Time a flow has been active.
     pub fn flow_age(&self, id: FlowId) -> Option<SimDuration> {
-        self.flows.get(&id).map(|f| self.now.since(f.started))
+        self.index
+            .get(&id)
+            .map(|&s| self.now.since(self.slots[s as usize].started))
+    }
+
+    /// Drop every queued completion entry (test hook for shard accounting).
+    #[cfg(test)]
+    fn clear_completions(&mut self) {
+        self.completions.clear();
     }
 }
 
@@ -990,12 +1638,12 @@ mod tests {
     fn rate_cap_limits_aggregate() {
         let mut sim = FluidSim::new();
         let link = sim.add_resource("link", 100.0);
-        sim.set_rate_cap(link, 10.0);
+        sim.set_rate_cap(link, 10.0).unwrap();
         let a = sim.start_flow(100.0, &Route::unit([link]));
         let b = sim.start_flow(100.0, &Route::unit([link]));
         approx(sim.flow_rate(a), 5.0);
         approx(sim.flow_rate(b), 5.0);
-        sim.set_rate_cap(link, f64::INFINITY.min(1e18));
+        sim.set_rate_cap(link, f64::INFINITY.min(1e18)).unwrap();
         approx(sim.flow_rate(a), 50.0);
     }
 
@@ -1006,12 +1654,12 @@ mod tests {
         let f = sim.start_flow(1000.0, &Route::unit([link]));
         approx(sim.flow_rate(f), 100.0);
         // Link trains down to a quarter speed mid-flow.
-        sim.degrade(link, 0.25);
+        sim.degrade(link, 0.25).unwrap();
         approx(sim.degradation(link), 0.25);
         approx(sim.effective_capacity(link), 25.0);
         approx(sim.flow_rate(f), 25.0);
         // Flash cut over: full speed again.
-        sim.restore(link);
+        sim.restore(link).unwrap();
         approx(sim.flow_rate(f), 100.0);
     }
 
@@ -1019,11 +1667,11 @@ mod tests {
     fn degrade_composes_with_rate_cap() {
         let mut sim = FluidSim::new();
         let link = sim.add_resource("link", 100.0);
-        sim.set_rate_cap(link, 40.0);
-        sim.degrade(link, 0.5);
+        sim.set_rate_cap(link, 40.0).unwrap();
+        sim.degrade(link, 0.5).unwrap();
         // min(100×0.5, cap 40) = 40: the tighter constraint wins.
         approx(sim.effective_capacity(link), 40.0);
-        sim.degrade(link, 0.1);
+        sim.degrade(link, 0.1).unwrap();
         approx(sim.effective_capacity(link), 10.0);
         let f = sim.start_flow(100.0, &Route::unit([link]));
         approx(sim.flow_rate(f), 10.0);
@@ -1033,7 +1681,7 @@ mod tests {
     fn degraded_link_delays_completion() {
         let mut sim = FluidSim::new();
         let link = sim.add_resource("link", 100.0);
-        sim.degrade(link, 0.5);
+        sim.degrade(link, 0.5).unwrap();
         let f = sim.start_flow(100.0, &Route::unit([link]));
         let (t, done) = sim.advance_to_next_completion().unwrap();
         assert_eq!(done, vec![f]);
@@ -1041,11 +1689,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "degrade factor must be in (0, 1]")]
-    fn zero_degrade_factor_rejected() {
+    fn invalid_inputs_return_typed_errors_not_panics() {
         let mut sim = FluidSim::new();
         let link = sim.add_resource("link", 100.0);
-        sim.degrade(link, 0.0);
+        // Out-of-range degrade factors.
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            let err = sim.degrade(link, bad).unwrap_err();
+            assert_eq!(err.kind(), FfKind::Config, "factor {bad}");
+        }
+        // Non-positive / NaN rate caps.
+        for bad in [0.0, -5.0, f64::NAN] {
+            let err = sim.set_rate_cap(link, bad).unwrap_err();
+            assert_eq!(err.kind(), FfKind::Config, "cap {bad}");
+        }
+        // Unknown resources on all three entry points.
+        let ghost = ResourceId(99);
+        assert_eq!(sim.degrade(ghost, 0.5).unwrap_err().kind(), FfKind::Config);
+        assert_eq!(sim.restore(ghost).unwrap_err().kind(), FfKind::Config);
+        assert_eq!(
+            sim.set_rate_cap(ghost, 1.0).unwrap_err().kind(),
+            FfKind::Config
+        );
+        // The failed calls left no dirty state behind: rates unchanged.
+        let f = sim.start_flow(100.0, &Route::unit([link]));
+        approx(sim.flow_rate(f), 100.0);
+        assert_eq!(sim.degradation(link), 1.0);
     }
 
     #[test]
@@ -1177,18 +1845,116 @@ mod tests {
             sim.start_flow(11.0, &Route::unit([r[3]]));
             sim.start_flow(29.0, &Route::weighted([(r[0], 2.0), (r[3], 0.5)]));
             let mut events = Vec::new();
-            sim.degrade(r[1], 0.6);
+            sim.degrade(r[1], 0.6).unwrap();
             while let Some((t, done)) = sim.advance_to_next_completion() {
                 for id in done {
                     events.push((t, id));
                 }
                 if events.len() == 2 {
-                    sim.restore(r[1]);
+                    sim.restore(r[1]).unwrap();
                     sim.start_flow(5.0, &Route::unit([r[2]]));
                 }
             }
             events
         };
         assert_eq!(run(SolverMode::Incremental), run(SolverMode::Reference));
+    }
+
+    #[test]
+    fn slot_arena_recycles_without_confusing_identity() {
+        // Cancel/complete flows, then start new ones: recycled slots must
+        // not resurrect stale completion entries or confuse rates.
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        let a = sim.start_flow(100.0, &Route::unit([link]));
+        let b = sim.start_flow(100.0, &Route::unit([link]));
+        sim.flow_rate(a); // force a recompute so heap entries exist
+        assert_eq!(sim.cancel_flow(a), 100.0);
+        // New flow reuses a's slot; its identity must be its own.
+        let c = sim.start_flow(10.0, &Route::unit([link]));
+        approx(sim.flow_rate(c), 50.0);
+        let (_, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done, vec![c]);
+        let (_, done) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(done, vec![b]);
+        assert_eq!(sim.active_flows(), 0);
+        let s = sim.solver_stats();
+        assert_eq!(s.flow_starts, 3);
+        assert_eq!(s.cancels, 1);
+        assert_eq!(s.completions, 2);
+    }
+
+    #[test]
+    fn sharded_completions_pop_in_global_time_order() {
+        // Flows whose home resources land in different shards (ids 0 and
+        // ≥256) must still complete in global (time, id) order.
+        let mut sim = FluidSim::new();
+        let r0 = sim.add_resource("zone0", 100.0);
+        for i in 1..300 {
+            sim.add_resource(format!("pad{i}"), 1.0);
+        }
+        let far = sim.add_resource("zone1", 100.0);
+        assert!(far.0 >= SHARD_SPAN);
+        let slow = sim.start_flow(200.0, &Route::unit([r0]));
+        let fast = sim.start_flow(50.0, &Route::unit([far]));
+        let medium = sim.start_flow(100.0, &Route::unit([far]));
+        // far link is shared: fast at 50+? both run at 50 → fast done t=1.
+        let (t1, d1) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(d1, vec![fast]);
+        approx(t1.as_secs_f64(), 1.0);
+        let (t2, d2) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(d2, vec![medium]);
+        approx(t2.as_secs_f64(), 1.5);
+        let (t3, d3) = sim.advance_to_next_completion().unwrap();
+        assert_eq!(d3, vec![slow]);
+        approx(t3.as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending completion entries")]
+    fn cleared_completions_are_detected() {
+        let mut sim = FluidSim::new();
+        let link = sim.add_resource("link", 100.0);
+        sim.start_flow(100.0, &Route::unit([link]));
+        sim.flow_rate(FlowId(0));
+        sim.clear_completions();
+        sim.advance_to_next_completion();
+    }
+
+    #[test]
+    fn parallel_solve_is_bitwise_equal_to_serial() {
+        // A multi-component topology solved serially and with the parallel
+        // path forced on (threshold 0, several lanes): every rate, load and
+        // completion instant must agree bit-for-bit.
+        let run = |threads: usize, threshold: u64| {
+            let mut sim = FluidSim::new();
+            sim.set_threads(threads);
+            sim.set_par_threshold(threshold);
+            let res: Vec<_> = (0..24)
+                .map(|i| sim.add_resource(format!("r{i}"), 50.0 + 7.0 * (i % 5) as f64))
+                .collect();
+            // Six disjoint components of four resources each.
+            for c in 0..6 {
+                let base = c * 4;
+                for j in 0..5 {
+                    let a = res[base + j % 4];
+                    let b = res[base + (j + 1) % 4];
+                    sim.start_flow(40.0 + 3.0 * j as f64, &Route::unit([a, b]));
+                }
+            }
+            let mut events: Vec<(u64, Vec<u64>)> = Vec::new();
+            let mut rates: Vec<f64> = Vec::new();
+            for c in 0..6 {
+                rates.push(sim.flow_rate(FlowId(c * 5)));
+            }
+            while let Some((t, done)) = sim.advance_to_next_completion() {
+                events.push((t.as_nanos(), done.iter().map(|f| f.0).collect()));
+            }
+            (events, rates)
+        };
+        let serial = run(1, u64::MAX);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads, 0), serial, "threads {threads}");
+        }
     }
 }

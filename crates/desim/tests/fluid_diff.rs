@@ -1,15 +1,18 @@
 //! Differential test: the incremental solver against two oracles.
 //!
-//! Every seeded scenario from `ff_util::scengen` is replayed through three
+//! Every seeded scenario from `ff_util::scengen` is replayed through four
 //! engines:
 //!
 //! 1. `FluidSim` in [`SolverMode::Incremental`] — the production path:
 //!    component-scoped recomputes, lazy settling, heap-driven completions.
-//! 2. `FluidSim` in [`SolverMode::Reference`] — same fill arithmetic, but
+//! 2. The same, with the component-parallel path forced on (dispatch
+//!    threshold 0, several worker lanes). Must agree **bit for bit** with
+//!    both serial modes: parallel solving is required to be invisible.
+//! 3. `FluidSim` in [`SolverMode::Reference`] — same fill arithmetic, but
 //!    every component re-solved every time and completions found by linear
 //!    scan. Must agree **bit for bit**: any divergence means the dirty
 //!    tracking, component walk, or heap invalidation dropped an update.
-//! 3. `RefFluidSim` — the pre-rewrite brute-force engine kept verbatim in
+//! 4. `RefFluidSim` — the pre-rewrite brute-force engine kept verbatim in
 //!    `tests/common/reference.rs` (global water-fill, eager per-advance
 //!    progress). Must agree on rates to 1e-9 relative and on completion
 //!    order, with completion instants within a couple of nanoseconds
@@ -43,8 +46,15 @@ struct Replay {
     completions: Vec<(u64, u64)>,
 }
 
-fn replay_fluidsim(s: &Scenario, mode: SolverMode) -> Replay {
+/// Replay `s` through a `FluidSim`. `par_threads = Some(n)` forces the
+/// component-parallel path: every multi-component recompute is dispatched
+/// to the worker pool at width `n` (threshold 0).
+fn replay_fluidsim(s: &Scenario, mode: SolverMode, par_threads: Option<usize>) -> Replay {
     let mut sim = FluidSim::with_solver(mode);
+    if let Some(n) = par_threads {
+        sim.set_threads(n);
+        sim.set_par_threshold(0);
+    }
     let rids: Vec<_> = s
         .capacities
         .iter()
@@ -88,9 +98,15 @@ fn replay_fluidsim(s: &Scenario, mode: SolverMode) -> Replay {
                 next_ordinal += 1;
                 active.push(id);
             }
-            ScenEvent::Degrade { resource, factor } => sim.degrade(rids[*resource], *factor),
-            ScenEvent::Restore { resource } => sim.restore(rids[*resource]),
-            ScenEvent::SetRateCap { resource, cap } => sim.set_rate_cap(rids[*resource], *cap),
+            ScenEvent::Degrade { resource, factor } => sim
+                .degrade(rids[*resource], *factor)
+                .expect("generated degrade factor valid"),
+            ScenEvent::Restore { resource } => sim
+                .restore(rids[*resource])
+                .expect("generated resource valid"),
+            ScenEvent::SetRateCap { resource, cap } => sim
+                .set_rate_cap(rids[*resource], *cap)
+                .expect("generated rate cap valid"),
             ScenEvent::Cancel { nth } => {
                 if !active.is_empty() {
                     let id = active.swap_remove(nth % active.len());
@@ -176,14 +192,21 @@ fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str, seed: u64) {
 
 fn check_seed(seed: u64, cfg: &GenConfig) {
     let s = Scenario::generate(seed, cfg);
-    let inc = replay_fluidsim(&s, SolverMode::Incremental);
-    let refm = replay_fluidsim(&s, SolverMode::Reference);
+    let inc = replay_fluidsim(&s, SolverMode::Incremental, None);
+    let refm = replay_fluidsim(&s, SolverMode::Reference, None);
     // Incremental vs in-tree Reference mode: bit-for-bit identical — the
     // fill arithmetic is shared, so any difference is a solver bug, not
     // floating-point noise.
     assert_eq!(
         inc, refm,
         "seed {seed}: incremental and reference solver modes diverged"
+    );
+    // Component-parallel vs Reference: also bit-for-bit. Dispatch forced
+    // on (threshold 0) so even tiny recomputes exercise the pool path.
+    let par = replay_fluidsim(&s, SolverMode::Incremental, Some(4));
+    assert_eq!(
+        par, refm,
+        "seed {seed}: parallel solver diverged from reference"
     );
     // Vs the pre-rewrite brute-force engine: rates to 1e-9, completion
     // order exact, completion instants within 2 ns (eager vs lazy progress
@@ -228,13 +251,25 @@ fn incremental_solver_agrees_on_dense_scenarios() {
     // Larger, denser topologies: more flows per resource, longer routes,
     // tighter event spacing — proportionally more same-instant batches and
     // multi-resource components.
-    let cfg = GenConfig {
-        max_resources: 24,
-        max_events: 96,
-        max_route_len: 6,
-        max_gap_ns: 800_000,
-    };
+    let cfg = GenConfig::dense();
     for seed in 0x0D2F_0000..0x0D2F_0000 + 128 {
         check_seed(seed, &cfg);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // The same seed must produce the identical replay at 1, 2, and 8
+    // worker lanes: lane packing only moves *where* a component is solved,
+    // never what any observer sees. Wide scenarios maximize the number of
+    // simultaneously dirty components per recompute.
+    let cfg = GenConfig::wide();
+    for seed in 0x0D3F_0000..0x0D3F_0000 + 48 {
+        let s = Scenario::generate(seed, &cfg);
+        let one = replay_fluidsim(&s, SolverMode::Incremental, Some(1));
+        for threads in [2, 8] {
+            let wide = replay_fluidsim(&s, SolverMode::Incremental, Some(threads));
+            assert_eq!(one, wide, "seed {seed}: {threads} threads diverged");
+        }
     }
 }

@@ -154,7 +154,8 @@ fn degradation_respects_effective_capacity() {
         }
         for rid in &rids {
             if rng.gen_bool(0.5) {
-                sim.degrade(*rid, FACTORS[rng.gen_range(0..FACTORS.len())]);
+                sim.degrade(*rid, FACTORS[rng.gen_range(0..FACTORS.len())])
+                    .expect("valid degrade");
             }
         }
         for rid in &rids {
@@ -226,13 +227,13 @@ fn restore_exactly_undoes_degrade() {
         let (mut sim, rids, fids) = build(&s);
         let before: Vec<f64> = fids.iter().map(|&f| sim.flow_rate(f)).collect();
         let r = rids[rng.gen_range(0..rids.len())];
-        sim.degrade(r, 0.5);
+        sim.degrade(r, 0.5).expect("valid degrade");
         // Force the degraded allocation to materialize so restore is a
         // genuine second recompute, not a merged no-op.
         for &f in &fids {
             let _ = sim.flow_rate(f);
         }
-        sim.restore(r);
+        sim.restore(r).expect("valid restore");
         let after: Vec<f64> = fids.iter().map(|&f| sim.flow_rate(f)).collect();
         assert_eq!(before, after, "restore did not exactly undo degrade");
     }

@@ -86,7 +86,9 @@ impl NetResources {
     pub fn degrade_link(&self, fluid: &mut FluidSim, link: LinkId, factor: f64) {
         for dir in &self.per_link[link.0 as usize] {
             for &r in dir {
-                fluid.degrade(r, factor);
+                fluid
+                    .degrade(r, factor)
+                    .expect("degrade_link: lane resources are registered");
             }
         }
     }
@@ -95,7 +97,9 @@ impl NetResources {
     pub fn restore_link(&self, fluid: &mut FluidSim, link: LinkId) {
         for dir in &self.per_link[link.0 as usize] {
             for &r in dir {
-                fluid.restore(r);
+                fluid
+                    .restore(r)
+                    .expect("restore_link: lane resources are registered");
             }
         }
     }

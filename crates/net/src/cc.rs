@@ -125,7 +125,9 @@ impl Dcqcn {
             } else {
                 f.rate = (f.rate + f.line * self.params.recover_frac).min(f.line);
             }
-            fluid.set_rate_cap(f.pacer, f.rate);
+            fluid
+                .set_rate_cap(f.pacer, f.rate)
+                .expect("DCQCN rate stays positive and pacer registered");
         }
         n
     }

@@ -122,7 +122,9 @@ pub fn incast(cfg: &IncastConfig) -> IncastResult {
     let update_pressure = |fluid: &mut FluidSim, concurrent: usize| {
         let excess = concurrent.saturating_sub(cfg.buffer_flows) as f64;
         let eff = line / (1.0 + cfg.degradation * excess);
-        fluid.set_rate_cap(ingress, eff.max(line * 1e-3));
+        fluid
+            .set_rate_cap(ingress, eff.max(line * 1e-3))
+            .expect("ingress cap stays positive");
     };
 
     // Issue initial requests at t=0.

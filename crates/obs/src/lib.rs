@@ -32,4 +32,4 @@ pub mod recorder;
 pub mod summary;
 
 pub use hist::Histogram;
-pub use recorder::{Event, EventKind, Recorder, Snapshot, TrackBuf, TrackId};
+pub use recorder::{CounterId, Event, EventKind, Recorder, Snapshot, TrackBuf, TrackId};

@@ -23,6 +23,15 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TrackId(pub(crate) u32);
 
+/// Pre-resolved handle for a named counter, from
+/// [`Recorder::counter_handle`]. Hot paths that bump the same counter
+/// thousands of times per simulated second use
+/// [`Recorder::counter_add_by`] with a handle to skip the per-call name
+/// formatting and map lookup. Like [`TrackId`], assignment order never
+/// leaks into digests — canonical forms key counters by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(pub(crate) u32);
+
 /// What kind of mark an [`Event`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -55,9 +64,30 @@ struct Inner {
     tracks: Vec<String>,
     by_name: BTreeMap<String, TrackId>,
     events: Vec<Event>,
-    counters: BTreeMap<String, f64>,
+    // Counters are slot-addressed so handle-based adds are a bounds check
+    // and an f64 add under the lock. A registered-but-never-added counter
+    // stays untouched and is omitted from snapshots, so merely resolving a
+    // handle cannot perturb a pinned digest.
+    counter_names: Vec<String>,
+    counter_vals: Vec<f64>,
+    counter_touched: Vec<bool>,
+    counter_ids: BTreeMap<String, CounterId>,
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
+}
+
+impl Inner {
+    fn counter_id(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.counter_ids.get(name) {
+            return id;
+        }
+        let id = CounterId(u32::try_from(self.counter_names.len()).expect("too many counters"));
+        self.counter_names.push(name.to_string());
+        self.counter_vals.push(0.0);
+        self.counter_touched.push(false);
+        self.counter_ids.insert(name.to_string(), id);
+        id
+    }
 }
 
 /// A deterministic, order-insensitive snapshot of a [`Recorder`]: tracks
@@ -133,12 +163,24 @@ impl Recorder {
 
     /// Add `delta` to the counter `name` (created at 0).
     pub fn counter_add(&self, name: &str, delta: f64) {
-        *self
-            .inner
-            .lock()
-            .counters
-            .entry(name.to_string())
-            .or_insert(0.0) += delta;
+        let mut g = self.inner.lock();
+        let id = g.counter_id(name);
+        g.counter_vals[id.0 as usize] += delta;
+        g.counter_touched[id.0 as usize] = true;
+    }
+
+    /// Resolve a reusable handle for the counter `name`. The counter is
+    /// not created (it stays out of snapshots) until something adds to it.
+    pub fn counter_handle(&self, name: &str) -> CounterId {
+        self.inner.lock().counter_id(name)
+    }
+
+    /// Add `delta` to a counter by pre-resolved handle — the allocation-free
+    /// form of [`counter_add`](Self::counter_add) for hot paths.
+    pub fn counter_add_by(&self, id: CounterId, delta: f64) {
+        let mut g = self.inner.lock();
+        g.counter_vals[id.0 as usize] += delta;
+        g.counter_touched[id.0 as usize] = true;
     }
 
     /// Set the gauge `name` to `value` (last write wins).
@@ -206,10 +248,18 @@ impl Recorder {
                 b.value.to_bits(),
             ))
         });
+        let counters: BTreeMap<String, f64> = g
+            .counter_names
+            .iter()
+            .zip(&g.counter_vals)
+            .zip(&g.counter_touched)
+            .filter(|(_, &touched)| touched)
+            .map(|((name, &v), _)| (name.clone(), v))
+            .collect();
         Snapshot {
             tracks,
             events,
-            counters: g.counters.clone(),
+            counters,
             gauges: g.gauges.clone(),
             hists: g.hists.clone(),
         }
@@ -437,6 +487,23 @@ mod tests {
         assert_eq!(s.counters["bytes"], 15.0);
         assert_eq!(s.gauges["util"], 0.75);
         assert_eq!(s.hists["lat"].count(), 4);
+    }
+
+    #[test]
+    fn counter_handle_matches_named_adds() {
+        let rec = Recorder::new();
+        let h = rec.counter_handle("fills");
+        // A resolved-but-untouched handle must not create the counter:
+        // handing out handles cannot perturb a pinned digest.
+        let idle = rec.counter_handle("idle");
+        assert!(rec.snapshot().counters.is_empty());
+        rec.counter_add_by(h, 3.0);
+        rec.counter_add("fills", 4.0); // name and handle hit the same slot
+        rec.counter_add_by(idle, 0.0); // an add of 0 does create it
+        let s = rec.snapshot();
+        assert_eq!(s.counters["fills"], 7.0);
+        assert_eq!(s.counters["idle"], 0.0);
+        assert_eq!(s.counters.len(), 2);
     }
 
     #[test]

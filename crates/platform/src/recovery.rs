@@ -454,7 +454,9 @@ pub fn train_with_recovery_traced(
             let hw = NodeHw::install(&mut fluid, &format!("rank{rank}"), &NodeSpec::pcie_a100());
             // The flash cut: the node's PCIe uplink trains down.
             let uplink = hw.d2h(0).0[0].0;
-            fluid.degrade(uplink, 0.25);
+            fluid
+                .degrade(uplink, 0.25)
+                .expect("freshly installed uplink resource");
             let probes = hostping(&mut fluid, &hw);
             let slow = bottlenecks(&probes).len();
             assert!(slow > 0, "hostping must see a 4× slower path");
@@ -466,7 +468,9 @@ pub fn train_with_recovery_traced(
             note(&format!("link degraded rank {rank}"), step, slow as f64);
             // Flash cuts are tolerated in-band (Table V policy): the node
             // is flagged, the link re-trains, the job keeps its world.
-            fluid.restore(uplink);
+            fluid
+                .restore(uplink)
+                .expect("freshly installed uplink resource");
             fluid.flush_stats();
         }
 

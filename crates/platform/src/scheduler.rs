@@ -513,17 +513,6 @@ pub struct Platform {
 }
 
 impl Platform {
-    /// A platform over two zones with `per_zone` nodes each, checkpointing
-    /// every `ckpt_interval_s` seconds of task runtime.
-    #[deprecated(note = "use PlatformConfig::new().zones(..).ckpt_interval(..).build()")]
-    pub fn new(per_zone: [usize; 2], ckpt_interval_s: u64) -> Platform {
-        PlatformConfig::new()
-            .zones(per_zone)
-            .ckpt_interval(ckpt_interval_s)
-            .build()
-            .expect("legacy Platform::new requires at least one node")
-    }
-
     /// Submit a job. It is placed immediately if resources allow,
     /// otherwise queued (possibly preempting lower-priority tasks).
     pub fn submit(&mut self, spec: JobSpec) -> Result<TaskId, SubmitError> {
@@ -819,7 +808,10 @@ impl Platform {
             Ev::LinkRestore { node } => {
                 if let Some(eng) = self.engine.as_mut() {
                     if let Some(&(r, _)) = eng.cluster.hw[node].ib_send(0).0.last() {
-                        eng.cluster.fluid.restore(r);
+                        eng.cluster
+                            .fluid
+                            .restore(r)
+                            .expect("cluster IB resource registered");
                     }
                 }
                 self.note("link-restored");
@@ -838,7 +830,10 @@ impl Platform {
                 let n = node % self.nodes.len();
                 if let Some(eng) = self.engine.as_mut() {
                     if let Some(&(r, _)) = eng.cluster.hw[n].ib_send(0).0.last() {
-                        eng.cluster.fluid.degrade(r, factor);
+                        eng.cluster
+                            .fluid
+                            .degrade(r, factor)
+                            .expect("fault plan degrade factor in (0, 1]");
                         self.timers.schedule(
                             self.now + SimDuration::from_secs(FLASH_CUT_REPAIR_S),
                             Ev::LinkRestore { node: n },
@@ -1668,10 +1663,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constructor_still_schedules() {
-        let mut p = Platform::new([2, 0], 300);
-        let t = p.submit(JobSpec::new("old-api", 2, 10)).unwrap();
+    fn builder_is_the_only_constructor_and_schedules() {
+        let mut p = PlatformConfig::new()
+            .zones([2, 0])
+            .ckpt_interval(300)
+            .build()
+            .unwrap();
+        let t = p.submit(JobSpec::new("builder-api", 2, 10)).unwrap();
         p.tick(10);
         assert_eq!(p.state(t), Some(TaskState::Succeeded));
     }

@@ -19,6 +19,7 @@ pub mod bench;
 pub mod bytes;
 pub mod channel;
 pub mod error;
+pub mod par;
 pub mod rng;
 pub mod scengen;
 pub mod sync;

@@ -1,0 +1,212 @@
+//! Deterministic fork/join parallelism on a shared worker pool.
+//!
+//! The build environment has no access to crates.io, so this is the
+//! workspace's std-only stand-in for `rayon`: a lazily-started global pool
+//! of OS threads fed through an [`unbounded`](crate::channel::unbounded)
+//! channel, plus a weighted map primitive whose output is a pure function
+//! of its input — results come back keyed by input index, and the
+//! deterministic LPT (longest-processing-time) packing that assigns items
+//! to lanes depends only on the declared weights, never on runtime timing.
+//!
+//! Callers that must produce bit-identical results at any thread count
+//! (the fluid solver's component-parallel path) rely on exactly that
+//! contract: each item is solved independently, and the caller merges the
+//! index-ordered results serially.
+//!
+//! The pool width is read once from the environment: `RAYON_NUM_THREADS`
+//! (honoring the name the rest of the ecosystem uses), then `FF_THREADS`,
+//! then [`std::thread::available_parallelism`]. Individual calls can
+//! narrow (never widen) their effective width with the `width` argument,
+//! which is how the thread-count determinism tests sweep 1/2/8 threads in
+//! one process.
+
+use crate::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// A queued unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared worker pool. Obtain it with [`pool`].
+pub struct ParPool {
+    tx: Sender<Job>,
+    workers: usize,
+}
+
+static POOL: OnceLock<ParPool> = OnceLock::new();
+
+/// The configured default width: `RAYON_NUM_THREADS`, else `FF_THREADS`,
+/// else the machine's available parallelism, clamped to `1..=256`.
+pub fn default_threads() -> usize {
+    fn from_env(name: &str) -> Option<usize> {
+        std::env::var(name).ok()?.trim().parse::<usize>().ok()
+    }
+    from_env("RAYON_NUM_THREADS")
+        .or_else(|| from_env("FF_THREADS"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, 256)
+}
+
+/// The global pool, started on first use. It keeps at least 8 lanes even
+/// when [`default_threads`] is smaller: effective width is chosen per
+/// call (and *defaults* to `default_threads()`), but the thread-count
+/// determinism suites must be able to genuinely oversubscribe a
+/// single-core CI box, and idle lanes just block on the queue.
+pub fn pool() -> &'static ParPool {
+    POOL.get_or_init(|| ParPool::new(default_threads().max(8)))
+}
+
+impl ParPool {
+    fn new(workers: usize) -> ParPool {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        for i in 0..workers {
+            let rx: Receiver<Job> = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("ff-par-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panicking job must not take the worker down with
+                        // it: the caller notices the dropped result sender
+                        // and re-raises; the lane stays usable.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        ParPool { tx, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item on the pool and return the results in input
+    /// order. `width` caps how many lanes are used (clamped to
+    /// `1..=workers()`); items are packed into lanes by deterministic LPT
+    /// on the declared `weight`s, so the lane assignment — and therefore
+    /// every observable of this call — is independent of runtime timing.
+    ///
+    /// With an effective width of 1 (or 0–1 items) the items are mapped
+    /// inline on the caller's thread: `width == 1` means *serial*, not
+    /// "one worker".
+    ///
+    /// Panics if a worker lane panics while running `f`.
+    pub fn map_weighted<T, R>(&self, items: Vec<(u64, T)>, width: usize, f: fn(T) -> R) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        let n = items.len();
+        let width = width.clamp(1, self.workers).min(n);
+        if width <= 1 {
+            return items.into_iter().map(|(_, it)| f(it)).collect();
+        }
+        // Deterministic LPT: heaviest first, each to the currently
+        // lightest lane (lowest index on ties). Sort is by (weight desc,
+        // input index asc) — stable under equal weights.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| items[b].0.cmp(&items[a].0).then(a.cmp(&b)));
+        let mut lanes: Vec<Vec<usize>> = vec![Vec::new(); width];
+        let mut lane_load = vec![0u64; width];
+        for idx in order {
+            let lane = (0..width).min_by_key(|&l| (lane_load[l], l)).unwrap();
+            lane_load[lane] += items[idx].0.max(1);
+            lanes[lane].push(idx);
+        }
+        let mut slots: Vec<Option<(u64, T)>> = items.into_iter().map(Some).collect();
+        let (rtx, rrx) = unbounded::<(usize, R)>();
+        for lane in lanes {
+            let batch: Vec<(usize, T)> = lane
+                .into_iter()
+                .map(|idx| (idx, slots[idx].take().expect("item packed once").1))
+                .collect();
+            let rtx = rtx.clone();
+            let sent = self.tx.send(Box::new(move || {
+                for (idx, item) in batch {
+                    let r = f(item);
+                    if rtx.send((idx, r)).is_err() {
+                        return;
+                    }
+                }
+            }));
+            assert!(sent.is_ok(), "pool workers alive");
+        }
+        drop(rtx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut got = 0usize;
+        while got < n {
+            match rrx.recv() {
+                Ok((idx, r)) => {
+                    debug_assert!(out[idx].is_none(), "result delivered twice");
+                    out[idx] = Some(r);
+                    got += 1;
+                }
+                Err(_) => panic!("parallel map lane panicked"),
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every index delivered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_results_in_input_order() {
+        let items: Vec<(u64, u64)> = (0..97).map(|i| (i % 7 + 1, i)).collect();
+        let out = pool().map_weighted(items, 8, |x| x * 3);
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_one_runs_inline() {
+        let out = pool().map_weighted(vec![(1u64, 5usize), (1, 6)], 1, |x| x + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<(u64, u32)> = Vec::new();
+        assert!(pool().map_weighted(empty, 4, |x| x).is_empty());
+        assert_eq!(
+            pool().map_weighted(vec![(9, 41u32)], 4, |x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn results_identical_across_widths() {
+        let items = |n: u64| -> Vec<(u64, u64)> { (0..n).map(|i| (i * 31 % 13 + 1, i)).collect() };
+        let golden = pool().map_weighted(items(200), 1, |x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        for width in [2, 3, 8] {
+            let got =
+                pool().map_weighted(items(200), width, |x| x.wrapping_mul(0x9E3779B97F4A7C15));
+            assert_eq!(got, golden, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn lane_panic_is_propagated_not_hung() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool().map_weighted(vec![(1u64, 0u32), (1, 1)], 2, |x| {
+                assert!(x != 1, "boom");
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // The pool must still work afterwards.
+        assert_eq!(
+            pool().map_weighted(vec![(1u64, 1u32)], 2, |x| x + 1),
+            vec![2]
+        );
+    }
+}

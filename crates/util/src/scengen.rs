@@ -45,6 +45,35 @@ impl Default for GenConfig {
     }
 }
 
+impl GenConfig {
+    /// Preset for thread-count determinism sweeps: many resources with
+    /// short routes, so one recompute tends to find *several*
+    /// simultaneously dirty connected components — the shape that
+    /// actually exercises parallel dispatch and deterministic merge
+    /// order. Long gaps let flows pile up across the topology before
+    /// the next structural event forces a solve.
+    pub fn wide() -> Self {
+        GenConfig {
+            max_resources: 32,
+            max_events: 120,
+            max_route_len: 3,
+            max_gap_ns: 2_000_000,
+        }
+    }
+
+    /// Preset for dense multi-resource components: longer routes over a
+    /// mid-sized pool with tight event spacing, maximizing same-instant
+    /// batches and flows whose routes overlap on several resources.
+    pub fn dense() -> Self {
+        GenConfig {
+            max_resources: 24,
+            max_events: 96,
+            max_route_len: 6,
+            max_gap_ns: 800_000,
+        }
+    }
+}
+
 /// One scheduled action against the simulated topology.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenEvent {

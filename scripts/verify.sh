@@ -17,6 +17,12 @@ cargo test -q --release --offline -p fireflyer --test storage_failover
 echo "==> HAI platform full-scale smoke (release, fixed seed)"
 cargo test -q --release --offline -p ff-bench --test hai_platform_smoke
 
+echo "==> fluid solver perf smoke (release, vs committed BENCH_fluid.json)"
+# Deterministic solver mix: event count must match the committed baseline
+# bit-for-bit, and events/sec must stay within a 20% regression budget.
+# Regenerate the artifact with `fluid_bench --write` when a PR moves it.
+cargo run -q --release --offline -p ff-bench --bin fluid_bench -- --check
+
 echo "==> cargo clippy -D warnings (ff-platform)"
 cargo clippy --offline -p ff-platform --all-targets -- -D warnings
 

@@ -289,8 +289,8 @@ fn fluid_cluster_trace(seed: u64) -> (String, String) {
                     active.push(sim.start_flow(work, &route64(&c, src, dst)));
                 }
             }
-            Ctl::Degrade(n, factor) => sim.degrade(c.nic_up[n], factor),
-            Ctl::Restore(n) => sim.restore(c.nic_up[n]),
+            Ctl::Degrade(n, factor) => sim.degrade(c.nic_up[n], factor).expect("valid degrade"),
+            Ctl::Restore(n) => sim.restore(c.nic_up[n]).expect("valid restore"),
             Ctl::CancelSome(k) => {
                 for _ in 0..k {
                     if active.is_empty() {
