@@ -24,11 +24,13 @@
 //! | `ablation_congestion` | §VI-A/VIII-A — VLs, routing, RTS, DCQCN |
 //! | `ops_recovery` | §VII-A — checkpoint cadence vs lost work |
 //! | `hai_platform` | §VI-C — the HAI scheduler at full cluster scale |
+//! | `serving_bench` | ISSUE 7 — serving tier vs training throughput, p99 under failures |
 //! | `background_figs` | Figures 1–3 — background growth charts |
 
 #![forbid(unsafe_code)]
 
 pub mod hai;
+pub mod serving;
 
 use std::fmt::Display;
 

@@ -239,6 +239,82 @@ fn restore_exactly_undoes_degrade() {
     }
 }
 
+/// Interleaving congestion-control rate caps with degrade/restore cycles
+/// keeps the allocation inside the *composed* ceiling at every step:
+/// effective capacity is `min(capacity × degrade, cap)`, so a restore
+/// must lift only the degradation — a cap installed before (or during)
+/// the degraded window still binds afterwards.
+#[test]
+fn rate_caps_survive_degrade_restore_interleaving() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF108);
+    const FACTORS: [f64; 3] = [0.25, 0.5, 0.75];
+    for _ in 0..CASES {
+        let s = scenario(&mut rng);
+        let (mut sim, rids, _fids) = build(&s);
+        // Shadow model of what the effective ceiling must be.
+        let mut capped = vec![f64::INFINITY; rids.len()];
+        let mut degraded = vec![1.0f64; rids.len()];
+        for _ in 0..24 {
+            let ri = rng.gen_range(0..rids.len());
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    let cap = s.capacities[ri] * rng.gen_range(0.2f64..1.2);
+                    sim.set_rate_cap(rids[ri], cap).expect("valid cap");
+                    capped[ri] = cap;
+                }
+                1 => {
+                    sim.set_rate_cap(rids[ri], 1e18).expect("lift cap");
+                    capped[ri] = f64::INFINITY;
+                }
+                2 => {
+                    let f = FACTORS[rng.gen_range(0..FACTORS.len())];
+                    sim.degrade(rids[ri], f).expect("valid degrade");
+                    degraded[ri] = f;
+                }
+                3 => {
+                    sim.restore(rids[ri]).expect("valid restore");
+                    degraded[ri] = 1.0;
+                }
+                // Let flows progress (halfway to the next completion)
+                // mid-cycle.
+                _ => {
+                    if let Some(tc) = sim.next_completion_time() {
+                        let mid = sim.now().as_nanos() + (tc.as_nanos() - sim.now().as_nanos()) / 2;
+                        sim.advance_to(SimTime(mid));
+                    }
+                }
+            }
+            for (i, rid) in rids.iter().enumerate() {
+                let ceiling = (s.capacities[i] * degraded[i]).min(capped[i]);
+                let eff = sim.effective_capacity(*rid);
+                assert!(
+                    (eff - ceiling.min(1e18)).abs() <= ceiling.min(1e18) * 1e-9,
+                    "resource {i}: effective capacity {eff} != composed ceiling {ceiling}"
+                );
+                let load = sim.resource_load(*rid);
+                assert!(
+                    load <= eff * (1.0 + 1e-6),
+                    "resource {i}: load {load} > effective capacity {eff}"
+                );
+            }
+        }
+        // Restore everything; caps alone must still bind.
+        for (i, rid) in rids.iter().enumerate() {
+            sim.restore(*rid).expect("valid restore");
+            degraded[i] = 1.0;
+        }
+        for (i, rid) in rids.iter().enumerate() {
+            let ceiling = s.capacities[i].min(capped[i]).min(1e18);
+            let eff = sim.effective_capacity(*rid);
+            assert!(
+                (eff - ceiling).abs() <= ceiling * 1e-9,
+                "resource {i}: cap forgotten after restore ({eff} vs {ceiling})"
+            );
+            assert!(sim.resource_load(*rid) <= eff * (1.0 + 1e-6));
+        }
+    }
+}
+
 /// Determinism: building the same scenario twice gives identical rates
 /// and identical completion timelines.
 #[test]

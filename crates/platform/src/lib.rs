@@ -30,6 +30,7 @@ pub mod checkpoint;
 pub mod hostping;
 pub mod recovery;
 pub mod scheduler;
+pub mod serving;
 pub mod storage_health;
 pub mod validator;
 
@@ -43,5 +44,6 @@ pub use recovery::{
 pub use scheduler::{
     ConfigError, JobSpec, Platform, PlatformConfig, SubmitError, TaskId, TaskState,
 };
+pub use serving::{ServingId, ServingReport, ServingSpec};
 pub use storage_health::StoragePlane;
 pub use validator::{run_all_checks, CheckOutcome, NodeUnderTest};

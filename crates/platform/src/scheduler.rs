@@ -83,6 +83,14 @@ pub enum SubmitError {
         /// Compute nodes in the whole cluster.
         cluster: usize,
     },
+    /// A serving trace contains a request whose full KV-cache footprint
+    /// exceeds the per-replica budget — it could never be admitted.
+    KvOverflow {
+        /// Largest single-request KV footprint in the trace.
+        need_bytes: u64,
+        /// Configured per-replica KV capacity.
+        capacity_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -92,6 +100,15 @@ impl std::fmt::Display for SubmitError {
             SubmitError::ZeroWork => write!(f, "job declares zero work"),
             SubmitError::TooLarge { need, cluster } => {
                 write!(f, "job needs {need} nodes but the cluster has {cluster}")
+            }
+            SubmitError::KvOverflow {
+                need_bytes,
+                capacity_bytes,
+            } => {
+                write!(
+                    f,
+                    "a request needs {need_bytes} KV bytes but a replica holds {capacity_bytes}"
+                )
             }
         }
     }
@@ -214,6 +231,7 @@ pub struct PlatformConfig {
     recorder: Option<Arc<Recorder>>,
     repair_delay_s: u64,
     validation_s: u64,
+    solver_threads: usize,
 }
 
 impl PlatformConfig {
@@ -228,7 +246,16 @@ impl PlatformConfig {
             recorder: None,
             repair_delay_s: 3600,
             validation_s: 60,
+            solver_threads: 1,
         }
+    }
+
+    /// Worker threads for the fluid bandwidth solver (fluid mode only).
+    /// Results are bit-identical at any thread count; this only trades
+    /// wall-clock for cores on large clusters.
+    pub fn solver_threads(mut self, n: usize) -> PlatformConfig {
+        self.solver_threads = n.max(1);
+        self
     }
 
     /// Compute nodes per fat-tree zone (declared mode). Ignored when a
@@ -284,7 +311,8 @@ impl PlatformConfig {
         let manager = ClusterManager::new(30_000, 10_000);
         let mut nodes = Vec::new();
         let mut engine = None;
-        if let Some(cluster) = self.cluster {
+        if let Some(mut cluster) = self.cluster {
+            cluster.fluid.set_threads(self.solver_threads);
             let total = cluster.nodes();
             let storage = if self.storage_nodes == 0 {
                 (total / 25).max(1)
@@ -378,6 +406,9 @@ impl PlatformConfig {
             preemptions: 0,
             failures: 0,
             obs,
+            serve_track: None,
+            serving: BTreeMap::new(),
+            next_serving: 1,
             dirty: false,
         })
     }
@@ -389,6 +420,18 @@ fn node_name(i: usize) -> String {
 
 fn storage_name(j: usize) -> String {
     format!("sched-s{j}")
+}
+
+/// Who occupies a compute node: a (preemptible) training task or a
+/// (non-preemptible) serving replica. Keeping the two in one typed slot
+/// makes it impossible for victim selection — which only ever walks the
+/// training task map — to evict a serving replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Owner {
+    /// A training task from [`Platform::submit`].
+    Train(TaskId),
+    /// Replica `.1` of serving job `.0` from [`Platform::submit_serving`].
+    Serve(crate::serving::ServingId, u32),
 }
 
 /// What a fluid-mode task is currently doing on the network.
@@ -438,16 +481,16 @@ struct Task {
 }
 
 #[derive(Debug, Clone)]
-struct Node {
-    zone: u8,
-    up: bool,
-    running: Option<TaskId>,
+pub(crate) struct Node {
+    pub(crate) zone: u8,
+    pub(crate) up: bool,
+    pub(crate) running: Option<Owner>,
     /// Bumped on every fail/heal; stale timer events are dropped.
     gen: u64,
 }
 
 /// Timer events driving the platform.
-enum Ev {
+pub(crate) enum Ev {
     /// A declared-mode task finishes its remaining work.
     TaskDone { id: TaskId, epoch: u64 },
     /// Failure detection confirms a suspect node (Suspect → Quarantined).
@@ -462,19 +505,29 @@ enum Ev {
     LinkRestore { node: usize },
     /// A failed storage host comes back and its targets re-sync.
     StorageRepair { host: usize },
+    /// The next request of a serving job's arrival trace lands.
+    ServeArrive { sid: crate::serving::ServingId },
+    /// A serving replica's in-flight decode segment finishes its compute
+    /// time (declared: the segment is done; fluid: the tensor-parallel
+    /// flows start now). Stale epochs are dropped.
+    ServeSeg {
+        sid: crate::serving::ServingId,
+        rep: u32,
+        epoch: u64,
+    },
 }
 
 /// Fluid-mode machinery: the bandwidth model, the storage pool and the
-/// flow → task ownership map.
-struct FluidEngine {
-    cluster: ClusterModel,
+/// flow → owner ownership map.
+pub(crate) struct FluidEngine {
+    pub(crate) cluster: ClusterModel,
     /// Absolute node indices (in the cluster model) serving storage.
     storage_hosts: Vec<usize>,
     storage_up: Vec<bool>,
     chains: Vec<Arc<Chain>>,
     /// Per storage-pool index: the (chain, target) replicas it hosts.
     host_targets: Vec<Vec<(usize, Arc<StorageTarget>)>>,
-    flow_owner: BTreeMap<FlowId, TaskId>,
+    pub(crate) flow_owner: BTreeMap<FlowId, Owner>,
 }
 
 impl FluidEngine {
@@ -490,26 +543,31 @@ impl FluidEngine {
 
 /// The scheduling platform — see the module docs for the two modes.
 pub struct Platform {
-    now: SimTime,
+    pub(crate) now: SimTime,
     ckpt_interval: u64,
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     tasks: BTreeMap<TaskId, Task>,
     next_id: u64,
-    timers: EventQueue<Ev>,
+    pub(crate) timers: EventQueue<Ev>,
     manager: Arc<ClusterManager>,
-    engine: Option<FluidEngine>,
+    pub(crate) engine: Option<FluidEngine>,
     repair_delay_s: u64,
     validation_s: u64,
     busy_node_ns: u128,
     healthy_node_ns: u128,
-    busy_nodes: usize,
+    pub(crate) busy_nodes: usize,
     up_nodes: usize,
     /// Work lost to failures, in node-units.
     lost_work: u64,
     preemptions: u64,
     failures: u64,
-    obs: Option<(Arc<Recorder>, TrackId)>,
-    dirty: bool,
+    pub(crate) obs: Option<(Arc<Recorder>, TrackId)>,
+    /// Lazily-created `platform/serve` observability track (created on the
+    /// first serving submission so train-only runs keep their digests).
+    pub(crate) serve_track: Option<TrackId>,
+    pub(crate) serving: BTreeMap<crate::serving::ServingId, crate::serving::ServingJob>,
+    pub(crate) next_serving: u64,
+    pub(crate) dirty: bool,
 }
 
 impl Platform {
@@ -667,8 +725,10 @@ impl Platform {
             self.now + SimDuration::from_secs(DETECT_CONFIRM_S),
             Ev::ConfirmFail { node, gen },
         );
-        if let Some(id) = self.nodes[node].running {
-            self.rollback_and_requeue(id);
+        match self.nodes[node].running {
+            Some(Owner::Train(id)) => self.rollback_and_requeue(id),
+            Some(Owner::Serve(sid, rep)) => self.serve_replica_down(sid, rep),
+            None => {}
         }
         if auto_repair {
             let delay = self.repair_delay_s.max(DETECT_CONFIRM_S + 1);
@@ -805,6 +865,8 @@ impl Platform {
                 }
             }
             Ev::Fault { node, action } => self.handle_fault(node, action),
+            Ev::ServeArrive { sid } => self.serve_arrival(sid),
+            Ev::ServeSeg { sid, rep, epoch } => self.serve_seg_event(sid, rep, epoch),
             Ev::LinkRestore { node } => {
                 if let Some(eng) = self.engine.as_mut() {
                     if let Some(&(r, _)) = eng.cluster.hw[node].ib_send(0).0.last() {
@@ -844,7 +906,10 @@ impl Platform {
             }
             FaultAction::CorruptData { .. } => {
                 let n = node % self.nodes.len();
-                if let Some(id) = self.nodes[n].running {
+                // Serving replicas hold no checkpoints to poison; a flipped
+                // bit in a KV cache surfaces as one bad response, not a
+                // recovery hazard.
+                if let Some(Owner::Train(id)) = self.nodes[n].running {
                     let t = self.tasks.get_mut(&id).expect("running task exists");
                     t.ckpt_poisoned = true;
                     self.note("ckpt-poisoned");
@@ -913,11 +978,26 @@ impl Platform {
 
     /// Run `f` with the engine detached so it can borrow the rest of
     /// `self` freely. No-op (None) in declared mode.
-    fn with_engine<R>(&mut self, f: impl FnOnce(&mut Self, &mut FluidEngine) -> R) -> Option<R> {
+    pub(crate) fn with_engine<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self, &mut FluidEngine) -> R,
+    ) -> Option<R> {
         let mut eng = self.engine.take()?;
         let r = f(self, &mut eng);
         self.engine = Some(eng);
         Some(r)
+    }
+
+    /// Like [`with_engine`], but also runs `f` in declared mode (with
+    /// `None`) — for code paths serving shares between the two modes.
+    pub(crate) fn with_opt_engine<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self, Option<&mut FluidEngine>) -> R,
+    ) -> R {
+        let mut eng = self.engine.take();
+        let r = f(self, eng.as_mut());
+        self.engine = eng;
+        r
     }
 
     fn cancel_task_flows(&mut self, id: TaskId) {
@@ -931,21 +1011,26 @@ impl Platform {
         });
     }
 
-    /// Flow completions from the fluid sim: group by owning task and fire
-    /// phase transitions for tasks whose whole flow set finished.
+    /// Flow completions from the fluid sim: group by owner and fire phase
+    /// transitions for owners whose whole flow set finished.
     fn handle_flows(&mut self, done: Vec<FlowId>) {
         self.with_engine(|p, eng| {
-            let mut by_owner: BTreeMap<TaskId, Vec<FlowId>> = BTreeMap::new();
+            let mut by_owner: BTreeMap<Owner, Vec<FlowId>> = BTreeMap::new();
             for f in done {
-                if let Some(id) = eng.flow_owner.remove(&f) {
-                    by_owner.entry(id).or_default().push(f);
+                if let Some(o) = eng.flow_owner.remove(&f) {
+                    by_owner.entry(o).or_default().push(f);
                 }
             }
-            for (id, fs) in by_owner {
-                let t = p.tasks.get_mut(&id).expect("flow owner exists");
-                t.flows.retain(|f| !fs.contains(f));
-                if t.flows.is_empty() {
-                    p.phase_complete(eng, id);
+            for (owner, fs) in by_owner {
+                match owner {
+                    Owner::Train(id) => {
+                        let t = p.tasks.get_mut(&id).expect("flow owner exists");
+                        t.flows.retain(|f| !fs.contains(f));
+                        if t.flows.is_empty() {
+                            p.phase_complete(eng, id);
+                        }
+                    }
+                    Owner::Serve(sid, rep) => p.serve_flows_done(eng, sid, rep, &fs),
                 }
             }
         });
@@ -1010,7 +1095,7 @@ impl Platform {
         t.phase = Phase::Step;
         for route in &routes {
             let f = eng.cluster.fluid.start_flow(work, route);
-            eng.flow_owner.insert(f, id);
+            eng.flow_owner.insert(f, Owner::Train(id));
             t.flows.push(f);
         }
     }
@@ -1042,7 +1127,7 @@ impl Platform {
         t.phase = Phase::Ckpt;
         for route in &routes {
             let f = eng.cluster.fluid.start_flow(work, route);
-            eng.flow_owner.insert(f, id);
+            eng.flow_owner.insert(f, Owner::Train(id));
             t.flows.push(f);
         }
     }
@@ -1063,7 +1148,7 @@ impl Platform {
         t.phase = Phase::Restore;
         for route in &routes {
             let f = eng.cluster.fluid.start_flow(work, route);
-            eng.flow_owner.insert(f, id);
+            eng.flow_owner.insert(f, Owner::Train(id));
             t.flows.push(f);
         }
     }
@@ -1127,7 +1212,7 @@ impl Platform {
     /// Deliver the interruption signal: checkpoint, then release.
     /// Declared-mode saves are instantaneous; fluid-mode tasks enter
     /// `Interrupting` and keep their nodes until the save lands on 3FS.
-    fn signal_interrupt(&mut self, id: TaskId) {
+    pub(crate) fn signal_interrupt(&mut self, id: TaskId) {
         self.preemptions += 1;
         self.note("interrupt-signal");
         if self.engine.is_none() {
@@ -1189,8 +1274,12 @@ impl Platform {
 
     /// Priority scheduling with preemption and the cross-zone rule, plus
     /// backfill: smaller tasks run whenever nodes would otherwise idle.
-    fn schedule_now(&mut self) {
+    pub(crate) fn schedule_now(&mut self) {
         self.dirty = false;
+        // Serving first: replicas are latency-bound and non-preemptible, so
+        // they get first pick of free nodes (and may signal training
+        // victims) before any training placement runs.
+        self.schedule_serving();
         // Preemption pass for the highest-priority waiting task only.
         let top = self
             .tasks
@@ -1266,7 +1355,7 @@ impl Platform {
             .count()
     }
 
-    fn free_by_zone(&self) -> [Vec<usize>; 2] {
+    pub(crate) fn free_by_zone(&self) -> [Vec<usize>; 2] {
         let mut free = [Vec::new(), Vec::new()];
         for (i, n) in self.nodes.iter().enumerate() {
             if n.up && n.running.is_none() {
@@ -1274,6 +1363,40 @@ impl Platform {
             }
         }
         free
+    }
+
+    /// Per-zone count of nodes currently being freed by in-flight
+    /// interrupts (tasks in `Interrupting` finishing their saves).
+    pub(crate) fn interrupting_by_zone(&self) -> [usize; 2] {
+        let mut n = [0usize; 2];
+        for t in self.tasks.values() {
+            if t.state == TaskState::Interrupting {
+                for &node in &t.assigned {
+                    n[self.nodes[node].zone as usize] += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Running training tasks as preemption candidates, lowest priority
+    /// first, with their node counts per zone. Serving replicas are not in
+    /// this map and therefore can never appear as victims.
+    pub(crate) fn victims_by_zone(&self) -> Vec<(TaskId, [usize; 2])> {
+        let mut v: Vec<(i32, TaskId, [usize; 2])> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.state == TaskState::Running)
+            .map(|(&id, t)| {
+                let mut n = [0usize; 2];
+                for &node in &t.assigned {
+                    n[self.nodes[node].zone as usize] += 1;
+                }
+                (t.priority, id, n)
+            })
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, id, n)| (id, n)).collect()
     }
 
     fn cross_zone_active(&self) -> bool {
@@ -1301,7 +1424,7 @@ impl Platform {
             return false;
         };
         for &n in &nodes {
-            self.nodes[n].running = Some(id);
+            self.nodes[n].running = Some(Owner::Train(id));
         }
         self.busy_nodes += nodes.len();
         let t = self.tasks.get_mut(&id).expect("task exists");
@@ -1387,6 +1510,18 @@ impl Platform {
         self.tasks.get(&id).map(|t| t.assigned.as_slice())
     }
 
+    /// The training task occupying a compute node right now, or `None`
+    /// when the node is free, down, unknown, or held by a serving
+    /// replica. Unlike [`Platform::assignment`] this reads the node slot
+    /// directly, so it can never report a task that has since released
+    /// the node — the slot is cleared before any requeue.
+    pub fn node_task(&self, node: usize) -> Option<TaskId> {
+        match self.nodes.get(node)?.running {
+            Some(Owner::Train(id)) => Some(id),
+            _ => None,
+        }
+    }
+
     /// Fraction of healthy node-time spent running tasks.
     pub fn utilization(&self) -> f64 {
         if self.healthy_node_ns == 0 {
@@ -1445,7 +1580,7 @@ impl Platform {
         &self.manager
     }
 
-    fn note(&self, what: &str) {
+    pub(crate) fn note(&self, what: &str) {
         if let Some((rec, track)) = &self.obs {
             rec.instant(*track, what, self.now.0, 1.0);
         }
@@ -1456,6 +1591,24 @@ impl Platform {
             rec.gauge_set("platform/utilization", self.utilization());
             rec.gauge_set("platform/queue_depth", self.queue_depth() as f64);
             rec.gauge_set("platform/lost_work", self.lost_work as f64);
+            // Serving gauges only once a serving job exists, so train-only
+            // runs keep their historical digests.
+            if !self.serving.is_empty() {
+                let (mut done, mut met, mut inflight) = (0u64, 0u64, 0usize);
+                for j in self.serving.values() {
+                    done += j.completed();
+                    met += j.slo_met();
+                    inflight += j.in_flight();
+                }
+                let attain = if done == 0 {
+                    1.0
+                } else {
+                    met as f64 / done as f64
+                };
+                rec.gauge_set("platform/serve/completed", done as f64);
+                rec.gauge_set("platform/serve/slo_attainment", attain);
+                rec.gauge_set("platform/serve/inflight", inflight as f64);
+            }
         }
     }
 }

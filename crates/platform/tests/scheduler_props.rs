@@ -156,6 +156,75 @@ fn randomized_sequences_preserve_invariants() {
 }
 
 #[test]
+fn node_slots_mirror_assignments_under_churn() {
+    // Regression guard for stale-slot reads (ISSUE 7 satellite): the
+    // per-node owner slot behind `node_task` must stay a perfect mirror
+    // of task assignments through every submit / preempt / fail / heal /
+    // requeue transition — a completed or requeued task must never be
+    // observable through a node slot it released.
+    for seed in 40..72u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = PlatformConfig::new()
+            .zones(ZONES)
+            .ckpt_interval(120)
+            .build()
+            .unwrap();
+        let total = ZONES[0] + ZONES[1];
+        let mut ids: Vec<TaskId> = Vec::new();
+        for op in 0..200 {
+            match rng.gen_range(0..10u32) {
+                0..=2 => ids.push(
+                    p.submit(
+                        JobSpec::new(
+                            format!("c{op}"),
+                            rng.gen_range(1..9usize),
+                            rng.gen_range(30..901u64),
+                        )
+                        .priority(rng.gen_range(0..11i32) - 5),
+                    )
+                    .unwrap(),
+                ),
+                3..=4 => p.fail_node(rng.gen_range(0..total)),
+                5..=6 => p.heal_node(rng.gen_range(0..total)),
+                _ => p.tick(rng.gen_range(1..121u64)),
+            }
+            // Forward direction: every running task's nodes report it.
+            let mut slots_expected = 0usize;
+            for &id in &ids {
+                let state = p.state(id).unwrap();
+                let assigned = p.assignment(id).unwrap();
+                if matches!(state, TaskState::Running | TaskState::Interrupting) {
+                    slots_expected += assigned.len();
+                    for &n in assigned {
+                        assert_eq!(
+                            p.node_task(n),
+                            Some(id),
+                            "seed {seed} op {op}: node {n} slot disagrees with assignment of {id:?} ({state:?})"
+                        );
+                    }
+                } else {
+                    // Reverse direction: a task that released its nodes is
+                    // unreachable through any slot.
+                    for n in 0..total {
+                        assert_ne!(
+                            p.node_task(n),
+                            Some(id),
+                            "seed {seed} op {op}: stale slot on node {n} still names {id:?} in {state:?}"
+                        );
+                    }
+                }
+            }
+            // No orphan slots: every occupied slot was counted above.
+            let occupied = (0..total).filter(|&n| p.node_task(n).is_some()).count();
+            assert_eq!(
+                occupied, slots_expected,
+                "seed {seed} op {op}: orphaned node slots"
+            );
+        }
+    }
+}
+
+#[test]
 fn same_seed_same_trajectory() {
     // Determinism: two platforms fed the identical operation stream agree
     // on every observable at every step.

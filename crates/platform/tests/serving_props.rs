@@ -1,0 +1,424 @@
+//! Seeded property tests for the serving tier (ISSUE 7): SLO accounting,
+//! KV-cache safety, the serving/training preemption asymmetry and
+//! declared-vs-fluid agreement must hold across hundreds of seeds.
+//!
+//! Properties:
+//!   1. Same seed → identical serving trajectory (latencies, reports,
+//!      training outcomes), declared mode.
+//!   2. KV-cache bytes never exceed replica memory, even under a
+//!      deliberately starved KV budget — and the KV gate never deadlocks.
+//!   3. Latency is monotone in offered load up to a bounded batching
+//!      slack: adding requests never speeds a common request up by more
+//!      than one admission phase.
+//!   4. Serving is never preempted: a placed replica moves only when one
+//!      of its own nodes fails, regardless of training priorities.
+//!   5. Training work is conserved with serving present: after the
+//!      serving job stops and the cluster heals, every training task
+//!      still runs to completion.
+//!   6. Declared and fluid mode agree on the request timeline up to the
+//!      (bounded, strictly positive) network time fluid adds.
+
+use ff_platform::{JobSpec, Platform, PlatformConfig, ServingSpec, TaskState};
+use ff_reduce::{ClusterConfig, ClusterModel};
+use ff_util::rng::ChaCha8Rng;
+use ff_util::scengen::{ArrivalConfig, ArrivalTrace};
+use std::collections::BTreeMap;
+
+const ZONES: [usize; 2] = [8, 8];
+
+/// A short diurnal+bursty trace sized for sub-second test runs.
+fn small_trace(seed: u64, qps: f64, duration_s: f64) -> ArrivalTrace {
+    ArrivalTrace::generate(
+        seed,
+        &ArrivalConfig {
+            duration_s,
+            base_qps: qps,
+            ..ArrivalConfig::default()
+        },
+    )
+}
+
+fn declared_platform() -> Platform {
+    PlatformConfig::new()
+        .zones(ZONES)
+        .ckpt_interval(300)
+        .build()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Determinism: same seed, same trajectory.
+// ---------------------------------------------------------------------------
+
+/// Everything observable about one training task at the end of a run.
+type TrainOutcome = (Option<TaskState>, Option<u64>, Option<Vec<usize>>);
+
+/// Everything observable about one mixed serve+train run.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    latencies: Vec<(u64, u64)>,
+    completed: u64,
+    slo_met: u64,
+    in_flight: usize,
+    replicas_up: usize,
+    redirects: u64,
+    train: Vec<TrainOutcome>,
+    utilization_bits: u64,
+}
+
+/// One seeded mixed workload: a serving job plus random training
+/// submit / fail / heal / tick interleavings.
+fn mixed_run(seed: u64) -> Snapshot {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut p = declared_platform();
+    let sid = p
+        .submit_serving(ServingSpec::new(
+            "chat",
+            2,
+            2,
+            small_trace(seed, 2.0, 120.0),
+        ))
+        .unwrap();
+    let mut ids = Vec::new();
+    for op in 0..80 {
+        match rng.gen_range(0..10u32) {
+            0..=2 => ids.push(
+                p.submit(
+                    JobSpec::new(
+                        format!("t{op}"),
+                        rng.gen_range(1..6usize),
+                        rng.gen_range(60..1801u64),
+                    )
+                    .priority(rng.gen_range(0..11i32) - 5),
+                )
+                .unwrap(),
+            ),
+            3..=4 => p.fail_node(rng.gen_range(0..16usize)),
+            5..=6 => p.heal_node(rng.gen_range(0..16usize)),
+            _ => p.tick(rng.gen_range(1..31u64)),
+        }
+    }
+    p.tick(300);
+    let rep = p.serving_report(sid).unwrap();
+    Snapshot {
+        latencies: p.serving_latencies(sid).unwrap().to_vec(),
+        completed: rep.completed,
+        slo_met: rep.slo_met,
+        in_flight: rep.in_flight,
+        replicas_up: rep.replicas_up,
+        redirects: rep.redirects,
+        train: ids
+            .iter()
+            .map(|&id| {
+                (
+                    p.state(id),
+                    p.progress(id),
+                    p.assignment(id).map(<[usize]>::to_vec),
+                )
+            })
+            .collect(),
+        utilization_bits: p.utilization().to_bits(),
+    }
+}
+
+#[test]
+fn same_seed_same_serving_trajectory() {
+    for seed in 0..8u64 {
+        assert_eq!(mixed_run(seed), mixed_run(seed), "seed {seed} diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. KV-cache safety under a starved budget.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kv_cache_never_exceeds_replica_memory() {
+    for seed in 100..164u64 {
+        let mut p = declared_platform();
+        let trace = small_trace(seed, 2.0, 60.0);
+        let total = trace.requests.len() as u64;
+        // Budget fits barely one worst-case request (384 tokens × 128 KiB
+        // = 48 MiB against 64 MiB), so admission constantly rides the KV
+        // ceiling and batches stay tiny.
+        let sid = p
+            .submit_serving(
+                ServingSpec::new("kv-tight", 2, 1, trace)
+                    .kv_capacity_bytes((64u64 << 20) as f64)
+                    .kv_bytes_per_token((128u64 << 10) as f64)
+                    .iter_base_us(2_000)
+                    .prefill_us_per_token(20),
+            )
+            .unwrap();
+        p.tick(3_600);
+        let rep = p.serving_report(sid).unwrap();
+        assert!(
+            rep.max_kv_frac <= 1.0,
+            "seed {seed}: KV exceeded capacity ({})",
+            rep.max_kv_frac
+        );
+        assert!(
+            rep.max_kv_frac > 0.5,
+            "seed {seed}: KV budget never stressed ({}) — test misconfigured",
+            rep.max_kv_frac
+        );
+        // Head-of-line admission with full reservation must not deadlock:
+        // every request eventually decodes.
+        assert_eq!(
+            rep.completed, total,
+            "seed {seed}: only {} of {total} requests completed",
+            rep.completed
+        );
+        assert_eq!(rep.in_flight, 0, "seed {seed}: requests stuck in flight");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Latency monotone in offered load (up to admission-phase slack).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn latency_monotone_in_offered_load() {
+    // Per-iteration time is batch-independent here so the only coupling
+    // between requests is queueing + prefill time — extra load can then
+    // speed a common request up only by shifting admission phases, which
+    // is bounded by one segment plus the prefill that moved out of the
+    // request's in-batch window.
+    const ITER_US: u64 = 10_000;
+    const PREFILL_US: u64 = 100;
+    const ADMIT: u32 = 4;
+    let run = |trace: ArrivalTrace| -> BTreeMap<u64, u64> {
+        let mut p = declared_platform();
+        let total = trace.requests.len() as u64;
+        let sid = p
+            .submit_serving(
+                ServingSpec::new("mono", 2, 2, trace)
+                    .max_batch(64)
+                    .iter_base_us(ITER_US)
+                    .iter_per_req_us(0)
+                    .prefill_us_per_token(PREFILL_US)
+                    .admit_every(ADMIT),
+            )
+            .unwrap();
+        p.tick(7_200);
+        let rep = p.serving_report(sid).unwrap();
+        assert_eq!(rep.completed, total, "run must drain");
+        p.serving_latencies(sid).unwrap().iter().copied().collect()
+    };
+    // One admission phase: a full segment of decode plus the largest
+    // prefill bursts that can shift across the admission boundary.
+    let slack_ns = (ADMIT as u64 * ITER_US + 8 * 256 * PREFILL_US) * 1_000;
+    for seed in 200..264u64 {
+        let full = small_trace(seed, 3.0, 90.0);
+        let half = full.thin(1, 2);
+        let lat_full = run(full);
+        let lat_half = run(half);
+        let mut sum_full = 0u64;
+        let mut sum_half = 0u64;
+        for (id, &lh) in &lat_half {
+            let lf = lat_full[id];
+            sum_full += lf;
+            sum_half += lh;
+            assert!(
+                lf + slack_ns >= lh,
+                "seed {seed}: request {id} got {}us faster under 2x load",
+                (lh - lf) / 1_000
+            );
+        }
+        assert!(
+            sum_full >= sum_half,
+            "seed {seed}: aggregate latency fell when load doubled"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Serving is never preempted.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serving_is_never_preempted() {
+    for seed in 300..364u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = declared_platform();
+        let sid = p
+            .submit_serving(ServingSpec::new(
+                "pinned",
+                2,
+                3,
+                small_trace(seed, 1.0, 300.0),
+            ))
+            .unwrap();
+        let placement = |p: &Platform| -> Vec<Vec<usize>> {
+            (0..2)
+                .map(|r| p.serving_assignment(sid, r).unwrap().to_vec())
+                .collect()
+        };
+        let mut last = placement(&p);
+        for op in 0..150 {
+            let mut failed: Option<usize> = None;
+            match rng.gen_range(0..10u32) {
+                // Training at the highest priority the mix uses anywhere:
+                // it must still never displace a replica.
+                0..=3 => {
+                    p.submit(
+                        JobSpec::new(format!("hp{op}"), rng.gen_range(4..13usize), 600)
+                            .priority(10),
+                    )
+                    .unwrap();
+                }
+                4..=5 => {
+                    let n = rng.gen_range(0..16usize);
+                    p.fail_node(n);
+                    failed = Some(n);
+                }
+                6 => p.heal_node(rng.gen_range(0..16usize)),
+                _ => p.tick(rng.gen_range(1..61u64)),
+            }
+            let cur = placement(&p);
+            for r in 0..2 {
+                let moved = cur[r] != last[r];
+                let was_hit = failed.is_some_and(|n| last[r].contains(&n));
+                // A replica may move (or drop) only when one of its own
+                // nodes just failed; it may freshly place from empty any
+                // time. Priorities, preemption passes and backfill must
+                // never touch it.
+                assert!(
+                    !moved || was_hit || last[r].is_empty(),
+                    "seed {seed} op {op}: replica {r} moved {:?} -> {:?} without a node failure",
+                    last[r],
+                    cur[r]
+                );
+            }
+            last = cur;
+        }
+        assert_eq!(p.serving_report(sid).unwrap().dropped, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Training work conservation with serving present.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn training_work_conserved_with_serving() {
+    for seed in 400..464u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = declared_platform();
+        let sid = p
+            .submit_serving(ServingSpec::new("svc", 2, 2, small_trace(seed, 2.0, 120.0)))
+            .unwrap();
+        let mut jobs = Vec::new();
+        for op in 0..60 {
+            match rng.gen_range(0..10u32) {
+                // Keep training jobs placeable next to the 4-node serving
+                // footprint (zone capacity 8).
+                0..=2 => {
+                    let work = rng.gen_range(60..1201u64);
+                    jobs.push((
+                        p.submit(
+                            JobSpec::new(format!("t{op}"), rng.gen_range(1..7usize), work)
+                                .priority(rng.gen_range(0..11i32) - 5),
+                        )
+                        .unwrap(),
+                        work,
+                    ));
+                }
+                3..=4 => p.fail_node(rng.gen_range(0..16usize)),
+                5..=6 => p.heal_node(rng.gen_range(0..16usize)),
+                _ => p.tick(rng.gen_range(1..61u64)),
+            }
+        }
+        for n in 0..16 {
+            p.heal_node(n);
+        }
+        assert!(p.stop_serving(sid), "serving job stops once");
+        let mut guard = 0;
+        while jobs
+            .iter()
+            .any(|&(id, _)| p.state(id) != Some(TaskState::Succeeded))
+        {
+            p.tick(600);
+            guard += 1;
+            assert!(guard < 2_000, "seed {seed}: training failed to drain");
+        }
+        for &(id, work) in &jobs {
+            assert_eq!(p.progress(id), Some(work), "seed {seed}: work lost");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 6. Declared vs fluid differential.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn declared_vs_fluid_serving_differential() {
+    // Light load on an otherwise idle cluster: batches rarely overlap, so
+    // both modes see (nearly) the same batch compositions and fluid's
+    // request timeline is the declared one plus per-segment network time.
+    let spec = |trace: ArrivalTrace| {
+        ServingSpec::new("diff", 1, 2, trace)
+            .iter_base_us(30_000)
+            .prefill_us_per_token(100)
+    };
+    for seed in 500..508u64 {
+        let trace = small_trace(seed, 0.4, 120.0);
+        let total = trace.requests.len() as u64;
+
+        let mut d = declared_platform();
+        let sid_d = d.submit_serving(spec(trace.clone())).unwrap();
+        d.tick(7_200);
+        let rep_d = d.serving_report(sid_d).unwrap();
+        assert_eq!(rep_d.completed, total);
+        let lat_d: BTreeMap<u64, u64> = d
+            .serving_latencies(sid_d)
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
+
+        let mut f = PlatformConfig::new()
+            .cluster(ClusterModel::build(&ClusterConfig::fire_flyer(8)))
+            .ckpt_interval(300)
+            .build()
+            .unwrap();
+        let sid_f = f.submit_serving(spec(trace)).unwrap();
+        f.tick(7_200);
+        let rep_f = f.serving_report(sid_f).unwrap();
+        assert_eq!(rep_f.completed, total, "seed {seed}: fluid run must drain");
+        let lat_f: BTreeMap<u64, u64> = f
+            .serving_latencies(sid_f)
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
+
+        let mut sum_d = 0u64;
+        let mut sum_f = 0u64;
+        // When two requests do overlap, longer fluid segments shift the
+        // admission boundaries, so a single request can batch better in
+        // fluid mode and land up to ~one segment earlier. One segment of
+        // decode plus its admission prefill bounds that phase shift.
+        let phase_slack_ns = 500_000_000u64;
+        for (id, &ld) in &lat_d {
+            let lf = lat_f[id];
+            sum_d += ld;
+            sum_f += lf;
+            assert!(
+                lf + phase_slack_ns > ld,
+                "seed {seed}: request {id} — fluid ({lf}ns) more than a segment faster than declared ({ld}ns)"
+            );
+            // Generous per-request ceiling: every segment's allreduce at a
+            // tenth of NIC line rate would still land under this.
+            assert!(
+                lf < ld + 60_000_000_000,
+                "seed {seed}: request {id} — fluid latency {lf}ns implausibly far above declared {ld}ns"
+            );
+        }
+        assert!(
+            sum_f > sum_d,
+            "seed {seed}: fluid mode must add net network time over the declared timeline"
+        );
+    }
+}

@@ -69,6 +69,31 @@ pub fn step_routes(cluster: &ClusterModel, nodes: &[usize]) -> Vec<Route> {
         .collect()
 }
 
+/// Bytes each ring edge carries for one decode iteration of a serving
+/// replica: the per-layer activation allreduce of tensor parallelism,
+/// `tp_bytes_per_token` for every sequence in the batch plus the prompt
+/// tokens being prefilled this iteration. Same `2(n−1)/n` ring factor as
+/// gradients — the traffic shape is identical, only the payload differs.
+pub fn decode_edge_bytes(
+    n: usize,
+    tp_bytes_per_token: f64,
+    batch: usize,
+    prefill_tokens: u64,
+) -> f64 {
+    let payload = tp_bytes_per_token * (batch as u64 + prefill_tokens) as f64;
+    ring_edge_bytes(n, payload)
+}
+
+/// The routes of one decode iteration over a serving replica's nodes: the
+/// same directed HFReduce-lane ring as [`step_routes`] (tensor-parallel
+/// activation allreduce), so serving traffic contends with training
+/// allreduce on exactly the links they share. A single-node replica
+/// reduces in host memory. Every returned route should carry
+/// [`decode_edge_bytes`] of work.
+pub fn decode_routes(cluster: &ClusterModel, nodes: &[usize]) -> Vec<Route> {
+    step_routes(cluster, nodes)
+}
+
 /// Checkpoint-save routes: job node `nodes[i]` streams its shard to
 /// `storage[i % storage.len()]` on the storage lane (plain RDMA write at
 /// the destination). Each route carries `ckpt_bytes / nodes.len()`.
@@ -123,6 +148,17 @@ mod tests {
         let c = ClusterModel::build(&ClusterConfig::fire_flyer(2));
         let routes = step_routes(&c, &[1]);
         assert_eq!(routes.len(), 1);
+    }
+
+    #[test]
+    fn decode_routes_mirror_step_ring() {
+        let c = ClusterModel::build(&ClusterConfig::fire_flyer(4));
+        assert_eq!(decode_routes(&c, &[0, 1]).len(), 2);
+        assert_eq!(decode_routes(&c, &[3]).len(), 1, "single node stays local");
+        // Batch of 4 decoding one token each + 100 prompt tokens prefilled,
+        // on a 2-node replica: payload moves once (2(n−1)/n = 1).
+        assert!((decode_edge_bytes(2, 10.0, 4, 100) - 1040.0).abs() < 1e-9);
+        assert!((decode_edge_bytes(4, 10.0, 4, 0) - 60.0).abs() < 1e-9);
     }
 
     #[test]

@@ -190,6 +190,234 @@ impl Scenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop serving arrivals
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`ArrivalTrace::generate`]: an open-loop request
+/// stream standing in for a large user population. The process is a
+/// non-homogeneous Poisson arrival stream (generated by thinning a
+/// homogeneous stream at the peak rate) whose intensity follows a
+/// zero-mean piecewise-linear diurnal curve, multiplied during randomly
+/// placed burst episodes. Open-loop means arrivals never wait for the
+/// system: a slow server accumulates backlog instead of throttling the
+/// generator, which is what makes latency SLOs meaningful.
+#[derive(Debug, Clone)]
+pub struct ArrivalConfig {
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Time-averaged arrival rate in requests/second (the diurnal curve
+    /// is zero-mean, so the day-long average equals this).
+    pub base_qps: f64,
+    /// Diurnal swing as a fraction of `base_qps` (0 disables; 0.4 means
+    /// the midday peak runs 1.4× and the night trough 0.6×… down to
+    /// `1 - amplitude` at the deepest point of the curve).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal curve in seconds (86,400 for a real day;
+    /// tests compress it so short traces still see the swing).
+    pub diurnal_period_s: f64,
+    /// Expected number of burst episodes over the trace (Poisson).
+    pub burst_mean: f64,
+    /// Rate multiplier while a burst is active (≥ 1).
+    pub burst_multiplier: f64,
+    /// Length of each burst episode in seconds.
+    pub burst_duration_s: f64,
+    /// Prompt length drawn uniformly from `[min, max]` tokens.
+    pub prompt_tokens: (u32, u32),
+    /// Output length drawn uniformly from `[min, max]` tokens.
+    pub output_tokens: (u32, u32),
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            duration_s: 600.0,
+            base_qps: 2.0,
+            diurnal_amplitude: 0.4,
+            diurnal_period_s: 86_400.0,
+            burst_mean: 2.0,
+            burst_multiplier: 3.0,
+            burst_duration_s: 20.0,
+            prompt_tokens: (32, 256),
+            output_tokens: (16, 128),
+        }
+    }
+}
+
+/// One inference request of an [`ArrivalTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Dense index in the *generated* trace. Ids survive [`thin`]
+    /// (`ArrivalTrace::thin`), so a thinned trace's requests keep the
+    /// identities they had in the full trace — load-monotonicity tests
+    /// compare the same request across load levels by this id.
+    pub id: u64,
+    /// Arrival time in nanoseconds from trace start.
+    pub at_ns: u64,
+    /// Prompt (prefill) length in tokens.
+    pub prompt_tokens: u32,
+    /// Output (decode) length in tokens.
+    pub output_tokens: u32,
+}
+
+/// A reproducible open-loop request schedule: time-ordered arrivals with
+/// per-request token counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// The seed the trace was generated from.
+    pub seed: u64,
+    /// Trace horizon in nanoseconds (arrivals all land strictly before).
+    pub duration_ns: u64,
+    /// Requests in non-decreasing `at_ns` order with dense ids.
+    pub requests: Vec<Request>,
+}
+
+/// The zero-mean diurnal shape: midnight trough −1, morning shoulder
+/// −0.2, midday peak +1, evening shoulder +0.2, back to −1. Piecewise
+/// linear so evaluation is exact f64 arithmetic (no transcendentals in
+/// the accept/reject test beyond the exponential gap draw).
+const DIURNAL_SHAPE: [(f64, f64); 5] = [
+    (0.0, -1.0),
+    (0.25, -0.2),
+    (0.5, 1.0),
+    (0.75, 0.2),
+    (1.0, -1.0),
+];
+
+fn diurnal(frac: f64) -> f64 {
+    let f = frac.clamp(0.0, 1.0);
+    for w in DIURNAL_SHAPE.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if f <= x1 {
+            return y0 + (y1 - y0) * (f - x0) / (x1 - x0);
+        }
+    }
+    DIURNAL_SHAPE[4].1
+}
+
+/// Draw from Poisson(`mean`) by CDF inversion (exact for the small means
+/// used for burst counts).
+fn poisson(rng: &mut ChaCha8Rng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let u = rng.gen_f64();
+    let mut cdf = 0.0;
+    let mut p = (-mean).exp();
+    for k in 0..1024usize {
+        cdf += p;
+        if u < cdf {
+            return k;
+        }
+        p *= mean / (k + 1) as f64;
+    }
+    1024
+}
+
+impl ArrivalTrace {
+    /// Deterministically generate the trace for `(seed, cfg)`. The same
+    /// pair always yields the identical request list, byte for byte.
+    pub fn generate(seed: u64, cfg: &ArrivalConfig) -> ArrivalTrace {
+        assert!(cfg.duration_s > 0.0, "trace needs a positive duration");
+        assert!(cfg.base_qps > 0.0, "trace needs a positive base rate");
+        assert!(
+            (0.0..1.0).contains(&cfg.diurnal_amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        assert!(cfg.burst_multiplier >= 1.0, "bursts only add load");
+        assert!(
+            cfg.prompt_tokens.0 >= 1 && cfg.prompt_tokens.1 >= cfg.prompt_tokens.0,
+            "prompt token range must be non-empty"
+        );
+        assert!(
+            cfg.output_tokens.0 >= 1 && cfg.output_tokens.1 >= cfg.output_tokens.0,
+            "output token range must be non-empty"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Burst episodes, clamped inside the trace so the expected extra
+        // load is `(mult − 1) · mean · dur / duration`.
+        let n_bursts = poisson(&mut rng, cfg.burst_mean);
+        let free = (cfg.duration_s - cfg.burst_duration_s).max(0.0);
+        let mut bursts: Vec<(f64, f64)> = (0..n_bursts)
+            .map(|_| {
+                let start = rng.gen_f64() * free;
+                (start, start + cfg.burst_duration_s.min(cfg.duration_s))
+            })
+            .collect();
+        bursts.sort_by(|a, b| a.partial_cmp(b).expect("finite burst times"));
+
+        let rate_at = |t: f64| {
+            let frac = (t / cfg.diurnal_period_s).fract();
+            let mut r = cfg.base_qps * (1.0 + cfg.diurnal_amplitude * diurnal(frac));
+            if bursts.iter().any(|&(s, e)| t >= s && t < e) {
+                r *= cfg.burst_multiplier;
+            }
+            r
+        };
+        let peak = cfg.base_qps * (1.0 + cfg.diurnal_amplitude) * cfg.burst_multiplier;
+
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 0u64;
+        loop {
+            // Homogeneous gaps at the peak rate, thinned to the target
+            // intensity: accept a candidate at `t` with prob rate(t)/peak.
+            t += -(1.0 - rng.gen_f64()).ln() / peak;
+            if t >= cfg.duration_s {
+                break;
+            }
+            let keep = rng.gen_f64() * peak < rate_at(t);
+            if keep {
+                requests.push(Request {
+                    id,
+                    at_ns: (t * 1e9) as u64,
+                    prompt_tokens: rng.gen_range(cfg.prompt_tokens.0..cfg.prompt_tokens.1 + 1),
+                    output_tokens: rng.gen_range(cfg.output_tokens.0..cfg.output_tokens.1 + 1),
+                });
+                id += 1;
+            }
+        }
+        ArrivalTrace {
+            seed,
+            duration_ns: (cfg.duration_s * 1e9) as u64,
+            requests,
+        }
+    }
+
+    /// Deterministically thin the trace to `keep / out_of` of its
+    /// requests (those with `id % out_of < keep`), preserving ids and
+    /// arrival times. A thinned trace is a strict subset of the original,
+    /// which is what makes "more load can only hurt" testable request by
+    /// request.
+    pub fn thin(&self, keep: u64, out_of: u64) -> ArrivalTrace {
+        assert!(out_of > 0 && keep <= out_of, "thin fraction must be ≤ 1");
+        ArrivalTrace {
+            seed: self.seed,
+            duration_ns: self.duration_ns,
+            requests: self
+                .requests
+                .iter()
+                .filter(|r| r.id % out_of < keep)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Observed mean arrival rate in requests/second.
+    pub fn mean_qps(&self) -> f64 {
+        if self.duration_ns == 0 {
+            0.0
+        } else {
+            self.requests.len() as f64 / (self.duration_ns as f64 / 1e9)
+        }
+    }
+
+    /// Total decode tokens across all requests (the trace's work volume).
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output_tokens as u64).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +471,94 @@ mod tests {
             }
             assert!(starts > 0, "every scenario starts at least one flow");
         }
+    }
+
+    #[test]
+    fn same_seed_same_arrival_trace() {
+        let cfg = ArrivalConfig::default();
+        let a = ArrivalTrace::generate(0xA221, &cfg);
+        let b = ArrivalTrace::generate(0xA221, &cfg);
+        assert_eq!(a, b, "same (seed, config) must give identical traces");
+        let c = ArrivalTrace::generate(0xA222, &cfg);
+        assert_ne!(a.requests, c.requests, "different seeds must diverge");
+        // Ids are dense and arrivals time-ordered inside the horizon.
+        for (i, r) in a.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.at_ns < a.duration_ns);
+            if i > 0 {
+                assert!(r.at_ns >= a.requests[i - 1].at_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_mean_rate_within_tolerance() {
+        // Zero-mean diurnal curve + no bursts ⇒ the observed rate should
+        // sit within a few σ of base_qps. N ≈ 10,000 ⇒ rel σ ≈ 1%.
+        let cfg = ArrivalConfig {
+            duration_s: 200.0,
+            base_qps: 50.0,
+            diurnal_amplitude: 0.4,
+            diurnal_period_s: 200.0,
+            burst_mean: 0.0,
+            ..ArrivalConfig::default()
+        };
+        for seed in 0..8u64 {
+            let t = ArrivalTrace::generate(0xB000 + seed, &cfg);
+            let rel = (t.mean_qps() - cfg.base_qps).abs() / cfg.base_qps;
+            assert!(rel < 0.05, "seed {seed}: mean {} vs base 50", t.mean_qps());
+        }
+    }
+
+    #[test]
+    fn burst_episodes_raise_mean_rate_by_expected_uplift() {
+        // Expected uplift from bursts: (mult − 1) · mean · dur / duration.
+        let cfg = ArrivalConfig {
+            duration_s: 400.0,
+            base_qps: 20.0,
+            diurnal_amplitude: 0.0,
+            burst_mean: 2.0,
+            burst_multiplier: 3.0,
+            burst_duration_s: 20.0,
+            ..ArrivalConfig::default()
+        };
+        let expected = cfg.base_qps
+            * (1.0
+                + (cfg.burst_multiplier - 1.0) * cfg.burst_mean * cfg.burst_duration_s
+                    / cfg.duration_s);
+        let seeds = 48u64;
+        let avg: f64 = (0..seeds)
+            .map(|s| ArrivalTrace::generate(0xC000 + s, &cfg).mean_qps())
+            .sum::<f64>()
+            / seeds as f64;
+        let rel = (avg - expected).abs() / expected;
+        // Burst overlap and edge truncation bias the estimate slightly; a
+        // 10% band still cleanly separates "bursts applied" (expected
+        // 24 qps) from "bursts ignored" (20 qps).
+        assert!(rel < 0.10, "avg qps {avg} vs expected {expected}");
+    }
+
+    #[test]
+    fn thinning_is_a_deterministic_subset() {
+        let cfg = ArrivalConfig {
+            duration_s: 120.0,
+            base_qps: 30.0,
+            ..ArrivalConfig::default()
+        };
+        let full = ArrivalTrace::generate(0xD100, &cfg);
+        let half = full.thin(1, 2);
+        let quarter = full.thin(1, 4);
+        // Subset chain: quarter ⊆ half ⊆ full, ids/times preserved.
+        for r in &half.requests {
+            assert_eq!(full.requests[r.id as usize], *r);
+        }
+        for r in &quarter.requests {
+            assert!(half.requests.contains(r), "thin chain must nest");
+        }
+        assert!(half.requests.len() < full.requests.len());
+        assert_eq!(full.thin(4, 4), full, "keep-all thin is identity");
+        // Roughly the right fraction survives.
+        let frac = half.requests.len() as f64 / full.requests.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "half-thin kept {frac}");
     }
 }

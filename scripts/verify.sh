@@ -17,6 +17,9 @@ cargo test -q --release --offline -p fireflyer --test storage_failover
 echo "==> HAI platform full-scale smoke (release, fixed seed)"
 cargo test -q --release --offline -p ff-bench --test hai_platform_smoke
 
+echo "==> serving co-schedule smoke (release, fixed seed)"
+cargo test -q --release --offline -p ff-bench --test serving_smoke
+
 echo "==> fluid solver perf smoke (release, vs committed BENCH_fluid.json)"
 # Deterministic solver mix: event count must match the committed baseline
 # bit-for-bit, and events/sec must stay within a 20% regression budget.

@@ -6,13 +6,16 @@
 //! digests.
 
 use ff_util::rng::ChaCha8Rng;
+use ff_util::scengen::{ArrivalConfig, ArrivalTrace};
 use fireflyer::desim::{FlowId, FluidSim, ResourceId, Route, SimDuration, SimTime};
 use fireflyer::obs::{chrome::export_chrome_json, Recorder};
 use fireflyer::platform::recovery::{train_with_recovery_traced, JobFaults, TrainerConfig};
+use fireflyer::platform::{JobSpec, PlatformConfig, ServingSpec};
 use fireflyer::reduce::{
     allreduce_dbtree_ft_traced, allreduce_dbtree_traced, hfreduce_exec_traced, ExecFaultPlan,
     ObsCtx,
 };
+use fireflyer::reduce::{ClusterConfig, ClusterModel};
 use std::time::Duration;
 
 /// Seeded rank buffers for the threaded collectives.
@@ -326,6 +329,91 @@ fn fnv1a(data: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100000001b3);
     }
     h ^ (data.len() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Mixed serve+train golden trace: a fluid-mode platform co-scheduling a
+// serving job with preemptible training under scripted failures. The ff-obs
+// trace (scheduler spans/instants, serving latency histogram + SLO gauges,
+// checkpoint chains, fluid transfers) is pinned to one digest and must be
+// byte-identical at 1, 2 and 4 solver threads — parallelism may change wall
+// time, never the simulated timeline.
+// ---------------------------------------------------------------------------
+
+/// One fixed mixed serving+training run at the given solver thread count.
+fn mixed_serve_train_trace(threads: usize) -> (String, String) {
+    let rec = Recorder::new();
+    let mut p = PlatformConfig::new()
+        .cluster(ClusterModel::build(&ClusterConfig::fire_flyer(16)))
+        .solver_threads(threads)
+        .ckpt_interval(60)
+        .recorder(rec.clone())
+        .build()
+        .expect("16-node fluid platform builds");
+    let trace = ArrivalTrace::generate(
+        0x5E11,
+        &ArrivalConfig {
+            duration_s: 120.0,
+            base_qps: 1.5,
+            ..ArrivalConfig::default()
+        },
+    );
+    p.submit_serving(ServingSpec::new("serve-gold", 2, 2, trace))
+        .expect("serving fits");
+    for i in 0..3 {
+        p.submit(
+            JobSpec::new(format!("train-gold{i}"), 4 + i, 200)
+                .priority(i as i32)
+                .step_bytes(4.0 * (1u64 << 30) as f64)
+                .ckpt_bytes(8.0 * (1u64 << 30) as f64),
+        )
+        .expect("training fits");
+    }
+    // Scripted churn: a failure into each workload's window plus a heal.
+    p.tick(30);
+    p.fail_node(1);
+    p.tick(40);
+    p.fail_node(9);
+    p.tick(50);
+    p.heal_node(1);
+    p.heal_node(9);
+    p.tick(600);
+    let filtered: String = rec
+        .canonical()
+        .lines()
+        .filter(|l| !(l.starts_with("counter ") && l.contains("/waterfill_rounds ")))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let digest = format!("{:016x}", fnv1a(filtered.as_bytes()));
+    (filtered, digest)
+}
+
+/// Digest captured at 1 solver thread; the simulated timeline of the mixed
+/// serve+train run may never depend on solver parallelism.
+const MIXED_GOLDEN_DIGEST: &str = "8ac29686d5e05481";
+
+#[test]
+fn mixed_serve_train_digest_is_thread_invariant() {
+    for threads in [1usize, 2, 4] {
+        let (canon, digest) = mixed_serve_train_trace(threads);
+        if std::env::var_os("MIXED_DUMP").is_some() {
+            std::fs::write(format!("/tmp/mixed{threads}.trace"), &canon).expect("dump trace");
+        }
+        // Sanity: the run exercised both workloads and the fault path.
+        assert!(
+            canon.lines().any(|l| l.contains("platform/serve")),
+            "trace must carry the serving track"
+        );
+        assert!(
+            canon.lines().any(|l| l.contains("serve/latency_us")),
+            "trace must carry serving latency observations"
+        );
+        assert!(canon.lines().any(|l| l.contains("node-fail")));
+        assert_eq!(
+            digest, MIXED_GOLDEN_DIGEST,
+            "mixed serve+train timeline changed at {threads} solver threads"
+        );
+    }
 }
 
 /// Digest captured from the pre-rewrite global-recompute solver. The
