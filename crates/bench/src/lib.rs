@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet;
 pub mod hai;
 pub mod serving;
 

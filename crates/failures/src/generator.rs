@@ -80,9 +80,15 @@ impl FailureGenerator {
     }
 
     /// Scale all rates (e.g. simulate a smaller cluster or a worse batch
-    /// of hardware).
+    /// of hardware). `factor == 0.0` switches every process off, so the
+    /// next [`FailureGenerator::generate`] returns no events at all —
+    /// sweep baselines rely on that instead of sampling degenerate
+    /// near-zero rates.
     pub fn scale_rates(&mut self, factor: f64) {
-        assert!(factor > 0.0);
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate scale must be finite and non-negative, got {factor}"
+        );
         for (_, r) in &mut self.rates {
             *r *= factor;
         }

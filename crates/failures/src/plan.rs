@@ -144,7 +144,9 @@ impl FaultPlan {
 
     /// Generate a plan from the paper-calibrated generator: `ranks` nodes
     /// observed for `horizon_s` seconds with failure rates scaled by
-    /// `rate_scale` (use ≫1 to compress a year of pain into a short run).
+    /// `rate_scale` (use ≫1 to compress a year of pain into a short run;
+    /// `0.0` yields an empty plan — the sweep baseline — rather than
+    /// degenerate sampling).
     pub fn generate(seed: u64, ranks: usize, horizon_s: f64, rate_scale: f64) -> FaultPlan {
         let mut gen = FailureGenerator::paper_calibrated(seed, ranks);
         gen.scale_rates(rate_scale);

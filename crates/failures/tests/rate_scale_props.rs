@@ -1,0 +1,103 @@
+//! Properties of `FaultPlan::generate` rate scaling — the knob the
+//! Monte-Carlo fleet sweeper turns as its failure-multiplier axis.
+//!
+//! The generator samples per-kind Poisson processes by inverse-CDF
+//! inter-arrival draws, so scaling every rate by `s` compresses the same
+//! uniform stream: the expected event count over a fixed horizon must
+//! grow ~linearly in `s`, and `s = 0` must switch sampling off entirely
+//! instead of degenerating (infinite gaps, NaN times, or a panic).
+
+use ff_failures::{FailureGenerator, FaultPlan};
+
+const MONTH_S: f64 = 30.0 * 86_400.0;
+
+#[test]
+fn zero_rate_scale_yields_an_empty_plan() {
+    for seed in [0u64, 1, 7, 0xDEAD] {
+        let plan = FaultPlan::generate(seed, 1250, 365.0 * 86_400.0, 0.0);
+        assert!(
+            plan.is_empty(),
+            "seed {seed}: zero-scale plan has {} faults",
+            plan.len()
+        );
+        assert_eq!(plan.first_kill(), None);
+    }
+    // The generator path agrees (and storage processes scale off too).
+    let mut gen = FailureGenerator::paper_calibrated(3, 64);
+    gen.with_storage_failures(5000.0);
+    gen.scale_rates(0.0);
+    assert!(gen.generate(365.0 * 86_400.0).is_empty());
+}
+
+#[test]
+fn zero_scale_is_deterministically_cheap() {
+    // A zero-scale generate over an absurd horizon must return instantly
+    // (no per-event loop), which is what the fleet's baseline cells rely
+    // on: this would hang before returning wrongly if sampling degenerated.
+    let plan = FaultPlan::generate(11, 1250, 1e15, 0.0);
+    assert!(plan.is_empty());
+}
+
+/// Expected event count scales ~linearly with `rate_scale`: for each
+/// doubling chain 1× → 2× → 4× → 8×, the per-seed count ratio stays in a
+/// generous Poisson band, and the ratio averaged over seeds lands tight.
+#[test]
+fn event_count_scales_linearly_with_rate_scale() {
+    let scales = [2.0, 4.0, 8.0];
+    let seeds: Vec<u64> = (0..8).map(|i| 1000 + 17 * i).collect();
+    for &scale in &scales {
+        let mut ratio_sum = 0.0;
+        for &seed in &seeds {
+            let base = FaultPlan::generate(seed, 1250, MONTH_S, 1.0).len() as f64;
+            let scaled = FaultPlan::generate(seed, 1250, MONTH_S, scale).len() as f64;
+            assert!(base > 0.0, "a month at paper rates must produce events");
+            let ratio = scaled / base;
+            // Per-seed Poisson noise: σ/μ ≈ 1/√n with n ≈ 1,000 events per
+            // month at 1×, so ±20% is an extremely safe band.
+            assert!(
+                (ratio / scale - 1.0).abs() < 0.2,
+                "seed {seed}: {scale}x produced {scaled} vs base {base} (ratio {ratio:.2})"
+            );
+            ratio_sum += ratio;
+        }
+        let mean_ratio = ratio_sum / seeds.len() as f64;
+        assert!(
+            (mean_ratio / scale - 1.0).abs() < 0.1,
+            "mean ratio {mean_ratio:.3} for scale {scale} outside the 10% band"
+        );
+    }
+}
+
+/// Scaling compresses the same underlying stream: a scaled plan is still
+/// time-ordered, in-horizon, deterministic for its seed, and strictly
+/// larger than its unscaled sibling over the same horizon.
+#[test]
+fn scaled_plans_are_ordered_deterministic_and_denser() {
+    let a = FaultPlan::generate(42, 256, MONTH_S, 25.0);
+    let b = FaultPlan::generate(42, 256, MONTH_S, 25.0);
+    assert_eq!(a.faults, b.faults, "same (seed, scale) diverged");
+    for w in a.faults.windows(2) {
+        assert!(w[0].at_s <= w[1].at_s, "scaled plan lost time order");
+    }
+    assert!(a.faults.iter().all(|f| f.at_s >= 0.0 && f.at_s < MONTH_S));
+    let sparse = FaultPlan::generate(42, 256, MONTH_S, 1.0);
+    assert!(
+        a.len() > sparse.len(),
+        "25x ({}) not denser than 1x ({})",
+        a.len(),
+        sparse.len()
+    );
+}
+
+/// Fractional scales thin rather than amplify (the "better hardware
+/// batch" direction the paper's Table V discussion implies).
+#[test]
+fn fractional_scale_thins_the_stream() {
+    let full = FaultPlan::generate(9, 1250, MONTH_S, 1.0).len() as f64;
+    let tenth = FaultPlan::generate(9, 1250, MONTH_S, 0.1).len() as f64;
+    assert!(tenth > 0.0, "0.1x over a month should still see events");
+    assert!(
+        (tenth / full - 0.1).abs() < 0.05,
+        "0.1x kept {tenth} of {full} events"
+    );
+}

@@ -115,13 +115,25 @@ impl Histogram {
     /// The `p`-th percentile (`0.0 ..= 100.0`): the midpoint of the bucket
     /// holding the sample of rank `⌈p/100 × count⌉`, clamped to the
     /// observed `[min, max]`. Within one bucket width (≤ 12.5% relative)
-    /// of the true sample; exact for values below 8.
+    /// of the true sample; exact for values below 8, and exact at the
+    /// extremes — the lowest rank is `min` and the highest is `max`, so
+    /// `percentile(0.0) == min()` and `percentile(100.0) == max()` always
+    /// hold (a bucket midpoint never leaks out past an actual sample).
     pub fn percentile(&self, p: f64) -> u64 {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.count == 0 {
             return 0;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        // The extreme ranks are known exactly: the histogram tracks the
+        // true min and max. Without this, a single-sample or single-bucket
+        // histogram could report a midpoint no sample ever had at p=0/100.
+        if rank <= 1 {
+            return self.min();
+        }
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -237,5 +249,58 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        // Regression: a lone sample above the exact range used to report
+        // its bucket's midpoint at interior percentiles. Every percentile
+        // of a single-sample histogram IS that sample.
+        for v in [0u64, 7, 1_000_000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), v, "p{p} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_percentiles_are_exact_samples() {
+        // Regression: p100 used to return the top bucket's midpoint, which
+        // can sit *below* the true max (1_040_000 lives above its bucket's
+        // midpoint 1_015_807); p0 symmetrically sat above the true min.
+        let mut h = Histogram::new();
+        h.record(1000);
+        h.record(1_040_000);
+        h.record(1_010_000);
+        assert_eq!(h.percentile(100.0), 1_040_000);
+        assert_eq!(h.percentile(0.0), 1000);
+    }
+
+    #[test]
+    fn one_bucket_histogram_stays_inside_its_samples() {
+        // All samples in one log bucket ([1024, 1151]): every percentile
+        // must land inside the observed [min, max], never at a midpoint
+        // outside it, and the edges are exact.
+        let mut h = Histogram::new();
+        for v in [1030u64, 1040, 1100] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1030);
+        assert_eq!(h.percentile(100.0), 1100);
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let q = h.percentile(p);
+            assert!((1030..=1100).contains(&q), "p{p} = {q} escaped [min,max]");
+        }
+        // Degenerate spread: every sample identical ⇒ every percentile is
+        // that value, not the enclosing bucket's midpoint.
+        let mut same = Histogram::new();
+        for _ in 0..100 {
+            same.record(50_000);
+        }
+        for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            assert_eq!(same.percentile(p), 50_000);
+        }
     }
 }

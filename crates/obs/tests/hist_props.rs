@@ -121,3 +121,21 @@ fn small_values_are_exact() {
         }
     }
 }
+
+#[test]
+fn edge_percentiles_equal_true_min_and_max() {
+    // The extreme ranks are tracked exactly, so p0/p100 must be real
+    // samples for every seeded input — the fleet aggregator's summary
+    // quantiles rely on this (a p99 over 200 scenario cells with one
+    // outlier cell is the single-sample-in-top-bucket case).
+    let mut rng = ChaCha8Rng::seed_from_u64(0xed9e);
+    for _ in 0..CASES {
+        let vals = random_values(&mut rng);
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), *vals.iter().min().unwrap());
+        assert_eq!(h.percentile(100.0), *vals.iter().max().unwrap());
+    }
+}

@@ -232,6 +232,7 @@ pub struct PlatformConfig {
     repair_delay_s: u64,
     validation_s: u64,
     solver_threads: usize,
+    replication: usize,
 }
 
 impl PlatformConfig {
@@ -247,6 +248,7 @@ impl PlatformConfig {
             repair_delay_s: 3600,
             validation_s: 60,
             solver_threads: 1,
+            replication: 2,
         }
     }
 
@@ -306,6 +308,17 @@ impl PlatformConfig {
         self
     }
 
+    /// 3FS chain replication factor for checkpoint chains (fluid mode):
+    /// each chain places its head on one storage host and `r - 1` mirrors
+    /// on the following hosts. Clamped to `1..=storage hosts`; the default
+    /// of 2 is the paper's head+mirror CRAQ deployment. `r = 1` means no
+    /// redundancy — a storage-host loss takes its chains' checkpoints with
+    /// it until repair.
+    pub fn replication(mut self, r: usize) -> PlatformConfig {
+        self.replication = r.max(1);
+        self
+    }
+
     /// Build the platform.
     pub fn build(self) -> Result<Platform, ConfigError> {
         let manager = ClusterManager::new(30_000, 10_000);
@@ -335,19 +348,20 @@ impl PlatformConfig {
                 });
             }
             let storage_hosts: Vec<usize> = (compute..total).collect();
-            // One CRAQ chain per storage host; each chain mirrors onto the
-            // next host so a single host loss never loses checkpoints.
+            // One CRAQ chain per storage host; member k of chain j lands
+            // on host (j + k) % storage, so `replication - 1` mirrors
+            // spread over the following hosts and a single host loss
+            // never loses checkpoints (at the default factor of 2).
+            let repl = self.replication.min(storage);
             let mut host_targets: Vec<Vec<(usize, Arc<StorageTarget>)>> = vec![Vec::new(); storage];
             let mut chains = Vec::new();
             for j in 0..storage {
-                let head = StorageTarget::new(format!("s{j}.c{j}"), Disk::new(64 << 20));
-                let mut members = vec![head.clone()];
-                host_targets[j].push((j, head));
-                if storage > 1 {
-                    let m = (j + 1) % storage;
-                    let mirror = StorageTarget::new(format!("s{m}.c{j}"), Disk::new(64 << 20));
-                    host_targets[m].push((j, mirror.clone()));
-                    members.push(mirror);
+                let mut members = Vec::with_capacity(repl);
+                for k in 0..repl {
+                    let m = (j + k) % storage;
+                    let t = StorageTarget::new(format!("s{m}.c{j}"), Disk::new(64 << 20));
+                    host_targets[m].push((j, t.clone()));
+                    members.push(t);
                 }
                 let chain = Chain::new(j, members);
                 if let Some(rec) = &self.recorder {
@@ -405,6 +419,8 @@ impl PlatformConfig {
             lost_work: 0,
             preemptions: 0,
             failures: 0,
+            recovering: BTreeMap::new(),
+            recovery_s: Vec::new(),
             obs,
             serve_track: None,
             serving: BTreeMap::new(),
@@ -561,6 +577,12 @@ pub struct Platform {
     lost_work: u64,
     preemptions: u64,
     failures: u64,
+    /// Tasks rolled back by a failure and not yet re-placed, with the
+    /// rollback time — the open end of a recovery interval.
+    recovering: BTreeMap<TaskId, SimTime>,
+    /// Closed failure-recovery intervals: whole seconds from a failure
+    /// rollback to the task running again, one entry per recovery.
+    recovery_s: Vec<u64>,
     pub(crate) obs: Option<(Arc<Recorder>, TrackId)>,
     /// Lazily-created `platform/serve` observability track (created on the
     /// first serving submission so train-only runs keep their digests).
@@ -818,6 +840,7 @@ impl Platform {
         t.progress = target;
         t.ckpt = target;
         t.ckpt_poisoned = false;
+        self.recovering.insert(id, self.now);
         self.note("rollback");
         self.release(id, TaskState::Queued);
     }
@@ -1427,6 +1450,9 @@ impl Platform {
             self.nodes[n].running = Some(Owner::Train(id));
         }
         self.busy_nodes += nodes.len();
+        if let Some(since) = self.recovering.remove(&id) {
+            self.recovery_s.push((self.now.0 - since.0) / 1_000_000_000);
+        }
         let t = self.tasks.get_mut(&id).expect("task exists");
         t.assigned = nodes;
         t.cross_zone = cross;
@@ -1535,6 +1561,15 @@ impl Platform {
     /// node-units: node-seconds in declared mode, node-steps in fluid.
     pub fn lost_work_s(&self) -> u64 {
         self.lost_work
+    }
+
+    /// Completed failure-recovery intervals, whole seconds each: the time
+    /// from a failure rolling a task back to that task running again, in
+    /// completion order. Preemptions are not recoveries and do not appear;
+    /// a task still waiting for nodes at the end of a run has an open
+    /// interval and is likewise not counted.
+    pub fn recovery_times_s(&self) -> &[u64] {
+        &self.recovery_s
     }
 
     /// Tasks waiting for nodes (queued or interrupted).

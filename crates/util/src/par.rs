@@ -60,6 +60,34 @@ pub fn pool() -> &'static ParPool {
     POOL.get_or_init(|| ParPool::new(default_threads().max(8)))
 }
 
+/// Deterministic LPT (longest-processing-time) lane packing: item indexes
+/// are visited heaviest-first (ties broken by ascending input index) and
+/// each is appended to the currently lightest lane (lowest lane index on
+/// ties), with every item counting at least 1 toward its lane's load.
+///
+/// The result is a pure function of `(weights, width)`: no clock, no
+/// thread identity, no allocation order leaks in. [`ParPool::map_weighted`]
+/// relies on exactly that to keep its observable behaviour independent of
+/// runtime timing; the fleet sweeper additionally relies on every index
+/// appearing in exactly one lane.
+///
+/// `width == 0` yields no lanes (the caller maps inline instead).
+pub fn lpt_pack(weights: &[u64], width: usize) -> Vec<Vec<usize>> {
+    let n = weights.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    let mut lanes: Vec<Vec<usize>> = vec![Vec::new(); width];
+    let mut lane_load = vec![0u64; width];
+    for idx in order {
+        let Some(lane) = (0..width).min_by_key(|&l| (lane_load[l], l)) else {
+            break;
+        };
+        lane_load[lane] += weights[idx].max(1);
+        lanes[lane].push(idx);
+    }
+    lanes
+}
+
 impl ParPool {
     fn new(workers: usize) -> ParPool {
         let workers = workers.max(1);
@@ -89,12 +117,13 @@ impl ParPool {
     /// Apply `f` to every item on the pool and return the results in input
     /// order. `width` caps how many lanes are used (clamped to
     /// `1..=workers()`); items are packed into lanes by deterministic LPT
-    /// on the declared `weight`s, so the lane assignment — and therefore
-    /// every observable of this call — is independent of runtime timing.
+    /// on the declared `weight`s ([`lpt_pack`]), so the lane assignment —
+    /// and therefore every observable of this call — is independent of
+    /// runtime timing.
     ///
     /// With an effective width of 1 (or 0–1 items) the items are mapped
     /// inline on the caller's thread: `width == 1` means *serial*, not
-    /// "one worker".
+    /// "one worker". `width == 0` is treated as 1.
     ///
     /// Panics if a worker lane panics while running `f`.
     pub fn map_weighted<T, R>(&self, items: Vec<(u64, T)>, width: usize, f: fn(T) -> R) -> Vec<R>
@@ -107,18 +136,8 @@ impl ParPool {
         if width <= 1 {
             return items.into_iter().map(|(_, it)| f(it)).collect();
         }
-        // Deterministic LPT: heaviest first, each to the currently
-        // lightest lane (lowest index on ties). Sort is by (weight desc,
-        // input index asc) — stable under equal weights.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| items[b].0.cmp(&items[a].0).then(a.cmp(&b)));
-        let mut lanes: Vec<Vec<usize>> = vec![Vec::new(); width];
-        let mut lane_load = vec![0u64; width];
-        for idx in order {
-            let lane = (0..width).min_by_key(|&l| (lane_load[l], l)).unwrap();
-            lane_load[lane] += items[idx].0.max(1);
-            lanes[lane].push(idx);
-        }
+        let weights: Vec<u64> = items.iter().map(|&(w, _)| w).collect();
+        let lanes = lpt_pack(&weights, width);
         let mut slots: Vec<Option<(u64, T)>> = items.into_iter().map(Some).collect();
         let (rtx, rrx) = unbounded::<(usize, R)>();
         for lane in lanes {

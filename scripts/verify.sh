@@ -20,6 +20,15 @@ cargo test -q --release --offline -p ff-bench --test hai_platform_smoke
 echo "==> serving co-schedule smoke (release, fixed seed)"
 cargo test -q --release --offline -p ff-bench --test serving_smoke
 
+echo "==> fleet sweep smoke (release, fixed seed, golden digest)"
+cargo test -q --release --offline -p ff-bench --test fleet_smoke
+
+echo "==> fleet sweep determinism check (release, vs committed BENCH_fleet.json)"
+# Re-runs the small CI grid and compares its digest against the one
+# embedded in the committed aggregate. Regenerate with `fleet --write`
+# when a PR deliberately moves scenario outcomes.
+cargo run -q --release --offline -p ff-bench --bin fleet -- --check
+
 echo "==> fluid solver perf smoke (release, vs committed BENCH_fluid.json)"
 # Deterministic solver mix: event count must match the committed baseline
 # bit-for-bit, and events/sec must stay within a 20% regression budget.
