@@ -26,10 +26,10 @@
 //! [`ParPool::map_weighted`]: ff_util::par::ParPool::map_weighted
 //! [`Platform`]: ff_platform::Platform
 
-use ff_failures::{FailureGenerator, FaultPlan};
+use ff_failures::{FailureGenerator, FaultPlan, GrayPlan, GrayRates};
 use ff_hw::NodeSpec;
 use ff_obs::Histogram;
-use ff_platform::{JobSpec, Platform, PlatformConfig, ServingSpec, TaskId};
+use ff_platform::{DetectorConfig, JobSpec, Platform, PlatformConfig, ServingSpec, TaskId};
 use ff_reduce::{jobflow, ClusterConfig, ClusterModel};
 use ff_util::par;
 use ff_util::rng::ChaCha8Rng;
@@ -43,6 +43,15 @@ pub const AXIS_CKPT: &str = "ckpt_steps";
 pub const AXIS_SHARE: &str = "serve_share";
 /// Axis name: 3FS checkpoint-chain replication factor.
 pub const AXIS_REPL: &str = "replication";
+/// Axis name: gray-failure detector sensitivity in `(0, 1]`; `0`
+/// (the default when the axis is absent) runs without a detector and
+/// without gray injection, so every historical grid is untouched.
+/// Cells with a positive sensitivity attach a
+/// [`DetectorConfig::with_sensitivity`] detector *and* a seeded
+/// [`GrayPlan`] whose per-kind rates scale with the cell's
+/// `rate_scale`, so the axis prices the detection-latency ×
+/// false-positive trade at fleet scale.
+pub const AXIS_DETECT: &str = "detect_sens";
 
 /// Fused training step payload: ~31 s per ring step at 200 Gb/s, so one
 /// step stands for a batch of real ~1 s steps and `ckpt_steps = 10` is
@@ -140,6 +149,8 @@ pub struct CellSpec {
     pub serve_share: f64,
     /// 3FS chain replication factor.
     pub replication: usize,
+    /// Detector sensitivity (0 = no detector, no gray injection).
+    pub detect_sens: f64,
 }
 
 /// Expand a config into its cell specs, in row-major grid order.
@@ -149,17 +160,18 @@ pub struct CellSpec {
 pub fn cell_specs(cfg: &FleetConfig) -> Vec<CellSpec> {
     for a in &cfg.grid.axes {
         assert!(
-            [AXIS_RATE, AXIS_CKPT, AXIS_SHARE, AXIS_REPL].contains(&a.name.as_str()),
+            [AXIS_RATE, AXIS_CKPT, AXIS_SHARE, AXIS_REPL, AXIS_DETECT].contains(&a.name.as_str()),
             "unknown sweep axis {:?}",
             a.name
         );
     }
     let pos = |name: &str| cfg.grid.axes.iter().position(|a| a.name == name);
-    let (pr, pc, ps, pp) = (
+    let (pr, pc, ps, pp, pd) = (
         pos(AXIS_RATE),
         pos(AXIS_CKPT),
         pos(AXIS_SHARE),
         pos(AXIS_REPL),
+        pos(AXIS_DETECT),
     );
     (0..cfg.grid.len())
         .map(|i| {
@@ -174,6 +186,7 @@ pub fn cell_specs(cfg: &FleetConfig) -> Vec<CellSpec> {
                 ckpt_steps: get(pc, 30.0).max(1.0) as u64,
                 serve_share: get(ps, 0.0),
                 replication: get(pp, 2.0).max(1.0) as usize,
+                detect_sens: get(pd, 0.0),
             }
         })
         .collect()
@@ -220,14 +233,20 @@ pub struct ScenarioOutcome {
     pub failures: u64,
     /// Training preemptions.
     pub preemptions: u64,
+    /// Detector sensitivity of this cell (0 = no detector ran).
+    pub detect_sens: f64,
+    /// Quarantines the gray-failure detector initiated.
+    pub detector_quarantines: u64,
 }
 
 impl ScenarioOutcome {
     /// Canonical fixed-format line: the unit of the sweep digest and of
     /// the permutation-invariance property (a multiset of these lines
-    /// identifies a sweep regardless of completion order).
+    /// identifies a sweep regardless of completion order). Detector
+    /// fields are appended only when the cell ran a detector, so every
+    /// pre-detector grid digests to its historical value.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut line = format!(
             "cell={:04} rate={:.1} ckpt={} share={:.2} repl={} util={:.6} \
              banked={} goodput={:.6} costperf={:.6} lost={} rec_n={} \
              rec_p99_s={} srv_done={} srv_p99_ms={:.3} slo_miss={} \
@@ -249,7 +268,14 @@ impl ScenarioOutcome {
             self.slo_misses,
             self.failures,
             self.preemptions
-        )
+        );
+        if self.detect_sens > 0.0 {
+            line.push_str(&format!(
+                " detect={:.2} det_q={}",
+                self.detect_sens, self.detector_quarantines
+            ));
+        }
+        line
     }
 }
 
@@ -295,15 +321,17 @@ pub fn run_cell(c: CellSpec) -> ScenarioOutcome {
     // meaningful on small test clusters (the default `total/25` carve
     // would leave one host, and a chain cannot out-replicate its host
     // count); at full scale this is the default carve.
-    let mut p = PlatformConfig::new()
+    let mut pcfg = PlatformConfig::new()
         .cluster(cluster)
         .storage_nodes((total / 25).max(3))
         .ckpt_interval(c.ckpt_steps)
         .replication(c.replication)
         .repair_delay_s(900)
-        .validation_s(60)
-        .build()
-        .expect("cluster builds");
+        .validation_s(60);
+    if c.detect_sens > 0.0 {
+        pcfg = pcfg.detector(DetectorConfig::with_sensitivity(c.detect_sens));
+    }
+    let mut p = pcfg.build().expect("cluster builds");
     let compute = p.node_count();
 
     let replicas = if c.serve_share > 0.0 {
@@ -338,6 +366,22 @@ pub fn run_cell(c: CellSpec) -> ScenarioOutcome {
     gen.scale_rates(c.rate_scale);
     let plan = FaultPlan::from_events(&gen.generate(c.horizon_s as f64), total);
     p.apply_fault_plan(&plan);
+    if c.detect_sens > 0.0 && c.rate_scale > 0.0 {
+        // Gray faults ride the same intensity axis as hard faults, so a
+        // detector cell at rate 0 measures pure false-positive cost.
+        let base = GrayRates::default();
+        let rates = GrayRates {
+            stragglers_per_year: base.stragglers_per_year * c.rate_scale,
+            flaps_per_year: base.flaps_per_year * c.rate_scale,
+            throttles_per_year: base.throttles_per_year * c.rate_scale,
+        };
+        p.apply_gray_plan(&GrayPlan::generate(
+            c.seed,
+            compute,
+            c.horizon_s as f64,
+            &rates,
+        ));
+    }
 
     let mut now = 0u64;
     while now < c.horizon_s {
@@ -381,6 +425,8 @@ pub fn run_cell(c: CellSpec) -> ScenarioOutcome {
         slo_misses,
         failures: p.failures(),
         preemptions: p.preemptions(),
+        detect_sens: c.detect_sens,
+        detector_quarantines: p.detector_quarantines(),
     }
 }
 
@@ -391,7 +437,10 @@ pub fn cell_weight(c: &CellSpec) -> u64 {
     let base = c.nodes as u64 * c.horizon_s / 64;
     let fail = (c.rate_scale.sqrt() * 8.0) as u64;
     let serve = (c.serve_share * 32.0) as u64;
-    base + base * (fail + serve) / 32 + 1
+    // Detector cells pay for the periodic probe sweeps (zero when the
+    // axis is absent, so historical weights are untouched).
+    let det = (c.detect_sens * 8.0) as u64;
+    base + base * (fail + serve + det) / 32 + 1
 }
 
 /// A finished sweep: per-cell outcomes in grid order plus their digest.
@@ -675,6 +724,8 @@ mod tests {
             slo_misses: 0,
             failures: 0,
             preemptions: 0,
+            detect_sens: 0.0,
+            detector_quarantines: 0,
         };
         let (a, b) = (mk(0), mk(1));
         let joined = format!("{}\n{}\n", a.canonical(), b.canonical());
@@ -696,6 +747,7 @@ mod tests {
             ckpt_steps: 30,
             serve_share: 0.0,
             replication: 2,
+            detect_sens: 0.0,
         };
         let base = cell_weight(&c);
         assert_eq!(base, cell_weight(&c), "weight must be pure");

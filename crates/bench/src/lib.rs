@@ -25,10 +25,12 @@
 //! | `ops_recovery` | §VII-A — checkpoint cadence vs lost work |
 //! | `hai_platform` | §VI-C — the HAI scheduler at full cluster scale |
 //! | `serving_bench` | ISSUE 7 — serving tier vs training throughput, p99 under failures |
+//! | `detector_bench` | ISSUE 9 — gray-failure detection latency vs false-positive cost |
 //! | `background_figs` | Figures 1–3 — background growth charts |
 
 #![forbid(unsafe_code)]
 
+pub mod detector;
 pub mod fleet;
 pub mod hai;
 pub mod serving;

@@ -1,0 +1,63 @@
+//! Release-mode smoke test for the gray-failure detector sweep: the
+//! smoke grid must reproduce its golden digest at 1, 2 and 4 solver
+//! threads — every CI run re-proves that detection latencies and
+//! false-positive counts are a pure function of (seed, grid), not of
+//! the solver's parallelism — and fit the 120 s budget.
+//!
+//! Runs only under `--release`; the CI job invokes
+//! `cargo test --release -p ff-bench --test detector_smoke`.
+
+use ff_bench::detector::{aggregate_json, sweep, DetectorBenchConfig};
+use std::time::Instant;
+
+/// Digest of `DetectorBenchConfig::smoke_grid()` — 4 straggler cells +
+/// 2 calm twins, 8 nodes, 420 s horizon. Recorded from a serial run;
+/// any thread count must reproduce it. If a deliberate detector or
+/// solver change moves it, regenerate `BENCH_detector.json` with
+/// `detector_bench --write` and update this constant from a fresh run.
+const GOLDEN_SMOKE_DIGEST: &str = "24da73a71d842bfe";
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "fluid detector sweep: run with --release")]
+fn smoke_grid_digest_is_golden_and_thread_invariant() {
+    let start = Instant::now();
+    let mut cfg = DetectorBenchConfig::smoke_grid();
+    let serial = sweep(&cfg);
+    assert_eq!(serial.cells.len(), 4);
+    assert_eq!(serial.calm.len(), 2);
+    assert_eq!(
+        serial.digest, GOLDEN_SMOKE_DIGEST,
+        "detector smoke digest moved — verdict streams or detection \
+         latencies changed; regenerate BENCH_detector.json with --write \
+         and justify the change"
+    );
+
+    // The sweep is a pure function of the grid: more solver threads may
+    // change wall-clock, never the result.
+    for threads in [2usize, 4] {
+        cfg.solver_threads = threads;
+        let r = sweep(&cfg);
+        assert_eq!(
+            r.digest, serial.digest,
+            "detector sweep digest diverged at {threads} solver threads"
+        );
+    }
+
+    // The sluggish end of the smoke grid still detects a hard 4x
+    // straggler, and the aggregate embeds the digest it claims.
+    assert!(
+        serial
+            .cells
+            .iter()
+            .filter(|c| c.slowdown == 4.0)
+            .all(|c| c.detected > 0),
+        "a 4x straggler went entirely undetected in the smoke grid"
+    );
+    assert!(aggregate_json(&cfg, &serial).contains(GOLDEN_SMOKE_DIGEST));
+
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        elapsed < 120.0,
+        "detector smoke took {elapsed:.1} s (budget 120 s)"
+    );
+}

@@ -17,7 +17,7 @@
 
 use ff_bench::fleet::{
     aggregate_json, cell_specs, digest, run_cell, sweep, CellSpec, FleetConfig, ScenarioOutcome,
-    AXIS_CKPT, AXIS_RATE, AXIS_REPL, AXIS_SHARE,
+    AXIS_CKPT, AXIS_DETECT, AXIS_RATE, AXIS_REPL, AXIS_SHARE,
 };
 use ff_util::scengen::SweepGrid;
 
@@ -201,6 +201,59 @@ fn monotonicity_spot_checks_hold_across_64_cells() {
     );
 }
 
+/// The detector axis is strictly opt-in: a `detect_sens: 0.0` cell emits
+/// exactly the historical canonical line (no ` detect=` suffix, so every
+/// committed grid digest is untouched), while a hot cell carries the
+/// suffix, reproduces bit-for-bit, and runs the gray+detector loop.
+#[test]
+fn detect_axis_is_opt_in_and_reproducible() {
+    let mut spec = CellSpec {
+        index: 0,
+        seed: 5,
+        nodes: 16,
+        horizon_s: 300,
+        rate_scale: 16.0,
+        ckpt_steps: 10,
+        serve_share: 0.0,
+        replication: 1,
+        detect_sens: 0.0,
+    };
+    let cold = run_cell(spec);
+    assert!(
+        !cold.canonical().contains(" detect="),
+        "detector-off cell leaked the detect suffix: {}",
+        cold.canonical()
+    );
+    assert_eq!(cold.detector_quarantines, 0);
+
+    spec.detect_sens = 0.8;
+    let hot = run_cell(spec);
+    assert!(
+        hot.canonical().contains(" detect=0.80 det_q="),
+        "detector-on cell missing the detect suffix: {}",
+        hot.canonical()
+    );
+    assert_eq!(run_cell(spec), hot, "hot cell is not reproducible");
+
+    // The axis parses through cell_specs like the other four.
+    let cfg = FleetConfig {
+        seed: 5,
+        nodes: 16,
+        horizon_s: 300,
+        workers: 1,
+        grid: SweepGrid::new()
+            .axis(AXIS_RATE, &[16.0])
+            .axis(AXIS_CKPT, &[10.0])
+            .axis(AXIS_SHARE, &[0.0])
+            .axis(AXIS_REPL, &[1.0])
+            .axis(AXIS_DETECT, &[0.0, 0.8]),
+    };
+    let specs = cell_specs(&cfg);
+    assert_eq!(specs.len(), 2);
+    assert_eq!(specs[0].detect_sens, 0.0);
+    assert_eq!(specs[1].detect_sens, 0.8);
+}
+
 /// The replication axis is wired through, not decorative: two cells that
 /// agree on *everything* — seed included — except the chain replication
 /// factor diverge once storage targets start dying. (Inside the grid the
@@ -232,6 +285,7 @@ fn replication_factor_changes_outcomes_under_storage_fire() {
             ckpt_steps: 5,
             serve_share: 0.0,
             replication: 1,
+            detect_sens: 0.0,
         };
         let unreplicated = run_cell(spec);
         spec.replication = 2;

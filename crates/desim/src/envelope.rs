@@ -1,0 +1,201 @@
+//! Piecewise-constant degradation envelopes.
+//!
+//! The fluid solver models capacity changes as instantaneous edges
+//! (`degrade`/`restore`), but gray failures evolve *over time*: a
+//! straggler ramps in, a flapping link oscillates. An [`Envelope`]
+//! bridges the two — it discretizes a time-varying capacity profile
+//! into a deterministic sequence of `(offset, factor)` phases that a
+//! driver replays as ordinary degrade edges. `factor` is the remaining
+//! fraction of nominal capacity; the final phase of every envelope is
+//! `1.0`, the restore back to nominal.
+
+use crate::time::SimDuration;
+
+/// How many steps a ramp is discretized into. Coarse on purpose: the
+/// point of a ramp is that successive probe samples see a *gradual*
+/// drop that an adaptive baseline can mistakenly learn, and a handful
+/// of steps reproduces that while keeping event counts bounded.
+pub const RAMP_STEPS: u32 = 4;
+
+/// A phase boundary: at `offset` after the envelope starts, capacity
+/// becomes `factor × nominal` and holds until the next phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Offset from envelope start.
+    pub offset: SimDuration,
+    /// Remaining fraction of nominal capacity, in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// A finite piecewise-constant capacity profile. Phases are strictly
+/// time-ordered and always end with a restore to `factor = 1.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    phases: Vec<Phase>,
+}
+
+impl Envelope {
+    /// A linear ramp from nominal down to `target` over `onset_s`,
+    /// holding until `duration_s`, then restoring. `onset_s == 0`
+    /// degenerates to a single step change. The ramp is discretized
+    /// into [`RAMP_STEPS`] equal treads.
+    pub fn ramp(target: f64, onset_s: f64, duration_s: f64) -> Envelope {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "ramp target must be in (0, 1), got {target}"
+        );
+        assert!(onset_s >= 0.0 && onset_s.is_finite(), "bad onset");
+        assert!(duration_s > 0.0 && duration_s.is_finite(), "bad duration");
+        let onset_s = onset_s.min(duration_s);
+        let mut phases = Vec::new();
+        if onset_s <= 0.0 {
+            phases.push(Phase {
+                offset: SimDuration::from_nanos(0),
+                factor: target,
+            });
+        } else {
+            for step in 0..RAMP_STEPS {
+                let frac = (step + 1) as f64 / RAMP_STEPS as f64;
+                phases.push(Phase {
+                    offset: SimDuration::from_secs_f64(onset_s * step as f64 / RAMP_STEPS as f64),
+                    factor: 1.0 + (target - 1.0) * frac,
+                });
+            }
+        }
+        phases.push(Phase {
+            offset: SimDuration::from_secs_f64(duration_s),
+            factor: 1.0,
+        });
+        Envelope::checked(phases)
+    }
+
+    /// A square wave: capacity drops to `low` for `duty × period_s` at
+    /// the start of each period, recovers for the rest, repeating until
+    /// `duration_s`, then restores. Models a flapping link.
+    pub fn square(period_s: f64, duty: f64, low: f64, duration_s: f64) -> Envelope {
+        assert!(period_s > 0.0 && period_s.is_finite(), "bad period");
+        assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+        assert!(low > 0.0 && low < 1.0, "low must be in (0, 1)");
+        assert!(duration_s > 0.0 && duration_s.is_finite(), "bad duration");
+        let mut phases = Vec::new();
+        let mut t = 0.0f64;
+        while t < duration_s {
+            phases.push(Phase {
+                offset: SimDuration::from_secs_f64(t),
+                factor: low,
+            });
+            let up_at = t + duty * period_s;
+            if up_at < duration_s {
+                phases.push(Phase {
+                    offset: SimDuration::from_secs_f64(up_at),
+                    factor: 1.0,
+                });
+            }
+            t += period_s;
+        }
+        let last = phases.last().map(|p| p.factor).unwrap_or(0.0);
+        if last != 1.0 {
+            phases.push(Phase {
+                offset: SimDuration::from_secs_f64(duration_s),
+                factor: 1.0,
+            });
+        }
+        Envelope::checked(phases)
+    }
+
+    fn checked(phases: Vec<Phase>) -> Envelope {
+        assert!(!phases.is_empty(), "an envelope needs at least one phase");
+        for w in phases.windows(2) {
+            assert!(
+                w[0].offset < w[1].offset,
+                "phases must be strictly time-ordered"
+            );
+        }
+        for p in &phases {
+            assert!(p.factor > 0.0 && p.factor <= 1.0, "factor out of range");
+        }
+        assert_eq!(
+            phases.last().unwrap().factor,
+            1.0,
+            "envelopes must end restored"
+        );
+        Envelope { phases }
+    }
+
+    /// The phase boundaries, strictly time-ordered.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The capacity factor in effect `at` nanoseconds after envelope
+    /// start (1.0 before the first phase).
+    pub fn factor_at(&self, at: SimDuration) -> f64 {
+        let mut f = 1.0;
+        for p in &self.phases {
+            if p.offset <= at {
+                f = p.factor;
+            } else {
+                break;
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_descend_monotonically_then_restore() {
+        let e = Envelope::ramp(0.25, 60.0, 600.0);
+        let ph = e.phases();
+        assert_eq!(ph.len() as u32, RAMP_STEPS + 1);
+        assert_eq!(ph[0].offset, SimDuration::from_nanos(0));
+        for w in ph[..ph.len() - 1].windows(2) {
+            assert!(w[1].factor < w[0].factor, "ramp must descend");
+        }
+        assert!(
+            (ph[ph.len() - 2].factor - 0.25).abs() < 1e-12,
+            "hits target"
+        );
+        assert_eq!(ph.last().unwrap().factor, 1.0);
+        assert_eq!(ph.last().unwrap().offset, SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn zero_onset_is_a_step_change() {
+        let e = Envelope::ramp(0.5, 0.0, 100.0);
+        assert_eq!(e.phases().len(), 2);
+        assert_eq!(e.factor_at(SimDuration::from_secs(1)), 0.5);
+        assert_eq!(e.factor_at(SimDuration::from_secs(100)), 1.0);
+    }
+
+    #[test]
+    fn square_wave_alternates_and_ends_restored() {
+        let e = Envelope::square(30.0, 0.5, 0.05, 95.0);
+        let ph = e.phases();
+        // Periods at 0, 30, 60, 90; the 90 s period is cut by the
+        // 95 s duration so its recovery is the terminal restore.
+        assert_eq!(e.factor_at(SimDuration::from_secs(5)), 0.05);
+        assert_eq!(e.factor_at(SimDuration::from_secs(20)), 1.0);
+        assert_eq!(e.factor_at(SimDuration::from_secs(35)), 0.05);
+        assert_eq!(e.factor_at(SimDuration::from_secs(92)), 0.05);
+        assert_eq!(e.factor_at(SimDuration::from_secs(95)), 1.0);
+        assert_eq!(ph.last().unwrap().factor, 1.0);
+    }
+
+    #[test]
+    fn factor_before_first_phase_is_nominal() {
+        let e = Envelope::ramp(0.5, 100.0, 200.0);
+        // First tread starts at offset 0 in ramp(); build a square wave
+        // instead where phase 0 is at t=0 too — nominal only before 0.
+        assert!(e.factor_at(SimDuration::from_nanos(0)) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn degenerate_ramp_target_is_rejected() {
+        let _ = Envelope::ramp(1.0, 10.0, 100.0);
+    }
+}

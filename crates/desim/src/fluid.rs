@@ -910,6 +910,18 @@ impl FluidSim {
         Ok(())
     }
 
+    /// Set the degradation of `r` to an arbitrary envelope factor:
+    /// `1.0` restores, anything else degrades. The convenience that lets
+    /// a piecewise-constant [`Envelope`](crate::envelope::Envelope)
+    /// replay as plain degrade/restore edges.
+    pub fn modulate(&mut self, r: ResourceId, factor: f64) -> Result<(), FfError> {
+        if factor == 1.0 {
+            self.restore(r)
+        } else {
+            self.degrade(r, factor)
+        }
+    }
+
     /// The current degradation factor of `r` (`1.0` when healthy).
     pub fn degradation(&self, r: ResourceId) -> f64 {
         self.res_degrade[r.0 as usize]

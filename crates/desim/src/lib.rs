@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod dag;
+pub mod envelope;
 pub mod fluid;
 pub mod queue;
 pub mod stats;
 pub mod time;
 
 pub use dag::{DagSim, NodeId as DagNodeId, Work};
+pub use envelope::{Envelope, Phase};
 pub use fluid::{FlowId, FluidSim, ResourceId, Route, SolverMode};
 pub use queue::EventQueue;
 pub use stats::{ResourceStats, Summary};

@@ -16,6 +16,9 @@
 //!   Table V applied to an event stream, yielding rank deaths, link
 //!   degradations and silent-data-corruption injections the simulators
 //!   and the platform's recovery loop execute.
+//! * [`gray`] — gray failures (§VII-B): stragglers, flapping links and
+//!   thermal throttles that degrade without announcing themselves —
+//!   the faults signal-driven detection exists for.
 //! * [`report`] — the characterization pipeline: aggregate an event
 //!   stream back into the paper's tables and figures.
 
@@ -25,10 +28,12 @@
 pub mod availability;
 pub mod data;
 pub mod generator;
+pub mod gray;
 pub mod plan;
 pub mod report;
 pub mod xid;
 
 pub use generator::{FailureEvent, FailureGenerator, FailureKind};
+pub use gray::{GrayEvent, GrayFault, GrayPlan, GrayRates};
 pub use plan::{FaultAction, FaultPlan, PlannedFault};
 pub use xid::{Xid, XidCategory};

@@ -51,10 +51,21 @@ pub enum ServiceStatus {
 ///     │ (Suspect only)          ▼                           ▼
 ///     └──────────────────── Healthy ◄── validator pass ── Validating
 ///                                        (validator fail ──► Quarantined)
+///
+///  readmission probation (opt-in, via conclude_validation_to_probation):
+///  Validating ── pass ──► Probation ── probation_pass ──► Healthy
+///                             │ mark_suspect / missed ≥ timeout
+///                             ▼
+///                         Quarantined   (a re-flap skips Suspect)
 /// ```
 ///
 /// Quarantine is sticky: heartbeats resuming do **not** clear it — only a
 /// validation pass does, mirroring the paper's weekly-validation gate.
+/// Probation is the signal-driven-detection refinement: a node readmitted
+/// after validation serves again (placement-eligible) but stays on a
+/// short leash — any new suspicion during probation escalates straight
+/// back to quarantine, which is what makes flapping hardware pay
+/// exponentially rather than oscillating in and out of the pool for free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HealthState {
     /// Serving; eligible for chain placement.
@@ -66,6 +77,10 @@ pub enum HealthState {
     Quarantined,
     /// Under validator checks; still excluded from placement.
     Validating,
+    /// Readmitted after validation but still on a short leash: serving
+    /// and placement-eligible, but a re-flap escalates straight back to
+    /// quarantine instead of through Suspect.
+    Probation,
 }
 
 impl HealthState {
@@ -76,6 +91,7 @@ impl HealthState {
             HealthState::Suspect => "suspect",
             HealthState::Quarantined => "quarantined",
             HealthState::Validating => "validating",
+            HealthState::Probation => "probation",
         }
     }
 }
@@ -149,7 +165,9 @@ impl ClusterManager {
         for rec in st.services.values_mut() {
             let missed = now_ms.saturating_sub(rec.last_heartbeat_ms);
             match rec.health {
-                HealthState::Healthy | HealthState::Suspect if missed >= timeout => {
+                HealthState::Healthy | HealthState::Suspect | HealthState::Probation
+                    if missed >= timeout =>
+                {
                     rec.health = HealthState::Quarantined;
                     quarantined += 1;
                 }
@@ -174,7 +192,7 @@ impl ClusterManager {
             Some(rec)
                 if matches!(
                     rec.health,
-                    HealthState::Quarantined | HealthState::Validating
+                    HealthState::Quarantined | HealthState::Validating | HealthState::Probation
                 ) =>
             {
                 rec.health
@@ -209,12 +227,19 @@ impl ClusterManager {
     /// Report a service suspect without waiting for the heartbeat
     /// timeout: an external detector (hai-monitor, the scheduler's own
     /// liveness probe) saw the first missed beat. Healthy services move
-    /// to Suspect; quarantined/validating ones are left alone.
+    /// to Suspect; a service on probation re-flapping goes straight back
+    /// to Quarantined (the leash); quarantined/validating ones are left
+    /// alone.
     pub fn mark_suspect(&self, id: &str) {
         let mut st = self.state.lock();
         if let Some(rec) = st.services.get_mut(id) {
-            if rec.health == HealthState::Healthy {
-                rec.health = HealthState::Suspect;
+            match rec.health {
+                HealthState::Healthy => rec.health = HealthState::Suspect,
+                HealthState::Probation => {
+                    rec.health = HealthState::Quarantined;
+                    st.config_version += 1;
+                }
+                _ => {}
             }
         }
     }
@@ -265,29 +290,69 @@ impl ClusterManager {
         }
     }
 
+    /// Conclude a *passed* validation into probation instead of full
+    /// health: the service serves again but a re-flap goes straight back
+    /// to quarantine. The detector loop uses this readmission gate; the
+    /// classic [`conclude_validation`](Self::conclude_validation) path is
+    /// unchanged. Returns false when the service is unknown or not
+    /// validating.
+    pub fn conclude_validation_to_probation(&self, id: &str) -> bool {
+        let mut st = self.state.lock();
+        let now = st.now_ms;
+        match st.services.get_mut(id) {
+            Some(rec) if rec.health == HealthState::Validating => {
+                rec.health = HealthState::Probation;
+                rec.last_heartbeat_ms = now;
+                st.config_version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A clean probation period ends: the service returns to full
+    /// health. Returns false when the service is unknown or not on
+    /// probation.
+    pub fn probation_pass(&self, id: &str) -> bool {
+        let mut st = self.state.lock();
+        match st.services.get_mut(id) {
+            Some(rec) if rec.health == HealthState::Probation => {
+                rec.health = HealthState::Healthy;
+                st.config_version += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// The health state of a service.
     pub fn health(&self, id: &str) -> Option<HealthState> {
         self.state.lock().services.get(id).map(|rec| rec.health)
     }
 
-    /// True when `id` may receive chain placement: known and Healthy.
-    /// Quarantined and Validating nodes are gated out until the validator
-    /// passes them.
+    /// True when `id` may receive chain placement: known and Healthy (or
+    /// on probation — readmitted nodes serve, that is the point of the
+    /// leash). Quarantined and Validating nodes are gated out until the
+    /// validator passes them.
     pub fn placement_eligible(&self, id: &str) -> bool {
-        self.health(id) == Some(HealthState::Healthy)
+        matches!(
+            self.health(id),
+            Some(HealthState::Healthy) | Some(HealthState::Probation)
+        )
     }
 
     /// Service counts per health state:
-    /// `[healthy, suspect, quarantined, validating]`.
-    pub fn health_counts(&self) -> [usize; 4] {
+    /// `[healthy, suspect, quarantined, validating, probation]`.
+    pub fn health_counts(&self) -> [usize; 5] {
         let st = self.state.lock();
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         for rec in st.services.values() {
             let i = match rec.health {
                 HealthState::Healthy => 0,
                 HealthState::Suspect => 1,
                 HealthState::Quarantined => 2,
                 HealthState::Validating => 3,
+                HealthState::Probation => 4,
             };
             counts[i] += 1;
         }
@@ -321,7 +386,10 @@ impl ClusterManager {
             .iter()
             .filter(|(_, rec)| {
                 st.now_ms.saturating_sub(rec.last_heartbeat_ms) < self.heartbeat_timeout_ms
-                    && matches!(rec.health, HealthState::Healthy | HealthState::Suspect)
+                    && matches!(
+                        rec.health,
+                        HealthState::Healthy | HealthState::Suspect | HealthState::Probation
+                    )
             })
             .map(|(id, rec)| (id.clone(), rec.role))
             .collect();
@@ -557,6 +625,64 @@ mod tests {
         m.mark_failed("stor0");
         assert_eq!(m.health("stor0"), Some(HealthState::Quarantined));
         assert!(m.poll_config().version > v);
-        assert_eq!(m.health_counts(), [0, 0, 1, 0]);
+        assert_eq!(m.health_counts(), [0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn probation_serves_but_reflaps_skip_suspect() {
+        let m = ClusterManager::new(100, 500);
+        m.register("node000", ServiceRole::Compute);
+        m.mark_failed("node000");
+        assert!(m.begin_validation("node000"));
+        assert!(m.conclude_validation_to_probation("node000"));
+        assert_eq!(m.health("node000"), Some(HealthState::Probation));
+        // On probation the node serves: placement-eligible, in the
+        // polled config, counted in its own bucket.
+        assert!(m.placement_eligible("node000"));
+        assert!(m.poll_config().alive.iter().any(|(id, _)| id == "node000"));
+        assert_eq!(m.health_counts(), [0, 0, 0, 0, 1]);
+        // Heartbeats and re-registration do not end probation early.
+        m.heartbeat("node000");
+        m.register("node000", ServiceRole::Compute);
+        assert_eq!(m.health("node000"), Some(HealthState::Probation));
+        // A re-flap during probation escalates straight to quarantine.
+        let v = m.poll_config().version;
+        m.mark_suspect("node000");
+        assert_eq!(m.health("node000"), Some(HealthState::Quarantined));
+        assert!(m.poll_config().version > v);
+    }
+
+    #[test]
+    fn clean_probation_ends_in_full_health() {
+        let m = ClusterManager::new(100, 500);
+        m.register("node000", ServiceRole::Compute);
+        m.mark_failed("node000");
+        assert!(m.begin_validation("node000"));
+        assert!(m.conclude_validation_to_probation("node000"));
+        assert!(m.probation_pass("node000"));
+        assert_eq!(m.health("node000"), Some(HealthState::Healthy));
+        // probation_pass on a healthy node is a no-op.
+        assert!(!m.probation_pass("node000"));
+        // The classic validation path still readmits directly.
+        m.mark_failed("node000");
+        assert!(m.begin_validation("node000"));
+        assert!(m.conclude_validation("node000", true));
+        assert_eq!(m.health("node000"), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn silent_probation_node_times_out_to_quarantine() {
+        let m = ClusterManager::new(100, 500);
+        m.register("node000", ServiceRole::Compute);
+        m.mark_failed("node000");
+        assert!(m.begin_validation("node000"));
+        m.tick(50);
+        assert!(m.conclude_validation_to_probation("node000"));
+        // Probation refreshes the heartbeat; going silent afterwards
+        // escalates to quarantine at the full timeout like any server.
+        m.tick(149);
+        assert_eq!(m.health("node000"), Some(HealthState::Probation));
+        m.tick(150);
+        assert_eq!(m.health("node000"), Some(HealthState::Quarantined));
     }
 }

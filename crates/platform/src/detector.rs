@@ -1,0 +1,562 @@
+//! Signal-driven gray-failure detection (hai-monitor style, §VII-B).
+//!
+//! Everything else in the platform's failure path is an oracle: a
+//! [`FaultPlan`](ff_failures::FaultPlan) injection takes effect and the
+//! scheduler reacts with perfect knowledge. Real operations (§VII-B's
+//! hai-monitor + hostping loop) work the other way around — a degraded
+//! node is *inferred* from noisy, observable signals, and the inference
+//! is late, sometimes wrong, and tunable between those two sins.
+//!
+//! The [`Detector`] sees three signals and nothing else:
+//!
+//! * **Probe sweeps** — every `probe_period_s` the platform runs a
+//!   hostping-style bandwidth probe against each node's NIC and memory
+//!   bus and reports the measured throughput. The detector keeps a
+//!   per-path EWMA baseline and flags a node whose measurement falls
+//!   below `baseline / slow_factor` for `confirm_k` consecutive sweeps.
+//! * **Heartbeat jitter** — a node's heartbeat interval stretches with
+//!   its compute slowdown; a ratio above `hb_late_factor` for
+//!   `confirm_k` sweeps flags it.
+//! * **Step-time EWMAs** — per-task training-step durations (fluid
+//!   mode). A step that exceeds `step_slow_factor ×` its own EWMA for
+//!   `confirm_k` consecutive steps raises an advisory
+//!   [`Verdict::SlowJob`]. Job-level symptoms cannot localize a node, so
+//!   slow-job verdicts never quarantine anything by themselves.
+//!
+//! Every measurement is multiplied by seeded noise in `1 ± noise`, so
+//! detection latency, false positives and false negatives all exist *by
+//! construction*: a hair-trigger sensitivity quarantines healthy nodes
+//! on noise; a sluggish one lets a mild straggler hide under the
+//! threshold forever. The detector never reads injected gray state — it
+//! only ever sees the measurements the platform hands it.
+//!
+//! Same seed + same measurement stream ⇒ byte-identical
+//! [`canonical`](Detector::canonical) verdict streams.
+
+use ff_desim::SimTime;
+use ff_util::rng::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the detection loop. Build one with
+/// [`DetectorConfig::balanced`] or [`DetectorConfig::with_sensitivity`]
+/// and hand it to `PlatformConfig::detector`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Seconds between probe sweeps (also the heartbeat sampling cadence).
+    pub probe_period_s: u64,
+    /// EWMA smoothing for probe baselines and step-time tracks.
+    pub ewma_alpha: f64,
+    /// A probe breaches when `measured < baseline / slow_factor`.
+    pub slow_factor: f64,
+    /// A heartbeat breaches when its stretch ratio exceeds this.
+    pub hb_late_factor: f64,
+    /// A step breaches when it exceeds this multiple of its EWMA.
+    pub step_slow_factor: f64,
+    /// Consecutive breaches required before a verdict is raised.
+    pub confirm_k: u32,
+    /// Measurement noise amplitude: samples are scaled by `1 ± noise`.
+    pub noise: f64,
+    /// Seed for the measurement-noise stream.
+    pub seed: u64,
+    /// Seconds a readmitted node spends on probation before returning to
+    /// full health.
+    pub probation_s: u64,
+    /// Base seconds a detector-quarantined node is held before
+    /// validation; doubles per accumulated flap (capped by
+    /// `max_flap_backoff`).
+    pub quarantine_hold_s: u64,
+    /// Cap on the per-node backoff exponent.
+    pub max_flap_backoff: u32,
+}
+
+impl DetectorConfig {
+    /// The balanced preset: ~45 s to confirm a hard straggler at the
+    /// default cadence, with enough threshold margin over the 4% noise
+    /// floor that a calm fleet never flags.
+    pub fn balanced() -> DetectorConfig {
+        DetectorConfig {
+            probe_period_s: 15,
+            ewma_alpha: 0.2,
+            slow_factor: 1.4,
+            hb_late_factor: 2.0,
+            step_slow_factor: 1.6,
+            confirm_k: 3,
+            noise: 0.04,
+            seed: 0x4A11_BEEF,
+            probation_s: 300,
+            quarantine_hold_s: 120,
+            max_flap_backoff: 6,
+        }
+    }
+
+    /// A preset parameterized by sensitivity `s ∈ (0, 1]`: `s = 0.5` is
+    /// [`balanced`](Self::balanced); `s → 1` is hair-trigger (threshold
+    /// at the baseline itself, single-sweep confirmation — fast but
+    /// noise-prone); `s → 0` is sluggish (wide margins, long
+    /// confirmation — quiet but blind to mild degradation).
+    pub fn with_sensitivity(s: f64) -> DetectorConfig {
+        assert!(
+            s > 0.0 && s <= 1.0,
+            "sensitivity must be in (0, 1], got {s}"
+        );
+        let mut c = DetectorConfig::balanced();
+        c.slow_factor = 1.0 + 0.8 * (1.0 - s);
+        c.hb_late_factor = 1.0 + 2.0 * (1.0 - s);
+        c.confirm_k = (1.0 + 4.0 * (1.0 - s)).round().max(1.0) as u32;
+        c
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig::balanced()
+    }
+}
+
+/// Which observable signal produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// The NIC bandwidth probe of the sweep.
+    ProbeNic,
+    /// The memory-bus bandwidth probe of the sweep.
+    ProbeMem,
+    /// Heartbeat-interval jitter.
+    Heartbeat,
+}
+
+impl Signal {
+    /// Stable lowercase name (canonical lines, metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Signal::ProbeNic => "probe-nic",
+            Signal::ProbeMem => "probe-mem",
+            Signal::Heartbeat => "heartbeat",
+        }
+    }
+}
+
+/// A detection outcome. Suspect verdicts drive quarantine; slow-job
+/// verdicts are advisory (a job-level symptom cannot localize a node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// A node's observable signals breached for `confirm_k` sweeps.
+    Suspect {
+        /// When the verdict was raised.
+        at: SimTime,
+        /// The suspected compute node.
+        node: usize,
+        /// The signal that confirmed first.
+        signal: Signal,
+        /// The (noisy) measurement that confirmed the breach.
+        measured: f64,
+        /// The baseline (or threshold) it was judged against.
+        baseline: f64,
+    },
+    /// A task's step time ran away from its own EWMA.
+    SlowJob {
+        /// When the verdict was raised.
+        at: SimTime,
+        /// The task (raw id) whose steps slowed.
+        task: u64,
+        /// Step duration over EWMA at confirmation.
+        ratio: f64,
+    },
+}
+
+impl Verdict {
+    /// One canonical line per verdict (no trailing newline).
+    pub fn canonical(&self) -> String {
+        match *self {
+            Verdict::Suspect {
+                at,
+                node,
+                signal,
+                measured,
+                baseline,
+            } => format!(
+                "suspect at={} node={node:04} sig={} measured={measured:.6} baseline={baseline:.6}",
+                at.0,
+                signal.name()
+            ),
+            Verdict::SlowJob { at, task, ratio } => {
+                format!("slow-job at={} task={task} ratio={ratio:.6}", at.0)
+            }
+        }
+    }
+}
+
+/// Per-node signal tracks: `[nic, mem]` probe baselines and breach
+/// streaks, plus the heartbeat streak.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeTrack {
+    /// EWMA probe baselines; `0.0` means unlearned.
+    baseline: [f64; 2],
+    streak: [u32; 2],
+    hb_streak: u32,
+    /// A suspect verdict is live for this node; suppress duplicates
+    /// until it rejoins.
+    flagged: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct JobTrack {
+    ewma_ns: f64,
+    streak: u32,
+    flagged: bool,
+}
+
+/// The detection loop's state: per-node baselines, per-task step-time
+/// EWMAs, the seeded noise stream and the verdict log. Driven by the
+/// platform's sweep timer; see the module docs for the signal model.
+pub struct Detector {
+    cfg: DetectorConfig,
+    rng: ChaCha8Rng,
+    nodes: Vec<NodeTrack>,
+    jobs: BTreeMap<u64, JobTrack>,
+    verdicts: Vec<Verdict>,
+}
+
+impl Detector {
+    /// A detector with the given tuning.
+    pub fn new(cfg: DetectorConfig) -> Detector {
+        assert!(cfg.probe_period_s > 0, "probe period must be positive");
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(cfg.slow_factor >= 1.0, "slow factor must be >= 1");
+        assert!(cfg.confirm_k >= 1, "confirmation needs at least one sweep");
+        assert!(
+            cfg.noise >= 0.0 && cfg.noise < 1.0,
+            "noise amplitude must be in [0, 1)"
+        );
+        Detector {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cfg,
+            nodes: Vec::new(),
+            jobs: BTreeMap::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    fn ensure(&mut self, node: usize) {
+        if node >= self.nodes.len() {
+            self.nodes.resize(node + 1, NodeTrack::default());
+        }
+    }
+
+    fn noise_draw(&mut self) -> f64 {
+        1.0 + self.cfg.noise * (2.0 * self.rng.gen_f64() - 1.0)
+    }
+
+    /// Feed one sweep's measurements for an up node: `[nic, mem]` probe
+    /// throughputs and the heartbeat stretch ratio. Returns true when
+    /// this sweep confirms a new suspect verdict — the caller is
+    /// expected to quarantine. Exactly three noise draws per call, so
+    /// same-seed runs replay bit-identically.
+    pub(crate) fn sweep_node(
+        &mut self,
+        at: SimTime,
+        node: usize,
+        measured: [f64; 2],
+        hb_stretch: f64,
+    ) -> bool {
+        self.ensure(node);
+        let cfg = self.cfg;
+        let mut breach: Option<(Signal, f64, f64)> = None;
+        for (i, sig) in [Signal::ProbeNic, Signal::ProbeMem].into_iter().enumerate() {
+            let m = measured[i] * self.noise_draw();
+            let st = &mut self.nodes[node];
+            let b = st.baseline[i];
+            if b == 0.0 {
+                // First observation: learn, never judge.
+                st.baseline[i] = m;
+            } else if m < b / cfg.slow_factor {
+                // Breach: freeze the baseline so a fault cannot teach
+                // the detector its own degradation.
+                st.streak[i] += 1;
+                if st.streak[i] >= cfg.confirm_k && breach.is_none() {
+                    breach = Some((sig, m, b));
+                }
+            } else {
+                st.streak[i] = 0;
+                st.baseline[i] = cfg.ewma_alpha * m + (1.0 - cfg.ewma_alpha) * b;
+            }
+        }
+        let hb = hb_stretch * self.noise_draw();
+        let st = &mut self.nodes[node];
+        if hb > cfg.hb_late_factor {
+            st.hb_streak += 1;
+            if st.hb_streak >= cfg.confirm_k && breach.is_none() {
+                breach = Some((Signal::Heartbeat, hb, cfg.hb_late_factor));
+            }
+        } else {
+            st.hb_streak = 0;
+        }
+        if st.flagged {
+            return false;
+        }
+        if let Some((signal, measured, baseline)) = breach {
+            st.flagged = true;
+            self.verdicts.push(Verdict::Suspect {
+                at,
+                node,
+                signal,
+                measured,
+                baseline,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A node left the pool (quarantine or hard failure): drop its
+    /// learned state so it relearns a fresh baseline when it rejoins —
+    /// repaired hardware need not perform like its old self.
+    pub(crate) fn reset_node(&mut self, node: usize) {
+        self.ensure(node);
+        self.nodes[node] = NodeTrack::default();
+    }
+
+    /// Feed one completed training step for a task. Returns true when
+    /// this step confirms a new advisory slow-job verdict.
+    pub(crate) fn observe_step(&mut self, at: SimTime, task: u64, dur_ns: u64) -> bool {
+        let cfg = self.cfg;
+        let e = self.jobs.entry(task).or_insert(JobTrack {
+            ewma_ns: 0.0,
+            streak: 0,
+            flagged: false,
+        });
+        let d = dur_ns as f64;
+        if e.ewma_ns == 0.0 {
+            e.ewma_ns = d.max(1.0);
+            return false;
+        }
+        if d > cfg.step_slow_factor * e.ewma_ns {
+            e.streak += 1;
+            if e.streak >= cfg.confirm_k && !e.flagged {
+                e.flagged = true;
+                let ratio = d / e.ewma_ns;
+                self.verdicts.push(Verdict::SlowJob { at, task, ratio });
+                return true;
+            }
+        } else {
+            e.streak = 0;
+            e.flagged = false;
+            e.ewma_ns = cfg.ewma_alpha * d + (1.0 - cfg.ewma_alpha) * e.ewma_ns;
+        }
+        false
+    }
+
+    /// Every verdict raised so far, in raise order.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// Suspect (node-level) verdicts raised so far.
+    pub fn suspect_count(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::Suspect { .. }))
+            .count()
+    }
+
+    /// Canonical text of the verdict stream: one line per verdict in
+    /// raise order. Byte-identical across same-seed runs.
+    pub fn canonical(&self) -> String {
+        let mut out = String::from("detector verdicts v1\n");
+        for v in &self.verdicts {
+            out.push_str(&v.canonical());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_calm(det: &mut Detector, sweeps: u32, nodes: usize, cap: f64) {
+        for s in 0..sweeps {
+            for n in 0..nodes {
+                let at = SimTime::from_secs((s as u64 + 1) * 15);
+                det.sweep_node(at, n, [cap, cap * 2.0], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn calm_signals_raise_nothing_at_balanced_sensitivity() {
+        let mut det = Detector::new(DetectorConfig::balanced());
+        sweep_calm(&mut det, 200, 8, 5e10);
+        assert!(det.verdicts().is_empty(), "{:?}", det.verdicts());
+    }
+
+    #[test]
+    fn a_hard_drop_is_confirmed_in_confirm_k_sweeps() {
+        let cfg = DetectorConfig::balanced();
+        let mut det = Detector::new(cfg);
+        sweep_calm(&mut det, 10, 2, 5e10);
+        // Node 1's NIC drops to a quarter; node 0 stays clean.
+        let mut confirmed_at = None;
+        for s in 0..10u32 {
+            let at = SimTime::from_secs(((s + 11) * 15) as u64);
+            det.sweep_node(at, 0, [5e10, 1e11], 1.0);
+            if det.sweep_node(at, 1, [1.25e10, 1e11], 1.0) {
+                confirmed_at = Some(s + 1);
+                break;
+            }
+        }
+        assert_eq!(
+            confirmed_at,
+            Some(cfg.confirm_k),
+            "a 4× drop confirms in exactly confirm_k sweeps"
+        );
+        assert_eq!(det.suspect_count(), 1);
+        match det.verdicts()[0] {
+            Verdict::Suspect { node, signal, .. } => {
+                assert_eq!(node, 1);
+                assert_eq!(signal, Signal::ProbeNic);
+            }
+            ref v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn a_flagged_node_is_not_reflagged_until_reset() {
+        let mut det = Detector::new(DetectorConfig::balanced());
+        sweep_calm(&mut det, 10, 1, 5e10);
+        for s in 0..20u32 {
+            let at = SimTime::from_secs(((s + 11) * 15) as u64);
+            det.sweep_node(at, 0, [1e10, 1e11], 1.0);
+        }
+        assert_eq!(det.suspect_count(), 1, "duplicates suppressed");
+        det.reset_node(0);
+        // Baseline relearns; a fresh degradation can flag again.
+        sweep_calm(&mut det, 10, 1, 5e10);
+        for s in 0..20u32 {
+            let at = SimTime::from_secs(((s + 41) * 15) as u64);
+            det.sweep_node(at, 0, [1e10, 1e11], 1.0);
+        }
+        assert_eq!(det.suspect_count(), 2);
+    }
+
+    #[test]
+    fn heartbeat_stretch_confirms_without_probe_evidence() {
+        let mut det = Detector::new(DetectorConfig::balanced());
+        sweep_calm(&mut det, 10, 1, 5e10);
+        let mut raised = false;
+        for s in 0..10u32 {
+            let at = SimTime::from_secs(((s + 11) * 15) as u64);
+            raised |= det.sweep_node(at, 0, [5e10, 1e11], 4.0);
+        }
+        assert!(raised);
+        assert!(matches!(
+            det.verdicts()[0],
+            Verdict::Suspect {
+                signal: Signal::Heartbeat,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn slow_onset_can_evade_an_adaptive_baseline() {
+        // A drift slower than the threshold margin per sweep is learned
+        // into the baseline instead of breaching it: a false negative by
+        // construction.
+        let mut det = Detector::new(DetectorConfig::balanced());
+        sweep_calm(&mut det, 10, 1, 5e10);
+        let mut cap = 5e10;
+        for s in 0..60u32 {
+            cap *= 0.99; // 1% per sweep, well inside the 1.4× margin
+            let at = SimTime::from_secs(((s + 11) * 15) as u64);
+            det.sweep_node(at, 0, [cap, 1e11], 1.0);
+        }
+        assert!(
+            det.verdicts().is_empty(),
+            "a sub-margin drift never confirms: {:?}",
+            det.verdicts()
+        );
+    }
+
+    #[test]
+    fn hair_trigger_sensitivity_false_positives_on_noise() {
+        let mut det = Detector::new(DetectorConfig::with_sensitivity(1.0));
+        sweep_calm(&mut det, 400, 8, 5e10);
+        assert!(
+            det.suspect_count() > 0,
+            "threshold at the baseline must eventually flag pure noise"
+        );
+    }
+
+    #[test]
+    fn step_time_runaway_raises_an_advisory_verdict() {
+        let mut det = Detector::new(DetectorConfig::balanced());
+        for i in 0..20u64 {
+            det.observe_step(SimTime(i * 1_000_000), 7, 1_000_000);
+        }
+        let mut raised = false;
+        for i in 20..30u64 {
+            raised |= det.observe_step(SimTime(i * 1_000_000), 7, 4_000_000);
+        }
+        assert!(raised);
+        assert!(matches!(
+            det.verdicts().last(),
+            Some(Verdict::SlowJob { task: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn same_seed_verdict_streams_are_byte_identical() {
+        let run = || {
+            let mut det = Detector::new(DetectorConfig::balanced());
+            sweep_calm(&mut det, 10, 4, 5e10);
+            for s in 0..10u32 {
+                let at = SimTime::from_secs(((s + 11) * 15) as u64);
+                for n in 0..4 {
+                    let m = if n == 2 { 1e10 } else { 5e10 };
+                    det.sweep_node(at, n, [m, 1e11], 1.0);
+                }
+            }
+            det.canonical()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("suspect"));
+        // A different seed draws different noise: the stream may differ
+        // in measured values even when the verdict set matches.
+        let mut cfg = DetectorConfig::balanced();
+        cfg.seed ^= 1;
+        let mut det = Detector::new(cfg);
+        sweep_calm(&mut det, 10, 4, 5e10);
+        for s in 0..10u32 {
+            let at = SimTime::from_secs(((s + 11) * 15) as u64);
+            for n in 0..4 {
+                let m = if n == 2 { 1e10 } else { 5e10 };
+                det.sweep_node(at, n, [m, 1e11], 1.0);
+            }
+        }
+        assert_ne!(a, det.canonical());
+    }
+
+    #[test]
+    fn sensitivity_presets_are_monotone() {
+        let hair = DetectorConfig::with_sensitivity(1.0);
+        let balanced = DetectorConfig::with_sensitivity(0.5);
+        let sluggish = DetectorConfig::with_sensitivity(0.1);
+        assert!(hair.slow_factor < balanced.slow_factor);
+        assert!(balanced.slow_factor < sluggish.slow_factor);
+        assert!(hair.confirm_k <= balanced.confirm_k);
+        assert!(balanced.confirm_k <= sluggish.confirm_k);
+        assert_eq!(balanced, DetectorConfig::balanced());
+    }
+}

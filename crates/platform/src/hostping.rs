@@ -12,6 +12,23 @@ use ff_desim::{FluidSim, Route};
 use ff_hw::spec::{NVLINK_DIR_BPS, PCIE4_X16_BPS, ROME_P2P_BPS};
 use ff_hw::{NodeHw, TransferMethod};
 
+/// Probe-sweep tuning. The health margin used to be a hard-coded 10%;
+/// making it a field lets operators trade sensitivity (small margin
+/// catches mild lane degradation) against robustness to measurement
+/// noise (large margin avoids flagging contention blips).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeConfig {
+    /// Allowed shortfall below the expected floor before a path is
+    /// unhealthy, as a fraction in `[0, 1)`. Default `0.10`.
+    pub margin: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig { margin: 0.10 }
+    }
+}
+
 /// One probed path's result.
 #[derive(Debug, Clone)]
 pub struct PathProbe {
@@ -24,9 +41,20 @@ pub struct PathProbe {
 }
 
 impl PathProbe {
-    /// Healthy when within 10% of the expected floor.
+    /// Healthy under the default 10% margin.
     pub fn healthy(&self) -> bool {
-        self.measured_bps >= self.expected_bps * 0.90
+        self.healthy_with(&ProbeConfig::default())
+    }
+
+    /// Healthy when within `cfg.margin` of the expected floor. A path
+    /// with no meaningful floor (`expected_bps <= 0`) is never flagged:
+    /// every measurement clears a zero floor, and flagging such a probe
+    /// would be a config bug masquerading as a hardware fault.
+    pub fn healthy_with(&self, cfg: &ProbeConfig) -> bool {
+        if self.expected_bps <= 0.0 {
+            return true;
+        }
+        self.measured_bps >= self.expected_bps * (1.0 - cfg.margin)
     }
 }
 
@@ -72,9 +100,14 @@ pub fn hostping(fluid: &mut FluidSim, hw: &NodeHw) -> Vec<PathProbe> {
     out
 }
 
-/// The unhealthy paths only.
+/// The unhealthy paths only, under the default margin.
 pub fn bottlenecks(probes: &[PathProbe]) -> Vec<&PathProbe> {
-    probes.iter().filter(|p| !p.healthy()).collect()
+    bottlenecks_with(probes, &ProbeConfig::default())
+}
+
+/// The unhealthy paths only, under `cfg`'s margin.
+pub fn bottlenecks_with<'a>(probes: &'a [PathProbe], cfg: &ProbeConfig) -> Vec<&'a PathProbe> {
+    probes.iter().filter(|p| !p.healthy_with(cfg)).collect()
 }
 
 #[cfg(test)]
@@ -138,5 +171,33 @@ mod tests {
         let (mut fluid, hw) = install();
         hostping(&mut fluid, &hw);
         assert_eq!(fluid.active_flows(), 0);
+    }
+
+    #[test]
+    fn margin_is_tunable() {
+        let p = PathProbe {
+            path: "d2h/gpu0".into(),
+            measured_bps: 80.0,
+            expected_bps: 100.0,
+        };
+        // 20% short: unhealthy at the default 10% margin…
+        assert!(!p.healthy());
+        // …healthy under a forgiving 25% margin, unhealthy at a strict 5%.
+        assert!(p.healthy_with(&ProbeConfig { margin: 0.25 }));
+        assert!(!p.healthy_with(&ProbeConfig { margin: 0.05 }));
+    }
+
+    #[test]
+    fn zero_floor_probe_is_never_flagged() {
+        // A path with no expected floor must not be mis-flagged, even at
+        // zero measured bandwidth — that's a config gap, not a fault.
+        let p = PathProbe {
+            path: "aux/unknown".into(),
+            measured_bps: 0.0,
+            expected_bps: 0.0,
+        };
+        assert!(p.healthy());
+        assert!(p.healthy_with(&ProbeConfig { margin: 0.0 }));
+        assert!(bottlenecks_with(std::slice::from_ref(&p), &ProbeConfig::default()).is_empty());
     }
 }

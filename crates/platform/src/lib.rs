@@ -10,6 +10,11 @@
 //!   flowing through the cluster manager's health lifecycle, and an
 //!   optional fluid-traffic mode where step and checkpoint durations
 //!   emerge from bandwidth contention. Built via [`PlatformConfig`].
+//! * [`detector`] — the hai-monitor-style gray-failure detector: sees
+//!   only observable signals (probe sweeps, heartbeat jitter, step-time
+//!   EWMAs), so detection has latency, false positives, and false
+//!   negatives by construction; verdicts feed the cluster manager's
+//!   Suspect → Quarantined → Validating → Probation lifecycle.
 //! * [`checkpoint`] — the checkpoint manager of §VII-A: tensors chunked
 //!   and batch-written to 3FS with a per-tensor index, periodic (5-minute)
 //!   cadence, asynchronous saves, checksum-verified loads.
@@ -27,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod detector;
 pub mod hostping;
 pub mod recovery;
 pub mod scheduler;
@@ -35,8 +41,9 @@ pub mod storage_health;
 pub mod validator;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta};
+pub use detector::{Detector, DetectorConfig, Signal, Verdict};
 pub use ff_util::error::{FfError, FfKind};
-pub use hostping::{bottlenecks, hostping, PathProbe};
+pub use hostping::{bottlenecks, bottlenecks_with, hostping, PathProbe, ProbeConfig};
 pub use recovery::{
     train_with_recovery, train_with_recovery_traced, JobFaults, RecoveryEvent, RecoveryReport,
     TrainerConfig, STORAGE_REJOIN_DELAY_STEPS,

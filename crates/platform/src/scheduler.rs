@@ -29,10 +29,14 @@
 //! failed node's task rolls back to its last durable checkpoint — the
 //! §VII-A claim that "only the last 5 minutes of progress are lost".
 
+use crate::detector::{Detector, DetectorConfig};
 use ff_3fs::target::Disk;
 use ff_3fs::{Chain, ChunkId, ClusterManager, HealthState, ServiceRole, StorageTarget};
-use ff_desim::{EventQueue, FlowId, SimDuration, SimTime};
-use ff_failures::{FaultAction, FaultPlan};
+use ff_desim::envelope::Envelope;
+use ff_desim::fluid::FluidSim;
+use ff_desim::{EventQueue, FlowId, ResourceId, Route, SimDuration, SimTime};
+use ff_failures::plan::FLASH_CUT_FACTOR;
+use ff_failures::{FaultAction, FaultPlan, GrayFault, GrayPlan};
 use ff_obs::{Recorder, TrackId};
 use ff_reduce::{jobflow, ClusterModel};
 use ff_util::bytes::Bytes;
@@ -233,6 +237,7 @@ pub struct PlatformConfig {
     validation_s: u64,
     solver_threads: usize,
     replication: usize,
+    detector: Option<DetectorConfig>,
 }
 
 impl PlatformConfig {
@@ -249,7 +254,20 @@ impl PlatformConfig {
             validation_s: 60,
             solver_threads: 1,
             replication: 2,
+            detector: None,
         }
+    }
+
+    /// Attach a signal-driven gray-failure detector (hai-monitor style):
+    /// the platform runs periodic probe sweeps, watches heartbeat jitter
+    /// and step-time EWMAs, and quarantines nodes on confirmed suspect
+    /// verdicts — with detection latency, false positives and false
+    /// negatives set by `cfg`. Nodes readmitted after a detector
+    /// quarantine pass through the probation state with per-node
+    /// exponential backoff on repeated flaps.
+    pub fn detector(mut self, cfg: DetectorConfig) -> PlatformConfig {
+        self.detector = Some(cfg);
+        self
     }
 
     /// Worker threads for the fluid bandwidth solver (fluid mode only).
@@ -401,13 +419,22 @@ impl PlatformConfig {
             let t = rec.track("platform/sched");
             (rec, t)
         });
+        let mut timers = EventQueue::new();
+        let detector = self.detector.map(|cfg| {
+            timers.schedule(
+                SimTime(0) + SimDuration::from_secs(cfg.probe_period_s),
+                Ev::DetectorSweep,
+            );
+            Detector::new(cfg)
+        });
+        let flaps = vec![0u32; nodes.len()];
         Ok(Platform {
             now: SimTime(0),
             ckpt_interval: self.ckpt_interval.max(1),
             nodes,
             tasks: BTreeMap::new(),
             next_id: 1,
-            timers: EventQueue::new(),
+            timers,
             manager,
             engine,
             repair_delay_s: self.repair_delay_s,
@@ -426,6 +453,10 @@ impl PlatformConfig {
             serving: BTreeMap::new(),
             next_serving: 1,
             dirty: false,
+            detector,
+            gray: None,
+            flaps,
+            detector_quarantines: 0,
         })
     }
 }
@@ -436,6 +467,36 @@ fn node_name(i: usize) -> String {
 
 fn storage_name(j: usize) -> String {
     format!("sched-s{j}")
+}
+
+/// The two per-node resources gray faults act on and probe sweeps
+/// measure: the node's memory bus (compute-side, first hop of its IB
+/// send route) and its NIC uplink (last hop).
+fn node_probe_resources(eng: &FluidEngine, node: usize) -> (ResourceId, ResourceId) {
+    let route = eng.cluster.hw[node].ib_send(0);
+    let mem = route.0.first().expect("IB route has hops").0;
+    let nic = route.0.last().expect("IB route has hops").0;
+    (mem, nic)
+}
+
+/// A hostping-style active probe: saturate `r` with a greedy flow for
+/// zero simulated time and read off the achievable load — the effective
+/// (possibly degraded) capacity, measured rather than peeked at.
+fn probe_resource(fluid: &mut FluidSim, r: ResourceId) -> f64 {
+    let f = fluid.start_flow(1e12, &Route::unit([r]));
+    let measured = fluid.resource_load(r);
+    fluid.cancel_flow(f);
+    measured
+}
+
+/// Wall-clock for `remaining` declared work units under a gray compute
+/// stretch, keeping the exact integer path when nominal.
+fn stretched_secs(remaining: u64, stretch: f64) -> SimDuration {
+    if stretch == 1.0 {
+        SimDuration::from_secs(remaining)
+    } else {
+        SimDuration::from_secs_f64(remaining as f64 * stretch)
+    }
 }
 
 /// Who occupies a compute node: a (preemptible) training task or a
@@ -494,6 +555,13 @@ struct Task {
     /// State to enter once the in-flight checkpoint completes (the
     /// interruption-signal protocol's hand-off).
     pending: Option<TaskState>,
+    /// Declared-mode wall-clock stretch from gray compute degradation on
+    /// the task's assigned nodes: each work unit takes `stretch` seconds
+    /// (1.0 = nominal, the fast integer-arithmetic path).
+    stretch: f64,
+    /// When the in-flight training step started (fluid mode) — the
+    /// detector's step-time signal.
+    step_started: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -531,6 +599,28 @@ pub(crate) enum Ev {
         rep: u32,
         epoch: u64,
     },
+    /// A gray-fault envelope phase boundary: the node's link and/or
+    /// memory-bus capacity factors step to new values (`None` leaves a
+    /// factor unchanged).
+    GrayPhase {
+        node: usize,
+        link: Option<f64>,
+        mem: Option<f64>,
+    },
+    /// The detector's periodic probe sweep over all up nodes.
+    DetectorSweep,
+    /// A readmitted node's probation window ends cleanly.
+    ProbationEnd { node: usize, gen: u64 },
+}
+
+/// Per-node gray degradation factors, realized from applied
+/// [`GrayPlan`]s. `link` scales the node's NIC capacity, `mem` its
+/// memory-bus (compute-side) capacity; `1.0` everywhere means nominal.
+/// Allocated lazily by the first [`Platform::apply_gray_plan`] so
+/// gray-free runs carry no state (and keep their digests).
+struct GrayState {
+    link: Vec<f64>,
+    mem: Vec<f64>,
 }
 
 /// Fluid-mode machinery: the bandwidth model, the storage pool and the
@@ -590,6 +680,16 @@ pub struct Platform {
     pub(crate) serving: BTreeMap<crate::serving::ServingId, crate::serving::ServingJob>,
     pub(crate) next_serving: u64,
     pub(crate) dirty: bool,
+    /// The signal-driven gray-failure detector, when configured.
+    detector: Option<Detector>,
+    /// Current gray degradation factors (lazily allocated).
+    gray: Option<GrayState>,
+    /// Per-node count of detector quarantines, decayed on clean
+    /// probation — the exponent of the adaptive readmission backoff.
+    flaps: Vec<u32>,
+    /// Nodes quarantined by detector verdicts (as opposed to hard
+    /// failures) so far.
+    detector_quarantines: u64,
 }
 
 impl Platform {
@@ -632,6 +732,8 @@ impl Platform {
                 flows: Vec::new(),
                 ckpt_seq: 0,
                 pending: None,
+                stretch: 1.0,
+                step_started: self.now,
             },
         );
         self.schedule_now();
@@ -805,6 +907,143 @@ impl Platform {
         }
     }
 
+    /// Schedule every gray episode in `plan` (clamped to now at the
+    /// earliest). Each episode expands into a piecewise-constant
+    /// [`Envelope`] replayed as timer events: a straggler or thermal
+    /// throttle stretches the node's compute (memory-bus capacity in
+    /// fluid mode, wall-clock stretch in declared mode), a flapping link
+    /// square-waves the node's NIC between nominal and the flash-cut
+    /// trickle. Nothing is announced to the scheduler or the health
+    /// machine — only the configured detector can notice, from signals.
+    pub fn apply_gray_plan(&mut self, plan: &GrayPlan) {
+        for e in &plan.events {
+            let node = e.node % self.nodes.len();
+            let start_ns = if e.at_s <= 0.0 {
+                0
+            } else {
+                (e.at_s * 1e9) as u64
+            };
+            let start = SimTime(start_ns.max(self.now.0));
+            let (env, is_link) = match e.fault {
+                GrayFault::Straggler {
+                    slowdown,
+                    onset_ramp_s,
+                } => (
+                    Envelope::ramp(1.0 / slowdown, onset_ramp_s, e.duration_s),
+                    false,
+                ),
+                GrayFault::ThermalThrottle {
+                    factor,
+                    onset_ramp_s,
+                } => (Envelope::ramp(factor, onset_ramp_s, e.duration_s), false),
+                GrayFault::FlappingLink { period_s, duty } => (
+                    Envelope::square(period_s, duty, FLASH_CUT_FACTOR, e.duration_s),
+                    true,
+                ),
+            };
+            for ph in env.phases() {
+                let (link, mem) = if is_link {
+                    (Some(ph.factor), None)
+                } else {
+                    (None, Some(ph.factor))
+                };
+                self.timers
+                    .schedule(start + ph.offset, Ev::GrayPhase { node, link, mem });
+            }
+        }
+    }
+
+    /// One gray envelope phase lands: update the node's factors and
+    /// realize them — fluid mode degrades the node's NIC / memory-bus
+    /// resources in the bandwidth model; declared mode re-times any
+    /// running task on the node under the new compute stretch.
+    fn apply_gray_phase(&mut self, node: usize, link: Option<f64>, mem: Option<f64>) {
+        let n = self.nodes.len();
+        let gray = self.gray.get_or_insert_with(|| GrayState {
+            link: vec![1.0; n],
+            mem: vec![1.0; n],
+        });
+        if let Some(f) = link {
+            gray.link[node] = f;
+        }
+        if let Some(f) = mem {
+            gray.mem[node] = f;
+        }
+        let (l, m) = (gray.link[node], gray.mem[node]);
+        if self.engine.is_some() {
+            self.with_engine(|_, eng| {
+                let (mem_r, nic_r) = node_probe_resources(eng, node);
+                if link.is_some() {
+                    eng.cluster
+                        .fluid
+                        .modulate(nic_r, l)
+                        .expect("gray link factor in (0, 1]");
+                }
+                if mem.is_some() {
+                    eng.cluster
+                        .fluid
+                        .modulate(mem_r, m)
+                        .expect("gray compute factor in (0, 1]");
+                }
+            });
+        } else if mem.is_some() {
+            self.resync_declared_node(node);
+        }
+        self.note("gray-phase");
+    }
+
+    /// The compute stretch a gray degradation imposes on `node`: steps
+    /// there take `stretch ×` nominal wall-clock (1.0 when nominal).
+    fn gray_stretch(&self, node: usize) -> f64 {
+        self.gray.as_ref().map_or(1.0, |g| 1.0 / g.mem[node])
+    }
+
+    /// The link capacity factor gray degradation leaves on `node`.
+    fn gray_link(&self, node: usize) -> f64 {
+        self.gray.as_ref().map_or(1.0, |g| g.link[node])
+    }
+
+    /// The stretch of a declared-mode task: the slowest of its nodes
+    /// (the synchronous-training property — every step waits for the
+    /// straggler).
+    fn assigned_stretch(&self, assigned: &[usize]) -> f64 {
+        let mut s = 1.0f64;
+        for &n in assigned {
+            s = s.max(self.gray_stretch(n));
+        }
+        s
+    }
+
+    /// A gray phase boundary re-times the declared-mode task running on
+    /// `node`: commit the analytically-earned progress, restart the
+    /// clock under the new stretch, and reschedule completion. The
+    /// runtime captures a synchronization checkpoint at the boundary
+    /// (progress == ckpt), mirroring what [`try_place`] does on
+    /// placement.
+    fn resync_declared_node(&mut self, node: usize) {
+        debug_assert!(self.engine.is_none());
+        let Some(Owner::Train(id)) = self.nodes[node].running else {
+            return;
+        };
+        if self.tasks[&id].state != TaskState::Running {
+            return;
+        }
+        let live = self.live_progress(&self.tasks[&id]);
+        let stretch = self.assigned_stretch(&self.tasks[&id].assigned);
+        let t = self.tasks.get_mut(&id).expect("running task exists");
+        t.progress = live;
+        t.ckpt = live;
+        t.placed_at = self.now;
+        t.stretch = stretch;
+        t.epoch += 1;
+        let epoch = t.epoch;
+        let remaining = t.work - t.progress;
+        self.timers.schedule(
+            self.now + stretched_secs(remaining, stretch),
+            Ev::TaskDone { id, epoch },
+        );
+    }
+
     /// Roll a running task back to its last durable checkpoint and
     /// re-queue it. With a poisoned checkpoint the rollback falls back one
     /// more interval (§VII-A: checksum-exposed corruption).
@@ -880,13 +1119,37 @@ impl Platform {
             }
             Ev::ValidationDone { node, gen } => {
                 if self.nodes[node].gen == gen && !self.nodes[node].up {
-                    self.manager.conclude_validation(&node_name(node), true);
+                    let name = node_name(node);
+                    if let Some(det) = &self.detector {
+                        // Detector mode: readmission goes through the
+                        // probation leash instead of straight to Healthy.
+                        self.manager.conclude_validation_to_probation(&name);
+                        self.timers.schedule(
+                            self.now + SimDuration::from_secs(det.config().probation_s.max(1)),
+                            Ev::ProbationEnd { node, gen },
+                        );
+                        self.note("node-probation");
+                    } else {
+                        self.manager.conclude_validation(&name, true);
+                        self.note("node-rejoin");
+                    }
                     self.nodes[node].up = true;
                     self.up_nodes += 1;
-                    self.note("node-rejoin");
                     self.dirty = true;
                 }
             }
+            Ev::ProbationEnd { node, gen } => {
+                if self.nodes[node].gen == gen
+                    && self.nodes[node].up
+                    && self.manager.probation_pass(&node_name(node))
+                {
+                    // A clean probation decays the flap backoff.
+                    self.flaps[node] = self.flaps[node].saturating_sub(1);
+                    self.note("node-rejoin");
+                }
+            }
+            Ev::GrayPhase { node, link, mem } => self.apply_gray_phase(node, link, mem),
+            Ev::DetectorSweep => self.detector_sweep(),
             Ev::Fault { node, action } => self.handle_fault(node, action),
             Ev::ServeArrive { sid } => self.serve_arrival(sid),
             Ev::ServeSeg { sid, rep, epoch } => self.serve_seg_event(sid, rep, epoch),
@@ -938,7 +1201,16 @@ impl Platform {
                     self.note("ckpt-poisoned");
                 }
             }
-            FaultAction::Tolerate { .. } => self.note("tolerated"),
+            FaultAction::Tolerate { .. } => {
+                // In-band retries cost nothing visible in the trajectory,
+                // which is exactly why they need their own counter — a
+                // fleet quietly retrying thousands of NVLink errors looks
+                // healthy until it is not.
+                if let Some((rec, _)) = &self.obs {
+                    rec.counter_add("platform/sched/tolerated", 1.0);
+                }
+                self.note("tolerated")
+            }
             FaultAction::KillStorageTarget { target } => self.fail_storage_host(target),
         }
     }
@@ -995,6 +1267,111 @@ impl Platform {
         self.manager.begin_validation(&name);
         self.manager.conclude_validation(&name, true);
         self.note("storage-host-rejoin");
+    }
+
+    // ----- signal-driven detection ---------------------------------------
+
+    /// One detector sweep: gather the observable signals for every up
+    /// node — NIC and memory-bus probe throughput (measured in the fluid
+    /// model by a hostping-style saturating probe; in declared mode the
+    /// probes see the realized capacity factors directly) plus the
+    /// heartbeat stretch ratio — feed them to the detector, and
+    /// quarantine any node whose breach streak confirms. Down nodes are
+    /// skipped and their learned state reset so rejoining hardware
+    /// relearns a fresh baseline.
+    fn detector_sweep(&mut self) {
+        let Some(mut det) = self.detector.take() else {
+            return;
+        };
+        let n = self.nodes.len();
+        let mut samples: Vec<Option<[f64; 2]>> = vec![None; n];
+        self.with_opt_engine(|p, mut eng| {
+            for (node, slot) in samples.iter_mut().enumerate() {
+                if !p.nodes[node].up {
+                    continue;
+                }
+                *slot = Some(match eng.as_deref_mut() {
+                    Some(eng) => {
+                        let (mem_r, nic_r) = node_probe_resources(eng, node);
+                        [
+                            probe_resource(&mut eng.cluster.fluid, nic_r),
+                            probe_resource(&mut eng.cluster.fluid, mem_r),
+                        ]
+                    }
+                    // Declared mode has no bandwidth model; the probe
+                    // measures the realized capacity factor of the path.
+                    None => [p.gray_link(node), 1.0 / p.gray_stretch(node)],
+                });
+            }
+        });
+        let mut suspects = Vec::new();
+        for (node, sample) in samples.into_iter().enumerate() {
+            match sample {
+                Some(m) => {
+                    let hb = self.gray_stretch(node);
+                    if det.sweep_node(self.now, node, m, hb) {
+                        suspects.push(node);
+                    }
+                }
+                None => det.reset_node(node),
+            }
+        }
+        let period = det.config().probe_period_s;
+        self.detector = Some(det);
+        for node in suspects {
+            if let Some((rec, _)) = &self.obs {
+                rec.counter_add("platform/detector/suspects", 1.0);
+            }
+            self.note("detector-suspect");
+            self.quarantine_from_detector(node);
+        }
+        self.timers
+            .schedule(self.now + SimDuration::from_secs(period), Ev::DetectorSweep);
+    }
+
+    /// Act on a confirmed suspect verdict: pull the node from the pool
+    /// exactly as a hard failure would (rollback / replica loss, Suspect
+    /// → Quarantined confirmation), then hold it for the adaptive
+    /// backoff — `quarantine_hold_s × 2^flaps` — before repair enters
+    /// validation and the probation leash. The detector can be wrong;
+    /// when it is, this is the false-quarantine capacity cost the bench
+    /// measures.
+    fn quarantine_from_detector(&mut self, node: usize) {
+        if !self.nodes[node].up {
+            return;
+        }
+        let cfg = *self
+            .detector
+            .as_ref()
+            .expect("sweep only runs with a detector")
+            .config();
+        self.nodes[node].up = false;
+        self.up_nodes -= 1;
+        self.nodes[node].gen += 1;
+        let gen = self.nodes[node].gen;
+        self.detector_quarantines += 1;
+        if let Some((rec, _)) = &self.obs {
+            rec.counter_add("platform/detector/quarantines", 1.0);
+        }
+        self.manager.mark_suspect(&node_name(node));
+        self.note("detector-quarantine");
+        self.timers.schedule(
+            self.now + SimDuration::from_secs(DETECT_CONFIRM_S),
+            Ev::ConfirmFail { node, gen },
+        );
+        match self.nodes[node].running {
+            Some(Owner::Train(id)) => self.rollback_and_requeue(id),
+            Some(Owner::Serve(sid, rep)) => self.serve_replica_down(sid, rep),
+            None => {}
+        }
+        let backoff = 1u64 << self.flaps[node].min(cfg.max_flap_backoff);
+        self.flaps[node] += 1;
+        let hold = (cfg.quarantine_hold_s.max(1) * backoff).max(DETECT_CONFIRM_S + 1);
+        self.timers.schedule(
+            self.now + SimDuration::from_secs(hold),
+            Ev::RepairDone { node, gen },
+        );
+        self.dirty = true;
     }
 
     // ----- fluid-mode phases ---------------------------------------------
@@ -1068,6 +1445,16 @@ impl Platform {
                 self.start_step(eng, id);
             }
             Phase::Step => {
+                if let Some(mut det) = self.detector.take() {
+                    let dur = self.now.0 - self.tasks[&id].step_started.0;
+                    if det.observe_step(self.now, id.0, dur) {
+                        if let Some((rec, _)) = &self.obs {
+                            rec.counter_add("platform/detector/slow_jobs", 1.0);
+                        }
+                        self.note("detector-slow-job");
+                    }
+                    self.detector = Some(det);
+                }
                 let t = self.tasks.get_mut(&id).expect("task exists");
                 t.progress += 1;
                 if t.progress >= t.work {
@@ -1116,6 +1503,7 @@ impl Platform {
         let work = jobflow::ring_edge_bytes(assigned.len(), step_bytes).max(1.0);
         let t = self.tasks.get_mut(&id).expect("task exists");
         t.phase = Phase::Step;
+        t.step_started = self.now;
         for route in &routes {
             let f = eng.cluster.fluid.start_flow(work, route);
             eng.flow_owner.insert(f, Owner::Train(id));
@@ -1446,6 +1834,11 @@ impl Platform {
         let Some((nodes, cross)) = pick else {
             return false;
         };
+        let stretch = if self.engine.is_none() {
+            self.assigned_stretch(&nodes)
+        } else {
+            1.0
+        };
         for &n in &nodes {
             self.nodes[n].running = Some(Owner::Train(id));
         }
@@ -1460,6 +1853,7 @@ impl Platform {
         t.placed_at = self.now;
         t.ckpt = t.progress; // cadence restarts from the resume point
         t.epoch += 1;
+        t.stretch = stretch;
         let epoch = t.epoch;
         let resume = t.progress > 0;
         let remaining = t.work - t.progress;
@@ -1472,7 +1866,7 @@ impl Platform {
             }
         } else {
             self.timers.schedule(
-                self.now + SimDuration::from_secs(remaining),
+                self.now + stretched_secs(remaining, stretch),
                 Ev::TaskDone { id, epoch },
             );
         }
@@ -1481,9 +1875,17 @@ impl Platform {
 
     // ----- declared-mode analytics ---------------------------------------
 
-    /// Whole seconds a declared-mode task has been running since placement.
+    /// Whole work units a declared-mode task has earned since placement:
+    /// elapsed seconds at nominal speed, divided by the gray compute
+    /// stretch when one is in effect (the float path is gated so
+    /// gray-free runs keep exact integer arithmetic).
     fn elapsed_units(&self, t: &Task) -> u64 {
-        (self.now.0 - t.placed_at.0) / 1_000_000_000
+        let ns = self.now.0 - t.placed_at.0;
+        if t.stretch == 1.0 {
+            ns / 1_000_000_000
+        } else {
+            (ns as f64 / t.stretch / 1e9) as u64
+        }
     }
 
     /// Committed progress plus the analytically-earned run time.
@@ -1608,6 +2010,35 @@ impl Platform {
     /// Node failures seen so far.
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Quarantines initiated by the signal-driven detector. Disjoint from
+    /// [`Platform::failures`], which counts injected hard faults — on a
+    /// calm fleet every one of these is a false positive.
+    pub fn detector_quarantines(&self) -> u64 {
+        self.detector_quarantines
+    }
+
+    /// The detector's verdict stream so far (empty when no detector is
+    /// configured).
+    pub fn detector_verdicts(&self) -> &[crate::detector::Verdict] {
+        self.detector.as_ref().map_or(&[], |d| d.verdicts())
+    }
+
+    /// Canonical one-line-per-verdict rendering of the detector stream,
+    /// suitable for digesting in determinism checks.
+    pub fn detector_canonical(&self) -> String {
+        self.detector
+            .as_ref()
+            .map_or_else(String::new, |d| d.canonical())
+    }
+
+    /// Node-seconds the pool has spent *down* (failed, quarantined,
+    /// validating, or awaiting repair) since t=0 — the capacity cost of
+    /// outages, whether from real faults or detector false positives.
+    pub fn down_node_seconds(&self) -> u64 {
+        let total = self.nodes.len() as u128 * self.now.0 as u128;
+        ((total - self.healthy_node_ns) / 1_000_000_000) as u64
     }
 
     /// The cluster manager tracking node health (§VI-B3's registry).

@@ -143,11 +143,13 @@ impl StoragePlane {
             }
         }
         if let Some((rec, _)) = self.obs.lock().as_ref() {
-            let [healthy, suspect, quarantined, validating] = self.manager.health_counts();
+            let [healthy, suspect, quarantined, validating, probation] =
+                self.manager.health_counts();
             rec.gauge_set("fs3/health/healthy", healthy as f64);
             rec.gauge_set("fs3/health/suspect", suspect as f64);
             rec.gauge_set("fs3/health/quarantined", quarantined as f64);
             rec.gauge_set("fs3/health/validating", validating as f64);
+            rec.gauge_set("fs3/health/probation", probation as f64);
         }
     }
 

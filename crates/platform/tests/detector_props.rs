@@ -1,0 +1,315 @@
+//! Seeded property tests for the gray-failure detection loop (ISSUE 9):
+//! the hai-monitor-style detector sees only observable signals (probe
+//! sweeps, heartbeat stretch, step times), so its behaviour must be
+//! *imperfect in exactly the configured ways* — quiet on calm fleets,
+//! bounded-latency on hard stragglers, deterministic under a fixed seed,
+//! and exponentially more cautious about readmitting repeat flappers.
+
+use ff_3fs::manager::HealthState;
+use ff_failures::{FailureKind, FaultAction, FaultPlan, GrayFault, GrayPlan, PlannedFault, Xid};
+use ff_obs::Recorder;
+use ff_platform::{DetectorConfig, JobSpec, Platform, PlatformConfig};
+use ff_reduce::{ClusterConfig, ClusterModel};
+use ff_util::rng::ChaCha8Rng;
+
+/// A declared-mode platform with a detector attached.
+fn declared_with_detector(per_zone: [usize; 2], cfg: DetectorConfig) -> Platform {
+    PlatformConfig::new()
+        .zones(per_zone)
+        .ckpt_interval(300)
+        .detector(cfg)
+        .build()
+        .expect("declared platform builds")
+}
+
+/// A fluid-mode platform with a detector attached.
+fn fluid_with_detector(nodes: usize, cfg: DetectorConfig) -> Platform {
+    PlatformConfig::new()
+        .cluster(ClusterModel::build(&ClusterConfig::fire_flyer(nodes)))
+        .storage_nodes(2)
+        .ckpt_interval(10)
+        .detector(cfg)
+        .build()
+        .expect("fluid platform builds")
+}
+
+/// ISSUE 9 satellite (c): across ≥ 64 seeds, a calm fleet — random
+/// workload, no injected faults of any kind — must produce *zero*
+/// Suspect verdicts at balanced sensitivity. False positives are allowed
+/// by construction only when the operator dials sensitivity up.
+#[test]
+fn calm_fleet_raises_zero_false_positives_across_seeds() {
+    for seed in 0..64u64 {
+        let mut cfg = DetectorConfig::balanced();
+        cfg.seed = seed; // different noise stream per fleet
+        let mut p = declared_with_detector([6, 6], cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for i in 0..6 {
+            let need = rng.gen_range(1..5usize);
+            let work = rng.gen_range(200..2000u64);
+            p.submit(JobSpec::new(format!("calm{i}"), need, work).priority(i))
+                .expect("job fits");
+            p.tick(rng.gen_range(10..300u64));
+        }
+        p.tick(4000);
+        assert!(
+            p.detector_verdicts().is_empty(),
+            "seed {seed}: calm fleet raised {:?}",
+            p.detector_verdicts()
+        );
+        assert_eq!(p.detector_quarantines(), 0, "seed {seed}");
+    }
+}
+
+/// A calm *fluid* fleet is quiet too: probe sweeps measure real solver
+/// capacity (contended by live training traffic), and that must not
+/// look like degradation.
+#[test]
+fn calm_fluid_fleet_is_quiet() {
+    let mut p = fluid_with_detector(8, DetectorConfig::balanced());
+    p.submit(
+        JobSpec::new("train", 4, 200)
+            .step_bytes(6.4e7)
+            .ckpt_bytes(2.56e8),
+    )
+    .expect("job fits");
+    p.tick(900);
+    assert!(
+        p.detector_verdicts().is_empty(),
+        "fluid calm fleet raised {:?}",
+        p.detector_verdicts()
+    );
+    assert_eq!(p.detector_quarantines(), 0);
+}
+
+/// ISSUE 9 satellite (c): a 4× straggler on a training node is detected
+/// and quarantined within a bounded window — `confirm_k` sweeps plus
+/// one for baseline skew — from observable signals alone. The detector
+/// has no access to the gray plan; it reads probes and heartbeats.
+#[test]
+fn four_x_straggler_is_quarantined_within_bound() {
+    let cfg = DetectorConfig::balanced();
+    let mut p = fluid_with_detector(6, cfg);
+    // Steps on this small cluster take milliseconds of simulated time,
+    // so the job must carry enough work to outlive the whole scenario.
+    let t = p
+        .submit(
+            JobSpec::new("victim", 4, 50_000_000)
+                .step_bytes(6.4e7)
+                .ckpt_bytes(2.56e8),
+        )
+        .expect("job fits");
+    // Let baselines settle on nominal capacity, then hit an assigned node.
+    p.tick(60);
+    let node = p.assignment(t).expect("victim is placed")[0];
+    let onset_s = p.now().0 as f64 / 1e9;
+    p.apply_gray_plan(&GrayPlan::single(
+        onset_s,
+        node,
+        1200.0,
+        GrayFault::Straggler {
+            slowdown: 4.0,
+            onset_ramp_s: 0.0,
+        },
+    ));
+    p.tick(300);
+    let verdicts = p.detector_verdicts();
+    let first = verdicts
+        .iter()
+        .find_map(|v| match *v {
+            ff_platform::Verdict::Suspect { at, node, .. } => Some((at, node)),
+            _ => None,
+        })
+        .expect("straggler must be detected");
+    assert_eq!(first.1, node, "detector must localize the straggler");
+    // Bound: (confirm_k + 1) probe periods after onset.
+    let bound_s = (cfg.confirm_k as u64 + 1) * cfg.probe_period_s;
+    let latency_s = (first.0 .0 as f64 / 1e9 - onset_s).ceil() as u64;
+    assert!(
+        latency_s <= bound_s,
+        "detected after {latency_s} s, bound {bound_s} s"
+    );
+    assert!(
+        p.detector_quarantines() >= 1,
+        "verdict must drive quarantine"
+    );
+    assert!(
+        !matches!(p.node_health(node), Some(HealthState::Healthy)),
+        "straggler node must have left full health, got {:?}",
+        p.node_health(node)
+    );
+}
+
+/// ISSUE 9 satellite (c): the whole loop — gray injection, probe noise,
+/// verdict stream, quarantines — replays byte-identically under the
+/// same seed.
+#[test]
+fn same_seed_detector_runs_are_byte_identical() {
+    let run = || {
+        let mut p = fluid_with_detector(6, DetectorConfig::balanced());
+        p.submit(
+            JobSpec::new("train", 4, 50_000_000)
+                .step_bytes(6.4e7)
+                .ckpt_bytes(2.56e8),
+        )
+        .expect("job fits");
+        p.apply_gray_plan(&GrayPlan::single(
+            50.0,
+            1,
+            600.0,
+            GrayFault::Straggler {
+                slowdown: 3.0,
+                onset_ramp_s: 30.0,
+            },
+        ));
+        p.tick(900);
+        (p.detector_canonical(), p.detector_quarantines(), p.now().0)
+    };
+    let (canon_a, q_a, now_a) = run();
+    let (canon_b, q_b, now_b) = run();
+    assert!(!canon_a.is_empty(), "run must produce verdicts");
+    assert_eq!(canon_a, canon_b, "verdict streams must be byte-identical");
+    assert_eq!(q_a, q_b);
+    assert_eq!(now_a, now_b);
+}
+
+/// A persistent gray fault makes the node flap: quarantine → validate →
+/// probation → re-detected → quarantine again. Each round doubles the
+/// quarantine hold (exponential backoff), so the gaps between
+/// successive Suspect verdicts must grow.
+#[test]
+fn repeated_flaps_back_off_exponentially() {
+    let mut cfg = DetectorConfig::balanced();
+    cfg.quarantine_hold_s = 60;
+    cfg.probation_s = 60;
+    // A straggler that outlives several quarantine rounds.
+    let mut p = declared_with_detector([4, 0], cfg);
+    p.submit(JobSpec::new("train", 2, 100_000))
+        .expect("job fits");
+    p.apply_gray_plan(&GrayPlan::single(
+        30.0,
+        0,
+        20_000.0,
+        GrayFault::Straggler {
+            slowdown: 4.0,
+            onset_ramp_s: 0.0,
+        },
+    ));
+    p.tick(6000);
+    let at: Vec<u64> = p
+        .detector_verdicts()
+        .iter()
+        .filter_map(|v| match *v {
+            ff_platform::Verdict::Suspect { at, node: 0, .. } => Some(at.0 / 1_000_000_000),
+            _ => None,
+        })
+        .collect();
+    assert!(at.len() >= 3, "node must flap at least 3 times, saw {at:?}");
+    let gaps: Vec<u64> = at.windows(2).map(|w| w[1] - w[0]).collect();
+    for w in gaps.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "re-detection gaps must not shrink under backoff: {gaps:?}"
+        );
+    }
+    assert!(
+        *gaps.last().unwrap() >= 2 * gaps[0],
+        "backoff must at least double the hold across rounds: {gaps:?}"
+    );
+    assert!(p.detector_quarantines() >= 3);
+}
+
+/// ISSUE 9 satellite (b): tolerated Xids (software / NVLink retries)
+/// bump the `platform/sched/tolerated` counter on the obs recorder and
+/// change *nothing* about the task trajectory — same placements, same
+/// progress, same completion.
+#[test]
+fn tolerated_xids_count_without_changing_trajectories() {
+    let tolerate_plan = FaultPlan {
+        faults: vec![
+            PlannedFault {
+                at_s: 40.0,
+                node: 1,
+                kind: FailureKind::GpuXid(Xid(74)),
+                action: FaultAction::Tolerate { rank: 1 },
+            },
+            PlannedFault {
+                at_s: 80.0,
+                node: 2,
+                kind: FailureKind::GpuXid(Xid(13)),
+                action: FaultAction::Tolerate { rank: 2 },
+            },
+        ],
+    };
+    let run = |plan: Option<&FaultPlan>| {
+        let rec = Recorder::new();
+        let mut p = PlatformConfig::new()
+            .zones([4, 4])
+            .ckpt_interval(60)
+            .recorder(rec.clone())
+            .build()
+            .expect("platform builds");
+        let a = p.submit(JobSpec::new("a", 4, 300)).expect("fits");
+        let b = p.submit(JobSpec::new("b", 2, 500)).expect("fits");
+        if let Some(plan) = plan {
+            p.apply_fault_plan(plan);
+        }
+        p.tick(1000);
+        let traj = (
+            p.state(a),
+            p.state(b),
+            p.progress(a),
+            p.progress(b),
+            p.utilization().to_bits(),
+            p.lost_work_s(),
+            p.failures(),
+        );
+        let tolerated = rec
+            .snapshot()
+            .counters
+            .get("platform/sched/tolerated")
+            .copied();
+        (traj, tolerated)
+    };
+    let (clean_traj, clean_ctr) = run(None);
+    let (faulty_traj, faulty_ctr) = run(Some(&tolerate_plan));
+    assert_eq!(
+        clean_traj, faulty_traj,
+        "tolerated faults must not perturb the trajectory"
+    );
+    assert_eq!(clean_ctr, None, "no tolerates → counter never touched");
+    assert_eq!(faulty_ctr, Some(2.0), "each tolerate increments once");
+}
+
+/// Detector-off runs don't change: a platform built without a detector
+/// has an empty verdict stream, no detector quarantines, and the
+/// legacy readmission path (no probation state ever appears).
+#[test]
+fn no_detector_means_no_detector_artifacts() {
+    let mut p = PlatformConfig::new()
+        .zones([4, 0])
+        .ckpt_interval(60)
+        .build()
+        .expect("platform builds");
+    p.submit(JobSpec::new("train", 2, 200)).expect("fits");
+    p.apply_gray_plan(&GrayPlan::single(
+        10.0,
+        0,
+        300.0,
+        GrayFault::Straggler {
+            slowdown: 4.0,
+            onset_ramp_s: 0.0,
+        },
+    ));
+    p.fail_node(3);
+    p.tick(2000);
+    assert!(p.detector_verdicts().is_empty());
+    assert_eq!(p.detector_canonical(), "");
+    assert_eq!(p.detector_quarantines(), 0);
+    for n in 0..4 {
+        assert!(
+            !matches!(p.node_health(n), Some(HealthState::Probation)),
+            "probation requires a detector"
+        );
+    }
+}

@@ -29,6 +29,15 @@ echo "==> fleet sweep determinism check (release, vs committed BENCH_fleet.json)
 # when a PR deliberately moves scenario outcomes.
 cargo run -q --release --offline -p ff-bench --bin fleet -- --check
 
+echo "==> gray-failure detector smoke (release, fixed seed, golden digest)"
+cargo test -q --release --offline -p ff-bench --test detector_smoke
+
+echo "==> detector sweep determinism check (release, vs committed BENCH_detector.json)"
+# Re-runs the sensitivity x slowdown grid and compares its digest against
+# the one embedded in the committed aggregate. Regenerate with
+# `detector_bench --write` when a PR deliberately moves detection behavior.
+cargo run -q --release --offline -p ff-bench --bin detector_bench -- --check
+
 echo "==> fluid solver perf smoke (release, vs committed BENCH_fluid.json)"
 # Deterministic solver mix: event count must match the committed baseline
 # bit-for-bit, and events/sec must stay within a 20% regression budget.
