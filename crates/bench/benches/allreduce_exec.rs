@@ -6,10 +6,7 @@
 //! Chrome trace-event JSON — open it in <https://ui.perfetto.dev>.
 
 use ff_obs::{chrome::export_chrome_json, summary::summary_text, Recorder};
-use ff_reduce::{
-    allreduce_dbtree, allreduce_dbtree_traced, allreduce_ring, hfreduce_exec, hfreduce_exec_traced,
-    ObsCtx,
-};
+use ff_reduce::{run_allreduce, run_hfreduce, Algo, InMemProvider, ObsCtx, TcpProvider};
 use ff_util::bench::{black_box, Bench};
 
 const LEN: usize = 1 << 14;
@@ -22,10 +19,11 @@ fn inputs(ranks: usize) -> Vec<Vec<f32>> {
 
 fn write_trace(path: &str) {
     let rec = Recorder::new();
-    black_box(allreduce_dbtree_traced(
+    black_box(run_allreduce(
         inputs(8),
-        4,
-        &ObsCtx::new(&rec, "reduce/dbtree", 0),
+        Algo::DbTree { chunks: 4 },
+        &InMemProvider,
+        Some(&ObsCtx::new(&rec, "reduce/dbtree", 0)),
     ));
     let hf_base = rec.last_ts_ns();
     let bufs: Vec<Vec<Vec<f32>>> = (0..4)
@@ -35,10 +33,11 @@ fn write_trace(path: &str) {
                 .collect()
         })
         .collect();
-    black_box(hfreduce_exec_traced(
+    black_box(run_hfreduce(
         bufs,
         4,
-        &ObsCtx::new(&rec, "reduce/hfreduce", hf_base),
+        &InMemProvider,
+        Some(&ObsCtx::new(&rec, "reduce/hfreduce", hf_base)),
     ));
     std::fs::write(path, export_chrome_json(&rec)).expect("write trace file");
     println!("{}", summary_text(&rec));
@@ -59,10 +58,23 @@ fn main() {
     let b = Bench::new();
     let bytes = (8 * LEN * 4) as u64;
     b.run_bytes("allreduce_exec/dbtree_8ranks", bytes, || {
-        black_box(allreduce_dbtree(inputs(8), 4));
+        black_box(run_allreduce(
+            inputs(8),
+            Algo::DbTree { chunks: 4 },
+            &InMemProvider,
+            None,
+        ));
     });
     b.run_bytes("allreduce_exec/ring_8ranks", bytes, || {
-        black_box(allreduce_ring(inputs(8)));
+        black_box(run_allreduce(inputs(8), Algo::Ring, &InMemProvider, None));
+    });
+    b.run_bytes("allreduce_exec/dbtree_8ranks_tcp", bytes, || {
+        black_box(run_allreduce(
+            inputs(8),
+            Algo::DbTree { chunks: 4 },
+            &TcpProvider,
+            None,
+        ));
     });
     b.run_bytes("allreduce_exec/hfreduce_4nodes_8gpus", bytes, || {
         let bufs: Vec<Vec<Vec<f32>>> = (0..4)
@@ -72,6 +84,6 @@ fn main() {
                     .collect()
             })
             .collect();
-        black_box(hfreduce_exec(bufs, 4));
+        black_box(run_hfreduce(bufs, 4, &InMemProvider, None));
     });
 }

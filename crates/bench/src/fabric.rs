@@ -1,0 +1,289 @@
+//! Fabric transport bench: in-memory channels vs real localhost TCP for
+//! the executable collectives, plus the transport-invariance digest and
+//! the measured-vs-simulated HFReduce loopback comparison behind
+//! `BENCH_fabric.json` / `calibration.json`.
+
+use ff_obs::Recorder;
+use ff_reduce::fabric::FabricProvider;
+use ff_reduce::{run_allreduce, run_hfreduce, Algo, Calibration, ObsCtx};
+use std::time::Instant;
+
+/// Workload shape for one fabric bench run.
+#[derive(Debug, Clone)]
+pub struct FabricBenchConfig {
+    /// Ranks of the flat dbtree allreduce.
+    pub ranks: usize,
+    /// Elements per rank buffer.
+    pub len: usize,
+    /// Chunks per collective.
+    pub chunks: usize,
+    /// Nodes of the HFReduce run.
+    pub nodes: usize,
+    /// GPUs per node of the HFReduce run.
+    pub gpus: usize,
+    /// Timed iterations per measurement row.
+    pub iters: usize,
+    /// Ping-pong rounds of the calibration.
+    pub cal_rounds: usize,
+    /// Large-message payload of the calibration, bytes.
+    pub cal_bytes: usize,
+}
+
+impl FabricBenchConfig {
+    /// The committed-artifact workload.
+    pub fn paper() -> FabricBenchConfig {
+        FabricBenchConfig {
+            ranks: 8,
+            len: 1 << 16,
+            chunks: 4,
+            nodes: 4,
+            gpus: 4,
+            iters: 5,
+            cal_rounds: 64,
+            cal_bytes: 1 << 20,
+        }
+    }
+
+    /// The CI smoke workload: small worlds, bounded wall-clock.
+    pub fn small() -> FabricBenchConfig {
+        FabricBenchConfig {
+            ranks: 5,
+            len: 1 << 10,
+            chunks: 3,
+            nodes: 3,
+            gpus: 2,
+            iters: 1,
+            cal_rounds: 8,
+            cal_bytes: 1 << 16,
+        }
+    }
+}
+
+/// Seeded deterministic rank buffers.
+fn inputs(ranks: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..ranks)
+        .map(|r| (0..len).map(|i| ((r * 31 + i) % 17) as f32).collect())
+        .collect()
+}
+
+/// Seeded node-structured HFReduce buffers.
+fn hf_inputs(nodes: usize, gpus: usize, len: usize) -> Vec<Vec<Vec<f32>>> {
+    (0..nodes)
+        .map(|v| {
+            (0..gpus)
+                .map(|g| {
+                    (0..len)
+                        .map(|i| ((v * 7 + g * 3 + i) % 13) as f32)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The trace digest of one traced dbtree allreduce + one traced HFReduce
+/// of `cfg`'s shape over `provider`. The digest is a pure function of the
+/// communication schedule, so every backend must produce the same value —
+/// the bench's transport-invariance oracle.
+pub fn trace_digest<P: FabricProvider>(provider: &P, cfg: &FabricBenchConfig) -> String {
+    let rec = Recorder::new();
+    run_allreduce(
+        inputs(cfg.ranks, cfg.len),
+        Algo::DbTree { chunks: cfg.chunks },
+        provider,
+        Some(&ObsCtx::new(&rec, "fabric/dbtree", 0)),
+    );
+    run_hfreduce(
+        hf_inputs(cfg.nodes, cfg.gpus, cfg.len),
+        cfg.chunks,
+        provider,
+        Some(&ObsCtx::new(&rec, "fabric/hfreduce", 1_000_000_000)),
+    );
+    rec.digest()
+}
+
+/// One measured row of the bench table.
+#[derive(Debug, Clone)]
+pub struct AlgbwRow {
+    /// Backend name ("inmem", "tcp").
+    pub backend: String,
+    /// Collective name ("dbtree", "hfreduce").
+    pub collective: String,
+    /// Per-rank (or per-node) payload, bytes.
+    pub bytes: usize,
+    /// Algorithm bandwidth, GB/s: payload bytes over wall-clock.
+    pub algbw_gbps: f64,
+}
+
+/// Time `cfg.iters` untraced runs of both collectives over `provider`
+/// and report each one's algorithm bandwidth (payload bytes / best
+/// wall-clock — the standard nccl-tests algbw convention).
+pub fn measure<P: FabricProvider>(
+    provider: &P,
+    name: &str,
+    cfg: &FabricBenchConfig,
+) -> Vec<AlgbwRow> {
+    let bytes = cfg.len * 4;
+    let mut best_tree = f64::INFINITY;
+    let mut best_hf = f64::INFINITY;
+    for _ in 0..cfg.iters {
+        let t0 = Instant::now();
+        run_allreduce(
+            inputs(cfg.ranks, cfg.len),
+            Algo::DbTree { chunks: cfg.chunks },
+            provider,
+            None,
+        );
+        best_tree = best_tree.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        run_hfreduce(
+            hf_inputs(cfg.nodes, cfg.gpus, cfg.len),
+            cfg.chunks,
+            provider,
+            None,
+        );
+        best_hf = best_hf.min(t0.elapsed().as_secs_f64());
+    }
+    vec![
+        AlgbwRow {
+            backend: name.to_string(),
+            collective: "dbtree".to_string(),
+            bytes,
+            algbw_gbps: bytes as f64 / best_tree / 1e9,
+        },
+        AlgbwRow {
+            backend: name.to_string(),
+            collective: "hfreduce".to_string(),
+            bytes,
+            algbw_gbps: bytes as f64 / best_hf / 1e9,
+        },
+    ]
+}
+
+/// Measured TCP loopback HFReduce algbw next to the simulator's
+/// prediction from the same calibration constants.
+#[derive(Debug, Clone)]
+pub struct LoopbackComparison {
+    /// Measured loopback algbw, GB/s (the `tcp`/`hfreduce` row).
+    pub measured_gbps: f64,
+    /// `ff_reduce::model::hfreduce_loopback_algbw` on the calibrated link.
+    pub predicted_gbps: f64,
+}
+
+impl LoopbackComparison {
+    /// measured / predicted — 1.0 is a perfect model.
+    pub fn ratio(&self) -> f64 {
+        self.measured_gbps / self.predicted_gbps
+    }
+}
+
+/// Predict the HFReduce loopback algbw for `cfg`'s shape from `cal`'s
+/// fitted link constants and pair it with the measured `tcp`/`hfreduce`
+/// row.
+pub fn compare_loopback(
+    cal: &Calibration,
+    rows: &[AlgbwRow],
+    cfg: &FabricBenchConfig,
+) -> LoopbackComparison {
+    let measured = rows
+        .iter()
+        .find(|r| r.backend == "tcp" && r.collective == "hfreduce")
+        .expect("tcp hfreduce row")
+        .algbw_gbps;
+    let predicted = ff_reduce::model::hfreduce_loopback_algbw(
+        cfg.nodes,
+        (cfg.len * 4) as f64,
+        cfg.chunks,
+        &cal.link_params(),
+    ) / 1e9;
+    LoopbackComparison {
+        measured_gbps: measured,
+        predicted_gbps: predicted,
+    }
+}
+
+/// Hand-rolled `BENCH_fabric.json` (the repo carries no serializer).
+pub fn bench_json(
+    digest: &str,
+    rows: &[AlgbwRow],
+    cal: &Calibration,
+    cmp: &LoopbackComparison,
+    cfg: &FabricBenchConfig,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fabric\",\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str(&format!("  \"trace_digest\": \"{digest}\",\n"));
+    s.push_str(&format!(
+        "  \"workload\": {{ \"ranks\": {}, \"len\": {}, \"chunks\": {}, \"nodes\": {}, \"gpus\": {} }},\n",
+        cfg.ranks, cfg.len, cfg.chunks, cfg.nodes, cfg.gpus
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"collective\": \"{}\", \"bytes\": {}, \"algbw_gbps\": {:.3}}}{}\n",
+            r.backend,
+            r.collective,
+            r.bytes,
+            r.algbw_gbps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"calibration\": {{ \"latency_us\": {:.3}, \"bandwidth_gbps\": {:.3} }},\n",
+        cal.latency_us, cal.bandwidth_gbps
+    ));
+    s.push_str(&format!(
+        "  \"hfreduce_loopback\": {{ \"measured_gbps\": {:.3}, \"predicted_gbps\": {:.3}, \"ratio\": {:.3} }}\n",
+        cmp.measured_gbps,
+        cmp.predicted_gbps,
+        cmp.ratio()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_reduce::{calibrate, InMemProvider, TcpProvider};
+
+    #[test]
+    fn small_digest_is_transport_invariant() {
+        let cfg = FabricBenchConfig::small();
+        assert_eq!(
+            trace_digest(&InMemProvider, &cfg),
+            trace_digest(&TcpProvider, &cfg)
+        );
+    }
+
+    #[test]
+    fn measure_produces_positive_bandwidths() {
+        let cfg = FabricBenchConfig::small();
+        let rows = measure(&InMemProvider, "inmem", &cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.algbw_gbps > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn bench_json_carries_every_section() {
+        let cfg = FabricBenchConfig::small();
+        let mut rows = measure(&InMemProvider, "inmem", &cfg);
+        rows.extend(measure(&InMemProvider, "tcp", &cfg)); // stand-in rows
+        let cal = calibrate(&InMemProvider, 4, 1 << 12);
+        let cmp = compare_loopback(&cal, &rows, &cfg);
+        let j = bench_json("deadbeef", &rows, &cal, &cmp, &cfg);
+        for key in [
+            "\"trace_digest\"",
+            "\"rows\"",
+            "\"calibration\"",
+            "\"hfreduce_loopback\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+}

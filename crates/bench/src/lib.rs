@@ -26,11 +26,13 @@
 //! | `hai_platform` | §VI-C — the HAI scheduler at full cluster scale |
 //! | `serving_bench` | ISSUE 7 — serving tier vs training throughput, p99 under failures |
 //! | `detector_bench` | ISSUE 9 — gray-failure detection latency vs false-positive cost |
+//! | `fabric_bench` | ISSUE 10 — in-mem vs TCP fabric algbw, loopback calibration |
 //! | `background_figs` | Figures 1–3 — background growth charts |
 
 #![forbid(unsafe_code)]
 
 pub mod detector;
+pub mod fabric;
 pub mod fleet;
 pub mod hai;
 pub mod serving;

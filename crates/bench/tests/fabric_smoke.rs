@@ -1,0 +1,38 @@
+//! Release-only fabric smoke: a small TCP world must reproduce the
+//! in-memory fabric's golden communication schedule, within a bounded
+//! wall-clock budget. The CI teeth behind the pluggable-transport
+//! redesign: real sockets, same collective, same trace.
+
+use ff_bench::fabric::{trace_digest, FabricBenchConfig};
+use ff_reduce::kernels::reference_sum;
+use ff_reduce::{run_allreduce, Algo, InMemProvider, TcpProvider};
+use std::time::Instant;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing-sensitive smoke; run with --release"
+)]
+fn tcp_world_matches_inmem_golden_digest() {
+    let t0 = Instant::now();
+    let cfg = FabricBenchConfig::small();
+    let mem = trace_digest(&InMemProvider, &cfg);
+    let tcp = trace_digest(&TcpProvider, &cfg);
+    assert_eq!(mem, tcp, "TCP schedule drifted from the in-memory golden");
+
+    // And the numbers riding that schedule are right.
+    let inputs: Vec<Vec<f32>> = (0..4)
+        .map(|r| (0..257).map(|i| ((r * 11 + i) % 23) as f32).collect())
+        .collect();
+    let want = reference_sum(&inputs);
+    let out = run_allreduce(inputs, Algo::DbTree { chunks: 3 }, &TcpProvider, None);
+    for buf in &out {
+        assert_eq!(buf, &want);
+    }
+
+    let wall = t0.elapsed();
+    assert!(
+        wall.as_secs() < 60,
+        "fabric smoke must stay bounded, took {wall:?}"
+    );
+}

@@ -1,23 +1,26 @@
 //! Executable expert parallelism: the all2all dispatch/combine of MoE
 //! training (§II-B1: "the gate model selects tokens for allocation during
 //! input, with corresponding tokens sent to experts model via all2all
-//! communication"), run for real over threads and channels.
+//! communication"), run for real over the pluggable
+//! [`Fabric`](ff_reduce::Fabric) transport — in-memory channels by
+//! default, real localhost TCP with
+//! [`TcpProvider`](ff_reduce::TcpProvider).
 //!
-//! Each rank hosts one expert and a shard of the tokens. A step is:
-//! gate (here: any deterministic assignment) → **all2all dispatch** (each
-//! token's vector travels to its expert's rank) → expert computation →
-//! **all2all combine** (results return to the token's home rank, in
-//! order). The tests verify the end-to-end permutation is the identity
-//! composed with the expert transforms — the property a correct all2all
-//! pair must have.
+//! Each rank hosts one expert and a shard of the tokens, and drives a
+//! [`Communicator`] of its own. A step is: gate (here: any deterministic
+//! assignment) → **all2all dispatch** (each token's vector travels to its
+//! expert's rank) → expert computation → **all2all combine** (results
+//! return to the token's home rank, in order). The tests verify the
+//! end-to-end permutation is the identity composed with the expert
+//! transforms — the property a correct all2all pair must have.
 //!
 //! A peer dying mid-exchange surfaces as a typed
 //! [`CommError`](ff_reduce::CommError) — the same error surface as the
 //! fault-tolerant allreduce — never a panic: the caller decides whether
 //! to retry, reroute around the dead expert, or abort the step.
 
-use ff_reduce::CommError;
-use ff_util::channel::{unbounded, Receiver, Sender};
+use ff_reduce::fabric::FabricProvider;
+use ff_reduce::{CommError, Communicator, InMemProvider, Wire, WireCursor};
 
 /// A routed token: its home rank and index there, plus its payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,83 +33,75 @@ pub struct Routed<T> {
     pub data: T,
 }
 
-/// Generic all2all: `sends[src][dst]` is delivered so the result at
-/// `out[dst][src]` equals it — every rank exchanges with every rank
-/// concurrently (one thread per rank). A dead peer yields
-/// [`CommError::Disconnected`] on every survivor.
-pub fn all2all<T: Send + Clone>(sends: Vec<Vec<Vec<T>>>) -> Result<Vec<Vec<Vec<T>>>, CommError> {
-    all2all_with_dead(sends, &[])
+impl<T: Wire> Wire for Routed<T> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.home.wire_write(out);
+        self.index.wire_write(out);
+        self.data.wire_write(out);
+    }
+    fn wire_read(cur: &mut WireCursor<'_>) -> Option<Self> {
+        Some(Routed {
+            home: usize::wire_read(cur)?,
+            index: usize::wire_read(cur)?,
+            data: T::wire_read(cur)?,
+        })
+    }
 }
 
-/// [`all2all`] with fault injection: ranks listed in `dead` drop their
-/// endpoints without sending or receiving, exactly like a process that
-/// died before the exchange. Survivors observe the missing traffic as a
-/// typed [`CommError::Disconnected`] naming the dead peer.
-pub fn all2all_with_dead<T: Send + Clone>(
+/// Generic all2all over `provider`'s fabric: `sends[src][dst]` is
+/// delivered so the result at `out[dst][src]` equals it — every rank
+/// exchanges with every rank concurrently (one thread per rank). A dead
+/// peer yields [`CommError::Disconnected`] on every survivor.
+pub fn run_all2all<T, P>(
+    sends: Vec<Vec<Vec<T>>>,
+    provider: &P,
+) -> Result<Vec<Vec<Vec<T>>>, CommError>
+where
+    T: Wire + Send,
+    P: FabricProvider,
+{
+    run_all2all_with_dead(sends, &[], provider)
+}
+
+/// [`run_all2all`] with fault injection: ranks listed in `dead` tear
+/// their endpoints down without sending or receiving, exactly like a
+/// process that died before the exchange. Survivors observe the missing
+/// traffic as a typed [`CommError::Disconnected`] naming the dead peer.
+pub fn run_all2all_with_dead<T, P>(
     sends: Vec<Vec<Vec<T>>>,
     dead: &[usize],
-) -> Result<Vec<Vec<Vec<T>>>, CommError> {
+    provider: &P,
+) -> Result<Vec<Vec<Vec<T>>>, CommError>
+where
+    T: Wire + Send,
+    P: FabricProvider,
+{
     let n = sends.len();
     for row in &sends {
         assert_eq!(row.len(), n, "all2all needs an n×n send matrix");
     }
-    type Endpoint<T> = (usize, Vec<T>);
-    type Channels<T> = (Vec<Sender<Endpoint<T>>>, Vec<Receiver<Endpoint<T>>>);
-    let (txs, rxs): Channels<T> = (0..n).map(|_| unbounded()).unzip();
+    let fabrics = provider.world(n).expect("fabric world construction");
     let results: Vec<Result<Vec<Vec<T>>, CommError>> = std::thread::scope(|s| {
         let handles: Vec<_> = sends
             .into_iter()
-            .zip(rxs)
+            .zip(fabrics)
             .enumerate()
-            .map(|(me, (row, rx))| {
-                let txs = txs.clone();
+            .map(|(me, (row, fab))| {
                 let is_dead = dead.contains(&me);
                 s.spawn(move || -> Result<Vec<Vec<T>>, CommError> {
+                    let comm = Communicator::new(fab);
                     if is_dead {
-                        // The dead rank's endpoints close unused; its own
+                        // A crashed process tears its endpoint down
+                        // loudly (hangup frame / TCP FIN); its own
                         // "result" is its death.
-                        drop(txs);
-                        drop(rx);
+                        drop(comm);
                         return Err(CommError::Disconnected { peer: me });
                     }
-                    for (dst, payload) in row.into_iter().enumerate() {
-                        if txs[dst].send((me, payload)).is_err() {
-                            // The destination hung up; keep sending to
-                            // the survivors — they still need our data.
-                            continue;
-                        }
-                    }
-                    drop(txs); // close our senders so receivers can drain
-                    let mut inbox: Vec<Option<Vec<T>>> = (0..n).map(|_| None).collect();
-                    for _ in 0..n {
-                        match rx.recv() {
-                            Ok((src, payload)) => {
-                                assert!(
-                                    inbox[src].replace(payload).is_none(),
-                                    "duplicate from {src}"
-                                );
-                            }
-                            Err(_) => {
-                                // Channel drained with messages missing:
-                                // name the first silent peer.
-                                let peer = inbox
-                                    .iter()
-                                    .position(|p| p.is_none())
-                                    .expect("a missing message implies a missing peer");
-                                return Err(CommError::Disconnected { peer });
-                            }
-                        }
-                    }
-                    Ok(inbox
-                        .into_iter()
-                        .map(|p| p.expect("all received"))
-                        .collect::<Vec<_>>())
+                    let mut comm = comm;
+                    comm.all2all(row, 0)
                 })
             })
             .collect();
-        // Every thread owns its clone now; dropping the originals lets
-        // receivers observe closure when a peer never sends.
-        drop(txs);
         handles
             .into_iter()
             .map(|h| h.join().expect("rank panicked"))
@@ -115,23 +110,28 @@ pub fn all2all_with_dead<T: Send + Clone>(
     results.into_iter().collect()
 }
 
-/// One MoE layer step over `ep` expert-parallel ranks:
-/// `tokens[rank]` are the rank's token vectors, `gate` maps a token to its
-/// expert rank, `expert(rank, x)` is the expert computation. Returns the
-/// combined outputs in each token's original position, or the
-/// [`CommError`] a dying peer inflicted on either all2all.
-pub fn moe_layer_step<T, G, F>(
+/// One MoE layer step over `ep` expert-parallel ranks, on `provider`'s
+/// fabric: `tokens[rank]` are the rank's token vectors, `gate` maps a
+/// token to its expert rank, `expert(rank, x)` is the expert computation.
+/// Each rank runs dispatch-all2all → expert → combine-all2all on one
+/// [`Communicator`] — the two exchanges share the same world, as a real
+/// networked MoE layer would. Returns the combined outputs in each
+/// token's original position, or the [`CommError`] a dying peer inflicted
+/// on either all2all.
+pub fn run_moe_layer_step<T, G, F, P>(
     tokens: Vec<Vec<T>>,
     gate: G,
     expert: F,
+    provider: &P,
 ) -> Result<Vec<Vec<T>>, CommError>
 where
-    T: Send + Clone,
+    T: Wire + Send + Clone,
     G: Fn(usize, usize, &T) -> usize, // (home rank, index, token) -> expert rank
     F: Fn(usize, &T) -> T + Sync,
+    P: FabricProvider,
 {
     let n = tokens.len();
-    // Dispatch: bucket each token to its expert's rank.
+    // Dispatch routing: bucket each token to its expert's rank.
     let mut sends: Vec<Vec<Vec<Routed<T>>>> = (0..n)
         .map(|_| (0..n).map(|_| Vec::new()).collect())
         .collect();
@@ -146,16 +146,20 @@ where
             });
         }
     }
-    let received = all2all(sends)?;
-    // Expert computation on each rank (parallel via the same scope).
-    let processed: Vec<Vec<Vec<Routed<T>>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = received
+    let fabrics = provider.world(n).expect("fabric world construction");
+    let results: Vec<Result<Vec<Vec<Routed<T>>>, CommError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = sends
             .into_iter()
+            .zip(fabrics)
             .enumerate()
-            .map(|(rank, from_all)| {
+            .map(|(rank, (row, fab))| {
                 let expert = &expert;
-                s.spawn(move || {
-                    from_all
+                s.spawn(move || -> Result<Vec<Vec<Routed<T>>>, CommError> {
+                    let mut comm = Communicator::new(fab);
+                    // Dispatch: tokens travel to their experts (seq 0).
+                    let received = comm.all2all(row, 0)?;
+                    // Expert computation on this rank.
+                    let processed: Vec<Vec<Routed<T>>> = received
                         .into_iter()
                         .map(|batch| {
                             batch
@@ -164,20 +168,21 @@ where
                                     data: expert(rank, &r.data),
                                     ..r
                                 })
-                                .collect::<Vec<_>>()
+                                .collect()
                         })
-                        .collect::<Vec<_>>()
+                        .collect();
+                    // Combine: results return to their home ranks (seq 1).
+                    comm.all2all(processed, 1)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("expert panicked"))
+            .map(|h| h.join().expect("rank panicked"))
             .collect()
     });
-    // Combine: send results back to the home ranks...
-    let returned = all2all(processed)?;
-    // ...and scatter them into original positions.
+    let returned: Vec<Vec<Vec<Routed<T>>>> = results.into_iter().collect::<Result<_, _>>()?;
+    // Scatter results into original positions.
     let mut out: Vec<Vec<Option<T>>> = tokens
         .iter()
         .map(|b| b.iter().map(|_| None).collect())
@@ -202,9 +207,44 @@ where
         .collect())
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated free-function shims (one release of grace)
+// ---------------------------------------------------------------------------
+
+/// All2all over the default in-memory fabric.
+#[deprecated(note = "use `run_all2all(.., &InMemProvider)` or `Communicator::all2all`")]
+pub fn all2all<T: Wire + Send>(sends: Vec<Vec<Vec<T>>>) -> Result<Vec<Vec<Vec<T>>>, CommError> {
+    run_all2all(sends, &InMemProvider)
+}
+
+/// Fault-injected all2all over the default in-memory fabric.
+#[deprecated(note = "use `run_all2all_with_dead(.., &InMemProvider)`")]
+pub fn all2all_with_dead<T: Wire + Send>(
+    sends: Vec<Vec<Vec<T>>>,
+    dead: &[usize],
+) -> Result<Vec<Vec<Vec<T>>>, CommError> {
+    run_all2all_with_dead(sends, dead, &InMemProvider)
+}
+
+/// MoE layer step over the default in-memory fabric.
+#[deprecated(note = "use `run_moe_layer_step(.., &InMemProvider)`")]
+pub fn moe_layer_step<T, G, F>(
+    tokens: Vec<Vec<T>>,
+    gate: G,
+    expert: F,
+) -> Result<Vec<Vec<T>>, CommError>
+where
+    T: Wire + Send + Clone,
+    G: Fn(usize, usize, &T) -> usize,
+    F: Fn(usize, &T) -> T + Sync,
+{
+    run_moe_layer_step(tokens, gate, expert, &InMemProvider)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ff_reduce::TcpProvider;
 
     #[test]
     #[allow(clippy::needless_range_loop)] // (src, dst) indices are the point
@@ -213,7 +253,22 @@ mod tests {
         let sends: Vec<Vec<Vec<(usize, usize)>>> = (0..n)
             .map(|src| (0..n).map(|dst| vec![(src, dst)]).collect())
             .collect();
-        let out = all2all(sends).unwrap();
+        let out = run_all2all(sends, &InMemProvider).unwrap();
+        for dst in 0..n {
+            for src in 0..n {
+                assert_eq!(out[dst][src], vec![(src, dst)]);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all2all_over_tcp_is_the_transpose() {
+        let n = 3;
+        let sends: Vec<Vec<Vec<(usize, usize)>>> = (0..n)
+            .map(|src| (0..n).map(|dst| vec![(src, dst)]).collect())
+            .collect();
+        let out = run_all2all(sends, &TcpProvider).unwrap();
         for dst in 0..n {
             for src in 0..n {
                 assert_eq!(out[dst][src], vec![(src, dst)]);
@@ -224,7 +279,7 @@ mod tests {
     #[test]
     fn all2all_handles_empty_and_uneven_payloads() {
         let sends = vec![vec![vec![1, 2, 3], vec![]], vec![vec![9], vec![7, 7]]];
-        let out = all2all(sends).unwrap();
+        let out = run_all2all(sends, &InMemProvider).unwrap();
         assert_eq!(out[0][0], vec![1, 2, 3]);
         assert_eq!(out[0][1], vec![9]);
         assert_eq!(out[1][0], Vec::<i32>::new());
@@ -237,13 +292,23 @@ mod tests {
         let sends: Vec<Vec<Vec<u32>>> = (0..n)
             .map(|src| (0..n).map(|dst| vec![(src * n + dst) as u32]).collect())
             .collect();
-        let err = all2all_with_dead(sends, &[2]).unwrap_err();
+        let err = run_all2all_with_dead(sends, &[2], &InMemProvider).unwrap_err();
+        assert_eq!(err, CommError::Disconnected { peer: 2 });
+    }
+
+    #[test]
+    fn dead_peer_over_tcp_is_the_same_typed_error() {
+        let n = 4;
+        let sends: Vec<Vec<Vec<u32>>> = (0..n)
+            .map(|src| (0..n).map(|dst| vec![(src * n + dst) as u32]).collect())
+            .collect();
+        let err = run_all2all_with_dead(sends, &[2], &TcpProvider).unwrap_err();
         assert_eq!(err, CommError::Disconnected { peer: 2 });
     }
 
     #[test]
     fn moe_step_propagates_a_mid_dispatch_death() {
-        // Route everything through the doomed exchange: moe_layer_step
+        // Route everything through the doomed exchange: the MoE step
         // itself only sees the error surface, so drive the faulty
         // all2all the way it would — dispatch matrix, one dead rank.
         let n = 3;
@@ -260,7 +325,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        match all2all_with_dead(sends, &[0]) {
+        match run_all2all_with_dead(sends, &[0], &InMemProvider) {
             Err(CommError::Disconnected { peer: 0 }) => {}
             other => panic!("expected rank-0 disconnect, got {other:?}"),
         }
@@ -273,10 +338,11 @@ mod tests {
         let tokens: Vec<Vec<i64>> = (0..3)
             .map(|r| (0..5).map(|i| (r * 5 + i) as i64).collect())
             .collect();
-        let out = moe_layer_step(
+        let out = run_moe_layer_step(
             tokens.clone(),
             |_, _, &tok| (tok % 3) as usize,
             |rank, &x| x * 10 + rank as i64,
+            &InMemProvider,
         )
         .unwrap();
         for (r, batch) in out.iter().enumerate() {
@@ -289,11 +355,24 @@ mod tests {
     }
 
     #[test]
+    fn moe_step_over_tcp_matches_inmem() {
+        let tokens: Vec<Vec<i64>> = (0..3)
+            .map(|r| (0..4).map(|i| (r * 4 + i) as i64).collect())
+            .collect();
+        let gate = |_: usize, _: usize, tok: &i64| (*tok % 3) as usize;
+        let expert = |rank: usize, x: &i64| x * 10 + rank as i64;
+        let a = run_moe_layer_step(tokens.clone(), gate, expert, &InMemProvider).unwrap();
+        let b = run_moe_layer_step(tokens, gate, expert, &TcpProvider).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn skewed_routing_all_tokens_to_one_expert() {
         // The worst-case gate (every token to expert 0) still round-trips
         // — the load-imbalance case MoE systems must survive.
         let tokens: Vec<Vec<i64>> = (0..4).map(|r| vec![r as i64; 8]).collect();
-        let out = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| -x).unwrap();
+        let out =
+            run_moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| -x, &InMemProvider).unwrap();
         for (r, batch) in out.iter().enumerate() {
             assert_eq!(batch, &vec![-(r as i64); 8]);
         }
@@ -301,7 +380,13 @@ mod tests {
 
     #[test]
     fn single_rank_degenerates_to_local_compute() {
-        let out = moe_layer_step(vec![vec![1.0f64, 2.0]], |_, _, _| 0, |_, &x| x + 0.5).unwrap();
+        let out = run_moe_layer_step(
+            vec![vec![1.0f64, 2.0]],
+            |_, _, _| 0,
+            |_, &x| x + 0.5,
+            &InMemProvider,
+        )
+        .unwrap();
         assert_eq!(out, vec![vec![1.5, 2.5]]);
     }
 
@@ -311,8 +396,16 @@ mod tests {
         // caller combines (weighted sum) — verify two passes with
         // different gates agree with direct evaluation.
         let tokens: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
-        let pass1 = moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| x * 2.0).unwrap();
-        let pass2 = moe_layer_step(tokens.clone(), |_, _, _| 1, |_, &x| x + 100.0).unwrap();
+        let pass1 =
+            run_moe_layer_step(tokens.clone(), |_, _, _| 0, |_, &x| x * 2.0, &InMemProvider)
+                .unwrap();
+        let pass2 = run_moe_layer_step(
+            tokens.clone(),
+            |_, _, _| 1,
+            |_, &x| x + 100.0,
+            &InMemProvider,
+        )
+        .unwrap();
         for r in 0..2 {
             for i in 0..2 {
                 let combined = 0.5 * pass1[r][i] + 0.5 * pass2[r][i];
@@ -320,5 +413,19 @@ mod tests {
                 assert_eq!(combined, want);
             }
         }
+    }
+
+    #[test]
+    fn routed_tokens_roundtrip_the_wire() {
+        let r = Routed {
+            home: 3,
+            index: 41,
+            data: vec![1.5f64, -2.5],
+        };
+        let mut b = Vec::new();
+        r.wire_write(&mut b);
+        let mut cur = WireCursor::new(&b);
+        assert_eq!(Routed::<Vec<f64>>::wire_read(&mut cur), Some(r));
+        assert!(cur.is_done());
     }
 }

@@ -1,0 +1,36 @@
+//! Compatibility tests for the deprecated expert-parallel free
+//! functions: they must keep delegating to the `run_*` drivers over the
+//! default in-memory fabric. The only in-tree caller of the old names.
+
+#![allow(deprecated)]
+
+use ff_haiscale::{all2all, all2all_with_dead, moe_layer_step};
+use ff_reduce::CommError;
+
+#[test]
+fn all2all_shim_still_transposes() {
+    let sends = vec![vec![vec![1u32], vec![2]], vec![vec![3], vec![4]]];
+    let out = all2all(sends).unwrap();
+    assert_eq!(out, vec![vec![vec![1], vec![3]], vec![vec![2], vec![4]]]);
+}
+
+#[test]
+fn dead_peer_shim_keeps_the_typed_error() {
+    let err = all2all_with_dead(
+        vec![vec![vec![1u32], vec![2]], vec![vec![3], vec![4]]],
+        &[1],
+    )
+    .unwrap_err();
+    assert_eq!(err, CommError::Disconnected { peer: 1 });
+}
+
+#[test]
+fn moe_step_shim_still_routes() {
+    let out = moe_layer_step(
+        vec![vec![1i64, 2], vec![3, 4]],
+        |_, _, &t| (t % 2) as usize,
+        |_, &x| x * 10,
+    )
+    .unwrap();
+    assert_eq!(out, vec![vec![10, 20], vec![30, 40]]);
+}

@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod gemm;
+pub mod link;
 pub mod node;
 pub mod power;
 pub mod spec;
 
 pub use gemm::{gemm_flops, gemm_time, GemmPrecision};
+pub use link::LinkParams;
 pub use node::{NodeHw, TransferMethod};
 pub use spec::{GpuForm, NodeSpec, StorageNodeSpec};

@@ -1,0 +1,66 @@
+//! Point-to-point link parameterization: the `(latency, bandwidth)` pair
+//! every transfer model needs, either from the paper's spec constants or
+//! measured empirically by `ff_reduce::calibration` against a real
+//! transport (localhost TCP, in-memory channels).
+
+use crate::spec::NIC_200G_BPS;
+
+/// An α–β link model: a transfer of `b` bytes takes
+/// `latency_s + b / bps` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Sustained bandwidth, bytes/second.
+    pub bps: f64,
+    /// Per-message latency, seconds.
+    pub latency_s: f64,
+}
+
+impl LinkParams {
+    /// A link with the given bandwidth (bytes/second) and per-message
+    /// latency (seconds). Both must be positive.
+    pub fn new(bps: f64, latency_s: f64) -> LinkParams {
+        assert!(bps > 0.0, "bandwidth must be positive, got {bps}");
+        assert!(latency_s > 0.0, "latency must be positive, got {latency_s}");
+        LinkParams { bps, latency_s }
+    }
+
+    /// The spec-sheet 200 Gbps InfiniBand port with a typical ~2 µs RDMA
+    /// message latency.
+    pub fn nic_200g() -> LinkParams {
+        LinkParams {
+            bps: NIC_200G_BPS,
+            latency_s: 2e-6,
+        }
+    }
+
+    /// Time to move `bytes` over this link, seconds.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_beta_model() {
+        let l = LinkParams::new(1e9, 1e-6);
+        assert!((l.transfer_time(1e9) - 1.000001).abs() < 1e-9);
+        // Latency dominates tiny messages.
+        assert!(l.transfer_time(8.0) < 2e-6);
+    }
+
+    #[test]
+    fn spec_nic_matches_table() {
+        let l = LinkParams::nic_200g();
+        assert_eq!(l.bps, NIC_200G_BPS);
+        assert!(l.latency_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        LinkParams::new(0.0, 1e-6);
+    }
+}

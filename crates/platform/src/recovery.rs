@@ -3,7 +3,7 @@
 //!
 //! A deterministic data-parallel training job runs its gradient allreduce
 //! on the real threaded double-binary-tree executor
-//! ([`ff_reduce::allreduce_dbtree_ft`]) and checkpoints to a real 3FS
+//! ([`ff_reduce::allreduce_ft`]) and checkpoints to a real 3FS
 //! instance through the [`CheckpointManager`]. Faults from an
 //! [`ff_failures::FaultPlan`] are injected at three layers:
 //!
@@ -38,7 +38,8 @@ use ff_desim::FluidSim;
 use ff_failures::plan::{FaultAction, FaultPlan};
 use ff_hw::{NodeHw, NodeSpec};
 use ff_obs::Recorder;
-use ff_reduce::exec::{allreduce_dbtree_ft, allreduce_dbtree_ft_traced, ExecFaultPlan, ObsCtx};
+use ff_reduce::exec::{allreduce_ft, ExecFaultPlan, ObsCtx};
+use ff_reduce::InMemProvider;
 use ff_util::error::FfError;
 use std::sync::Arc;
 use std::time::Duration;
@@ -485,15 +486,8 @@ pub fn train_with_recovery_traced(
         let grads: Vec<Vec<f32>> = (0..cfg.ranks)
             .map(|r| gradient(r, step, cfg.params))
             .collect();
-        let report = match obs {
-            Some(rec) => allreduce_dbtree_ft_traced(
-                grads,
-                cfg.chunks,
-                &plan,
-                &ObsCtx::new(rec, "reduce", step * STEP_NS),
-            ),
-            None => allreduce_dbtree_ft(grads, cfg.chunks, &plan),
-        };
+        let ctx = obs.map(|rec| ObsCtx::new(rec, "reduce", step * STEP_NS));
+        let report = allreduce_ft(grads, cfg.chunks, &plan, &InMemProvider, ctx.as_ref());
         steps_executed += 1;
 
         if !report.dead.is_empty() {

@@ -1,33 +1,39 @@
-//! Executable allreduce implementations over in-memory ranks.
+//! World-level drivers for the executable collectives.
 //!
-//! Every rank is a thread; RDMA is replaced by tagged messages over
-//! mpmc channels (an ordered reliable transport, which is all the
-//! algorithms assume — see DESIGN.md's substitution table). The algorithms
-//! are the real ones: the chunked double-binary-tree allreduce of
-//! Algorithm 2, a ring allreduce baseline, and the full node-structured
-//! HFReduce (Algorithm 1 + 2: intra-node reduce → inter-node tree →
-//! broadcast back to every GPU buffer).
+//! Every rank is a thread holding a [`Communicator`] over a pluggable
+//! [`Fabric`](crate::fabric::Fabric); RDMA is replaced by tagged messages
+//! over an ordered reliable transport — in-memory channels by default,
+//! real localhost TCP with [`TcpProvider`](crate::fabric::TcpProvider)
+//! (see DESIGN.md's substitution table). The algorithms are the real
+//! ones: the chunked double-binary-tree allreduce of Algorithm 2, a ring
+//! allreduce baseline, and the full node-structured HFReduce
+//! (Algorithm 1 + 2: intra-node reduce → inter-node tree → broadcast back
+//! to every GPU buffer).
 //!
 //! The communication layer is `Result`-based: a peer that dies mid-step
 //! surfaces as a typed [`CommError`] (disconnect or receive timeout), not
-//! a process-wide panic. On top of that, [`allreduce_dbtree_ft`] runs the
-//! allreduce under an injected [`ExecFaultPlan`] and recovers by
-//! shrinking to the survivor set and retrying — the executable core of
-//! the paper's §VII failure-handling machinery.
+//! a process-wide panic. On top of that, [`allreduce_ft`] runs the
+//! allreduce under an injected [`ExecFaultPlan`] — realized as
+//! [`FaultyFabric`] transport middleware — and recovers by shrinking to
+//! the survivor set and retrying — the executable core of the paper's
+//! §VII failure-handling machinery.
+//!
+//! The old free-function entry points ([`allreduce_dbtree`],
+//! [`hfreduce_exec`], …) survive as thin deprecated shims over the
+//! drivers; new code calls the drivers directly or holds a
+//! [`Communicator`] itself.
 
-use crate::kernels::{chunk_ranges, reduce_add_into, reduce_n_into};
-
-/// Alias used by the single-tree reduce helper.
-type TreeRef<'a> = &'a ff_topo::dbtree::Tree;
+use crate::comm::{Algo, Communicator, Op};
+use crate::fabric::{FabricProvider, FaultyFabric, InMemProvider, DEFAULT_RECV_TIMEOUT};
 use ff_dtypes::Element;
 use ff_obs::{Recorder, TrackBuf};
 use ff_topo::dbtree::DoubleBinaryTree;
-use ff_util::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Observability context for the `*_traced` entry points.
+pub use crate::fabric::CommError;
+
+/// Observability context for traced collective runs.
 ///
 /// Each rank records onto track `{track_prefix}/rank{r}` through a
 /// per-thread [`TrackBuf`] whose logical clock counts *elements moved*
@@ -37,7 +43,8 @@ use std::time::Duration;
 /// so its staged events are discarded and only deterministic facts — the
 /// attempt index, the ranks that died, the shrink — are recorded as
 /// instants on `{track_prefix}/ctl`. That discipline is what keeps the
-/// trace digest byte-identical across runs of the same fault plan.
+/// trace digest byte-identical across runs of the same fault plan — and
+/// across fabric backends.
 #[derive(Clone)]
 pub struct ObsCtx {
     /// Destination recorder.
@@ -65,281 +72,42 @@ impl ObsCtx {
     }
 }
 
-/// Communication failure observed by one rank. The process survives; the
-/// caller decides whether to retry, shrink, or abort.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommError {
-    /// The peer's endpoint is gone (its communicator was dropped).
-    Disconnected {
-        /// The peer rank that hung up.
-        peer: usize,
-    },
-    /// No message from the peer within the receive timeout — the liveness
-    /// signal a real collective gets from a transport-level timeout.
-    Timeout {
-        /// The peer rank that went silent.
-        peer: usize,
-    },
-}
-
-impl std::fmt::Display for CommError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CommError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
-            CommError::Timeout { peer } => write!(f, "timed out waiting for peer rank {peer}"),
-        }
-    }
-}
-
-impl std::error::Error for CommError {}
-
-impl From<CommError> for ff_util::FfError {
-    fn from(e: CommError) -> Self {
-        ff_util::FfError::with_source(ff_util::FfKind::Comm, e.to_string(), e)
-    }
-}
-
-/// Default receive timeout for the fault-free entry points: generous
-/// enough that scheduler hiccups never fire it.
-const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Tag {
-    tree: u8,
-    chunk: u32,
-    phase: u8, // 0 = reduce-up, 1 = broadcast-down, 2 = ring
-    from: u32,
-}
-
-const UP: u8 = 0;
-const DOWN: u8 = 1;
-const RING: u8 = 2;
-
-struct Msg<E> {
-    tag: Tag,
-    data: Vec<E>,
-}
-
-/// Per-rank communicator: one inbox, senders to every rank, and a stash
-/// for out-of-order arrivals.
-struct Comm<E> {
-    me: usize,
-    txs: Vec<Sender<Msg<E>>>,
-    rx: Receiver<Msg<E>>,
-    stash: HashMap<Tag, Vec<E>>,
-    recv_timeout: Duration,
-    /// Injected fault: the rank "dies" once it has issued this many
-    /// sends (`usize::MAX` = never).
-    die_after_sends: usize,
-    sends: usize,
-    /// Set once the injected death has fired.
-    died: bool,
-    /// Staged observability events; committed by the orchestrator only
-    /// for clean executions (see [`ObsCtx`]).
-    obs: Option<TrackBuf>,
-}
-
-impl<E: Element> Comm<E> {
-    fn mesh(n: usize) -> Vec<Comm<E>> {
-        Self::mesh_with(n, DEFAULT_RECV_TIMEOUT, &[])
-    }
-
-    /// A mesh with a custom receive timeout and injected rank deaths
-    /// given as `(rank, after_sends)` pairs.
-    fn mesh_with(n: usize, recv_timeout: Duration, deaths: &[(usize, usize)]) -> Vec<Comm<E>> {
-        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
-        rxs.into_iter()
-            .enumerate()
-            .map(|(me, rx)| Comm {
-                me,
-                txs: txs.clone(),
-                rx,
-                stash: HashMap::new(),
-                recv_timeout,
-                die_after_sends: deaths
-                    .iter()
-                    .find(|&&(r, _)| r == me)
-                    .map(|&(_, k)| k)
-                    .unwrap_or(usize::MAX),
-                sends: 0,
-                died: false,
-                obs: None,
-            })
-            .collect()
-    }
-
-    fn phase_char(phase: u8) -> char {
-        match phase {
-            UP => 'u',
-            DOWN => 'd',
-            _ => 'g', // ring
-        }
-    }
-
-    fn send(
-        &mut self,
-        to: usize,
-        tree: u8,
-        chunk: u32,
-        phase: u8,
-        data: Vec<E>,
-    ) -> Result<(), CommError> {
-        if self.sends >= self.die_after_sends {
-            // The injected Xid fires here: this rank's endpoint goes
-            // silent. Reported as a self-disconnect so the rank's own
-            // stack unwinds without touching any peer.
-            self.died = true;
-            return Err(CommError::Disconnected { peer: self.me });
-        }
-        self.sends += 1;
-        let tag = Tag {
-            tree,
-            chunk,
-            phase,
-            from: self.me as u32,
-        };
-        if let Some(buf) = &mut self.obs {
-            let len = data.len() as u64;
-            let name = format!("send:{}:t{tree}:c{chunk}->r{to}", Self::phase_char(phase));
-            buf.op(&name, len, len as f64);
-        }
-        self.txs[to]
-            .send(Msg { tag, data })
-            .map_err(|_| CommError::Disconnected { peer: to })
-    }
-
-    fn recv(&mut self, from: usize, tree: u8, chunk: u32, phase: u8) -> Result<Vec<E>, CommError> {
-        let want = Tag {
-            tree,
-            chunk,
-            phase,
-            from: from as u32,
-        };
-        if let Some(d) = self.stash.remove(&want) {
-            self.note_recv(&want, d.len());
-            return Ok(d);
-        }
-        loop {
-            let msg = match self.rx.recv_timeout(self.recv_timeout) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { peer: from }),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { peer: from })
-                }
-            };
-            if msg.tag == want {
-                self.note_recv(&want, msg.data.len());
-                return Ok(msg.data);
-            }
-            let dup = self.stash.insert(msg.tag, msg.data);
-            assert!(dup.is_none(), "duplicate message {:?}", msg.tag);
-        }
-    }
-
-    fn note_recv(&mut self, tag: &Tag, len: usize) {
-        if let Some(buf) = &mut self.obs {
-            let name = format!(
-                "recv:{}:t{}:c{}<-r{}",
-                Self::phase_char(tag.phase),
-                tag.tree,
-                tag.chunk,
-                tag.from
-            );
-            buf.op(&name, len as u64, len as f64);
-        }
-    }
-}
-
-/// One rank's side of the chunked double-binary-tree allreduce: reduces
-/// `data` in place to the global sum. Tree A carries the lower half of
-/// each chunk, tree B the upper half.
-fn tree_allreduce_rank<E: Element>(
-    comm: &mut Comm<E>,
-    dt: &DoubleBinaryTree,
-    data: &mut [E],
-    chunks: usize,
-) -> Result<(), CommError> {
-    let rank = comm.me;
-    let ranges = chunk_ranges(data.len(), chunks);
-    for (c, range) in ranges.iter().enumerate() {
-        let mid = range.start + range.len() / 2;
-        let halves = [range.start..mid, mid..range.end];
-        for (ti, tree) in [&dt.a, &dt.b].into_iter().enumerate() {
-            let seg = halves[ti].clone();
-            let mut acc: Vec<E> = data[seg.clone()].to_vec();
-            for &child in &tree.children[rank] {
-                let got = comm.recv(child, ti as u8, c as u32, UP)?;
-                reduce_add_into(&mut acc, &got);
-            }
-            let result = match tree.parent[rank] {
-                Some(parent) => {
-                    comm.send(parent, ti as u8, c as u32, UP, acc)?;
-                    comm.recv(parent, ti as u8, c as u32, DOWN)?
-                }
-                None => acc,
-            };
-            for &child in &tree.children[rank] {
-                comm.send(child, ti as u8, c as u32, DOWN, result.clone())?;
-            }
-            data[seg].copy_from_slice(&result);
-        }
-    }
-    Ok(())
-}
-
-/// Allreduce `inputs` (one buffer per rank) with the chunked double binary
-/// tree; returns each rank's resulting buffer (all equal to the sum).
-///
-/// ```
-/// use ff_reduce::allreduce_dbtree;
-/// let out = allreduce_dbtree(vec![vec![1.0f32, 2.0], vec![10.0, 20.0]], 1);
-/// assert_eq!(out[0], vec![11.0, 22.0]);
-/// assert_eq!(out[1], vec![11.0, 22.0]);
-/// ```
-pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<Vec<E>> {
-    allreduce_dbtree_impl(inputs, chunks, None)
-}
-
-/// [`allreduce_dbtree`] with per-rank send/recv spans recorded to
-/// `obs.rec` (tracks `{prefix}/rank{r}`, logical clocks in elements).
-pub fn allreduce_dbtree_traced<E: Element>(
-    inputs: Vec<Vec<E>>,
-    chunks: usize,
-    obs: &ObsCtx,
-) -> Vec<Vec<E>> {
-    allreduce_dbtree_impl(inputs, chunks, Some(obs))
-}
-
-fn allreduce_dbtree_impl<E: Element>(
-    inputs: Vec<Vec<E>>,
-    chunks: usize,
+/// Spawn one thread per rank over a fresh fabric world, run `f` on each,
+/// and commit staged observability buffers (fault-free executions are
+/// Kahn-deterministic, so every rank commits).
+fn run_world<P, A, R>(
+    provider: &P,
+    timeout: Duration,
     obs: Option<&ObsCtx>,
-) -> Vec<Vec<E>> {
-    let n = inputs.len();
-    assert!(n >= 1, "need at least one rank");
-    let len = inputs[0].len();
-    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
-    if n == 1 {
-        return inputs;
-    }
-    let dt = DoubleBinaryTree::new(n);
-    let mut comms = Comm::<E>::mesh(n);
+    args: Vec<A>,
+    f: impl Fn(usize, A, &mut Communicator<P::F>) -> R + Sync,
+) -> Vec<R>
+where
+    P: FabricProvider,
+    A: Send,
+    R: Send,
+{
+    let n = args.len();
+    let fabrics = provider.world(n).expect("fabric world construction");
+    let mut comms: Vec<Communicator<P::F>> = fabrics
+        .into_iter()
+        .map(|fb| Communicator::with_timeout(fb, timeout))
+        .collect();
     if let Some(o) = obs {
         for (r, c) in comms.iter_mut().enumerate() {
-            c.obs = Some(o.rank_buf(r));
+            c.set_obs(o.rank_buf(r));
         }
     }
-    let chunks = chunks.clamp(1, len.max(1));
-    let (outputs, bufs): (Vec<Vec<E>>, Vec<Option<TrackBuf>>) = std::thread::scope(|s| {
-        let handles: Vec<_> = inputs
+    let (results, bufs): (Vec<R>, Vec<Option<TrackBuf>>) = std::thread::scope(|s| {
+        let handles: Vec<_> = args
             .into_iter()
             .zip(comms)
-            .map(|(mut data, mut comm)| {
-                let dt = &dt;
+            .enumerate()
+            .map(|(rank, (arg, mut comm))| {
+                let f = &f;
                 s.spawn(move || {
-                    tree_allreduce_rank(&mut comm, dt, &mut data, chunks)
-                        .expect("fault-free allreduce must not fail");
-                    (data, comm.obs.take())
+                    let r = f(rank, arg, &mut comm);
+                    (r, comm.take_obs())
                 })
             })
             .collect();
@@ -349,16 +117,162 @@ fn allreduce_dbtree_impl<E: Element>(
             .unzip()
     });
     if let Some(o) = obs {
-        // Fault-free executions are Kahn-deterministic: commit every rank.
         for buf in bufs.into_iter().flatten() {
             buf.commit(&o.rec);
         }
     }
-    outputs
+    results
+}
+
+/// Allreduce `inputs` (one buffer per rank) over `provider`'s fabric;
+/// returns each rank's resulting buffer (all equal to the sum). Traced
+/// when `obs` is given (tracks `{prefix}/rank{r}`, logical clocks in
+/// elements).
+///
+/// ```
+/// use ff_reduce::{run_allreduce, Algo, InMemProvider};
+/// let out = run_allreduce(
+///     vec![vec![1.0f32, 2.0], vec![10.0, 20.0]],
+///     Algo::DbTree { chunks: 1 },
+///     &InMemProvider,
+///     None,
+/// );
+/// assert_eq!(out[0], vec![11.0, 22.0]);
+/// assert_eq!(out[1], vec![11.0, 22.0]);
+/// ```
+pub fn run_allreduce<E: Element, P: FabricProvider>(
+    inputs: Vec<Vec<E>>,
+    algo: Algo,
+    provider: &P,
+    obs: Option<&ObsCtx>,
+) -> Vec<Vec<E>> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one rank");
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    if matches!(algo, Algo::Ring) {
+        assert!(
+            len >= n || n == 1,
+            "ring needs at least one element per rank"
+        );
+    }
+    if n == 1 {
+        return inputs;
+    }
+    run_world(
+        provider,
+        DEFAULT_RECV_TIMEOUT,
+        obs,
+        inputs,
+        |_, mut data, comm| {
+            comm.allreduce(&mut data, Op::Sum, algo)
+                .expect("fault-free allreduce must not fail");
+            data
+        },
+    )
+}
+
+/// Reduce `inputs` to the root of the double binary tree only (the
+/// "general reduce" operation HFReduce also serves, §IV). Returns
+/// `(root_rank, sum)`.
+pub fn run_reduce_to_root<E: Element, P: FabricProvider>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    provider: &P,
+) -> (usize, Vec<E>) {
+    let n = inputs.len();
+    assert!(n >= 1);
+    let len = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
+    let root = DoubleBinaryTree::new(n).a.root;
+    if n == 1 {
+        return (0, inputs.into_iter().next().expect("one rank"));
+    }
+    let mut results = run_world(
+        provider,
+        DEFAULT_RECV_TIMEOUT,
+        None,
+        inputs,
+        |_, data, comm| {
+            comm.reduce_to_root(data, chunks)
+                .expect("fault-free reduce must not fail")
+        },
+    );
+    (root, results[root].take().expect("root holds the sum"))
+}
+
+/// Broadcast `data` from the tree root to every rank (the "broadcast"
+/// operation, §IV). Returns each rank's received buffer.
+pub fn run_broadcast<E: Element, P: FabricProvider>(
+    data: Vec<E>,
+    ranks: usize,
+    chunks: usize,
+    provider: &P,
+) -> Vec<Vec<E>> {
+    assert!(ranks >= 1);
+    if ranks == 1 {
+        return vec![data];
+    }
+    let root = DoubleBinaryTree::new(ranks).a.root;
+    let len = data.len();
+    let seeds: Vec<Option<Vec<E>>> = (0..ranks)
+        .map(|r| if r == root { Some(data.clone()) } else { None })
+        .collect();
+    run_world(
+        provider,
+        DEFAULT_RECV_TIMEOUT,
+        None,
+        seeds,
+        |_, seed, comm| {
+            let mut buf = seed.unwrap_or_else(|| vec![E::ZERO; len]);
+            comm.broadcast(&mut buf, chunks)
+                .expect("fault-free broadcast must not fail");
+            buf
+        },
+    )
+}
+
+/// The full HFReduce data path, executed for real over `provider`'s
+/// fabric: per node, reduce the 8 GPU buffers on the "CPU" (one fused
+/// multi-input reduction), allreduce the node sums across nodes with the
+/// double binary tree, and broadcast the result back to every GPU buffer.
+///
+/// `inputs[node][gpu]` are the GPU gradient buffers; the result has the
+/// same shape with every buffer equal to the global sum. Traced when
+/// `obs` is given: the intra-node reduce, every inter-node send/recv, and
+/// the H2D broadcast become spans on tracks `{prefix}/rank{node}`.
+pub fn run_hfreduce<E: Element, P: FabricProvider>(
+    inputs: Vec<Vec<Vec<E>>>,
+    chunks: usize,
+    provider: &P,
+    obs: Option<&ObsCtx>,
+) -> Vec<Vec<Vec<E>>> {
+    let n = inputs.len();
+    assert!(n >= 1, "need at least one node");
+    let len = inputs[0]
+        .first()
+        .map(|b| b.len())
+        .expect("nodes must have at least one GPU buffer");
+    for node in &inputs {
+        assert!(!node.is_empty());
+        assert!(node.iter().all(|b| b.len() == len), "unequal buffers");
+    }
+    run_world(
+        provider,
+        DEFAULT_RECV_TIMEOUT,
+        obs,
+        inputs,
+        |_, gpu_bufs, comm| {
+            comm.hfreduce(gpu_bufs, chunks)
+                .expect("fault-free allreduce must not fail")
+        },
+    )
 }
 
 /// Injected faults for the executable allreduce: which ranks die, and how
-/// patient survivors are before declaring a peer dead.
+/// patient survivors are before declaring a peer dead. Deaths are
+/// realized as [`FaultyFabric`] middleware under each doomed rank's
+/// communicator — no algorithm carries fault hooks of its own.
 #[derive(Debug, Clone)]
 pub struct ExecFaultPlan {
     /// `(rank, after_sends)` — the rank's endpoint goes silent after it
@@ -369,7 +283,7 @@ pub struct ExecFaultPlan {
 }
 
 impl ExecFaultPlan {
-    /// No faults: `allreduce_dbtree_ft` behaves like `allreduce_dbtree`.
+    /// No faults: [`allreduce_ft`] behaves like [`run_allreduce`].
     pub fn none() -> ExecFaultPlan {
         ExecFaultPlan {
             deaths: Vec::new(),
@@ -408,42 +322,28 @@ enum RankOutcome<E> {
 }
 
 /// Fault-tolerant chunked double-binary-tree allreduce under `plan`'s
-/// injected deaths. When a rank dies mid-collective, survivors detect it
-/// (receive timeout or disconnect) and return a [`CommError`] instead of
-/// panicking; the orchestrator — standing in for the platform's job
-/// manager — then rebuilds the tree over the survivor set and retries
-/// from the original inputs. One failed rank never aborts the process.
+/// injected deaths, over `provider`'s fabric. When a rank dies
+/// mid-collective, survivors detect it (receive timeout or disconnect)
+/// and return a [`CommError`] instead of panicking; the orchestrator —
+/// standing in for the platform's job manager — then rebuilds the tree
+/// over the survivor set and retries from the original inputs. One failed
+/// rank never aborts the process.
 ///
 /// The returned buffers are the sum over the **survivor** set: the dead
 /// rank's contribution is lost exactly as a dead GPU's gradients would
 /// be, and the training layer above decides whether the step is usable or
 /// must be replayed from a checkpoint (see `ff-platform`).
-pub fn allreduce_dbtree_ft<E: Element>(
+///
+/// With `obs`, clean attempts commit per-rank send/recv spans (tracks
+/// `{prefix}/rank{orig}`, named by *original* rank id so the track set is
+/// stable across shrinks), while failed attempts record only their
+/// deterministic summary — attempt index, which ranks died, the shrink —
+/// as instants on `{prefix}/ctl`.
+pub fn allreduce_ft<E: Element, P: FabricProvider>(
     inputs: Vec<Vec<E>>,
     chunks: usize,
     plan: &ExecFaultPlan,
-) -> FtReport<E> {
-    allreduce_dbtree_ft_impl(inputs, chunks, plan, None)
-}
-
-/// [`allreduce_dbtree_ft`] with observability: clean attempts commit
-/// per-rank send/recv spans (tracks `{prefix}/rank{orig}`, named by
-/// *original* rank id so the track set is stable across shrinks), while
-/// failed attempts record only their deterministic summary — attempt
-/// index, which ranks died, the shrink — as instants on `{prefix}/ctl`.
-pub fn allreduce_dbtree_ft_traced<E: Element>(
-    inputs: Vec<Vec<E>>,
-    chunks: usize,
-    plan: &ExecFaultPlan,
-    obs: &ObsCtx,
-) -> FtReport<E> {
-    allreduce_dbtree_ft_impl(inputs, chunks, plan, Some(obs))
-}
-
-fn allreduce_dbtree_ft_impl<E: Element>(
-    inputs: Vec<Vec<E>>,
-    chunks: usize,
-    plan: &ExecFaultPlan,
+    provider: &P,
     obs: Option<&ObsCtx>,
 ) -> FtReport<E> {
     let ctl = obs.map(|o| o.rec.track(&format!("{}/ctl", o.track_prefix)));
@@ -485,11 +385,25 @@ fn allreduce_dbtree_ft_impl<E: Element>(
             .filter_map(|&(orig, k)| alive.iter().position(|&a| a == orig).map(|i| (i, k)))
             .collect();
         let m = alive.len();
-        let dt = DoubleBinaryTree::new(m);
-        let mut comms = Comm::<E>::mesh_with(m, plan.recv_timeout, &deaths);
+        let fabrics = provider.world(m).expect("fabric world construction");
+        let mut comms: Vec<Communicator<FaultyFabric<P::F>>> = fabrics
+            .into_iter()
+            .enumerate()
+            .map(|(i, fb)| {
+                let die = deaths
+                    .iter()
+                    .find(|&&(r, _)| r == i)
+                    .map(|&(_, k)| k)
+                    .unwrap_or(usize::MAX);
+                // Silent deaths: a dead host stops talking, it does not
+                // hang up politely — survivors must detect the loss by
+                // timeout (in-memory) or transport teardown (TCP).
+                Communicator::with_timeout(FaultyFabric::new(fb, die, true), plan.recv_timeout)
+            })
+            .collect();
         if let Some(o) = obs {
             for (&orig, c) in alive.iter().zip(comms.iter_mut()) {
-                c.obs = Some(o.rank_buf(orig));
+                c.set_obs(o.rank_buf(orig));
             }
         }
         let results: Vec<RankOutcome<E>> = std::thread::scope(|s| {
@@ -497,15 +411,15 @@ fn allreduce_dbtree_ft_impl<E: Element>(
                 .iter()
                 .zip(comms)
                 .map(|(&orig, mut comm)| {
-                    // Survivors restart from their original gradients: a
-                    // half-reduced buffer from an abandoned attempt is
-                    // never reused.
-                    let mut data = inputs[orig].clone();
-                    let dt = &dt;
+                    let inputs = &inputs;
                     s.spawn(move || {
-                        let res = tree_allreduce_rank(&mut comm, dt, &mut data, chunks);
-                        let died = comm.died;
-                        let buf = comm.obs.take();
+                        // Survivors restart from their original gradients:
+                        // a half-reduced buffer from an abandoned attempt
+                        // is never reused.
+                        let mut data = inputs[orig].clone();
+                        let res = comm.allreduce(&mut data, Op::Sum, Algo::DbTree { chunks });
+                        let died = comm.fabric().died();
+                        let buf = comm.take_obs();
                         // Death drops the endpoint: peers now observe
                         // silence, exactly like a host that went down.
                         drop(comm);
@@ -583,286 +497,98 @@ fn allreduce_dbtree_ft_impl<E: Element>(
     }
 }
 
-/// One rank's ring allreduce (reduce-scatter + allgather) over `n` ranks.
-fn ring_allreduce_rank<E: Element>(
-    comm: &mut Comm<E>,
-    n: usize,
-    data: &mut [E],
-) -> Result<(), CommError> {
-    let rank = comm.me;
-    let ranges = chunk_ranges(data.len(), n);
-    let next = (rank + 1) % n;
-    let prev = (rank + n - 1) % n;
-    let mut step = 0u32;
-    // Reduce-scatter: after n-1 steps rank r owns the sum of chunk (r+1)%n.
-    for s in 0..n - 1 {
-        let send_chunk = (rank + n - s) % n;
-        let recv_chunk = (rank + n - s - 1) % n;
-        comm.send(
-            next,
-            0,
-            step,
-            RING,
-            data[ranges[send_chunk].clone()].to_vec(),
-        )?;
-        let got = comm.recv(prev, 0, step, RING)?;
-        reduce_add_into(&mut data[ranges[recv_chunk].clone()], &got);
-        step += 1;
-    }
-    // Allgather: circulate the finished chunks.
-    for s in 0..n - 1 {
-        let send_chunk = (rank + 1 + n - s) % n;
-        let recv_chunk = (rank + n - s) % n;
-        comm.send(
-            next,
-            0,
-            step,
-            RING,
-            data[ranges[send_chunk].clone()].to_vec(),
-        )?;
-        let got = comm.recv(prev, 0, step, RING)?;
-        data[ranges[recv_chunk].clone()].copy_from_slice(&got);
-        step += 1;
-    }
-    Ok(())
+// ---------------------------------------------------------------------------
+// Deprecated free-function shims (one release of grace)
+// ---------------------------------------------------------------------------
+
+/// Allreduce `inputs` with the chunked double binary tree over the
+/// default in-memory fabric.
+#[deprecated(
+    note = "use `run_allreduce(.., Algo::DbTree { chunks }, &InMemProvider, None)` \
+                     or `Communicator::allreduce`"
+)]
+pub fn allreduce_dbtree<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> Vec<Vec<E>> {
+    run_allreduce(inputs, Algo::DbTree { chunks }, &InMemProvider, None)
 }
 
-/// Ring allreduce across `inputs`; the NCCL-style baseline.
-pub fn allreduce_ring<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
-    let n = inputs.len();
-    assert!(n >= 1);
-    let len = inputs[0].len();
-    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
-    assert!(
-        len >= n || n == 1,
-        "ring needs at least one element per rank"
-    );
-    if n == 1 {
-        return inputs;
-    }
-    let comms = Comm::<E>::mesh(n);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = inputs
-            .into_iter()
-            .zip(comms)
-            .map(|(mut data, mut comm)| {
-                s.spawn(move || {
-                    ring_allreduce_rank(&mut comm, n, &mut data)
-                        .expect("fault-free allreduce must not fail");
-                    data
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    })
-}
-
-/// Reduce `inputs` to the root of the double binary tree only (the
-/// "general reduce" operation HFReduce also serves, §IV). Returns
-/// `(root_rank, sum)`.
-pub fn reduce_to_root<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> (usize, Vec<E>) {
-    let n = inputs.len();
-    assert!(n >= 1);
-    let len = inputs[0].len();
-    assert!(inputs.iter().all(|v| v.len() == len), "unequal buffers");
-    let dt = DoubleBinaryTree::new(n);
-    let root = dt.a.root;
-    if n == 1 {
-        return (0, inputs.into_iter().next().expect("one rank"));
-    }
-    let comms = Comm::<E>::mesh(n);
-    let chunks = chunks.clamp(1, len.max(1));
-    let mut results: Vec<Option<Vec<E>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = inputs
-            .into_iter()
-            .zip(comms)
-            .map(|(data, mut comm)| {
-                let dt = &dt;
-                s.spawn(move || {
-                    reduce_rank(&mut comm, &dt.a, data, chunks)
-                        .expect("fault-free reduce must not fail")
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    });
-    (root, results[root].take().expect("root holds the sum"))
-}
-
-/// One rank's side of a single-tree reduce (no broadcast-down pass).
-fn reduce_rank<E: Element>(
-    comm: &mut Comm<E>,
-    tree: TreeRef<'_>,
-    mut data: Vec<E>,
+/// Traced [`allreduce_dbtree`].
+#[deprecated(note = "use `run_allreduce(.., Algo::DbTree { chunks }, &InMemProvider, Some(obs))`")]
+pub fn allreduce_dbtree_traced<E: Element>(
+    inputs: Vec<Vec<E>>,
     chunks: usize,
-) -> Result<Option<Vec<E>>, CommError> {
-    let rank = comm.me;
-    let ranges = chunk_ranges(data.len(), chunks);
-    for (c, range) in ranges.iter().enumerate() {
-        let mut acc: Vec<E> = data[range.clone()].to_vec();
-        for &child in &tree.children[rank] {
-            let got = comm.recv(child, 0, c as u32, UP)?;
-            reduce_add_into(&mut acc, &got);
-        }
-        if let Some(parent) = tree.parent[rank] {
-            comm.send(parent, 0, c as u32, UP, acc)?;
-        } else {
-            data[range.clone()].copy_from_slice(&acc);
-        }
-    }
-    Ok(if tree.parent[rank].is_none() {
-        Some(data)
-    } else {
-        None
-    })
+    obs: &ObsCtx,
+) -> Vec<Vec<E>> {
+    run_allreduce(inputs, Algo::DbTree { chunks }, &InMemProvider, Some(obs))
 }
 
-/// Broadcast `data` from the tree root to every rank (the "broadcast"
-/// operation, §IV). Returns each rank's received buffer.
+/// Fault-tolerant allreduce over the default in-memory fabric.
+#[deprecated(note = "use `allreduce_ft(.., &InMemProvider, None)`")]
+pub fn allreduce_dbtree_ft<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    plan: &ExecFaultPlan,
+) -> FtReport<E> {
+    allreduce_ft(inputs, chunks, plan, &InMemProvider, None)
+}
+
+/// Traced fault-tolerant allreduce over the default in-memory fabric.
+#[deprecated(note = "use `allreduce_ft(.., &InMemProvider, Some(obs))`")]
+pub fn allreduce_dbtree_ft_traced<E: Element>(
+    inputs: Vec<Vec<E>>,
+    chunks: usize,
+    plan: &ExecFaultPlan,
+    obs: &ObsCtx,
+) -> FtReport<E> {
+    allreduce_ft(inputs, chunks, plan, &InMemProvider, Some(obs))
+}
+
+/// Ring allreduce over the default in-memory fabric; the NCCL-style
+/// baseline.
+#[deprecated(note = "use `run_allreduce(.., Algo::Ring, &InMemProvider, None)` \
+                     or `Communicator::allreduce`")]
+pub fn allreduce_ring<E: Element>(inputs: Vec<Vec<E>>) -> Vec<Vec<E>> {
+    run_allreduce(inputs, Algo::Ring, &InMemProvider, None)
+}
+
+/// Reduce to the tree root over the default in-memory fabric.
+#[deprecated(note = "use `run_reduce_to_root(.., &InMemProvider)` \
+                     or `Communicator::reduce_to_root`")]
+pub fn reduce_to_root<E: Element>(inputs: Vec<Vec<E>>, chunks: usize) -> (usize, Vec<E>) {
+    run_reduce_to_root(inputs, chunks, &InMemProvider)
+}
+
+/// Broadcast from the tree root over the default in-memory fabric.
+#[deprecated(note = "use `run_broadcast(.., &InMemProvider)` or `Communicator::broadcast`")]
 pub fn broadcast<E: Element>(data: Vec<E>, ranks: usize, chunks: usize) -> Vec<Vec<E>> {
-    assert!(ranks >= 1);
-    if ranks == 1 {
-        return vec![data];
-    }
-    let dt = DoubleBinaryTree::new(ranks);
-    let root = dt.a.root;
-    let len = data.len();
-    let comms = Comm::<E>::mesh(ranks);
-    let chunks = chunks.clamp(1, len.max(1));
-    std::thread::scope(|s| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .enumerate()
-            .map(|(rank, mut comm)| {
-                let dt = &dt;
-                let seed = if rank == root {
-                    Some(data.clone())
-                } else {
-                    None
-                };
-                s.spawn(move || {
-                    let mut buf = seed.unwrap_or_else(|| vec![E::ZERO; len]);
-                    let ranges = chunk_ranges(len, chunks);
-                    for (c, range) in ranges.iter().enumerate() {
-                        if dt.a.parent[rank].is_some() {
-                            let got = comm
-                                .recv(dt.a.parent[rank].expect("non-root"), 0, c as u32, DOWN)
-                                .expect("fault-free broadcast must not fail");
-                            buf[range.clone()].copy_from_slice(&got);
-                        }
-                        for &child in &dt.a.children[rank] {
-                            comm.send(child, 0, c as u32, DOWN, buf[range.clone()].to_vec())
-                                .expect("fault-free broadcast must not fail");
-                        }
-                    }
-                    buf
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
-    })
+    run_broadcast(data, ranks, chunks, &InMemProvider)
 }
 
-/// The full HFReduce data path, executed for real: per node, reduce the 8
-/// GPU buffers on the "CPU" (one fused multi-input reduction), allreduce
-/// the node sums across nodes with the double binary tree, and broadcast
-/// the result back to every GPU buffer.
-///
-/// `inputs[node][gpu]` are the GPU gradient buffers; the result has the
-/// same shape with every buffer equal to the global sum.
+/// HFReduce over the default in-memory fabric.
+#[deprecated(note = "use `run_hfreduce(.., &InMemProvider, None)` or `Communicator::hfreduce`")]
 pub fn hfreduce_exec<E: Element>(inputs: Vec<Vec<Vec<E>>>, chunks: usize) -> Vec<Vec<Vec<E>>> {
-    hfreduce_exec_impl(inputs, chunks, None)
+    run_hfreduce(inputs, chunks, &InMemProvider, None)
 }
 
-/// [`hfreduce_exec`] with per-node observability: the intra-node reduce,
-/// every inter-node send/recv, and the H2D broadcast become spans on
-/// tracks `{prefix}/rank{node}`.
+/// Traced HFReduce over the default in-memory fabric.
+#[deprecated(note = "use `run_hfreduce(.., &InMemProvider, Some(obs))`")]
 pub fn hfreduce_exec_traced<E: Element>(
     inputs: Vec<Vec<Vec<E>>>,
     chunks: usize,
     obs: &ObsCtx,
 ) -> Vec<Vec<Vec<E>>> {
-    hfreduce_exec_impl(inputs, chunks, Some(obs))
-}
-
-fn hfreduce_exec_impl<E: Element>(
-    inputs: Vec<Vec<Vec<E>>>,
-    chunks: usize,
-    obs: Option<&ObsCtx>,
-) -> Vec<Vec<Vec<E>>> {
-    let n = inputs.len();
-    assert!(n >= 1, "need at least one node");
-    let len = inputs[0]
-        .first()
-        .map(|b| b.len())
-        .expect("nodes must have at least one GPU buffer");
-    for node in &inputs {
-        assert!(!node.is_empty());
-        assert!(node.iter().all(|b| b.len() == len), "unequal buffers");
-    }
-    let dt = DoubleBinaryTree::new(n);
-    let mut comms = Comm::<E>::mesh(n);
-    if let Some(o) = obs {
-        for (r, c) in comms.iter_mut().enumerate() {
-            c.obs = Some(o.rank_buf(r));
-        }
-    }
-    let chunks = chunks.clamp(1, len.max(1));
-    let (outputs, bufs): (Vec<Vec<Vec<E>>>, Vec<Option<TrackBuf>>) = std::thread::scope(|s| {
-        let handles: Vec<_> = inputs
-            .into_iter()
-            .zip(comms)
-            .map(|(gpu_bufs, mut comm)| {
-                let dt = &dt;
-                s.spawn(move || {
-                    // Intra-node reduce (Algorithm 1): one widened pass.
-                    let mut node_sum = vec![E::ZERO; len];
-                    let refs: Vec<&[E]> = gpu_bufs.iter().map(|b| b.as_slice()).collect();
-                    reduce_n_into(&mut node_sum, &refs);
-                    let gpus = gpu_bufs.len();
-                    if let Some(buf) = &mut comm.obs {
-                        buf.op("reduce:intra", len as u64, (len * gpus) as f64);
-                    }
-                    // Inter-node allreduce (Algorithm 2).
-                    if dt.len() > 1 {
-                        tree_allreduce_rank(&mut comm, dt, &mut node_sum, chunks)
-                            .expect("fault-free allreduce must not fail");
-                    }
-                    if let Some(buf) = &mut comm.obs {
-                        buf.op("bcast:h2d", len as u64, (len * gpus) as f64);
-                    }
-                    // H2D broadcast: every GPU buffer gets the result.
-                    (vec![node_sum; gpus], comm.obs.take())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("node panicked"))
-            .unzip()
-    });
-    if let Some(o) = obs {
-        for buf in bufs.into_iter().flatten() {
-            buf.commit(&o.rec);
-        }
-    }
-    outputs
+    run_hfreduce(inputs, chunks, &InMemProvider, Some(obs))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::TcpProvider;
     use crate::kernels::reference_sum;
     use ff_dtypes::{Bf16, F16};
+
+    fn dbtree(chunks: usize) -> Algo {
+        Algo::DbTree { chunks }
+    }
 
     /// Integer-valued f32 inputs make every summation order exact.
     fn int_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
@@ -877,7 +603,7 @@ mod tests {
             for len in [1usize, 2, 17, 128, 1001] {
                 let inputs = int_inputs(n, len);
                 let want = reference_sum(&inputs);
-                let out = allreduce_dbtree(inputs, 4);
+                let out = run_allreduce(inputs, dbtree(4), &InMemProvider, None);
                 for (r, buf) in out.iter().enumerate() {
                     assert_eq!(buf, &want, "rank {r}, n={n}, len={len}");
                 }
@@ -886,11 +612,21 @@ mod tests {
     }
 
     #[test]
+    fn dbtree_over_tcp_matches_reference() {
+        let inputs = int_inputs(4, 129);
+        let want = reference_sum(&inputs);
+        let out = run_allreduce(inputs, dbtree(3), &TcpProvider, None);
+        for buf in &out {
+            assert_eq!(buf, &want);
+        }
+    }
+
+    #[test]
     fn ring_matches_reference() {
         for n in [2usize, 3, 4, 8] {
             let inputs = int_inputs(n, 240);
             let want = reference_sum(&inputs);
-            let out = allreduce_ring(inputs);
+            let out = run_allreduce(inputs, Algo::Ring, &InMemProvider, None);
             for buf in &out {
                 assert_eq!(buf, &want, "n={n}");
             }
@@ -900,8 +636,8 @@ mod tests {
     #[test]
     fn ring_and_tree_agree() {
         let inputs = int_inputs(6, 600);
-        let a = allreduce_ring(inputs.clone());
-        let b = allreduce_dbtree(inputs, 3);
+        let a = run_allreduce(inputs.clone(), Algo::Ring, &InMemProvider, None);
+        let b = run_allreduce(inputs, dbtree(3), &InMemProvider, None);
         assert_eq!(a[0], b[0]);
     }
 
@@ -917,7 +653,7 @@ mod tests {
             .collect();
         let flat: Vec<Vec<f32>> = inputs.iter().flatten().cloned().collect();
         let want = reference_sum(&flat);
-        let out = hfreduce_exec(inputs, 2);
+        let out = run_hfreduce(inputs, 2, &InMemProvider, None);
         for (v, node) in out.iter().enumerate() {
             assert_eq!(node.len(), 8);
             for (g, buf) in node.iter().enumerate() {
@@ -929,9 +665,23 @@ mod tests {
     #[test]
     fn hfreduce_exec_single_node() {
         let inputs = vec![vec![vec![1.0f32, 2.0], vec![3.0, 4.0]]];
-        let out = hfreduce_exec(inputs, 1);
+        let out = run_hfreduce(inputs, 1, &InMemProvider, None);
         assert_eq!(out[0][0], vec![4.0, 6.0]);
         assert_eq!(out[0][1], vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn hfreduce_over_tcp_matches_inmem() {
+        let inputs: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|v| {
+                (0..4)
+                    .map(|g| (0..64).map(|i| ((v * 4 + g + i) % 20) as f32).collect())
+                    .collect()
+            })
+            .collect();
+        let a = run_hfreduce(inputs.clone(), 2, &InMemProvider, None);
+        let b = run_hfreduce(inputs, 2, &TcpProvider, None);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -945,7 +695,7 @@ mod tests {
             })
             .collect();
         let want = reference_sum(&inputs);
-        let out = allreduce_dbtree(inputs, 2);
+        let out = run_allreduce(inputs, dbtree(2), &InMemProvider, None);
         assert_eq!(out[3], want);
     }
 
@@ -964,7 +714,7 @@ mod tests {
             .collect();
         let flat: Vec<Vec<Bf16>> = inputs.iter().flatten().cloned().collect();
         let want = reference_sum(&flat);
-        let out = hfreduce_exec(inputs, 4);
+        let out = run_hfreduce(inputs, 4, &InMemProvider, None);
         assert_eq!(out[1][5], want);
     }
 
@@ -974,7 +724,7 @@ mod tests {
         let inputs = int_inputs(5, 97);
         let want = reference_sum(&inputs);
         for chunks in [1usize, 2, 3, 7, 97] {
-            let out = allreduce_dbtree(inputs.clone(), chunks);
+            let out = run_allreduce(inputs.clone(), dbtree(chunks), &InMemProvider, None);
             assert_eq!(out[0], want, "chunks={chunks}");
         }
     }
@@ -982,7 +732,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "unequal buffers")]
     fn mismatched_rank_buffers_rejected() {
-        allreduce_dbtree(vec![vec![1.0f32], vec![1.0, 2.0]], 1);
+        run_allreduce(
+            vec![vec![1.0f32], vec![1.0, 2.0]],
+            dbtree(1),
+            &InMemProvider,
+            None,
+        );
     }
 
     // ---- fault tolerance ----
@@ -993,7 +748,7 @@ mod tests {
     fn ft_no_fault_matches_plain_allreduce() {
         let inputs = int_inputs(6, 120);
         let want = reference_sum(&inputs);
-        let report = allreduce_dbtree_ft(inputs, 3, &ExecFaultPlan::none());
+        let report = allreduce_ft(inputs, 3, &ExecFaultPlan::none(), &InMemProvider, None);
         assert_eq!(report.attempts, 1);
         assert_eq!(report.survivors, (0..6).collect::<Vec<_>>());
         assert!(report.dead.is_empty());
@@ -1015,7 +770,7 @@ mod tests {
                 .collect();
             let want = reference_sum(&surviving);
             let plan = ExecFaultPlan::kill_rank(victim, 1, FAST_TIMEOUT);
-            let report = allreduce_dbtree_ft(inputs, 3, &plan);
+            let report = allreduce_ft(inputs, 3, &plan, &InMemProvider, None);
             assert_eq!(report.dead, vec![victim]);
             assert_eq!(report.attempts, 2, "one failed attempt + one clean retry");
             assert_eq!(report.survivors.len(), 5);
@@ -1034,7 +789,7 @@ mod tests {
         let surviving: Vec<Vec<f32>> = inputs[..3].to_vec();
         let want = reference_sum(&surviving);
         let plan = ExecFaultPlan::kill_rank(3, 0, FAST_TIMEOUT);
-        let report = allreduce_dbtree_ft(inputs, 2, &plan);
+        let report = allreduce_ft(inputs, 2, &plan, &InMemProvider, None);
         assert_eq!(report.dead, vec![3]);
         for r in 0..3 {
             assert_eq!(report.outputs[r].as_ref().unwrap(), &want);
@@ -1051,7 +806,7 @@ mod tests {
             deaths: vec![(1, 0), (3, 0)],
             recv_timeout: FAST_TIMEOUT,
         };
-        let report = allreduce_dbtree_ft(inputs, 2, &plan);
+        let report = allreduce_ft(inputs, 2, &plan, &InMemProvider, None);
         assert_eq!(report.dead, vec![1, 3]);
         assert_eq!(report.survivors, vec![0, 2, 4]);
         for &r in &[0usize, 2, 4] {
@@ -1064,9 +819,21 @@ mod tests {
         let inputs = int_inputs(2, 16);
         let want = inputs[0].clone();
         let plan = ExecFaultPlan::kill_rank(1, 0, FAST_TIMEOUT);
-        let report = allreduce_dbtree_ft(inputs, 1, &plan);
+        let report = allreduce_ft(inputs, 1, &plan, &InMemProvider, None);
         assert_eq!(report.survivors, vec![0]);
         assert_eq!(report.outputs[0].as_ref().unwrap(), &want);
         assert!(report.outputs[1].is_none());
+    }
+
+    #[test]
+    fn ft_trajectory_identical_over_tcp() {
+        // The shrink-to-survivors trajectory is transport-invariant: over
+        // TCP the death is detected by teardown (FIN) rather than
+        // timeout, but survivors, dead set, and attempt count agree.
+        let inputs = int_inputs(5, 64);
+        let plan = ExecFaultPlan::kill_rank(2, 1, Duration::from_millis(500));
+        let inmem = allreduce_ft(inputs.clone(), 2, &plan, &InMemProvider, None);
+        let tcp = allreduce_ft(inputs, 2, &plan, &TcpProvider, None);
+        assert_eq!(inmem, tcp);
     }
 }

@@ -11,11 +11,17 @@
 //! This crate provides both faces of the system:
 //!
 //! * **Executable algorithms** — real multithreaded implementations over
-//!   in-memory ranks: the reduction kernels ([`kernels`]), the chunked
-//!   double-binary-tree allreduce, a ring allreduce baseline, and the full
-//!   node-structured HFReduce (intra-node reduce → inter-node tree →
-//!   broadcast) ([`exec`]). These compute real numbers and are validated
-//!   against serial reference reductions.
+//!   a pluggable transport: the reduction kernels ([`kernels`]), the
+//!   chunked double-binary-tree allreduce, a ring allreduce baseline, and
+//!   the full node-structured HFReduce (intra-node reduce → inter-node
+//!   tree → broadcast). The transport is a [`fabric::Fabric`] — in-memory
+//!   channels by default, real localhost TCP sockets, or metering /
+//!   fault-injecting middleware — and every collective is a method on one
+//!   [`comm::Communicator`] handle, orchestrated world-wide by the
+//!   drivers in [`exec`]. These compute real numbers and are validated
+//!   against serial reference reductions, bit-identically across
+//!   backends. [`calibration`] measures a backend's latency/bandwidth for
+//!   the `ff_hw` link model.
 //! * **Performance models** — discrete-event simulations on the `ff-hw` +
 //!   `ff-net` cluster model reproducing Figure 7: HFReduce vs NCCL
 //!   allreduce bandwidth from 16 to 1,440 GPUs ([`model`], [`ring`]), and
@@ -24,19 +30,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod cluster;
+pub mod comm;
 pub mod exec;
+pub mod fabric;
 pub mod jobflow;
 pub mod kernels;
 pub mod model;
 pub mod ring;
 pub mod sharded;
 
+pub use calibration::{calibrate, Calibration};
 pub use cluster::{ClusterConfig, ClusterModel};
+pub use comm::{Algo, Communicator, Op, Wire, WireCursor};
+#[allow(deprecated)]
 pub use exec::{
     allreduce_dbtree, allreduce_dbtree_ft, allreduce_dbtree_ft_traced, allreduce_dbtree_traced,
-    allreduce_ring, hfreduce_exec, hfreduce_exec_traced, CommError, ExecFaultPlan, FtReport,
-    ObsCtx,
+    allreduce_ring, hfreduce_exec, hfreduce_exec_traced,
+};
+pub use exec::{
+    allreduce_ft, run_allreduce, run_broadcast, run_hfreduce, run_reduce_to_root, CommError,
+    ExecFaultPlan, FtReport, ObsCtx,
+};
+pub use fabric::{
+    CalibratedFabric, Fabric, FabricProvider, FaultyFabric, InMemFabric, InMemProvider, RawMsg,
+    Tag, TcpFabric, TcpProvider,
 };
 pub use ff_util::error::{FfError, FfKind};
 pub use model::{AllreduceReport, HfReduceOptions, HfReduceVariant};

@@ -330,6 +330,37 @@ pub fn hfreduce_analytic_bw(gpus: usize) -> f64 {
     8.6e9 + 0.9e9 * (2.0 / nodes).min(1.0)
 }
 
+/// Predicted algorithm bandwidth of the *executable* HFReduce run on a
+/// single machine over a loopback fabric whose point-to-point constants
+/// were measured by `ff_reduce::calibration` (an α–β
+/// [`LinkParams`](ff_hw::LinkParams)).
+///
+/// On loopback every rank is a thread and all traffic shares one memory
+/// subsystem, so the first-order model serializes the whole collective's
+/// wire traffic through the measured link: a chunked double-binary-tree
+/// allreduce over `n` nodes moves each tree's half-buffer up and down all
+/// `n − 1` edges — `2·(n−1)·bytes` on the wire — in
+/// `2·2·(n−1)·chunks` messages. Predicted algbw is
+/// `bytes / (wire_bytes/β + msgs·α)`; EXPERIMENTS.md compares it against
+/// the measured loopback run recorded by `fabric_bench`.
+pub fn hfreduce_loopback_algbw(
+    nodes: usize,
+    bytes: f64,
+    chunks: usize,
+    link: &ff_hw::LinkParams,
+) -> f64 {
+    assert!(nodes >= 1 && bytes > 0.0);
+    if nodes == 1 {
+        // No wire traffic: bounded only by the per-message floor of the
+        // two local phases.
+        return bytes / link.latency_s.max(1e-12);
+    }
+    let edges = (nodes - 1) as f64;
+    let wire_bytes = 2.0 * edges * bytes;
+    let msgs = 2.0 * 2.0 * edges * chunks.max(1) as f64;
+    bytes / (wire_bytes / link.bps + msgs * link.latency_s)
+}
+
 /// Node indices ordered by access leaf (then node index): tree rank `i`
 /// maps to `order[i]`, clustering tree-adjacent ranks on the same leaf.
 pub fn leaf_grouped_order(cluster: &ClusterModel) -> Vec<usize> {

@@ -4,7 +4,7 @@
 
 use ff_dtypes::{Bf16, F16};
 use ff_reduce::kernels::reference_sum;
-use ff_reduce::{allreduce_dbtree, allreduce_ring, hfreduce_exec};
+use ff_reduce::{run_allreduce, run_hfreduce, Algo, InMemProvider};
 use ff_util::rng::ChaCha8Rng;
 
 const CASES: usize = 32;
@@ -25,7 +25,7 @@ fn dbtree_equals_reference() {
         let inputs = f32_inputs(&mut rng);
         let chunks = rng.gen_range(1usize..6);
         let want = reference_sum(&inputs);
-        let out = allreduce_dbtree(inputs, chunks);
+        let out = run_allreduce(inputs, Algo::DbTree { chunks }, &InMemProvider, None);
         for buf in &out {
             assert_eq!(buf, &want);
         }
@@ -43,7 +43,7 @@ fn ring_equals_reference() {
         }
         done += 1;
         let want = reference_sum(&inputs);
-        let out = allreduce_ring(inputs);
+        let out = run_allreduce(inputs, Algo::Ring, &InMemProvider, None);
         for buf in &out {
             assert_eq!(buf, &want);
         }
@@ -74,7 +74,7 @@ fn hfreduce_exec_equals_reference() {
             .collect();
         let flat: Vec<Vec<f32>> = inputs.iter().flatten().cloned().collect();
         let want = reference_sum(&flat);
-        let out = hfreduce_exec(inputs, chunks);
+        let out = run_hfreduce(inputs, chunks, &InMemProvider, None);
         for node in &out {
             for buf in node {
                 assert_eq!(buf, &want);
@@ -107,7 +107,7 @@ fn f16_tree_close_to_wide_reference() {
         let wide: Vec<f32> = (0..len)
             .map(|i| inputs.iter().map(|v| v[i].to_f32()).sum())
             .collect();
-        let out = allreduce_dbtree(inputs, 2);
+        let out = run_allreduce(inputs, Algo::DbTree { chunks: 2 }, &InMemProvider, None);
         for (i, v) in out[0].iter().enumerate() {
             let tol = wide[i].abs().max(1.0) * 0.01 * (n as f32).log2().ceil();
             assert!(
@@ -136,7 +136,7 @@ fn all_ranks_agree_bf16() {
                     .collect()
             })
             .collect();
-        let out = allreduce_dbtree(inputs, 3);
+        let out = run_allreduce(inputs, Algo::DbTree { chunks: 3 }, &InMemProvider, None);
         for buf in &out[1..] {
             assert_eq!(buf, &out[0]);
         }

@@ -1,0 +1,93 @@
+//! Compatibility tests for the deprecated free-function shims: each one
+//! must keep delegating to the `Communicator`-based drivers with the old
+//! signature and semantics until its removal release. Everything in here
+//! intentionally calls deprecated API — this is the only in-tree caller.
+
+#![allow(deprecated)]
+
+use ff_obs::Recorder;
+use ff_reduce::exec::{broadcast, reduce_to_root};
+use ff_reduce::kernels::reference_sum;
+use ff_reduce::{
+    allreduce_dbtree, allreduce_dbtree_ft, allreduce_dbtree_ft_traced, allreduce_dbtree_traced,
+    allreduce_ring, hfreduce_exec, hfreduce_exec_traced, ExecFaultPlan, ObsCtx,
+};
+use std::time::Duration;
+
+fn int_inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| (0..len).map(|i| ((r * 13 + i * 5) % 40) as f32).collect())
+        .collect()
+}
+
+#[test]
+fn allreduce_shims_match_reference() {
+    let inputs = int_inputs(5, 77);
+    let want = reference_sum(&inputs);
+    for buf in allreduce_dbtree(inputs.clone(), 3) {
+        assert_eq!(buf, want);
+    }
+    for buf in allreduce_ring(inputs) {
+        assert_eq!(buf, want);
+    }
+}
+
+#[test]
+fn traced_allreduce_shim_still_traces() {
+    let rec = Recorder::new();
+    let obs = ObsCtx::new(&rec, "reduce", 0);
+    let out = allreduce_dbtree_traced(int_inputs(4, 32), 2, &obs);
+    assert_eq!(out[0], reference_sum(&int_inputs(4, 32)));
+    assert!(rec.event_count() > 0, "shim must keep emitting obs events");
+}
+
+#[test]
+fn reduce_and_broadcast_shims() {
+    let inputs = int_inputs(6, 50);
+    let want = reference_sum(&inputs);
+    let (root, sum) = reduce_to_root(inputs, 2);
+    assert!(root < 6);
+    assert_eq!(sum, want);
+
+    let data: Vec<f32> = (0..40).map(|i| i as f32).collect();
+    for buf in broadcast(data.clone(), 5, 3) {
+        assert_eq!(buf, data);
+    }
+}
+
+#[test]
+fn hfreduce_shims_match_reference() {
+    let bufs: Vec<Vec<Vec<f32>>> = (0..3)
+        .map(|v| {
+            (0..2)
+                .map(|g| (0..48).map(|i| ((v * 7 + g * 3 + i) % 13) as f32).collect())
+                .collect()
+        })
+        .collect();
+    let flat: Vec<Vec<f32>> = bufs.iter().flatten().cloned().collect();
+    let want = reference_sum(&flat);
+    for node in hfreduce_exec(bufs.clone(), 2) {
+        for buf in node {
+            assert_eq!(buf, want);
+        }
+    }
+    let rec = Recorder::new();
+    let out = hfreduce_exec_traced(bufs, 2, &ObsCtx::new(&rec, "reduce", 0));
+    assert_eq!(out[0][0], want);
+    assert!(rec.event_count() > 0);
+}
+
+#[test]
+fn ft_shims_still_shrink_to_survivors() {
+    let inputs = int_inputs(5, 40);
+    let plan = ExecFaultPlan::kill_rank(1, 1, Duration::from_millis(200));
+    let rep = allreduce_dbtree_ft(inputs.clone(), 2, &plan);
+    assert_eq!(rep.dead, vec![1]);
+    assert_eq!(rep.survivors, vec![0, 2, 3, 4]);
+
+    let rec = Recorder::new();
+    let obs = ObsCtx::new(&rec, "reduce", 0);
+    let traced = allreduce_dbtree_ft_traced(inputs, 2, &plan, &obs);
+    assert_eq!(traced.dead, vec![1]);
+    assert!(rec.event_count() > 0, "ft shim must keep the ctl track");
+}

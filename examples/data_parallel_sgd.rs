@@ -12,7 +12,7 @@
 //! cargo run --release --example data_parallel_sgd
 //! ```
 
-use fireflyer::reduce::hfreduce_exec;
+use fireflyer::reduce::{run_hfreduce, InMemProvider};
 
 const NODES: usize = 4;
 const GPUS: usize = 8;
@@ -75,7 +75,7 @@ fn main() {
             .collect();
 
         // The cluster's allreduce: HFReduce over 32 gradient buffers.
-        let reduced = hfreduce_exec(grads, 4);
+        let reduced = run_hfreduce(grads, 4, &InMemProvider, None);
         // Every replica received the identical global gradient.
         let global = &reduced[0][0];
         for node in &reduced {

@@ -13,7 +13,7 @@
 use fireflyer::reduce::kernels::reference_sum;
 use fireflyer::reduce::model::{hfreduce_steady, HfReduceOptions};
 use fireflyer::reduce::ring::ring_analytic_bw;
-use fireflyer::reduce::{hfreduce_exec, ClusterConfig};
+use fireflyer::reduce::{run_hfreduce, ClusterConfig, InMemProvider};
 use fireflyer::FireFlyer2;
 
 fn main() {
@@ -61,7 +61,7 @@ fn main() {
         })
         .collect();
     let reference = reference_sum(&inputs.iter().flatten().cloned().collect::<Vec<_>>());
-    let out = hfreduce_exec(inputs, 4);
+    let out = run_hfreduce(inputs, 4, &InMemProvider, None);
     assert!(out.iter().all(|node| node.iter().all(|b| b == &reference)));
     println!(
         "executable HFReduce: 32 buffers of 1,024 gradients reduced bit-exactly on every GPU ✓"

@@ -38,6 +38,16 @@ echo "==> detector sweep determinism check (release, vs committed BENCH_detector
 # `detector_bench --write` when a PR deliberately moves detection behavior.
 cargo run -q --release --offline -p ff-bench --bin detector_bench -- --check
 
+echo "==> fabric transport smoke (release, TCP vs in-mem golden digest)"
+cargo test -q --release --offline -p ff-bench --test fabric_smoke
+
+echo "==> fabric transport invariance check (release, vs committed BENCH_fabric.json)"
+# Re-proves the small-world trace digest is identical over in-memory
+# channels and real localhost TCP, and that the committed artifacts are
+# structurally sound. Regenerate with `fabric_bench --write` when a PR
+# deliberately changes the collectives' communication schedule.
+cargo run -q --release --offline -p ff-bench --bin fabric_bench -- --check
+
 echo "==> fluid solver perf smoke (release, vs committed BENCH_fluid.json)"
 # Deterministic solver mix: event count must match the committed baseline
 # bit-for-bit, and events/sec must stay within a 20% regression budget.

@@ -10,7 +10,7 @@ use fireflyer::fs3::target::{Disk, StorageTarget};
 use fireflyer::platform::{CheckpointManager, JobSpec, PlatformConfig, TaskState};
 use fireflyer::reduce::kernels::reference_sum;
 use fireflyer::reduce::model::{hfreduce_steady, HfReduceOptions};
-use fireflyer::reduce::{hfreduce_exec, ClusterConfig};
+use fireflyer::reduce::{run_hfreduce, ClusterConfig, InMemProvider};
 use std::sync::Arc;
 
 fn storage_stack() -> Arc<Fs3Client> {
@@ -49,7 +49,7 @@ fn train_checkpoint_crash_restore() {
         })
         .collect();
     let expect = reference_sum(&grads.iter().flatten().cloned().collect::<Vec<_>>());
-    let reduced = hfreduce_exec(grads, 4);
+    let reduced = run_hfreduce(grads, 4, &InMemProvider, None);
     assert_eq!(reduced[0][0], expect);
 
     // Step 2: apply the "update" and checkpoint to 3FS.
@@ -154,7 +154,13 @@ fn model_and_execution_agree() {
     let inputs: Vec<Vec<f32>> = (0..16)
         .map(|r| (0..512).map(|i| ((r + i) % 9) as f32).collect())
         .collect();
-    let tree = fireflyer::reduce::allreduce_dbtree(inputs.clone(), 4);
-    let ring = fireflyer::reduce::allreduce_ring(inputs);
+    use fireflyer::reduce::Algo;
+    let tree = fireflyer::reduce::run_allreduce(
+        inputs.clone(),
+        Algo::DbTree { chunks: 4 },
+        &InMemProvider,
+        None,
+    );
+    let ring = fireflyer::reduce::run_allreduce(inputs, Algo::Ring, &InMemProvider, None);
     assert_eq!(tree[0], ring[0], "both algorithms compute the same sum");
 }

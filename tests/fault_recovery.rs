@@ -13,7 +13,8 @@ use ff_failures::generator::FailureEvent;
 use ff_failures::plan::{action_for, FaultAction, FaultPlan};
 use ff_failures::{FailureKind, Xid};
 use ff_platform::recovery::{train_with_recovery, JobFaults, RecoveryEvent, TrainerConfig};
-use ff_reduce::{allreduce_dbtree_ft, ExecFaultPlan};
+use ff_reduce::{allreduce_ft, ExecFaultPlan, InMemProvider};
+use ff_util::rng::ChaCha8Rng;
 use std::time::Duration;
 
 #[test]
@@ -90,7 +91,7 @@ fn survivors_shrink_and_finish_without_a_panic() {
         .map(|r| (0..len).map(|i| (r * 100 + i) as f32).collect())
         .collect();
     let plan = ExecFaultPlan::kill_rank(2, 1, Duration::from_millis(250));
-    let report = allreduce_dbtree_ft(inputs, 4, &plan);
+    let report = allreduce_ft(inputs, 4, &plan, &InMemProvider, None);
     assert_eq!(report.dead, vec![2]);
     assert_eq!(report.survivors, vec![0, 1, 3, 4, 5]);
     assert!(report.attempts >= 2, "at least one retry after the death");
@@ -103,6 +104,44 @@ fn survivors_shrink_and_finish_without_a_panic() {
                         report.survivors.iter().map(|&r| (r * 100 + i) as f32).sum();
                     assert_eq!(x, expected, "rank {rank} element {i}");
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_kill_plans_reproduce_shrink_trajectories_exactly() {
+    // Property: for seeded kill-rank plans, the FaultyFabric middleware
+    // produces the shrink-to-survivors trajectory deterministically —
+    // running the same plan twice yields identical FtReports, the dead
+    // set is exactly the planned victim, and every survivor lands on the
+    // survivor-set sum.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFA57);
+    for _ in 0..8 {
+        let n = rng.gen_range(3usize..7);
+        let len = rng.gen_range(8usize..96);
+        let chunks = rng.gen_range(1usize..5);
+        let victim = rng.gen_range(0..n);
+        let die_after = rng.gen_range(1usize..4);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| ((r * 31 + i * 7) % 19) as f32).collect())
+            .collect();
+        let plan = ExecFaultPlan::kill_rank(victim, die_after, Duration::from_millis(250));
+        let run = || allreduce_ft(inputs.clone(), chunks, &plan, &InMemProvider, None);
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same plan must replay the same trajectory");
+        assert_eq!(a.dead, vec![victim], "n={n} victim={victim}");
+        let survivors: Vec<usize> = (0..n).filter(|&r| r != victim).collect();
+        assert_eq!(a.survivors, survivors);
+        for &r in &survivors {
+            let out = a.outputs[r].as_ref().expect("survivor has output");
+            for (i, &x) in out.iter().enumerate() {
+                let want: f32 = survivors
+                    .iter()
+                    .map(|&s| ((s * 31 + i * 7) % 19) as f32)
+                    .sum();
+                assert_eq!(x, want, "rank {r} element {i}");
             }
         }
     }

@@ -12,8 +12,8 @@ use fireflyer::obs::{chrome::export_chrome_json, Recorder};
 use fireflyer::platform::recovery::{train_with_recovery_traced, JobFaults, TrainerConfig};
 use fireflyer::platform::{JobSpec, PlatformConfig, ServingSpec};
 use fireflyer::reduce::{
-    allreduce_dbtree_ft_traced, allreduce_dbtree_traced, hfreduce_exec_traced, ExecFaultPlan,
-    ObsCtx,
+    allreduce_ft, run_allreduce, run_hfreduce, Algo, ExecFaultPlan, FabricProvider, InMemProvider,
+    ObsCtx, TcpProvider,
 };
 use fireflyer::reduce::{ClusterConfig, ClusterModel};
 use std::time::Duration;
@@ -55,7 +55,12 @@ fn threaded_allreduce_same_seed_is_byte_identical() {
     let run = |seed: u64, len: usize| {
         let rec = Recorder::new();
         let obs = ObsCtx::new(&rec, "reduce", 0);
-        let out = allreduce_dbtree_traced(seeded_inputs(seed, 8, len), 4, &obs);
+        let out = run_allreduce(
+            seeded_inputs(seed, 8, len),
+            Algo::DbTree { chunks: 4 },
+            &InMemProvider,
+            Some(&obs),
+        );
         (out, rec.canonical(), rec.digest())
     };
     let (out_a, canon_a, dig_a) = run(7, 512);
@@ -90,7 +95,13 @@ fn fault_tolerant_allreduce_replay_is_stable() {
             deaths: vec![(2, 3)],
             recv_timeout: Duration::from_millis(50),
         };
-        let rep = allreduce_dbtree_ft_traced(seeded_inputs(3, 6, 256), 4, &plan, &obs);
+        let rep = allreduce_ft(
+            seeded_inputs(3, 6, 256),
+            4,
+            &plan,
+            &InMemProvider,
+            Some(&obs),
+        );
         assert_eq!(rep.dead, vec![2]);
         (rec.canonical(), rec.digest())
     };
@@ -112,10 +123,64 @@ fn hfreduce_replay_is_stable() {
                     .collect()
             })
             .collect();
-        hfreduce_exec_traced(bufs, 2, &ObsCtx::new(&rec, "reduce", 0));
+        run_hfreduce(
+            bufs,
+            2,
+            &InMemProvider,
+            Some(&ObsCtx::new(&rec, "reduce", 0)),
+        );
         (rec.canonical(), rec.digest())
     };
     assert_eq!(run(), run());
+}
+
+/// One traced dbtree allreduce + one traced HFReduce over the given
+/// fabric backend; the schedule the trace captures must not depend on
+/// the transport.
+fn fabric_trace<P: FabricProvider>(provider: &P) -> (String, String) {
+    let rec = Recorder::new();
+    let obs = ObsCtx::new(&rec, "reduce", 0);
+    run_allreduce(
+        seeded_inputs(7, 6, 192),
+        Algo::DbTree { chunks: 3 },
+        provider,
+        Some(&obs),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let bufs: Vec<Vec<Vec<f32>>> = (0..3)
+        .map(|_| {
+            (0..2)
+                .map(|_| (0..96).map(|_| (rng.next_u32() % 29) as f32).collect())
+                .collect()
+        })
+        .collect();
+    run_hfreduce(
+        bufs,
+        2,
+        provider,
+        Some(&ObsCtx::new(&rec, "hfreduce", 1_000_000_000)),
+    );
+    (rec.canonical(), rec.digest())
+}
+
+/// Digest of [`fabric_trace`] captured over the in-memory fabric. Real
+/// TCP sockets must replay the identical communication schedule: the
+/// trace is a property of the algorithm, not of the wires under it.
+const FABRIC_GOLDEN_DIGEST: &str = "6df5492226edd2c8";
+
+#[test]
+fn collective_trace_is_transport_invariant() {
+    let (canon_mem, dig_mem) = fabric_trace(&InMemProvider);
+    let (canon_tcp, dig_tcp) = fabric_trace(&TcpProvider);
+    assert_eq!(
+        canon_mem, canon_tcp,
+        "in-mem and TCP fabrics must trace byte-identically"
+    );
+    assert_eq!(
+        dig_mem, FABRIC_GOLDEN_DIGEST,
+        "schedule drifted from golden"
+    );
+    assert_eq!(dig_tcp, FABRIC_GOLDEN_DIGEST);
 }
 
 #[test]
